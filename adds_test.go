@@ -1,0 +1,54 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"sim/internal/adds"
+)
+
+// The ADDS statistics of §6: 13 base classes, 209 subclasses, 39
+// EVA-inverse pairs, 530 DVAs, one hierarchy 5 levels deep.
+func TestADDSScaleSchema(t *testing.T) {
+	db, err := Open("", Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if err := db.DefineSchema(adds.DDL()); err != nil {
+		t.Fatalf("ADDS-scale schema rejected: %v", err)
+	}
+	s := db.SchemaSummary()
+	for _, want := range []string{
+		fmt.Sprintf("base classes: %d", adds.BaseClasses),
+		fmt.Sprintf("subclasses: %d", adds.Subclasses),
+		fmt.Sprintf("EVA-inverse pairs: %d", adds.EVAPairs),
+		fmt.Sprintf("DVAs: %d", adds.DVAs),
+		fmt.Sprintf("max generalization depth: %d", adds.MaxDepth),
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("summary missing %q:\n%s", want, s)
+		}
+	}
+
+	// The dictionary is usable: entities inserted at the deepest level are
+	// visible at every generalization level, carrying the base class's
+	// attributes.
+	for i := 0; i < 5; i++ {
+		mustExec(t, db, fmt.Sprintf(
+			`Insert dd-ent00-lvl5 (dd-ent00-attr00 := "object-%d", dd-ent00-attr01 := %d).`, i, i))
+	}
+	for _, cls := range []string{"dd-ent00", "dd-ent00-lvl1", "dd-ent00-lvl3", "dd-ent00-lvl5"} {
+		r := mustQuery(t, db, fmt.Sprintf(`From %s Retrieve dd-ent00-attr00 Order By dd-ent00-attr00.`, cls))
+		if r.NumRows() != 5 {
+			t.Errorf("%s has %d entities, want 5", cls, r.NumRows())
+		}
+	}
+	// Relationships across base classes, traversed through the named
+	// inverse.
+	mustExec(t, db, `Insert dd-ent01 (dd-ent01-attr00 := "target").`)
+	mustExec(t, db, `Modify dd-ent00 (rel00-a := include dd-ent01 with (dd-ent01-attr00 = "target")) Where dd-ent00-attr00 = "object-0".`)
+	r := mustQuery(t, db, `From dd-ent01 Retrieve dd-ent00-attr00 of rel00-a-back Where dd-ent01-attr00 = "target".`)
+	expectRows(t, r, [][]string{{"object-0"}})
+}

@@ -1,0 +1,227 @@
+// Command simdb is an interactive shell for SIM databases, in the spirit
+// of the paper's IQF query facility.
+//
+// Usage:
+//
+//	simdb [-db file] [-schema ddl-file] [-e statement]
+//
+// Without -e it reads statements from standard input; a statement ends
+// with '.' or ';' at the end of a line. Shell commands:
+//
+//	\schema           print the schema summary
+//	\classes          list classes and their attributes
+//	\explain <query>  show the optimizer's strategy
+//	\check            run every VERIFY assertion over the whole database
+//	\quit             exit
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"sim"
+	"sim/internal/ast"
+	"sim/internal/catalog"
+	"sim/internal/parser"
+)
+
+func main() {
+	dbPath := flag.String("db", "", "database file (empty: in-memory)")
+	schemaFile := flag.String("schema", "", "DDL file to define at startup")
+	stmt := flag.String("e", "", "execute one statement and exit")
+	flag.Parse()
+
+	db, err := sim.Open(*dbPath, sim.Config{})
+	if err != nil {
+		fatal(err)
+	}
+	defer db.Close()
+
+	if *schemaFile != "" {
+		ddl, err := os.ReadFile(*schemaFile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := db.DefineSchema(string(ddl)); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "schema %s defined\n", *schemaFile)
+	}
+
+	if *stmt != "" {
+		if err := run(db, *stmt); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	in := bufio.NewScanner(os.Stdin)
+	in.Buffer(make([]byte, 1<<20), 1<<20)
+	var buf strings.Builder
+	prompt := func() {
+		if buf.Len() == 0 {
+			fmt.Print("sim> ")
+		} else {
+			fmt.Print("...> ")
+		}
+	}
+	prompt()
+	for in.Scan() {
+		line := in.Text()
+		trimmed := strings.TrimSpace(line)
+		if buf.Len() == 0 && strings.HasPrefix(trimmed, `\`) {
+			if !command(db, trimmed) {
+				return
+			}
+			prompt()
+			continue
+		}
+		buf.WriteString(line)
+		buf.WriteString("\n")
+		if strings.HasSuffix(trimmed, ".") || strings.HasSuffix(trimmed, ";") {
+			if err := run(db, buf.String()); err != nil {
+				fmt.Fprintln(os.Stderr, "error:", err)
+			}
+			buf.Reset()
+		}
+		prompt()
+	}
+}
+
+// command handles a backslash command; it returns false to exit.
+func command(db *sim.Database, line string) bool {
+	cmd, rest, _ := strings.Cut(line, " ")
+	switch cmd {
+	case `\quit`, `\q`:
+		return false
+	case `\schema`:
+		fmt.Print(db.SchemaSummary())
+	case `\classes`:
+		printClasses(db)
+	case `\explain`:
+		ex, err := db.Explain(rest)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+		} else {
+			fmt.Println(ex)
+		}
+	case `\check`:
+		if err := db.CheckIntegrity(); err != nil {
+			fmt.Fprintln(os.Stderr, "violation:", err)
+		} else {
+			fmt.Println("all assertions hold")
+		}
+	case `\help`:
+		fmt.Println(`statements end with '.' or ';'
+DDL:  Type/Class/Subclass/Verify declarations (via -schema or pasted)
+DML:  Retrieve / Insert / Modify / Delete
+commands: \schema \classes \explain <q> \check \quit`)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown command %s (try \\help)\n", cmd)
+	}
+	return true
+}
+
+// run executes one input chunk: DDL if it parses as a schema, otherwise
+// DML.
+func run(db *sim.Database, text string) error {
+	trimmed := strings.TrimSpace(strings.ToLower(text))
+	if strings.HasPrefix(trimmed, "class") || strings.HasPrefix(trimmed, "subclass") ||
+		strings.HasPrefix(trimmed, "type") || strings.HasPrefix(trimmed, "verify") {
+		if err := db.DefineSchema(text); err != nil {
+			return err
+		}
+		fmt.Println("schema updated")
+		return nil
+	}
+	stmt, err := parser.ParseStmt(text)
+	if err != nil {
+		return err
+	}
+	if ret, ok := stmt.(*ast.RetrieveStmt); ok {
+		r, err := db.Query(text)
+		if err != nil {
+			return err
+		}
+		if ret.Mode == ast.OutputStructure {
+			fmt.Print(r.FormatStructured())
+		} else {
+			fmt.Print(r.Format())
+		}
+		fmt.Printf("(%d rows)\n", r.NumRows())
+		return nil
+	}
+	n, err := db.Exec(text)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%d entity(ies) affected\n", n)
+	return nil
+}
+
+func printClasses(db *sim.Database) {
+	for _, cl := range db.Catalog().Classes() {
+		kind := "class"
+		if !cl.IsBase() {
+			supers := make([]string, len(cl.Supers))
+			for i, s := range cl.Supers {
+				supers[i] = s.Name
+			}
+			kind = "subclass of " + strings.Join(supers, ", ")
+		}
+		fmt.Printf("%s (%s)\n", cl.Name, kind)
+		for _, a := range cl.Attrs {
+			if a.Implicit {
+				continue
+			}
+			switch a.Kind {
+			case catalog.EVA:
+				inv := ""
+				if a.Inverse != nil && !a.Inverse.Implicit {
+					inv = " inverse is " + a.Inverse.Name
+				}
+				fmt.Printf("  %s: %s%s%s\n", a.Name, a.Range.Name, inv, optstr(a))
+			case catalog.Subrole:
+				names := make([]string, len(a.SubroleOf))
+				for i, s := range a.SubroleOf {
+					names[i] = s.Name
+				}
+				fmt.Printf("  %s: subrole (%s)%s\n", a.Name, strings.Join(names, ", "), optstr(a))
+			case catalog.Derived:
+				fmt.Printf("  %s: derived\n", a.Name)
+			default:
+				fmt.Printf("  %s: %s%s\n", a.Name, a.Type, optstr(a))
+			}
+		}
+	}
+}
+
+func optstr(a *catalog.Attribute) string {
+	var parts []string
+	o := a.Options
+	if o.Required {
+		parts = append(parts, "required")
+	}
+	if o.Unique {
+		parts = append(parts, "unique")
+	}
+	if o.MV {
+		mv := "mv"
+		if o.Max > 0 {
+			mv = fmt.Sprintf("mv (max %d)", o.Max)
+		}
+		parts = append(parts, mv)
+	}
+	if len(parts) == 0 {
+		return ""
+	}
+	return " [" + strings.Join(parts, ", ") + "]"
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "simdb:", err)
+	os.Exit(1)
+}

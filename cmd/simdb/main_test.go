@@ -1,0 +1,133 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"strings"
+	"testing"
+
+	"sim"
+	"sim/internal/university"
+)
+
+// captureStdout runs f with os.Stdout redirected to a pipe.
+func captureStdout(t *testing.T, f func()) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	done := make(chan string)
+	go func() {
+		var buf bytes.Buffer
+		buf.ReadFrom(r)
+		done <- buf.String()
+	}()
+	f()
+	w.Close()
+	os.Stdout = old
+	return <-done
+}
+
+func testDB(t *testing.T) *sim.Database {
+	t.Helper()
+	db, err := sim.Open("", sim.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	if err := db.DefineSchema(university.DDL); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func TestRunDDLAndDML(t *testing.T) {
+	db, err := sim.Open("", sim.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	out := captureStdout(t, func() {
+		if err := run(db, `Class Widget ( wname: string[10] required );`); err != nil {
+			t.Error(err)
+		}
+	})
+	if !strings.Contains(out, "schema updated") {
+		t.Errorf("DDL output = %q", out)
+	}
+	out = captureStdout(t, func() {
+		if err := run(db, `Insert widget (wname := "gear").`); err != nil {
+			t.Error(err)
+		}
+	})
+	if !strings.Contains(out, "1 entity") {
+		t.Errorf("insert output = %q", out)
+	}
+	out = captureStdout(t, func() {
+		if err := run(db, `From widget Retrieve wname.`); err != nil {
+			t.Error(err)
+		}
+	})
+	if !strings.Contains(out, "gear") || !strings.Contains(out, "(1 rows)") {
+		t.Errorf("query output = %q", out)
+	}
+}
+
+func TestRunStructuredOutput(t *testing.T) {
+	db := testDB(t)
+	captureStdout(t, func() { run(db, `Insert department (dept-nbr := 100, name := "Physics").`) })
+	out := captureStdout(t, func() {
+		if err := run(db, `From department Retrieve Structure name.`); err != nil {
+			t.Error(err)
+		}
+	})
+	if !strings.Contains(out, "Physics") {
+		t.Errorf("structured output = %q", out)
+	}
+}
+
+func TestRunReportsErrors(t *testing.T) {
+	db := testDB(t)
+	if err := run(db, `From nowhere Retrieve x.`); err == nil {
+		t.Error("bad query did not error")
+	}
+	if err := run(db, `not a statement at all.`); err == nil {
+		t.Error("garbage did not error")
+	}
+}
+
+func TestCommands(t *testing.T) {
+	db := testDB(t)
+	out := captureStdout(t, func() { command(db, `\schema`) })
+	if !strings.Contains(out, "base classes: 3") {
+		t.Errorf("\\schema output = %q", out)
+	}
+	out = captureStdout(t, func() { command(db, `\classes`) })
+	for _, want := range []string{"Person (class)", "Student (subclass of Person)", "advisor: Instructor inverse is advisees", "profession: subrole"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("\\classes output missing %q:\n%s", want, out)
+		}
+	}
+	for i := 1; i <= 6; i++ {
+		stmt := `Insert person (name := "P", soc-sec-no := ` + string(rune('0'+i)) + `).`
+		captureStdout(t, func() { run(db, stmt) })
+	}
+	out = captureStdout(t, func() { command(db, `\explain From person Retrieve name Where soc-sec-no = 1.`) })
+	if !strings.Contains(out, "unique lookup") {
+		t.Errorf("\\explain output = %q", out)
+	}
+	out = captureStdout(t, func() { command(db, `\check`) })
+	if !strings.Contains(out, "hold") {
+		t.Errorf("\\check output = %q", out)
+	}
+	if command(db, `\quit`) {
+		t.Error("\\quit did not signal exit")
+	}
+	out = captureStdout(t, func() { command(db, `\help`) })
+	if !strings.Contains(out, "Retrieve") {
+		t.Errorf("\\help output = %q", out)
+	}
+}

@@ -1,0 +1,85 @@
+package sim_test
+
+import (
+	"fmt"
+	"log"
+
+	"sim"
+)
+
+// Open an in-memory database, define a schema, load entities and query
+// them through the DML.
+func Example() {
+	db, err := sim.Open("", sim.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	if err := db.DefineSchema(`
+Class Author (
+  name: string[30] required;
+  books: book inverse is written-by mv );
+
+Class Book (
+  title: string[40] required;
+  year: integer (1400..2100) );`); err != nil {
+		log.Fatal(err)
+	}
+
+	if _, err := db.Run(`
+Insert book (title := "The Mythical Man-Month", year := 1975).
+Insert author (name := "Brooks", books := book with (year = 1975)).`); err != nil {
+		log.Fatal(err)
+	}
+
+	r, err := db.Query(`From Author Retrieve Name, Title of Books, Year of Books.`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, row := range r.Rows() {
+		fmt.Println(row[0], "|", row[1], "|", row[2])
+	}
+	// Output:
+	// Brooks | The Mythical Man-Month | 1975
+}
+
+// Updates are statements too; failed statements roll back atomically.
+func ExampleDatabase_Exec() {
+	db, _ := sim.Open("", sim.Config{})
+	defer db.Close()
+	db.DefineSchema(`Class Account ( acct-no: integer unique required; balance: number[12,2] );`)
+
+	n, _ := db.Exec(`Insert account (acct-no := 1, balance := 100).`)
+	fmt.Println("inserted:", n)
+
+	n, _ = db.Exec(`Modify account (balance := balance * 1.05) Where acct-no = 1.`)
+	fmt.Println("modified:", n)
+
+	// A duplicate account number violates UNIQUE and changes nothing.
+	if _, err := db.Exec(`Insert account (acct-no := 1, balance := 0).`); err != nil {
+		fmt.Println("rejected duplicate")
+	}
+	r, _ := db.Query(`From account Retrieve balance.`)
+	fmt.Println("balance:", r.Rows()[0][0])
+	// Output:
+	// inserted: 1
+	// modified: 1
+	// rejected duplicate
+	// balance: 105
+}
+
+// Explain shows the optimizer's chosen access strategy.
+func ExampleDatabase_Explain() {
+	db, _ := sim.Open("", sim.Config{})
+	defer db.Close()
+	db.DefineSchema(`Class Part ( part-no: integer unique required; pname: string[20] );`)
+	db.Exec(`Insert part (part-no := 1, pname := "bolt").`)
+	db.Exec(`Insert part (part-no := 2, pname := "nut").`)
+	db.Exec(`Insert part (part-no := 3, pname := "washer").`)
+
+	ex, _ := db.Explain(`From part Retrieve pname Where part-no = 2.`)
+	fmt.Println(ex)
+	// Output:
+	// part: unique lookup part-no = 2 (est cost 2.0)
+}

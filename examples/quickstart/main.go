@@ -1,0 +1,75 @@
+// Quickstart: define a small semantic schema, load a few entities and run
+// DML queries through the public API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sim"
+)
+
+const schema = `
+Type priority = symbolic (LOW, MEDIUM, HIGH);
+
+Class Project (
+  code: integer (1..9999) unique required;
+  title: string[40] required;
+  urgency: priority;
+  members: person inverse is works-on mv );
+
+Class Person (
+  name: string[30] required;
+  email: string[40] unique );
+`
+
+func main() {
+	// An empty path opens a transient in-memory database; pass a file path
+	// for a durable one.
+	db, err := sim.Open("", sim.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	if err := db.DefineSchema(schema); err != nil {
+		log.Fatal(err)
+	}
+
+	script := `
+Insert person (name := "Ada", email := "ada@example.com").
+Insert person (name := "Grace", email := "grace@example.com").
+Insert project (code := 1, title := "Compiler", urgency := "HIGH",
+  members := person with (name = "Ada")).
+Insert project (code := 2, title := "Simulator", urgency := "LOW",
+  members := person with (name = "Grace"),
+  members := include person with (name = "Ada")).
+`
+	if _, err := db.Run(script); err != nil {
+		log.Fatal(err)
+	}
+
+	queries := []string{
+		// Perspective + qualification: attributes reached through EVAs.
+		`From Project Retrieve Title, Urgency, Name of Members Order By Title.`,
+		// The system-maintained inverse, traversed from the other side.
+		`From Person Retrieve Name, Title of Works-On Where Name = "Ada".`,
+		// Aggregates with delimited scope.
+		`From Project Retrieve Title, count(members) Order By Title.`,
+		// Symbolic values order by declaration (LOW < MEDIUM < HIGH).
+		`From Project Retrieve Title Where Urgency > "LOW".`,
+	}
+	for _, q := range queries {
+		fmt.Println("—", q)
+		r, err := db.Query(q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(r.Format())
+	}
+
+	// Updates are transactional; a failed statement leaves no trace.
+	if _, err := db.Exec(`Insert person (name := "Imposter", email := "ada@example.com").`); err != nil {
+		fmt.Println("as expected, duplicate email rejected:", err)
+	}
+}

@@ -1,0 +1,269 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"sim/internal/exec"
+)
+
+// Transitive closure through a DAG with sharing and a cycle: levels and
+// cycle-safety.
+func TestTransitiveClosureDAGAndCycle(t *testing.T) {
+	db := universityDB(t, Config{})
+	// Create a diamond: D requires B and C; both require A. Then close a
+	// cycle A -> D.
+	script := []string{
+		`Insert course (course-no := 900, title := "A0", credits := 15).`,
+		`Insert course (course-no := 901, title := "B0", credits := 15,
+		   prerequisites := course with (title = "A0")).`,
+		`Insert course (course-no := 902, title := "C0", credits := 15,
+		   prerequisites := course with (title = "A0")).`,
+		`Insert course (course-no := 903, title := "D0", credits := 15,
+		   prerequisites := course with (title = "B0"),
+		   prerequisites := include course with (title = "C0")).`,
+	}
+	for _, s := range script {
+		mustExec(t, db, s)
+	}
+	// Diamond closure from D: {B, C, A} — A once despite two paths.
+	if v := singleValue(t, db, `From course Retrieve count(transitive(prerequisites)) Where title = "D0".`); v.String() != "3" {
+		t.Errorf("diamond closure = %s, want 3", v)
+	}
+	// Close the cycle: A requires D.
+	mustExec(t, db, `Modify course (prerequisites := include course with (title = "D0")) Where title = "A0".`)
+	// Closure from D now reaches everything else exactly once; D itself is
+	// excluded as the start.
+	if v := singleValue(t, db, `From course Retrieve count(transitive(prerequisites)) Where title = "D0".`); v.String() != "3" {
+		t.Errorf("cyclic closure = %s, want 3 (B, C, A; D excluded as start)", v)
+	}
+}
+
+func TestStructuredTransitiveLevels(t *testing.T) {
+	db := universityDB(t, Config{})
+	r := mustQuery(t, db, `Retrieve Structure Title of Transitive(prerequisites) of Course Where Title of Course = "Quantum Chromodynamics".`)
+	out := r.FormatStructured()
+	if !strings.Contains(out, "[level 1]") || !strings.Contains(out, "[level 2]") {
+		t.Errorf("levels missing from structured output:\n%s", out)
+	}
+}
+
+// Printing an entity prints its surrogate.
+func TestEntityAsTarget(t *testing.T) {
+	db := universityDB(t, Config{})
+	r := mustQuery(t, db, `From Student Retrieve Advisor Where Name = "John Doe".`)
+	if r.NumRows() != 1 || !strings.HasPrefix(r.Rows()[0][0].String(), "#") {
+		t.Errorf("entity target = %v", rowStrings(r))
+	}
+}
+
+// Bare quantifier as boolean: existence.
+func TestBareQuantifierExistence(t *testing.T) {
+	db := universityDB(t, Config{})
+	r := mustQuery(t, db, `From instructor Retrieve name Where some(advisees) Order By name.`)
+	expectRows(t, r, [][]string{{"Ann Smith"}, {"Joe Bloke"}})
+	r = mustQuery(t, db, `From instructor Retrieve name Where no(advisees) Order By name.`)
+	expectRows(t, r, [][]string{{"Bob Stone"}, {"Tina Aide"}})
+}
+
+// INSERT ... FROM applying to several entities at once. (Instructor
+// cannot be used here: its REQUIRED UNIQUE employee-nbr cannot take one
+// value across entities — so extend into a new subclass.)
+func TestInsertFromMultipleMatches(t *testing.T) {
+	db := universityDB(t, Config{})
+	if err := db.DefineSchema(`Subclass Graduate of Student ( thesis: string[30] );`); err != nil {
+		t.Fatal(err)
+	}
+	n := mustExec(t, db, `Insert graduate From student Where birthdate >= "1970-01-01" (thesis := "TBD").`)
+	if n != 3 { // Mary (1970), Tom (1990), NoAdv (2000)
+		t.Fatalf("extended %d, want 3", n)
+	}
+	r := mustQuery(t, db, `From graduate Retrieve name, thesis Order By name.`)
+	expectRows(t, r, [][]string{
+		{"Mary Major", "TBD"},
+		{"NoAdv Kid", "TBD"},
+		{"Tom Thumb", "TBD"},
+	})
+}
+
+// The previous test must actually fail: employee-nbr is REQUIRED.
+func TestInsertFromRequiresRequiredAttrs(t *testing.T) {
+	db := universityDB(t, Config{})
+	_, err := db.Exec(`Insert instructor From person Where name = "Tom Thumb".`)
+	if err == nil || !strings.Contains(err.Error(), "required") {
+		t.Fatalf("role extension without employee-nbr: %v", err)
+	}
+	// Nothing happened.
+	r := mustQuery(t, db, `From instructor Retrieve name Where name = "Tom Thumb".`)
+	if r.NumRows() != 0 {
+		t.Error("failed role extension left the role behind")
+	}
+}
+
+func TestModifyWithoutWhereHitsAll(t *testing.T) {
+	db := universityDB(t, Config{})
+	n := mustExec(t, db, `Modify course (credits := 15).`)
+	if n != 5 {
+		t.Fatalf("modified %d courses, want 5", n)
+	}
+	r := mustQuery(t, db, `From course Retrieve Table Distinct credits.`)
+	expectRows(t, r, [][]string{{"15"}})
+}
+
+func TestDeleteWholeClass(t *testing.T) {
+	db := universityDB(t, Config{})
+	mustExec(t, db, `Delete teaching-assistant.`)
+	r := mustQuery(t, db, `From teaching-assistant Retrieve name.`)
+	if r.NumRows() != 0 {
+		t.Error("TA survived class delete")
+	}
+	// Tina keeps her student and instructor roles.
+	r = mustQuery(t, db, `From Person Retrieve Profession Where Name = "Tina Aide".`)
+	expectRows(t, r, [][]string{{"Student"}, {"Instructor"}})
+}
+
+func TestQueryExecKindMismatch(t *testing.T) {
+	db := universityDB(t, Config{})
+	if _, err := db.Query(`Insert department (dept-nbr := 999, name := "X").`); err == nil {
+		t.Error("Query accepted an update")
+	}
+	if _, err := db.Exec(`From department Retrieve name.`); err == nil {
+		t.Error("Exec accepted a query")
+	}
+}
+
+func TestArithmeticInTargets(t *testing.T) {
+	db := universityDB(t, Config{})
+	r := mustQuery(t, db, `From instructor Retrieve name, salary / 1000, salary + bonus Where name = "Joe Bloke".`)
+	expectRows(t, r, [][]string{{"Joe Bloke", "50", "51000"}})
+	// NULL bonus propagates through +.
+	r = mustQuery(t, db, `From instructor Retrieve salary + bonus Where name = "Ann Smith".`)
+	expectRows(t, r, [][]string{{"?"}})
+}
+
+func TestDateComparisonsAndArithmetic(t *testing.T) {
+	db := universityDB(t, Config{})
+	r := mustQuery(t, db, `From person Retrieve name Where birthdate < "1950-06-01" Order By name.`)
+	expectRows(t, r, [][]string{{"Ann Smith"}, {"Joe Bloke"}})
+	// Date ± integer arithmetic.
+	r = mustQuery(t, db, `From person Retrieve birthdate + 31 Where name = "Joe Bloke".`)
+	expectRows(t, r, [][]string{{"1950-02-01"}})
+}
+
+func TestConcurrentQueries(t *testing.T) {
+	db := universityDB(t, Config{})
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 20; j++ {
+				if _, err := db.Query(`From Student Retrieve Name, Name of Advisor.`); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	// One writer interleaved.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for j := 0; j < 10; j++ {
+			stmt := fmt.Sprintf(`Insert department (dept-nbr := %d, name := "D%d").`, 500+j, j)
+			if _, err := db.Exec(stmt); err != nil {
+				errs <- err
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func TestCurrentDateInDML(t *testing.T) {
+	db := universityDB(t, Config{})
+	// Everyone in the fixture was born before today.
+	r := mustQuery(t, db, `From person Retrieve count(soc-sec-no of person) Where birthdate < current date.`)
+	if r.NumRows() == 0 {
+		t.Fatal("no rows")
+	}
+}
+
+func TestMVDVAScalarOperationsEndToEnd(t *testing.T) {
+	db, err := Open("", Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if err := db.DefineSchema(`
+Class Note (
+  note-no: integer unique required;
+  tags: string[20] mv (max 4, distinct) );`); err != nil {
+		t.Fatal(err)
+	}
+	mustExec(t, db, `Insert note (note-no := 1, tags := "alpha").`)
+	mustExec(t, db, `Modify note (tags := include "beta") Where note-no = 1.`)
+	mustExec(t, db, `Modify note (tags := include "beta") Where note-no = 1.`) // distinct: no-op
+	r := mustQuery(t, db, `From note Retrieve tags Order By tags.`)
+	expectRows(t, r, [][]string{{"alpha"}, {"beta"}})
+	mustExec(t, db, `Modify note (tags := exclude "alpha") Where note-no = 1.`)
+	r = mustQuery(t, db, `From note Retrieve tags.`)
+	expectRows(t, r, [][]string{{"beta"}})
+	// MAX 4 enforced through the DML ({beta} + c, d, e fills it; f spills).
+	for _, tag := range []string{"c", "d", "e", "f"} {
+		_, err := db.Exec(fmt.Sprintf(`Modify note (tags := include %q) Where note-no = 1.`, tag))
+		if tag == "f" && err == nil {
+			t.Error("5th tag accepted past MAX 4")
+		} else if tag != "f" && err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestSpouseSymmetryAfterRemarriage(t *testing.T) {
+	db := universityDB(t, Config{})
+	mustExec(t, db, `Modify person (spouse := person with (name = "Mary Major")) Where name = "John Doe".`)
+	mustExec(t, db, `Modify person (spouse := person with (name = "Tom Thumb")) Where name = "Mary Major".`)
+	// John is single again; Mary and Tom are symmetric.
+	r := mustQuery(t, db, `From person Retrieve name of spouse Where name = "John Doe".`)
+	expectRows(t, r, [][]string{{"?"}})
+	r = mustQuery(t, db, `From person Retrieve name of spouse Where name = "Tom Thumb".`)
+	expectRows(t, r, [][]string{{"Mary Major"}})
+}
+
+func TestClearEVAWithNull(t *testing.T) {
+	db := universityDB(t, Config{})
+	mustExec(t, db, `Modify student (advisor := null) Where name = "John Doe".`)
+	r := mustQuery(t, db, `From student Retrieve name of advisor Where name = "John Doe".`)
+	expectRows(t, r, [][]string{{"?"}})
+	mustExec(t, db, `Modify student (courses-enrolled := null) Where name = "Mary Major".`)
+	if v := singleValue(t, db, `From student Retrieve count(courses-enrolled) Where name = "Mary Major".`); v.String() != "0" {
+		t.Errorf("courses after null-assign = %s", v)
+	}
+}
+
+func TestStructuredMultipleFormats(t *testing.T) {
+	db := universityDB(t, Config{})
+	// Three output formats: student, courses-enrolled, teachers.
+	r := mustQuery(t, db, `From Student Retrieve Structure Name, Title of Courses-Enrolled, Name of Teachers of Courses-Enrolled Where Student-Nbr = 1501.`)
+	var depth func(g *exec.Group) int
+	depth = func(g *exec.Group) int {
+		best := 0
+		for _, c := range g.Children {
+			if d := depth(c) + 1; d > best {
+				best = d
+			}
+		}
+		return best
+	}
+	if got := depth(r.Structured); got != 3 {
+		t.Errorf("structured depth = %d, want 3\n%s", got, r.FormatStructured())
+	}
+}

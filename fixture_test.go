@@ -1,0 +1,149 @@
+package sim
+
+import (
+	"testing"
+
+	"sim/internal/university"
+	"sim/internal/value"
+)
+
+// universityDB builds a fresh in-memory UNIVERSITY database (Figure 2)
+// with a small faculty/student population used across the integration
+// tests. Course credits are chosen so every enrolled student satisfies
+// verify v1 (sum of credits >= 12).
+func universityDB(t testing.TB, cfg Config) *Database {
+	t.Helper()
+	db, err := Open("", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	if err := db.DefineSchema(university.DDL); err != nil {
+		t.Fatalf("define schema: %v", err)
+	}
+	for _, stmt := range fixtureDML {
+		if _, err := db.Exec(stmt); err != nil {
+			t.Fatalf("fixture %q: %v", stmt, err)
+		}
+	}
+	return db
+}
+
+var fixtureDML = []string{
+	`Insert department (dept-nbr := 100, name := "Physics").`,
+	`Insert department (dept-nbr := 200, name := "Math").`,
+	`Insert department (dept-nbr := 300, name := "CS").`,
+
+	`Insert course (course-no := 101, title := "Algebra I", credits := 12).`,
+	`Insert course (course-no := 102, title := "Calculus I", credits := 5,
+	   prerequisites := course with (title = "Algebra I")).`,
+	`Insert course (course-no := 201, title := "Mechanics", credits := 5,
+	   prerequisites := course with (title = "Calculus I")).`,
+	`Insert course (course-no := 999, title := "Quantum Chromodynamics", credits := 5,
+	   prerequisites := course with (title = "Mechanics"),
+	   prerequisites := include course with (title = "Calculus I")).`,
+	`Insert course (course-no := 301, title := "Databases", credits := 5).`,
+
+	`Insert instructor (name := "Joe Bloke", soc-sec-no := 100000001,
+	   birthdate := "1950-01-01", employee-nbr := 1729, salary := 50000, bonus := 1000,
+	   assigned-department := department with (name = "Physics"),
+	   courses-taught := course with (title = "Mechanics"),
+	   courses-taught := include course with (title = "Quantum Chromodynamics")).`,
+	`Insert instructor (name := "Ann Smith", soc-sec-no := 100000002,
+	   birthdate := "1945-05-05", employee-nbr := 1730, salary := 60000,
+	   assigned-department := department with (name = "Math"),
+	   courses-taught := course with (title = "Algebra I"),
+	   courses-taught := include course with (title = "Calculus I")).`,
+	`Insert instructor (name := "Bob Stone", soc-sec-no := 100000003,
+	   birthdate := "1980-01-01", employee-nbr := 1731, salary := 45000,
+	   assigned-department := department with (name = "CS"),
+	   courses-taught := course with (title = "Databases")).`,
+
+	`Insert teaching-assistant (name := "Tina Aide", soc-sec-no := 100000004,
+	   birthdate := "1965-06-06", student-nbr := 1600, employee-nbr := 1750,
+	   salary := 20000, teaching-load := 5,
+	   advisor := instructor with (name = "Ann Smith"),
+	   major-department := department with (name = "CS"),
+	   courses-enrolled := course with (title = "Algebra I"),
+	   courses-taught := course with (title = "Databases")).`,
+
+	`Insert student (name := "John Doe", soc-sec-no := 456887766,
+	   birthdate := "1960-02-02", student-nbr := 1500,
+	   advisor := instructor with (name = "Joe Bloke"),
+	   major-department := department with (name = "CS"),
+	   courses-enrolled := course with (title = "Algebra I")).`,
+	`Insert student (name := "Mary Major", soc-sec-no := 456887767,
+	   birthdate := "1970-03-03", student-nbr := 1501,
+	   advisor := instructor with (name = "Joe Bloke"),
+	   major-department := department with (name = "Physics"),
+	   courses-enrolled := course with (title = "Algebra I"),
+	   courses-enrolled := include course with (title = "Calculus I"),
+	   courses-enrolled := include course with (title = "Mechanics")).`,
+	`Insert student (name := "Tom Thumb", soc-sec-no := 456887768,
+	   birthdate := "1990-04-04", student-nbr := 1502,
+	   advisor := instructor with (name = "Ann Smith"),
+	   major-department := department with (name = "Math"),
+	   courses-enrolled := course with (title = "Algebra I"),
+	   courses-enrolled := include course with (title = "Calculus I")).`,
+	`Insert student (name := "NoAdv Kid", soc-sec-no := 456887769,
+	   birthdate := "2000-12-12", student-nbr := 1503,
+	   major-department := department with (name = "Math")).`,
+}
+
+// rowStrings renders a result's rows for compact comparison.
+func rowStrings(r *Result) [][]string {
+	out := make([][]string, 0, r.NumRows())
+	for _, row := range r.Rows() {
+		cells := make([]string, len(row))
+		for i, v := range row {
+			cells[i] = v.String()
+		}
+		out = append(out, cells)
+	}
+	return out
+}
+
+func expectRows(t *testing.T, r *Result, want [][]string) {
+	t.Helper()
+	got := rowStrings(r)
+	if len(got) != len(want) {
+		t.Fatalf("got %d rows %v, want %d rows %v", len(got), got, len(want), want)
+	}
+	for i := range want {
+		if len(got[i]) != len(want[i]) {
+			t.Fatalf("row %d: got %v, want %v", i, got[i], want[i])
+		}
+		for j := range want[i] {
+			if got[i][j] != want[i][j] {
+				t.Errorf("row %d col %d: got %q, want %q (full row %v)", i, j, got[i][j], want[i][j], got[i])
+			}
+		}
+	}
+}
+
+func mustQuery(t *testing.T, db *Database, dml string) *Result {
+	t.Helper()
+	r, err := db.Query(dml)
+	if err != nil {
+		t.Fatalf("Query(%q): %v", dml, err)
+	}
+	return r
+}
+
+func mustExec(t *testing.T, db *Database, dml string) int {
+	t.Helper()
+	n, err := db.Exec(dml)
+	if err != nil {
+		t.Fatalf("Exec(%q): %v", dml, err)
+	}
+	return n
+}
+
+func singleValue(t *testing.T, db *Database, dml string) value.Value {
+	t.Helper()
+	r := mustQuery(t, db, dml)
+	if r.NumRows() != 1 || len(r.Rows()[0]) != 1 {
+		t.Fatalf("Query(%q) returned %v, want a single value", dml, rowStrings(r))
+	}
+	return r.Rows()[0][0]
+}

@@ -1,0 +1,3 @@
+module sim
+
+go 1.22

@@ -1,0 +1,137 @@
+// Package adds generates a synthetic data-dictionary schema at the scale
+// the paper reports for ADDS (§6): "It consists of 13 base classes, 209
+// subclasses, 39 EVA-inverse pairs, 530 DVAs and at its deepest, one
+// hierarchy represents 5 levels of generalization." The real ADDS schema
+// is proprietary; this generator reproduces its published shape so the
+// claim is checkable against SchemaSummary.
+package adds
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Scale parameters from §6.
+const (
+	BaseClasses = 13
+	Subclasses  = 209
+	EVAPairs    = 39
+	DVAs        = 530
+	MaxDepth    = 5
+)
+
+// DDL returns the generated schema text.
+func DDL() string {
+	var b strings.Builder
+	dvasLeft := DVAs
+
+	// Plan the class tree: hierarchy 0 carries a generalization chain of
+	// depth 5; the remaining subclasses hang directly under their bases.
+	type class struct {
+		name     string
+		super    string // immediate superclass ("" for bases)
+		children []string
+	}
+	classes := make(map[string]*class)
+	var order []string
+	add := func(name, super string) {
+		c := &class{name: name, super: super}
+		classes[name] = c
+		order = append(order, name)
+		if super != "" {
+			classes[super].children = append(classes[super].children, name)
+		}
+	}
+	for i := 0; i < BaseClasses; i++ {
+		add(fmt.Sprintf("dd-ent%02d", i), "")
+	}
+	subs := 0
+	// Depth-5 chain in hierarchy 0.
+	prev := "dd-ent00"
+	for d := 1; d <= MaxDepth; d++ {
+		name := fmt.Sprintf("dd-ent00-lvl%d", d)
+		add(name, prev)
+		prev = name
+		subs++
+	}
+	// Remaining subclasses round-robin under the bases.
+	for i := 0; subs < Subclasses; i++ {
+		base := fmt.Sprintf("dd-ent%02d", i%BaseClasses)
+		add(fmt.Sprintf("%s-sub%03d", base, i/BaseClasses), base)
+		subs++
+	}
+
+	// DVA allocation: bases get 10 each; subclasses share the rest.
+	dvaFor := make(map[string]int)
+	for i := 0; i < BaseClasses; i++ {
+		name := fmt.Sprintf("dd-ent%02d", i)
+		dvaFor[name] = 10
+		dvasLeft -= 10
+	}
+	subNames := order[BaseClasses:]
+	for _, n := range subNames {
+		dvaFor[n] = 1
+		dvasLeft--
+	}
+	for i := 0; dvasLeft > 0; i++ {
+		dvaFor[subNames[i%len(subNames)]]++
+		dvasLeft--
+	}
+
+	// EVA pairs: three per base class, pointing at the next base.
+	evasFor := make(map[string][]string)
+	pair := 0
+	for i := 0; i < BaseClasses && pair < EVAPairs; i++ {
+		from := fmt.Sprintf("dd-ent%02d", i)
+		to := fmt.Sprintf("dd-ent%02d", (i+1)%BaseClasses)
+		for k := 0; k < 3 && pair < EVAPairs; k++ {
+			// A hyphen before a digit lexes as subtraction, so the suffix
+			// must be alphabetic.
+			suffix := string(rune('a' + k))
+			evasFor[from] = append(evasFor[from],
+				fmt.Sprintf("rel%02d-%s: %s inverse is rel%02d-%s-back mv", i, suffix, to, i, suffix))
+			pair++
+		}
+	}
+
+	emit := func(name string) {
+		c := classes[name]
+		if c.super == "" {
+			fmt.Fprintf(&b, "Class %s (\n", name)
+		} else {
+			fmt.Fprintf(&b, "Subclass %s of %s (\n", name, c.super)
+		}
+		var attrs []string
+		for j := 0; j < dvaFor[name]; j++ {
+			typ := "string[40]"
+			switch j % 4 {
+			case 1:
+				typ = "integer"
+			case 2:
+				typ = "number[9,2]"
+			case 3:
+				typ = "date"
+			}
+			opts := ""
+			if j == 0 && c.super == "" {
+				opts = " unique required"
+			}
+			// Attribute names carry the class name: a subclass may not
+			// shadow an inherited attribute (§3.2).
+			attrs = append(attrs, fmt.Sprintf("  %s-attr%02d: %s%s", name, j, typ, opts))
+		}
+		attrs = append(attrs, evasFor[name]...)
+		for i, e := range evasFor[name] {
+			attrs[len(attrs)-len(evasFor[name])+i] = "  " + e
+		}
+		if len(c.children) > 0 {
+			attrs = append(attrs, fmt.Sprintf("  %s-roles: subrole (%s) mv", name, strings.Join(c.children, ", ")))
+		}
+		b.WriteString(strings.Join(attrs, ";\n"))
+		b.WriteString(" );\n\n")
+	}
+	for _, name := range order {
+		emit(name)
+	}
+	return b.String()
+}

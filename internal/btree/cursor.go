@@ -1,0 +1,147 @@
+package btree
+
+import (
+	"bytes"
+
+	"sim/internal/pager"
+)
+
+// Cursor iterates key/value pairs in ascending key order. It snapshots one
+// leaf at a time, so the tree may be read (but not mutated) concurrently;
+// the executor materializes update target lists before mutating.
+type Cursor struct {
+	t      *Tree
+	keys   [][]byte
+	vals   [][]byte
+	i      int
+	next   pager.PageID
+	valid  bool
+	err    error
+	prefix []byte // non-nil: iteration stops when keys leave this prefix
+}
+
+// First returns a cursor positioned at the smallest key.
+func (t *Tree) First() (*Cursor, error) { return t.Seek(nil) }
+
+// Seek returns a cursor positioned at the first key >= key.
+func (t *Tree) Seek(key []byte) (*Cursor, error) {
+	c := &Cursor{t: t}
+	id := t.root
+	for {
+		f, err := t.a.Get(id)
+		if err != nil {
+			return nil, err
+		}
+		n := node{f}
+		if err := n.check(); err != nil {
+			t.a.Release(f)
+			return nil, err
+		}
+		if !n.isLeaf() {
+			_, child := route(n, key)
+			t.a.Release(f)
+			id = child
+			continue
+		}
+		i, _ := leafSearch(n, key)
+		if err := c.loadLeaf(n, i); err != nil {
+			t.a.Release(f)
+			return nil, err
+		}
+		t.a.Release(f)
+		break
+	}
+	if !c.valid {
+		c.advanceLeaf()
+	}
+	return c, c.err
+}
+
+// SeekPrefix returns a cursor over exactly the keys beginning with prefix.
+func (t *Tree) SeekPrefix(prefix []byte) (*Cursor, error) {
+	c, err := t.Seek(prefix)
+	if err != nil {
+		return nil, err
+	}
+	c.prefix = append([]byte(nil), prefix...)
+	c.checkPrefix()
+	return c, nil
+}
+
+// loadLeaf snapshots leaf n's cells from position i on.
+func (c *Cursor) loadLeaf(n node, i int) error {
+	c.keys = c.keys[:0]
+	c.vals = c.vals[:0]
+	c.i = 0
+	c.next = n.next()
+	nc := n.nCells()
+	for j := i; j < nc; j++ {
+		c.keys = append(c.keys, append([]byte(nil), n.leafKey(j)...))
+		inline, ovf, total := n.leafValueInfo(j)
+		if ovf == pager.Invalid {
+			c.vals = append(c.vals, append([]byte(nil), inline...))
+		} else {
+			v, err := c.t.readOverflow(ovf, total)
+			if err != nil {
+				return err
+			}
+			c.vals = append(c.vals, v)
+		}
+	}
+	c.valid = len(c.keys) > 0
+	return nil
+}
+
+// advanceLeaf walks the sibling chain until a non-empty leaf is found.
+func (c *Cursor) advanceLeaf() {
+	for c.next != pager.Invalid {
+		f, err := c.t.a.Get(c.next)
+		if err != nil {
+			c.err = err
+			c.valid = false
+			return
+		}
+		n := node{f}
+		err = c.loadLeaf(n, 0)
+		c.t.a.Release(f)
+		if err != nil {
+			c.err = err
+			c.valid = false
+			return
+		}
+		if c.valid {
+			return
+		}
+	}
+	c.valid = false
+}
+
+// Valid reports whether the cursor is positioned on an entry.
+func (c *Cursor) Valid() bool { return c.valid && c.err == nil }
+
+// Err returns the first error encountered while iterating.
+func (c *Cursor) Err() error { return c.err }
+
+// Key returns the current key (valid until Next).
+func (c *Cursor) Key() []byte { return c.keys[c.i] }
+
+// Value returns the current value (valid until Next).
+func (c *Cursor) Value() []byte { return c.vals[c.i] }
+
+// Next advances the cursor.
+func (c *Cursor) Next() {
+	if !c.Valid() {
+		return
+	}
+	c.i++
+	if c.i >= len(c.keys) {
+		c.advanceLeaf()
+	}
+	c.checkPrefix()
+}
+
+func (c *Cursor) checkPrefix() {
+	if c.prefix != nil && c.Valid() && !bytes.HasPrefix(c.Key(), c.prefix) {
+		c.valid = false
+	}
+}

@@ -1,0 +1,117 @@
+package btree
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"sim/internal/pager"
+)
+
+// bigKey produces ~300-byte keys so leaves hold few cells and interior
+// nodes split after modest volumes, exercising multi-level trees.
+func bigKey(i int) []byte {
+	return []byte(fmt.Sprintf("%0296d-%04d", i, i))
+}
+
+func TestDeepTreeInteriorSplits(t *testing.T) {
+	tr, _ := newTree(t)
+	const n = 400
+	for i := 0; i < n; i++ {
+		if err := tr.Put(bigKey(i), []byte(fmt.Sprintf("v%d", i))); err != nil {
+			t.Fatalf("put %d: %v", i, err)
+		}
+	}
+	// With 300-byte keys a leaf holds ~12 cells and an interior node ~12
+	// separators, so 400 keys force at least three levels (interior
+	// splits included).
+	if h := treeHeight(t, tr); h < 3 {
+		t.Fatalf("tree height = %d, want >= 3 (interior splits untested)", h)
+	}
+	for i := 0; i < n; i++ {
+		v, ok, err := tr.Get(bigKey(i))
+		if err != nil || !ok || string(v) != fmt.Sprintf("v%d", i) {
+			t.Fatalf("get %d = %q %v %v", i, v, ok, err)
+		}
+	}
+	// Ordered full scan.
+	c, err := tr.First()
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	var prev []byte
+	for ; c.Valid(); c.Next() {
+		if prev != nil && bytes.Compare(prev, c.Key()) >= 0 {
+			t.Fatal("scan out of order")
+		}
+		prev = append(prev[:0], c.Key()...)
+		count++
+	}
+	if count != n {
+		t.Fatalf("scan = %d keys, want %d", count, n)
+	}
+}
+
+func TestDeepTreeRandomizedBigKeys(t *testing.T) {
+	tr, _ := newTree(t)
+	oracle := map[int]string{}
+	r := rand.New(rand.NewSource(11))
+	for op := 0; op < 3000; op++ {
+		k := r.Intn(500)
+		switch r.Intn(3) {
+		case 0, 1:
+			v := fmt.Sprintf("val-%d", op)
+			if err := tr.Put(bigKey(k), []byte(v)); err != nil {
+				t.Fatal(err)
+			}
+			oracle[k] = v
+		case 2:
+			ok, err := tr.Delete(bigKey(k))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, present := oracle[k]; present != ok {
+				t.Fatalf("delete mismatch at op %d", op)
+			}
+			delete(oracle, k)
+		}
+	}
+	for k, want := range oracle {
+		v, ok, err := tr.Get(bigKey(k))
+		if err != nil || !ok || string(v) != want {
+			t.Fatalf("get %d = %q %v %v, want %q", k, v, ok, err, want)
+		}
+	}
+	if h := treeHeight(t, tr); h < 3 {
+		t.Errorf("tree height = %d, want >= 3", h)
+	}
+}
+
+// treeHeight walks the leftmost spine.
+func treeHeight(t *testing.T, tr *Tree) int {
+	t.Helper()
+	h := 0
+	id := tr.root
+	for {
+		f, err := tr.a.Get(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := node{f}
+		h++
+		if n.isLeaf() {
+			tr.a.Release(f)
+			return h
+		}
+		var next pager.PageID
+		if n.nCells() > 0 {
+			next = n.interiorChild(0)
+		} else {
+			next = n.next()
+		}
+		tr.a.Release(f)
+		id = next
+	}
+}

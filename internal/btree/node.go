@@ -1,0 +1,264 @@
+// Package btree implements a clustered B+tree over the page pool:
+// variable-length keys and values in slotted pages, leaf sibling chains for
+// range scans, and overflow chains for large values. Every dataset and
+// index of the DMSII-like substrate is one such tree.
+package btree
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"sim/internal/pager"
+)
+
+// Alloc provides page allocation and access; internal/dmsii implements it
+// over the buffer pool plus a persistent freelist.
+type Alloc interface {
+	// AllocPage returns a pinned, zeroed page.
+	AllocPage() (*pager.Frame, error)
+	// FreePage returns a page to the allocator.
+	FreePage(id pager.PageID) error
+	// Get pins an existing page.
+	Get(id pager.PageID) (*pager.Frame, error)
+	// Release unpins a page.
+	Release(f *pager.Frame)
+	// MarkDirty records mutation of a pinned page.
+	MarkDirty(f *pager.Frame)
+}
+
+// Limits. A cell (key + inline value + bookkeeping) never exceeds
+// maxCell, guaranteeing at least 3 cells per page; larger values spill to
+// overflow pages.
+const (
+	headerSize   = 9
+	maxKey       = 400
+	maxInlineVal = 600
+	maxCell      = maxKey + maxInlineVal + 16
+)
+
+// Page flags.
+const (
+	flagLeaf     = 1
+	flagInterior = 2
+	flagOverflow = 3
+)
+
+// Node header accessors. Layout:
+//
+//	0     flags
+//	1:3   ncells (uint16)
+//	3:7   next (leaf: right sibling; interior: rightmost child)
+//	7:9   cellsStart (uint16): low end of the cell content area
+//
+// followed by the cell pointer array (2 bytes per cell); cell contents grow
+// downward from the end of the page.
+type node struct {
+	f *pager.Frame
+}
+
+func (n node) data() []byte { return n.f.Data }
+
+func (n node) flags() byte  { return n.data()[0] }
+func (n node) isLeaf() bool { return n.flags() == flagLeaf }
+func (n node) nCells() int  { return int(binary.BigEndian.Uint16(n.data()[1:3])) }
+func (n node) next() pager.PageID {
+	return pager.PageID(binary.BigEndian.Uint32(n.data()[3:7]))
+}
+func (n node) cellsStart() int { return int(binary.BigEndian.Uint16(n.data()[7:9])) }
+
+func (n node) setFlags(b byte) { n.data()[0] = b }
+func (n node) setNCells(v int) { binary.BigEndian.PutUint16(n.data()[1:3], uint16(v)) }
+func (n node) setNext(id pager.PageID) {
+	binary.BigEndian.PutUint32(n.data()[3:7], uint32(id))
+}
+func (n node) setCellsStart(v int) { binary.BigEndian.PutUint16(n.data()[7:9], uint16(v)) }
+
+func initNode(f *pager.Frame, flags byte) node {
+	n := node{f}
+	n.setFlags(flags)
+	n.setNCells(0)
+	n.setNext(pager.Invalid)
+	n.setCellsStart(pager.PageSize)
+	return n
+}
+
+func (n node) cellPtr(i int) int {
+	off := headerSize + 2*i
+	return int(binary.BigEndian.Uint16(n.data()[off : off+2]))
+}
+
+func (n node) setCellPtr(i, v int) {
+	off := headerSize + 2*i
+	binary.BigEndian.PutUint16(n.data()[off:off+2], uint16(v))
+}
+
+// cellEnd returns the exclusive end offset of cell i's bytes by parsing it.
+func (n node) cellSize(i int) int {
+	b := n.data()[n.cellPtr(i):]
+	if n.isLeaf() {
+		klen, k := binary.Uvarint(b)
+		p := k + int(klen)
+		vkind := b[p]
+		p++
+		vlen, v := binary.Uvarint(b[p:])
+		p += v
+		if vkind == 0 {
+			p += int(vlen)
+		} else {
+			p += 4 // overflow head page id
+		}
+		return p
+	}
+	// interior: child(4) klen key
+	klen, k := binary.Uvarint(b[4:])
+	return 4 + k + int(klen)
+}
+
+// freeSpace is the gap between the cell pointer array and the cell content
+// area (ignoring fragmentation from deleted cells).
+func (n node) freeSpace() int {
+	return n.cellsStart() - (headerSize + 2*n.nCells())
+}
+
+// liveBytes sums the sizes of all live cells.
+func (n node) liveBytes() int {
+	total := 0
+	for i := 0; i < n.nCells(); i++ {
+		total += n.cellSize(i)
+	}
+	return total
+}
+
+// insertCell places cell bytes at index i, compacting the page first when
+// contiguous free space is short but total free space suffices. Returns
+// false when the cell genuinely does not fit.
+func (n node) insertCell(i int, cell []byte) bool {
+	need := len(cell) + 2
+	if n.freeSpace() < need {
+		if headerSize+2*(n.nCells()+1)+n.liveBytes()+len(cell) > pager.PageSize {
+			return false
+		}
+		n.compact()
+		if n.freeSpace() < need {
+			return false
+		}
+	}
+	start := n.cellsStart() - len(cell)
+	copy(n.data()[start:], cell)
+	nc := n.nCells()
+	// Shift pointers [i:nc) right by one slot.
+	copy(n.data()[headerSize+2*(i+1):headerSize+2*(nc+1)], n.data()[headerSize+2*i:headerSize+2*nc])
+	n.setCellPtr(i, start)
+	n.setNCells(nc + 1)
+	n.setCellsStart(start)
+	return true
+}
+
+// deleteCell removes the pointer for cell i; its bytes become fragmentation
+// reclaimed by the next compact.
+func (n node) deleteCell(i int) {
+	nc := n.nCells()
+	copy(n.data()[headerSize+2*i:headerSize+2*(nc-1)], n.data()[headerSize+2*(i+1):headerSize+2*nc])
+	n.setNCells(nc - 1)
+}
+
+// compact rewrites all live cells contiguously at the end of the page,
+// reclaiming fragmentation left by deleted cells.
+func (n node) compact() {
+	nc := n.nCells()
+	cells := make([][]byte, nc)
+	for i := 0; i < nc; i++ {
+		sz := n.cellSize(i)
+		c := make([]byte, sz)
+		copy(c, n.data()[n.cellPtr(i):n.cellPtr(i)+sz])
+		cells[i] = c
+	}
+	w := pager.PageSize
+	for i := 0; i < nc; i++ {
+		w -= len(cells[i])
+		copy(n.data()[w:], cells[i])
+		n.setCellPtr(i, w)
+	}
+	n.setCellsStart(w)
+}
+
+// leafCell builds a leaf cell for an inline value.
+func leafCell(key, val []byte) []byte {
+	cell := binary.AppendUvarint(nil, uint64(len(key)))
+	cell = append(cell, key...)
+	cell = append(cell, 0) // inline
+	cell = binary.AppendUvarint(cell, uint64(len(val)))
+	return append(cell, val...)
+}
+
+// leafCellOverflow builds a leaf cell referencing an overflow chain.
+func leafCellOverflow(key []byte, totalLen int, head pager.PageID) []byte {
+	cell := binary.AppendUvarint(nil, uint64(len(key)))
+	cell = append(cell, key...)
+	cell = append(cell, 1) // overflow
+	cell = binary.AppendUvarint(cell, uint64(totalLen))
+	var idb [4]byte
+	binary.BigEndian.PutUint32(idb[:], uint32(head))
+	return append(cell, idb[:]...)
+}
+
+// interiorCell builds an interior cell (child, key): child holds keys
+// strictly less than key.
+func interiorCell(child pager.PageID, key []byte) []byte {
+	cell := make([]byte, 4, 4+len(key)+4)
+	binary.BigEndian.PutUint32(cell, uint32(child))
+	cell = binary.AppendUvarint(cell, uint64(len(key)))
+	return append(cell, key...)
+}
+
+// leafKey returns the key bytes of leaf cell i (aliasing the page).
+func (n node) leafKey(i int) []byte {
+	b := n.data()[n.cellPtr(i):]
+	klen, k := binary.Uvarint(b)
+	return b[k : k+int(klen)]
+}
+
+// leafValueInfo parses leaf cell i's value descriptor.
+func (n node) leafValueInfo(i int) (inline []byte, overflow pager.PageID, totalLen int) {
+	b := n.data()[n.cellPtr(i):]
+	klen, k := binary.Uvarint(b)
+	p := k + int(klen)
+	vkind := b[p]
+	p++
+	vlen, v := binary.Uvarint(b[p:])
+	p += v
+	if vkind == 0 {
+		return b[p : p+int(vlen)], pager.Invalid, int(vlen)
+	}
+	return nil, pager.PageID(binary.BigEndian.Uint32(b[p : p+4])), int(vlen)
+}
+
+// interiorKey returns the key of interior cell i.
+func (n node) interiorKey(i int) []byte {
+	b := n.data()[n.cellPtr(i)+4:]
+	klen, k := binary.Uvarint(b)
+	return b[k : k+int(klen)]
+}
+
+// interiorChild returns the child pointer of interior cell i.
+func (n node) interiorChild(i int) pager.PageID {
+	off := n.cellPtr(i)
+	return pager.PageID(binary.BigEndian.Uint32(n.data()[off : off+4]))
+}
+
+func (n node) setInteriorChild(i int, id pager.PageID) {
+	off := n.cellPtr(i)
+	binary.BigEndian.PutUint32(n.data()[off:off+4], uint32(id))
+}
+
+// rawCell returns the raw bytes of cell i (aliasing the page).
+func (n node) rawCell(i int) []byte {
+	return n.data()[n.cellPtr(i) : n.cellPtr(i)+n.cellSize(i)]
+}
+
+func (n node) check() error {
+	if f := n.flags(); f != flagLeaf && f != flagInterior {
+		return fmt.Errorf("btree: page %d has flags %d, not a tree node", n.f.ID, f)
+	}
+	return nil
+}

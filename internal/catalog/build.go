@@ -1,0 +1,456 @@
+package catalog
+
+import (
+	"fmt"
+	"strings"
+
+	"sim/internal/ast"
+)
+
+// Build validates an AST schema and constructs the catalog. It implements
+// the structural rules of §3: the interclass graph must be acyclic (followed
+// here by construction, since a superclass must be declared before its
+// subclasses), the ancestor set of any class contains at most one base
+// class, inverses are paired or auto-created, and every class with
+// subclasses carries a subrole attribute enumerating them.
+func Build(schema *ast.Schema) (*Catalog, error) {
+	c := New()
+	if err := c.Extend(schema); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// Extend adds the declarations of schema to the catalog, then re-validates.
+// It allows a database to grow its schema over multiple DDL texts.
+func (c *Catalog) Extend(schema *ast.Schema) error {
+	// Pass 1: user types and class shells.
+	var classDecls []*ast.ClassDecl
+	var verifyDecls []*ast.VerifyDecl
+	for _, d := range schema.Decls {
+		switch d := d.(type) {
+		case *ast.TypeDecl:
+			if err := c.addType(d); err != nil {
+				return err
+			}
+		case *ast.ClassDecl:
+			if err := c.addClassShell(d); err != nil {
+				return err
+			}
+			classDecls = append(classDecls, d)
+		case *ast.VerifyDecl:
+			verifyDecls = append(verifyDecls, d)
+		}
+	}
+	// Pass 2: attributes (EVA ranges may reference any class declared in
+	// this or an earlier batch, including forward references within the
+	// batch).
+	for _, d := range classDecls {
+		if err := c.addAttrs(d); err != nil {
+			return err
+		}
+	}
+	// Pass 3: inverse pairing and auto-creation.
+	for _, d := range classDecls {
+		cl := c.Class(d.Name)
+		for _, a := range cl.Attrs {
+			if a.Kind == EVA && a.Inverse == nil {
+				if err := c.pairInverse(cl, a, d); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	// Pass 4: subrole validation. §3.2's rule — every class with
+	// subclasses declares a subrole covering them — is enforced strictly
+	// for classes declared in this batch. A class from an earlier batch
+	// that gains subclasses cannot amend its declaration, so it receives a
+	// system-maintained implicit subrole for the additions (readable
+	// through the explicit subroles it already has, or not at all).
+	newHere := make(map[*Class]bool)
+	for _, d := range classDecls {
+		newHere[c.Class(d.Name)] = true
+	}
+	for _, cl := range c.classList {
+		if err := c.checkSubroles(cl, newHere[cl]); err != nil {
+			return err
+		}
+	}
+	// Pass 5: verify declarations (expression binding is deferred to the
+	// integrity analyzer, which needs the query binder).
+	for _, d := range verifyDecls {
+		cl := c.Class(d.Class)
+		if cl == nil {
+			return fmt.Errorf("verify %s: unknown class %q", d.Name, d.Class)
+		}
+		v := &Verify{Name: d.Name, Class: cl, Assert: d.Assert, ElseMsg: d.ElseMsg}
+		cl.Verifies = append(cl.Verifies, v)
+		c.verifies = append(c.verifies, v)
+	}
+	return nil
+}
+
+func (c *Catalog) addType(d *ast.TypeDecl) error {
+	key := strings.ToLower(d.Name)
+	if _, dup := c.types[key]; dup {
+		return fmt.Errorf("type %q declared twice", d.Name)
+	}
+	if _, dup := c.classes[key]; dup {
+		return fmt.Errorf("type %q collides with a class name", d.Name)
+	}
+	t, err := c.resolveType(d.Def)
+	if err != nil {
+		return fmt.Errorf("type %s: %w", d.Name, err)
+	}
+	named := *t
+	named.Name = d.Name
+	c.types[key] = &named
+	return nil
+}
+
+func (c *Catalog) addClassShell(d *ast.ClassDecl) error {
+	key := strings.ToLower(d.Name)
+	if _, dup := c.classes[key]; dup {
+		return fmt.Errorf("class %q declared twice", d.Name)
+	}
+	if _, dup := c.types[key]; dup {
+		return fmt.Errorf("class %q collides with a type name", d.Name)
+	}
+	cl := &Class{
+		ID:     len(c.classList),
+		Name:   d.Name,
+		byName: make(map[string]*Attribute),
+	}
+	if len(d.Supers) == 0 {
+		cl.Base = cl
+	} else {
+		seen := map[string]bool{}
+		for _, sn := range d.Supers {
+			if seen[strings.ToLower(sn)] {
+				return fmt.Errorf("class %s: duplicate superclass %q", d.Name, sn)
+			}
+			seen[strings.ToLower(sn)] = true
+			sup := c.Class(sn)
+			if sup == nil {
+				return fmt.Errorf("class %s: superclass %q is not declared (superclasses must precede subclasses)", d.Name, sn)
+			}
+			cl.Supers = append(cl.Supers, sup)
+		}
+		// §3.1: the ancestor set must contain at most one base class.
+		base := cl.Supers[0].Base
+		for _, sup := range cl.Supers[1:] {
+			if sup.Base != base {
+				return fmt.Errorf("class %s: ancestors span two base classes (%s and %s); a class may have at most one base-class ancestor", d.Name, base.Name, sup.Base.Name)
+			}
+		}
+		cl.Base = base
+		for _, sup := range cl.Supers {
+			sup.Subs = append(sup.Subs, cl)
+		}
+	}
+	c.classes[key] = cl
+	c.classList = append(c.classList, cl)
+	return nil
+}
+
+func (c *Catalog) addAttrs(d *ast.ClassDecl) error {
+	cl := c.Class(d.Name)
+	for i := range d.Attrs {
+		ad := &d.Attrs[i]
+		if err := c.addAttr(cl, ad); err != nil {
+			return fmt.Errorf("class %s: %w", cl.Name, err)
+		}
+	}
+	return nil
+}
+
+func (c *Catalog) addAttr(cl *Class, ad *ast.AttrDecl) error {
+	key := strings.ToLower(ad.Name)
+	if _, dup := cl.byName[key]; dup {
+		return fmt.Errorf("attribute %q declared twice", ad.Name)
+	}
+	// Inherited-name shadowing is disallowed: the attribute namespace of a
+	// class unifies immediate and inherited names (§3.2).
+	for _, anc := range Ancestors(cl) {
+		if a := anc.Attr(ad.Name); a != nil && !a.Implicit {
+			return fmt.Errorf("attribute %q already inherited from %s", ad.Name, anc.Name)
+		}
+	}
+	a := &Attribute{
+		ID:    c.nextAttr,
+		Name:  ad.Name,
+		Owner: cl,
+		Options: Options{
+			Required: ad.Options.Required,
+			Unique:   ad.Options.Unique,
+			MV:       ad.Options.MV,
+			Distinct: ad.Options.Distinct,
+			Max:      ad.Options.Max,
+		},
+	}
+	c.nextAttr++
+
+	if ad.Derived != nil {
+		a.Kind = Derived
+		a.Expr = ad.Derived
+		if ad.Options.Required || ad.Options.Unique || ad.Options.MV {
+			return fmt.Errorf("attribute %s: options do not apply to derived attributes", ad.Name)
+		}
+		cl.byName[key] = a
+		cl.Attrs = append(cl.Attrs, a)
+		return nil
+	}
+
+	switch t := ad.Type.(type) {
+	case *ast.SubroleType:
+		a.Kind = Subrole
+		for _, name := range t.Classes {
+			sub := c.Class(name)
+			if sub == nil {
+				return fmt.Errorf("attribute %s: subrole names unknown class %q", ad.Name, name)
+			}
+			a.SubroleOf = append(a.SubroleOf, sub)
+		}
+		if ad.Inverse != "" {
+			return fmt.Errorf("attribute %s: a subrole cannot declare an inverse", ad.Name)
+		}
+	case *ast.NamedType:
+		// A named type is either a user type (DVA) or a class (EVA).
+		if ut := c.Type(t.Name); ut != nil {
+			a.Kind = DVA
+			a.Type = ut
+		} else if rng := c.Class(t.Name); rng != nil {
+			a.Kind = EVA
+			a.Range = rng
+		} else {
+			return fmt.Errorf("attribute %s: %q is neither a type nor a class", ad.Name, t.Name)
+		}
+		if a.Kind == DVA && ad.Inverse != "" {
+			return fmt.Errorf("attribute %s: a data-valued attribute cannot declare an inverse", ad.Name)
+		}
+	default:
+		dt, err := c.resolveType(ad.Type)
+		if err != nil {
+			return fmt.Errorf("attribute %s: %w", ad.Name, err)
+		}
+		a.Kind = DVA
+		a.Type = dt
+		if ad.Inverse != "" {
+			return fmt.Errorf("attribute %s: a data-valued attribute cannot declare an inverse", ad.Name)
+		}
+	}
+
+	// Option sanity (§3.2.1).
+	if !a.Options.MV {
+		if a.Options.Distinct {
+			return fmt.Errorf("attribute %s: DISTINCT requires MV", ad.Name)
+		}
+		if a.Options.Max != 0 {
+			return fmt.Errorf("attribute %s: MAX requires MV", ad.Name)
+		}
+	}
+	if a.Options.Unique {
+		if a.Kind != DVA {
+			return fmt.Errorf("attribute %s: UNIQUE applies only to data-valued attributes", ad.Name)
+		}
+		if a.Options.MV {
+			return fmt.Errorf("attribute %s: UNIQUE applies only to single-valued attributes", ad.Name)
+		}
+	}
+	if a.Kind == Subrole && a.Options.Required {
+		return fmt.Errorf("attribute %s: a subrole is system-maintained and cannot be REQUIRED", ad.Name)
+	}
+	// EVAs are implicitly distinct: an entity cannot be related to the
+	// same entity twice through one EVA instance set.
+	if a.Kind == EVA && a.Options.MV {
+		a.Options.Distinct = true
+	}
+
+	// Stash the declared inverse name for pass 3 in a side map.
+	if ad.Inverse != "" {
+		c.pendingInverse(cl, a, ad.Inverse)
+	}
+
+	cl.byName[key] = a
+	cl.Attrs = append(cl.Attrs, a)
+	return nil
+}
+
+// pendingKey identifies an attribute whose declared inverse name awaits
+// pairing in pass 3.
+type pendingKey struct {
+	class *Class
+	attr  *Attribute
+}
+
+func (c *Catalog) pendingInverse(cl *Class, a *Attribute, name string) {
+	if c.pending == nil {
+		c.pending = make(map[pendingKey]string)
+	}
+	c.pending[pendingKey{cl, a}] = name
+}
+
+func (c *Catalog) declaredInverse(cl *Class, a *Attribute) string {
+	return c.pending[pendingKey{cl, a}]
+}
+
+// pairInverse resolves the inverse of EVA a on class cl (§3.2: "SIM
+// automatically maintains the inverse of every declared EVA").
+func (c *Catalog) pairInverse(cl *Class, a *Attribute, d *ast.ClassDecl) error {
+	invName := c.declaredInverse(cl, a)
+
+	// Self-inverse: spouse: person inverse is spouse.
+	if invName != "" && strings.EqualFold(invName, a.Name) && a.Range == cl {
+		a.Inverse = a
+		return nil
+	}
+
+	if invName != "" {
+		// Look for the named attribute on the range class.
+		if inv := ResolveAttr(a.Range, invName); inv != nil {
+			if inv.Kind != EVA {
+				return fmt.Errorf("class %s: inverse of %s names %s, which is not entity-valued", cl.Name, a.Name, inv)
+			}
+			if !IsAncestor(inv.Range, cl) && !IsAncestor(cl, inv.Range) {
+				return fmt.Errorf("class %s: inverse pair %s / %s have mismatched ranges (%s vs %s)", cl.Name, a.Name, inv.Name, inv.Range.Name, cl.Name)
+			}
+			if declared := c.declaredInverse(inv.Owner, inv); declared != "" && !strings.EqualFold(declared, a.Name) {
+				return fmt.Errorf("class %s: %s declares inverse %s, but %s declares inverse %s", cl.Name, a.Name, invName, inv, declared)
+			}
+			if inv.Inverse != nil && inv.Inverse != a {
+				return fmt.Errorf("class %s: %s is already the inverse of %s", cl.Name, inv, inv.Inverse)
+			}
+			a.Inverse = inv
+			inv.Inverse = a
+			return nil
+		}
+		// Auto-create a user-named inverse on the range class.
+		inv := &Attribute{
+			ID:      c.nextAttr,
+			Name:    invName,
+			Owner:   a.Range,
+			Kind:    EVA,
+			Range:   cl,
+			Inverse: a,
+			Options: Options{MV: true, Distinct: true},
+		}
+		c.nextAttr++
+		if _, dup := a.Range.byName[strings.ToLower(invName)]; dup {
+			return fmt.Errorf("class %s: cannot create inverse %q on %s: name already in use", cl.Name, invName, a.Range.Name)
+		}
+		a.Range.byName[strings.ToLower(invName)] = inv
+		a.Range.Attrs = append(a.Range.Attrs, inv)
+		a.Inverse = inv
+		return nil
+	}
+
+	// No inverse declared anywhere: create an implicit, unnamed inverse,
+	// reachable only through INVERSE(<eva>).
+	inv := &Attribute{
+		ID:       c.nextAttr,
+		Name:     "~inverse-of-" + strings.ToLower(cl.Name) + "-" + strings.ToLower(a.Name),
+		Owner:    a.Range,
+		Kind:     EVA,
+		Range:    cl,
+		Inverse:  a,
+		Options:  Options{MV: true, Distinct: true},
+		Implicit: true,
+	}
+	c.nextAttr++
+	a.Range.byName[strings.ToLower(inv.Name)] = inv
+	a.Range.Attrs = append(a.Range.Attrs, inv)
+	a.Inverse = inv
+	return nil
+}
+
+// checkSubroles enforces §3.2: every class with subclasses must declare a
+// subrole attribute whose value set contains the names of all its immediate
+// subclasses, and subrole attributes may only enumerate immediate
+// subclasses. When strict is false (the class predates this schema batch),
+// uncovered subclasses are absorbed into an implicit subrole instead.
+func (c *Catalog) checkSubroles(cl *Class, strict bool) error {
+	covered := make(map[*Class]bool)
+	var implicit *Attribute
+	for _, a := range cl.Attrs {
+		if a.Kind != Subrole {
+			continue
+		}
+		if a.Implicit {
+			implicit = a
+		}
+		for _, sc := range a.SubroleOf {
+			isImmediate := false
+			for _, sub := range cl.Subs {
+				if sub == sc {
+					isImmediate = true
+					break
+				}
+			}
+			if !isImmediate {
+				return fmt.Errorf("class %s: subrole %s names %s, which is not an immediate subclass", cl.Name, a.Name, sc.Name)
+			}
+			covered[sc] = true
+		}
+	}
+	var uncovered []*Class
+	for _, sub := range cl.Subs {
+		if !covered[sub] {
+			uncovered = append(uncovered, sub)
+		}
+	}
+	if len(uncovered) == 0 {
+		return nil
+	}
+	if strict {
+		return fmt.Errorf("class %s: immediate subclass %s is not covered by any subrole attribute", cl.Name, uncovered[0].Name)
+	}
+	if implicit == nil {
+		implicit = &Attribute{
+			ID:       c.nextAttr,
+			Name:     "~subroles-of-" + strings.ToLower(cl.Name),
+			Owner:    cl,
+			Kind:     Subrole,
+			Options:  Options{MV: true},
+			Implicit: true,
+		}
+		c.nextAttr++
+		cl.byName[implicit.Name] = implicit
+		cl.Attrs = append(cl.Attrs, implicit)
+	}
+	implicit.SubroleOf = append(implicit.SubroleOf, uncovered...)
+	return nil
+}
+
+func (c *Catalog) resolveType(te ast.TypeExpr) (*DataType, error) {
+	switch t := te.(type) {
+	case *ast.IntType:
+		return &DataType{Kind: TInt, IntRanges: t.Ranges}, nil
+	case *ast.NumberType:
+		return &DataType{Kind: TNumber, Precision: t.Precision, Scale: t.Scale}, nil
+	case *ast.RealType:
+		return &DataType{Kind: TNumber}, nil
+	case *ast.StringType:
+		return &DataType{Kind: TString, StrLen: t.Len}, nil
+	case *ast.DateType:
+		return &DataType{Kind: TDate}, nil
+	case *ast.BoolType:
+		return &DataType{Kind: TBool}, nil
+	case *ast.SymbolicType:
+		dt := &DataType{Kind: TSymbolic, labelOrd: make(map[string]int)}
+		for _, lbl := range t.Labels {
+			key := strings.ToLower(lbl)
+			if _, dup := dt.labelOrd[key]; dup {
+				return nil, fmt.Errorf("symbolic label %q repeated", lbl)
+			}
+			dt.labelOrd[key] = len(dt.Labels)
+			dt.Labels = append(dt.Labels, lbl)
+		}
+		return dt, nil
+	case *ast.NamedType:
+		if ut := c.Type(t.Name); ut != nil {
+			return ut, nil
+		}
+		return nil, fmt.Errorf("unknown type %q", t.Name)
+	}
+	return nil, fmt.Errorf("unsupported type syntax %T", te)
+}

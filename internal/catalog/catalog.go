@@ -1,0 +1,383 @@
+// Package catalog implements SIM's Directory Manager (Figure 1): the
+// in-memory schema catalog describing classes, the generalization DAG,
+// attributes (data-valued, entity-valued and subrole), user types, and
+// class integrity assertions.
+package catalog
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"sim/internal/ast"
+	"sim/internal/value"
+)
+
+// Catalog is a validated SIM schema.
+type Catalog struct {
+	classes   map[string]*Class // keyed by lower-case name
+	classList []*Class          // in declaration order
+	types     map[string]*DataType
+	verifies  []*Verify
+	nextAttr  int
+	pending   map[pendingKey]string // declared inverse names awaiting pairing
+}
+
+// New returns an empty catalog.
+func New() *Catalog {
+	return &Catalog{
+		classes: make(map[string]*Class),
+		types:   make(map[string]*DataType),
+	}
+}
+
+// Class is a base class or subclass (§3.1).
+type Class struct {
+	ID     int
+	Name   string   // as declared
+	Supers []*Class // immediate superclasses; empty for a base class
+	Subs   []*Class // immediate subclasses
+	Base   *Class   // the unique base-class ancestor (itself for a base class)
+	Attrs  []*Attribute
+	byName map[string]*Attribute // immediate attributes, lower-case
+
+	Verifies []*Verify // assertions whose perspective is this class
+}
+
+// IsBase reports whether the class is a base class.
+func (c *Class) IsBase() bool { return len(c.Supers) == 0 }
+
+func (c *Class) String() string { return c.Name }
+
+// Attr returns the immediate attribute with the given name, or nil.
+func (c *Class) Attr(name string) *Attribute { return c.byName[strings.ToLower(name)] }
+
+// AttrKind distinguishes the three attribute varieties.
+type AttrKind int
+
+// Attribute kinds.
+const (
+	DVA     AttrKind = iota // data-valued
+	EVA                     // entity-valued
+	Subrole                 // system-maintained role enumeration
+	Derived                 // computed from other attributes (§6)
+)
+
+func (k AttrKind) String() string {
+	return [...]string{"DVA", "EVA", "subrole", "derived"}[k]
+}
+
+// Options are the attribute options of §3.2.1.
+type Options struct {
+	Required bool
+	Unique   bool
+	MV       bool
+	Distinct bool
+	Max      int // 0 = unbounded
+}
+
+// Attribute is one immediate attribute of a class.
+type Attribute struct {
+	ID      int
+	Name    string
+	Owner   *Class
+	Kind    AttrKind
+	Type    *DataType  // for DVA; nil otherwise
+	Range   *Class     // for EVA; nil otherwise
+	Inverse *Attribute // for EVA; always non-nil after Finalize
+	Options Options
+
+	// Implicit marks a system-generated inverse that has no user-visible
+	// name; it is reachable only through INVERSE(<eva>) in DML.
+	Implicit bool
+
+	// SubroleOf lists the classes enumerated by a subrole attribute.
+	SubroleOf []*Class
+
+	// Expr is the defining expression of a derived attribute, kept in AST
+	// form and expanded by the query binder at each reference (qualified
+	// macro semantics).
+	Expr ast.Expr
+}
+
+func (a *Attribute) String() string { return a.Owner.Name + "." + a.Name }
+
+// Verify is a class integrity assertion (§3.3). The assertion expression is
+// kept in AST form; the integrity module binds it against the catalog.
+type Verify struct {
+	Name    string
+	Class   *Class
+	Assert  ast.Expr
+	ElseMsg string
+	// Triggers lists the attribute names (lower-case) whose mutation can
+	// violate the assertion; filled in by the integrity analyzer.
+	Triggers map[string]bool
+}
+
+// TypeKind enumerates data types.
+type TypeKind int
+
+// Data type kinds.
+const (
+	TInt TypeKind = iota
+	TNumber
+	TString
+	TDate
+	TBool
+	TSymbolic
+)
+
+func (k TypeKind) String() string {
+	return [...]string{"integer", "number", "string", "date", "boolean", "symbolic"}[k]
+}
+
+// DataType is a resolved attribute type with its constraints.
+type DataType struct {
+	Kind      TypeKind
+	Name      string // user-type name; empty for anonymous types
+	IntRanges [][2]int64
+	StrLen    int // 0 = unbounded
+	Precision int
+	Scale     int
+	Labels    []string
+	labelOrd  map[string]int
+}
+
+func (t *DataType) String() string {
+	if t.Name != "" {
+		return t.Name
+	}
+	switch t.Kind {
+	case TInt:
+		if len(t.IntRanges) > 0 {
+			parts := make([]string, len(t.IntRanges))
+			for i, r := range t.IntRanges {
+				parts[i] = fmt.Sprintf("%d..%d", r[0], r[1])
+			}
+			return "integer(" + strings.Join(parts, ",") + ")"
+		}
+		return "integer"
+	case TNumber:
+		if t.Precision > 0 {
+			return fmt.Sprintf("number[%d,%d]", t.Precision, t.Scale)
+		}
+		return "number"
+	case TString:
+		if t.StrLen > 0 {
+			return fmt.Sprintf("string[%d]", t.StrLen)
+		}
+		return "string"
+	case TSymbolic:
+		return "symbolic(" + strings.Join(t.Labels, ",") + ")"
+	}
+	return t.Kind.String()
+}
+
+// Symbolic returns the symbolic value for label, or an error when the label
+// is not a member of the type.
+func (t *DataType) Symbolic(label string) (value.Value, error) {
+	if t.Kind != TSymbolic {
+		return value.Null, fmt.Errorf("type %s is not symbolic", t)
+	}
+	ord, ok := t.labelOrd[strings.ToLower(label)]
+	if !ok {
+		return value.Null, fmt.Errorf("%q is not a value of %s", label, t)
+	}
+	return value.NewSymbolic(t.Labels[ord], ord), nil
+}
+
+// Coerce converts v to this type, applying integer→number widening, string
+// → symbolic lookup, string → date parsing, and validating constraints.
+// NULL coerces to NULL for any type.
+func (t *DataType) Coerce(v value.Value) (value.Value, error) {
+	if v.IsNull() {
+		return value.Null, nil
+	}
+	switch t.Kind {
+	case TInt:
+		if v.Kind() != value.KindInt {
+			return value.Null, fmt.Errorf("cannot assign %s to %s", v.Kind(), t)
+		}
+		if err := t.checkIntRange(v.Int()); err != nil {
+			return value.Null, err
+		}
+		return v, nil
+	case TNumber:
+		switch v.Kind() {
+		case value.KindInt:
+			v = value.NewNumber(float64(v.Int()))
+		case value.KindNumber:
+		default:
+			return value.Null, fmt.Errorf("cannot assign %s to %s", v.Kind(), t)
+		}
+		return v, nil
+	case TString:
+		if v.Kind() != value.KindString {
+			return value.Null, fmt.Errorf("cannot assign %s to %s", v.Kind(), t)
+		}
+		if t.StrLen > 0 && len(v.Str()) > t.StrLen {
+			return value.Null, fmt.Errorf("string of length %d exceeds %s", len(v.Str()), t)
+		}
+		return v, nil
+	case TDate:
+		switch v.Kind() {
+		case value.KindDate:
+			return v, nil
+		case value.KindString:
+			return value.ParseDate(v.Str())
+		}
+		return value.Null, fmt.Errorf("cannot assign %s to %s", v.Kind(), t)
+	case TBool:
+		if v.Kind() != value.KindBool {
+			return value.Null, fmt.Errorf("cannot assign %s to %s", v.Kind(), t)
+		}
+		return v, nil
+	case TSymbolic:
+		switch v.Kind() {
+		case value.KindSymbolic:
+			// Re-resolve by label so symbolics from other types normalize.
+			return t.Symbolic(v.Str())
+		case value.KindString:
+			return t.Symbolic(v.Str())
+		}
+		return value.Null, fmt.Errorf("cannot assign %s to %s", v.Kind(), t)
+	}
+	return value.Null, fmt.Errorf("unknown type kind %v", t.Kind)
+}
+
+func (t *DataType) checkIntRange(n int64) error {
+	if len(t.IntRanges) == 0 {
+		return nil
+	}
+	for _, r := range t.IntRanges {
+		if n >= r[0] && n <= r[1] {
+			return nil
+		}
+	}
+	return fmt.Errorf("%d is outside the permitted ranges of %s", n, t)
+}
+
+// ---------------------------------------------------------------------------
+// Lookups
+// ---------------------------------------------------------------------------
+
+// Class returns the class with the given (case-insensitive) name, or nil.
+func (c *Catalog) Class(name string) *Class { return c.classes[strings.ToLower(name)] }
+
+// MustClass is Class but returns an error for unknown names.
+func (c *Catalog) MustClass(name string) (*Class, error) {
+	cl := c.Class(name)
+	if cl == nil {
+		return nil, fmt.Errorf("unknown class %q", name)
+	}
+	return cl, nil
+}
+
+// Classes returns all classes in declaration order.
+func (c *Catalog) Classes() []*Class { return c.classList }
+
+// Type returns the user type with the given name, or nil.
+func (c *Catalog) Type(name string) *DataType { return c.types[strings.ToLower(name)] }
+
+// Verifies returns all integrity assertions in declaration order.
+func (c *Catalog) Verifies() []*Verify { return c.verifies }
+
+// Ancestors returns every proper ancestor of cl in the generalization DAG,
+// deduplicated, nearest first (breadth-first).
+func Ancestors(cl *Class) []*Class {
+	var out []*Class
+	seen := map[*Class]bool{cl: true}
+	queue := append([]*Class(nil), cl.Supers...)
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		if seen[n] {
+			continue
+		}
+		seen[n] = true
+		out = append(out, n)
+		queue = append(queue, n.Supers...)
+	}
+	return out
+}
+
+// Descendants returns every proper descendant of cl, breadth-first.
+func Descendants(cl *Class) []*Class {
+	var out []*Class
+	seen := map[*Class]bool{cl: true}
+	queue := append([]*Class(nil), cl.Subs...)
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		if seen[n] {
+			continue
+		}
+		seen[n] = true
+		out = append(out, n)
+		queue = append(queue, n.Subs...)
+	}
+	return out
+}
+
+// IsAncestor reports whether anc is cl or a proper ancestor of cl.
+func IsAncestor(anc, cl *Class) bool {
+	if anc == cl {
+		return true
+	}
+	for _, a := range Ancestors(cl) {
+		if a == anc {
+			return true
+		}
+	}
+	return false
+}
+
+// SameHierarchy reports whether two classes share a base class, i.e. role
+// conversion between them can be meaningful.
+func SameHierarchy(a, b *Class) bool { return a.Base == b.Base }
+
+// ResolveAttr finds the attribute named name on cl, searching immediate
+// attributes first and then every ancestor (§3.2: "an inherited attribute
+// of a subclass can be used in any context where an immediate attribute is
+// allowed"). Implicit inverses are not found by name.
+func ResolveAttr(cl *Class, name string) *Attribute {
+	if a := cl.Attr(name); a != nil && !a.Implicit {
+		return a
+	}
+	for _, anc := range Ancestors(cl) {
+		if a := anc.Attr(name); a != nil && !a.Implicit {
+			return a
+		}
+	}
+	return nil
+}
+
+// AllAttrs returns the immediate and inherited attributes of cl, immediate
+// first, then ancestors nearest-first, skipping implicit inverses and
+// deduplicating diamonds by attribute identity.
+func AllAttrs(cl *Class) []*Attribute {
+	var out []*Attribute
+	seen := make(map[*Attribute]bool)
+	add := func(c *Class) {
+		for _, a := range c.Attrs {
+			if a.Implicit || seen[a] {
+				continue
+			}
+			seen[a] = true
+			out = append(out, a)
+		}
+	}
+	add(cl)
+	for _, anc := range Ancestors(cl) {
+		add(anc)
+	}
+	return out
+}
+
+// HierarchyClasses returns every class sharing base's hierarchy, topological
+// (supers before subs), stable by class ID.
+func HierarchyClasses(base *Class) []*Class {
+	all := append([]*Class{base}, Descendants(base)...)
+	sort.Slice(all, func(i, j int) bool { return all[i].ID < all[j].ID })
+	return all
+}

@@ -1,0 +1,314 @@
+package catalog
+
+import (
+	"strings"
+	"testing"
+
+	"sim/internal/parser"
+	"sim/internal/university"
+)
+
+func buildSchema(t *testing.T, ddl string) *Catalog {
+	t.Helper()
+	sch, err := parser.ParseSchema(ddl)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	cat, err := Build(sch)
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	return cat
+}
+
+func buildErr(t *testing.T, ddl string) error {
+	t.Helper()
+	sch, err := parser.ParseSchema(ddl)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	_, err = Build(sch)
+	if err == nil {
+		t.Fatalf("Build succeeded, want error\n%s", ddl)
+	}
+	return err
+}
+
+func university_(t *testing.T) *Catalog { return buildSchema(t, university.DDL) }
+
+func TestUniversityClasses(t *testing.T) {
+	cat := university_(t)
+	for _, name := range []string{"person", "student", "instructor", "teaching-assistant", "course", "department"} {
+		if cat.Class(name) == nil {
+			t.Errorf("class %q missing", name)
+		}
+	}
+	if got := len(cat.Classes()); got != 6 {
+		t.Errorf("got %d classes, want 6", got)
+	}
+}
+
+func TestUniversityDAG(t *testing.T) {
+	cat := university_(t)
+	person := cat.Class("person")
+	student := cat.Class("student")
+	instructor := cat.Class("instructor")
+	ta := cat.Class("teaching-assistant")
+
+	if !person.IsBase() || student.IsBase() || ta.IsBase() {
+		t.Error("base/subclass classification wrong")
+	}
+	if student.Base != person || ta.Base != person {
+		t.Error("base ancestor tracking wrong")
+	}
+	if len(ta.Supers) != 2 {
+		t.Fatalf("teaching-assistant has %d supers, want 2", len(ta.Supers))
+	}
+	if !IsAncestor(person, ta) || !IsAncestor(student, ta) || !IsAncestor(instructor, ta) {
+		t.Error("IsAncestor of teaching-assistant wrong")
+	}
+	if IsAncestor(ta, person) {
+		t.Error("IsAncestor inverted")
+	}
+	// Diamond dedup: Ancestors(ta) = {student, instructor, person}.
+	anc := Ancestors(ta)
+	if len(anc) != 3 {
+		t.Errorf("Ancestors(ta) = %v, want 3 classes", anc)
+	}
+	desc := Descendants(person)
+	if len(desc) != 3 {
+		t.Errorf("Descendants(person) = %v, want 3 classes", desc)
+	}
+}
+
+func TestUniversityInheritance(t *testing.T) {
+	cat := university_(t)
+	student := cat.Class("student")
+	ta := cat.Class("teaching-assistant")
+
+	// Inherited attribute resolution.
+	if a := ResolveAttr(student, "name"); a == nil || a.Owner != cat.Class("person") {
+		t.Error("student does not inherit name from person")
+	}
+	if a := ResolveAttr(ta, "salary"); a == nil || a.Owner != cat.Class("instructor") {
+		t.Error("teaching-assistant does not inherit salary")
+	}
+	if a := ResolveAttr(ta, "courses-enrolled"); a == nil {
+		t.Error("teaching-assistant does not inherit courses-enrolled")
+	}
+	// Case-insensitive.
+	if ResolveAttr(student, "NAME") == nil {
+		t.Error("attribute lookup is case-sensitive")
+	}
+	// AllAttrs dedups the diamond: person attrs appear once.
+	count := 0
+	for _, a := range AllAttrs(ta) {
+		if strings.EqualFold(a.Name, "name") {
+			count++
+		}
+	}
+	if count != 1 {
+		t.Errorf("name appears %d times in AllAttrs(ta), want 1", count)
+	}
+}
+
+func TestUniversityInversePairs(t *testing.T) {
+	cat := university_(t)
+	advisor := ResolveAttr(cat.Class("student"), "advisor")
+	advisees := ResolveAttr(cat.Class("instructor"), "advisees")
+	if advisor == nil || advisees == nil {
+		t.Fatal("advisor/advisees missing")
+	}
+	if advisor.Inverse != advisees || advisees.Inverse != advisor {
+		t.Error("advisor/advisees not paired")
+	}
+	// many:1 with max 10 advisees.
+	if advisor.Options.MV {
+		t.Error("advisor should be single-valued")
+	}
+	if !advisees.Options.MV || advisees.Options.Max != 10 {
+		t.Errorf("advisees options wrong: %+v", advisees.Options)
+	}
+
+	// Self-inverse spouse (1:1).
+	spouse := ResolveAttr(cat.Class("person"), "spouse")
+	if spouse == nil || spouse.Inverse != spouse {
+		t.Error("spouse is not its own inverse")
+	}
+
+	// Reflexive pair on one class.
+	prereq := ResolveAttr(cat.Class("course"), "prerequisites")
+	prereqOf := ResolveAttr(cat.Class("course"), "prerequisite-of")
+	if prereq.Inverse != prereqOf || prereqOf.Inverse != prereq {
+		t.Error("prerequisites/prerequisite-of not paired")
+	}
+
+	// Implicit inverse for courses-offered (no inverse declared).
+	offered := ResolveAttr(cat.Class("department"), "courses-offered")
+	if offered.Inverse == nil || !offered.Inverse.Implicit {
+		t.Error("courses-offered has no implicit inverse")
+	}
+	if offered.Inverse.Range != cat.Class("department") {
+		t.Error("implicit inverse range wrong")
+	}
+	// Implicit inverses are hidden from name resolution.
+	if ResolveAttr(cat.Class("course"), offered.Inverse.Name) != nil {
+		t.Error("implicit inverse resolvable by name")
+	}
+}
+
+func TestUniversityTypesAndOptions(t *testing.T) {
+	cat := university_(t)
+	deg := cat.Type("degree")
+	if deg == nil || deg.Kind != TSymbolic || len(deg.Labels) != 4 {
+		t.Fatalf("degree type wrong: %+v", deg)
+	}
+	v, err := deg.Symbolic("phd")
+	if err != nil || v.Str() != "PHD" || v.Ordinal() != 3 {
+		t.Errorf("Symbolic(phd) = %v, %v", v, err)
+	}
+	if _, err := deg.Symbolic("BA"); err == nil {
+		t.Error("Symbolic(BA) should fail")
+	}
+
+	idnum := cat.Type("id-number")
+	if idnum == nil || idnum.Kind != TInt || len(idnum.IntRanges) != 2 {
+		t.Fatalf("id-number type wrong: %+v", idnum)
+	}
+
+	ssn := ResolveAttr(cat.Class("person"), "soc-sec-no")
+	if !ssn.Options.Unique || !ssn.Options.Required {
+		t.Errorf("soc-sec-no options wrong: %+v", ssn.Options)
+	}
+	taught := ResolveAttr(cat.Class("instructor"), "courses-taught")
+	if !taught.Options.MV || taught.Options.Max != 3 || !taught.Options.Distinct {
+		t.Errorf("courses-taught options wrong: %+v", taught.Options)
+	}
+}
+
+func TestUniversitySubroles(t *testing.T) {
+	cat := university_(t)
+	prof := ResolveAttr(cat.Class("person"), "profession")
+	if prof == nil || prof.Kind != Subrole || !prof.Options.MV {
+		t.Fatalf("profession subrole wrong: %+v", prof)
+	}
+	if len(prof.SubroleOf) != 2 {
+		t.Errorf("profession enumerates %d classes, want 2", len(prof.SubroleOf))
+	}
+}
+
+func TestUniversityVerifies(t *testing.T) {
+	cat := university_(t)
+	vs := cat.Verifies()
+	if len(vs) != 2 {
+		t.Fatalf("got %d verifies, want 2", len(vs))
+	}
+	if vs[0].Name != "v1" || vs[0].Class != cat.Class("student") {
+		t.Errorf("v1 wrong: %+v", vs[0])
+	}
+	if vs[1].ElseMsg != "instructor makes too much money" {
+		t.Errorf("v2 message wrong: %q", vs[1].ElseMsg)
+	}
+	if len(cat.Class("student").Verifies) != 1 {
+		t.Error("verify not attached to class")
+	}
+}
+
+func TestErrUnknownSuperclass(t *testing.T) {
+	err := buildErr(t, `Subclass S of Nowhere ( x: integer );`)
+	if !strings.Contains(err.Error(), "Nowhere") {
+		t.Errorf("error %v does not name the missing class", err)
+	}
+}
+
+func TestErrTwoBaseAncestors(t *testing.T) {
+	err := buildErr(t, `
+Class A ( ra: subrole (C) );
+Class B ( rb: subrole (C) );
+Subclass C of A and B ( x: integer );`)
+	if !strings.Contains(err.Error(), "base") {
+		t.Errorf("error %v does not mention base classes", err)
+	}
+}
+
+func TestErrDuplicateClass(t *testing.T) {
+	buildErr(t, `Class A ( x: integer ); Class a ( y: integer );`)
+}
+
+func TestErrDuplicateAttr(t *testing.T) {
+	buildErr(t, `Class A ( x: integer; X: string );`)
+}
+
+func TestErrShadowInheritedAttr(t *testing.T) {
+	err := buildErr(t, `
+Class A ( x: integer; r: subrole (B) );
+Subclass B of A ( x: string );`)
+	if !strings.Contains(err.Error(), "inherited") {
+		t.Errorf("error %v does not mention inheritance", err)
+	}
+}
+
+func TestErrMissingSubrole(t *testing.T) {
+	err := buildErr(t, `
+Class A ( x: integer );
+Subclass B of A ( y: integer );`)
+	if !strings.Contains(err.Error(), "subrole") {
+		t.Errorf("error %v does not mention subrole", err)
+	}
+}
+
+func TestErrSubroleNamesNonSubclass(t *testing.T) {
+	buildErr(t, `
+Class A ( r: subrole (B) );
+Class B ( x: integer );`)
+}
+
+func TestErrOptionsSanity(t *testing.T) {
+	buildErr(t, `Class A ( x: integer mv (distinct) unique );`) // UNIQUE on MV
+	buildErr(t, `Class A ( x: integer distinct );`)             // DISTINCT without MV
+	buildErr(t, `Class A ( x: a-missing-type );`)
+}
+
+func TestErrInverseMismatch(t *testing.T) {
+	// B.back declares inverse "other", not "fwd".
+	err := buildErr(t, `
+Class A ( fwd: B inverse is back );
+Class B ( back: A inverse is other; other: A inverse is back );`)
+	_ = err
+}
+
+func TestErrDVACannotHaveInverse(t *testing.T) {
+	buildErr(t, `Class A ( x: integer inverse is y );`)
+}
+
+func TestExtendAcrossBatches(t *testing.T) {
+	cat := buildSchema(t, `Class A ( x: integer );`)
+	sch, err := parser.ParseSchema(`Class B ( a-ref: A inverse is b-refs );`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cat.Extend(sch); err != nil {
+		t.Fatalf("extend: %v", err)
+	}
+	aRef := ResolveAttr(cat.Class("b"), "a-ref")
+	if aRef == nil || aRef.Range != cat.Class("a") {
+		t.Error("cross-batch EVA range not resolved")
+	}
+	if got := ResolveAttr(cat.Class("a"), "b-refs"); got == nil || got.Inverse != aRef {
+		t.Error("cross-batch named inverse not created")
+	}
+}
+
+func TestCoerce(t *testing.T) {
+	cat := university_(t)
+	idnum := cat.Type("id-number")
+	if _, err := idnum.Coerce(intVal(1500)); err != nil {
+		t.Errorf("1500 should be a valid id-number: %v", err)
+	}
+	if _, err := idnum.Coerce(intVal(40000)); err == nil {
+		t.Error("40000 should be outside id-number ranges")
+	}
+	if _, err := idnum.Coerce(intVal(60001)); err != nil {
+		t.Error("60001 should be inside the second range")
+	}
+}

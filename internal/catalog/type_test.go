@@ -1,0 +1,107 @@
+package catalog
+
+import (
+	"testing"
+
+	"sim/internal/value"
+)
+
+func intVal(n int64) value.Value   { return value.NewInt(n) }
+func strVal(s string) value.Value  { return value.NewString(s) }
+func numVal(f float64) value.Value { return value.NewNumber(f) }
+func boolVal(b bool) value.Value   { return value.NewBool(b) }
+
+func TestCoerceString(t *testing.T) {
+	dt := &DataType{Kind: TString, StrLen: 5}
+	if _, err := dt.Coerce(strVal("abcde")); err != nil {
+		t.Errorf("5-char string rejected: %v", err)
+	}
+	if _, err := dt.Coerce(strVal("abcdef")); err == nil {
+		t.Error("6-char string accepted by string[5]")
+	}
+	if _, err := dt.Coerce(intVal(3)); err == nil {
+		t.Error("integer accepted by string type")
+	}
+}
+
+func TestCoerceNumberWidening(t *testing.T) {
+	dt := &DataType{Kind: TNumber, Precision: 9, Scale: 2}
+	v, err := dt.Coerce(intVal(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Kind() != value.KindNumber || v.Number() != 42 {
+		t.Errorf("int not widened: %v", v)
+	}
+	if _, err := dt.Coerce(strVal("x")); err == nil {
+		t.Error("string accepted by number type")
+	}
+}
+
+func TestCoerceDate(t *testing.T) {
+	dt := &DataType{Kind: TDate}
+	v, err := dt.Coerce(strVal("1988-06-01"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Kind() != value.KindDate {
+		t.Errorf("date parse gave %v", v.Kind())
+	}
+	if v.String() != "1988-06-01" {
+		t.Errorf("round trip: %s", v)
+	}
+	if _, err := dt.Coerce(strVal("not-a-date")); err == nil {
+		t.Error("bad date accepted")
+	}
+}
+
+func TestCoerceBool(t *testing.T) {
+	dt := &DataType{Kind: TBool}
+	if _, err := dt.Coerce(boolVal(true)); err != nil {
+		t.Error(err)
+	}
+	if _, err := dt.Coerce(intVal(1)); err == nil {
+		t.Error("integer accepted by boolean type")
+	}
+}
+
+func TestCoerceNullAlwaysOK(t *testing.T) {
+	for _, dt := range []*DataType{
+		{Kind: TInt}, {Kind: TNumber}, {Kind: TString}, {Kind: TDate}, {Kind: TBool},
+	} {
+		v, err := dt.Coerce(value.Null)
+		if err != nil || !v.IsNull() {
+			t.Errorf("%v: NULL coercion failed: %v %v", dt.Kind, v, err)
+		}
+	}
+}
+
+func TestCoerceIntStaysInt(t *testing.T) {
+	dt := &DataType{Kind: TInt}
+	v, err := dt.Coerce(intVal(7))
+	if err != nil || v.Kind() != value.KindInt {
+		t.Errorf("got %v %v", v, err)
+	}
+	if _, err := dt.Coerce(numVal(7.5)); err == nil {
+		t.Error("float accepted by integer type")
+	}
+}
+
+func TestTypeString(t *testing.T) {
+	cases := []struct {
+		dt   *DataType
+		want string
+	}{
+		{&DataType{Kind: TInt, IntRanges: [][2]int64{{1, 20}}}, "integer(1..20)"},
+		{&DataType{Kind: TNumber, Precision: 9, Scale: 2}, "number[9,2]"},
+		{&DataType{Kind: TString, StrLen: 30}, "string[30]"},
+		{&DataType{Kind: TDate}, "date"},
+		{&DataType{Kind: TSymbolic, Labels: []string{"A", "B"}}, "symbolic(A,B)"},
+		{&DataType{Kind: TInt, Name: "id-number"}, "id-number"},
+	}
+	for _, c := range cases {
+		if got := c.dt.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}

@@ -1,0 +1,324 @@
+// Package dmsii implements the record-store substrate SIM runs on. The
+// paper built SIM over DMSII, Unisys's network-model DBMS, relying on it
+// for "transaction, cursor and I/O management" (§1); this package is the
+// equivalent substrate built from scratch: named structures (clustered
+// B+trees), a page allocator with a persistent freelist, single-writer
+// transactions with WAL-backed atomic commit, and crash recovery.
+//
+// The package is not internally synchronized; sim.Database serializes
+// access (single writer, multiple readers), as DMSII did on the paper's
+// behalf.
+package dmsii
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"sim/internal/btree"
+	"sim/internal/pager"
+	"sim/internal/wal"
+)
+
+// Meta page (page 0) layout.
+const (
+	magicOff    = 0 // 8 bytes
+	versionOff  = 8
+	freelistOff = 12
+	dirRootOff  = 16
+)
+
+var magic = [8]byte{'S', 'I', 'M', 'D', 'B', '0', '0', '1'}
+
+// checkpointThreshold is the WAL size that triggers an automatic
+// checkpoint at commit.
+const checkpointThreshold = 8 << 20
+
+// Store is an open database file: a directory of named structures plus the
+// transaction machinery.
+type Store struct {
+	file   pager.File
+	pool   *pager.Pool
+	log    *wal.Log // nil for purely in-memory stores
+	dir    *btree.Tree
+	open   map[string]*Structure
+	inTx   bool
+	closed bool
+}
+
+// Options configures Open.
+type Options struct {
+	// PoolPages is the buffer pool capacity in pages (default 1024).
+	PoolPages int
+}
+
+// OpenFile opens (creating if necessary) a database at path, with its WAL
+// at path+".wal". Committed transactions survive crashes.
+func OpenFile(path string, opts Options) (*Store, error) {
+	file, err := pager.OpenOSFile(path)
+	if err != nil {
+		return nil, err
+	}
+	log, err := wal.Open(path + ".wal")
+	if err != nil {
+		file.Close()
+		return nil, err
+	}
+	if _, err := log.Recover(file); err != nil {
+		log.Close()
+		file.Close()
+		return nil, fmt.Errorf("dmsii: recover: %w", err)
+	}
+	s, err := open(file, log, opts)
+	if err != nil {
+		log.Close()
+		file.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
+// OpenMemory opens a transient in-memory store (no durability; rollback
+// still works).
+func OpenMemory(opts Options) (*Store, error) {
+	return open(pager.NewMemFile(), nil, opts)
+}
+
+func open(file pager.File, log *wal.Log, opts Options) (*Store, error) {
+	if opts.PoolPages == 0 {
+		opts.PoolPages = 1024
+	}
+	pool, err := pager.NewPool(file, opts.PoolPages)
+	if err != nil {
+		return nil, err
+	}
+	s := &Store{file: file, pool: pool, log: log, open: make(map[string]*Structure)}
+	n, err := file.NumPages()
+	if err != nil {
+		return nil, err
+	}
+	if n == 0 {
+		if err := s.initialize(); err != nil {
+			return nil, err
+		}
+		return s, nil
+	}
+	// Existing database: validate the meta page and attach the directory.
+	meta, err := pool.Get(0)
+	if err != nil {
+		return nil, err
+	}
+	defer pool.Release(meta)
+	if [8]byte(meta.Data[magicOff:magicOff+8]) != magic {
+		return nil, fmt.Errorf("dmsii: not a SIM database file")
+	}
+	dirRoot := pager.PageID(binary.BigEndian.Uint32(meta.Data[dirRootOff : dirRootOff+4]))
+	s.dir = btree.Open(s, dirRoot, s.setDirRoot)
+	return s, nil
+}
+
+// initialize formats a brand-new database file.
+func (s *Store) initialize() error {
+	meta, err := s.pool.Allocate()
+	if err != nil {
+		return err
+	}
+	copy(meta.Data[magicOff:], magic[:])
+	binary.BigEndian.PutUint32(meta.Data[versionOff:], 1)
+	binary.BigEndian.PutUint32(meta.Data[freelistOff:], uint32(pager.Invalid))
+	s.pool.MarkDirty(meta)
+	s.pool.Release(meta)
+
+	dir, err := btree.Create(s)
+	if err != nil {
+		return err
+	}
+	dir.SetOnRootChange(s.setDirRoot)
+	s.dir = dir
+	if err := s.setDirRoot(dir.Root()); err != nil {
+		return err
+	}
+	// Persist the empty database shell.
+	return s.commitPages()
+}
+
+func (s *Store) setDirRoot(id pager.PageID) error {
+	meta, err := s.pool.Get(0)
+	if err != nil {
+		return err
+	}
+	binary.BigEndian.PutUint32(meta.Data[dirRootOff:], uint32(id))
+	s.pool.MarkDirty(meta)
+	s.pool.Release(meta)
+	return nil
+}
+
+// Close checkpoints and releases the store.
+func (s *Store) Close() error {
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	if s.inTx {
+		return fmt.Errorf("dmsii: Close with an open transaction")
+	}
+	if err := s.Checkpoint(); err != nil {
+		return err
+	}
+	if s.log != nil {
+		if err := s.log.Close(); err != nil {
+			return err
+		}
+	}
+	return s.file.Close()
+}
+
+// Checkpoint makes the database file current and truncates the WAL.
+func (s *Store) Checkpoint() error {
+	if err := s.pool.FlushAll(); err != nil {
+		return err
+	}
+	if s.log != nil {
+		return s.log.Truncate()
+	}
+	return nil
+}
+
+// Stats exposes buffer pool counters for the optimizer and benchmarks.
+func (s *Store) Stats() pager.Stats { return s.pool.Stats() }
+
+// ResetStats zeroes the pool counters.
+func (s *Store) ResetStats() { s.pool.ResetStats() }
+
+// ---------------------------------------------------------------------------
+// Transactions
+// ---------------------------------------------------------------------------
+
+// Txn is a write transaction. Reads outside transactions observe the last
+// committed state.
+type Txn struct {
+	s    *Store
+	done bool
+}
+
+// Begin starts the store's single write transaction.
+func (s *Store) Begin() (*Txn, error) {
+	if s.inTx {
+		return nil, fmt.Errorf("dmsii: a transaction is already active")
+	}
+	s.inTx = true
+	return &Txn{s: s}, nil
+}
+
+// Commit durably applies the transaction.
+func (tx *Txn) Commit() error {
+	if tx.done {
+		return fmt.Errorf("dmsii: transaction already finished")
+	}
+	tx.done = true
+	tx.s.inTx = false
+	if err := tx.s.commitPages(); err != nil {
+		return err
+	}
+	if tx.s.log != nil && tx.s.log.Size() > checkpointThreshold {
+		return tx.s.Checkpoint()
+	}
+	return nil
+}
+
+func (s *Store) commitPages() error {
+	if s.log != nil {
+		if err := s.log.Commit(s.pool.DirtyPages()); err != nil {
+			return err
+		}
+	}
+	return s.pool.WriteBackDirty()
+}
+
+// Rollback discards the transaction's changes.
+func (tx *Txn) Rollback() error {
+	if tx.done {
+		return nil
+	}
+	tx.done = true
+	tx.s.inTx = false
+	// Structures (and the directory itself) whose roots changed during the
+	// transaction hold stale root ids; drop the cache and reattach the
+	// directory from the durable meta page.
+	tx.s.open = make(map[string]*Structure)
+	if err := tx.s.pool.DiscardDirty(); err != nil {
+		return err
+	}
+	meta, err := tx.s.pool.Get(0)
+	if err != nil {
+		return err
+	}
+	dirRoot := pager.PageID(binary.BigEndian.Uint32(meta.Data[dirRootOff:]))
+	tx.s.pool.Release(meta)
+	tx.s.dir = btree.Open(tx.s, dirRoot, tx.s.setDirRoot)
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Page allocator (btree.Alloc)
+// ---------------------------------------------------------------------------
+
+// AllocPage pops the persistent freelist or grows the file.
+func (s *Store) AllocPage() (*pager.Frame, error) {
+	meta, err := s.pool.Get(0)
+	if err != nil {
+		return nil, err
+	}
+	head := pager.PageID(binary.BigEndian.Uint32(meta.Data[freelistOff:]))
+	if head == pager.Invalid {
+		s.pool.Release(meta)
+		return s.pool.Allocate()
+	}
+	// Pop: the free page's first 4 bytes link to the next free page.
+	f, err := s.pool.Get(head)
+	if err != nil {
+		s.pool.Release(meta)
+		return nil, err
+	}
+	next := binary.BigEndian.Uint32(f.Data[0:4])
+	binary.BigEndian.PutUint32(meta.Data[freelistOff:], next)
+	s.pool.MarkDirty(meta)
+	s.pool.Release(meta)
+	for i := range f.Data {
+		f.Data[i] = 0
+	}
+	s.pool.MarkDirty(f)
+	return f, nil
+}
+
+// FreePage pushes a page onto the persistent freelist.
+func (s *Store) FreePage(id pager.PageID) error {
+	meta, err := s.pool.Get(0)
+	if err != nil {
+		return err
+	}
+	head := binary.BigEndian.Uint32(meta.Data[freelistOff:])
+	f, err := s.pool.Get(id)
+	if err != nil {
+		s.pool.Release(meta)
+		return err
+	}
+	for i := range f.Data {
+		f.Data[i] = 0
+	}
+	binary.BigEndian.PutUint32(f.Data[0:4], head)
+	s.pool.MarkDirty(f)
+	s.pool.Release(f)
+	binary.BigEndian.PutUint32(meta.Data[freelistOff:], uint32(id))
+	s.pool.MarkDirty(meta)
+	s.pool.Release(meta)
+	return nil
+}
+
+// Get implements btree.Alloc.
+func (s *Store) Get(id pager.PageID) (*pager.Frame, error) { return s.pool.Get(id) }
+
+// Release implements btree.Alloc.
+func (s *Store) Release(f *pager.Frame) { s.pool.Release(f) }
+
+// MarkDirty implements btree.Alloc.
+func (s *Store) MarkDirty(f *pager.Frame) { s.pool.MarkDirty(f) }

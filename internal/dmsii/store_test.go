@@ -1,0 +1,327 @@
+package dmsii
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func memStore(t *testing.T) *Store {
+	t.Helper()
+	s, err := OpenMemory(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func put(t *testing.T, st *Structure, k, v string) {
+	t.Helper()
+	if err := st.Put([]byte(k), []byte(v)); err != nil {
+		t.Fatalf("put %s: %v", k, err)
+	}
+}
+
+func TestBasicStructureOps(t *testing.T) {
+	s := memStore(t)
+	tx, err := s.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := s.Structure("persons")
+	if err != nil {
+		t.Fatal(err)
+	}
+	put(t, st, "a", "1")
+	put(t, st, "b", "2")
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	v, ok, err := st.Get([]byte("a"))
+	if err != nil || !ok || string(v) != "1" {
+		t.Fatalf("get = %q %v %v", v, ok, err)
+	}
+	names, err := s.Structures()
+	if err != nil || len(names) != 1 || names[0] != "persons" {
+		t.Fatalf("structures = %v %v", names, err)
+	}
+}
+
+func TestMutationOutsideTxnFails(t *testing.T) {
+	s := memStore(t)
+	st, err := s.Structure("x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Put([]byte("k"), []byte("v")); err == nil {
+		t.Error("Put outside transaction succeeded")
+	}
+	if _, err := st.Delete([]byte("k")); err == nil {
+		t.Error("Delete outside transaction succeeded")
+	}
+}
+
+func TestSingleWriter(t *testing.T) {
+	s := memStore(t)
+	tx, _ := s.Begin()
+	if _, err := s.Begin(); err == nil {
+		t.Error("second Begin succeeded")
+	}
+	tx.Rollback()
+	if _, err := s.Begin(); err != nil {
+		t.Errorf("Begin after rollback: %v", err)
+	}
+}
+
+func TestRollbackDiscardsChanges(t *testing.T) {
+	s := memStore(t)
+	tx, _ := s.Begin()
+	st, _ := s.Structure("d")
+	put(t, st, "committed", "yes")
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	tx, _ = s.Begin()
+	st, _ = s.Structure("d")
+	put(t, st, "uncommitted", "no")
+	// Overwrite a committed key too.
+	put(t, st, "committed", "overwritten")
+	if err := tx.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+
+	st, _ = s.Structure("d")
+	if _, ok, _ := st.Get([]byte("uncommitted")); ok {
+		t.Error("rolled-back insert visible")
+	}
+	v, ok, _ := st.Get([]byte("committed"))
+	if !ok || string(v) != "yes" {
+		t.Errorf("committed value after rollback = %q %v", v, ok)
+	}
+}
+
+func TestRollbackManyPages(t *testing.T) {
+	s := memStore(t)
+	tx, _ := s.Begin()
+	st, _ := s.Structure("d")
+	for i := 0; i < 2000; i++ {
+		put(t, st, fmt.Sprintf("base-%05d", i), "v")
+	}
+	tx.Commit()
+
+	tx, _ = s.Begin()
+	st, _ = s.Structure("d")
+	for i := 0; i < 2000; i++ {
+		put(t, st, fmt.Sprintf("extra-%05d", i), "v")
+	}
+	tx.Rollback()
+
+	st, _ = s.Structure("d")
+	c, err := st.First()
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	for ; c.Valid(); c.Next() {
+		count++
+	}
+	if count != 2000 {
+		t.Errorf("after rollback scan found %d, want 2000", count)
+	}
+}
+
+func TestPersistenceAcrossReopen(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "db.sim")
+	s, err := OpenFile(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx, _ := s.Begin()
+	st, _ := s.Structure("persons")
+	for i := 0; i < 1000; i++ {
+		put(t, st, fmt.Sprintf("k%04d", i), fmt.Sprintf("v%d", i))
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := OpenFile(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	st2, err := s2.Structure("persons")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, ok, err := st2.Get([]byte("k0500"))
+	if err != nil || !ok || string(v) != "v500" {
+		t.Fatalf("after reopen get = %q %v %v", v, ok, err)
+	}
+}
+
+// TestCrashRecovery simulates a crash after commit but before checkpoint:
+// the database file is stale, the WAL holds the committed batch, and
+// reopening must replay it.
+func TestCrashRecovery(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "db.sim")
+	s, err := OpenFile(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx, _ := s.Begin()
+	st, _ := s.Structure("d")
+	put(t, st, "survives", "crash")
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	// Simulated crash: abandon the store without Close (no checkpoint).
+	// The WAL file must exist and be non-empty.
+	if fi, err := os.Stat(path + ".wal"); err != nil || fi.Size() == 0 {
+		t.Fatalf("wal missing before crash: %v", err)
+	}
+
+	s2, err := OpenFile(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	st2, err := s2.Structure("d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, ok, err := st2.Get([]byte("survives"))
+	if err != nil || !ok || string(v) != "crash" {
+		t.Fatalf("after crash recovery get = %q %v %v", v, ok, err)
+	}
+}
+
+// TestTornCommitIgnored verifies that an incomplete WAL batch (no commit
+// record) is discarded at recovery.
+func TestTornCommitIgnored(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "db.sim")
+	s, err := OpenFile(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx, _ := s.Begin()
+	st, _ := s.Structure("d")
+	put(t, st, "a", "committed")
+	tx.Commit()
+	// Abandon without checkpoint, then truncate the WAL mid-record to
+	// simulate a torn write of a second transaction.
+	fi, err := os.Stat(path + ".wal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.OpenFile(path+".wal", os.O_RDWR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Append garbage that looks like a torn record.
+	if _, err := f.WriteAt([]byte{1, 0, 0, 0, 9, 0, 0}, fi.Size()); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	s2, err := OpenFile(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	st2, _ := s2.Structure("d")
+	v, ok, _ := st2.Get([]byte("a"))
+	if !ok || string(v) != "committed" {
+		t.Fatalf("committed batch lost: %q %v", v, ok)
+	}
+}
+
+func TestDropStructure(t *testing.T) {
+	s := memStore(t)
+	tx, _ := s.Begin()
+	st, _ := s.Structure("temp")
+	put(t, st, "k", "v")
+	if err := s.DropStructure("temp"); err != nil {
+		t.Fatal(err)
+	}
+	tx.Commit()
+	ok, err := s.HasStructure("temp")
+	if err != nil || ok {
+		t.Errorf("dropped structure still listed: %v %v", ok, err)
+	}
+	// Its pages are reusable: create another and write to it.
+	tx, _ = s.Begin()
+	st2, _ := s.Structure("temp2")
+	put(t, st2, "k2", "v2")
+	tx.Commit()
+}
+
+func TestNotADatabaseFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "junk")
+	if err := os.WriteFile(path, make([]byte, 8192), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenFile(path, Options{}); err == nil {
+		t.Error("junk file opened as database")
+	}
+}
+
+func TestCheckpointTruncatesWAL(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "db.sim")
+	s, err := OpenFile(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	tx, _ := s.Begin()
+	st, _ := s.Structure("d")
+	put(t, st, "k", "v")
+	tx.Commit()
+	if err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	fi, err := os.Stat(path + ".wal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Size() != 0 {
+		t.Errorf("wal size after checkpoint = %d, want 0", fi.Size())
+	}
+}
+
+func TestFreelistReuse(t *testing.T) {
+	s := memStore(t)
+	tx, _ := s.Begin()
+	st, _ := s.Structure("big")
+	for i := 0; i < 3000; i++ {
+		put(t, st, fmt.Sprintf("k%05d", i), "some moderately sized value for page fill")
+	}
+	tx.Commit()
+	before := s.pool.NumPages()
+
+	tx, _ = s.Begin()
+	if err := s.DropStructure("big"); err != nil {
+		t.Fatal(err)
+	}
+	st2, _ := s.Structure("big2")
+	for i := 0; i < 3000; i++ {
+		put(t, st2, fmt.Sprintf("k%05d", i), "some moderately sized value for page fill")
+	}
+	tx.Commit()
+	after := s.pool.NumPages()
+	// The second structure should predominantly reuse freed pages.
+	if after > before+8 {
+		t.Errorf("file grew from %d to %d pages despite freelist", before, after)
+	}
+}

@@ -1,0 +1,129 @@
+package dmsii
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"sim/internal/btree"
+	"sim/internal/pager"
+)
+
+// Structure is a named, ordered key/value collection — the substrate's
+// equivalent of a DMSII data set or index set. Class LUCs, multi-valued DVA
+// LUCs, EVA structures and secondary indexes are all Structures.
+type Structure struct {
+	s    *Store
+	name string
+	tree *btree.Tree
+}
+
+// Structure opens the named structure, creating it when absent.
+func (s *Store) Structure(name string) (*Structure, error) {
+	if st, ok := s.open[name]; ok {
+		return st, nil
+	}
+	rootBytes, found, err := s.dir.Get([]byte(name))
+	if err != nil {
+		return nil, err
+	}
+	var tree *btree.Tree
+	if found {
+		root := pager.PageID(binary.BigEndian.Uint32(rootBytes))
+		tree = btree.Open(s, root, nil)
+	} else {
+		tree, err = btree.Create(s)
+		if err != nil {
+			return nil, err
+		}
+		if err := s.putDirEntry(name, tree.Root()); err != nil {
+			return nil, err
+		}
+	}
+	st := &Structure{s: s, name: name, tree: tree}
+	tree.SetOnRootChange(func(id pager.PageID) error { return s.putDirEntry(name, id) })
+	s.open[name] = st
+	return st, nil
+}
+
+// HasStructure reports whether the named structure exists without creating
+// it.
+func (s *Store) HasStructure(name string) (bool, error) {
+	if _, ok := s.open[name]; ok {
+		return true, nil
+	}
+	_, found, err := s.dir.Get([]byte(name))
+	return found, err
+}
+
+// DropStructure deletes the named structure and frees its pages.
+func (s *Store) DropStructure(name string) error {
+	st, err := s.Structure(name)
+	if err != nil {
+		return err
+	}
+	if err := st.tree.Drop(); err != nil {
+		return err
+	}
+	delete(s.open, name)
+	_, err = s.dir.Delete([]byte(name))
+	return err
+}
+
+// Structures lists all structure names in lexicographic order.
+func (s *Store) Structures() ([]string, error) {
+	c, err := s.dir.First()
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for ; c.Valid(); c.Next() {
+		names = append(names, string(c.Key()))
+	}
+	return names, c.Err()
+}
+
+func (s *Store) putDirEntry(name string, root pager.PageID) error {
+	var b [4]byte
+	binary.BigEndian.PutUint32(b[:], uint32(root))
+	return s.dir.Put([]byte(name), b[:])
+}
+
+// Name returns the structure's name.
+func (st *Structure) Name() string { return st.name }
+
+func (st *Structure) mutable() error {
+	if !st.s.inTx {
+		return fmt.Errorf("dmsii: mutation of %q outside a transaction", st.name)
+	}
+	return nil
+}
+
+// Put inserts or replaces a record.
+func (st *Structure) Put(key, val []byte) error {
+	if err := st.mutable(); err != nil {
+		return err
+	}
+	return st.tree.Put(key, val)
+}
+
+// Get reads the record stored under key.
+func (st *Structure) Get(key []byte) ([]byte, bool, error) { return st.tree.Get(key) }
+
+// Delete removes the record stored under key.
+func (st *Structure) Delete(key []byte) (bool, error) {
+	if err := st.mutable(); err != nil {
+		return false, err
+	}
+	return st.tree.Delete(key)
+}
+
+// First returns a cursor over all records in key order.
+func (st *Structure) First() (*btree.Cursor, error) { return st.tree.First() }
+
+// Seek returns a cursor positioned at the first key >= key.
+func (st *Structure) Seek(key []byte) (*btree.Cursor, error) { return st.tree.Seek(key) }
+
+// SeekPrefix returns a cursor over exactly the keys beginning with prefix.
+func (st *Structure) SeekPrefix(prefix []byte) (*btree.Cursor, error) {
+	return st.tree.SeekPrefix(prefix)
+}

@@ -1,0 +1,369 @@
+// Package exec implements SIM's query and update execution engine: the
+// DAPLEX-style nested-loop program of §4.5 over the query tree, expression
+// evaluation under three-valued logic, aggregate functions, quantifiers,
+// transitive closure, tabular and structured output, and the update
+// statements of §4.8.
+package exec
+
+import (
+	"fmt"
+	"sort"
+
+	"sim/internal/catalog"
+	"sim/internal/luc"
+	"sim/internal/plan"
+	"sim/internal/query"
+	"sim/internal/value"
+)
+
+// Executor runs plans against a LUC mapper.
+type Executor struct {
+	m           *luc.Mapper
+	cat         *catalog.Catalog
+	constraints []*Constraint
+}
+
+// New returns an executor. Constraints (bound VERIFY assertions) may be
+// attached later with SetConstraints.
+func New(m *luc.Mapper) *Executor {
+	return &Executor{m: m, cat: m.Catalog()}
+}
+
+// SetConstraints installs the bound integrity assertions enforced on
+// updates.
+func (e *Executor) SetConstraints(cs []*Constraint) { e.constraints = cs }
+
+// inst is one binding of a range variable.
+type inst struct {
+	surr  value.Surrogate
+	val   value.Value
+	null  bool // outer-join dummy
+	level int  // transitive-closure depth (1-based; 0 otherwise)
+}
+
+// env holds the current instance of every node, indexed by node id.
+type env struct {
+	insts []inst
+	set   []bool
+}
+
+func newEnv(n int) *env {
+	return &env{insts: make([]inst, n), set: make([]bool, n)}
+}
+
+func (v *env) bind(n *query.Node, i inst) {
+	v.insts[n.ID] = i
+	v.set[n.ID] = true
+}
+
+func (v *env) unbind(n *query.Node) { v.set[n.ID] = false }
+
+func (v *env) get(n *query.Node) (inst, error) {
+	if !v.set[n.ID] {
+		return inst{}, fmt.Errorf("exec: range variable %q unbound", n.Label())
+	}
+	return v.insts[n.ID], nil
+}
+
+// Stats reports work done by one execution.
+type Stats struct {
+	Instances int // range-variable bindings tried
+	Rows      int // rows emitted
+}
+
+// Retrieve executes a planned query.
+func (e *Executor) Retrieve(p *plan.Plan) (*Result, error) {
+	t := p.Tree
+	if t.Mode.String() == "STRUCTURE" && len(t.OrderBy) > 0 {
+		return nil, fmt.Errorf("ORDER BY applies to tabular output only")
+	}
+	res := newResult(t)
+	en := newEnv(len(t.Nodes))
+	main := t.MainNodes()
+	exist := t.ExistNodes()
+	var stats Stats
+
+	emit := func() error {
+		row := make([]value.Value, len(t.Targets))
+		for i, tg := range t.Targets {
+			v, err := e.eval(tg, en)
+			if err != nil {
+				return err
+			}
+			row[i] = v
+		}
+		var order []value.Value
+		for _, ob := range t.OrderBy {
+			v, err := e.eval(ob, en)
+			if err != nil {
+				return err
+			}
+			order = append(order, v)
+		}
+		stats.Rows++
+		return res.add(e, t, en, main, row, order)
+	}
+
+	var loop func(i int) error
+	loop = func(i int) error {
+		if i == len(main) {
+			ok, err := e.selectionHolds(t, en, exist)
+			if err != nil {
+				return err
+			}
+			if ok {
+				return emit()
+			}
+			return nil
+		}
+		n := main[i]
+		dom, err := e.domain(p, t, n, en)
+		if err != nil {
+			return err
+		}
+		if len(dom) == 0 && n.Type == query.Type3 {
+			// §4.5: "when empty, adding a dummy instance all of whose
+			// attributes are null" — the directed outer join.
+			dom = []inst{{null: true}}
+		}
+		for _, it := range dom {
+			stats.Instances++
+			en.bind(n, it)
+			if err := loop(i + 1); err != nil {
+				return err
+			}
+		}
+		en.unbind(n)
+		return nil
+	}
+	if err := loop(0); err != nil {
+		return nil, err
+	}
+	res.finish(t)
+	res.Stats = stats
+	return res, nil
+}
+
+// selectionHolds evaluates the WHERE clause under the existential
+// semantics of §4.5: "for some X(m+1) … for some X(n) if <selection
+// expression> is true".
+func (e *Executor) selectionHolds(t *query.Tree, en *env, exist []*query.Node) (bool, error) {
+	if t.Where == nil {
+		return true, nil
+	}
+	var some func(j int) (bool, error)
+	some = func(j int) (bool, error) {
+		if j == len(exist) {
+			tri, err := e.evalTri(t.Where, en)
+			if err != nil {
+				return false, err
+			}
+			return tri.IsTrue(), nil
+		}
+		n := exist[j]
+		dom, err := e.domain(nil, t, n, en)
+		if err != nil {
+			return false, err
+		}
+		for _, it := range dom {
+			en.bind(n, it)
+			ok, err := some(j + 1)
+			if err != nil {
+				en.unbind(n)
+				return false, err
+			}
+			if ok {
+				en.unbind(n)
+				return true, nil
+			}
+		}
+		en.unbind(n)
+		return false, nil
+	}
+	return some(0)
+}
+
+// domain enumerates the instances of node n given its parent's binding.
+// The plan (may be nil for existential/subquery nodes) chooses root access
+// paths.
+func (e *Executor) domain(p *plan.Plan, t *query.Tree, n *query.Node, en *env) ([]inst, error) {
+	if n.IsRoot() || (n.Sub && n.Parent == nil) {
+		return e.rootDomain(p, t, n)
+	}
+	parent, err := en.get(n.Parent)
+	if err != nil {
+		return nil, err
+	}
+	if parent.null {
+		return nil, nil
+	}
+	switch {
+	case n.Edge.Kind == catalog.EVA && n.Transitive:
+		return e.closure(parent.surr, n.Edge)
+	case n.Edge.Kind == catalog.EVA:
+		ss, err := e.m.GetEVA(parent.surr, n.Edge)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]inst, len(ss))
+		for i, s := range ss {
+			out[i] = inst{surr: s}
+		}
+		return out, nil
+	case n.Edge.Kind == catalog.Subrole:
+		vals, err := e.m.Subrole(parent.surr, n.Edge)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]inst, len(vals))
+		for i, v := range vals {
+			out[i] = inst{val: v}
+		}
+		return out, nil
+	default: // MV DVA
+		vals, err := e.m.GetMV(parent.surr, n.Edge)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]inst, len(vals))
+		for i, v := range vals {
+			out[i] = inst{val: v}
+		}
+		return out, nil
+	}
+}
+
+// rootDomain enumerates a perspective root using the planned access path.
+func (e *Executor) rootDomain(p *plan.Plan, t *query.Tree, n *query.Node) ([]inst, error) {
+	var access plan.RootAccess
+	if p != nil {
+		for i, r := range t.Roots {
+			if r == n && i < len(p.Access) {
+				access = p.Access[i]
+			}
+		}
+	}
+	switch a := access.(type) {
+	case *plan.UniqueAccess:
+		s, found, err := e.m.LookupUnique(a.Attr, a.Key)
+		if err != nil || !found {
+			return nil, err
+		}
+		return e.withRole([]value.Surrogate{s}, n.Class)
+	case *plan.RangeAccess:
+		ss, err := e.m.IndexScan(a.Attr, lucBound(a.Lo), lucBound(a.Hi))
+		if err != nil {
+			return nil, err
+		}
+		ss = sortSurrs(ss)
+		return e.withRole(ss, n.Class)
+	case *plan.PivotAccess:
+		ss, err := e.pivotRoots(a)
+		if err != nil {
+			return nil, err
+		}
+		return e.withRole(ss, n.Class)
+	default:
+		c, err := e.m.Scan(n.Class)
+		if err != nil {
+			return nil, err
+		}
+		var out []inst
+		for ; c.Valid(); c.Next() {
+			out = append(out, inst{surr: c.Surrogate()})
+		}
+		return out, c.Err()
+	}
+}
+
+func lucBound(b plan.Bound) luc.Bound {
+	return luc.Bound{Set: b.Set, Inclusive: b.Inclusive, Value: b.Val}
+}
+
+// withRole filters candidate surrogates to entities holding cl's role.
+func (e *Executor) withRole(ss []value.Surrogate, cl *catalog.Class) ([]inst, error) {
+	var out []inst
+	for _, s := range ss {
+		ok, err := e.m.HasRole(s, cl)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			out = append(out, inst{surr: s})
+		}
+	}
+	return out, nil
+}
+
+// pivotRoots evaluates a pivot strategy: index scan on the start
+// predicate, inverse-EVA walk up to the perspective, then a surrogate sort
+// restoring perspective order (the charged reordering cost of §5.1).
+func (e *Executor) pivotRoots(a *plan.PivotAccess) ([]value.Surrogate, error) {
+	cur, err := e.m.IndexScan(a.Attr, lucBound(a.Lo), lucBound(a.Hi))
+	if err != nil {
+		return nil, err
+	}
+	for _, edge := range a.Up {
+		next := make(map[value.Surrogate]bool)
+		for _, s := range cur {
+			partners, err := e.m.GetEVA(s, edge.Inverse)
+			if err != nil {
+				return nil, err
+			}
+			for _, p := range partners {
+				next[p] = true
+			}
+		}
+		cur = cur[:0]
+		for s := range next {
+			cur = append(cur, s)
+		}
+	}
+	return sortSurrs(dedupeSurrs(cur)), nil
+}
+
+func dedupeSurrs(ss []value.Surrogate) []value.Surrogate {
+	seen := make(map[value.Surrogate]bool, len(ss))
+	out := ss[:0]
+	for _, s := range ss {
+		if !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+func sortSurrs(ss []value.Surrogate) []value.Surrogate {
+	sort.Slice(ss, func(i, j int) bool { return ss[i] < ss[j] })
+	return ss
+}
+
+// closure computes the transitive closure of edge from start (§4.7) in
+// depth-first preorder with level numbers, cycle-safe.
+func (e *Executor) closure(start value.Surrogate, edge *catalog.Attribute) ([]inst, error) {
+	seen := map[value.Surrogate]bool{start: true}
+	var out []inst
+	var visit func(s value.Surrogate, level int) error
+	visit = func(s value.Surrogate, level int) error {
+		targets, err := e.m.GetEVA(s, edge)
+		if err != nil {
+			return err
+		}
+		for _, t := range targets {
+			if seen[t] {
+				continue
+			}
+			seen[t] = true
+			out = append(out, inst{surr: t, level: level})
+			if err := visit(t, level+1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := visit(start, 1); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

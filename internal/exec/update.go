@@ -1,0 +1,501 @@
+package exec
+
+import (
+	"fmt"
+	"strings"
+
+	"sim/internal/ast"
+	"sim/internal/catalog"
+	"sim/internal/plan"
+	"sim/internal/query"
+	"sim/internal/value"
+)
+
+// events collects the mutations of one update statement for integrity
+// trigger detection (§3.3).
+type events struct {
+	dva  []dvaEvent
+	eva  []evaEvent
+	role []roleEvent
+}
+
+type dvaEvent struct {
+	attr *catalog.Attribute
+	s    value.Surrogate
+}
+
+type evaEvent struct {
+	attr *catalog.Attribute // as referenced (either direction)
+	s, t value.Surrogate
+}
+
+type roleEvent struct {
+	class *catalog.Class
+	s     value.Surrogate
+}
+
+// Insert executes §4.8's INSERT: create a new entity, or — with FROM —
+// extend the roles of existing entities. It returns the affected entity
+// count.
+func (e *Executor) Insert(stmt *ast.InsertStmt) (int, error) {
+	cl, err := e.cat.MustClass(stmt.Class)
+	if err != nil {
+		return 0, err
+	}
+	ev := &events{}
+	var affected []value.Surrogate
+
+	if stmt.FromClass == "" {
+		s, err := e.m.NewEntity(cl)
+		if err != nil {
+			return 0, err
+		}
+		ev.role = append(ev.role, roleEvent{cl, s})
+		if err := e.applyAssigns(s, cl, stmt.Assigns, ev); err != nil {
+			return 0, err
+		}
+		newRoles := append([]*catalog.Class{cl}, catalog.Ancestors(cl)...)
+		if err := e.checkRequired(s, newRoles); err != nil {
+			return 0, err
+		}
+		affected = []value.Surrogate{s}
+	} else {
+		from, err := e.cat.MustClass(stmt.FromClass)
+		if err != nil {
+			return 0, err
+		}
+		if !catalog.IsAncestor(from, cl) {
+			return 0, fmt.Errorf("INSERT %s FROM %s: %s is not an ancestor of %s", cl.Name, from.Name, from.Name, cl.Name)
+		}
+		matches, err := e.SelectEntities(from, stmt.FromWhere)
+		if err != nil {
+			return 0, err
+		}
+		if len(matches) == 0 {
+			return 0, fmt.Errorf("INSERT %s FROM %s selected no entities", cl.Name, from.Name)
+		}
+		for _, s := range matches {
+			added, err := e.m.ExtendRole(s, cl)
+			if err != nil {
+				return 0, err
+			}
+			for _, c := range added {
+				ev.role = append(ev.role, roleEvent{c, s})
+			}
+			if err := e.applyAssigns(s, cl, stmt.Assigns, ev); err != nil {
+				return 0, err
+			}
+			if err := e.checkRequired(s, added); err != nil {
+				return 0, err
+			}
+			affected = append(affected, s)
+		}
+	}
+	return len(affected), e.checkConstraints(ev)
+}
+
+// Modify executes §4.8's MODIFY against every entity of the class
+// satisfying WHERE.
+func (e *Executor) Modify(stmt *ast.ModifyStmt) (int, error) {
+	cl, err := e.cat.MustClass(stmt.Class)
+	if err != nil {
+		return 0, err
+	}
+	matches, err := e.SelectEntities(cl, stmt.Where)
+	if err != nil {
+		return 0, err
+	}
+	ev := &events{}
+	for _, s := range matches {
+		if err := e.applyAssigns(s, cl, stmt.Assigns, ev); err != nil {
+			return 0, err
+		}
+	}
+	return len(matches), e.checkConstraints(ev)
+}
+
+// Delete executes §4.8's DELETE: the entities lose their role in the class
+// and every subclass role, keeping superclass roles.
+func (e *Executor) Delete(stmt *ast.DeleteStmt) (int, error) {
+	cl, err := e.cat.MustClass(stmt.Class)
+	if err != nil {
+		return 0, err
+	}
+	matches, err := e.SelectEntities(cl, stmt.Where)
+	if err != nil {
+		return 0, err
+	}
+	ev := &events{}
+	for _, s := range matches {
+		// Snapshot the relationship instances about to be destroyed, for
+		// trigger detection on surviving partners.
+		doomed := []*catalog.Class{cl}
+		for _, d := range catalog.Descendants(cl) {
+			if ok, err := e.m.HasRole(s, d); err != nil {
+				return 0, err
+			} else if ok {
+				doomed = append(doomed, d)
+			}
+		}
+		for _, d := range doomed {
+			ev.role = append(ev.role, roleEvent{d, s})
+			for _, a := range d.Attrs {
+				if a.Kind != catalog.EVA {
+					continue
+				}
+				targets, err := e.m.GetEVA(s, a)
+				if err != nil {
+					return 0, err
+				}
+				for _, t := range targets {
+					ev.eva = append(ev.eva, evaEvent{a, s, t})
+				}
+			}
+		}
+		if err := e.m.DeleteRoles(s, cl); err != nil {
+			return 0, err
+		}
+	}
+	return len(matches), e.checkConstraints(ev)
+}
+
+// SelectEntities returns the entities of cl satisfying where (all of them
+// when where is nil), in surrogate order. The result is materialized
+// before any mutation, as the DML's snapshot semantics require.
+func (e *Executor) SelectEntities(cl *catalog.Class, where ast.Expr) ([]value.Surrogate, error) {
+	t, err := query.BindSelection(e.cat, cl, where)
+	if err != nil {
+		return nil, err
+	}
+	p, err := plan.Optimize(t, e.m)
+	if err != nil {
+		return nil, err
+	}
+	en := newEnv(len(t.Nodes))
+	root := t.Roots[0]
+	dom, err := e.rootDomain(p, t, root)
+	if err != nil {
+		return nil, err
+	}
+	exist := t.ExistNodes()
+	var out []value.Surrogate
+	for _, it := range dom {
+		en.bind(root, it)
+		ok, err := e.selectionHolds(t, en, exist)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			out = append(out, it.surr)
+		}
+	}
+	return out, nil
+}
+
+// applyAssigns applies an assignment list to one entity.
+func (e *Executor) applyAssigns(s value.Surrogate, cl *catalog.Class, assigns []ast.Assign, ev *events) error {
+	for _, a := range assigns {
+		if err := e.applyAssign(s, cl, a, ev); err != nil {
+			return fmt.Errorf("%s := ...: %w", a.Attr, err)
+		}
+	}
+	return nil
+}
+
+func (e *Executor) applyAssign(s value.Surrogate, cl *catalog.Class, a ast.Assign, ev *events) error {
+	attr := catalog.ResolveAttr(cl, a.Attr)
+	if attr == nil {
+		return fmt.Errorf("class %s has no attribute %q", cl.Name, a.Attr)
+	}
+	switch attr.Kind {
+	case catalog.Subrole:
+		return fmt.Errorf("subrole %s is system-maintained and cannot be assigned", attr)
+	case catalog.Derived:
+		return fmt.Errorf("derived attribute %s is computed and cannot be assigned", attr)
+	case catalog.EVA:
+		return e.assignEVA(s, attr, a, ev)
+	}
+	// DVA.
+	if a.Entity != nil {
+		return fmt.Errorf("%s is data-valued; entity selection does not apply", attr)
+	}
+	v, err := e.evalScalarFor(s, cl, a.Value)
+	if err != nil {
+		return err
+	}
+	cv, err := attr.Type.Coerce(v)
+	if err != nil {
+		return err
+	}
+	if attr.Options.MV {
+		switch a.Mode {
+		case ast.AssignInclude:
+			err = e.m.IncludeMV(s, attr, cv)
+		case ast.AssignExclude:
+			err = e.m.ExcludeMV(s, attr, cv)
+		default:
+			if cv.IsNull() {
+				err = e.m.SetMV(s, attr, nil)
+			} else {
+				err = e.m.SetMV(s, attr, []value.Value{cv})
+			}
+		}
+		if err != nil {
+			return err
+		}
+		ev.dva = append(ev.dva, dvaEvent{attr, s})
+		return nil
+	}
+	if a.Mode != ast.AssignSet {
+		return fmt.Errorf("INCLUDE/EXCLUDE apply to multi-valued attributes; %s is single-valued", attr)
+	}
+	if attr.Options.Required && cv.IsNull() {
+		return fmt.Errorf("required attribute %s cannot be set to NULL", attr)
+	}
+	if err := e.m.SetSingle(s, attr, cv); err != nil {
+		return err
+	}
+	ev.dva = append(ev.dva, dvaEvent{attr, s})
+	return nil
+}
+
+// assignEVA applies §4.8's EVA assignment:
+//
+//	<eva> := [INCLUDE | EXCLUDE] <object name> WITH ( <boolean expn> )
+//
+// For single-valued assignment and inclusion, the object name is the range
+// class; for exclusion it is the EVA itself, selecting among current
+// partners. Assigning NULL clears a single-valued EVA.
+func (e *Executor) assignEVA(s value.Surrogate, attr *catalog.Attribute, a ast.Assign, ev *events) error {
+	record := func(t value.Surrogate) { ev.eva = append(ev.eva, evaEvent{attr, s, t}) }
+
+	if a.Entity == nil {
+		// Scalar RHS: only NULL is meaningful (clear the EVA).
+		lit, ok := a.Value.(*ast.Lit)
+		if !ok || !lit.Val.IsNull() {
+			return fmt.Errorf("%s is entity-valued; assign <class> WITH (...) or NULL", attr)
+		}
+		if attr.Options.MV {
+			cur, err := e.m.GetEVA(s, attr)
+			if err != nil {
+				return err
+			}
+			for _, t := range cur {
+				if err := e.m.ExcludeEVA(s, attr, t); err != nil {
+					return err
+				}
+				record(t)
+			}
+			return nil
+		}
+		cur, err := e.m.GetEVA(s, attr)
+		if err != nil {
+			return err
+		}
+		if err := e.m.SetEVA(s, attr, nil); err != nil {
+			return err
+		}
+		for _, t := range cur {
+			record(t)
+		}
+		return nil
+	}
+
+	if a.Mode == ast.AssignExclude {
+		// Object name is the EVA: select among the current partners.
+		if !nameMatchesAttr(a.Entity.Name, attr) {
+			return fmt.Errorf("EXCLUDE selects from the EVA itself: expected %q, found %q", attr.Name, a.Entity.Name)
+		}
+		cur, err := e.m.GetEVA(s, attr)
+		if err != nil {
+			return err
+		}
+		keep, err := e.filterEntities(attr.Range, cur, a.Entity.Where)
+		if err != nil {
+			return err
+		}
+		for _, t := range keep {
+			if err := e.m.ExcludeEVA(s, attr, t); err != nil {
+				return err
+			}
+			record(t)
+		}
+		return nil
+	}
+
+	// Set / include: the object name is the range class (or a subclass).
+	selCl := e.cat.Class(a.Entity.Name)
+	if selCl == nil {
+		return fmt.Errorf("unknown class %q in entity selection", a.Entity.Name)
+	}
+	if !catalog.IsAncestor(attr.Range, selCl) {
+		return fmt.Errorf("class %s is not in the range of %s (%s)", selCl.Name, attr, attr.Range.Name)
+	}
+	targets, err := e.SelectEntities(selCl, a.Entity.Where)
+	if err != nil {
+		return err
+	}
+	switch {
+	case a.Mode == ast.AssignInclude:
+		for _, t := range targets {
+			if err := e.m.IncludeEVA(s, attr, t); err != nil {
+				return err
+			}
+			record(t)
+		}
+	case attr.Options.MV:
+		// Plain assignment to an MV EVA replaces the instance set.
+		cur, err := e.m.GetEVA(s, attr)
+		if err != nil {
+			return err
+		}
+		for _, t := range cur {
+			if err := e.m.ExcludeEVA(s, attr, t); err != nil {
+				return err
+			}
+			record(t)
+		}
+		for _, t := range targets {
+			if err := e.m.IncludeEVA(s, attr, t); err != nil {
+				return err
+			}
+			record(t)
+		}
+	default:
+		if len(targets) != 1 {
+			return fmt.Errorf("assignment to single-valued %s selected %d entities, need exactly 1", attr, len(targets))
+		}
+		old, err := e.m.GetEVA(s, attr)
+		if err != nil {
+			return err
+		}
+		if err := e.m.SetEVA(s, attr, &targets[0]); err != nil {
+			return err
+		}
+		for _, t := range old {
+			record(t)
+		}
+		record(targets[0])
+	}
+	return nil
+}
+
+func nameMatchesAttr(name string, attr *catalog.Attribute) bool {
+	return strings.EqualFold(name, attr.Name)
+}
+
+// filterEntities keeps the candidates satisfying where, evaluated with the
+// candidate as the perspective instance.
+func (e *Executor) filterEntities(cl *catalog.Class, candidates []value.Surrogate, where ast.Expr) ([]value.Surrogate, error) {
+	if where == nil {
+		return candidates, nil
+	}
+	t, err := query.BindSelection(e.cat, cl, where)
+	if err != nil {
+		return nil, err
+	}
+	en := newEnv(len(t.Nodes))
+	exist := t.ExistNodes()
+	var out []value.Surrogate
+	for _, s := range candidates {
+		en.bind(t.Roots[0], inst{surr: s})
+		ok, err := e.selectionHolds(t, en, exist)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			out = append(out, s)
+		}
+	}
+	return out, nil
+}
+
+// evalScalarFor evaluates an assignment right-hand side in the context of
+// one entity (so "salary := 1.1 * salary" reads the entity's own salary).
+func (e *Executor) evalScalarFor(s value.Surrogate, cl *catalog.Class, expr ast.Expr) (value.Value, error) {
+	if lit, ok := expr.(*ast.Lit); ok {
+		return lit.Val, nil
+	}
+	t, err := query.BindScalar(e.cat, cl, expr)
+	if err != nil {
+		return value.Null, err
+	}
+	for _, n := range t.Nodes {
+		if !n.IsRoot() && !n.Sub && !n.IsValue {
+			// Entity-valued paths are fine (single-valued EVAs), but a
+			// multi-valued main node would make the RHS multi-valued.
+			if n.Edge != nil && n.Edge.Options.MV {
+				return value.Null, fmt.Errorf("assignment expression traverses multi-valued %s", n.Edge)
+			}
+		}
+		if n.IsValue && !n.Sub {
+			return value.Null, fmt.Errorf("assignment expression reads multi-valued %s; aggregate it instead", n.Edge)
+		}
+	}
+	en := newEnv(len(t.Nodes))
+	en.bind(t.Roots[0], inst{surr: s})
+	// Bind the remaining single-valued main nodes.
+	main := t.MainNodes()
+	var fill func(i int) error
+	fill = func(i int) error {
+		if i == len(main) {
+			return nil
+		}
+		n := main[i]
+		if !n.IsRoot() {
+			dom, err := e.domain(nil, t, n, en)
+			if err != nil {
+				return err
+			}
+			if len(dom) == 0 {
+				en.bind(n, inst{null: true})
+			} else {
+				en.bind(n, dom[0])
+			}
+		}
+		return fill(i + 1)
+	}
+	if err := fill(0); err != nil {
+		return value.Null, err
+	}
+	return e.eval(t.Targets[0], en)
+}
+
+// checkRequired verifies the REQUIRED option for the immediate attributes
+// of newly acquired roles (§3.2.1).
+func (e *Executor) checkRequired(s value.Surrogate, roles []*catalog.Class) error {
+	for _, cl := range roles {
+		for _, a := range cl.Attrs {
+			if !a.Options.Required || a.Implicit {
+				continue
+			}
+			switch {
+			case a.Kind == catalog.EVA:
+				ts, err := e.m.GetEVA(s, a)
+				if err != nil {
+					return err
+				}
+				if len(ts) == 0 {
+					return fmt.Errorf("required attribute %s has no value", a)
+				}
+			case a.Options.MV:
+				vs, err := e.m.GetMV(s, a)
+				if err != nil {
+					return err
+				}
+				if len(vs) == 0 {
+					return fmt.Errorf("required attribute %s has no value", a)
+				}
+			default:
+				v, err := e.m.GetSingle(s, a)
+				if err != nil {
+					return err
+				}
+				if v.IsNull() {
+					return fmt.Errorf("required attribute %s has no value", a)
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,202 @@
+// Package integrity analyzes VERIFY assertions (§3.3): for each constraint
+// it determines "all possible events that may cause this condition to be
+// violated" — the trigger set — and the inverse relationship path from each
+// trigger to the entities of the constraint's class that must be
+// re-verified. Enforcement lives in the executor; this package is pure
+// analysis over the catalog and bound query trees.
+package integrity
+
+import (
+	"fmt"
+
+	"sim/internal/catalog"
+	"sim/internal/query"
+)
+
+// Path is the chain of EVA edges from a triggering entity back to the
+// constraint's perspective; enforcement walks each edge's inverse.
+type Path []*catalog.Attribute
+
+// EVATrigger records that instances of Ref's relationship affect the
+// assertion; the affected perspective entities are reached by walking Path
+// upward from the Ref-owner-side endpoint.
+type EVATrigger struct {
+	Ref  *catalog.Attribute
+	Path Path
+}
+
+// Constraint is one analyzed VERIFY.
+type Constraint struct {
+	Verify *catalog.Verify
+	Tree   *query.Tree
+
+	dva       map[*catalog.Attribute][]Path
+	eva       map[*catalog.Attribute][]EVATrigger // keyed by canonical attribute
+	roles     map[*catalog.Class][]Path           // subrole/ISA-sensitive classes
+	globalDVA map[*catalog.Attribute]bool         // attr referenced under a standalone scan
+	globalEVA map[*catalog.Attribute]bool
+}
+
+// canonicalOf picks the pair representative (lower attribute id).
+func canonicalOf(a *catalog.Attribute) *catalog.Attribute {
+	if a.Inverse != nil && a.Inverse.ID < a.ID {
+		return a.Inverse
+	}
+	return a
+}
+
+// Analyze binds and analyzes every VERIFY in the catalog.
+func Analyze(cat *catalog.Catalog) ([]*Constraint, error) {
+	var out []*Constraint
+	for _, v := range cat.Verifies() {
+		c, err := analyzeOne(cat, v)
+		if err != nil {
+			return nil, fmt.Errorf("verify %s: %w", v.Name, err)
+		}
+		out = append(out, c)
+	}
+	return out, nil
+}
+
+func analyzeOne(cat *catalog.Catalog, v *catalog.Verify) (*Constraint, error) {
+	t, err := query.BindSelection(cat, v.Class, v.Assert)
+	if err != nil {
+		return nil, err
+	}
+	c := &Constraint{
+		Verify:    v,
+		Tree:      t,
+		dva:       make(map[*catalog.Attribute][]Path),
+		eva:       make(map[*catalog.Attribute][]EVATrigger),
+		roles:     make(map[*catalog.Class][]Path),
+		globalDVA: make(map[*catalog.Attribute]bool),
+		globalEVA: make(map[*catalog.Attribute]bool),
+	}
+	// Record the trigger set in v for introspection.
+	v.Triggers = make(map[string]bool)
+
+	// Relationship edges referenced anywhere in the tree.
+	for _, n := range t.Nodes {
+		if n.Edge == nil {
+			continue
+		}
+		switch n.Edge.Kind {
+		case catalog.EVA:
+			path, global := pathUp(n.Parent)
+			can := canonicalOf(n.Edge)
+			if global || n.Transitive {
+				c.globalEVA[can] = true
+			} else {
+				c.eva[can] = append(c.eva[can], EVATrigger{Ref: n.Edge, Path: path})
+			}
+			v.Triggers[lowerName(n.Edge)] = true
+		case catalog.DVA: // multi-valued DVA value node
+			path, global := pathUp(n.Parent)
+			if global {
+				c.globalDVA[n.Edge] = true
+			} else {
+				c.dva[n.Edge] = append(c.dva[n.Edge], path)
+			}
+			v.Triggers[lowerName(n.Edge)] = true
+		case catalog.Subrole:
+			path, global := pathUp(n.Parent)
+			for _, sub := range n.Edge.SubroleOf {
+				if global {
+					c.roles[sub] = append(c.roles[sub], nil)
+				} else {
+					c.roles[sub] = append(c.roles[sub], path)
+				}
+			}
+		}
+	}
+
+	// Scalar references in the assertion and in every subquery value.
+	record := func(e query.Expr) {
+		query.Walk(e, func(x query.Expr) {
+			switch x := x.(type) {
+			case *query.AttrRef:
+				path, global := pathUp(x.Node)
+				if x.Attr.Kind == catalog.Subrole {
+					for _, sub := range x.Attr.SubroleOf {
+						c.roles[sub] = append(c.roles[sub], path)
+					}
+					return
+				}
+				if global {
+					c.globalDVA[x.Attr] = true
+				} else {
+					c.dva[x.Attr] = append(c.dva[x.Attr], path)
+				}
+				v.Triggers[lowerName(x.Attr)] = true
+			case *query.Isa:
+				path, _ := pathUp(x.Node)
+				for _, cl := range catalog.HierarchyClasses(x.Class.Base) {
+					c.roles[cl] = append(c.roles[cl], path)
+				}
+			}
+		})
+	}
+	record(t.Where)
+
+	// Creating or extending an entity into the constraint's class (or a
+	// descendant) always triggers a check of that entity.
+	c.roles[v.Class] = append(c.roles[v.Class], Path{})
+	for _, d := range catalog.Descendants(v.Class) {
+		c.roles[d] = append(c.roles[d], Path{})
+	}
+	return c, nil
+}
+
+func lowerName(a *catalog.Attribute) string {
+	return a.Owner.Name + "." + a.Name
+}
+
+// pathUp returns the EVA edges from node n back to the perspective root
+// (n-first). global is true when the chain passes a standalone subquery
+// scan or a transitive edge, in which case affected entities cannot be
+// bounded and the whole class must be re-checked.
+func pathUp(n *query.Node) (Path, bool) {
+	var path Path
+	for cur := n; cur != nil; cur = cur.Parent {
+		if cur.IsRoot() {
+			if cur.Sub {
+				return nil, true // standalone subquery scan
+			}
+			return path, false
+		}
+		if cur.Edge != nil && cur.Edge.Kind != catalog.EVA {
+			continue // value node: its entity parent carries the path
+		}
+		if cur.Edge == nil || cur.Transitive {
+			return nil, true
+		}
+		path = append(path, cur.Edge)
+	}
+	return path, false
+}
+
+// DVATriggers returns the trigger paths for a single- or multi-valued DVA,
+// or checkAll when the attribute is referenced under an unbounded scope.
+func (c *Constraint) DVATriggers(a *catalog.Attribute) ([]Path, bool) {
+	if c.globalDVA[a] {
+		return nil, true
+	}
+	return c.dva[a], false
+}
+
+// EVATriggers returns the triggers for a relationship (either direction),
+// or checkAll.
+func (c *Constraint) EVATriggers(a *catalog.Attribute) ([]EVATrigger, bool) {
+	can := canonicalOf(a)
+	if c.globalEVA[can] {
+		return nil, true
+	}
+	return c.eva[can], false
+}
+
+// RoleTriggers returns the trigger paths for gaining or losing a role in
+// cl: the affected entities are reached by walking each path upward from
+// the event's entity (an empty path means the entity itself).
+func (c *Constraint) RoleTriggers(cl *catalog.Class) []Path {
+	return c.roles[cl]
+}

@@ -1,0 +1,264 @@
+// Package lexer implements the tokenizer for SIM DDL and DML source text.
+//
+// SIM identifiers may contain hyphens (soc-sec-no, courses-enrolled). A '-'
+// is taken as part of an identifier when it appears directly between an
+// identifier character and a letter with no intervening space; surrounded by
+// spaces (or followed by a digit) it is the subtraction operator, matching
+// the paper's examples where arithmetic is written with spacing.
+package lexer
+
+import (
+	"fmt"
+	"strings"
+
+	"sim/internal/token"
+)
+
+// Lexer scans SIM source text into tokens.
+type Lexer struct {
+	src  string
+	pos  int // byte offset of next rune
+	line int
+	col  int
+}
+
+// New returns a Lexer over src.
+func New(src string) *Lexer {
+	return &Lexer{src: src, line: 1, col: 1}
+}
+
+// Error describes a lexical error with its position.
+type Error struct {
+	Pos token.Pos
+	Msg string
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("lex error at %d:%d: %s", e.Pos.Line, e.Pos.Col, e.Msg)
+}
+
+func (l *Lexer) peek() byte {
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos]
+}
+
+func (l *Lexer) peekAt(n int) byte {
+	if l.pos+n >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos+n]
+}
+
+func (l *Lexer) advance() byte {
+	c := l.src[l.pos]
+	l.pos++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func isLetter(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_'
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+func isIdentChar(c byte) bool { return isLetter(c) || isDigit(c) }
+
+// skipSpace consumes whitespace and comments. SIM accepts Pascal-style
+// (* ... *) comments (used in the paper's example schema) and
+// line comments beginning with "--".
+func (l *Lexer) skipSpace() error {
+	for l.pos < len(l.src) {
+		c := l.peek()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.advance()
+		case c == '(' && l.peekAt(1) == '*':
+			start := token.Pos{Line: l.line, Col: l.col}
+			l.advance()
+			l.advance()
+			closed := false
+			for l.pos < len(l.src) {
+				if l.peek() == '*' && l.peekAt(1) == ')' {
+					l.advance()
+					l.advance()
+					closed = true
+					break
+				}
+				l.advance()
+			}
+			if !closed {
+				return &Error{Pos: start, Msg: "unterminated comment"}
+			}
+		case c == '-' && l.peekAt(1) == '-':
+			for l.pos < len(l.src) && l.peek() != '\n' {
+				l.advance()
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+// Next returns the next token. At end of input it returns an EOF token.
+func (l *Lexer) Next() (token.Token, error) {
+	if err := l.skipSpace(); err != nil {
+		return token.Token{}, err
+	}
+	pos := token.Pos{Line: l.line, Col: l.col}
+	if l.pos >= len(l.src) {
+		return token.Token{Kind: token.EOF, Pos: pos}, nil
+	}
+	c := l.peek()
+	switch {
+	case isLetter(c):
+		return l.scanIdent(pos), nil
+	case isDigit(c):
+		return l.scanNumber(pos)
+	case c == '"':
+		return l.scanString(pos)
+	}
+	l.advance()
+	two := func(k token.Kind, text string) (token.Token, error) {
+		l.advance()
+		return token.Token{Kind: k, Text: text, Pos: pos}, nil
+	}
+	switch c {
+	case ':':
+		if l.peek() == '=' {
+			return two(token.ASSIGN, ":=")
+		}
+		return token.Token{Kind: token.COLON, Text: ":", Pos: pos}, nil
+	case '=':
+		return token.Token{Kind: token.EQ, Text: "=", Pos: pos}, nil
+	case '<':
+		switch l.peek() {
+		case '=':
+			return two(token.LE, "<=")
+		case '>':
+			return two(token.NEQ, "<>")
+		}
+		return token.Token{Kind: token.LT, Text: "<", Pos: pos}, nil
+	case '>':
+		if l.peek() == '=' {
+			return two(token.GE, ">=")
+		}
+		return token.Token{Kind: token.GT, Text: ">", Pos: pos}, nil
+	case '+':
+		return token.Token{Kind: token.PLUS, Text: "+", Pos: pos}, nil
+	case '-':
+		return token.Token{Kind: token.MINUS, Text: "-", Pos: pos}, nil
+	case '*':
+		return token.Token{Kind: token.STAR, Text: "*", Pos: pos}, nil
+	case '/':
+		return token.Token{Kind: token.SLASH, Text: "/", Pos: pos}, nil
+	case '(':
+		return token.Token{Kind: token.LPAREN, Text: "(", Pos: pos}, nil
+	case ')':
+		return token.Token{Kind: token.RPAREN, Text: ")", Pos: pos}, nil
+	case '[':
+		return token.Token{Kind: token.LBRACKET, Text: "[", Pos: pos}, nil
+	case ']':
+		return token.Token{Kind: token.RBRACKET, Text: "]", Pos: pos}, nil
+	case ',':
+		return token.Token{Kind: token.COMMA, Text: ",", Pos: pos}, nil
+	case ';':
+		return token.Token{Kind: token.SEMICOLON, Text: ";", Pos: pos}, nil
+	case '.':
+		if l.peek() == '.' {
+			return two(token.DOTDOT, "..")
+		}
+		return token.Token{Kind: token.PERIOD, Text: ".", Pos: pos}, nil
+	}
+	return token.Token{}, &Error{Pos: pos, Msg: fmt.Sprintf("unexpected character %q", c)}
+}
+
+func (l *Lexer) scanIdent(pos token.Pos) token.Token {
+	start := l.pos
+	for l.pos < len(l.src) {
+		c := l.peek()
+		if isIdentChar(c) {
+			l.advance()
+			continue
+		}
+		// Hyphen glued between an identifier character and a letter is part
+		// of the name: soc-sec-no, courses-enrolled.
+		if c == '-' && isLetter(l.peekAt(1)) {
+			l.advance()
+			continue
+		}
+		break
+	}
+	text := l.src[start:l.pos]
+	kind := token.Lookup(text)
+	// Hyphenated words are never keywords even if a segment matches one.
+	if strings.ContainsRune(text, '-') {
+		kind = token.IDENT
+	}
+	return token.Token{Kind: kind, Text: text, Pos: pos}
+}
+
+func (l *Lexer) scanNumber(pos token.Pos) (token.Token, error) {
+	start := l.pos
+	for l.pos < len(l.src) && isDigit(l.peek()) {
+		l.advance()
+	}
+	kind := token.INT
+	// A '.' begins a fraction only when a digit follows; otherwise it is a
+	// range operator ('..') or the statement terminator ("= 3.").
+	if l.peek() == '.' && isDigit(l.peekAt(1)) {
+		kind = token.NUMBER
+		l.advance()
+		for l.pos < len(l.src) && isDigit(l.peek()) {
+			l.advance()
+		}
+	}
+	return token.Token{Kind: kind, Text: l.src[start:l.pos], Pos: pos}, nil
+}
+
+func (l *Lexer) scanString(pos token.Pos) (token.Token, error) {
+	l.advance() // opening quote
+	var b strings.Builder
+	for l.pos < len(l.src) {
+		c := l.advance()
+		if c == '"' {
+			// Doubled quote is an escaped quote.
+			if l.peek() == '"' {
+				l.advance()
+				b.WriteByte('"')
+				continue
+			}
+			return token.Token{Kind: token.STRING, Text: b.String(), Pos: pos}, nil
+		}
+		if c == '\n' {
+			return token.Token{}, &Error{Pos: pos, Msg: "unterminated string literal"}
+		}
+		b.WriteByte(c)
+	}
+	return token.Token{}, &Error{Pos: pos, Msg: "unterminated string literal"}
+}
+
+// All tokenizes the entire input, returning the tokens up to and including
+// the EOF token.
+func All(src string) ([]token.Token, error) {
+	l := New(src)
+	var out []token.Token
+	for {
+		t, err := l.Next()
+		if err != nil {
+			return out, err
+		}
+		out = append(out, t)
+		if t.Kind == token.EOF {
+			return out, nil
+		}
+	}
+}

@@ -1,0 +1,187 @@
+package lexer
+
+import (
+	"testing"
+
+	"sim/internal/token"
+)
+
+func kinds(t *testing.T, src string) []token.Kind {
+	t.Helper()
+	toks, err := All(src)
+	if err != nil {
+		t.Fatalf("All(%q): %v", src, err)
+	}
+	out := make([]token.Kind, len(toks))
+	for i, tk := range toks {
+		out[i] = tk.Kind
+	}
+	return out
+}
+
+func texts(t *testing.T, src string) []string {
+	t.Helper()
+	toks, err := All(src)
+	if err != nil {
+		t.Fatalf("All(%q): %v", src, err)
+	}
+	out := make([]string, 0, len(toks)-1)
+	for _, tk := range toks {
+		if tk.Kind != token.EOF {
+			out = append(out, tk.Text)
+		}
+	}
+	return out
+}
+
+func TestHyphenatedIdentifiers(t *testing.T) {
+	got := texts(t, "soc-sec-no of courses-enrolled")
+	want := []string{"soc-sec-no", "of", "courses-enrolled"}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d: got %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestHyphenVsMinus(t *testing.T) {
+	// Spaced hyphen is subtraction.
+	ks := kinds(t, "salary - bonus")
+	want := []token.Kind{token.IDENT, token.MINUS, token.IDENT, token.EOF}
+	for i := range want {
+		if ks[i] != want[i] {
+			t.Fatalf("salary - bonus: token %d = %v, want %v (all: %v)", i, ks[i], want[i], ks)
+		}
+	}
+	// Hyphen before a digit is subtraction even unspaced.
+	ks = kinds(t, "salary-1")
+	want = []token.Kind{token.IDENT, token.MINUS, token.INT, token.EOF}
+	for i := range want {
+		if ks[i] != want[i] {
+			t.Fatalf("salary-1: token %d = %v, want %v", i, ks[i], want[i])
+		}
+	}
+}
+
+func TestHyphenatedNeverKeyword(t *testing.T) {
+	toks, err := All("prerequisite-of")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Kind != token.IDENT {
+		t.Errorf("prerequisite-of lexed as %v, want IDENT", toks[0].Kind)
+	}
+}
+
+func TestKeywordsCaseInsensitive(t *testing.T) {
+	for _, src := range []string{"RETRIEVE", "Retrieve", "retrieve"} {
+		ks := kinds(t, src)
+		if ks[0] != token.RETRIEVE {
+			t.Errorf("%q lexed as %v, want RETRIEVE", src, ks[0])
+		}
+	}
+}
+
+func TestNumbersAndRanges(t *testing.T) {
+	ks := kinds(t, "1001..39999")
+	want := []token.Kind{token.INT, token.DOTDOT, token.INT, token.EOF}
+	for i := range want {
+		if ks[i] != want[i] {
+			t.Fatalf("range: token %d = %v, want %v", i, ks[i], want[i])
+		}
+	}
+	ks = kinds(t, "1.1 * salary")
+	want = []token.Kind{token.NUMBER, token.STAR, token.IDENT, token.EOF}
+	for i := range want {
+		if ks[i] != want[i] {
+			t.Fatalf("number: token %d = %v, want %v", i, ks[i], want[i])
+		}
+	}
+}
+
+func TestStringLiteral(t *testing.T) {
+	toks, err := All(`"Algebra I"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Kind != token.STRING || toks[0].Text != "Algebra I" {
+		t.Errorf("got %v %q", toks[0].Kind, toks[0].Text)
+	}
+	// Doubled quote escapes.
+	toks, err = All(`"say ""hi"""`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Text != `say "hi"` {
+		t.Errorf("escaped quote: got %q", toks[0].Text)
+	}
+}
+
+func TestUnterminatedString(t *testing.T) {
+	if _, err := All(`"open`); err == nil {
+		t.Error("unterminated string did not fail")
+	}
+	if _, err := All("\"newline\nin string\""); err == nil {
+		t.Error("newline in string did not fail")
+	}
+}
+
+func TestComments(t *testing.T) {
+	got := texts(t, "(* a comment *) name -- trailing\nof")
+	if len(got) != 2 || got[0] != "name" || got[1] != "of" {
+		t.Fatalf("comments: got %v", got)
+	}
+}
+
+func TestUnterminatedComment(t *testing.T) {
+	if _, err := All("(* never closed"); err == nil {
+		t.Error("unterminated comment did not fail")
+	}
+}
+
+func TestOperators(t *testing.T) {
+	ks := kinds(t, ":= <= >= <> = < > + - * / ( ) [ ] , ; : .")
+	want := []token.Kind{
+		token.ASSIGN, token.LE, token.GE, token.NEQ, token.EQ, token.LT,
+		token.GT, token.PLUS, token.MINUS, token.STAR, token.SLASH,
+		token.LPAREN, token.RPAREN, token.LBRACKET, token.RBRACKET,
+		token.COMMA, token.SEMICOLON, token.COLON, token.PERIOD, token.EOF,
+	}
+	if len(ks) != len(want) {
+		t.Fatalf("got %d tokens %v, want %d", len(ks), ks, len(want))
+	}
+	for i := range want {
+		if ks[i] != want[i] {
+			t.Errorf("token %d: got %v, want %v", i, ks[i], want[i])
+		}
+	}
+}
+
+func TestPositions(t *testing.T) {
+	toks, err := All("a\n  b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Pos.Line != 1 || toks[0].Pos.Col != 1 {
+		t.Errorf("a at %v", toks[0].Pos)
+	}
+	if toks[1].Pos.Line != 2 || toks[1].Pos.Col != 3 {
+		t.Errorf("b at %v", toks[1].Pos)
+	}
+}
+
+func TestIllegalCharacter(t *testing.T) {
+	if _, err := All("a @ b"); err == nil {
+		t.Error("illegal character did not fail")
+	}
+}
+
+func TestNEQKeyword(t *testing.T) {
+	ks := kinds(t, "a neq b")
+	if ks[1] != token.NEQKW {
+		t.Errorf("neq lexed as %v", ks[1])
+	}
+}

@@ -1,0 +1,140 @@
+package luc
+
+import (
+	"bytes"
+
+	"sim/internal/catalog"
+	"sim/internal/value"
+)
+
+// Secondary indexes map <value-key, owner-surrogate> rows; UNIQUE
+// attributes always have one (it enforces the option and serves point
+// lookups), and Config.Indexes adds optimizer-selectable indexes on other
+// single-valued DVAs ("indexes … are some of the optimization parameters
+// used", §5.1).
+
+func (m *Mapper) indexInsert(a *catalog.Attribute, v value.Value, s value.Surrogate) error {
+	st, err := m.indexStructure(a)
+	if err != nil {
+		return err
+	}
+	key := value.AppendKey(nil, v)
+	key = value.AppendSurrogateKey(key, s)
+	return st.Put(key, nil)
+}
+
+func (m *Mapper) indexRemove(a *catalog.Attribute, v value.Value, s value.Surrogate) error {
+	st, err := m.indexStructure(a)
+	if err != nil {
+		return err
+	}
+	key := value.AppendKey(nil, v)
+	key = value.AppendSurrogateKey(key, s)
+	_, err = st.Delete(key)
+	return err
+}
+
+// LookupUnique finds the entity holding value v in unique attribute a.
+func (m *Mapper) LookupUnique(a *catalog.Attribute, v value.Value) (value.Surrogate, bool, error) {
+	st, err := m.indexStructure(a)
+	if err != nil {
+		return 0, false, err
+	}
+	c, err := st.SeekPrefix(value.AppendKey(nil, v))
+	if err != nil {
+		return 0, false, err
+	}
+	if !c.Valid() {
+		return 0, false, c.Err()
+	}
+	key := c.Key()
+	return value.SurrogateFromKey(key[len(key)-8:]), true, nil
+}
+
+// Bound describes one end of an index range; nil Value means unbounded.
+type Bound struct {
+	Value     value.Value
+	Inclusive bool
+	Set       bool
+}
+
+// IndexCountApprox counts the index entries of a within [lo, hi],
+// stopping at limit: the optimizer's bounded selectivity probe (the paper
+// notes "statistical optimization is not fully implemented yet"; probing
+// the index bounds the estimation cost while being exact for selective
+// predicates).
+func (m *Mapper) IndexCountApprox(a *catalog.Attribute, lo, hi Bound, limit int) (n int, capped bool, err error) {
+	st, err := m.indexStructure(a)
+	if err != nil {
+		return 0, false, err
+	}
+	var start []byte
+	if lo.Set {
+		start = value.AppendKey(nil, lo.Value)
+	}
+	var hiKey []byte
+	if hi.Set {
+		hiKey = value.AppendKey(nil, hi.Value)
+	}
+	c, err := st.Seek(start)
+	if err != nil {
+		return 0, false, err
+	}
+	for ; c.Valid(); c.Next() {
+		key := c.Key()
+		part := key[:len(key)-8]
+		if lo.Set && !lo.Inclusive && bytes.Equal(part, start) {
+			continue
+		}
+		if hi.Set {
+			cmp := bytes.Compare(part, hiKey)
+			if cmp > 0 || (cmp == 0 && !hi.Inclusive) {
+				break
+			}
+		}
+		n++
+		if n >= limit {
+			return n, true, nil
+		}
+	}
+	return n, false, c.Err()
+}
+
+// IndexScan returns the surrogates whose indexed value of a lies within
+// [lo, hi], in value order.
+func (m *Mapper) IndexScan(a *catalog.Attribute, lo, hi Bound) ([]value.Surrogate, error) {
+	st, err := m.indexStructure(a)
+	if err != nil {
+		return nil, err
+	}
+	var start []byte
+	if lo.Set {
+		start = value.AppendKey(nil, lo.Value)
+	}
+	var hiKey []byte
+	if hi.Set {
+		hiKey = value.AppendKey(nil, hi.Value)
+	}
+	c, err := st.Seek(start)
+	if err != nil {
+		return nil, err
+	}
+	var out []value.Surrogate
+	for ; c.Valid(); c.Next() {
+		key := c.Key()
+		part := key[:len(key)-8]
+		if lo.Set && !lo.Inclusive && bytes.Equal(part, start) {
+			continue
+		}
+		if hi.Set {
+			cmp := bytes.Compare(part, hiKey)
+			if cmp > 0 || (cmp == 0 && !hi.Inclusive) {
+				break
+			}
+		}
+		// Keys below the lower bound cannot appear (Seek started there),
+		// but NULL entries are never indexed, so no filtering is needed.
+		out = append(out, value.SurrogateFromKey(key[len(key)-8:]))
+	}
+	return out, c.Err()
+}

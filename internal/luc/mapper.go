@@ -1,0 +1,479 @@
+// Package luc implements SIM's LUC Mapper (§5.1): the module that maps the
+// high-level objects of the semantic model — classes, generalization
+// hierarchies, multi-valued DVAs and EVAs — onto record-based storage
+// units, and that owns structural integrity ("the Mapper assures the
+// structural integrity of data reflected in LUC interconnections").
+//
+// The default physical mapping follows §5.2:
+//
+//   - a generalization hierarchy maps to one storage unit with
+//     variable-format records keyed by surrogate (the record's format
+//     varies with the entity's role set);
+//   - 1:1 EVAs map to foreign keys held in both partner records;
+//   - 1:many EVAs and many:many EVAs without DISTINCT map into the shared
+//     Common EVA Structure of <surrogate1, relationship-id, surrogate2>
+//     rows; many:many DISTINCT EVAs get a private structure of the same
+//     shape;
+//   - multi-valued DVAs with MAX embed as arrays in the owner record;
+//     unbounded ones map to a separate dependent storage unit.
+//
+// Every default can be overridden per attribute or per hierarchy through
+// Config, which the benchmark harness uses for the paper's §5.2 mapping
+// ablations.
+package luc
+
+import (
+	"encoding/binary"
+	"fmt"
+	"strings"
+
+	"sim/internal/catalog"
+	"sim/internal/dmsii"
+	"sim/internal/value"
+)
+
+// HierarchyStrategy selects how a generalization hierarchy maps to storage.
+type HierarchyStrategy int
+
+// Hierarchy strategies.
+const (
+	// HierarchySingleRecord stores one variable-format record per entity
+	// holding the sections of every role (§5.2's default for trees).
+	HierarchySingleRecord HierarchyStrategy = iota
+	// HierarchySplit stores one storage unit per class with records joined
+	// by 1:1 subclass links (same surrogate key), §5.2's mapping for
+	// multi-inheritance subclasses, applied to the whole hierarchy.
+	HierarchySplit
+)
+
+// EVAStrategy selects how an EVA pair maps to storage.
+type EVAStrategy int
+
+// EVA strategies.
+const (
+	// EVADefault applies §5.2's rules: 1:1 → foreign keys; many:many with
+	// DISTINCT → private structure; everything else → the Common EVA
+	// Structure.
+	EVADefault EVAStrategy = iota
+	// EVACommon forces the Common EVA Structure.
+	EVACommon
+	// EVAForeignKey stores the relationship as a foreign key in the
+	// single-valued side's record plus the "additional index structure"
+	// §5.2 notes a foreign-key mapping of a 1:many EVA needs.
+	EVAForeignKey
+	// EVAPrivate forces a private <surr1, surr2> structure.
+	EVAPrivate
+)
+
+// MVDVAStrategy selects how a multi-valued DVA maps to storage.
+type MVDVAStrategy int
+
+// Multi-valued DVA strategies.
+const (
+	// MVDefault embeds values with a MAX bound in the owner record and
+	// maps unbounded ones to a separate storage unit (§5.2).
+	MVDefault MVDVAStrategy = iota
+	// MVEmbedded forces in-record arrays.
+	MVEmbedded
+	// MVSeparate forces a separate dependent storage unit.
+	MVSeparate
+)
+
+// Config overrides default physical mappings. Keys are lower-case: base
+// class names for Hierarchy, "class.attr" for the attribute maps.
+type Config struct {
+	Hierarchy map[string]HierarchyStrategy
+	EVA       map[string]EVAStrategy
+	MVDVA     map[string]MVDVAStrategy
+	// Indexes lists "class.attr" DVAs to maintain secondary indexes on
+	// (UNIQUE attributes always have one).
+	Indexes []string
+}
+
+func attrKey(a *catalog.Attribute) string {
+	return strings.ToLower(a.Owner.Name + "." + a.Name)
+}
+
+// resolved physical mapping for one EVA pair.
+type evaMapping int
+
+const (
+	evaFK evaMapping = iota
+	evaCES
+	evaOwn
+)
+
+// Mapper is the LUC Mapper instance for one store + catalog.
+type Mapper struct {
+	store *dmsii.Store
+	cat   *catalog.Catalog
+
+	hier  map[*catalog.Class]HierarchyStrategy // by base class
+	evas  map[*catalog.Attribute]evaMapping    // by canonical attribute
+	mvSep map[*catalog.Attribute]bool          // separate-unit MV DVAs
+	idx   map[*catalog.Attribute]bool          // secondary-indexed DVAs
+
+	// slots caches, per class, the immediate attributes stored in that
+	// class's record section, in declaration order.
+	slots map[*catalog.Class][]slot
+
+	surrNext map[int]value.Surrogate // per base class id
+	stats    map[string]int64        // cached entity/instance counts
+	rcache   map[rcKey]*record       // decoded-record read cache
+}
+
+// rcKey identifies a cached record by hierarchy and surrogate.
+type rcKey struct {
+	base int
+	s    value.Surrogate
+}
+
+// rcacheCap bounds the read cache; it is cleared wholesale when full.
+const rcacheCap = 1024
+
+type slotKind int
+
+const (
+	slotSingle slotKind = iota // single-valued DVA
+	slotMulti                  // embedded multi-valued DVA
+	slotFK                     // EVA foreign key (surrogate or NULL)
+)
+
+type slot struct {
+	attr *catalog.Attribute
+	kind slotKind
+}
+
+// New builds the mapper, resolving every physical mapping decision.
+func New(store *dmsii.Store, cat *catalog.Catalog, cfg Config) (*Mapper, error) {
+	m := &Mapper{
+		store:    store,
+		cat:      cat,
+		hier:     make(map[*catalog.Class]HierarchyStrategy),
+		evas:     make(map[*catalog.Attribute]evaMapping),
+		mvSep:    make(map[*catalog.Attribute]bool),
+		idx:      make(map[*catalog.Attribute]bool),
+		slots:    make(map[*catalog.Class][]slot),
+		surrNext: make(map[int]value.Surrogate),
+		stats:    make(map[string]int64),
+		rcache:   make(map[rcKey]*record),
+	}
+	if err := m.Reconfigure(cfg); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// Reconfigure recomputes mapping decisions; used when the schema is
+// extended. Changing the strategy of a populated structure is not
+// supported.
+func (m *Mapper) Reconfigure(cfg Config) error {
+	for _, cl := range m.cat.Classes() {
+		if cl.IsBase() {
+			strat := HierarchySingleRecord
+			if cfg.Hierarchy != nil {
+				if s, ok := cfg.Hierarchy[strings.ToLower(cl.Name)]; ok {
+					strat = s
+				}
+			}
+			m.hier[cl] = strat
+		}
+	}
+	for _, cl := range m.cat.Classes() {
+		for _, a := range cl.Attrs {
+			switch a.Kind {
+			case catalog.EVA:
+				can := canonical(a)
+				if _, done := m.evas[can]; done {
+					continue
+				}
+				strat := EVADefault
+				if cfg.EVA != nil {
+					if s, ok := cfg.EVA[attrKey(a)]; ok {
+						strat = s
+					} else if s, ok := cfg.EVA[attrKey(a.Inverse)]; ok {
+						strat = s
+					}
+				}
+				mapping, err := resolveEVA(can, strat)
+				if err != nil {
+					return err
+				}
+				m.evas[can] = mapping
+			case catalog.DVA:
+				if a.Options.MV {
+					strat := MVDefault
+					if cfg.MVDVA != nil {
+						if s, ok := cfg.MVDVA[attrKey(a)]; ok {
+							strat = s
+						}
+					}
+					switch strat {
+					case MVEmbedded:
+						m.mvSep[a] = false
+					case MVSeparate:
+						m.mvSep[a] = true
+					default:
+						m.mvSep[a] = a.Options.Max == 0
+					}
+				}
+				if a.Options.Unique {
+					m.idx[a] = true
+				}
+			}
+		}
+	}
+	for _, name := range cfg.Indexes {
+		parts := strings.SplitN(strings.ToLower(name), ".", 2)
+		if len(parts) != 2 {
+			return fmt.Errorf("luc: index spec %q is not class.attr", name)
+		}
+		cl := m.cat.Class(parts[0])
+		if cl == nil {
+			continue // class not defined yet; applied when the schema grows
+		}
+		a := catalog.ResolveAttr(cl, parts[1])
+		if a == nil || a.Kind != catalog.DVA || a.Options.MV {
+			return fmt.Errorf("luc: index spec %q: not a single-valued DVA", name)
+		}
+		m.idx[a] = true
+	}
+	// Slot tables.
+	for _, cl := range m.cat.Classes() {
+		m.slots[cl] = m.computeSlots(cl)
+	}
+	return nil
+}
+
+// canonical picks the representative attribute of an EVA pair (the lower
+// attribute id); the relationship id of §5.2's Common EVA Structure rows.
+func canonical(a *catalog.Attribute) *catalog.Attribute {
+	if a.Inverse != nil && a.Inverse.ID < a.ID {
+		return a.Inverse
+	}
+	return a
+}
+
+func resolveEVA(can *catalog.Attribute, strat EVAStrategy) (evaMapping, error) {
+	inv := can.Inverse
+	oneOne := !can.Options.MV && !inv.Options.MV
+	manyMany := can.Options.MV && inv.Options.MV
+	switch strat {
+	case EVADefault:
+		switch {
+		case oneOne:
+			return evaFK, nil
+		case manyMany && (can.Options.Distinct || inv.Options.Distinct):
+			return evaOwn, nil
+		default:
+			return evaCES, nil
+		}
+	case EVACommon:
+		return evaCES, nil
+	case EVAPrivate:
+		return evaOwn, nil
+	case EVAForeignKey:
+		if manyMany {
+			return 0, fmt.Errorf("luc: EVA %s is many:many; a foreign-key mapping requires a single-valued side", can)
+		}
+		return evaFK, nil
+	}
+	return 0, fmt.Errorf("luc: unknown EVA strategy %d", strat)
+}
+
+// fkHolders returns the attributes whose owner's record embeds the foreign
+// key for an FK-mapped pair: both sides when 1:1, else the single-valued
+// side.
+func fkHolders(can *catalog.Attribute) []*catalog.Attribute {
+	inv := can.Inverse
+	if can == inv { // self-inverse (spouse)
+		return []*catalog.Attribute{can}
+	}
+	if !can.Options.MV && !inv.Options.MV {
+		return []*catalog.Attribute{can, inv}
+	}
+	if !can.Options.MV {
+		return []*catalog.Attribute{can}
+	}
+	return []*catalog.Attribute{inv}
+}
+
+// isFKHolder reports whether a's value is stored in its owner's record.
+func (m *Mapper) isFKHolder(a *catalog.Attribute) bool {
+	if m.evas[canonical(a)] != evaFK {
+		return false
+	}
+	for _, h := range fkHolders(canonical(a)) {
+		if h == a {
+			return true
+		}
+	}
+	return false
+}
+
+// computeSlots lists the immediate attributes of cl stored in its record
+// section: single-valued DVAs, embedded MV DVAs and FK-held EVAs. Subrole
+// attributes are derived from the role set and never stored.
+func (m *Mapper) computeSlots(cl *catalog.Class) []slot {
+	var out []slot
+	for _, a := range cl.Attrs {
+		switch a.Kind {
+		case catalog.DVA:
+			if a.Options.MV {
+				if !m.mvSep[a] {
+					out = append(out, slot{a, slotMulti})
+				}
+			} else {
+				out = append(out, slot{a, slotSingle})
+			}
+		case catalog.EVA:
+			if m.isFKHolder(a) {
+				out = append(out, slot{a, slotFK})
+			}
+		}
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Structure naming
+// ---------------------------------------------------------------------------
+
+func (m *Mapper) hierStructure(base *catalog.Class) (*dmsii.Structure, error) {
+	return m.store.Structure(fmt.Sprintf("h:%d", base.ID))
+}
+
+func (m *Mapper) classStructure(cl *catalog.Class) (*dmsii.Structure, error) {
+	return m.store.Structure(fmt.Sprintf("c:%d", cl.ID))
+}
+
+func (m *Mapper) cesStructure() (*dmsii.Structure, error) {
+	return m.store.Structure("ces")
+}
+
+func (m *Mapper) ownEVAStructure(can *catalog.Attribute) (*dmsii.Structure, error) {
+	return m.store.Structure(fmt.Sprintf("eva:%d", can.ID))
+}
+
+func (m *Mapper) fkIndexStructure(can *catalog.Attribute) (*dmsii.Structure, error) {
+	return m.store.Structure(fmt.Sprintf("fki:%d", can.ID))
+}
+
+func (m *Mapper) mvStructure(a *catalog.Attribute) (*dmsii.Structure, error) {
+	return m.store.Structure(fmt.Sprintf("mv:%d", a.ID))
+}
+
+func (m *Mapper) indexStructure(a *catalog.Attribute) (*dmsii.Structure, error) {
+	return m.store.Structure(fmt.Sprintf("ix:%d", a.ID))
+}
+
+// ---------------------------------------------------------------------------
+// Surrogates and statistics
+// ---------------------------------------------------------------------------
+
+// ResetCaches drops in-memory surrogate and statistics caches; the database
+// layer calls this after a rollback.
+func (m *Mapper) ResetCaches() {
+	m.surrNext = make(map[int]value.Surrogate)
+	m.stats = make(map[string]int64)
+	m.rcache = make(map[rcKey]*record)
+}
+
+// nextSurrogate allocates the next surrogate for a hierarchy.
+func (m *Mapper) nextSurrogate(base *catalog.Class) (value.Surrogate, error) {
+	st, err := m.store.Structure("~surr")
+	if err != nil {
+		return 0, err
+	}
+	key := []byte(fmt.Sprintf("%d", base.ID))
+	next, ok := m.surrNext[base.ID]
+	if !ok {
+		raw, found, err := st.Get(key)
+		if err != nil {
+			return 0, err
+		}
+		if found {
+			next = value.Surrogate(binary.BigEndian.Uint64(raw))
+		} else {
+			next = 1
+		}
+	}
+	var buf [8]byte
+	binary.BigEndian.PutUint64(buf[:], uint64(next)+1)
+	if err := st.Put(key, buf[:]); err != nil {
+		return 0, err
+	}
+	m.surrNext[base.ID] = next + 1
+	return next, nil
+}
+
+func (m *Mapper) statGet(key string) (int64, error) {
+	if v, ok := m.stats[key]; ok {
+		return v, nil
+	}
+	st, err := m.store.Structure("~stats")
+	if err != nil {
+		return 0, err
+	}
+	raw, found, err := st.Get([]byte(key))
+	if err != nil {
+		return 0, err
+	}
+	var v int64
+	if found {
+		v = int64(binary.BigEndian.Uint64(raw))
+	}
+	m.stats[key] = v
+	return v, nil
+}
+
+func (m *Mapper) statAdd(key string, delta int64) error {
+	cur, err := m.statGet(key)
+	if err != nil {
+		return err
+	}
+	cur += delta
+	st, err := m.store.Structure("~stats")
+	if err != nil {
+		return err
+	}
+	var buf [8]byte
+	binary.BigEndian.PutUint64(buf[:], uint64(cur))
+	if err := st.Put([]byte(key), buf[:]); err != nil {
+		return err
+	}
+	m.stats[key] = cur
+	return nil
+}
+
+// Count returns the number of entities holding a role in cl.
+func (m *Mapper) Count(cl *catalog.Class) (int64, error) {
+	return m.statGet(fmt.Sprintf("c%d", cl.ID))
+}
+
+// RelCount returns the number of instances of the EVA pair containing a.
+func (m *Mapper) RelCount(a *catalog.Attribute) (int64, error) {
+	return m.statGet(fmt.Sprintf("r%d", canonical(a).ID))
+}
+
+// HasIndex reports whether DVA a has a secondary index (UNIQUE attributes
+// always do).
+func (m *Mapper) HasIndex(a *catalog.Attribute) bool { return m.idx[a] }
+
+// Catalog returns the catalog this mapper serves.
+func (m *Mapper) Catalog() *catalog.Catalog { return m.cat }
+
+// MVSeparate reports whether MV DVA a maps to a separate storage unit.
+func (m *Mapper) MVSeparate(a *catalog.Attribute) bool { return m.mvSep[a] }
+
+// TraversalCost returns the optimizer's estimate of the I/O cost of
+// accessing the first and each subsequent instance of EVA a from its owner
+// side (§5.1: 0 for the first instance when the relationship is clustered
+// with the owner record, one block access when reached through a separate
+// structure).
+func (m *Mapper) TraversalCost(a *catalog.Attribute) (first, next float64) {
+	if m.evas[canonical(a)] == evaFK && m.isFKHolder(a) {
+		return 0, 0 // foreign key clustered in the owner's record
+	}
+	return 1, 0.2 // CES / private structure / fk index probe
+}

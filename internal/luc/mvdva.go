@@ -1,0 +1,88 @@
+package luc
+
+import (
+	"encoding/binary"
+
+	"sim/internal/catalog"
+	"sim/internal/value"
+)
+
+// Separate-unit multi-valued DVAs (§5.2: "LUCs of multi-valued DVAs
+// without the MAX option are mapped into a separate storage unit") are
+// dependent LUCs keyed <owner-surrogate, value-key, occurrence>, the
+// occurrence counter giving multiset semantics. The row's value holds the
+// decodable encoding of the DVA value (the key encoding is
+// order-preserving but not invertible).
+
+func mvKey(s value.Surrogate, v value.Value, seq uint32) []byte {
+	key := value.AppendSurrogateKey(nil, s)
+	key = value.AppendKey(key, v)
+	return binary.BigEndian.AppendUint32(key, seq)
+}
+
+func (m *Mapper) readSeparateMV(s value.Surrogate, a *catalog.Attribute) ([]value.Value, error) {
+	st, err := m.mvStructure(a)
+	if err != nil {
+		return nil, err
+	}
+	c, err := st.SeekPrefix(value.AppendSurrogateKey(nil, s))
+	if err != nil {
+		return nil, err
+	}
+	var out []value.Value
+	for ; c.Valid(); c.Next() {
+		v, _, err := value.Decode(c.Value())
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, c.Err()
+}
+
+func (m *Mapper) appendSeparateMV(s value.Surrogate, a *catalog.Attribute, v value.Value) error {
+	st, err := m.mvStructure(a)
+	if err != nil {
+		return err
+	}
+	// Find the next free occurrence number for this (owner, value).
+	prefix := value.AppendSurrogateKey(nil, s)
+	prefix = value.AppendKey(prefix, v)
+	c, err := st.SeekPrefix(prefix)
+	if err != nil {
+		return err
+	}
+	seq := uint32(0)
+	for ; c.Valid(); c.Next() {
+		key := c.Key()
+		seq = binary.BigEndian.Uint32(key[len(key)-4:]) + 1
+	}
+	if err := c.Err(); err != nil {
+		return err
+	}
+	return st.Put(mvKey(s, v, seq), value.Append(nil, v))
+}
+
+func (m *Mapper) clearSeparateMV(s value.Surrogate, a *catalog.Attribute) error {
+	st, err := m.mvStructure(a)
+	if err != nil {
+		return err
+	}
+	c, err := st.SeekPrefix(value.AppendSurrogateKey(nil, s))
+	if err != nil {
+		return err
+	}
+	var keys [][]byte
+	for ; c.Valid(); c.Next() {
+		keys = append(keys, append([]byte(nil), c.Key()...))
+	}
+	if err := c.Err(); err != nil {
+		return err
+	}
+	for _, k := range keys {
+		if _, err := st.Delete(k); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,123 @@
+package luc
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"sim/internal/btree"
+	"sim/internal/catalog"
+	"sim/internal/value"
+)
+
+// EntityCursor iterates the surrogates of every entity holding a role in
+// one class, in ascending surrogate order — the LUC cursor of §5.1
+// ("a cursor can be opened on a LUC … it delivers one record of the LUC at
+// a time").
+type EntityCursor struct {
+	c      *btree.Cursor
+	m      *Mapper
+	filter int // class id to require in the role list; -1 = none
+	err    error
+}
+
+// Scan opens a cursor over the entities of cl.
+func (m *Mapper) Scan(cl *catalog.Class) (*EntityCursor, error) {
+	if m.hier[cl.Base] == HierarchySplit {
+		st, err := m.classStructure(cl)
+		if err != nil {
+			return nil, err
+		}
+		c, err := st.First()
+		if err != nil {
+			return nil, err
+		}
+		return &EntityCursor{c: c, m: m, filter: -1}, nil
+	}
+	st, err := m.hierStructure(cl.Base)
+	if err != nil {
+		return nil, err
+	}
+	c, err := st.First()
+	if err != nil {
+		return nil, err
+	}
+	ec := &EntityCursor{c: c, m: m, filter: cl.ID}
+	if cl.IsBase() {
+		ec.filter = -1 // every record in the hierarchy has the base role
+	}
+	ec.skipNonMembers()
+	return ec, nil
+}
+
+// Valid reports whether the cursor is on an entity.
+func (e *EntityCursor) Valid() bool { return e.err == nil && e.c.Valid() }
+
+// Err returns the first iteration error.
+func (e *EntityCursor) Err() error {
+	if e.err != nil {
+		return e.err
+	}
+	return e.c.Err()
+}
+
+// Surrogate returns the current entity.
+func (e *EntityCursor) Surrogate() value.Surrogate {
+	return value.SurrogateFromKey(e.c.Key())
+}
+
+// Next advances to the next entity of the scanned class.
+func (e *EntityCursor) Next() {
+	e.c.Next()
+	e.skipNonMembers()
+}
+
+func (e *EntityCursor) skipNonMembers() {
+	if e.filter < 0 {
+		return
+	}
+	for e.c.Valid() {
+		roles, err := decodeRoles(e.c.Value())
+		if err != nil {
+			e.err = err
+			return
+		}
+		for _, id := range roles {
+			if id == e.filter {
+				return
+			}
+		}
+		e.c.Next()
+	}
+}
+
+// decodeRoles reads just the role list from an encoded hierarchy record.
+func decodeRoles(b []byte) ([]int, error) {
+	n, used := binary.Uvarint(b)
+	if used <= 0 {
+		return nil, fmt.Errorf("luc: corrupt record header")
+	}
+	b = b[used:]
+	roles := make([]int, 0, n)
+	for i := uint64(0); i < n; i++ {
+		id, used := binary.Uvarint(b)
+		if used <= 0 {
+			return nil, fmt.Errorf("luc: corrupt role list")
+		}
+		b = b[used:]
+		roles = append(roles, int(id))
+	}
+	return roles, nil
+}
+
+// Surrogates collects every entity of cl (a convenience for small scans).
+func (m *Mapper) Surrogates(cl *catalog.Class) ([]value.Surrogate, error) {
+	c, err := m.Scan(cl)
+	if err != nil {
+		return nil, err
+	}
+	var out []value.Surrogate
+	for ; c.Valid(); c.Next() {
+		out = append(out, c.Surrogate())
+	}
+	return out, c.Err()
+}

@@ -1,0 +1,128 @@
+// Package pager provides fixed-size page files and a pinning buffer pool
+// with LRU replacement. It is the lowest layer of the DMSII-like storage
+// substrate that SIM's LUC Mapper runs against.
+package pager
+
+import (
+	"fmt"
+	"os"
+	"sync"
+)
+
+// PageSize is the fixed size of every page, in bytes.
+const PageSize = 4096
+
+// PageID identifies a page within a file. Page 0 is reserved for file
+// metadata by the layers above.
+type PageID uint32
+
+// Invalid is the nil page id.
+const Invalid PageID = 0xFFFFFFFF
+
+// File is random access storage in page units.
+type File interface {
+	// ReadPage fills buf (PageSize bytes) with the page's contents.
+	ReadPage(id PageID, buf []byte) error
+	// WritePage stores buf (PageSize bytes) as the page's contents,
+	// growing the file as needed.
+	WritePage(id PageID, buf []byte) error
+	// NumPages returns the current page count.
+	NumPages() (uint32, error)
+	// Sync forces written pages to stable storage.
+	Sync() error
+	// Close releases the file.
+	Close() error
+}
+
+// OSFile is a File backed by an operating system file.
+type OSFile struct {
+	f *os.File
+}
+
+// OpenOSFile opens (creating if necessary) the page file at path.
+func OpenOSFile(path string) (*OSFile, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("pager: open %s: %w", path, err)
+	}
+	return &OSFile{f: f}, nil
+}
+
+// ReadPage implements File.
+func (o *OSFile) ReadPage(id PageID, buf []byte) error {
+	if _, err := o.f.ReadAt(buf[:PageSize], int64(id)*PageSize); err != nil {
+		return fmt.Errorf("pager: read page %d: %w", id, err)
+	}
+	return nil
+}
+
+// WritePage implements File.
+func (o *OSFile) WritePage(id PageID, buf []byte) error {
+	if _, err := o.f.WriteAt(buf[:PageSize], int64(id)*PageSize); err != nil {
+		return fmt.Errorf("pager: write page %d: %w", id, err)
+	}
+	return nil
+}
+
+// NumPages implements File.
+func (o *OSFile) NumPages() (uint32, error) {
+	st, err := o.f.Stat()
+	if err != nil {
+		return 0, err
+	}
+	return uint32(st.Size() / PageSize), nil
+}
+
+// Sync implements File.
+func (o *OSFile) Sync() error { return o.f.Sync() }
+
+// Close implements File.
+func (o *OSFile) Close() error { return o.f.Close() }
+
+// MemFile is an in-memory File, used for tests and purely transient
+// databases.
+type MemFile struct {
+	mu    sync.Mutex
+	pages [][]byte
+}
+
+// NewMemFile returns an empty in-memory page file.
+func NewMemFile() *MemFile { return &MemFile{} }
+
+// ReadPage implements File.
+func (m *MemFile) ReadPage(id PageID, buf []byte) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if int(id) >= len(m.pages) || m.pages[id] == nil {
+		return fmt.Errorf("pager: read page %d: beyond end of file", id)
+	}
+	copy(buf[:PageSize], m.pages[id])
+	return nil
+}
+
+// WritePage implements File.
+func (m *MemFile) WritePage(id PageID, buf []byte) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for int(id) >= len(m.pages) {
+		m.pages = append(m.pages, nil)
+	}
+	if m.pages[id] == nil {
+		m.pages[id] = make([]byte, PageSize)
+	}
+	copy(m.pages[id], buf[:PageSize])
+	return nil
+}
+
+// NumPages implements File.
+func (m *MemFile) NumPages() (uint32, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return uint32(len(m.pages)), nil
+}
+
+// Sync implements File.
+func (m *MemFile) Sync() error { return nil }
+
+// Close implements File.
+func (m *MemFile) Close() error { return nil }

@@ -1,0 +1,266 @@
+package pager
+
+import (
+	"container/list"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Stats counts buffer pool activity; the query optimizer's cost model and
+// the benchmark harness read these to attribute I/O.
+type Stats struct {
+	Hits       uint64 // page found in pool
+	Misses     uint64 // page read from the file
+	PageWrites uint64 // pages written back to the file
+}
+
+// Frame is a pinned page in the pool. Callers must Release every frame
+// they Get, and MarkDirty frames they mutate.
+type Frame struct {
+	ID    PageID
+	Data  []byte // PageSize bytes
+	pins  int
+	dirty bool
+	elem  *list.Element // position in the LRU list when unpinned
+}
+
+// Pool is a pinning buffer pool over a page File with LRU replacement.
+// It is safe for a single writer or multiple readers (the database layer
+// serializes writers).
+type Pool struct {
+	mu       sync.Mutex
+	file     File
+	capacity int
+	frames   map[PageID]*Frame
+	lru      *list.List // unpinned frames, least recently used at front
+	next     PageID     // next page id to allocate when the freelist is empty
+	stats    Stats
+}
+
+// NewPool returns a pool of the given capacity (in pages) over file.
+func NewPool(file File, capacity int) (*Pool, error) {
+	if capacity < 4 {
+		capacity = 4
+	}
+	n, err := file.NumPages()
+	if err != nil {
+		return nil, err
+	}
+	return &Pool{
+		file:     file,
+		capacity: capacity,
+		frames:   make(map[PageID]*Frame),
+		lru:      list.New(),
+		next:     PageID(n),
+	}, nil
+}
+
+// Stats returns a snapshot of the pool's counters.
+func (p *Pool) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats
+}
+
+// ResetStats zeroes the counters.
+func (p *Pool) ResetStats() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.stats = Stats{}
+}
+
+// NumPages returns the page count including not-yet-flushed allocations.
+func (p *Pool) NumPages() uint32 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return uint32(p.next)
+}
+
+// Get pins the page and returns its frame, reading it from the file when
+// absent from the pool.
+func (p *Pool) Get(id PageID) (*Frame, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.getLocked(id, true)
+}
+
+// Allocate pins a zeroed new page at the end of the file. Free-page reuse
+// is managed by the layer above (the dmsii allocator), which calls
+// AllocateAt for recycled ids.
+func (p *Pool) Allocate() (*Frame, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	id := p.next
+	p.next++
+	f, err := p.getLocked(id, false)
+	if err != nil {
+		return nil, err
+	}
+	f.dirty = true
+	return f, nil
+}
+
+// AllocateAt pins page id (a recycled free page) with zeroed contents.
+func (p *Pool) AllocateAt(id PageID) (*Frame, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	f, err := p.getLocked(id, false)
+	if err != nil {
+		return nil, err
+	}
+	for i := range f.Data {
+		f.Data[i] = 0
+	}
+	f.dirty = true
+	return f, nil
+}
+
+func (p *Pool) getLocked(id PageID, read bool) (*Frame, error) {
+	if f, ok := p.frames[id]; ok {
+		p.stats.Hits++
+		if f.pins == 0 && f.elem != nil {
+			p.lru.Remove(f.elem)
+			f.elem = nil
+		}
+		f.pins++
+		return f, nil
+	}
+	if err := p.evictLocked(); err != nil {
+		return nil, err
+	}
+	f := &Frame{ID: id, Data: make([]byte, PageSize), pins: 1}
+	if read {
+		p.stats.Misses++
+		if err := p.file.ReadPage(id, f.Data); err != nil {
+			return nil, err
+		}
+	}
+	p.frames[id] = f
+	return f, nil
+}
+
+// evictLocked makes room for one more frame. The pool is no-steal: dirty
+// frames are never written to the database file before the WAL journals
+// them at commit, so only clean unpinned frames are eviction victims. When
+// every frame is dirty or pinned the pool grows past its soft capacity for
+// the remainder of the transaction.
+func (p *Pool) evictLocked() error {
+	for len(p.frames) >= p.capacity {
+		var victim *Frame
+		for e := p.lru.Front(); e != nil; e = e.Next() {
+			if f := e.Value.(*Frame); !f.dirty {
+				victim = f
+				break
+			}
+		}
+		if victim == nil {
+			return nil // soft capacity: all candidates dirty or pinned
+		}
+		p.lru.Remove(victim.elem)
+		victim.elem = nil
+		delete(p.frames, victim.ID)
+	}
+	return nil
+}
+
+// Release unpins the frame.
+func (p *Pool) Release(f *Frame) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if f.pins <= 0 {
+		panic("pager: Release of unpinned frame")
+	}
+	f.pins--
+	if f.pins == 0 {
+		f.elem = p.lru.PushBack(f)
+	}
+}
+
+// MarkDirty records that the frame's contents changed.
+func (p *Pool) MarkDirty(f *Frame) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	f.dirty = true
+}
+
+// DirtyPages returns the ids and contents of all dirty frames, sorted by
+// id. The WAL uses this at commit to journal page images.
+func (p *Pool) DirtyPages() []*Frame {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var out []*Frame
+	for _, f := range p.frames {
+		if f.dirty {
+			out = append(out, f)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// DiscardDirty drops every dirty frame from the pool, so subsequent reads
+// observe the last durable contents. Frames must be unpinned. Page
+// allocations since the last clean point are rolled back by resetting the
+// next-allocation cursor to the file's size. This implements transaction
+// abort for the commit-journal WAL scheme.
+func (p *Pool) DiscardDirty() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for id, f := range p.frames {
+		if !f.dirty {
+			continue
+		}
+		if f.pins > 0 {
+			return fmt.Errorf("pager: DiscardDirty: page %d still pinned", id)
+		}
+		if f.elem != nil {
+			p.lru.Remove(f.elem)
+			f.elem = nil
+		}
+		delete(p.frames, id)
+	}
+	n, err := p.file.NumPages()
+	if err != nil {
+		return err
+	}
+	p.next = PageID(n)
+	return nil
+}
+
+// WriteBackDirty writes every dirty frame to the file without syncing and
+// clears the dirty bits. Called at commit after the WAL has journaled the
+// same images: clean frames may then be evicted safely, and a crash is
+// repaired by WAL replay.
+func (p *Pool) WriteBackDirty() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, f := range p.frames {
+		if f.dirty {
+			p.stats.PageWrites++
+			if err := p.file.WritePage(f.ID, f.Data); err != nil {
+				return err
+			}
+			f.dirty = false
+		}
+	}
+	return nil
+}
+
+// FlushAll writes every dirty frame to the file and syncs it. Used at
+// checkpoints.
+func (p *Pool) FlushAll() error {
+	p.mu.Lock()
+	for _, f := range p.frames {
+		if f.dirty {
+			p.stats.PageWrites++
+			if err := p.file.WritePage(f.ID, f.Data); err != nil {
+				p.mu.Unlock()
+				return err
+			}
+			f.dirty = false
+		}
+	}
+	p.mu.Unlock()
+	return p.file.Sync()
+}

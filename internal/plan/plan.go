@@ -1,0 +1,440 @@
+// Package plan implements SIM's query optimizer (§5.1): it builds a query
+// graph over the LUC objects of a bound query tree, enumerates access
+// strategies, estimates each strategy's cost from catalog statistics
+// (cardinalities, index availability, and the first/next-instance costs of
+// each relationship's physical mapping), and picks the cheapest. A
+// strategy that enumerates the perspective through an inverted
+// relationship path ("pivot") breaks the DML's implicit perspective
+// ordering; restoring it costs a sort, which the model charges — the
+// paper's semantics-preservation test.
+package plan
+
+import (
+	"fmt"
+	"strings"
+
+	"sim/internal/ast"
+	"sim/internal/catalog"
+	"sim/internal/luc"
+	"sim/internal/query"
+	"sim/internal/value"
+)
+
+// Bound is an optionally-set range bound with a literal value.
+type Bound struct {
+	Set       bool
+	Inclusive bool
+	Val       value.Value
+}
+
+// RootAccess is the chosen access path for one perspective root.
+type RootAccess interface {
+	Describe() string
+	Cost() float64
+}
+
+// ScanAccess enumerates the whole class LUC.
+type ScanAccess struct {
+	Class *catalog.Class
+	cost  float64
+}
+
+// Describe implements RootAccess.
+func (a *ScanAccess) Describe() string { return "scan " + strings.ToLower(a.Class.Name) }
+
+// Cost implements RootAccess.
+func (a *ScanAccess) Cost() float64 { return a.cost }
+
+// UniqueAccess resolves the root by a unique-index point lookup.
+type UniqueAccess struct {
+	Attr *catalog.Attribute
+	Key  value.Value
+	cost float64
+}
+
+// Describe implements RootAccess.
+func (a *UniqueAccess) Describe() string {
+	return fmt.Sprintf("unique lookup %s = %s", strings.ToLower(a.Attr.Name), a.Key)
+}
+
+// Cost implements RootAccess.
+func (a *UniqueAccess) Cost() float64 { return a.cost }
+
+// RangeAccess resolves the root by a secondary-index range scan.
+type RangeAccess struct {
+	Attr   *catalog.Attribute
+	Lo, Hi Bound
+	cost   float64
+}
+
+// Describe implements RootAccess.
+func (a *RangeAccess) Describe() string {
+	return fmt.Sprintf("index range on %s", strings.ToLower(a.Attr.Name))
+}
+
+// Cost implements RootAccess.
+func (a *RangeAccess) Cost() float64 { return a.cost }
+
+// PivotAccess enumerates the root by evaluating a selective predicate on a
+// descendant node's index and walking the inverse EVA chain back to the
+// perspective, then sorting the surrogate set to restore perspective order.
+type PivotAccess struct {
+	Start  *query.Node
+	Attr   *catalog.Attribute
+	Lo, Hi Bound
+	// Up lists the EVA edges from Start back to the root: Up[0] is
+	// Start.Edge, Up[len-1] the edge below the root. Traversal uses each
+	// edge's inverse.
+	Up   []*catalog.Attribute
+	cost float64
+}
+
+// Describe implements RootAccess.
+func (a *PivotAccess) Describe() string {
+	return fmt.Sprintf("pivot from %s via index on %s (+sort)", a.Start.Label(), strings.ToLower(a.Attr.Name))
+}
+
+// Cost implements RootAccess.
+func (a *PivotAccess) Cost() float64 { return a.cost }
+
+// Plan is an executable strategy for a bound query tree.
+type Plan struct {
+	Tree   *query.Tree
+	Access []RootAccess // parallel to Tree.Roots
+	Est    float64      // total estimated cost
+}
+
+// Explain renders the chosen strategy.
+func (p *Plan) Explain() string {
+	var b strings.Builder
+	for i, r := range p.Tree.Roots {
+		if i > 0 {
+			b.WriteString("; ")
+		}
+		fmt.Fprintf(&b, "%s: %s", r.Label(), p.Access[i].Describe())
+	}
+	fmt.Fprintf(&b, " (est cost %.1f)", p.Est)
+	return b.String()
+}
+
+// sarg is a sargable conjunct: attr(node) op lit.
+type sarg struct {
+	node *query.Node
+	attr *catalog.Attribute
+	op   ast.BinaryOp
+	val  value.Value
+}
+
+// Optimize picks the cheapest access strategy for each perspective root.
+func Optimize(t *query.Tree, m *luc.Mapper) (*Plan, error) {
+	sargs := extractSargs(t.Where)
+	p := &Plan{Tree: t}
+	for _, root := range t.Roots {
+		best, err := bestAccess(t, m, root, sargs)
+		if err != nil {
+			return nil, err
+		}
+		p.Access = append(p.Access, best)
+		p.Est += best.Cost()
+	}
+	// Downstream traversal cost: every main/exist node contributes its
+	// expected visits weighted by its relationship's first-instance cost.
+	p.Est += traversalCost(t, m)
+	return p, nil
+}
+
+// extractSargs splits the WHERE into top-level conjuncts and keeps the
+// index-usable comparisons of the form <attr> op <literal>.
+func extractSargs(e query.Expr) []sarg {
+	var out []sarg
+	var conj func(e query.Expr)
+	conj = func(e query.Expr) {
+		b, ok := e.(*query.Binary)
+		if !ok {
+			return
+		}
+		if b.Op == ast.OpAnd {
+			conj(b.L)
+			conj(b.R)
+			return
+		}
+		attr, lit, op, ok := sargParts(b)
+		if !ok {
+			return
+		}
+		out = append(out, sarg{node: attr.Node, attr: attr.Attr, op: op, val: lit.Val})
+	}
+	conj(e)
+	return out
+}
+
+// sargParts normalizes a comparison to attr-op-lit form, flipping the
+// operator when the literal is on the left.
+func sargParts(b *query.Binary) (*query.AttrRef, *query.Lit, ast.BinaryOp, bool) {
+	switch b.Op {
+	case ast.OpEQ, ast.OpLT, ast.OpLE, ast.OpGT, ast.OpGE:
+	default:
+		return nil, nil, 0, false
+	}
+	if a, ok := b.L.(*query.AttrRef); ok {
+		if l, ok := b.R.(*query.Lit); ok && a.Attr.Kind == catalog.DVA && !a.Attr.Options.MV {
+			return a, l, b.Op, true
+		}
+	}
+	if a, ok := b.R.(*query.AttrRef); ok {
+		if l, ok := b.L.(*query.Lit); ok && a.Attr.Kind == catalog.DVA && !a.Attr.Options.MV {
+			return a, l, flip(b.Op), true
+		}
+	}
+	return nil, nil, 0, false
+}
+
+func flip(op ast.BinaryOp) ast.BinaryOp {
+	switch op {
+	case ast.OpLT:
+		return ast.OpGT
+	case ast.OpLE:
+		return ast.OpGE
+	case ast.OpGT:
+		return ast.OpLT
+	case ast.OpGE:
+		return ast.OpLE
+	}
+	return op
+}
+
+func bounds(op ast.BinaryOp, v value.Value) (lo, hi Bound) {
+	switch op {
+	case ast.OpEQ:
+		lo = Bound{Set: true, Inclusive: true, Val: v}
+		hi = lo
+	case ast.OpLT:
+		hi = Bound{Set: true, Inclusive: false, Val: v}
+	case ast.OpLE:
+		hi = Bound{Set: true, Inclusive: true, Val: v}
+	case ast.OpGT:
+		lo = Bound{Set: true, Inclusive: false, Val: v}
+	case ast.OpGE:
+		lo = Bound{Set: true, Inclusive: true, Val: v}
+	}
+	return lo, hi
+}
+
+// probeLimit bounds the optimizer's index-probing selectivity estimate.
+const probeLimit = 128
+
+// estMatches estimates how many index entries satisfy a sarg, probing the
+// index up to probeLimit entries and falling back to fixed heuristics for
+// wider predicates.
+func estMatches(m *luc.Mapper, s sarg, classCard int64) (float64, error) {
+	if classCard < 1 {
+		classCard = 1
+	}
+	if s.op == ast.OpEQ && s.attr.Options.Unique {
+		return 1, nil
+	}
+	lo, hi := bounds(s.op, s.val)
+	n, capped, err := m.IndexCountApprox(s.attr, lucIdxBound(lo), lucIdxBound(hi), probeLimit)
+	if err != nil {
+		return 0, err
+	}
+	if !capped {
+		return float64(n), nil
+	}
+	// Beyond the probe horizon: the classic System-R style heuristics —
+	// equality 1/10, one-sided inequality 1/2.
+	est := float64(classCard) / 2
+	if s.op == ast.OpEQ {
+		est = float64(classCard) / 10
+	}
+	if est < float64(n) {
+		est = float64(n)
+	}
+	return est, nil
+}
+
+func lucIdxBound(b Bound) luc.Bound {
+	return luc.Bound{Set: b.Set, Inclusive: b.Inclusive, Value: b.Val}
+}
+
+// sortCostPerEntry weights the in-memory surrogate sort restoring
+// perspective order, relative to one block access.
+const sortCostPerEntry = 0.05
+
+func bestAccess(t *query.Tree, m *luc.Mapper, root *query.Node, sargs []sarg) (RootAccess, error) {
+	n, err := m.Count(root.Class)
+	if err != nil {
+		return nil, err
+	}
+	card := float64(n)
+	if card < 1 {
+		card = 1
+	}
+	var best RootAccess = &ScanAccess{Class: root.Class, cost: card}
+
+	consider := func(a RootAccess) {
+		if a.Cost() < best.Cost() {
+			best = a
+		}
+	}
+
+	for _, s := range sargs {
+		if !m.HasIndex(s.attr) {
+			continue
+		}
+		if s.node == root {
+			if s.op == ast.OpEQ && s.attr.Options.Unique {
+				consider(&UniqueAccess{Attr: s.attr, Key: s.val, cost: 2})
+				continue
+			}
+			lo, hi := bounds(s.op, s.val)
+			k, err := estMatches(m, s, n)
+			if err != nil {
+				return nil, err
+			}
+			// Index entries plus the random record fetch per match.
+			consider(&RangeAccess{Attr: s.attr, Lo: lo, Hi: hi, cost: 1 + k*2.2})
+			continue
+		}
+		// Pivot: the predicate sits on a descendant reachable through an
+		// invertible EVA chain from this root.
+		up, ok := invertiblePath(s.node, root)
+		if !ok {
+			continue
+		}
+		startCard, err := m.Count(s.node.Class)
+		if err != nil {
+			return nil, err
+		}
+		k, err := estMatches(m, s, startCard)
+		if err != nil {
+			return nil, err
+		}
+		cost := 1 + k*1.2 // index scan on the start class
+		// Walk the inverse chain: each level multiplies by the inverse
+		// fanout and pays per-instance traversal cost.
+		set := k
+		for _, edge := range up {
+			first, next := m.TraversalCost(edge.Inverse)
+			fan, err := inverseFanout(m, edge)
+			if err != nil {
+				return nil, err
+			}
+			cost += set * (first + next*fan)
+			set *= fan
+		}
+		// Restoring perspective order: sort the surrogate set (§5.1's
+		// reordering cost for a non-semantics-preserving transformation).
+		cost += set * log2(set+2) * sortCostPerEntry
+		lo, hi := bounds(s.op, s.val)
+		consider(&PivotAccess{Start: s.node, Attr: s.attr, Lo: lo, Hi: hi, Up: up, cost: cost})
+	}
+	return best, nil
+}
+
+// invertiblePath returns the EVA edges from node up to root (node-first),
+// when every step is a non-transitive EVA.
+func invertiblePath(n *query.Node, root *query.Node) ([]*catalog.Attribute, bool) {
+	var up []*catalog.Attribute
+	for cur := n; cur != root; cur = cur.Parent {
+		if cur.Parent == nil || cur.Edge == nil || cur.Edge.Kind != catalog.EVA || cur.Transitive || cur.Sub {
+			return nil, false
+		}
+		up = append(up, cur.Edge)
+	}
+	return up, true
+}
+
+// inverseFanout estimates partners per entity when traversing edge's
+// inverse.
+func inverseFanout(m *luc.Mapper, edge *catalog.Attribute) (float64, error) {
+	inst, err := m.RelCount(edge)
+	if err != nil {
+		return 0, err
+	}
+	targets, err := m.Count(edge.Range)
+	if err != nil {
+		return 0, err
+	}
+	if targets < 1 {
+		return 1, nil
+	}
+	f := float64(inst) / float64(targets)
+	if f < 0.1 {
+		f = 0.1
+	}
+	return f, nil
+}
+
+// fanout estimates partners per entity when traversing edge forward.
+func fanout(m *luc.Mapper, edge *catalog.Attribute) (float64, error) {
+	if edge.Kind != catalog.EVA {
+		return 3, nil // MV DVA heuristic
+	}
+	inst, err := m.RelCount(edge)
+	if err != nil {
+		return 0, err
+	}
+	owners, err := m.Count(edge.Owner)
+	if err != nil {
+		return 0, err
+	}
+	if owners < 1 {
+		return 1, nil
+	}
+	f := float64(inst) / float64(owners)
+	if f < 0.1 {
+		f = 0.1
+	}
+	return f, nil
+}
+
+// traversalCost sums expected relationship-instance accesses over the
+// tree's non-root nodes, each weighted by the mapping-dependent first/next
+// costs of §5.1 ("the I/O cost of accessing the first instance of a
+// relationship will be 0 if the relationship is implemented by clustering
+// and 1 block access if it is implemented by absolute addresses").
+func traversalCost(t *query.Tree, m *luc.Mapper) float64 {
+	visits := make(map[*query.Node]float64)
+	total := 0.0
+	var rec func(n *query.Node, parentVisits float64) float64
+	rec = func(n *query.Node, parentVisits float64) float64 {
+		cost := 0.0
+		for _, c := range n.Children {
+			if c.Sub {
+				continue
+			}
+			var fan float64
+			if c.Edge != nil {
+				fan, _ = fanout(m, c.Edge)
+			} else {
+				fan = 1
+			}
+			first, next := 1.0, 0.2
+			if c.Edge != nil && c.Edge.Kind == catalog.EVA {
+				first, next = m.TraversalCost(c.Edge)
+			}
+			cost += parentVisits * (first + next*fan)
+			visits[c] = parentVisits * fan
+			cost += rec(c, visits[c])
+		}
+		return cost
+	}
+	for _, r := range t.Roots {
+		rootCard, _ := m.Count(r.Class)
+		if rootCard < 1 {
+			rootCard = 1
+		}
+		total += rec(r, float64(rootCard))
+	}
+	return total
+}
+
+func log2(x float64) float64 {
+	n := 0.0
+	for x > 1 {
+		x /= 2
+		n++
+	}
+	return n
+}

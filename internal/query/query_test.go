@@ -1,0 +1,321 @@
+package query
+
+import (
+	"strings"
+	"testing"
+
+	"sim/internal/ast"
+	"sim/internal/catalog"
+	"sim/internal/parser"
+	"sim/internal/university"
+)
+
+func cat(t *testing.T) *catalog.Catalog {
+	t.Helper()
+	sch, err := parser.ParseSchema(university.DDL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := catalog.Build(sch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func bind(t *testing.T, dml string) *Tree {
+	t.Helper()
+	s, err := parser.ParseStmt(dml)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := Bind(cat(t), s.(*ast.RetrieveStmt))
+	if err != nil {
+		t.Fatalf("Bind(%q): %v", dml, err)
+	}
+	return tree
+}
+
+func bindErr(t *testing.T, dml string) error {
+	t.Helper()
+	s, err := parser.ParseStmt(dml)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = Bind(cat(t), s.(*ast.RetrieveStmt))
+	if err == nil {
+		t.Fatalf("Bind(%q) succeeded, want error", dml)
+	}
+	return err
+}
+
+// nodeByLabel finds a node whose printable qualification contains s.
+func nodeByLabel(t *testing.T, tree *Tree, s string) *Node {
+	t.Helper()
+	for _, n := range tree.Nodes {
+		if strings.Contains(n.Label(), s) && !n.Sub {
+			return n
+		}
+	}
+	t.Fatalf("no node labelled %q in %d nodes", s, len(tree.Nodes))
+	return nil
+}
+
+// §4.4: identically qualified paths bind to one range variable.
+func TestImplicitBindingSharesNodes(t *testing.T) {
+	tree := bind(t, `
+Retrieve Name of Student,
+  Title of Courses-Enrolled of Student,
+  Credits of Courses-Enrolled of Student,
+  Name of Teachers of Courses-Enrolled of Student
+Where Soc-Sec-No of Student = 456887766.`)
+	// Nodes: student root, courses-enrolled, teachers. Three non-sub
+	// nodes total, despite five STUDENT and three COURSES-ENROLLED
+	// occurrences.
+	count := 0
+	for _, n := range tree.Nodes {
+		if !n.Sub {
+			count++
+		}
+	}
+	if count != 3 {
+		for _, n := range tree.Nodes {
+			t.Logf("node %d: %s (sub=%v)", n.ID, n.Label(), n.Sub)
+		}
+		t.Fatalf("got %d range variables, want 3", count)
+	}
+}
+
+// §4.5 labeling: the worked taxonomy.
+func TestTypeLabeling(t *testing.T) {
+	tree := bind(t, `
+From Student
+Retrieve Name, Title of Courses-Enrolled
+Where Salary of Advisor > 50000.`)
+	if got := tree.Roots[0].Type; got != Type1 {
+		t.Errorf("root = %v, want TYPE 1", got)
+	}
+	// courses-enrolled: target-only → TYPE 3.
+	if got := nodeByLabel(t, tree, "courses-enrolled").Type; got != Type3 {
+		t.Errorf("courses-enrolled = %v, want TYPE 3", got)
+	}
+	// advisor: selection-only → TYPE 2.
+	if got := nodeByLabel(t, tree, "advisor").Type; got != Type2 {
+		t.Errorf("advisor = %v, want TYPE 2", got)
+	}
+	// Main iteration excludes TYPE 2; exist list holds it.
+	if len(tree.MainNodes()) != 2 {
+		t.Errorf("main nodes = %d, want 2", len(tree.MainNodes()))
+	}
+	if len(tree.ExistNodes()) != 1 {
+		t.Errorf("exist nodes = %d, want 1", len(tree.ExistNodes()))
+	}
+}
+
+func TestTypeLabelingMixedUsage(t *testing.T) {
+	// courses-enrolled used in BOTH target and selection → TYPE 1.
+	tree := bind(t, `
+From Student Retrieve Title of Courses-Enrolled
+Where Credits of Courses-Enrolled > 3.`)
+	if got := nodeByLabel(t, tree, "courses-enrolled").Type; got != Type1 {
+		t.Errorf("courses-enrolled = %v, want TYPE 1", got)
+	}
+}
+
+// A node whose descendant is a target forces TYPE 1 even if unused itself.
+func TestTypeLabelingPropagates(t *testing.T) {
+	tree := bind(t, `
+From Student Retrieve Name of Teachers of Courses-Enrolled
+Where Credits of Courses-Enrolled > 3.`)
+	// courses-enrolled: its subtree has a target (teachers) and itself is
+	// in selection → TYPE 1.
+	if got := nodeByLabel(t, tree, "courses-enrolled of").Type; got != Type1 {
+		t.Errorf("courses-enrolled = %v, want TYPE 1", got)
+	}
+}
+
+func TestAggregateBreaksBinding(t *testing.T) {
+	// The aggregate's instructor scan must NOT bind to the perspective.
+	tree := bind(t, `From Instructor Retrieve Name, AVG(Salary of Instructor).`)
+	subCount := 0
+	for _, n := range tree.Nodes {
+		if n.Sub {
+			subCount++
+		}
+	}
+	if subCount != 1 {
+		t.Fatalf("aggregate created %d sub nodes, want 1 standalone scan", subCount)
+	}
+	agg := tree.Targets[1].(*Agg)
+	if agg.Sub.Anchor() != nil {
+		t.Error("standalone aggregate should have no anchor")
+	}
+	if len(agg.Sub.Chain) != 1 || !agg.Sub.Chain[0].Sub {
+		t.Errorf("chain = %v", agg.Sub.Chain)
+	}
+}
+
+func TestAggregateAnchored(t *testing.T) {
+	tree := bind(t, `From Department Retrieve Name, AVG(Salary of Instructors-employed).`)
+	agg := tree.Targets[1].(*Agg)
+	if agg.Sub.Anchor() != tree.Roots[0] {
+		t.Error("aggregate should anchor at the department root")
+	}
+	if len(agg.Sub.Chain) != 1 {
+		t.Errorf("chain length = %d", len(agg.Sub.Chain))
+	}
+	if _, ok := agg.Sub.Value.(*AttrRef); !ok {
+		t.Errorf("value = %T", agg.Sub.Value)
+	}
+}
+
+func TestShortcutAmbiguity(t *testing.T) {
+	// Two bound instructor-entities could complete "salary"; ambiguous.
+	err := bindErr(t, `
+From Student
+Retrieve Name of Advisor, Name of Teachers of Courses-Enrolled, Salary.`)
+	if !strings.Contains(err.Error(), "ambiguous") {
+		t.Errorf("error = %v, want ambiguity", err)
+	}
+}
+
+func TestShortcutPrefersRoot(t *testing.T) {
+	// "name" resolves on the root (person-inherited) even though advisor
+	// also has a name.
+	tree := bind(t, `From Student Retrieve Name of Advisor, Name.`)
+	second := tree.Targets[1].(*AttrRef)
+	if second.Node != tree.Roots[0] {
+		t.Errorf("bare Name bound to %s, want the perspective", second.Node.Label())
+	}
+}
+
+func TestUnknownAttribute(t *testing.T) {
+	bindErr(t, `From Student Retrieve Nonexistent-Attr.`)
+	bindErr(t, `From Student Retrieve Name of Advisor of Nowhere.`)
+}
+
+func TestCannotQualifyThroughDVA(t *testing.T) {
+	err := bindErr(t, `From Student Retrieve Name of Birthdate of Student.`)
+	if !strings.Contains(err.Error(), "no attribute") && !strings.Contains(err.Error(), "values have no attributes") {
+		t.Errorf("error = %v", err)
+	}
+}
+
+func TestRoleConversionValidation(t *testing.T) {
+	// Converting between unrelated hierarchies is rejected.
+	err := bindErr(t, `From Student Retrieve Name of Student as Course.`)
+	if !strings.Contains(err.Error(), "hierarch") {
+		t.Errorf("error = %v", err)
+	}
+}
+
+func TestTransitiveRequiresCyclicChain(t *testing.T) {
+	// major-department leaves the person hierarchy: no cyclic chain.
+	err := bindErr(t, `From Student Retrieve Name of Transitive(Major-Department) of Student.`)
+	if !strings.Contains(err.Error(), "cyclic") {
+		t.Errorf("error = %v", err)
+	}
+	// advisor stays within the person hierarchy (an instructor may also
+	// be a student), so its closure is legal.
+	bind(t, `From Student Retrieve Name of Transitive(Advisor) of Student.`)
+}
+
+func TestIsaRequiresEntity(t *testing.T) {
+	err := bindErr(t, `From Student Retrieve Name Where Birthdate isa Teaching-Assistant.`)
+	if !strings.Contains(err.Error(), "entity") {
+		t.Errorf("error = %v", err)
+	}
+}
+
+func TestSymbolicLiteralCoercion(t *testing.T) {
+	// A schema with a symbolic attribute: the degree type exists but no
+	// attribute uses it in the university schema, so extend one.
+	c := cat(t)
+	sch, err := parser.ParseSchema(`Class Grad ( level: degree );`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Extend(sch); err != nil {
+		t.Fatal(err)
+	}
+	s, _ := parser.ParseStmt(`From Grad Retrieve level Where level >= "MS".`)
+	tree, err := Bind(c, s.(*ast.RetrieveStmt))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmp := tree.Where.(*Binary)
+	lit := cmp.R.(*Lit)
+	if lit.Val.Kind().String() != "symbolic" || lit.Val.Ordinal() != 2 {
+		t.Errorf("literal not coerced: %v (%v)", lit.Val, lit.Val.Kind())
+	}
+	// Invalid labels are bind-time errors (strong typing).
+	s, _ = parser.ParseStmt(`From Grad Retrieve level Where level = "BBQ".`)
+	if _, err := Bind(c, s.(*ast.RetrieveStmt)); err == nil {
+		t.Error("invalid symbolic label accepted")
+	}
+}
+
+func TestBindSelectionShape(t *testing.T) {
+	c := cat(t)
+	s, _ := parser.ParseStmt(`Delete student Where salary of advisor > 10.`)
+	tree, err := BindSelection(c, c.Class("student"), s.(*ast.DeleteStmt).Where)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tree.Roots) != 1 || len(tree.Targets) != 0 {
+		t.Errorf("selection tree shape wrong")
+	}
+	if got := len(tree.ExistNodes()); got != 1 {
+		t.Errorf("exist nodes = %d", got)
+	}
+}
+
+func TestBindScalarShape(t *testing.T) {
+	c := cat(t)
+	s, _ := parser.ParseStmt(`Modify instructor (salary := 1.1 * salary) Where salary > 0.`)
+	mod := s.(*ast.ModifyStmt)
+	tree, err := BindScalar(c, c.Class("instructor"), mod.Assigns[0].Value)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tree.Targets) != 1 {
+		t.Fatal("scalar tree needs exactly one target")
+	}
+	if _, ok := tree.Targets[0].(*Binary); !ok {
+		t.Errorf("target = %T", tree.Targets[0])
+	}
+}
+
+func TestReferenceVariableBinding(t *testing.T) {
+	tree := bind(t, `From student s1, student s2 Retrieve name of s1 Where advisor of s1 = advisor of s2.`)
+	if len(tree.Roots) != 2 {
+		t.Fatalf("roots = %d", len(tree.Roots))
+	}
+	// Each variable has its own advisor node.
+	advisors := 0
+	for _, n := range tree.Nodes {
+		if n.Edge != nil && strings.EqualFold(n.Edge.Name, "advisor") {
+			advisors++
+		}
+	}
+	if advisors != 2 {
+		t.Errorf("advisor nodes = %d, want 2 (distinct per variable)", advisors)
+	}
+}
+
+func TestRefVarCollisionRejected(t *testing.T) {
+	err := bindErr(t, `From student course Retrieve name of course.`)
+	if !strings.Contains(err.Error(), "collides") {
+		t.Errorf("error = %v", err)
+	}
+}
+
+func TestColumnNames(t *testing.T) {
+	tree := bind(t, `From Student Retrieve Name, Salary of Advisor, count(courses-enrolled).`)
+	want := []string{"name of student", "salary of advisor of student", "count(courses-enrolled of student)"}
+	for i, n := range tree.Names {
+		if n != want[i] {
+			t.Errorf("column %d = %q, want %q", i, n, want[i])
+		}
+	}
+}

@@ -1,0 +1,60 @@
+// Package university holds the UNIVERSITY example schema of the paper's
+// Section 7 (Figure 2), shared by tests, examples and the benchmark
+// harness.
+package university
+
+// DDL is the paper's example schema, transcribed verbatim (§7).
+const DDL = `
+(* The schema diagram is in Figure 2 of the paper. *)
+Type degree = symbolic (BS, MBA, MS, PHD);
+Type id-number = integer (1001..39999, 60001..99999);
+
+Class Person (
+  name: string[30];
+  soc-sec-no: integer, unique, required;
+  birthdate: date;
+  spouse: person inverse is spouse;
+  profession: subrole (student, instructor) mv );
+
+Subclass Student of Person (
+  student-nbr: id-number;
+  advisor: instructor inverse is advisees;
+  instructor-status: subrole (teaching-assistant);
+  courses-enrolled: course inverse is students-enrolled mv (distinct);
+  major-department: department );
+
+Verify v1 on Student
+  assert sum(credits of courses-enrolled) >= 12
+  else "student is taking too few credits";
+
+Subclass Instructor of Person (
+  employee-nbr: id-number unique required;
+  salary: number[9,2];
+  bonus: number[9,2];
+  student-status: subrole (teaching-assistant);
+  advisees: student inverse is advisor mv (max 10);
+  courses-taught: course inverse is teachers mv (max 3, distinct);
+  assigned-department: department inverse is instructors-employed );
+
+Verify v2 on Instructor
+  assert salary + bonus < 100000
+  else "instructor makes too much money";
+
+Subclass Teaching-assistant of Student and Instructor (
+  teaching-load: integer (1..20) );
+
+Class Course (
+  course-no: integer (1..9999) unique required;
+  title: string[30] required;
+  credits: integer (1..15) required;
+  students-enrolled: student inverse is courses-enrolled mv;
+  teachers: instructor inverse is courses-taught mv (max 7);
+  prerequisites: course inverse is prerequisite-of mv;
+  prerequisite-of: course inverse is prerequisites mv );
+
+Class Department (
+  dept-nbr: integer (100..999) required unique;
+  name: string[30] required;
+  instructors-employed: instructor inverse is assigned-department mv;
+  courses-offered: course mv );
+`

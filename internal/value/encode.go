@@ -1,0 +1,114 @@
+package value
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Binary encoding of values for the storage substrate. A value is encoded
+// as a one-byte kind tag followed by a kind-specific payload:
+//
+//	null                      (no payload)
+//	int/date/bool/surrogate   zig-zag varint
+//	number                    8-byte big-endian IEEE-754 bits
+//	string                    uvarint length + bytes
+//	symbolic                  uvarint ordinal + uvarint length + label bytes
+//
+// The encoding is self-delimiting so records can hold sequences of values.
+
+// Append appends the binary encoding of v to dst and returns the result.
+func Append(dst []byte, v Value) []byte {
+	dst = append(dst, byte(v.kind))
+	switch v.kind {
+	case KindNull:
+	case KindInt, KindDate, KindBool, KindSurrogate:
+		dst = binary.AppendVarint(dst, v.i)
+	case KindNumber:
+		var buf [8]byte
+		binary.BigEndian.PutUint64(buf[:], mathFloat64bits(v.f))
+		dst = append(dst, buf[:]...)
+	case KindString:
+		dst = binary.AppendUvarint(dst, uint64(len(v.s)))
+		dst = append(dst, v.s...)
+	case KindSymbolic:
+		dst = binary.AppendVarint(dst, v.i)
+		dst = binary.AppendUvarint(dst, uint64(len(v.s)))
+		dst = append(dst, v.s...)
+	}
+	return dst
+}
+
+// Decode decodes one value from b, returning the value and the remaining
+// bytes.
+func Decode(b []byte) (Value, []byte, error) {
+	if len(b) == 0 {
+		return Null, nil, fmt.Errorf("value: decode: empty input")
+	}
+	k := Kind(b[0])
+	b = b[1:]
+	switch k {
+	case KindNull:
+		return Null, b, nil
+	case KindInt, KindDate, KindBool, KindSurrogate:
+		i, n := binary.Varint(b)
+		if n <= 0 {
+			return Null, nil, fmt.Errorf("value: decode: bad varint")
+		}
+		return Value{kind: k, i: i}, b[n:], nil
+	case KindNumber:
+		if len(b) < 8 {
+			return Null, nil, fmt.Errorf("value: decode: short number")
+		}
+		f := mathFloat64frombits(binary.BigEndian.Uint64(b[:8]))
+		return Value{kind: KindNumber, f: f}, b[8:], nil
+	case KindString:
+		ln, n := binary.Uvarint(b)
+		if n <= 0 || uint64(len(b)-n) < ln {
+			return Null, nil, fmt.Errorf("value: decode: bad string")
+		}
+		s := string(b[n : n+int(ln)])
+		return Value{kind: KindString, s: s}, b[n+int(ln):], nil
+	case KindSymbolic:
+		ord, n := binary.Varint(b)
+		if n <= 0 {
+			return Null, nil, fmt.Errorf("value: decode: bad symbolic ordinal")
+		}
+		b = b[n:]
+		ln, n := binary.Uvarint(b)
+		if n <= 0 || uint64(len(b)-n) < ln {
+			return Null, nil, fmt.Errorf("value: decode: bad symbolic label")
+		}
+		s := string(b[n : n+int(ln)])
+		return Value{kind: KindSymbolic, i: ord, s: s}, b[n+int(ln):], nil
+	}
+	return Null, nil, fmt.Errorf("value: decode: unknown kind tag %d", k)
+}
+
+// AppendRow encodes a slice of values prefixed with its length.
+func AppendRow(dst []byte, row []Value) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(row)))
+	for _, v := range row {
+		dst = Append(dst, v)
+	}
+	return dst
+}
+
+// DecodeRow decodes a length-prefixed slice of values.
+func DecodeRow(b []byte) ([]Value, []byte, error) {
+	n, ln := binary.Uvarint(b)
+	if ln <= 0 {
+		return nil, nil, fmt.Errorf("value: decode row: bad length")
+	}
+	b = b[ln:]
+	row := make([]Value, 0, n)
+	for i := uint64(0); i < n; i++ {
+		var v Value
+		var err error
+		v, b, err = Decode(b)
+		if err != nil {
+			return nil, nil, fmt.Errorf("value: decode row field %d: %w", i, err)
+		}
+		row = append(row, v)
+	}
+	return row, b, nil
+}

@@ -1,0 +1,9 @@
+package value
+
+import "math"
+
+// Thin wrappers so encode.go reads without a direct math import at each
+// call site.
+
+func mathFloat64bits(f float64) uint64     { return math.Float64bits(f) }
+func mathFloat64frombits(b uint64) float64 { return math.Float64frombits(b) }

@@ -1,0 +1,104 @@
+package value
+
+import (
+	"encoding/binary"
+	"math"
+)
+
+// Order-preserving key encoding: for comparable values a < b implies
+// AppendKey(a) < AppendKey(b) bytewise, so B+tree index scans see values in
+// DML order. Layout: a kind tag byte (numeric kinds share one tag) followed
+// by a kind-specific payload. NULL sorts before everything, matching
+// SortLess.
+
+// Key tag bytes, in sort order.
+const (
+	keyNull     = 0x00
+	keyNumber   = 0x10 // int and number normalize together
+	keyString   = 0x20
+	keyBool     = 0x30
+	keyDate     = 0x40
+	keySymbolic = 0x50
+	keySurr     = 0x60
+)
+
+// AppendKey appends the order-preserving encoding of v to dst.
+func AppendKey(dst []byte, v Value) []byte {
+	switch v.kind {
+	case KindNull:
+		return append(dst, keyNull)
+	case KindInt:
+		dst = append(dst, keyNumber)
+		return appendKeyFloat(dst, float64(v.i))
+	case KindNumber:
+		dst = append(dst, keyNumber)
+		return appendKeyFloat(dst, v.f)
+	case KindString:
+		dst = append(dst, keyString)
+		return appendKeyString(dst, v.s)
+	case KindBool:
+		dst = append(dst, keyBool)
+		return append(dst, byte(v.i))
+	case KindDate:
+		dst = append(dst, keyDate)
+		return appendKeyInt64(dst, v.i)
+	case KindSymbolic:
+		// Symbolic values order by declaration ordinal (§2's strong
+		// typing); the label is not part of the key.
+		dst = append(dst, keySymbolic)
+		return appendKeyInt64(dst, v.i)
+	case KindSurrogate:
+		dst = append(dst, keySurr)
+		return appendKeyInt64(dst, v.i)
+	}
+	return append(dst, keyNull)
+}
+
+// appendKeyFloat encodes a float so the byte order matches numeric order:
+// flip the sign bit for non-negatives, flip all bits for negatives.
+func appendKeyFloat(dst []byte, f float64) []byte {
+	bits := math.Float64bits(f)
+	if bits&(1<<63) != 0 {
+		bits = ^bits
+	} else {
+		bits |= 1 << 63
+	}
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], bits)
+	return append(dst, b[:]...)
+}
+
+// appendKeyInt64 encodes a signed integer order-preservingly by biasing the
+// sign bit.
+func appendKeyInt64(dst []byte, i int64) []byte {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], uint64(i)^(1<<63))
+	return append(dst, b[:]...)
+}
+
+// appendKeyString escapes 0x00 (as 0x00 0xFF) and terminates with
+// 0x00 0x00, preserving order for strings with shared prefixes and
+// embedded zero bytes.
+func appendKeyString(dst []byte, s string) []byte {
+	for i := 0; i < len(s); i++ {
+		if s[i] == 0x00 {
+			dst = append(dst, 0x00, 0xFF)
+		} else {
+			dst = append(dst, s[i])
+		}
+	}
+	return append(dst, 0x00, 0x00)
+}
+
+// AppendSurrogateKey appends the fixed 8-byte big-endian encoding of a
+// surrogate, the key format of every class LUC.
+func AppendSurrogateKey(dst []byte, s Surrogate) []byte {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], uint64(s))
+	return append(dst, b[:]...)
+}
+
+// SurrogateFromKey reads an 8-byte big-endian surrogate.
+func SurrogateFromKey(b []byte) Surrogate {
+	return Surrogate(binary.BigEndian.Uint64(b[:8]))
+}

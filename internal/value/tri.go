@@ -1,0 +1,230 @@
+package value
+
+import "fmt"
+
+// Tri is a three-valued logic truth value. SIM's WHERE clause keeps an
+// entity only when the selection expression evaluates to True; both False
+// and Unknown reject it.
+type Tri int
+
+// Truth values, ordered so that And is min and Or is max.
+const (
+	False   Tri = 0
+	Unknown Tri = 1
+	True    Tri = 2
+)
+
+func (t Tri) String() string {
+	switch t {
+	case False:
+		return "false"
+	case True:
+		return "true"
+	}
+	return "unknown"
+}
+
+// TriOf lifts a Go bool into Tri.
+func TriOf(b bool) Tri {
+	if b {
+		return True
+	}
+	return False
+}
+
+// And is Kleene conjunction.
+func (t Tri) And(o Tri) Tri {
+	if o < t {
+		return o
+	}
+	return t
+}
+
+// Or is Kleene disjunction.
+func (t Tri) Or(o Tri) Tri {
+	if o > t {
+		return o
+	}
+	return t
+}
+
+// Not is Kleene negation.
+func (t Tri) Not() Tri { return True - t }
+
+// IsTrue reports whether the truth value is definitely True.
+func (t Tri) IsTrue() bool { return t == True }
+
+// Cmp enumerates DML comparison operators over values.
+type Cmp int
+
+// Comparison operators.
+const (
+	CmpEQ Cmp = iota
+	CmpNEQ
+	CmpLT
+	CmpLE
+	CmpGT
+	CmpGE
+)
+
+func (c Cmp) String() string {
+	switch c {
+	case CmpEQ:
+		return "="
+	case CmpNEQ:
+		return "neq"
+	case CmpLT:
+		return "<"
+	case CmpLE:
+		return "<="
+	case CmpGT:
+		return ">"
+	case CmpGE:
+		return ">="
+	}
+	return "?"
+}
+
+// Apply evaluates `a c b` under three-valued logic: any NULL operand yields
+// Unknown; incomparable kinds are an error.
+func (c Cmp) Apply(a, b Value) (Tri, error) {
+	if a.IsNull() || b.IsNull() {
+		return Unknown, nil
+	}
+	if c == CmpEQ || c == CmpNEQ {
+		// Equality is defined for every matching kind (incl. surrogates);
+		// mixed non-numeric kinds are a type error surfaced at bind time,
+		// but be permissive here and treat them as unequal-compatible only
+		// when comparable.
+		if !comparable(a.kind, b.kind) {
+			return False, fmt.Errorf("value: cannot compare %s with %s", a.Kind(), b.Kind())
+		}
+		eq := a.Equal(b)
+		if c == CmpNEQ {
+			return TriOf(!eq), nil
+		}
+		return TriOf(eq), nil
+	}
+	n, err := Compare(a, b)
+	if err != nil {
+		return Unknown, err
+	}
+	switch c {
+	case CmpLT:
+		return TriOf(n < 0), nil
+	case CmpLE:
+		return TriOf(n <= 0), nil
+	case CmpGT:
+		return TriOf(n > 0), nil
+	case CmpGE:
+		return TriOf(n >= 0), nil
+	}
+	return Unknown, fmt.Errorf("value: unknown comparison %v", c)
+}
+
+// Arith enumerates arithmetic operators.
+type Arith int
+
+// Arithmetic operators.
+const (
+	OpAdd Arith = iota
+	OpSub
+	OpMul
+	OpDiv
+)
+
+func (o Arith) String() string { return [...]string{"+", "-", "*", "/"}[o] }
+
+// Apply evaluates `a o b`. NULL propagates. Integer/integer stays integer
+// except for division, which yields a number. Date arithmetic allows
+// date ± integer (days) and date - date (days).
+func (o Arith) Apply(a, b Value) (Value, error) {
+	if a.IsNull() || b.IsNull() {
+		return Null, nil
+	}
+	// Date arithmetic.
+	if a.kind == KindDate || b.kind == KindDate {
+		switch {
+		case o == OpAdd && a.kind == KindDate && b.kind == KindInt:
+			return NewDate(a.i + b.i), nil
+		case o == OpAdd && a.kind == KindInt && b.kind == KindDate:
+			return NewDate(a.i + b.i), nil
+		case o == OpSub && a.kind == KindDate && b.kind == KindInt:
+			return NewDate(a.i - b.i), nil
+		case o == OpSub && a.kind == KindDate && b.kind == KindDate:
+			return NewInt(a.i - b.i), nil
+		}
+		return Null, fmt.Errorf("value: invalid date arithmetic %s %s %s", a.Kind(), o, b.Kind())
+	}
+	if !numericKind(a.kind) || !numericKind(b.kind) {
+		return Null, fmt.Errorf("value: %s not defined on %s and %s", o, a.Kind(), b.Kind())
+	}
+	if a.kind == KindInt && b.kind == KindInt && o != OpDiv {
+		switch o {
+		case OpAdd:
+			return NewInt(a.i + b.i), nil
+		case OpSub:
+			return NewInt(a.i - b.i), nil
+		case OpMul:
+			return NewInt(a.i * b.i), nil
+		}
+	}
+	x, y := a.Number(), b.Number()
+	switch o {
+	case OpAdd:
+		return NewNumber(x + y), nil
+	case OpSub:
+		return NewNumber(x - y), nil
+	case OpMul:
+		return NewNumber(x * y), nil
+	case OpDiv:
+		if y == 0 {
+			return Null, fmt.Errorf("value: division by zero")
+		}
+		return NewNumber(x / y), nil
+	}
+	return Null, fmt.Errorf("value: unknown operator %v", o)
+}
+
+// Like evaluates SIM pattern matching: '*' matches any run of characters
+// and '?' matches exactly one, anchored at both ends. NULL operands yield
+// Unknown.
+func Like(v, pattern Value) (Tri, error) {
+	if v.IsNull() || pattern.IsNull() {
+		return Unknown, nil
+	}
+	if v.kind != KindString && v.kind != KindSymbolic {
+		return False, fmt.Errorf("value: LIKE requires a string, got %s", v.Kind())
+	}
+	if pattern.kind != KindString {
+		return False, fmt.Errorf("value: LIKE pattern must be a string, got %s", pattern.Kind())
+	}
+	return TriOf(globMatch(pattern.s, v.s)), nil
+}
+
+// globMatch matches pattern p (with * and ?) against s iteratively with
+// backtracking on the last star.
+func globMatch(p, s string) bool {
+	pi, si := 0, 0
+	star, mark := -1, 0
+	for si < len(s) {
+		switch {
+		case pi < len(p) && (p[pi] == '?' || p[pi] == s[si]):
+			pi++
+			si++
+		case pi < len(p) && p[pi] == '*':
+			star, mark = pi, si
+			pi++
+		case star >= 0:
+			pi = star + 1
+			mark++
+			si = mark
+		default:
+			return false
+		}
+	}
+	for pi < len(p) && p[pi] == '*' {
+		pi++
+	}
+	return pi == len(p)
+}

@@ -1,0 +1,326 @@
+// Package value implements SIM's typed value system: integers, fixed-point
+// numbers, strings, dates, symbolic (enumerated) values, booleans and
+// surrogates, together with NULL and the three-valued logic the DML
+// requires (§4.9 of the paper: "Null values are treated uniformly in
+// expression evaluation, and SIM follows the 3-valued logic").
+package value
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Kind enumerates the runtime types of SIM values.
+type Kind int
+
+// Value kinds.
+const (
+	KindNull Kind = iota
+	KindInt
+	KindNumber
+	KindString
+	KindBool
+	KindDate
+	KindSymbolic
+	KindSurrogate
+)
+
+var kindNames = [...]string{"null", "integer", "number", "string", "boolean", "date", "symbolic", "surrogate"}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return "kind(?)"
+}
+
+// Surrogate is the system-maintained unique identity of an entity (§3.1).
+// Zero is never a valid surrogate.
+type Surrogate uint64
+
+// Value is a single SIM scalar. The zero Value is NULL.
+type Value struct {
+	kind Kind
+	i    int64   // Int; Date (days since epoch); Bool (0/1); Symbolic ordinal; Surrogate
+	f    float64 // Number
+	s    string  // String; Symbolic label
+}
+
+// Null is the NULL value, representing both "unknown" and "inapplicable".
+var Null = Value{}
+
+// NewInt returns an integer value.
+func NewInt(v int64) Value { return Value{kind: KindInt, i: v} }
+
+// NewNumber returns a fixed/floating numeric value.
+func NewNumber(v float64) Value { return Value{kind: KindNumber, f: v} }
+
+// NewString returns a string value.
+func NewString(v string) Value { return Value{kind: KindString, s: v} }
+
+// NewBool returns a boolean value.
+func NewBool(v bool) Value {
+	var i int64
+	if v {
+		i = 1
+	}
+	return Value{kind: KindBool, i: i}
+}
+
+// NewDate returns a date value from days since the Unix epoch.
+func NewDate(days int64) Value { return Value{kind: KindDate, i: days} }
+
+// NewSymbolic returns a symbolic (enumerated) value with its label and the
+// label's ordinal in the declaring type.
+func NewSymbolic(label string, ordinal int) Value {
+	return Value{kind: KindSymbolic, s: label, i: int64(ordinal)}
+}
+
+// NewSurrogate returns an entity-identity value.
+func NewSurrogate(s Surrogate) Value { return Value{kind: KindSurrogate, i: int64(s)} }
+
+// DateFromTime converts a civil time to a date value (UTC calendar day).
+func DateFromTime(t time.Time) Value {
+	days := t.UTC().Unix() / 86400
+	return NewDate(days)
+}
+
+// ParseDate parses "YYYY-MM-DD" into a date value.
+func ParseDate(s string) (Value, error) {
+	t, err := time.Parse("2006-01-02", s)
+	if err != nil {
+		return Null, fmt.Errorf("invalid date %q: %w", s, err)
+	}
+	return DateFromTime(t), nil
+}
+
+// Kind returns the value's runtime kind; KindNull for NULL.
+func (v Value) Kind() Kind { return v.kind }
+
+// IsNull reports whether the value is NULL.
+func (v Value) IsNull() bool { return v.kind == KindNull }
+
+// Int returns the integer payload. It panics unless the kind is KindInt.
+func (v Value) Int() int64 {
+	if v.kind != KindInt {
+		panic("value: Int() on " + v.kind.String())
+	}
+	return v.i
+}
+
+// Number returns the numeric payload of an Int or Number value as float64.
+func (v Value) Number() float64 {
+	switch v.kind {
+	case KindInt:
+		return float64(v.i)
+	case KindNumber:
+		return v.f
+	}
+	panic("value: Number() on " + v.kind.String())
+}
+
+// Str returns the string payload of a String or Symbolic value.
+func (v Value) Str() string {
+	if v.kind != KindString && v.kind != KindSymbolic {
+		panic("value: Str() on " + v.kind.String())
+	}
+	return v.s
+}
+
+// Bool returns the boolean payload. It panics unless the kind is KindBool.
+func (v Value) Bool() bool {
+	if v.kind != KindBool {
+		panic("value: Bool() on " + v.kind.String())
+	}
+	return v.i != 0
+}
+
+// Days returns the date payload as days since the epoch.
+func (v Value) Days() int64 {
+	if v.kind != KindDate {
+		panic("value: Days() on " + v.kind.String())
+	}
+	return v.i
+}
+
+// Ordinal returns a symbolic value's position in its declaring type.
+func (v Value) Ordinal() int {
+	if v.kind != KindSymbolic {
+		panic("value: Ordinal() on " + v.kind.String())
+	}
+	return int(v.i)
+}
+
+// Surrogate returns the entity identity payload.
+func (v Value) Surrogate() Surrogate {
+	if v.kind != KindSurrogate {
+		panic("value: Surrogate() on " + v.kind.String())
+	}
+	return Surrogate(v.i)
+}
+
+// String renders the value for display. NULL renders as "?", matching the
+// convention of SIM's IQF listings.
+func (v Value) String() string {
+	switch v.kind {
+	case KindNull:
+		return "?"
+	case KindInt:
+		return strconv.FormatInt(v.i, 10)
+	case KindNumber:
+		return strconv.FormatFloat(v.f, 'f', -1, 64)
+	case KindString:
+		return v.s
+	case KindBool:
+		if v.i != 0 {
+			return "true"
+		}
+		return "false"
+	case KindDate:
+		return time.Unix(v.i*86400, 0).UTC().Format("2006-01-02")
+	case KindSymbolic:
+		return v.s
+	case KindSurrogate:
+		return fmt.Sprintf("#%d", v.i)
+	}
+	return "?"
+}
+
+// numericKind reports whether values of kind k participate in arithmetic.
+func numericKind(k Kind) bool { return k == KindInt || k == KindNumber }
+
+// comparable reports whether two non-null kinds may be ordered against each
+// other.
+func comparable(a, b Kind) bool {
+	if a == b {
+		return a != KindNull
+	}
+	return numericKind(a) && numericKind(b)
+}
+
+// Equal is Go-level equality of two values (NULL equals NULL here; use
+// Compare + Tri for SQL-style semantics).
+func (v Value) Equal(o Value) bool {
+	if v.kind != o.kind {
+		if numericKind(v.kind) && numericKind(o.kind) {
+			return v.Number() == o.Number()
+		}
+		return false
+	}
+	switch v.kind {
+	case KindNull:
+		return true
+	case KindNumber:
+		return v.f == o.f
+	case KindString:
+		return v.s == o.s
+	case KindSymbolic:
+		return v.s == o.s
+	default:
+		return v.i == o.i
+	}
+}
+
+// Compare orders two non-null values: -1, 0, +1. It returns an error when
+// the kinds are not mutually comparable. Symbolic values order by the
+// ordinal of their declaration (BS < MBA < MS < PHD in the paper's degree
+// type). Strings compare case-sensitively.
+func Compare(a, b Value) (int, error) {
+	if a.IsNull() || b.IsNull() {
+		return 0, fmt.Errorf("value: comparison with NULL has no order")
+	}
+	if !comparable(a.kind, b.kind) {
+		return 0, fmt.Errorf("value: cannot compare %s with %s", a.kind, b.kind)
+	}
+	switch {
+	case numericKind(a.kind):
+		x, y := a.Number(), b.Number()
+		switch {
+		case x < y:
+			return -1, nil
+		case x > y:
+			return 1, nil
+		}
+		return 0, nil
+	case a.kind == KindString:
+		return strings.Compare(a.s, b.s), nil
+	case a.kind == KindSymbolic:
+		switch {
+		case a.i < b.i:
+			return -1, nil
+		case a.i > b.i:
+			return 1, nil
+		}
+		return 0, nil
+	case a.kind == KindBool:
+		x, y := a.i, b.i
+		switch {
+		case x < y:
+			return -1, nil
+		case x > y:
+			return 1, nil
+		}
+		return 0, nil
+	case a.kind == KindDate, a.kind == KindSurrogate:
+		switch {
+		case a.i < b.i:
+			return -1, nil
+		case a.i > b.i:
+			return 1, nil
+		}
+		return 0, nil
+	}
+	return 0, fmt.Errorf("value: cannot compare %s", a.kind)
+}
+
+// SortLess is a total order usable for ORDER BY and DISTINCT: NULL sorts
+// first, then by kind, then by Compare within comparable kinds.
+func SortLess(a, b Value) bool {
+	if a.IsNull() {
+		return !b.IsNull()
+	}
+	if b.IsNull() {
+		return false
+	}
+	ka, kb := a.kind, b.kind
+	if numericKind(ka) {
+		ka = KindNumber
+	}
+	if numericKind(kb) {
+		kb = KindNumber
+	}
+	if ka != kb {
+		return ka < kb
+	}
+	c, err := Compare(a, b)
+	if err != nil {
+		return false
+	}
+	return c < 0
+}
+
+// Key returns a string that is equal exactly for values that are Equal; it
+// is used for DISTINCT and grouping. Numeric kinds normalise together.
+func (v Value) Key() string {
+	switch v.kind {
+	case KindNull:
+		return "n"
+	case KindInt:
+		return "f" + strconv.FormatFloat(float64(v.i), 'g', -1, 64)
+	case KindNumber:
+		return "f" + strconv.FormatFloat(v.f, 'g', -1, 64)
+	case KindString:
+		return "s" + v.s
+	case KindBool:
+		return "b" + strconv.FormatInt(v.i, 10)
+	case KindDate:
+		return "d" + strconv.FormatInt(v.i, 10)
+	case KindSymbolic:
+		return "y" + v.s
+	case KindSurrogate:
+		return "g" + strconv.FormatInt(v.i, 10)
+	}
+	return "?"
+}

@@ -1,0 +1,168 @@
+// Package wal implements a commit journal (write-ahead log) of page images
+// with REDO recovery.
+//
+// The protocol pairs with the no-steal buffer pool in internal/pager:
+// uncommitted pages never reach the database file, so the log only needs
+// REDO information. At commit, the images of all dirty pages are appended
+// followed by a commit record, and the log is synced; the pool may then
+// lazily write the pages to the database file. Recovery replays every
+// complete committed batch in order and truncates the log. A checkpoint
+// (flush all pages + sync + truncate) bounds log growth.
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+
+	"sim/internal/pager"
+)
+
+// Record kinds.
+const (
+	recPage   = 1
+	recCommit = 2
+)
+
+// header: kind(1) pageID(4) payloadLen(4) crc(4) = 13 bytes, then payload.
+const headerSize = 13
+
+// Log is an append-only commit journal.
+type Log struct {
+	f    *os.File
+	size int64
+	seq  uint64 // commit sequence number
+}
+
+// Open opens (creating if necessary) the log at path.
+func Open(path string) (*Log, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("wal: open %s: %w", path, err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &Log{f: f, size: st.Size()}, nil
+}
+
+// Close closes the log file.
+func (l *Log) Close() error { return l.f.Close() }
+
+// Size returns the current log length in bytes.
+func (l *Log) Size() int64 { return l.size }
+
+func record(kind byte, pageID pager.PageID, payload []byte) []byte {
+	buf := make([]byte, headerSize+len(payload))
+	buf[0] = kind
+	binary.BigEndian.PutUint32(buf[1:5], uint32(pageID))
+	binary.BigEndian.PutUint32(buf[5:9], uint32(len(payload)))
+	copy(buf[headerSize:], payload)
+	crc := crc32.ChecksumIEEE(buf[0:9])
+	crc = crc32.Update(crc, crc32.IEEETable, payload)
+	binary.BigEndian.PutUint32(buf[9:13], crc)
+	return buf
+}
+
+// Commit durably journals the given page frames as one atomic batch.
+func (l *Log) Commit(frames []*pager.Frame) error {
+	var buf []byte
+	for _, fr := range frames {
+		buf = append(buf, record(recPage, fr.ID, fr.Data)...)
+	}
+	l.seq++
+	var seqb [8]byte
+	binary.BigEndian.PutUint64(seqb[:], l.seq)
+	buf = append(buf, record(recCommit, 0, seqb[:])...)
+	if _, err := l.f.WriteAt(buf, l.size); err != nil {
+		return fmt.Errorf("wal: append: %w", err)
+	}
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("wal: sync: %w", err)
+	}
+	l.size += int64(len(buf))
+	return nil
+}
+
+// Truncate discards the log contents; call only after a checkpoint has made
+// the database file current.
+func (l *Log) Truncate() error {
+	if err := l.f.Truncate(0); err != nil {
+		return err
+	}
+	if err := l.f.Sync(); err != nil {
+		return err
+	}
+	l.size = 0
+	l.seq = 0
+	return nil
+}
+
+// Recover replays every complete committed batch into file, then syncs it
+// and truncates the log. A torn tail (incomplete batch or corrupt record)
+// is ignored, implementing atomic commit.
+func (l *Log) Recover(file pager.File) (replayed int, err error) {
+	if l.size == 0 {
+		return 0, nil
+	}
+	if _, err := l.f.Seek(0, io.SeekStart); err != nil {
+		return 0, err
+	}
+	r := io.LimitReader(l.f, l.size)
+
+	type img struct {
+		id   pager.PageID
+		data []byte
+	}
+	var pending []img
+	hdr := make([]byte, headerSize)
+	for {
+		if _, err := io.ReadFull(r, hdr); err != nil {
+			break // clean EOF or torn header: stop
+		}
+		kind := hdr[0]
+		pageID := pager.PageID(binary.BigEndian.Uint32(hdr[1:5]))
+		plen := binary.BigEndian.Uint32(hdr[5:9])
+		want := binary.BigEndian.Uint32(hdr[9:13])
+		if plen > 1<<24 {
+			break // implausible length: torn record
+		}
+		payload := make([]byte, plen)
+		if _, err := io.ReadFull(r, payload); err != nil {
+			break
+		}
+		crc := crc32.ChecksumIEEE(hdr[0:9])
+		crc = crc32.Update(crc, crc32.IEEETable, payload)
+		if crc != want {
+			break
+		}
+		switch kind {
+		case recPage:
+			if len(payload) != pager.PageSize {
+				return replayed, fmt.Errorf("wal: page record with %d bytes", len(payload))
+			}
+			pending = append(pending, img{pageID, payload})
+		case recCommit:
+			for _, im := range pending {
+				if err := file.WritePage(im.id, im.data); err != nil {
+					return replayed, fmt.Errorf("wal: replay page %d: %w", im.id, err)
+				}
+				replayed++
+			}
+			pending = pending[:0]
+			l.seq = binary.BigEndian.Uint64(payload)
+		default:
+			return replayed, fmt.Errorf("wal: unknown record kind %d", kind)
+		}
+	}
+	if replayed > 0 {
+		if err := file.Sync(); err != nil {
+			return replayed, err
+		}
+	}
+	return replayed, l.Truncate()
+}

@@ -1,0 +1,165 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"sim/internal/luc"
+)
+
+// populated builds a university database with n students enrolled across
+// courses, suitable for optimizer tests. Indexes are configured on
+// person.name and course.title.
+func populated(t testing.TB, n int, mapping luc.Config) *Database {
+	t.Helper()
+	if mapping.Indexes == nil {
+		mapping.Indexes = []string{"person.name", "course.title"}
+	}
+	db := universityDB(t, Config{Mapping: mapping})
+	for i := 0; i < n; i++ {
+		// Every 10th student is advised by Bob (advisees has MAX 10, so
+		// bulk students mostly go unadvised).
+		advisor := ""
+		if i%10 == 0 {
+			advisor = `advisor := instructor with (name = "Bob Stone"),`
+		}
+		stmt := fmt.Sprintf(`Insert student (name := "Bulk Student %04d", soc-sec-no := %d, %s
+		  courses-enrolled := course with (title = "Algebra I")).`, i, 500000000+i, advisor)
+		if _, err := db.Exec(stmt); err != nil {
+			t.Fatalf("bulk insert %d: %v", i, err)
+		}
+	}
+	return db
+}
+
+func TestExplainUniqueLookup(t *testing.T) {
+	db := universityDB(t, Config{})
+	ex, err := db.Explain(`From person Retrieve name Where soc-sec-no = 456887766.`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(ex, "unique lookup") {
+		t.Errorf("explain = %q, want unique lookup", ex)
+	}
+}
+
+func TestExplainScanWithoutIndex(t *testing.T) {
+	db := universityDB(t, Config{})
+	ex, err := db.Explain(`From person Retrieve name Where birthdate > "1970-01-01".`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(ex, "scan person") {
+		t.Errorf("explain = %q, want scan", ex)
+	}
+}
+
+func TestExplainIndexRange(t *testing.T) {
+	db := populated(t, 60, luc.Config{})
+	ex, err := db.Explain(`From person Retrieve soc-sec-no Where name = "Bulk Student 0001".`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(ex, "index range on name") {
+		t.Errorf("explain = %q, want index range", ex)
+	}
+}
+
+func TestExplainPivot(t *testing.T) {
+	db := populated(t, 80, luc.Config{})
+	// Selective predicate on a related class: the optimizer should pivot
+	// through the inverse EVA rather than scanning every student.
+	ex, err := db.Explain(`From student Retrieve soc-sec-no Where name of advisor = "Bob Stone".`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(ex, "pivot") {
+		t.Errorf("explain = %q, want pivot strategy", ex)
+	}
+}
+
+// Pivoted execution must agree with forced scans, including row order
+// (perspective-surrogate order is restored by the pivot's sort).
+func TestPivotMatchesScan(t *testing.T) {
+	q := `From student Retrieve name, soc-sec-no Where name of advisor = "Bob Stone".`
+	withIdx := populated(t, 80, luc.Config{})
+	noIdx := populated(t, 80, luc.Config{Indexes: []string{}})
+
+	exIdx, _ := withIdx.Explain(q)
+	exNo, _ := noIdx.Explain(q)
+	if !strings.Contains(exIdx, "pivot") || !strings.Contains(exNo, "scan") {
+		t.Fatalf("strategies not as expected: %q vs %q", exIdx, exNo)
+	}
+	a := mustQuery(t, withIdx, q)
+	b := mustQuery(t, noIdx, q)
+	expectRows(t, a, rowStrings(b))
+	if a.NumRows() != 8 {
+		t.Errorf("rows = %d, want 8", a.NumRows())
+	}
+}
+
+func TestIndexRangeMatchesScan(t *testing.T) {
+	q := `From course Retrieve title, credits Where title >= "C" and title < "N" Order By title.`
+	withIdx := populated(t, 5, luc.Config{})
+	noIdx := populated(t, 5, luc.Config{Indexes: []string{}})
+	a := mustQuery(t, withIdx, q)
+	b := mustQuery(t, noIdx, q)
+	expectRows(t, a, rowStrings(b))
+	expectRows(t, a, [][]string{{"Calculus I", "5"}, {"Databases", "5"}, {"Mechanics", "5"}})
+}
+
+// The same integration queries produce identical answers under every
+// physical mapping of §5.2 — mapping is invisible to semantics.
+func TestMappingVariantsAgree(t *testing.T) {
+	variants := map[string]luc.Config{
+		"default": {},
+		"split-hierarchies": {Hierarchy: map[string]luc.HierarchyStrategy{
+			"person": luc.HierarchySplit, "course": luc.HierarchySplit, "department": luc.HierarchySplit}},
+		"fk-advisor": {EVA: map[string]luc.EVAStrategy{"student.advisor": luc.EVAForeignKey}},
+		"all-common": {EVA: map[string]luc.EVAStrategy{
+			"student.advisor":          luc.EVACommon,
+			"person.spouse":            luc.EVACommon,
+			"student.courses-enrolled": luc.EVACommon,
+		}},
+		"private-evas": {EVA: map[string]luc.EVAStrategy{
+			"student.courses-enrolled": luc.EVAPrivate,
+			"course.prerequisites":     luc.EVAPrivate,
+		}},
+	}
+	queries := []string{
+		`From Student Retrieve Name, Name of Advisor.`,
+		`Retrieve name of instructor, title of courses-taught Where name of major-department of advisees = "Physics".`,
+		`From course Retrieve count distinct (transitive(prerequisites)) Where title = "Quantum Chromodynamics".`,
+		`From Department Retrieve Name, AVG(Salary of Instructors-employed) Order By Name.`,
+		`From Person Retrieve Profession Where Name = "Tina Aide".`,
+	}
+	var want [][][]string
+	for name, cfg := range variants {
+		db := universityDB(t, Config{Mapping: cfg})
+		for qi, q := range queries {
+			r, err := db.Query(q)
+			if err != nil {
+				t.Fatalf("%s: query %d: %v", name, qi, err)
+			}
+			got := rowStrings(r)
+			if want == nil || len(want) <= qi {
+				want = append(want, got)
+				continue
+			}
+			if fmt.Sprint(got) != fmt.Sprint(want[qi]) {
+				t.Errorf("%s: query %d differs:\n got %v\nwant %v", name, qi, got, want[qi])
+			}
+		}
+	}
+}
+
+func TestStatsVisible(t *testing.T) {
+	db := populated(t, 30, luc.Config{})
+	db.ResetStats()
+	mustQuery(t, db, `From student Retrieve name.`)
+	st := db.Stats()
+	if st.Pool.Hits == 0 {
+		t.Error("no buffer pool activity recorded")
+	}
+}

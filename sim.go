@@ -1,0 +1,407 @@
+// Package sim is a database management system based on the semantic data
+// model of Jagannathan et al., "SIM: A Database System Based on the
+// Semantic Data Model" (SIGMOD 1988).
+//
+// A SIM database is defined by a schema of classes and subclasses forming
+// a generalization DAG, with data-valued and entity-valued attributes
+// (EVAs carry system-maintained inverses), attribute options (REQUIRED,
+// UNIQUE, MV, DISTINCT, MAX) and class-level VERIFY assertions. Data is
+// manipulated through the English-like DML of the paper:
+//
+//	From Student Retrieve Name, Name of Advisor Where Student-Nbr = 1729.
+//	Insert student (name := "John Doe", soc-sec-no := 456887766).
+//	Modify instructor (salary := 1.1 * salary) Where count(courses-taught) > 2.
+//	Delete student Where name = "John Doe".
+//
+// Open a database with Open (an empty path gives a transient in-memory
+// database), define its schema with DefineSchema, then use Query for
+// Retrieve statements and Exec for updates. Updates are transactional:
+// a failed statement (type error, uniqueness or cardinality violation,
+// failed VERIFY assertion) leaves the database unchanged.
+package sim
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"sim/internal/ast"
+	"sim/internal/catalog"
+	"sim/internal/dmsii"
+	"sim/internal/exec"
+	"sim/internal/integrity"
+	"sim/internal/luc"
+	"sim/internal/pager"
+	"sim/internal/parser"
+	"sim/internal/plan"
+	"sim/internal/query"
+)
+
+// Result is a query result: column names, tabular rows, and — for
+// STRUCTURE-mode queries — the fully structured group tree.
+type Result = exec.Result
+
+// Stats aggregates storage-level counters for benchmarking and EXPLAIN.
+type Stats struct {
+	Pool pager.Stats
+}
+
+// Config tunes a database instance.
+type Config struct {
+	// PoolPages is the buffer pool capacity in 4 KiB pages (default 1024).
+	PoolPages int
+	// Mapping overrides the default physical mapping of §5.2; see
+	// luc.Config. It must be identical across openings of one database.
+	Mapping luc.Config
+}
+
+// Database is an open SIM database. Methods are safe for concurrent use:
+// queries run under a shared lock, updates and schema changes under an
+// exclusive lock (the substrate is single-writer, as DMSII was for the
+// paper's implementation).
+type Database struct {
+	mu     sync.RWMutex
+	store  *dmsii.Store
+	cfg    Config
+	ddl    []string // schema batches, in definition order
+	cat    *catalog.Catalog
+	mapper *luc.Mapper
+	exe    *exec.Executor
+}
+
+// Open opens (creating if necessary) the database at path; an empty path
+// opens a transient in-memory database. Any schema previously defined in
+// the file is loaded.
+func Open(path string, cfg Config) (*Database, error) {
+	var store *dmsii.Store
+	var err error
+	opts := dmsii.Options{PoolPages: cfg.PoolPages}
+	if path == "" {
+		store, err = dmsii.OpenMemory(opts)
+	} else {
+		store, err = dmsii.OpenFile(path, opts)
+	}
+	if err != nil {
+		return nil, err
+	}
+	db := &Database{store: store, cfg: cfg}
+	if err := db.loadSchema(); err != nil {
+		store.Close()
+		return nil, err
+	}
+	return db, nil
+}
+
+// Close checkpoints and closes the database.
+func (db *Database) Close() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.store.Close()
+}
+
+// loadSchema replays persisted DDL batches and rebuilds the catalog,
+// mapper and executor.
+func (db *Database) loadSchema() error {
+	st, err := db.store.Structure("~schema")
+	if err != nil {
+		return err
+	}
+	c, err := st.First()
+	if err != nil {
+		return err
+	}
+	var batches []string
+	for ; c.Valid(); c.Next() {
+		batches = append(batches, string(c.Value()))
+	}
+	if err := c.Err(); err != nil {
+		return err
+	}
+	return db.rebuild(batches)
+}
+
+// rebuild constructs catalog + mapper + executor from DDL batches.
+func (db *Database) rebuild(batches []string) error {
+	cat := catalog.New()
+	for i, ddl := range batches {
+		sch, err := parser.ParseSchema(ddl)
+		if err != nil {
+			return fmt.Errorf("sim: stored schema batch %d: %w", i, err)
+		}
+		if err := cat.Extend(sch); err != nil {
+			return fmt.Errorf("sim: stored schema batch %d: %w", i, err)
+		}
+	}
+	mapper, err := luc.New(db.store, cat, db.cfg.Mapping)
+	if err != nil {
+		return err
+	}
+	constraints, err := integrity.Analyze(cat)
+	if err != nil {
+		return err
+	}
+	// Validate derived-attribute definitions by probing a binding of each
+	// (their expressions are otherwise only checked at first reference).
+	for _, cl := range cat.Classes() {
+		for _, a := range cl.Attrs {
+			if a.Kind != catalog.Derived || a.Owner != cl {
+				continue
+			}
+			probe := &ast.Path{Steps: []ast.PathStep{{Name: a.Name}, {Name: cl.Name}}}
+			if _, err := query.BindScalar(cat, cl, probe); err != nil {
+				return fmt.Errorf("derived attribute %s: %w", a, err)
+			}
+		}
+	}
+	exe := exec.New(mapper)
+	exe.SetConstraints(constraints)
+	db.ddl = batches
+	db.cat = cat
+	db.mapper = mapper
+	db.exe = exe
+	return nil
+}
+
+// DefineSchema parses and applies a DDL text (Type/Class/Subclass/Verify
+// declarations). The schema may be extended incrementally across calls;
+// each batch is validated against everything defined before it and
+// persisted with the database.
+func (db *Database) DefineSchema(ddl string) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	batches := append(append([]string(nil), db.ddl...), ddl)
+	prev := struct {
+		cat *catalog.Catalog
+		m   *luc.Mapper
+		e   *exec.Executor
+	}{db.cat, db.mapper, db.exe}
+	if err := db.rebuild(batches); err != nil {
+		db.cat, db.mapper, db.exe = prev.cat, prev.m, prev.e
+		db.ddl = batches[:len(batches)-1]
+		return err
+	}
+	// Persist the batch.
+	tx, err := db.store.Begin()
+	if err != nil {
+		return err
+	}
+	st, err := db.store.Structure("~schema")
+	if err != nil {
+		tx.Rollback()
+		return err
+	}
+	key := fmt.Sprintf("%08d", len(db.ddl)-1)
+	if err := st.Put([]byte(key), []byte(ddl)); err != nil {
+		tx.Rollback()
+		return err
+	}
+	return tx.Commit()
+}
+
+// Catalog exposes the schema catalog for introspection.
+func (db *Database) Catalog() *catalog.Catalog { return db.cat }
+
+// Mapper exposes the LUC Mapper (advanced use: statistics, direct scans).
+func (db *Database) Mapper() *luc.Mapper { return db.mapper }
+
+// Stats returns storage counters.
+func (db *Database) Stats() Stats { return Stats{Pool: db.store.Stats()} }
+
+// ResetStats zeroes storage counters (between benchmark phases).
+func (db *Database) ResetStats() { db.store.ResetStats() }
+
+// Query executes one Retrieve statement and returns its result.
+func (db *Database) Query(dml string) (*Result, error) {
+	stmt, err := parser.ParseStmt(dml)
+	if err != nil {
+		return nil, err
+	}
+	ret, ok := stmt.(*ast.RetrieveStmt)
+	if !ok {
+		return nil, fmt.Errorf("sim: Query wants a Retrieve statement; use Exec for updates")
+	}
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.runRetrieve(ret)
+}
+
+func (db *Database) runRetrieve(ret *ast.RetrieveStmt) (*Result, error) {
+	tree, err := query.Bind(db.cat, ret)
+	if err != nil {
+		return nil, err
+	}
+	p, err := plan.Optimize(tree, db.mapper)
+	if err != nil {
+		return nil, err
+	}
+	return db.exe.Retrieve(p)
+}
+
+// Explain returns the optimizer's chosen strategy for a Retrieve statement
+// without executing it.
+func (db *Database) Explain(dml string) (string, error) {
+	stmt, err := parser.ParseStmt(dml)
+	if err != nil {
+		return "", err
+	}
+	ret, ok := stmt.(*ast.RetrieveStmt)
+	if !ok {
+		return "", fmt.Errorf("sim: Explain wants a Retrieve statement")
+	}
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	tree, err := query.Bind(db.cat, ret)
+	if err != nil {
+		return "", err
+	}
+	p, err := plan.Optimize(tree, db.mapper)
+	if err != nil {
+		return "", err
+	}
+	return p.Explain(), nil
+}
+
+// Exec executes one update statement (Insert, Modify or Delete) in its own
+// transaction and returns the number of affected entities. On any error
+// the statement's effects are rolled back.
+func (db *Database) Exec(dml string) (int, error) {
+	stmt, err := parser.ParseStmt(dml)
+	if err != nil {
+		return 0, err
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.execStmt(stmt)
+}
+
+func (db *Database) execStmt(stmt ast.Stmt) (int, error) {
+	tx, err := db.store.Begin()
+	if err != nil {
+		return 0, err
+	}
+	var n int
+	switch s := stmt.(type) {
+	case *ast.InsertStmt:
+		n, err = db.exe.Insert(s)
+	case *ast.ModifyStmt:
+		n, err = db.exe.Modify(s)
+	case *ast.DeleteStmt:
+		n, err = db.exe.Delete(s)
+	case *ast.RetrieveStmt:
+		tx.Rollback()
+		return 0, fmt.Errorf("sim: Exec wants an update statement; use Query for Retrieve")
+	default:
+		err = fmt.Errorf("sim: unsupported statement %T", stmt)
+	}
+	if err != nil {
+		if rbErr := tx.Rollback(); rbErr != nil {
+			return 0, fmt.Errorf("%w (rollback also failed: %v)", err, rbErr)
+		}
+		db.mapper.ResetCaches()
+		return 0, err
+	}
+	return n, tx.Commit()
+}
+
+// Run executes a script of statements separated by '.' or ';'. Retrieve
+// results are returned in order; updates contribute nil entries.
+func (db *Database) Run(script string) ([]*Result, error) {
+	stmts, err := parser.ParseStmts(script)
+	if err != nil {
+		return nil, err
+	}
+	var out []*Result
+	for i, s := range stmts {
+		if ret, ok := s.(*ast.RetrieveStmt); ok {
+			db.mu.RLock()
+			r, err := db.runRetrieve(ret)
+			db.mu.RUnlock()
+			if err != nil {
+				return out, fmt.Errorf("statement %d: %w", i+1, err)
+			}
+			out = append(out, r)
+			continue
+		}
+		db.mu.Lock()
+		_, err := db.execStmt(s)
+		db.mu.Unlock()
+		if err != nil {
+			return out, fmt.Errorf("statement %d: %w", i+1, err)
+		}
+		out = append(out, nil)
+	}
+	return out, nil
+}
+
+// CheckIntegrity re-verifies every VERIFY assertion against every entity
+// of its class, reporting the first violation.
+func (db *Database) CheckIntegrity() error {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	constraints, err := integrity.Analyze(db.cat)
+	if err != nil {
+		return err
+	}
+	for _, c := range constraints {
+		if err := db.exe.CheckAll(c); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Checkpoint flushes committed data to the database file and truncates the
+// write-ahead log.
+func (db *Database) Checkpoint() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.store.Checkpoint()
+}
+
+// SchemaSummary renders a one-line-per-class summary of the schema, with
+// the counts the paper reports for ADDS (§6): base classes, subclasses,
+// EVA-inverse pairs, DVAs and maximum generalization depth.
+func (db *Database) SchemaSummary() string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	var base, subs, dvas, pairs int
+	maxDepth := 0
+	seenPair := map[*catalog.Attribute]bool{}
+	var depth func(c *catalog.Class) int
+	depth = func(c *catalog.Class) int {
+		d := 0
+		for _, s := range c.Supers {
+			if dd := depth(s) + 1; dd > d {
+				d = dd
+			}
+		}
+		return d
+	}
+	for _, cl := range db.cat.Classes() {
+		if cl.IsBase() {
+			base++
+		} else {
+			subs++
+		}
+		if d := depth(cl); d > maxDepth {
+			maxDepth = d
+		}
+		for _, a := range cl.Attrs {
+			switch a.Kind {
+			case catalog.DVA:
+				dvas++
+			case catalog.EVA:
+				if !a.Implicit && !seenPair[a] {
+					seenPair[a] = true
+					if a.Inverse != nil {
+						seenPair[a.Inverse] = true
+					}
+					pairs++
+				}
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "base classes: %d\nsubclasses: %d\nEVA-inverse pairs: %d\nDVAs: %d\nmax generalization depth: %d\n", base, subs, pairs, dvas, maxDepth)
+	return b.String()
+}

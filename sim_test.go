@@ -1,0 +1,396 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSimpleRetrieve(t *testing.T) {
+	db := universityDB(t, Config{})
+	r := mustQuery(t, db, `From Department Retrieve Name Order By Name.`)
+	expectRows(t, r, [][]string{{"CS"}, {"Math"}, {"Physics"}})
+}
+
+// §4.1: "print the name of each student and the name of his advisor, if
+// any" — the directed outer join: students without advisors still appear.
+func TestOuterJoinAdvisor(t *testing.T) {
+	db := universityDB(t, Config{})
+	r := mustQuery(t, db, `From Student Retrieve Name, Name of Advisor.`)
+	expectRows(t, r, [][]string{
+		{"Tina Aide", "Ann Smith"},
+		{"John Doe", "Joe Bloke"},
+		{"Mary Major", "Joe Bloke"},
+		{"Tom Thumb", "Ann Smith"},
+		{"NoAdv Kid", "?"},
+	})
+}
+
+// §4.2: qualification cut short — "Name of Advisor, Salary" completes
+// Salary through the advisor.
+func TestShortcutCompletion(t *testing.T) {
+	db := universityDB(t, Config{})
+	full := mustQuery(t, db, `From Student Retrieve Name of Advisor of Student, Salary of Advisor of Student Where Name of Student = "John Doe".`)
+	short := mustQuery(t, db, `From Student Retrieve Name of Advisor, Salary Where Name of Student = "John Doe".`)
+	expectRows(t, full, [][]string{{"Joe Bloke", "50000"}})
+	expectRows(t, short, rowsAsWant(full))
+}
+
+func rowsAsWant(r *Result) [][]string { return rowStrings(r) }
+
+// §4.4's binding example: all occurrences of courses-enrolled bind to one
+// range variable, so title/credits/teacher line up per course.
+func TestBindingExample(t *testing.T) {
+	db := universityDB(t, Config{})
+	r := mustQuery(t, db, `
+Retrieve Name of Student,
+  Title of Courses-Enrolled of Student,
+  Credits of Courses-Enrolled of Student,
+  Name of Teachers of Courses-Enrolled of Student
+Where Soc-Sec-No of Student = 456887767.`)
+	expectRows(t, r, [][]string{
+		{"Mary Major", "Algebra I", "12", "Ann Smith"},
+		{"Mary Major", "Calculus I", "5", "Ann Smith"},
+		{"Mary Major", "Mechanics", "5", "Joe Bloke"},
+	})
+}
+
+// §4.9 example 1: insert with enrollment.
+func TestExample1Insert(t *testing.T) {
+	db := universityDB(t, Config{})
+	mustExec(t, db, `
+Insert student(name := "Jane Roe",
+  soc-sec-no := 456880000,
+  courses-enrolled := course with (title = "Algebra I")).`)
+	r := mustQuery(t, db, `From Student Retrieve Title of Courses-Enrolled Where Name = "Jane Roe".`)
+	expectRows(t, r, [][]string{{"Algebra I"}})
+}
+
+// §4.9 example 2: make an existing person an instructor too; the
+// profession subrole then reports both roles.
+func TestExample2RoleExtension(t *testing.T) {
+	db := universityDB(t, Config{})
+	n := mustExec(t, db, `
+Insert instructor
+From person Where name = "John Doe"
+(employee-nbr := 1801).`)
+	if n != 1 {
+		t.Fatalf("affected %d, want 1", n)
+	}
+	r := mustQuery(t, db, `From Person Retrieve Profession Where Name = "John Doe".`)
+	expectRows(t, r, [][]string{{"Student"}, {"Instructor"}})
+	// The student data survives.
+	r = mustQuery(t, db, `From Student Retrieve Student-Nbr Where Name = "John Doe".`)
+	expectRows(t, r, [][]string{{"1500"}})
+}
+
+// §4.9 example 3: drop a course, change advisor.
+func TestExample3ModifyEVAs(t *testing.T) {
+	db := universityDB(t, Config{})
+	mustExec(t, db, `
+Modify student (
+  courses-enrolled := exclude courses-enrolled with (title = "Algebra I"),
+  advisor := instructor with (name = "Ann Smith"))
+Where name of student = "John Doe".`)
+	r := mustQuery(t, db, `From Student Retrieve Name of Advisor, count(courses-enrolled) Where Name = "John Doe".`)
+	expectRows(t, r, [][]string{{"Ann Smith", "0"}})
+	// Inverse synchronized: Joe no longer advises John.
+	r = mustQuery(t, db, `From Instructor Retrieve Name of Advisees Where Name = "Joe Bloke".`)
+	expectRows(t, r, [][]string{{"Mary Major"}})
+}
+
+// §4.9 example 4 (bounded variant): raise for instructors teaching more
+// than one course who advise students from other departments.
+func TestExample4ConditionalRaise(t *testing.T) {
+	db := universityDB(t, Config{})
+	n := mustExec(t, db, `
+Modify instructor( salary := 1.1 * salary)
+Where count(courses-taught) of instructor > 1 and
+  assigned-department neq some(major-department of advisees).`)
+	// Joe: 2 courses, advisees majors CS+Physics vs Physics → raised.
+	// Ann: 2 courses, advisees majors Math+CS vs Math → raised.
+	// Bob, Tina: 1 course each → unchanged.
+	if n != 2 {
+		t.Fatalf("raised %d instructors, want 2", n)
+	}
+	r := mustQuery(t, db, `From Instructor Retrieve Name, Salary Order By Name.`)
+	expectRows(t, r, [][]string{
+		{"Ann Smith", "66000"},
+		{"Bob Stone", "45000"},
+		{"Joe Bloke", "55000.00000000001"},
+		{"Tina Aide", "20000"},
+	})
+}
+
+// §4.9 example 5: minimum courses before Quantum Chromodynamics.
+func TestExample5TransitiveCount(t *testing.T) {
+	db := universityDB(t, Config{})
+	v := singleValue(t, db, `
+From course
+Retrieve count distinct (transitive(prerequisites))
+Where title = "Quantum Chromodynamics".`)
+	if v.String() != "3" {
+		t.Errorf("prerequisite closure = %s, want 3 (Mechanics, Calculus I, Algebra I)", v)
+	}
+}
+
+// §4.7: transitive closure in a target path.
+func TestTransitiveClosureTargets(t *testing.T) {
+	db := universityDB(t, Config{})
+	r := mustQuery(t, db, `
+Retrieve Title of Transitive(prerequisites) of Course
+Where Title of Course = "Calculus I".`)
+	expectRows(t, r, [][]string{{"Algebra I"}})
+
+	r = mustQuery(t, db, `
+Retrieve Title of Transitive(prerequisites) of Course
+Where Title of Course = "Quantum Chromodynamics".`)
+	if r.NumRows() != 3 {
+		t.Fatalf("closure rows = %v", rowStrings(r))
+	}
+}
+
+// §4.9 example 6: instructors advising Physics majors, with their courses.
+func TestExample6(t *testing.T) {
+	db := universityDB(t, Config{})
+	r := mustQuery(t, db, `
+Retrieve name of instructor, title of courses-taught
+Where name of major-department of advisees = "Physics".`)
+	expectRows(t, r, [][]string{
+		{"Joe Bloke", "Mechanics"},
+		{"Joe Bloke", "Quantum Chromodynamics"},
+	})
+}
+
+// §4.9 example 7: multi-perspective query with ISA and NOT.
+func TestExample7MultiPerspective(t *testing.T) {
+	db := universityDB(t, Config{})
+	r := mustQuery(t, db, `
+From student, instructor
+Retrieve name of student, name of Instructor
+Where birthdate of student < birthdate of instructor and
+  advisor of student NEQ instructor and
+  not instructor isa teaching-assistant.`)
+	expectRows(t, r, [][]string{
+		{"Tina Aide", "Bob Stone"},
+		{"John Doe", "Bob Stone"},
+		{"Mary Major", "Bob Stone"},
+	})
+}
+
+func TestAggregates(t *testing.T) {
+	db := universityDB(t, Config{})
+	if v := singleValue(t, db, `From department Retrieve avg(salary of instructor) Where dept-nbr = 100.`); v.String() != "43750" {
+		t.Errorf("avg salary = %s, want 43750", v)
+	}
+	// Dynamically derived attribute of department (§4.6).
+	r := mustQuery(t, db, `From Department Retrieve Name, AVG(Salary of Instructors-employed) Order By Name.`)
+	expectRows(t, r, [][]string{
+		{"CS", "45000"},
+		{"Math", "60000"},
+		{"Physics", "50000"},
+	})
+	// COUNT of teachers across enrolled courses per student (§4.6).
+	r = mustQuery(t, db, `From Student Retrieve Name, COUNT(Teachers of Courses-Enrolled) Order By Name.`)
+	expectRows(t, r, [][]string{
+		{"John Doe", "1"},
+		{"Mary Major", "3"},
+		{"NoAdv Kid", "0"},
+		{"Tina Aide", "1"},
+		{"Tom Thumb", "2"},
+	})
+	// No department offers courses in the fixture: sum over empty is NULL.
+	if v := singleValue(t, db, `From department Retrieve sum(credits of courses-offered) Where dept-nbr = 100.`); !v.IsNull() {
+		t.Errorf("sum over empty = %s, want NULL", v)
+	}
+	// A whole-class aggregate repeats per perspective instance (§4.5's
+	// loop semantics); TABLE DISTINCT collapses it.
+	if v := singleValue(t, db, `From course Retrieve Table Distinct min(credits of course).`); v.String() != "5" {
+		t.Errorf("min credits = %s", v)
+	}
+	if v := singleValue(t, db, `From course Retrieve Table Distinct max(credits of course).`); v.String() != "12" {
+		t.Errorf("max credits = %s", v)
+	}
+}
+
+func TestQuantifiers(t *testing.T) {
+	db := universityDB(t, Config{})
+	// all(): every course Tom takes is taught by Ann.
+	r := mustQuery(t, db, `From student Retrieve name Where "Ann Smith" = all(name of teachers of courses-enrolled) Order By name.`)
+	// John, Tina: Algebra I (Ann) → true. Tom: Algebra+Calculus (Ann, Ann)
+	// → true. Mary: includes Joe → false. NoAdv: vacuously true.
+	expectRows(t, r, [][]string{{"John Doe"}, {"NoAdv Kid"}, {"Tina Aide"}, {"Tom Thumb"}})
+
+	// no(): students taking no course taught by Joe.
+	r = mustQuery(t, db, `From student Retrieve name Where "Joe Bloke" = no(name of teachers of courses-enrolled) Order By name.`)
+	expectRows(t, r, [][]string{{"John Doe"}, {"NoAdv Kid"}, {"Tina Aide"}, {"Tom Thumb"}})
+}
+
+func TestLikePatternMatching(t *testing.T) {
+	db := universityDB(t, Config{})
+	r := mustQuery(t, db, `From course Retrieve title Where title like "Quantum*".`)
+	expectRows(t, r, [][]string{{"Quantum Chromodynamics"}})
+	r = mustQuery(t, db, `From course Retrieve title Where title like "?????????" Order By title.`)
+	expectRows(t, r, [][]string{{"Algebra I"}, {"Databases"}, {"Mechanics"}})
+}
+
+func TestTableDistinct(t *testing.T) {
+	db := universityDB(t, Config{})
+	plain := mustQuery(t, db, `From Student Retrieve Name of Advisor Where Advisor NEQ null.`)
+	_ = plain
+	dup := mustQuery(t, db, `From Student Retrieve Table Name of Advisor.`)
+	dist := mustQuery(t, db, `From Student Retrieve Table Distinct Name of Advisor.`)
+	if dup.NumRows() != 5 {
+		t.Errorf("TABLE rows = %d, want 5 (one per student)", dup.NumRows())
+	}
+	if dist.NumRows() != 3 {
+		t.Errorf("TABLE DISTINCT rows = %d, want 3 (Ann, Joe, NULL)", dist.NumRows())
+	}
+}
+
+func TestStructuredOutput(t *testing.T) {
+	db := universityDB(t, Config{})
+	r := mustQuery(t, db, `From Student Retrieve Structure Name, Title of Courses-Enrolled Where Student-Nbr = 1501.`)
+	if r.Structured == nil {
+		t.Fatal("no structured result")
+	}
+	// One student group with three course children.
+	if len(r.Structured.Children) != 1 {
+		t.Fatalf("top-level groups = %d", len(r.Structured.Children))
+	}
+	s := r.Structured.Children[0]
+	if len(s.Values) != 1 || s.Values[0].String() != "Mary Major" {
+		t.Errorf("student group values = %v", s.Values)
+	}
+	if len(s.Children) != 3 {
+		t.Errorf("course groups = %d, want 3", len(s.Children))
+	}
+	out := r.FormatStructured()
+	if !strings.Contains(out, "Mary Major") || !strings.Contains(out, "Mechanics") {
+		t.Errorf("structured rendering:\n%s", out)
+	}
+}
+
+func TestSubroleInTargets(t *testing.T) {
+	db := universityDB(t, Config{})
+	// Tina is student+instructor: the MV profession subrole yields a row
+	// per role (§3.2: "retrieve symbolically all the roles an entity
+	// participates in").
+	r := mustQuery(t, db, `From Person Retrieve Profession Where Name = "Tina Aide".`)
+	expectRows(t, r, [][]string{{"Student"}, {"Instructor"}})
+	// Single-valued subrole.
+	r = mustQuery(t, db, `From Student Retrieve Instructor-Status Where Name = "Tina Aide".`)
+	expectRows(t, r, [][]string{{"Teaching-assistant"}})
+	r = mustQuery(t, db, `From Student Retrieve Instructor-Status Where Name = "John Doe".`)
+	expectRows(t, r, [][]string{{"?"}})
+}
+
+func TestRoleConversionAS(t *testing.T) {
+	db := universityDB(t, Config{})
+	// Teaching-load is a TA attribute; for plain students it is NULL.
+	r := mustQuery(t, db, `From Student Retrieve Name, Teaching-Load of Student as Teaching-Assistant Order By Name.`)
+	expectRows(t, r, [][]string{
+		{"John Doe", "?"},
+		{"Mary Major", "?"},
+		{"NoAdv Kid", "?"},
+		{"Tina Aide", "5"},
+		{"Tom Thumb", "?"},
+	})
+}
+
+func TestIsa(t *testing.T) {
+	db := universityDB(t, Config{})
+	r := mustQuery(t, db, `From Instructor Retrieve Name Where Instructor isa Teaching-Assistant.`)
+	expectRows(t, r, [][]string{{"Tina Aide"}})
+}
+
+func TestInverseReference(t *testing.T) {
+	db := universityDB(t, Config{})
+	// INVERSE(ADVISOR) names advisees (§3.2).
+	a := mustQuery(t, db, `From Instructor Retrieve Name of Advisees Where Name = "Ann Smith".`)
+	b := mustQuery(t, db, `From Instructor Retrieve Name of INVERSE(ADVISOR) Where Name = "Ann Smith".`)
+	expectRows(t, b, rowStrings(a))
+	if a.NumRows() != 2 {
+		t.Fatalf("Ann advises %d", a.NumRows())
+	}
+	// Implicit inverse of courses-offered is reachable only via INVERSE.
+	r := mustQuery(t, db, `From Course Retrieve Name of INVERSE(courses-offered) Where Title = "Algebra I".`)
+	expectRows(t, r, [][]string{{"?"}}) // no department offers it yet
+	mustExec(t, db, `Modify department (courses-offered := include course with (title = "Algebra I")) Where name = "Math".`)
+	r = mustQuery(t, db, `From Course Retrieve Name of INVERSE(courses-offered) Where Title = "Algebra I".`)
+	expectRows(t, r, [][]string{{"Math"}})
+}
+
+func TestSelfInverseSpouse(t *testing.T) {
+	db := universityDB(t, Config{})
+	mustExec(t, db, `Modify person (spouse := person with (name = "Mary Major")) Where name = "John Doe".`)
+	r := mustQuery(t, db, `From Person Retrieve Name of Spouse Where Name = "Mary Major".`)
+	expectRows(t, r, [][]string{{"John Doe"}})
+	// Spouse as Student role conversion (§4.2's example).
+	r = mustQuery(t, db, `From Student Retrieve Student-Nbr of Spouse as Student of Student Where Name = "John Doe".`)
+	expectRows(t, r, [][]string{{"1501"}})
+}
+
+func TestDeleteSemantics(t *testing.T) {
+	db := universityDB(t, Config{})
+	// Deleting the student role keeps the person (§4.8).
+	mustExec(t, db, `Delete student Where name = "Tom Thumb".`)
+	r := mustQuery(t, db, `From Person Retrieve Name Where Name = "Tom Thumb".`)
+	if r.NumRows() != 1 {
+		t.Fatal("person vanished with student role")
+	}
+	r = mustQuery(t, db, `From Student Retrieve Name Where Name = "Tom Thumb".`)
+	if r.NumRows() != 0 {
+		t.Fatal("student role survived delete")
+	}
+	// Deleting the person removes every role (Tina is student+instructor+TA).
+	mustExec(t, db, `Delete person Where name = "Tina Aide".`)
+	for _, cls := range []string{"person", "student", "instructor", "teaching-assistant"} {
+		r := mustQuery(t, db, `From `+cls+` Retrieve Name Where Name = "Tina Aide".`)
+		if r.NumRows() != 0 {
+			t.Errorf("%s role survived person delete", cls)
+		}
+	}
+	// Referential integrity: Databases lost Tina, keeping only Bob.
+	r = mustQuery(t, db, `From Course Retrieve count(teachers) Where Title = "Databases".`)
+	expectRows(t, r, [][]string{{"1"}})
+	r = mustQuery(t, db, `From Course Retrieve Name of Teachers Where Title = "Databases".`)
+	expectRows(t, r, [][]string{{"Bob Stone"}})
+}
+
+func TestMultiPerspectiveSelfJoin(t *testing.T) {
+	db := universityDB(t, Config{})
+	// Pairs of distinct students sharing an advisor.
+	r := mustQuery(t, db, `
+From student s1, student s2
+Retrieve name of s1, name of s2
+Where advisor of s1 = advisor of s2 and soc-sec-no of s1 < soc-sec-no of s2.`)
+	expectRows(t, r, [][]string{
+		{"Tina Aide", "Tom Thumb"},
+		{"John Doe", "Mary Major"},
+	})
+}
+
+func TestPerspectiveInference(t *testing.T) {
+	db := universityDB(t, Config{})
+	// No FROM clause: the perspective comes from the qualification tails.
+	r := mustQuery(t, db, `Retrieve Name of Department Order By Name of Department.`)
+	expectRows(t, r, [][]string{{"CS"}, {"Math"}, {"Physics"}})
+}
+
+func TestOrderByDescendingData(t *testing.T) {
+	db := universityDB(t, Config{})
+	r := mustQuery(t, db, `From Instructor Retrieve Salary, Name Order By Salary, Name.`)
+	expectRows(t, r, [][]string{
+		{"20000", "Tina Aide"},
+		{"45000", "Bob Stone"},
+		{"50000", "Joe Bloke"},
+		{"60000", "Ann Smith"},
+	})
+}
+
+func TestFactoredTargets(t *testing.T) {
+	db := universityDB(t, Config{})
+	a := mustQuery(t, db, `From Student Retrieve (Title, Credits) of Courses-Enrolled Where Name = "Tom Thumb".`)
+	b := mustQuery(t, db, `From Student Retrieve Title of Courses-Enrolled, Credits of Courses-Enrolled Where Name = "Tom Thumb".`)
+	expectRows(t, a, rowStrings(b))
+}
