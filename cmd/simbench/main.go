@@ -3,12 +3,14 @@
 //
 // Usage:
 //
-//	simbench [-run id[,id...]] [-scale n] [-reps n]
+//	simbench [-run id[,id...]] [-scale n] [-reps n] [-parallel n]
 //
-// Experiment ids: fig2, adds, dml, t1..t8, all (default).
+// Experiment ids: fig2, adds, dml, t1..t9, all (default). The t9 run also
+// writes its table to BENCH_parallel.json for machine consumption.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -18,9 +20,10 @@ import (
 )
 
 func main() {
-	run := flag.String("run", "all", "comma-separated experiment ids (fig2,adds,dml,t1..t8)")
+	run := flag.String("run", "all", "comma-separated experiment ids (fig2,adds,dml,t1..t9)")
 	scale := flag.Int("scale", 1, "workload scale factor")
 	reps := flag.Int("reps", 5, "repetitions per measurement")
+	parallel := flag.Int("parallel", 8, "maximum concurrent clients for t9")
 	flag.Parse()
 
 	w := bench.DefaultWorkload.Scale(*scale)
@@ -47,6 +50,7 @@ func main() {
 		{"t6", func() (*bench.Table, error) { return bench.T6(w, *reps) }},
 		{"t7", func() (*bench.Table, error) { return bench.T7(*reps) }},
 		{"t8", func() (*bench.Table, error) { return bench.T8(w, *reps) }},
+		{"t9", func() (*bench.Table, error) { return bench.T9(w, *reps, *parallel) }},
 	}
 	ran := 0
 	for _, ex := range experiments {
@@ -59,10 +63,24 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Println(t.Format())
+		if ex.id == "t9" {
+			if err := writeJSON("BENCH_parallel.json", t); err != nil {
+				fmt.Fprintf(os.Stderr, "simbench: %v\n", err)
+				os.Exit(1)
+			}
+		}
 		ran++
 	}
 	if ran == 0 {
 		fmt.Fprintf(os.Stderr, "simbench: no experiment matches %q\n", *run)
 		os.Exit(2)
 	}
+}
+
+func writeJSON(path string, v any) error {
+	b, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
 }

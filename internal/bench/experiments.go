@@ -2,7 +2,9 @@ package bench
 
 import (
 	"fmt"
+	"runtime"
 	"strings"
+	"sync"
 	"time"
 
 	"sim"
@@ -409,4 +411,101 @@ func stripVerifies() string {
 		}
 	}
 	return strings.Join(out, "\n")
+}
+
+// T9 — parallel read path (this repo's extension beyond the paper):
+// aggregate throughput with concurrent clients sharing one database, and
+// the plan cache's cold vs warm planning cost. Before measuring, parallel
+// output is checked byte-identical against a Workers:1 database.
+func T9(w Workload, reps, maxClients int) (*Table, error) {
+	t := &Table{
+		ID:     "T9",
+		Title:  "Parallel read path: concurrent clients and plan cache",
+		Header: []string{"section", "config", "time/query", "agg qps", "speedup"},
+		Notes: fmt.Sprintf("GOMAXPROCS=%d; queries share one database under a read lock; each Retrieve\nmay also split its outermost range across Config.Workers goroutines.\nParallel output verified byte-identical to a Workers:1 database first.",
+			runtime.GOMAXPROCS(0)),
+	}
+	db, err := BuildUniversity(sim.Config{}, w)
+	if err != nil {
+		return nil, err
+	}
+	defer db.Close()
+
+	const q = `From student Retrieve name, name of advisor.`
+	serial, err := BuildUniversity(sim.Config{Workers: 1}, w)
+	if err != nil {
+		return nil, err
+	}
+	rs, err := serial.Query(q)
+	if err == nil {
+		var rp *sim.Result
+		if rp, err = db.Query(q); err == nil && rs.Format() != rp.Format() {
+			err = fmt.Errorf("parallel result diverged from serial result")
+		}
+	}
+	serial.Close()
+	if err != nil {
+		return nil, err
+	}
+
+	iters := 20 * reps
+	var baseQPS float64
+	for c := 1; c <= maxClients; c *= 2 {
+		start := time.Now()
+		var wg sync.WaitGroup
+		errc := make(chan error, c)
+		for g := 0; g < c; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < iters; i++ {
+					if _, err := db.Query(q); err != nil {
+						errc <- err
+						return
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		close(errc)
+		if err := <-errc; err != nil {
+			return nil, err
+		}
+		el := time.Since(start)
+		qps := float64(c*iters) / el.Seconds()
+		if c == 1 {
+			baseQPS = qps
+		}
+		t.Rows = append(t.Rows, []string{"concurrency", fmt.Sprintf("%d clients", c),
+			dur(el / time.Duration(c*iters)), fmt.Sprintf("%.0f", qps),
+			fmt.Sprintf("%.2fx", qps/baseQPS)})
+	}
+
+	// Plan cache: a selective point query where parse+bind+optimize is a
+	// large share of the per-query cost.
+	const pq = `From person Retrieve name Where soc-sec-no = 100000001.`
+	var coldPer, warmPer time.Duration
+	for _, cc := range []struct {
+		name string
+		cfg  sim.Config
+		per  *time.Duration
+	}{
+		{"cold (cache disabled)", sim.Config{PlanCacheSize: -1}, &coldPer},
+		{"warm (cached plan)", sim.Config{}, &warmPer},
+	} {
+		cdb, err := BuildUniversity(cc.cfg, w)
+		if err != nil {
+			return nil, err
+		}
+		el, _, _, err := timeQuery(cdb, pq, iters)
+		cdb.Close()
+		if err != nil {
+			return nil, err
+		}
+		*cc.per = el
+	}
+	t.Rows = append(t.Rows, []string{"plan cache", "cold (cache disabled)", dur(coldPer), "", "1.00x"})
+	t.Rows = append(t.Rows, []string{"plan cache", "warm (cached plan)", dur(warmPer), "",
+		fmt.Sprintf("%.2fx", float64(coldPer)/float64(warmPer))})
+	return t, nil
 }

@@ -13,6 +13,7 @@ package dmsii
 import (
 	"encoding/binary"
 	"fmt"
+	"sync"
 
 	"sim/internal/btree"
 	"sim/internal/pager"
@@ -34,12 +35,16 @@ var magic = [8]byte{'S', 'I', 'M', 'D', 'B', '0', '0', '1'}
 const checkpointThreshold = 8 << 20
 
 // Store is an open database file: a directory of named structures plus the
-// transaction machinery.
+// transaction machinery. Reads (Get/cursor traffic on already-open
+// structures) are safe from concurrent goroutines; dirMu serializes the
+// structure directory so concurrent readers can open structures, and the
+// database layer serializes writers against readers.
 type Store struct {
 	file   pager.File
 	pool   *pager.Pool
 	log    *wal.Log // nil for purely in-memory stores
 	dir    *btree.Tree
+	dirMu  sync.Mutex // guards dir traffic and the open map
 	open   map[string]*Structure
 	inTx   bool
 	closed bool

@@ -17,8 +17,16 @@ type Structure struct {
 	tree *btree.Tree
 }
 
-// Structure opens the named structure, creating it when absent.
+// Structure opens the named structure, creating it when absent. It is
+// safe for concurrent readers: the directory lookup and open-structure
+// cache are serialized behind the store's directory lock.
 func (s *Store) Structure(name string) (*Structure, error) {
+	s.dirMu.Lock()
+	defer s.dirMu.Unlock()
+	return s.structureLocked(name)
+}
+
+func (s *Store) structureLocked(name string) (*Structure, error) {
 	if st, ok := s.open[name]; ok {
 		return st, nil
 	}
@@ -48,6 +56,8 @@ func (s *Store) Structure(name string) (*Structure, error) {
 // HasStructure reports whether the named structure exists without creating
 // it.
 func (s *Store) HasStructure(name string) (bool, error) {
+	s.dirMu.Lock()
+	defer s.dirMu.Unlock()
 	if _, ok := s.open[name]; ok {
 		return true, nil
 	}
@@ -57,7 +67,9 @@ func (s *Store) HasStructure(name string) (bool, error) {
 
 // DropStructure deletes the named structure and frees its pages.
 func (s *Store) DropStructure(name string) error {
-	st, err := s.Structure(name)
+	s.dirMu.Lock()
+	defer s.dirMu.Unlock()
+	st, err := s.structureLocked(name)
 	if err != nil {
 		return err
 	}
@@ -71,6 +83,8 @@ func (s *Store) DropStructure(name string) error {
 
 // Structures lists all structure names in lexicographic order.
 func (s *Store) Structures() ([]string, error) {
+	s.dirMu.Lock()
+	defer s.dirMu.Unlock()
 	c, err := s.dir.First()
 	if err != nil {
 		return nil, err

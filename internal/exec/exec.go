@@ -8,7 +8,9 @@ package exec
 import (
 	"fmt"
 	"sort"
+	"sync"
 
+	"sim/internal/ast"
 	"sim/internal/catalog"
 	"sim/internal/luc"
 	"sim/internal/plan"
@@ -21,6 +23,7 @@ type Executor struct {
 	m           *luc.Mapper
 	cat         *catalog.Catalog
 	constraints []*Constraint
+	workers     int // per-query parallelism cap (<=1 disables)
 }
 
 // New returns an executor. Constraints (bound VERIFY assertions) may be
@@ -32,6 +35,12 @@ func New(m *luc.Mapper) *Executor {
 // SetConstraints installs the bound integrity assertions enforced on
 // updates.
 func (e *Executor) SetConstraints(cs []*Constraint) { e.constraints = cs }
+
+// SetWorkers caps the number of goroutines one Retrieve may use to
+// partition its outermost root domain. Values <= 1 force serial execution.
+// Must be set before queries run; it is not safe to change concurrently
+// with them.
+func (e *Executor) SetWorkers(n int) { e.workers = n }
 
 // inst is one binding of a range variable.
 type inst struct {
@@ -71,19 +80,76 @@ type Stats struct {
 	Rows      int // rows emitted
 }
 
-// Retrieve executes a planned query.
+// parallelRootThreshold is the minimum outermost-root domain size worth
+// partitioning across workers; smaller domains run serially.
+const parallelRootThreshold = 32
+
+// Retrieve executes a planned query. When the executor has workers
+// configured, the outermost root domain is large enough, and the output
+// mode permits it, the domain is partitioned across a worker pool; results
+// are merged back in domain order so parallel output is byte-identical to
+// serial execution.
 func (e *Executor) Retrieve(p *plan.Plan) (*Result, error) {
 	t := p.Tree
-	if t.Mode.String() == "STRUCTURE" && len(t.OrderBy) > 0 {
+	if t.Mode == ast.OutputStructure && len(t.OrderBy) > 0 {
 		return nil, fmt.Errorf("ORDER BY applies to tabular output only")
 	}
 	res := newResult(t)
-	en := newEnv(len(t.Nodes))
 	main := t.MainNodes()
 	exist := t.ExistNodes()
 	var stats Stats
 
-	emit := func() error {
+	if len(main) == 0 {
+		res.finish(t)
+		res.Stats = stats
+		return res, nil
+	}
+
+	// The outermost main node is a perspective root (MainNodes is
+	// depth-first from the roots); compute its domain once, then decide
+	// between the serial nest and the partitioned one.
+	en := newEnv(len(t.Nodes))
+	dom0, err := e.domain(p, t, main[0], en)
+	if err != nil {
+		return nil, err
+	}
+	if len(dom0) == 0 && main[0].Type == query.Type3 {
+		// §4.5: "when empty, adding a dummy instance all of whose
+		// attributes are null" — the directed outer join.
+		dom0 = []inst{{null: true}}
+	}
+
+	if e.parallelOK(t, dom0) {
+		parts, err := e.retrieveParallel(p, t, main, exist, dom0)
+		if err != nil {
+			return nil, err
+		}
+		for _, part := range parts {
+			stats.Instances += part.stats.Instances
+			stats.Rows += part.stats.Rows
+			for ri := range part.rows {
+				res.addTabular(part.rows[ri], part.order[ri])
+			}
+		}
+	} else {
+		emit := e.emitter(t, en, main, res, &stats)
+		for _, it := range dom0 {
+			stats.Instances++
+			en.bind(main[0], it)
+			if err := e.runNest(p, t, main, exist, en, 1, &stats, emit); err != nil {
+				return nil, err
+			}
+		}
+	}
+	res.finish(t)
+	res.Stats = stats
+	return res, nil
+}
+
+// emitter builds the row materializer for one environment: it evaluates
+// the target and ORDER BY expressions and hands the row to the result.
+func (e *Executor) emitter(t *query.Tree, en *env, main []*query.Node, res *Result, stats *Stats) func() error {
+	return func() error {
 		row := make([]value.Value, len(t.Targets))
 		for i, tg := range t.Targets {
 			v, err := e.eval(tg, en)
@@ -103,45 +169,126 @@ func (e *Executor) Retrieve(p *plan.Plan) (*Result, error) {
 		stats.Rows++
 		return res.add(e, t, en, main, row, order)
 	}
+}
 
-	var loop func(i int) error
-	loop = func(i int) error {
-		if i == len(main) {
-			ok, err := e.selectionHolds(t, en, exist)
-			if err != nil {
-				return err
-			}
-			if ok {
-				return emit()
-			}
-			return nil
-		}
-		n := main[i]
-		dom, err := e.domain(p, t, n, en)
+// runNest runs the DAPLEX iteration of §4.5 from main-variable depth i
+// down, calling emit for every combination that passes the selection.
+func (e *Executor) runNest(p *plan.Plan, t *query.Tree, main, exist []*query.Node, en *env, i int, stats *Stats, emit func() error) error {
+	if i == len(main) {
+		ok, err := e.selectionHolds(t, en, exist)
 		if err != nil {
 			return err
 		}
-		if len(dom) == 0 && n.Type == query.Type3 {
-			// §4.5: "when empty, adding a dummy instance all of whose
-			// attributes are null" — the directed outer join.
-			dom = []inst{{null: true}}
+		if ok {
+			return emit()
 		}
-		for _, it := range dom {
-			stats.Instances++
-			en.bind(n, it)
-			if err := loop(i + 1); err != nil {
-				return err
-			}
-		}
-		en.unbind(n)
 		return nil
 	}
-	if err := loop(0); err != nil {
-		return nil, err
+	n := main[i]
+	dom, err := e.domain(p, t, n, en)
+	if err != nil {
+		return err
 	}
-	res.finish(t)
-	res.Stats = stats
-	return res, nil
+	if len(dom) == 0 && n.Type == query.Type3 {
+		dom = []inst{{null: true}}
+	}
+	for _, it := range dom {
+		stats.Instances++
+		en.bind(n, it)
+		if err := e.runNest(p, t, main, exist, en, i+1, stats, emit); err != nil {
+			return err
+		}
+	}
+	en.unbind(n)
+	return nil
+}
+
+// parallelOK reports whether this query may partition its outermost root.
+// STRUCTURE mode builds its group tree from consecutive-prefix sharing and
+// so is order-sensitive in a way the chunk merge cannot reproduce; tabular
+// modes (including DISTINCT and ORDER BY, both applied during the ordered
+// merge/finish) are safe.
+func (e *Executor) parallelOK(t *query.Tree, dom0 []inst) bool {
+	return e.workers > 1 && t.Mode != ast.OutputStructure && len(dom0) >= parallelRootThreshold
+}
+
+// partial is one worker's ordered slice of the result.
+type partial struct {
+	rows  [][]value.Value
+	order [][]value.Value
+	stats Stats
+}
+
+// retrieveParallel splits the outermost domain into one contiguous chunk
+// per worker and runs the remaining loop nest in each worker with a
+// private environment. Chunks are returned in domain order.
+func (e *Executor) retrieveParallel(p *plan.Plan, t *query.Tree, main, exist []*query.Node, dom0 []inst) ([]*partial, error) {
+	nw := e.workers
+	if nw > len(dom0) {
+		nw = len(dom0)
+	}
+	chunks := make([][]inst, 0, nw)
+	per := (len(dom0) + nw - 1) / nw
+	for lo := 0; lo < len(dom0); lo += per {
+		hi := lo + per
+		if hi > len(dom0) {
+			hi = len(dom0)
+		}
+		chunks = append(chunks, dom0[lo:hi])
+	}
+	parts := make([]*partial, len(chunks))
+	errs := make([]error, len(chunks))
+	var wg sync.WaitGroup
+	for ci := range chunks {
+		wg.Add(1)
+		go func(ci int) {
+			defer wg.Done()
+			parts[ci], errs[ci] = e.runChunk(p, t, main, exist, chunks[ci])
+		}(ci)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return parts, nil
+}
+
+// runChunk executes the loop nest for one slice of the outermost domain.
+func (e *Executor) runChunk(p *plan.Plan, t *query.Tree, main, exist []*query.Node, chunk []inst) (*partial, error) {
+	en := newEnv(len(t.Nodes))
+	part := &partial{}
+	emit := func() error {
+		row := make([]value.Value, len(t.Targets))
+		for i, tg := range t.Targets {
+			v, err := e.eval(tg, en)
+			if err != nil {
+				return err
+			}
+			row[i] = v
+		}
+		var order []value.Value
+		for _, ob := range t.OrderBy {
+			v, err := e.eval(ob, en)
+			if err != nil {
+				return err
+			}
+			order = append(order, v)
+		}
+		part.stats.Rows++
+		part.rows = append(part.rows, row)
+		part.order = append(part.order, order)
+		return nil
+	}
+	for _, it := range chunk {
+		part.stats.Instances++
+		en.bind(main[0], it)
+		if err := e.runNest(p, t, main, exist, en, 1, &part.stats, emit); err != nil {
+			return nil, err
+		}
+	}
+	return part, nil
 }
 
 // selectionHolds evaluates the WHERE clause under the existential

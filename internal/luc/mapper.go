@@ -26,6 +26,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"strings"
+	"sync"
 
 	"sim/internal/catalog"
 	"sim/internal/dmsii"
@@ -117,9 +118,20 @@ type Mapper struct {
 	// class's record section, in declaration order.
 	slots map[*catalog.Class][]slot
 
+	// surrNext is touched only on the write path (the database layer holds
+	// an exclusive lock there), so it needs no internal locking.
 	surrNext map[int]value.Surrogate // per base class id
-	stats    map[string]int64        // cached entity/instance counts
-	rcache   map[rcKey]*record       // decoded-record read cache
+
+	// statMu guards stats: the optimizer populates it lazily on the read
+	// path, so concurrent queries contend here.
+	statMu sync.RWMutex
+	stats  map[string]int64 // cached entity/instance counts
+
+	// rcache is the decoded-record read cache, sharded by surrogate so
+	// concurrent readers rarely contend on one lock. Cached *records are
+	// immutable once published: readers never mutate them and mutators work
+	// on fresh loadRecord copies.
+	rcache [rcShards]rcShard
 }
 
 // rcKey identifies a cached record by hierarchy and surrogate.
@@ -128,8 +140,22 @@ type rcKey struct {
 	s    value.Surrogate
 }
 
-// rcacheCap bounds the read cache; it is cleared wholesale when full.
+// rcShards is the number of record-cache shards.
+const rcShards = 8
+
+// rcShard is one independently locked slice of the record cache.
+type rcShard struct {
+	mu sync.RWMutex
+	m  map[rcKey]*record
+}
+
+// rcacheCap bounds the read cache across all shards; a full shard is
+// cleared wholesale, as the unsharded cache was.
 const rcacheCap = 1024
+
+func (m *Mapper) rcShardOf(s value.Surrogate) *rcShard {
+	return &m.rcache[uint64(s)%rcShards]
+}
 
 type slotKind int
 
@@ -156,7 +182,9 @@ func New(store *dmsii.Store, cat *catalog.Catalog, cfg Config) (*Mapper, error) 
 		slots:    make(map[*catalog.Class][]slot),
 		surrNext: make(map[int]value.Surrogate),
 		stats:    make(map[string]int64),
-		rcache:   make(map[rcKey]*record),
+	}
+	for i := range m.rcache {
+		m.rcache[i].m = make(map[rcKey]*record)
 	}
 	if err := m.Reconfigure(cfg); err != nil {
 		return nil, err
@@ -375,8 +403,15 @@ func (m *Mapper) indexStructure(a *catalog.Attribute) (*dmsii.Structure, error) 
 // layer calls this after a rollback.
 func (m *Mapper) ResetCaches() {
 	m.surrNext = make(map[int]value.Surrogate)
+	m.statMu.Lock()
 	m.stats = make(map[string]int64)
-	m.rcache = make(map[rcKey]*record)
+	m.statMu.Unlock()
+	for i := range m.rcache {
+		sh := &m.rcache[i]
+		sh.mu.Lock()
+		sh.m = make(map[rcKey]*record)
+		sh.mu.Unlock()
+	}
 }
 
 // nextSurrogate allocates the next surrogate for a hierarchy.
@@ -408,7 +443,10 @@ func (m *Mapper) nextSurrogate(base *catalog.Class) (value.Surrogate, error) {
 }
 
 func (m *Mapper) statGet(key string) (int64, error) {
-	if v, ok := m.stats[key]; ok {
+	m.statMu.RLock()
+	v, ok := m.stats[key]
+	m.statMu.RUnlock()
+	if ok {
 		return v, nil
 	}
 	st, err := m.store.Structure("~stats")
@@ -419,11 +457,14 @@ func (m *Mapper) statGet(key string) (int64, error) {
 	if err != nil {
 		return 0, err
 	}
-	var v int64
 	if found {
 		v = int64(binary.BigEndian.Uint64(raw))
 	}
+	// Two readers may race to fill the same key; both store the same
+	// durable value, so last-write-wins is harmless.
+	m.statMu.Lock()
 	m.stats[key] = v
+	m.statMu.Unlock()
 	return v, nil
 }
 
@@ -442,7 +483,9 @@ func (m *Mapper) statAdd(key string, delta int64) error {
 	if err := st.Put([]byte(key), buf[:]); err != nil {
 		return err
 	}
+	m.statMu.Lock()
 	m.stats[key] = cur
+	m.statMu.Unlock()
 	return nil
 }
 

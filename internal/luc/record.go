@@ -155,22 +155,32 @@ func (m *Mapper) classByID(id int) *catalog.Class {
 	return classes[id]
 }
 
-// readRecord is the read-path variant of loadRecord with a small cache;
-// mutators use loadRecord directly since they modify the returned record
-// in place before storeRecord (which invalidates the cache entry).
+// readRecord is the read-path variant of loadRecord with a small sharded
+// cache; mutators use loadRecord directly since they modify the returned
+// record in place before storeRecord (which invalidates the cache entry).
+// Cached records are shared across concurrent queries and must never be
+// mutated by readers.
 func (m *Mapper) readRecord(base *catalog.Class, s value.Surrogate) (*record, error) {
 	key := rcKey{base.ID, s}
-	if r, ok := m.rcache[key]; ok {
+	sh := m.rcShardOf(s)
+	sh.mu.RLock()
+	r, ok := sh.m[key]
+	sh.mu.RUnlock()
+	if ok {
 		return r, nil
 	}
 	r, err := m.loadRecord(base, s)
 	if err != nil {
 		return nil, err
 	}
-	if len(m.rcache) >= rcacheCap {
-		m.rcache = make(map[rcKey]*record, rcacheCap)
+	// Concurrent readers may race to fill the same key with equal decoded
+	// contents; last write wins.
+	sh.mu.Lock()
+	if len(sh.m) >= rcacheCap/rcShards {
+		sh.m = make(map[rcKey]*record, rcacheCap/rcShards)
 	}
-	m.rcache[key] = r
+	sh.m[key] = r
+	sh.mu.Unlock()
 	return r, nil
 }
 
@@ -248,7 +258,10 @@ func (m *Mapper) loadRecord(base *catalog.Class, s value.Surrogate) (*record, er
 // storeRecord writes an entity's record. prevRoles lists the roles present
 // before the update so the split strategy can delete abandoned sections.
 func (m *Mapper) storeRecord(base *catalog.Class, s value.Surrogate, r *record, prevRoles []int) error {
-	delete(m.rcache, rcKey{base.ID, s})
+	sh := m.rcShardOf(s)
+	sh.mu.Lock()
+	delete(sh.m, rcKey{base.ID, s})
+	sh.mu.Unlock()
 	key := value.AppendSurrogateKey(nil, s)
 	if m.hier[base] == HierarchySingleRecord {
 		st, err := m.hierStructure(base)

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 )
 
 // Stats counts buffer pool activity; the query optimizer's cost model and
@@ -16,26 +17,41 @@ type Stats struct {
 }
 
 // Frame is a pinned page in the pool. Callers must Release every frame
-// they Get, and MarkDirty frames they mutate.
+// they Get, and MarkDirty frames they mutate. The pins/dirty/elem fields
+// are guarded by the owning shard's mutex.
 type Frame struct {
 	ID    PageID
 	Data  []byte // PageSize bytes
 	pins  int
 	dirty bool
-	elem  *list.Element // position in the LRU list when unpinned
+	elem  *list.Element // position in the shard LRU list when unpinned
 }
 
-// Pool is a pinning buffer pool over a page File with LRU replacement.
-// It is safe for a single writer or multiple readers (the database layer
-// serializes writers).
-type Pool struct {
+// poolShards is the number of independently locked shards. Pages hash to
+// shards by id, so concurrent readers touching different pages rarely
+// contend on a lock.
+const poolShards = 8
+
+// shard is one independently locked slice of the pool with its own LRU.
+type shard struct {
 	mu       sync.Mutex
-	file     File
 	capacity int
 	frames   map[PageID]*Frame
 	lru      *list.List // unpinned frames, least recently used at front
-	next     PageID     // next page id to allocate when the freelist is empty
-	stats    Stats
+}
+
+// Pool is a pinning buffer pool over a page File, sharded by page number
+// into independently locked LRU shards. It is safe for a single writer or
+// multiple concurrent readers (the database layer serializes writers);
+// Stats/NumPages are safe to call at any time.
+type Pool struct {
+	file   File
+	shards [poolShards]shard
+	next   atomic.Uint32 // next page id to allocate when the freelist is empty
+
+	hits       atomic.Uint64
+	misses     atomic.Uint64
+	pageWrites atomic.Uint64
 }
 
 // NewPool returns a pool of the given capacity (in pages) over file.
@@ -47,53 +63,60 @@ func NewPool(file File, capacity int) (*Pool, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Pool{
-		file:     file,
-		capacity: capacity,
-		frames:   make(map[PageID]*Frame),
-		lru:      list.New(),
-		next:     PageID(n),
-	}, nil
+	p := &Pool{file: file}
+	per := (capacity + poolShards - 1) / poolShards
+	if per < 2 {
+		per = 2
+	}
+	for i := range p.shards {
+		p.shards[i].capacity = per
+		p.shards[i].frames = make(map[PageID]*Frame)
+		p.shards[i].lru = list.New()
+	}
+	p.next.Store(uint32(n))
+	return p, nil
 }
 
-// Stats returns a snapshot of the pool's counters.
+func (p *Pool) shardOf(id PageID) *shard { return &p.shards[uint32(id)%poolShards] }
+
+// Stats returns a snapshot of the pool's counters. It never blocks on the
+// shard locks, so it is safe to call while queries run.
 func (p *Pool) Stats() Stats {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.stats
+	return Stats{
+		Hits:       p.hits.Load(),
+		Misses:     p.misses.Load(),
+		PageWrites: p.pageWrites.Load(),
+	}
 }
 
 // ResetStats zeroes the counters.
 func (p *Pool) ResetStats() {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	p.stats = Stats{}
+	p.hits.Store(0)
+	p.misses.Store(0)
+	p.pageWrites.Store(0)
 }
 
 // NumPages returns the page count including not-yet-flushed allocations.
-func (p *Pool) NumPages() uint32 {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return uint32(p.next)
-}
+func (p *Pool) NumPages() uint32 { return p.next.Load() }
 
 // Get pins the page and returns its frame, reading it from the file when
 // absent from the pool.
 func (p *Pool) Get(id PageID) (*Frame, error) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.getLocked(id, true)
+	sh := p.shardOf(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return p.getLocked(sh, id, true)
 }
 
 // Allocate pins a zeroed new page at the end of the file. Free-page reuse
 // is managed by the layer above (the dmsii allocator), which calls
 // AllocateAt for recycled ids.
 func (p *Pool) Allocate() (*Frame, error) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	id := p.next
-	p.next++
-	f, err := p.getLocked(id, false)
+	id := PageID(p.next.Add(1) - 1)
+	sh := p.shardOf(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	f, err := p.getLocked(sh, id, false)
 	if err != nil {
 		return nil, err
 	}
@@ -103,9 +126,10 @@ func (p *Pool) Allocate() (*Frame, error) {
 
 // AllocateAt pins page id (a recycled free page) with zeroed contents.
 func (p *Pool) AllocateAt(id PageID) (*Frame, error) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	f, err := p.getLocked(id, false)
+	sh := p.shardOf(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	f, err := p.getLocked(sh, id, false)
 	if err != nil {
 		return nil, err
 	}
@@ -116,84 +140,86 @@ func (p *Pool) AllocateAt(id PageID) (*Frame, error) {
 	return f, nil
 }
 
-func (p *Pool) getLocked(id PageID, read bool) (*Frame, error) {
-	if f, ok := p.frames[id]; ok {
-		p.stats.Hits++
+func (p *Pool) getLocked(sh *shard, id PageID, read bool) (*Frame, error) {
+	if f, ok := sh.frames[id]; ok {
+		p.hits.Add(1)
 		if f.pins == 0 && f.elem != nil {
-			p.lru.Remove(f.elem)
+			sh.lru.Remove(f.elem)
 			f.elem = nil
 		}
 		f.pins++
 		return f, nil
 	}
-	if err := p.evictLocked(); err != nil {
-		return nil, err
-	}
+	evictLocked(sh)
 	f := &Frame{ID: id, Data: make([]byte, PageSize), pins: 1}
 	if read {
-		p.stats.Misses++
+		p.misses.Add(1)
 		if err := p.file.ReadPage(id, f.Data); err != nil {
 			return nil, err
 		}
 	}
-	p.frames[id] = f
+	sh.frames[id] = f
 	return f, nil
 }
 
-// evictLocked makes room for one more frame. The pool is no-steal: dirty
-// frames are never written to the database file before the WAL journals
-// them at commit, so only clean unpinned frames are eviction victims. When
-// every frame is dirty or pinned the pool grows past its soft capacity for
-// the remainder of the transaction.
-func (p *Pool) evictLocked() error {
-	for len(p.frames) >= p.capacity {
+// evictLocked makes room for one more frame in the shard. The pool is
+// no-steal: dirty frames are never written to the database file before the
+// WAL journals them at commit, so only clean unpinned frames are eviction
+// victims. When every frame is dirty or pinned the shard grows past its
+// soft capacity for the remainder of the transaction.
+func evictLocked(sh *shard) {
+	for len(sh.frames) >= sh.capacity {
 		var victim *Frame
-		for e := p.lru.Front(); e != nil; e = e.Next() {
+		for e := sh.lru.Front(); e != nil; e = e.Next() {
 			if f := e.Value.(*Frame); !f.dirty {
 				victim = f
 				break
 			}
 		}
 		if victim == nil {
-			return nil // soft capacity: all candidates dirty or pinned
+			return // soft capacity: all candidates dirty or pinned
 		}
-		p.lru.Remove(victim.elem)
+		sh.lru.Remove(victim.elem)
 		victim.elem = nil
-		delete(p.frames, victim.ID)
+		delete(sh.frames, victim.ID)
 	}
-	return nil
 }
 
 // Release unpins the frame.
 func (p *Pool) Release(f *Frame) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
+	sh := p.shardOf(f.ID)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
 	if f.pins <= 0 {
 		panic("pager: Release of unpinned frame")
 	}
 	f.pins--
 	if f.pins == 0 {
-		f.elem = p.lru.PushBack(f)
+		f.elem = sh.lru.PushBack(f)
 	}
 }
 
 // MarkDirty records that the frame's contents changed.
 func (p *Pool) MarkDirty(f *Frame) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
+	sh := p.shardOf(f.ID)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
 	f.dirty = true
 }
 
 // DirtyPages returns the ids and contents of all dirty frames, sorted by
 // id. The WAL uses this at commit to journal page images.
 func (p *Pool) DirtyPages() []*Frame {
-	p.mu.Lock()
-	defer p.mu.Unlock()
 	var out []*Frame
-	for _, f := range p.frames {
-		if f.dirty {
-			out = append(out, f)
+	for i := range p.shards {
+		sh := &p.shards[i]
+		sh.mu.Lock()
+		for _, f := range sh.frames {
+			if f.dirty {
+				out = append(out, f)
+			}
 		}
+		sh.mu.Unlock()
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out
@@ -205,26 +231,30 @@ func (p *Pool) DirtyPages() []*Frame {
 // next-allocation cursor to the file's size. This implements transaction
 // abort for the commit-journal WAL scheme.
 func (p *Pool) DiscardDirty() error {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	for id, f := range p.frames {
-		if !f.dirty {
-			continue
+	for i := range p.shards {
+		sh := &p.shards[i]
+		sh.mu.Lock()
+		for id, f := range sh.frames {
+			if !f.dirty {
+				continue
+			}
+			if f.pins > 0 {
+				sh.mu.Unlock()
+				return fmt.Errorf("pager: DiscardDirty: page %d still pinned", id)
+			}
+			if f.elem != nil {
+				sh.lru.Remove(f.elem)
+				f.elem = nil
+			}
+			delete(sh.frames, id)
 		}
-		if f.pins > 0 {
-			return fmt.Errorf("pager: DiscardDirty: page %d still pinned", id)
-		}
-		if f.elem != nil {
-			p.lru.Remove(f.elem)
-			f.elem = nil
-		}
-		delete(p.frames, id)
+		sh.mu.Unlock()
 	}
 	n, err := p.file.NumPages()
 	if err != nil {
 		return err
 	}
-	p.next = PageID(n)
+	p.next.Store(uint32(n))
 	return nil
 }
 
@@ -233,34 +263,33 @@ func (p *Pool) DiscardDirty() error {
 // same images: clean frames may then be evicted safely, and a crash is
 // repaired by WAL replay.
 func (p *Pool) WriteBackDirty() error {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	for _, f := range p.frames {
-		if f.dirty {
-			p.stats.PageWrites++
-			if err := p.file.WritePage(f.ID, f.Data); err != nil {
-				return err
-			}
-			f.dirty = false
-		}
-	}
-	return nil
+	return p.writeDirty()
 }
 
 // FlushAll writes every dirty frame to the file and syncs it. Used at
 // checkpoints.
 func (p *Pool) FlushAll() error {
-	p.mu.Lock()
-	for _, f := range p.frames {
-		if f.dirty {
-			p.stats.PageWrites++
-			if err := p.file.WritePage(f.ID, f.Data); err != nil {
-				p.mu.Unlock()
-				return err
-			}
-			f.dirty = false
-		}
+	if err := p.writeDirty(); err != nil {
+		return err
 	}
-	p.mu.Unlock()
 	return p.file.Sync()
+}
+
+func (p *Pool) writeDirty() error {
+	for i := range p.shards {
+		sh := &p.shards[i]
+		sh.mu.Lock()
+		for _, f := range sh.frames {
+			if f.dirty {
+				p.pageWrites.Add(1)
+				if err := p.file.WritePage(f.ID, f.Data); err != nil {
+					sh.mu.Unlock()
+					return err
+				}
+				f.dirty = false
+			}
+		}
+		sh.mu.Unlock()
+	}
+	return nil
 }

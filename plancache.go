@@ -1,0 +1,110 @@
+package sim
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+
+	"sim/internal/plan"
+)
+
+// PlanCacheStats reports session plan-cache activity.
+type PlanCacheStats struct {
+	Hits    uint64 // queries served from a cached plan
+	Misses  uint64 // queries that paid parse+bind+optimize
+	Entries int    // plans currently cached
+}
+
+// defaultPlanCacheSize is the plan-cache capacity when Config.PlanCacheSize
+// is zero.
+const defaultPlanCacheSize = 256
+
+// planCache is an LRU of optimized query plans keyed by DML text. Hot
+// repeated Retrieve statements skip parse/bind/optimize entirely; the
+// database layer clears the cache whenever the schema (and with it the
+// catalog every cached plan points into) is rebuilt. A nil *planCache is a
+// valid always-miss cache (Config.PlanCacheSize < 0).
+type planCache struct {
+	mu  sync.Mutex
+	cap int
+	m   map[string]*list.Element
+	lru *list.List // most recently used at front
+
+	hits   atomic.Uint64
+	misses atomic.Uint64
+}
+
+type planEntry struct {
+	key string
+	p   *plan.Plan
+}
+
+func newPlanCache(capacity int) *planCache {
+	if capacity < 0 {
+		return nil
+	}
+	if capacity == 0 {
+		capacity = defaultPlanCacheSize
+	}
+	return &planCache{
+		cap: capacity,
+		m:   make(map[string]*list.Element, capacity),
+		lru: list.New(),
+	}
+}
+
+func (c *planCache) get(key string) (*plan.Plan, bool) {
+	if c == nil {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.m[key]
+	if !ok {
+		c.misses.Add(1)
+		return nil, false
+	}
+	c.lru.MoveToFront(el)
+	c.hits.Add(1)
+	return el.Value.(*planEntry).p, true
+}
+
+func (c *planCache) put(key string, p *plan.Plan) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.m[key]; ok {
+		el.Value.(*planEntry).p = p
+		c.lru.MoveToFront(el)
+		return
+	}
+	for c.lru.Len() >= c.cap {
+		oldest := c.lru.Back()
+		c.lru.Remove(oldest)
+		delete(c.m, oldest.Value.(*planEntry).key)
+	}
+	c.m[key] = c.lru.PushFront(&planEntry{key: key, p: p})
+}
+
+// clear drops every cached plan (schema change invalidation).
+func (c *planCache) clear() {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.m = make(map[string]*list.Element, c.cap)
+	c.lru.Init()
+}
+
+func (c *planCache) stats() PlanCacheStats {
+	if c == nil {
+		return PlanCacheStats{}
+	}
+	c.mu.Lock()
+	n := c.lru.Len()
+	c.mu.Unlock()
+	return PlanCacheStats{Hits: c.hits.Load(), Misses: c.misses.Load(), Entries: n}
+}

@@ -22,6 +22,7 @@ package sim
 
 import (
 	"fmt"
+	"runtime"
 	"strings"
 	"sync"
 
@@ -43,16 +44,35 @@ type Result = exec.Result
 
 // Stats aggregates storage-level counters for benchmarking and EXPLAIN.
 type Stats struct {
-	Pool pager.Stats
+	Pool  pager.Stats
+	Plans PlanCacheStats
 }
 
 // Config tunes a database instance.
 type Config struct {
 	// PoolPages is the buffer pool capacity in 4 KiB pages (default 1024).
 	PoolPages int
+	// Workers bounds the goroutines one Retrieve may use to scan its
+	// outermost range in parallel. 0 means GOMAXPROCS; 1 forces serial
+	// execution. Parallel and serial execution produce identical results.
+	Workers int
+	// PlanCacheSize is the capacity of the LRU plan cache keyed by DML
+	// text (0 means a default of 256; negative disables caching).
+	PlanCacheSize int
 	// Mapping overrides the default physical mapping of §5.2; see
 	// luc.Config. It must be identical across openings of one database.
 	Mapping luc.Config
+}
+
+// queryWorkers resolves Config.Workers to an effective worker count.
+func (c Config) queryWorkers() int {
+	if c.Workers > 0 {
+		return c.Workers
+	}
+	if c.Workers < 0 {
+		return 1
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 // Database is an open SIM database. Methods are safe for concurrent use:
@@ -67,6 +87,7 @@ type Database struct {
 	cat    *catalog.Catalog
 	mapper *luc.Mapper
 	exe    *exec.Executor
+	plans  *planCache
 }
 
 // Open opens (creating if necessary) the database at path; an empty path
@@ -84,7 +105,7 @@ func Open(path string, cfg Config) (*Database, error) {
 	if err != nil {
 		return nil, err
 	}
-	db := &Database{store: store, cfg: cfg}
+	db := &Database{store: store, cfg: cfg, plans: newPlanCache(cfg.PlanCacheSize)}
 	if err := db.loadSchema(); err != nil {
 		store.Close()
 		return nil, err
@@ -155,10 +176,13 @@ func (db *Database) rebuild(batches []string) error {
 	}
 	exe := exec.New(mapper)
 	exe.SetConstraints(constraints)
+	exe.SetWorkers(db.cfg.queryWorkers())
 	db.ddl = batches
 	db.cat = cat
 	db.mapper = mapper
 	db.exe = exe
+	// Every cached plan points into the old catalog and mapper.
+	db.plans.clear()
 	return nil
 }
 
@@ -204,14 +228,23 @@ func (db *Database) Catalog() *catalog.Catalog { return db.cat }
 // Mapper exposes the LUC Mapper (advanced use: statistics, direct scans).
 func (db *Database) Mapper() *luc.Mapper { return db.mapper }
 
-// Stats returns storage counters.
-func (db *Database) Stats() Stats { return Stats{Pool: db.store.Stats()} }
+// Stats returns storage counters. It is safe to call while queries run.
+func (db *Database) Stats() Stats {
+	return Stats{Pool: db.store.Stats(), Plans: db.plans.stats()}
+}
 
 // ResetStats zeroes storage counters (between benchmark phases).
 func (db *Database) ResetStats() { db.store.ResetStats() }
 
-// Query executes one Retrieve statement and returns its result.
+// Query executes one Retrieve statement and returns its result. Repeated
+// statements hit the plan cache and skip parse/bind/optimize; the cache is
+// invalidated whenever the schema changes.
 func (db *Database) Query(dml string) (*Result, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	if p, ok := db.plans.get(dml); ok {
+		return db.exe.Retrieve(p)
+	}
 	stmt, err := parser.ParseStmt(dml)
 	if err != nil {
 		return nil, err
@@ -220,17 +253,25 @@ func (db *Database) Query(dml string) (*Result, error) {
 	if !ok {
 		return nil, fmt.Errorf("sim: Query wants a Retrieve statement; use Exec for updates")
 	}
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	return db.runRetrieve(ret)
+	p, err := db.planRetrieve(ret)
+	if err != nil {
+		return nil, err
+	}
+	db.plans.put(dml, p)
+	return db.exe.Retrieve(p)
 }
 
-func (db *Database) runRetrieve(ret *ast.RetrieveStmt) (*Result, error) {
+// planRetrieve binds and optimizes a parsed Retrieve under the read lock.
+func (db *Database) planRetrieve(ret *ast.RetrieveStmt) (*plan.Plan, error) {
 	tree, err := query.Bind(db.cat, ret)
 	if err != nil {
 		return nil, err
 	}
-	p, err := plan.Optimize(tree, db.mapper)
+	return plan.Optimize(tree, db.mapper)
+}
+
+func (db *Database) runRetrieve(ret *ast.RetrieveStmt) (*Result, error) {
+	p, err := db.planRetrieve(ret)
 	if err != nil {
 		return nil, err
 	}
