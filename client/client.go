@@ -1,0 +1,277 @@
+// Package client is the Go client for a SIM server (cmd/simserve): the
+// programmatic face of the paper's Figure 1 interface-product boundary.
+// It speaks the internal/wire protocol over TCP and returns the same
+// *sim.Result values the in-process API produces, so code written against
+// *sim.Database ports to the network with a type swap.
+//
+//	c, err := client.Dial("localhost:1988")
+//	r, err := c.Query(`From student Retrieve name Where student-nbr = 1729.`)
+//	n, err := c.Exec(`Insert student (name := "John Doe", soc-sec-no := 456887766).`)
+//
+// A Conn serializes its requests; use one Conn per concurrent worker for
+// parallel load. Connections closed by an idle server are re-dialed
+// transparently on the next request.
+package client
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"time"
+
+	"sim"
+	"sim/internal/wire"
+)
+
+// Config tunes a connection.
+type Config struct {
+	// DialTimeout bounds connection establishment (default 10s).
+	DialTimeout time.Duration
+	// MaxFrame bounds accepted response frames (default wire.DefaultMaxFrame).
+	MaxFrame int
+	// NoReconnect disables the transparent re-dial after the server
+	// closes an idle connection.
+	NoReconnect bool
+}
+
+// Conn is a client session with a SIM server. Methods are safe for
+// concurrent use but execute one request at a time.
+type Conn struct {
+	addr string
+	cfg  Config
+
+	reqMu  chan struct{} // capacity-1 semaphore serializing requests
+	nc     net.Conn
+	reused bool // current nc has completed at least one request
+}
+
+// Dial connects to a SIM server at addr ("host:port") and performs the
+// protocol handshake.
+func Dial(addr string) (*Conn, error) { return DialConfig(addr, Config{}) }
+
+// DialConfig is Dial with explicit configuration.
+func DialConfig(addr string, cfg Config) (*Conn, error) {
+	if cfg.DialTimeout <= 0 {
+		cfg.DialTimeout = 10 * time.Second
+	}
+	if cfg.MaxFrame <= 0 {
+		cfg.MaxFrame = wire.DefaultMaxFrame
+	}
+	c := &Conn{addr: addr, cfg: cfg, reqMu: make(chan struct{}, 1)}
+	nc, err := c.connect()
+	if err != nil {
+		return nil, err
+	}
+	c.nc = nc
+	return c, nil
+}
+
+// connect dials and completes the Hello exchange.
+func (c *Conn) connect() (net.Conn, error) {
+	nc, err := net.DialTimeout("tcp", c.addr, c.cfg.DialTimeout)
+	if err != nil {
+		return nil, err
+	}
+	nc.SetDeadline(time.Now().Add(c.cfg.DialTimeout))
+	if err := wire.WriteFrame(nc, wire.THello, wire.EncodeHello()); err != nil {
+		nc.Close()
+		return nil, fmt.Errorf("client: handshake: %w", err)
+	}
+	t, payload, err := wire.ReadFrame(nc, c.cfg.MaxFrame)
+	if err != nil {
+		nc.Close()
+		return nil, fmt.Errorf("client: handshake: %w", err)
+	}
+	switch t {
+	case wire.THello:
+		if _, err := wire.DecodeHello(payload); err != nil {
+			nc.Close()
+			return nil, fmt.Errorf("client: handshake: %w", err)
+		}
+	case wire.TError:
+		nc.Close()
+		if e, derr := wire.DecodeError(payload); derr == nil {
+			return nil, e
+		}
+		return nil, fmt.Errorf("client: handshake refused")
+	default:
+		nc.Close()
+		return nil, fmt.Errorf("client: handshake: unexpected %v frame", t)
+	}
+	nc.SetDeadline(time.Time{})
+	return nc, nil
+}
+
+// Close closes the connection. The Conn is unusable afterwards.
+func (c *Conn) Close() error {
+	c.reqMu <- struct{}{}
+	defer func() { <-c.reqMu }()
+	if c.nc == nil {
+		return nil
+	}
+	err := c.nc.Close()
+	c.nc = nil
+	c.addr = "" // poison: do not reconnect after an explicit Close
+	return err
+}
+
+// errClosed reports use of an explicitly closed Conn.
+var errClosed = errors.New("client: connection closed")
+
+// roundTrip sends one request and reads its one response, reconnecting
+// once if a previously used connection turns out to have been closed
+// underneath us. Exec requests are retried only when the request never
+// left this process (the send itself failed); idempotent requests are
+// also retried when the connection broke before a response arrived.
+func (c *Conn) roundTrip(ctx context.Context, t wire.Type, payload []byte, idempotent bool) (wire.Type, []byte, error) {
+	select {
+	case c.reqMu <- struct{}{}:
+	case <-ctx.Done():
+		return 0, nil, ctx.Err()
+	}
+	defer func() { <-c.reqMu }()
+	if c.nc == nil && c.addr == "" {
+		return 0, nil, errClosed
+	}
+	for attempt := 0; ; attempt++ {
+		if c.nc == nil {
+			nc, err := c.connect()
+			if err != nil {
+				return 0, nil, err
+			}
+			c.nc, c.reused = nc, false
+		}
+		rt, resp, sendFailed, err := c.attempt(ctx, t, payload)
+		if err == nil {
+			c.reused = true
+			return rt, resp, nil
+		}
+		// The connection is in an unknown state mid-frame: drop it.
+		wasReused := c.reused
+		c.nc.Close()
+		c.nc, c.reused = nil, false
+		if ctx.Err() != nil {
+			return 0, nil, ctx.Err()
+		}
+		retriable := wasReused && attempt == 0 && (sendFailed || idempotent)
+		if c.cfg.NoReconnect || !retriable {
+			return 0, nil, err
+		}
+	}
+}
+
+// attempt performs one send/receive on the current connection. sendFailed
+// distinguishes "the request never made it out" from a response failure.
+func (c *Conn) attempt(ctx context.Context, t wire.Type, payload []byte) (rt wire.Type, resp []byte, sendFailed bool, err error) {
+	nc := c.nc
+	if d, ok := ctx.Deadline(); ok {
+		nc.SetDeadline(d)
+	} else {
+		nc.SetDeadline(time.Time{})
+	}
+	if done := ctx.Done(); done != nil {
+		stop := make(chan struct{})
+		defer close(stop)
+		go func() {
+			select {
+			case <-done:
+				nc.SetDeadline(time.Now())
+			case <-stop:
+			}
+		}()
+	}
+	if err := wire.WriteFrame(nc, t, payload); err != nil {
+		return 0, nil, true, fmt.Errorf("client: send: %w", err)
+	}
+	rt, resp, err = wire.ReadFrame(nc, c.cfg.MaxFrame)
+	if err != nil {
+		return 0, nil, false, fmt.Errorf("client: receive: %w", err)
+	}
+	return rt, resp, false, nil
+}
+
+// call runs a request expecting response type want; a TError response
+// decodes into *wire.Error.
+func (c *Conn) call(ctx context.Context, t wire.Type, payload []byte, want wire.Type, idempotent bool) ([]byte, error) {
+	rt, resp, err := c.roundTrip(ctx, t, payload, idempotent)
+	if err != nil {
+		return nil, err
+	}
+	switch rt {
+	case want:
+		return resp, nil
+	case wire.TError:
+		e, derr := wire.DecodeError(resp)
+		if derr != nil {
+			return nil, derr
+		}
+		return nil, e
+	default:
+		return nil, fmt.Errorf("client: unexpected %v response to %v", rt, t)
+	}
+}
+
+// Query executes one Retrieve statement on the server.
+func (c *Conn) Query(dml string) (*sim.Result, error) {
+	return c.QueryCtx(context.Background(), dml)
+}
+
+// QueryCtx is Query under a context; the deadline also bounds server-side
+// execution when the server is configured with request timeouts.
+func (c *Conn) QueryCtx(ctx context.Context, dml string) (*sim.Result, error) {
+	resp, err := c.call(ctx, wire.TQuery, []byte(dml), wire.TResult, true)
+	if err != nil {
+		return nil, err
+	}
+	return wire.DecodeResult(resp)
+}
+
+// Exec executes one update statement on the server and returns the
+// affected-entity count.
+func (c *Conn) Exec(dml string) (int, error) {
+	return c.ExecCtx(context.Background(), dml)
+}
+
+// ExecCtx is Exec under a context. A broken connection mid-response is
+// NOT retried (the update may have applied); only requests that never
+// left this process are.
+func (c *Conn) ExecCtx(ctx context.Context, dml string) (int, error) {
+	resp, err := c.call(ctx, wire.TExec, []byte(dml), wire.TExecOK, false)
+	if err != nil {
+		return 0, err
+	}
+	return wire.DecodeCount(resp)
+}
+
+// Explain returns the server optimizer's strategy for a Retrieve.
+func (c *Conn) Explain(dml string) (string, error) {
+	return c.ExplainCtx(context.Background(), dml)
+}
+
+// ExplainCtx is Explain under a context.
+func (c *Conn) ExplainCtx(ctx context.Context, dml string) (string, error) {
+	resp, err := c.call(ctx, wire.TExplain, []byte(dml), wire.TExplainOK, true)
+	return string(resp), err
+}
+
+// Ping checks liveness end to end.
+func (c *Conn) Ping(ctx context.Context) error {
+	_, err := c.call(ctx, wire.TPing, nil, wire.TPong, true)
+	return err
+}
+
+// Checkpoint asks the server to checkpoint the database.
+func (c *Conn) Checkpoint(ctx context.Context) error {
+	_, err := c.call(ctx, wire.TCheckpoint, nil, wire.TOK, true)
+	return err
+}
+
+// ServerStats returns the server's lifetime counters.
+func (c *Conn) ServerStats(ctx context.Context) (wire.ServerStats, error) {
+	resp, err := c.call(ctx, wire.TStats, nil, wire.TStatsOK, true)
+	if err != nil {
+		return wire.ServerStats{}, err
+	}
+	return wire.DecodeServerStats(resp)
+}

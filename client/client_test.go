@@ -1,0 +1,190 @@
+package client_test
+
+import (
+	"context"
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"sim"
+	"sim/client"
+	"sim/internal/server"
+	"sim/internal/university"
+)
+
+// startServer serves an in-memory university database with one student
+// and returns the server plus its loopback address.
+func startServer(t *testing.T, cfg server.Config) (*server.Server, string) {
+	t.Helper()
+	db, err := sim.Open("", sim.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	if err := db.DefineSchema(university.DDL); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec(`Insert student (name := "Only, One", soc-sec-no := 100000001).`); err != nil {
+		t.Fatal(err)
+	}
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := server.New(db, cfg)
+	go srv.Serve(lis)
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	})
+	return srv, lis.Addr().String()
+}
+
+// TestReconnectAfterIdleClose exercises the transparent re-dial: the
+// server reaps the idle connection, and the next request must succeed on
+// a fresh one without surfacing an error.
+func TestReconnectAfterIdleClose(t *testing.T) {
+	srv, addr := startServer(t, server.Config{ReadTimeout: 30 * time.Millisecond})
+	c, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Query(`From student Retrieve name.`); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(150 * time.Millisecond) // let the server reap the idle session
+	r, err := c.Query(`From student Retrieve name.`)
+	if err != nil {
+		t.Fatalf("query after idle close: %v", err)
+	}
+	if r.NumRows() != 1 {
+		t.Fatalf("rows = %d, want 1", r.NumRows())
+	}
+	if st := srv.Stats(); st.Connections < 2 {
+		t.Fatalf("expected a reconnect, stats = %+v", st)
+	}
+}
+
+// TestNoReconnect verifies the opt-out: with NoReconnect the idle close
+// surfaces as an error instead of a silent re-dial.
+func TestNoReconnect(t *testing.T) {
+	_, addr := startServer(t, server.Config{ReadTimeout: 30 * time.Millisecond})
+	c, err := client.DialConfig(addr, client.Config{NoReconnect: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Query(`From student Retrieve name.`); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(150 * time.Millisecond)
+	if _, err := c.Query(`From student Retrieve name.`); err == nil {
+		t.Fatal("query after idle close succeeded despite NoReconnect")
+	}
+}
+
+// TestFreshConnNotRetried: a failure on a connection that has never
+// completed a request is not retried (it would loop on a broken server).
+func TestFreshConnNotRetried(t *testing.T) {
+	// A listener that accepts, completes no handshake, and closes.
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lis.Close()
+	go func() {
+		for {
+			conn, err := lis.Accept()
+			if err != nil {
+				return
+			}
+			conn.Close()
+		}
+	}()
+	if _, err := client.Dial(lis.Addr().String()); err == nil {
+		t.Fatal("dial against a slamming listener succeeded")
+	}
+}
+
+func TestContextCancellation(t *testing.T) {
+	_, addr := startServer(t, server.Config{})
+	c, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	// Already-cancelled context: fails fast, before any I/O.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := c.QueryCtx(ctx, `From student Retrieve name.`); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled ctx: err %v, want context.Canceled", err)
+	}
+	// The Conn recovers: the next request reconnects if needed and works.
+	if _, err := c.Query(`From student Retrieve name.`); err != nil {
+		t.Fatalf("query after cancellation: %v", err)
+	}
+
+	// Cancellation racing a request unblocks the round trip promptly.
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	go func() { time.Sleep(5 * time.Millisecond); cancel2() }()
+	start := time.Now()
+	for time.Since(start) < 200*time.Millisecond {
+		if _, err := c.QueryCtx(ctx2, `From student Retrieve name.`); err != nil {
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("racing cancel: err %v", err)
+			}
+			break
+		}
+	}
+	if _, err := c.Query(`From student Retrieve name.`); err != nil {
+		t.Fatalf("query after racing cancel: %v", err)
+	}
+}
+
+func TestUseAfterClose(t *testing.T) {
+	_, addr := startServer(t, server.Config{})
+	c, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+	if _, err := c.Query(`From student Retrieve name.`); err == nil {
+		t.Fatal("query on a closed Conn succeeded")
+	}
+}
+
+// TestConcurrentUse hammers one Conn from many goroutines; the internal
+// request serialization must keep every response matched to its request.
+func TestConcurrentUse(t *testing.T) {
+	_, addr := startServer(t, server.Config{})
+	c, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	errc := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		go func() {
+			for i := 0; i < 25; i++ {
+				r, err := c.Query(`From student Retrieve name.`)
+				if err == nil && r.NumRows() != 1 {
+					err = errors.New("wrong row count")
+				}
+				if err != nil {
+					errc <- err
+					return
+				}
+			}
+			errc <- nil
+		}()
+	}
+	for g := 0; g < 8; g++ {
+		if err := <-errc; err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -3,10 +3,11 @@
 //
 // Usage:
 //
-//	simbench [-run id[,id...]] [-scale n] [-reps n] [-parallel n]
+//	simbench [-run id[,id...]] [-scale n] [-reps n] [-parallel n] [-net]
 //
-// Experiment ids: fig2, adds, dml, t1..t9, all (default). The t9 run also
-// writes its table to BENCH_parallel.json for machine consumption.
+// Experiment ids: fig2, adds, dml, t1..t10, all (default). The t9 run
+// writes its table to BENCH_parallel.json and the t10 run (network mode,
+// also selectable as -net) writes BENCH_net.json for machine consumption.
 package main
 
 import (
@@ -20,11 +21,19 @@ import (
 )
 
 func main() {
-	run := flag.String("run", "all", "comma-separated experiment ids (fig2,adds,dml,t1..t9)")
+	run := flag.String("run", "all", "comma-separated experiment ids (fig2,adds,dml,t1..t10)")
 	scale := flag.Int("scale", 1, "workload scale factor")
 	reps := flag.Int("reps", 5, "repetitions per measurement")
-	parallel := flag.Int("parallel", 8, "maximum concurrent clients for t9")
+	parallel := flag.Int("parallel", 8, "maximum concurrent clients for t9/t10")
+	netMode := flag.Bool("net", false, "network mode: run the t10 client/server experiment")
 	flag.Parse()
+	if *netMode {
+		if *run == "all" {
+			*run = "t10"
+		} else {
+			*run += ",t10"
+		}
+	}
 
 	w := bench.DefaultWorkload.Scale(*scale)
 	want := map[string]bool{}
@@ -51,7 +60,9 @@ func main() {
 		{"t7", func() (*bench.Table, error) { return bench.T7(*reps) }},
 		{"t8", func() (*bench.Table, error) { return bench.T8(w, *reps) }},
 		{"t9", func() (*bench.Table, error) { return bench.T9(w, *reps, *parallel) }},
+		{"t10", func() (*bench.Table, error) { return bench.T10(w, *reps, *parallel) }},
 	}
+	artifacts := map[string]string{"t9": "BENCH_parallel.json", "t10": "BENCH_net.json"}
 	ran := 0
 	for _, ex := range experiments {
 		if !sel(ex.id) {
@@ -63,8 +74,8 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Println(t.Format())
-		if ex.id == "t9" {
-			if err := writeJSON("BENCH_parallel.json", t); err != nil {
+		if path := artifacts[ex.id]; path != "" {
+			if err := writeJSON(path, t); err != nil {
 				fmt.Fprintf(os.Stderr, "simbench: %v\n", err)
 				os.Exit(1)
 			}

@@ -3,56 +3,88 @@
 //
 // Usage:
 //
-//	simdb [-db file] [-schema ddl-file] [-e statement]
+//	simdb [-db file] [-schema ddl-file] [-connect host:port] [-e script]
+//
+// With -connect the shell becomes a remote front end to a simserve
+// process — the paper's Figure 1 boundary between interface products and
+// the shared SIM kernel — and the -db/-schema flags do not apply (the
+// server owns the database and its schema).
 //
 // Without -e it reads statements from standard input; a statement ends
-// with '.' or ';' at the end of a line. Shell commands:
+// with '.' or ';' at the end of a line. With -e it runs the given script
+// (one or more statements), printing results to stdout; any statement
+// error goes to stderr and exits nonzero. Shell commands:
 //
-//	\schema           print the schema summary
-//	\classes          list classes and their attributes
+//	\schema           print the schema summary (local only)
+//	\classes          list classes and their attributes (local only)
 //	\explain <query>  show the optimizer's strategy
-//	\check            run every VERIFY assertion over the whole database
+//	\check            run every VERIFY assertion (local only)
+//	\stats            print server counters (remote) or pool stats (local)
 //	\quit             exit
 package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 
 	"sim"
+	"sim/client"
 	"sim/internal/ast"
 	"sim/internal/catalog"
 	"sim/internal/parser"
 )
 
+// session is the slice of the database API the shell needs; *sim.Database
+// provides it in-process and *client.Conn provides it over the wire.
+type session interface {
+	Query(dml string) (*sim.Result, error)
+	Exec(dml string) (int, error)
+	Explain(dml string) (string, error)
+}
+
 func main() {
 	dbPath := flag.String("db", "", "database file (empty: in-memory)")
 	schemaFile := flag.String("schema", "", "DDL file to define at startup")
-	stmt := flag.String("e", "", "execute one statement and exit")
+	connect := flag.String("connect", "", "host:port of a simserve to use instead of a local database")
+	stmt := flag.String("e", "", "execute a script of statements and exit")
 	flag.Parse()
 
-	db, err := sim.Open(*dbPath, sim.Config{})
-	if err != nil {
-		fatal(err)
-	}
-	defer db.Close()
-
-	if *schemaFile != "" {
-		ddl, err := os.ReadFile(*schemaFile)
+	var sess session
+	if *connect != "" {
+		if *dbPath != "" || *schemaFile != "" {
+			fatal(fmt.Errorf("-connect is exclusive with -db/-schema (the server owns the database)"))
+		}
+		conn, err := client.Dial(*connect)
 		if err != nil {
 			fatal(err)
 		}
-		if err := db.DefineSchema(string(ddl)); err != nil {
+		defer conn.Close()
+		sess = conn
+	} else {
+		db, err := sim.Open(*dbPath, sim.Config{})
+		if err != nil {
 			fatal(err)
 		}
-		fmt.Fprintf(os.Stderr, "schema %s defined\n", *schemaFile)
+		defer db.Close()
+		if *schemaFile != "" {
+			ddl, err := os.ReadFile(*schemaFile)
+			if err != nil {
+				fatal(err)
+			}
+			if err := db.DefineSchema(string(ddl)); err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "schema %s defined\n", *schemaFile)
+		}
+		sess = db
 	}
 
 	if *stmt != "" {
-		if err := run(db, *stmt); err != nil {
+		if err := runScript(sess, *stmt); err != nil {
 			fatal(err)
 		}
 		return
@@ -73,7 +105,7 @@ func main() {
 		line := in.Text()
 		trimmed := strings.TrimSpace(line)
 		if buf.Len() == 0 && strings.HasPrefix(trimmed, `\`) {
-			if !command(db, trimmed) {
+			if !command(sess, trimmed) {
 				return
 			}
 			prompt()
@@ -82,7 +114,7 @@ func main() {
 		buf.WriteString(line)
 		buf.WriteString("\n")
 		if strings.HasSuffix(trimmed, ".") || strings.HasSuffix(trimmed, ";") {
-			if err := run(db, buf.String()); err != nil {
+			if err := run(sess, buf.String()); err != nil {
 				fmt.Fprintln(os.Stderr, "error:", err)
 			}
 			buf.Reset()
@@ -92,45 +124,85 @@ func main() {
 }
 
 // command handles a backslash command; it returns false to exit.
-func command(db *sim.Database, line string) bool {
+func command(s session, line string) bool {
+	db, local := s.(*sim.Database)
 	cmd, rest, _ := strings.Cut(line, " ")
 	switch cmd {
 	case `\quit`, `\q`:
 		return false
 	case `\schema`:
+		if !local {
+			fmt.Fprintln(os.Stderr, `\schema needs a local database (remote sessions query the server's schema via DML)`)
+			break
+		}
 		fmt.Print(db.SchemaSummary())
 	case `\classes`:
+		if !local {
+			fmt.Fprintln(os.Stderr, `\classes needs a local database`)
+			break
+		}
 		printClasses(db)
 	case `\explain`:
-		ex, err := db.Explain(rest)
+		ex, err := s.Explain(rest)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "error:", err)
 		} else {
 			fmt.Println(ex)
 		}
 	case `\check`:
+		if !local {
+			fmt.Fprintln(os.Stderr, `\check needs a local database`)
+			break
+		}
 		if err := db.CheckIntegrity(); err != nil {
 			fmt.Fprintln(os.Stderr, "violation:", err)
 		} else {
 			fmt.Println("all assertions hold")
 		}
+	case `\stats`:
+		if conn, ok := s.(*client.Conn); ok {
+			st, err := conn.ServerStats(context.Background())
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "error:", err)
+			} else {
+				fmt.Println(st)
+			}
+			break
+		}
+		st := db.Stats()
+		fmt.Printf("pool: hits=%d misses=%d  plans: hits=%d misses=%d\n",
+			st.Pool.Hits, st.Pool.Misses, st.Plans.Hits, st.Plans.Misses)
 	case `\help`:
 		fmt.Println(`statements end with '.' or ';'
-DDL:  Type/Class/Subclass/Verify declarations (via -schema or pasted)
+DDL:  Type/Class/Subclass/Verify declarations (via -schema or pasted; local only)
 DML:  Retrieve / Insert / Modify / Delete
-commands: \schema \classes \explain <q> \check \quit`)
+commands: \schema \classes \explain <q> \check \stats \quit`)
 	default:
 		fmt.Fprintf(os.Stderr, "unknown command %s (try \\help)\n", cmd)
 	}
 	return true
 }
 
-// run executes one input chunk: DDL if it parses as a schema, otherwise
-// DML.
-func run(db *sim.Database, text string) error {
+// isDDL reports whether an input chunk starts like schema definition
+// language rather than DML.
+func isDDL(text string) bool {
 	trimmed := strings.TrimSpace(strings.ToLower(text))
-	if strings.HasPrefix(trimmed, "class") || strings.HasPrefix(trimmed, "subclass") ||
-		strings.HasPrefix(trimmed, "type") || strings.HasPrefix(trimmed, "verify") {
+	for _, kw := range []string{"class", "subclass", "type", "verify"} {
+		if strings.HasPrefix(trimmed, kw) {
+			return true
+		}
+	}
+	return false
+}
+
+// run executes one input chunk: DDL if it looks like a schema, otherwise
+// a single DML statement.
+func run(s session, text string) error {
+	if isDDL(text) {
+		db, local := s.(*sim.Database)
+		if !local {
+			return fmt.Errorf("schema changes are not supported over -connect; define the schema on the server (simserve -schema)")
+		}
 		if err := db.DefineSchema(text); err != nil {
 			return err
 		}
@@ -142,7 +214,7 @@ func run(db *sim.Database, text string) error {
 		return err
 	}
 	if ret, ok := stmt.(*ast.RetrieveStmt); ok {
-		r, err := db.Query(text)
+		r, err := s.Query(text)
 		if err != nil {
 			return err
 		}
@@ -154,11 +226,34 @@ func run(db *sim.Database, text string) error {
 		fmt.Printf("(%d rows)\n", r.NumRows())
 		return nil
 	}
-	n, err := db.Exec(text)
+	n, err := s.Exec(text)
 	if err != nil {
 		return err
 	}
 	fmt.Printf("%d entity(ies) affected\n", n)
+	return nil
+}
+
+// runScript executes the -e argument: a DDL batch, or a script of one or
+// more DML statements executed in order. Results go to stdout; the first
+// failing statement's error is returned (the caller routes it to stderr
+// and exits nonzero) without executing the rest.
+func runScript(s session, text string) error {
+	if isDDL(text) {
+		return run(s, text)
+	}
+	stmts, err := parser.SplitStmts(text)
+	if err != nil {
+		return err
+	}
+	for i, one := range stmts {
+		if err := run(s, one); err != nil {
+			if len(stmts) > 1 {
+				return fmt.Errorf("statement %d: %w", i+1, err)
+			}
+			return err
+		}
+	}
 	return nil
 }
 

@@ -131,3 +131,105 @@ func TestCommands(t *testing.T) {
 		t.Errorf("\\help output = %q", out)
 	}
 }
+
+// scriptDB is testDB plus a department to retrieve against.
+func scriptDB(t *testing.T) *sim.Database {
+	db := testDB(t)
+	if _, err := db.Exec(`Insert department (dept-nbr := 100, name := "Math").`); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func TestRunScriptMultiStatement(t *testing.T) {
+	db := scriptDB(t)
+	out := captureStdout(t, func() {
+		err := runScript(db, `
+			Insert department (dept-nbr := 200, name := "Physics").
+			From department Retrieve name Order By name.
+		`)
+		if err != nil {
+			t.Error(err)
+		}
+	})
+	for _, want := range []string{"1 entity(ies) affected", "Math", "Physics", "(2 rows)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("script output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunScriptStopsAtFirstError(t *testing.T) {
+	db := scriptDB(t)
+	var err error
+	captureStdout(t, func() {
+		err = runScript(db, `
+			Insert department (dept-nbr := 300, name := "Chem").
+			Insert department (dept-nbr := 300, name := "Dup").
+			Insert department (dept-nbr := 400, name := "Never").
+		`)
+	})
+	if err == nil {
+		t.Fatal("duplicate dept-nbr accepted")
+	}
+	if !strings.Contains(err.Error(), "statement 2") {
+		t.Errorf("error %q does not name the failing statement", err)
+	}
+	// Statement 1 ran; statement 3 never did.
+	r, qerr := db.Query(`From department Retrieve name Order By name.`)
+	if qerr != nil {
+		t.Fatal(qerr)
+	}
+	if got := r.Format(); !strings.Contains(got, "Chem") || strings.Contains(got, "Never") {
+		t.Errorf("departments after failing script:\n%s", got)
+	}
+}
+
+func TestRunScriptParseErrorRunsNothing(t *testing.T) {
+	db := scriptDB(t)
+	var err error
+	captureStdout(t, func() {
+		err = runScript(db, `
+			Insert department (dept-nbr := 500, name := "Ghost").
+			this is not SIM at all.
+		`)
+	})
+	if err == nil {
+		t.Fatal("script with a parse error succeeded")
+	}
+	r, qerr := db.Query(`From department Retrieve name Where dept-nbr = 500.`)
+	if qerr != nil {
+		t.Fatal(qerr)
+	}
+	if r.NumRows() != 0 {
+		t.Error("statement before the parse error was executed")
+	}
+}
+
+// remoteStub satisfies session without a database, for testing
+// remote-mode restrictions without standing up a server.
+type remoteStub struct{}
+
+func (remoteStub) Query(string) (*sim.Result, error) { return nil, nil }
+func (remoteStub) Exec(string) (int, error)          { return 0, nil }
+func (remoteStub) Explain(string) (string, error)    { return "", nil }
+
+func TestRemoteModeRejectsDDL(t *testing.T) {
+	err := run(remoteStub{}, `Class Widget ( wname: string[10] );`)
+	if err == nil || !strings.Contains(err.Error(), "simserve -schema") {
+		t.Errorf("remote DDL error = %v", err)
+	}
+}
+
+func TestRemoteModeLocalOnlyCommands(t *testing.T) {
+	for _, cmd := range []string{`\schema`, `\classes`, `\check`} {
+		out := captureStdout(t, func() {
+			if !command(remoteStub{}, cmd) {
+				t.Errorf("%s signalled exit", cmd)
+			}
+		})
+		if out != "" {
+			t.Errorf("%s printed to stdout in remote mode: %q", cmd, out)
+		}
+	}
+}

@@ -1,0 +1,101 @@
+// Command simserve runs a SIM database as a network server: the shared
+// SIM kernel of the paper's Figure 1, serving remote front ends such as
+// simdb -connect and the package client API.
+//
+// Usage:
+//
+//	simserve [-addr :1988] [-db file] [-schema ddl-file] [-university]
+//	         [-max-conns n] [-workers n] [-request-timeout d]
+//	         [-read-timeout d] [-write-timeout d] [-drain d]
+//
+// The database is opened (in-memory when -db is empty), the optional
+// schema is defined, and the server runs until SIGINT/SIGTERM, then
+// drains in-flight requests for the -drain grace period.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"sim"
+	"sim/internal/server"
+	"sim/internal/university"
+)
+
+func main() {
+	addr := flag.String("addr", ":1988", "listen address")
+	dbPath := flag.String("db", "", "database file (empty: in-memory)")
+	schemaFile := flag.String("schema", "", "DDL file to define at startup")
+	univ := flag.Bool("university", false, "define the paper's UNIVERSITY schema at startup")
+	maxConns := flag.Int("max-conns", 256, "concurrent connection limit")
+	workers := flag.Int("workers", 0, "per-query parallelism (0: GOMAXPROCS)")
+	poolPages := flag.Int("pool-pages", 0, "buffer pool pages (0: default)")
+	reqTimeout := flag.Duration("request-timeout", time.Minute, "per-request execution deadline (0: none)")
+	readTimeout := flag.Duration("read-timeout", 5*time.Minute, "idle session deadline (0: none)")
+	writeTimeout := flag.Duration("write-timeout", time.Minute, "response write deadline (0: none)")
+	drain := flag.Duration("drain", 10*time.Second, "graceful shutdown grace period")
+	flag.Parse()
+
+	logger := log.New(os.Stderr, "simserve: ", log.LstdFlags)
+
+	db, err := sim.Open(*dbPath, sim.Config{PoolPages: *poolPages, Workers: *workers})
+	if err != nil {
+		logger.Fatal(err)
+	}
+	defer db.Close()
+
+	if *univ {
+		if err := db.DefineSchema(university.DDL); err != nil {
+			logger.Fatalf("university schema: %v", err)
+		}
+		logger.Print("UNIVERSITY schema defined")
+	}
+	if *schemaFile != "" {
+		ddl, err := os.ReadFile(*schemaFile)
+		if err != nil {
+			logger.Fatal(err)
+		}
+		if err := db.DefineSchema(string(ddl)); err != nil {
+			logger.Fatalf("schema %s: %v", *schemaFile, err)
+		}
+		logger.Printf("schema %s defined", *schemaFile)
+	}
+
+	srv := server.New(db, server.Config{
+		MaxConns:       *maxConns,
+		ReadTimeout:    *readTimeout,
+		WriteTimeout:   *writeTimeout,
+		RequestTimeout: *reqTimeout,
+		Logf:           logger.Printf,
+	})
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+	done := make(chan error, 1)
+	go func() {
+		sig := <-sigc
+		logger.Printf("%v: draining (grace %v)", sig, *drain)
+		ctx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		done <- srv.Shutdown(ctx)
+	}()
+
+	logger.Printf("listening on %s", *addr)
+	if err := srv.ListenAndServe(*addr); !errors.Is(err, server.ErrServerClosed) {
+		logger.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		logger.Printf("shutdown: %v", err)
+		os.Exit(1)
+	}
+	st := srv.Stats()
+	fmt.Fprintf(os.Stderr, "simserve: served %d requests over %d connections (%s)\n",
+		st.Requests, st.Connections, st)
+}

@@ -1,0 +1,102 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+)
+
+// QueryCtx/ExecCtx honour cancellation: a context cancelled before the
+// executor's outer loop starts surfaces ctx.Err() instead of a result.
+
+func TestQueryCtxCancelled(t *testing.T) {
+	db := universityDB(t, Config{})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := db.QueryCtx(ctx, `From Student Retrieve Name, Name of Advisor.`)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled query: err %v, want context.Canceled", err)
+	}
+	// The database is unaffected: the same query works afterwards.
+	if _, err := db.Query(`From Student Retrieve Name.`); err != nil {
+		t.Fatalf("query after cancellation: %v", err)
+	}
+}
+
+func TestExecCtxCancelled(t *testing.T) {
+	db := universityDB(t, Config{})
+	before := mustQuery(t, db, `From Student Retrieve Name.`).NumRows()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := db.ExecCtx(ctx, `Modify Student (Name := "Gone") Where Student-Nbr >= 1001.`)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled exec: err %v, want context.Canceled", err)
+	}
+	// The cancelled update rolled back: nothing was renamed.
+	r := mustQuery(t, db, `From Student Retrieve Name Where Name = "Gone".`)
+	if r.NumRows() != 0 {
+		t.Fatalf("cancelled Modify left %d renamed students", r.NumRows())
+	}
+	if got := mustQuery(t, db, `From Student Retrieve Name.`).NumRows(); got != before {
+		t.Fatalf("student count changed across cancelled exec: %d -> %d", before, got)
+	}
+}
+
+func TestQueryCtxNilSafe(t *testing.T) {
+	db := universityDB(t, Config{})
+	// A background (non-cancellable) context takes the fast path.
+	r, err := db.QueryCtx(context.Background(), `From Student Retrieve Name.`)
+	if err != nil || r.NumRows() == 0 {
+		t.Fatalf("background ctx query: rows=%v err=%v", r, err)
+	}
+}
+
+// Run error paths (the -e script engine is built on the same semantics):
+// a parse error anywhere aborts the whole script before anything runs; a
+// runtime error at statement N returns the first N-1 results and leaves
+// the effects of statements 1..N-1 in place (per-statement transactions).
+
+func TestRunMidScriptParseError(t *testing.T) {
+	db := universityDB(t, Config{})
+	before := mustQuery(t, db, `From Course Retrieve Title.`).NumRows()
+	results, err := db.Run(`
+		Insert Course (Course-No := 900, Title := "Scripting", Credits := 3).
+		From Course Retrieve garbage garbage;
+	`)
+	if err == nil {
+		t.Fatal("script with a parse error succeeded")
+	}
+	if results != nil {
+		t.Fatalf("parse error returned %d results, want none", len(results))
+	}
+	// Parsing happens before execution: the Insert never ran.
+	if got := mustQuery(t, db, `From Course Retrieve Title.`).NumRows(); got != before {
+		t.Fatalf("parse-failing script still executed statements: %d -> %d courses", before, got)
+	}
+}
+
+func TestRunRuntimeErrorKeepsPrefix(t *testing.T) {
+	db := universityDB(t, Config{})
+	results, err := db.Run(`
+		Insert Course (Course-No := 901, Title := "Persisted", Credits := 3).
+		From Course Retrieve Title Where Course-No = 901.
+		Insert Course (Course-No := 901, Title := "Duplicate", Credits := 3).
+		From Course Retrieve Title.
+	`)
+	if err == nil {
+		t.Fatal("duplicate unique key accepted")
+	}
+	if !strings.Contains(err.Error(), "statement 3") {
+		t.Fatalf("error %q does not name the failing statement", err)
+	}
+	// The prefix ran: one nil (insert) and one retrieve result.
+	if len(results) != 2 || results[0] != nil || results[1] == nil {
+		t.Fatalf("results = %v, want [nil, retrieve]", results)
+	}
+	expectRows(t, results[1], [][]string{{"Persisted"}})
+	// Statement 1 committed (per-statement transactions), statement 3
+	// rolled back.
+	r := mustQuery(t, db, `From Course Retrieve Title Where Course-No = 901.`)
+	expectRows(t, r, [][]string{{"Persisted"}})
+}

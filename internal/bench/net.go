@@ -1,0 +1,146 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"runtime"
+	"sync"
+	"time"
+
+	"sim"
+	"sim/client"
+	"sim/internal/server"
+)
+
+// T10 — network read path (this repo's extension beyond the paper): the
+// Figure 1 interface-product boundary as a TCP server. Measures remote
+// queries/sec at 1..maxClients concurrent client connections against the
+// in-process path over the same database, after verifying the remote
+// result is byte-identical to in-process Query.
+func T10(w Workload, reps, maxClients int) (*Table, error) {
+	t := &Table{
+		ID:     "T10",
+		Title:  "Network read path: remote clients vs in-process queries",
+		Header: []string{"mode", "clients", "time/query", "agg qps", "vs in-process"},
+		Notes: fmt.Sprintf("GOMAXPROCS=%d; one TCP connection per client, loopback transport; remote\nresults verified byte-identical to in-process Query before measuring.",
+			runtime.GOMAXPROCS(0)),
+	}
+	db, err := BuildUniversity(sim.Config{}, w)
+	if err != nil {
+		return nil, err
+	}
+	defer db.Close()
+
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	srv := server.New(db, server.Config{MaxConns: maxClients + 8})
+	go srv.Serve(lis)
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	}()
+	addr := lis.Addr().String()
+
+	const q = `From student Retrieve name, name of advisor.`
+	local, err := db.Query(q)
+	if err != nil {
+		return nil, err
+	}
+	probe, err := client.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	remote, err := probe.Query(q)
+	probe.Close()
+	if err != nil {
+		return nil, err
+	}
+	if local.Format() != remote.Format() {
+		return nil, fmt.Errorf("T10: remote result diverged from in-process result")
+	}
+
+	iters := 20 * reps
+
+	// In-process baseline at the same concurrency levels, then remote
+	// with one dedicated connection per client goroutine.
+	inproc := map[int]float64{}
+	for c := 1; c <= maxClients; c *= 2 {
+		qps, err := measure(c, iters, func(int) (func() error, func(), error) {
+			return func() error { _, err := db.Query(q); return err }, nil, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		inproc[c] = qps
+		t.Rows = append(t.Rows, []string{"in-process", fmt.Sprint(c),
+			perQuery(c, iters, qps), fmt.Sprintf("%.0f", qps),
+			fmt.Sprintf("%.2fx", qps/inproc[1])})
+	}
+	for c := 1; c <= maxClients; c *= 2 {
+		qps, err := measure(c, iters, func(int) (func() error, func(), error) {
+			conn, err := client.Dial(addr)
+			if err != nil {
+				return nil, nil, err
+			}
+			return func() error { _, err := conn.Query(q); return err },
+				func() { conn.Close() }, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{"remote", fmt.Sprint(c),
+			perQuery(c, iters, qps), fmt.Sprintf("%.0f", qps),
+			fmt.Sprintf("%.2fx", qps/inproc[c])})
+	}
+	return t, nil
+}
+
+// perQuery renders mean latency per query given aggregate throughput.
+func perQuery(clients, iters int, qps float64) string {
+	if qps <= 0 {
+		return "-"
+	}
+	return dur(time.Duration(float64(clients) * float64(time.Second) / qps))
+}
+
+// measure runs `clients` goroutines of `iters` operations each and
+// returns aggregate operations/sec. setup is called once per goroutine
+// (before the clock starts) to build its operation and optional cleanup.
+func measure(clients, iters int, setup func(g int) (func() error, func(), error)) (float64, error) {
+	ops := make([]func() error, clients)
+	for g := range ops {
+		op, cleanup, err := setup(g)
+		if err != nil {
+			return 0, err
+		}
+		if cleanup != nil {
+			defer cleanup()
+		}
+		ops[g] = op
+	}
+	start := time.Now()
+	var wg sync.WaitGroup
+	errc := make(chan error, clients)
+	for g := 0; g < clients; g++ {
+		wg.Add(1)
+		go func(op func() error) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				if err := op(); err != nil {
+					errc <- err
+					return
+				}
+			}
+		}(ops[g])
+	}
+	wg.Wait()
+	close(errc)
+	if err := <-errc; err != nil {
+		return 0, err
+	}
+	return float64(clients*iters) / time.Since(start).Seconds(), nil
+}

@@ -6,6 +6,7 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -41,6 +42,20 @@ func (e *Executor) SetConstraints(cs []*Constraint) { e.constraints = cs }
 // Must be set before queries run; it is not safe to change concurrently
 // with them.
 func (e *Executor) SetWorkers(n int) { e.workers = n }
+
+// ctxErr reports the context's error without blocking; nil contexts and
+// context.Background() cost one nil-channel check per call.
+func ctxErr(ctx context.Context) error {
+	if ctx == nil || ctx.Done() == nil {
+		return nil
+	}
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	default:
+		return nil
+	}
+}
 
 // inst is one binding of a range variable.
 type inst struct {
@@ -90,6 +105,13 @@ const parallelRootThreshold = 32
 // are merged back in domain order so parallel output is byte-identical to
 // serial execution.
 func (e *Executor) Retrieve(p *plan.Plan) (*Result, error) {
+	return e.RetrieveCtx(context.Background(), p)
+}
+
+// RetrieveCtx is Retrieve under a context: cancellation is checked
+// between bindings of the outermost range, so a query over a large
+// perspective stops within one outer row of the deadline.
+func (e *Executor) RetrieveCtx(ctx context.Context, p *plan.Plan) (*Result, error) {
 	t := p.Tree
 	if t.Mode == ast.OutputStructure && len(t.OrderBy) > 0 {
 		return nil, fmt.Errorf("ORDER BY applies to tabular output only")
@@ -120,7 +142,7 @@ func (e *Executor) Retrieve(p *plan.Plan) (*Result, error) {
 	}
 
 	if e.parallelOK(t, dom0) {
-		parts, err := e.retrieveParallel(p, t, main, exist, dom0)
+		parts, err := e.retrieveParallel(ctx, p, t, main, exist, dom0)
 		if err != nil {
 			return nil, err
 		}
@@ -133,7 +155,15 @@ func (e *Executor) Retrieve(p *plan.Plan) (*Result, error) {
 		}
 	} else {
 		emit := e.emitter(t, en, main, res, &stats)
+		done := ctx.Done()
 		for _, it := range dom0 {
+			if done != nil {
+				select {
+				case <-done:
+					return nil, ctx.Err()
+				default:
+				}
+			}
 			stats.Instances++
 			en.bind(main[0], it)
 			if err := e.runNest(p, t, main, exist, en, 1, &stats, emit); err != nil {
@@ -222,7 +252,7 @@ type partial struct {
 // retrieveParallel splits the outermost domain into one contiguous chunk
 // per worker and runs the remaining loop nest in each worker with a
 // private environment. Chunks are returned in domain order.
-func (e *Executor) retrieveParallel(p *plan.Plan, t *query.Tree, main, exist []*query.Node, dom0 []inst) ([]*partial, error) {
+func (e *Executor) retrieveParallel(ctx context.Context, p *plan.Plan, t *query.Tree, main, exist []*query.Node, dom0 []inst) ([]*partial, error) {
 	nw := e.workers
 	if nw > len(dom0) {
 		nw = len(dom0)
@@ -243,7 +273,7 @@ func (e *Executor) retrieveParallel(p *plan.Plan, t *query.Tree, main, exist []*
 		wg.Add(1)
 		go func(ci int) {
 			defer wg.Done()
-			parts[ci], errs[ci] = e.runChunk(p, t, main, exist, chunks[ci])
+			parts[ci], errs[ci] = e.runChunk(ctx, p, t, main, exist, chunks[ci])
 		}(ci)
 	}
 	wg.Wait()
@@ -255,8 +285,9 @@ func (e *Executor) retrieveParallel(p *plan.Plan, t *query.Tree, main, exist []*
 	return parts, nil
 }
 
-// runChunk executes the loop nest for one slice of the outermost domain.
-func (e *Executor) runChunk(p *plan.Plan, t *query.Tree, main, exist []*query.Node, chunk []inst) (*partial, error) {
+// runChunk executes the loop nest for one slice of the outermost domain,
+// checking cancellation between outer-range rows.
+func (e *Executor) runChunk(ctx context.Context, p *plan.Plan, t *query.Tree, main, exist []*query.Node, chunk []inst) (*partial, error) {
 	en := newEnv(len(t.Nodes))
 	part := &partial{}
 	emit := func() error {
@@ -281,7 +312,15 @@ func (e *Executor) runChunk(p *plan.Plan, t *query.Tree, main, exist []*query.No
 		part.order = append(part.order, order)
 		return nil
 	}
+	done := ctx.Done()
 	for _, it := range chunk {
+		if done != nil {
+			select {
+			case <-done:
+				return nil, ctx.Err()
+			default:
+			}
+		}
 		part.stats.Instances++
 		en.bind(main[0], it)
 		if err := e.runNest(p, t, main, exist, en, 1, &part.stats, emit); err != nil {

@@ -46,6 +46,14 @@ type Group struct {
 // Rows returns the tabular rows.
 func (r *Result) Rows() [][]value.Value { return r.rows }
 
+// RemoteResult reconstructs a Result from data decoded off the wire
+// protocol (internal/wire). The result is fully finished — ORDER BY and
+// DISTINCT were applied server-side — so it only carries the rows, the
+// optional structured tree, and the execution stats.
+func RemoteResult(names []string, rows [][]value.Value, structured *Group, stats Stats) *Result {
+	return &Result{Names: names, Stats: stats, rows: rows, Structured: structured}
+}
+
 // NumRows returns the tabular row count.
 func (r *Result) NumRows() int { return len(r.rows) }
 

@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -36,8 +37,8 @@ type roleEvent struct {
 
 // Insert executes §4.8's INSERT: create a new entity, or — with FROM —
 // extend the roles of existing entities. It returns the affected entity
-// count.
-func (e *Executor) Insert(stmt *ast.InsertStmt) (int, error) {
+// count. Cancellation is checked between entities of the FROM selection.
+func (e *Executor) Insert(ctx context.Context, stmt *ast.InsertStmt) (int, error) {
 	cl, err := e.cat.MustClass(stmt.Class)
 	if err != nil {
 		return 0, err
@@ -67,7 +68,7 @@ func (e *Executor) Insert(stmt *ast.InsertStmt) (int, error) {
 		if !catalog.IsAncestor(from, cl) {
 			return 0, fmt.Errorf("INSERT %s FROM %s: %s is not an ancestor of %s", cl.Name, from.Name, from.Name, cl.Name)
 		}
-		matches, err := e.SelectEntities(from, stmt.FromWhere)
+		matches, err := e.SelectEntitiesCtx(ctx, from, stmt.FromWhere)
 		if err != nil {
 			return 0, err
 		}
@@ -75,6 +76,9 @@ func (e *Executor) Insert(stmt *ast.InsertStmt) (int, error) {
 			return 0, fmt.Errorf("INSERT %s FROM %s selected no entities", cl.Name, from.Name)
 		}
 		for _, s := range matches {
+			if err := ctxErr(ctx); err != nil {
+				return 0, err
+			}
 			added, err := e.m.ExtendRole(s, cl)
 			if err != nil {
 				return 0, err
@@ -95,18 +99,21 @@ func (e *Executor) Insert(stmt *ast.InsertStmt) (int, error) {
 }
 
 // Modify executes §4.8's MODIFY against every entity of the class
-// satisfying WHERE.
-func (e *Executor) Modify(stmt *ast.ModifyStmt) (int, error) {
+// satisfying WHERE. Cancellation is checked between selected entities.
+func (e *Executor) Modify(ctx context.Context, stmt *ast.ModifyStmt) (int, error) {
 	cl, err := e.cat.MustClass(stmt.Class)
 	if err != nil {
 		return 0, err
 	}
-	matches, err := e.SelectEntities(cl, stmt.Where)
+	matches, err := e.SelectEntitiesCtx(ctx, cl, stmt.Where)
 	if err != nil {
 		return 0, err
 	}
 	ev := &events{}
 	for _, s := range matches {
+		if err := ctxErr(ctx); err != nil {
+			return 0, err
+		}
 		if err := e.applyAssigns(s, cl, stmt.Assigns, ev); err != nil {
 			return 0, err
 		}
@@ -115,18 +122,22 @@ func (e *Executor) Modify(stmt *ast.ModifyStmt) (int, error) {
 }
 
 // Delete executes §4.8's DELETE: the entities lose their role in the class
-// and every subclass role, keeping superclass roles.
-func (e *Executor) Delete(stmt *ast.DeleteStmt) (int, error) {
+// and every subclass role, keeping superclass roles. Cancellation is
+// checked between selected entities.
+func (e *Executor) Delete(ctx context.Context, stmt *ast.DeleteStmt) (int, error) {
 	cl, err := e.cat.MustClass(stmt.Class)
 	if err != nil {
 		return 0, err
 	}
-	matches, err := e.SelectEntities(cl, stmt.Where)
+	matches, err := e.SelectEntitiesCtx(ctx, cl, stmt.Where)
 	if err != nil {
 		return 0, err
 	}
 	ev := &events{}
 	for _, s := range matches {
+		if err := ctxErr(ctx); err != nil {
+			return 0, err
+		}
 		// Snapshot the relationship instances about to be destroyed, for
 		// trigger detection on surviving partners.
 		doomed := []*catalog.Class{cl}
@@ -163,6 +174,12 @@ func (e *Executor) Delete(stmt *ast.DeleteStmt) (int, error) {
 // when where is nil), in surrogate order. The result is materialized
 // before any mutation, as the DML's snapshot semantics require.
 func (e *Executor) SelectEntities(cl *catalog.Class, where ast.Expr) ([]value.Surrogate, error) {
+	return e.SelectEntitiesCtx(context.Background(), cl, where)
+}
+
+// SelectEntitiesCtx is SelectEntities under a context, checking
+// cancellation between rows of the enumerated class domain.
+func (e *Executor) SelectEntitiesCtx(ctx context.Context, cl *catalog.Class, where ast.Expr) ([]value.Surrogate, error) {
 	t, err := query.BindSelection(e.cat, cl, where)
 	if err != nil {
 		return nil, err
@@ -180,6 +197,9 @@ func (e *Executor) SelectEntities(cl *catalog.Class, where ast.Expr) ([]value.Su
 	exist := t.ExistNodes()
 	var out []value.Surrogate
 	for _, it := range dom {
+		if err := ctxErr(ctx); err != nil {
+			return nil, err
+		}
 		en.bind(root, it)
 		ok, err := e.selectionHolds(t, en, exist)
 		if err != nil {

@@ -2,6 +2,7 @@ package parser
 
 import (
 	"strconv"
+	"strings"
 	"time"
 
 	"sim/internal/ast"
@@ -44,6 +45,57 @@ func ParseStmts(src string) ([]ast.Stmt, error) {
 		out = append(out, s)
 	}
 	return out, nil
+}
+
+// SplitStmts splits a DML script into the source text of each statement,
+// validating that the whole script parses. Boundaries come from the
+// parser itself, so '.' inside strings or numbers never splits. Remote
+// front ends use this to ship a script one statement at a time.
+func SplitStmts(src string) ([]string, error) {
+	p, err := New(src)
+	if err != nil {
+		return nil, err
+	}
+	var starts []token.Pos
+	for p.cur().Kind != token.EOF {
+		starts = append(starts, p.cur().Pos)
+		if _, err := p.parseStmt(); err != nil {
+			return nil, err
+		}
+	}
+	offs := posOffsets(src, starts)
+	out := make([]string, len(starts))
+	for i := range starts {
+		end := len(src)
+		if i+1 < len(starts) {
+			end = offs[i+1]
+		}
+		out[i] = strings.TrimSpace(src[offs[i]:end])
+	}
+	return out, nil
+}
+
+// posOffsets converts ascending token positions to byte offsets by
+// replaying the lexer's line/column accounting over src.
+func posOffsets(src string, ps []token.Pos) []int {
+	out := make([]int, len(ps))
+	line, col, j := 1, 1, 0
+	for i := 0; i < len(src) && j < len(ps); i++ {
+		for j < len(ps) && ps[j].Line == line && ps[j].Col == col {
+			out[j] = i
+			j++
+		}
+		if src[i] == '\n' {
+			line++
+			col = 1
+		} else {
+			col++
+		}
+	}
+	for ; j < len(ps); j++ {
+		out[j] = len(src)
+	}
+	return out
 }
 
 func (p *Parser) parseStmt() (ast.Stmt, error) {

@@ -1,0 +1,409 @@
+// Package server runs a SIM database as a network service: the shared
+// SIM kernel of the paper's Figure 1, reachable by IQF-style front ends
+// (cmd/simdb -connect), the benchmark harness, and any client speaking
+// internal/wire. One server wraps one *sim.Database; each TCP connection
+// is a session issuing one request at a time.
+//
+// The server bounds concurrent connections, applies read/write and
+// per-request deadlines, isolates per-connection panics, keeps an atomic
+// counter set surfaced through the STATS frame, and drains in-flight
+// requests on graceful shutdown.
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sim"
+	"sim/internal/wire"
+)
+
+// Config tunes a Server. The zero value is usable: 64 connections, no
+// idle or request deadlines, the wire package's default frame limit.
+type Config struct {
+	// MaxConns bounds concurrently open connections (default 64).
+	// Connections beyond it receive a CodeBusy error frame and are closed.
+	MaxConns int
+	// ReadTimeout is the per-frame read deadline. A session idle past it
+	// is closed; clients reconnect transparently (see package client).
+	ReadTimeout time.Duration
+	// WriteTimeout is the deadline for writing one response frame.
+	WriteTimeout time.Duration
+	// RequestTimeout bounds the execution of one Query/Exec request via
+	// context cancellation inside the executor. Zero means unbounded.
+	RequestTimeout time.Duration
+	// MaxFrame bounds accepted request frames (default wire.DefaultMaxFrame).
+	MaxFrame int
+	// Logf, when set, receives connection-level diagnostics.
+	Logf func(format string, args ...any)
+}
+
+// ErrServerClosed is returned by Serve after Shutdown or Close.
+var ErrServerClosed = errors.New("server: closed")
+
+// handshakeTimeout bounds the initial Hello exchange.
+const handshakeTimeout = 10 * time.Second
+
+// Server serves one database over TCP.
+type Server struct {
+	db  *sim.Database
+	cfg Config
+
+	mu       sync.Mutex
+	lis      net.Listener
+	conns    map[net.Conn]struct{}
+	quit     chan struct{}
+	quitOnce sync.Once
+
+	inflight sync.WaitGroup // requests being executed
+	handlers sync.WaitGroup // connection goroutines
+
+	connections atomic.Uint64
+	active      atomic.Int64
+	requests    atomic.Uint64
+	bytesIn     atomic.Uint64
+	bytesOut    atomic.Uint64
+	errors      atomic.Uint64
+}
+
+// New returns an unstarted server over db.
+func New(db *sim.Database, cfg Config) *Server {
+	if cfg.MaxConns <= 0 {
+		cfg.MaxConns = 64
+	}
+	if cfg.MaxFrame <= 0 {
+		cfg.MaxFrame = wire.DefaultMaxFrame
+	}
+	return &Server{
+		db:    db,
+		cfg:   cfg,
+		conns: make(map[net.Conn]struct{}),
+		quit:  make(chan struct{}),
+	}
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+// ListenAndServe listens on addr ("host:port") and serves until Shutdown.
+func (s *Server) ListenAndServe(addr string) error {
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(lis)
+}
+
+// Addr returns the listener's address once Serve has been called (handy
+// with ":0" listeners in tests and benchmarks).
+func (s *Server) Addr() net.Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.lis == nil {
+		return nil
+	}
+	return s.lis.Addr()
+}
+
+// Serve accepts connections on lis until Shutdown closes it. It always
+// returns a non-nil error; after a clean shutdown, ErrServerClosed.
+func (s *Server) Serve(lis net.Listener) error {
+	s.mu.Lock()
+	select {
+	case <-s.quit:
+		s.mu.Unlock()
+		lis.Close()
+		return ErrServerClosed
+	default:
+	}
+	s.lis = lis
+	s.mu.Unlock()
+	for {
+		conn, err := lis.Accept()
+		if err != nil {
+			select {
+			case <-s.quit:
+				return ErrServerClosed
+			default:
+			}
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() {
+				continue
+			}
+			return err
+		}
+		if int(s.active.Load()) >= s.cfg.MaxConns {
+			s.errors.Add(1)
+			s.writeFrame(conn, wire.TError, wire.EncodeError(wire.CodeBusy,
+				fmt.Sprintf("server at its %d-connection limit", s.cfg.MaxConns)))
+			conn.Close()
+			continue
+		}
+		s.connections.Add(1)
+		s.active.Add(1)
+		s.track(conn)
+		s.handlers.Add(1)
+		go s.handle(conn)
+	}
+}
+
+func (s *Server) track(conn net.Conn) {
+	s.mu.Lock()
+	s.conns[conn] = struct{}{}
+	s.mu.Unlock()
+}
+
+func (s *Server) untrack(conn net.Conn) {
+	s.mu.Lock()
+	delete(s.conns, conn)
+	s.mu.Unlock()
+}
+
+// handle runs one session. A panic anywhere in the session — including
+// inside the executor — is contained here: the connection dies, the
+// server does not.
+func (s *Server) handle(conn net.Conn) {
+	defer s.handlers.Done()
+	defer func() {
+		if p := recover(); p != nil {
+			s.errors.Add(1)
+			s.logf("server: panic on %s: %v", conn.RemoteAddr(), p)
+		}
+		s.untrack(conn)
+		conn.Close()
+		s.active.Add(-1)
+	}()
+
+	if err := s.handshake(conn); err != nil {
+		s.errors.Add(1)
+		s.logf("server: handshake with %s: %v", conn.RemoteAddr(), err)
+		return
+	}
+
+	for {
+		select {
+		case <-s.quit:
+			return
+		default:
+		}
+		if s.cfg.ReadTimeout > 0 {
+			conn.SetReadDeadline(time.Now().Add(s.cfg.ReadTimeout))
+		}
+		t, payload, err := s.readFrame(conn)
+		if err != nil {
+			// EOF and idle timeouts are the normal end of a session;
+			// anything decodable as a protocol violation gets a last
+			// error frame so the client can tell what happened.
+			if errors.Is(err, wire.ErrFrameTooLarge) || strings.HasPrefix(err.Error(), "wire:") {
+				s.errors.Add(1)
+				s.writeFrame(conn, wire.TError, wire.EncodeError(wire.CodeProtocol, err.Error()))
+			}
+			return
+		}
+		if !s.serveRequest(conn, t, payload) {
+			return
+		}
+	}
+}
+
+// handshake performs the Hello exchange.
+func (s *Server) handshake(conn net.Conn) error {
+	conn.SetDeadline(time.Now().Add(handshakeTimeout))
+	defer conn.SetDeadline(time.Time{})
+	t, payload, err := s.readFrame(conn)
+	if err != nil {
+		return err
+	}
+	if t != wire.THello {
+		s.writeFrame(conn, wire.TError, wire.EncodeError(wire.CodeProtocol, "expected Hello"))
+		return fmt.Errorf("first frame %v, want Hello", t)
+	}
+	v, err := wire.DecodeHello(payload)
+	if err != nil {
+		s.writeFrame(conn, wire.TError, wire.EncodeError(wire.CodeProtocol, err.Error()))
+		return err
+	}
+	if v != wire.Version {
+		msg := fmt.Sprintf("protocol version %d not supported (server speaks %d)", v, wire.Version)
+		s.writeFrame(conn, wire.TError, wire.EncodeError(wire.CodeProtocol, msg))
+		return errors.New(msg)
+	}
+	return s.writeFrame(conn, wire.THello, wire.EncodeHello())
+}
+
+// serveRequest executes one request and writes its response, reporting
+// whether the session should continue.
+func (s *Server) serveRequest(conn net.Conn, t wire.Type, payload []byte) bool {
+	s.requests.Add(1)
+	s.inflight.Add(1)
+	rt, resp := func() (wire.Type, []byte) {
+		defer s.inflight.Done()
+		return s.dispatch(t, payload)
+	}()
+	if rt == wire.TError {
+		s.errors.Add(1)
+	}
+	if err := s.writeFrame(conn, rt, resp); err != nil {
+		s.logf("server: write to %s: %v", conn.RemoteAddr(), err)
+		return false
+	}
+	return true
+}
+
+// dispatch executes one request frame against the database.
+func (s *Server) dispatch(t wire.Type, payload []byte) (wire.Type, []byte) {
+	ctx := context.Background()
+	if s.cfg.RequestTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.RequestTimeout)
+		defer cancel()
+	}
+	switch t {
+	case wire.TPing:
+		return wire.TPong, nil
+	case wire.TQuery:
+		r, err := s.db.QueryCtx(ctx, string(payload))
+		if err != nil {
+			return wire.TError, encodeErr(ctx, err)
+		}
+		return wire.TResult, wire.EncodeResult(r)
+	case wire.TExec:
+		n, err := s.db.ExecCtx(ctx, string(payload))
+		if err != nil {
+			return wire.TError, encodeErr(ctx, err)
+		}
+		return wire.TExecOK, wire.EncodeCount(n)
+	case wire.TExplain:
+		text, err := s.db.Explain(string(payload))
+		if err != nil {
+			return wire.TError, encodeErr(ctx, err)
+		}
+		return wire.TExplainOK, []byte(text)
+	case wire.TCheckpoint:
+		if err := s.db.Checkpoint(); err != nil {
+			return wire.TError, encodeErr(ctx, err)
+		}
+		return wire.TOK, nil
+	case wire.TStats:
+		return wire.TStatsOK, wire.EncodeServerStats(s.Stats())
+	default:
+		return wire.TError, wire.EncodeError(wire.CodeProtocol, fmt.Sprintf("unexpected frame %v", t))
+	}
+}
+
+// encodeErr classifies a database error into a wire error frame.
+func encodeErr(ctx context.Context, err error) []byte {
+	code := wire.CodeExec
+	switch {
+	case errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) || ctx.Err() != nil:
+		code = wire.CodeTimeout
+	case strings.HasPrefix(err.Error(), "parse error") || strings.HasPrefix(err.Error(), "lex error"):
+		code = wire.CodeParse
+	case strings.Contains(err.Error(), "unknown class") ||
+		strings.Contains(err.Error(), "unknown perspective class") ||
+		strings.Contains(err.Error(), "has no attribute"):
+		code = wire.CodeSemantic
+	}
+	return wire.EncodeError(code, err.Error())
+}
+
+func (s *Server) readFrame(conn net.Conn) (wire.Type, []byte, error) {
+	t, payload, err := wire.ReadFrame(conn, s.cfg.MaxFrame)
+	if err == nil {
+		s.bytesIn.Add(uint64(5 + len(payload)))
+	}
+	return t, payload, err
+}
+
+func (s *Server) writeFrame(conn net.Conn, t wire.Type, payload []byte) error {
+	if s.cfg.WriteTimeout > 0 {
+		conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
+		defer conn.SetWriteDeadline(time.Time{})
+	}
+	err := wire.WriteFrame(conn, t, payload)
+	if err == nil {
+		s.bytesOut.Add(uint64(5 + len(payload)))
+	}
+	return err
+}
+
+// Stats returns the server's lifetime counters.
+func (s *Server) Stats() wire.ServerStats {
+	return wire.ServerStats{
+		Connections: s.connections.Load(),
+		Active:      uint64(max(s.active.Load(), 0)),
+		Requests:    s.requests.Load(),
+		BytesIn:     s.bytesIn.Load(),
+		BytesOut:    s.bytesOut.Load(),
+		Errors:      s.errors.Load(),
+	}
+}
+
+// Shutdown gracefully stops the server: it stops accepting, lets every
+// in-flight request finish and flush its response (or until ctx expires),
+// then closes all connections. Sessions between requests are simply
+// closed — the client's reconnect logic treats that as an idle close.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.quitOnce.Do(func() { close(s.quit) })
+	s.mu.Lock()
+	if s.lis != nil {
+		s.lis.Close()
+	}
+	s.mu.Unlock()
+
+	drained := make(chan struct{})
+	go func() {
+		s.inflight.Wait()
+		close(drained)
+	}()
+	var err error
+	select {
+	case <-drained:
+	case <-ctx.Done():
+		err = ctx.Err()
+	}
+
+	// Give each handler a beat to write the response of the request that
+	// just drained, then cut the remaining (idle or stuck) connections.
+	s.mu.Lock()
+	for conn := range s.conns {
+		conn.SetReadDeadline(time.Now())
+	}
+	s.mu.Unlock()
+	finished := make(chan struct{})
+	go func() {
+		s.handlers.Wait()
+		close(finished)
+	}()
+	select {
+	case <-finished:
+	case <-time.After(time.Second):
+		s.mu.Lock()
+		for conn := range s.conns {
+			conn.Close()
+		}
+		s.mu.Unlock()
+		<-finished
+	}
+	return err
+}
+
+// Close is Shutdown with no grace period.
+func (s *Server) Close() error {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := s.Shutdown(ctx)
+	if errors.Is(err, context.Canceled) {
+		return nil
+	}
+	return err
+}

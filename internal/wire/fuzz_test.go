@@ -1,0 +1,74 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+
+	"sim/internal/exec"
+	"sim/internal/value"
+)
+
+// FuzzDecodeFrame feeds arbitrary bytes through the full inbound path a
+// peer exposes to the network: frame framing, then the payload decoder
+// for the frame's type. Nothing here may panic or allocate
+// unboundedly — a malformed or truncated frame must come back as an
+// error. Run continuously with:
+//
+//	go test ./internal/wire -run='^$' -fuzz FuzzDecodeFrame
+func FuzzDecodeFrame(f *testing.F) {
+	// Seed corpus: one well-formed frame of every payload-carrying type,
+	// plus classic corruption shapes. testdata/fuzz holds more.
+	f.Add(frame(THello, EncodeHello()))
+	f.Add(frame(TQuery, []byte(`From student Retrieve name.`)))
+	f.Add(frame(TError, EncodeError(CodeExec, "integrity violation v2")))
+	f.Add(frame(TExecOK, EncodeCount(1729)))
+	f.Add(frame(TStatsOK, EncodeServerStats(ServerStats{Connections: 3, Requests: 99})))
+	res := exec.RemoteResult(
+		[]string{"name", "advisor"},
+		[][]value.Value{{value.NewString("x"), value.Null}, {value.NewInt(7), value.NewNumber(2.5)}},
+		&exec.Group{Label: "result", Children: []*exec.Group{{Label: "s", Values: []value.Value{value.NewString("x")}, Indexes: []int{0}}}},
+		exec.Stats{Instances: 4, Rows: 2})
+	f.Add(frame(TResult, EncodeResult(res)))
+	f.Add([]byte{})                             // nothing
+	f.Add([]byte{0, 0, 0, 0, 0})                // zero-length frame
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0x20}) // absurd length
+	f.Add(frame(TResult, []byte{0x80, 0x80, 0x80, 0x80, 0x80, 0x20}))
+	f.Add(frame(Type(0xEE), []byte("unknown type")))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := bytes.NewReader(data)
+		// Cap far below DefaultMaxFrame so hostile length prefixes cannot
+		// make the harness itself allocate gigabytes.
+		typ, payload, err := ReadFrame(r, 1<<20)
+		if err != nil {
+			return
+		}
+		switch typ {
+		case THello:
+			DecodeHello(payload)
+		case TResult:
+			if res, err := DecodeResult(payload); err == nil {
+				// A decoded result must survive re-encoding: the frames a
+				// server emits from it must round-trip.
+				if _, err := DecodeResult(EncodeResult(res)); err != nil {
+					t.Fatalf("re-encode of decoded result failed: %v", err)
+				}
+			}
+		case TError:
+			if e, err := DecodeError(payload); err == nil {
+				_ = e.Error()
+			}
+		case TExecOK:
+			DecodeCount(payload)
+		case TStatsOK:
+			DecodeServerStats(payload)
+		}
+	})
+}
+
+// frame wraps a payload in the length/type header, as WriteFrame would.
+func frame(t Type, payload []byte) []byte {
+	var buf bytes.Buffer
+	WriteFrame(&buf, t, payload)
+	return buf.Bytes()
+}

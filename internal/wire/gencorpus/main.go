@@ -1,0 +1,62 @@
+// Command gencorpus regenerates the committed fuzz seed corpus under
+// internal/wire/testdata/fuzz/FuzzDecodeFrame: one well-formed frame per
+// payload-carrying type plus truncation/corruption shapes, in the Go
+// fuzz corpus file format.
+//
+//	go run ./internal/wire/gencorpus internal/wire/testdata/fuzz/FuzzDecodeFrame
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"sim/internal/exec"
+	"sim/internal/value"
+	"sim/internal/wire"
+)
+
+func frame(t wire.Type, payload []byte) []byte {
+	var buf bytes.Buffer
+	wire.WriteFrame(&buf, t, payload)
+	return buf.Bytes()
+}
+
+func main() {
+	if len(os.Args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: gencorpus <corpus-dir>")
+		os.Exit(2)
+	}
+	dir := os.Args[1]
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		panic(err)
+	}
+	res := exec.RemoteResult(
+		[]string{"name", "degree", "when"},
+		[][]value.Value{
+			{value.NewString("Doe, John"), value.NewSymbolic("PHD", 3), value.NewDate(6725)},
+			{value.NewString(""), value.Null, value.NewNumber(-0.5)},
+		},
+		&exec.Group{Label: "result", Children: []*exec.Group{
+			{Label: "student", Values: []value.Value{value.NewString("Doe, John")}, Indexes: []int{0},
+				Children: []*exec.Group{{Label: "course", Level: 1, Values: []value.Value{value.NewInt(42)}, Indexes: []int{1}}}},
+		}},
+		exec.Stats{Instances: 12, Rows: 2})
+	seeds := map[string][]byte{
+		"hello":          frame(wire.THello, wire.EncodeHello()),
+		"query":          frame(wire.TQuery, []byte(`From student Retrieve name, name of advisor Where student-nbr = 1729.`)),
+		"result":         frame(wire.TResult, wire.EncodeResult(res)),
+		"error":          frame(wire.TError, wire.EncodeError(wire.CodeTimeout, "request deadline exceeded")),
+		"count":          frame(wire.TExecOK, wire.EncodeCount(38000)),
+		"stats":          frame(wire.TStatsOK, wire.EncodeServerStats(wire.ServerStats{Connections: 8, Active: 2, Requests: 640, BytesIn: 1 << 20, BytesOut: 9, Errors: 1})),
+		"truncated":      frame(wire.TResult, wire.EncodeResult(res))[:20],
+		"hostile-length": {0xFF, 0xFF, 0xFF, 0xFE, byte(wire.TResult), 1, 2, 3},
+	}
+	for name, data := range seeds {
+		body := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", data)
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(body), 0o644); err != nil {
+			panic(err)
+		}
+	}
+}

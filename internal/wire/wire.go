@@ -1,0 +1,228 @@
+// Package wire defines the binary client/server protocol spoken between
+// the SIM server (internal/server) and its clients (package client). The
+// paper's Figure 1 places SIM behind a set of interface products — IQF,
+// ADDS, workstation front ends — that reach the kernel as a shared
+// service; this protocol is the reproduction's version of that boundary.
+//
+// Every message is one frame:
+//
+//	uint32 big-endian length | one type byte | payload (length-1 bytes)
+//
+// The length covers the type byte and payload. A session opens with a
+// Hello exchange (magic "SIMW" + one version byte in each direction);
+// after that the client sends request frames and reads exactly one
+// response frame per request. Result sets reuse the storage substrate's
+// self-delimiting value encoding (internal/value), so a remote result
+// decodes into the same exec.Result the in-process API returns.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Magic opens every Hello payload.
+const Magic = "SIMW"
+
+// Version is the protocol version this build speaks. A server refuses a
+// Hello carrying any other version with CodeProtocol.
+const Version = 1
+
+// DefaultMaxFrame bounds the frames a peer will accept (length field
+// inclusive of the type byte). Large result sets stream inside a single
+// frame, so the default is generous.
+const DefaultMaxFrame = 64 << 20
+
+// Type tags a frame. Requests are 0x1x, responses 0x2x.
+type Type byte
+
+// Frame types.
+const (
+	THello      Type = 0x01 // both directions: magic + version
+	TQuery      Type = 0x10 // payload: DML text of one Retrieve
+	TExec       Type = 0x11 // payload: DML text of one update statement
+	TExplain    Type = 0x12 // payload: DML text of one Retrieve
+	TCheckpoint Type = 0x13 // no payload
+	TStats      Type = 0x14 // no payload
+	TPing       Type = 0x15 // no payload
+	TResult     Type = 0x20 // payload: result set (EncodeResult)
+	TExecOK     Type = 0x21 // payload: uvarint affected-entity count
+	TExplainOK  Type = 0x22 // payload: strategy text
+	TOK         Type = 0x23 // no payload (Checkpoint ack)
+	TStatsOK    Type = 0x24 // payload: ServerStats
+	TPong       Type = 0x25 // no payload
+	TError      Type = 0x2F // payload: uvarint code + message text
+)
+
+var typeNames = map[Type]string{
+	THello: "Hello", TQuery: "Query", TExec: "Exec", TExplain: "Explain",
+	TCheckpoint: "Checkpoint", TStats: "Stats", TPing: "Ping",
+	TResult: "Result", TExecOK: "ExecOK", TExplainOK: "ExplainOK",
+	TOK: "OK", TStatsOK: "StatsOK", TPong: "Pong", TError: "Error",
+}
+
+func (t Type) String() string {
+	if n, ok := typeNames[t]; ok {
+		return n
+	}
+	return fmt.Sprintf("Type(0x%02x)", byte(t))
+}
+
+// Code classifies an Error frame.
+type Code uint32
+
+// Error codes.
+const (
+	CodeUnknown  Code = iota
+	CodeParse         // the statement text failed to parse
+	CodeSemantic      // bind/plan error (unknown class, attribute, type mix)
+	CodeExec          // runtime failure (integrity violation, I/O, ...)
+	CodeProtocol      // malformed frame, bad handshake, unknown type
+	CodeTimeout       // the per-request deadline expired
+	CodeBusy          // connection limit reached
+	CodeShutdown      // server is draining
+	CodeInternal      // server-side panic or invariant failure
+)
+
+var codeNames = [...]string{"unknown", "parse", "semantic", "exec", "protocol", "timeout", "busy", "shutdown", "internal"}
+
+func (c Code) String() string {
+	if int(c) < len(codeNames) {
+		return codeNames[c]
+	}
+	return fmt.Sprintf("code(%d)", uint32(c))
+}
+
+// Error is a structured protocol error: the remote failure a client
+// observes, carrying the server's classification.
+type Error struct {
+	Code Code
+	Msg  string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("sim: remote %s error: %s", e.Code, e.Msg) }
+
+// WriteFrame writes one frame. Payload may be nil.
+func WriteFrame(w io.Writer, t Type, payload []byte) error {
+	buf := make([]byte, 5+len(payload))
+	binary.BigEndian.PutUint32(buf, uint32(1+len(payload)))
+	buf[4] = byte(t)
+	copy(buf[5:], payload)
+	_, err := w.Write(buf)
+	return err
+}
+
+// ErrFrameTooLarge reports a frame whose declared length exceeds the
+// reader's limit; the connection is poisoned past it.
+var ErrFrameTooLarge = errors.New("wire: frame exceeds size limit")
+
+// ReadFrame reads one frame, rejecting declared lengths of zero or beyond
+// max (0 means DefaultMaxFrame).
+func ReadFrame(r io.Reader, max int) (Type, []byte, error) {
+	if max <= 0 {
+		max = DefaultMaxFrame
+	}
+	var hdr [5]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:4])
+	if n == 0 {
+		return 0, nil, fmt.Errorf("wire: zero-length frame")
+	}
+	if n > uint32(max) {
+		return 0, nil, fmt.Errorf("%w: %d > %d", ErrFrameTooLarge, n, max)
+	}
+	payload := make([]byte, n-1)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, err
+	}
+	return Type(hdr[4]), payload, nil
+}
+
+// EncodeHello builds a Hello payload.
+func EncodeHello() []byte {
+	return append([]byte(Magic), Version)
+}
+
+// DecodeHello validates a Hello payload and returns the peer's version.
+func DecodeHello(b []byte) (byte, error) {
+	if len(b) != len(Magic)+1 || string(b[:len(Magic)]) != Magic {
+		return 0, fmt.Errorf("wire: bad hello (not a SIM peer)")
+	}
+	return b[len(Magic)], nil
+}
+
+// EncodeError builds an Error payload.
+func EncodeError(code Code, msg string) []byte {
+	b := binary.AppendUvarint(nil, uint64(code))
+	return append(b, msg...)
+}
+
+// DecodeError decodes an Error payload.
+func DecodeError(b []byte) (*Error, error) {
+	code, n := binary.Uvarint(b)
+	if n <= 0 {
+		return nil, fmt.Errorf("wire: bad error frame")
+	}
+	return &Error{Code: Code(code), Msg: string(b[n:])}, nil
+}
+
+// EncodeCount builds an ExecOK payload.
+func EncodeCount(n int) []byte {
+	return binary.AppendUvarint(nil, uint64(n))
+}
+
+// DecodeCount decodes an ExecOK payload.
+func DecodeCount(b []byte) (int, error) {
+	n, ln := binary.Uvarint(b)
+	if ln <= 0 || ln != len(b) {
+		return 0, fmt.Errorf("wire: bad count frame")
+	}
+	return int(n), nil
+}
+
+// ServerStats is the atomic counter set a server reports in a StatsOK
+// frame: lifetime totals since the server started.
+type ServerStats struct {
+	Connections uint64 // connections accepted
+	Active      uint64 // connections currently open
+	Requests    uint64 // request frames served
+	BytesIn     uint64 // frame bytes read
+	BytesOut    uint64 // frame bytes written
+	Errors      uint64 // error frames sent + aborted connections
+}
+
+func (s ServerStats) String() string {
+	return fmt.Sprintf("conns=%d active=%d requests=%d bytes-in=%d bytes-out=%d errors=%d",
+		s.Connections, s.Active, s.Requests, s.BytesIn, s.BytesOut, s.Errors)
+}
+
+// EncodeServerStats builds a StatsOK payload.
+func EncodeServerStats(s ServerStats) []byte {
+	b := binary.AppendUvarint(nil, s.Connections)
+	b = binary.AppendUvarint(b, s.Active)
+	b = binary.AppendUvarint(b, s.Requests)
+	b = binary.AppendUvarint(b, s.BytesIn)
+	b = binary.AppendUvarint(b, s.BytesOut)
+	return binary.AppendUvarint(b, s.Errors)
+}
+
+// DecodeServerStats decodes a StatsOK payload.
+func DecodeServerStats(b []byte) (ServerStats, error) {
+	var s ServerStats
+	for _, f := range []*uint64{&s.Connections, &s.Active, &s.Requests, &s.BytesIn, &s.BytesOut, &s.Errors} {
+		v, n := binary.Uvarint(b)
+		if n <= 0 {
+			return ServerStats{}, fmt.Errorf("wire: bad stats frame")
+		}
+		*f = v
+		b = b[n:]
+	}
+	if len(b) != 0 {
+		return ServerStats{}, fmt.Errorf("wire: trailing bytes in stats frame")
+	}
+	return s, nil
+}

@@ -21,6 +21,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"strings"
@@ -240,10 +241,17 @@ func (db *Database) ResetStats() { db.store.ResetStats() }
 // statements hit the plan cache and skip parse/bind/optimize; the cache is
 // invalidated whenever the schema changes.
 func (db *Database) Query(dml string) (*Result, error) {
+	return db.QueryCtx(context.Background(), dml)
+}
+
+// QueryCtx is Query under a context: cancellation or deadline expiry is
+// observed between rows of the outermost range, so long scans stop
+// promptly. The network server uses this for per-request deadlines.
+func (db *Database) QueryCtx(ctx context.Context, dml string) (*Result, error) {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
 	if p, ok := db.plans.get(dml); ok {
-		return db.exe.Retrieve(p)
+		return db.exe.RetrieveCtx(ctx, p)
 	}
 	stmt, err := parser.ParseStmt(dml)
 	if err != nil {
@@ -258,7 +266,7 @@ func (db *Database) Query(dml string) (*Result, error) {
 		return nil, err
 	}
 	db.plans.put(dml, p)
-	return db.exe.Retrieve(p)
+	return db.exe.RetrieveCtx(ctx, p)
 }
 
 // planRetrieve binds and optimizes a parsed Retrieve under the read lock.
@@ -306,16 +314,23 @@ func (db *Database) Explain(dml string) (string, error) {
 // transaction and returns the number of affected entities. On any error
 // the statement's effects are rolled back.
 func (db *Database) Exec(dml string) (int, error) {
+	return db.ExecCtx(context.Background(), dml)
+}
+
+// ExecCtx is Exec under a context. Cancellation is observed between the
+// entities an update selects; a cancelled statement rolls back like any
+// other failed statement, leaving the database unchanged.
+func (db *Database) ExecCtx(ctx context.Context, dml string) (int, error) {
 	stmt, err := parser.ParseStmt(dml)
 	if err != nil {
 		return 0, err
 	}
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	return db.execStmt(stmt)
+	return db.execStmt(ctx, stmt)
 }
 
-func (db *Database) execStmt(stmt ast.Stmt) (int, error) {
+func (db *Database) execStmt(ctx context.Context, stmt ast.Stmt) (int, error) {
 	tx, err := db.store.Begin()
 	if err != nil {
 		return 0, err
@@ -323,11 +338,11 @@ func (db *Database) execStmt(stmt ast.Stmt) (int, error) {
 	var n int
 	switch s := stmt.(type) {
 	case *ast.InsertStmt:
-		n, err = db.exe.Insert(s)
+		n, err = db.exe.Insert(ctx, s)
 	case *ast.ModifyStmt:
-		n, err = db.exe.Modify(s)
+		n, err = db.exe.Modify(ctx, s)
 	case *ast.DeleteStmt:
-		n, err = db.exe.Delete(s)
+		n, err = db.exe.Delete(ctx, s)
 	case *ast.RetrieveStmt:
 		tx.Rollback()
 		return 0, fmt.Errorf("sim: Exec wants an update statement; use Query for Retrieve")
@@ -364,7 +379,7 @@ func (db *Database) Run(script string) ([]*Result, error) {
 			continue
 		}
 		db.mu.Lock()
-		_, err := db.execStmt(s)
+		_, err := db.execStmt(context.Background(), s)
 		db.mu.Unlock()
 		if err != nil {
 			return out, fmt.Errorf("statement %d: %w", i+1, err)
