@@ -227,6 +227,37 @@ func (c *Conn) QueryCtx(ctx context.Context, dml string) (*sim.Result, error) {
 	return wire.DecodeResult(resp)
 }
 
+// QueryTrace executes one Retrieve statement on the server and returns
+// the result together with the server-side span breakdown (parse, plan,
+// execute, cache deltas, and the rendered EXPLAIN ANALYZE text).
+func (c *Conn) QueryTrace(dml string) (*sim.Result, wire.TraceInfo, error) {
+	return c.QueryTraceCtx(context.Background(), dml)
+}
+
+// QueryTraceCtx is QueryTrace under a context.
+func (c *Conn) QueryTraceCtx(ctx context.Context, dml string) (*sim.Result, wire.TraceInfo, error) {
+	resp, err := c.call(ctx, wire.TQueryTrace, []byte(dml), wire.TResultTrace, true)
+	if err != nil {
+		return nil, wire.TraceInfo{}, err
+	}
+	return wire.DecodeResultTrace(resp)
+}
+
+// ExplainAnalyze executes the statement on the server and returns the
+// annotated query tree with measured rows and timings.
+func (c *Conn) ExplainAnalyze(dml string) (string, error) {
+	return c.ExplainAnalyzeCtx(context.Background(), dml)
+}
+
+// ExplainAnalyzeCtx is ExplainAnalyze under a context.
+func (c *Conn) ExplainAnalyzeCtx(ctx context.Context, dml string) (string, error) {
+	_, ti, err := c.QueryTraceCtx(ctx, dml)
+	if err != nil {
+		return "", err
+	}
+	return ti.Rendered, nil
+}
+
 // Exec executes one update statement on the server and returns the
 // affected-entity count.
 func (c *Conn) Exec(dml string) (int, error) {

@@ -1,0 +1,83 @@
+package client_test
+
+import (
+	"strings"
+	"testing"
+
+	"sim/client"
+	"sim/internal/server"
+)
+
+// TestQueryTraceOverWire checks that a traced query round-trips the
+// result rows and the server-measured spans through the TQueryTrace /
+// TResultTrace frames.
+func TestQueryTraceOverWire(t *testing.T) {
+	_, addr := startServer(t, server.Config{})
+	c, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	r, ti, err := c.QueryTrace(`From student Retrieve name.`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.NumRows() != 1 || !strings.Contains(r.Format(), "Only, One") {
+		t.Fatalf("traced result:\n%s", r.Format())
+	}
+	if ti.Rows != 1 {
+		t.Errorf("trace rows = %d, want 1", ti.Rows)
+	}
+	if ti.TotalNS == 0 || ti.ExecNS == 0 {
+		t.Errorf("server spans not measured: %+v", ti)
+	}
+	if ti.ParseNS+ti.PlanNS+ti.ExecNS > ti.TotalNS {
+		t.Errorf("spans exceed total: %+v", ti)
+	}
+	for _, want := range []string{"rows=", "parse ", "total "} {
+		if !strings.Contains(ti.Rendered, want) {
+			t.Errorf("rendered trace missing %q:\n%s", want, ti.Rendered)
+		}
+	}
+
+	// A repeat hits the server's plan cache.
+	_, ti, err = c.QueryTrace(`From student Retrieve name.`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ti.PlanCached {
+		t.Error("second traced execution did not report a cached plan")
+	}
+
+	// ExplainAnalyze is the same frame, surfacing only the rendering.
+	out, err := c.ExplainAnalyze(`From student Retrieve name.`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "rows=1") {
+		t.Errorf("ExplainAnalyze output:\n%s", out)
+	}
+}
+
+// TestQueryTraceOverWireErrors checks that trace requests surface server
+// errors like plain queries do.
+func TestQueryTraceOverWireErrors(t *testing.T) {
+	_, addr := startServer(t, server.Config{})
+	c, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	if _, _, err := c.QueryTrace(`From nowhere Retrieve x.`); err == nil {
+		t.Error("bad traced query did not error")
+	}
+	if _, _, err := c.QueryTrace(`Insert student (name := "No", soc-sec-no := 2).`); err == nil {
+		t.Error("traced update did not error")
+	}
+	// The connection survives for the next request.
+	if _, err := c.Query(`From student Retrieve name.`); err != nil {
+		t.Errorf("query after trace errors: %v", err)
+	}
+}

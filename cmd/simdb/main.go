@@ -18,9 +18,14 @@
 //	\schema           print the schema summary (local only)
 //	\classes          list classes and their attributes (local only)
 //	\explain <query>  show the optimizer's strategy
+//	\analyze <query>  execute the query and show the measured per-node profile
+//	\timing [on|off]  print span timings (parse/plan/exec) after each query
 //	\check            run every VERIFY assertion (local only)
-//	\stats            print server counters (remote) or pool stats (local)
+//	\stats            print server counters (remote) or engine stats (local)
 //	\quit             exit
+//
+// \analyze and \timing work both locally and over -connect; remotely the
+// spans are measured server-side and shipped back on the wire.
 package main
 
 import (
@@ -44,7 +49,11 @@ type session interface {
 	Query(dml string) (*sim.Result, error)
 	Exec(dml string) (int, error)
 	Explain(dml string) (string, error)
+	ExplainAnalyze(dml string) (string, error)
 }
+
+// timing controls the per-query span line (\timing on|off).
+var timing bool
 
 func main() {
 	dbPath := flag.String("db", "", "database file (empty: in-memory)")
@@ -149,6 +158,30 @@ func command(s session, line string) bool {
 		} else {
 			fmt.Println(ex)
 		}
+	case `\analyze`:
+		out, err := s.ExplainAnalyze(rest)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+		} else {
+			fmt.Print(out)
+		}
+	case `\timing`:
+		switch strings.TrimSpace(rest) {
+		case "on":
+			timing = true
+		case "off":
+			timing = false
+		case "":
+			timing = !timing
+		default:
+			fmt.Fprintf(os.Stderr, "usage: \\timing [on|off]\n")
+			return true
+		}
+		if timing {
+			fmt.Println("timing on")
+		} else {
+			fmt.Println("timing off")
+		}
 	case `\check`:
 		if !local {
 			fmt.Fprintln(os.Stderr, `\check needs a local database`)
@@ -172,11 +205,13 @@ func command(s session, line string) bool {
 		st := db.Stats()
 		fmt.Printf("pool: hits=%d misses=%d  plans: hits=%d misses=%d\n",
 			st.Pool.Hits, st.Pool.Misses, st.Plans.Hits, st.Plans.Misses)
+		fmt.Printf("luc-cache: hits=%d misses=%d  exec: queries=%d rows=%d instances=%d\n",
+			st.Cache.Hits, st.Cache.Misses, st.Exec.Queries, st.Exec.Rows, st.Exec.Instances)
 	case `\help`:
 		fmt.Println(`statements end with '.' or ';'
 DDL:  Type/Class/Subclass/Verify declarations (via -schema or pasted; local only)
 DML:  Retrieve / Insert / Modify / Delete
-commands: \schema \classes \explain <q> \check \stats \quit`)
+commands: \schema \classes \explain <q> \analyze <q> \timing [on|off] \check \stats \quit`)
 	default:
 		fmt.Fprintf(os.Stderr, "unknown command %s (try \\help)\n", cmd)
 	}
@@ -214,7 +249,13 @@ func run(s session, text string) error {
 		return err
 	}
 	if ret, ok := stmt.(*ast.RetrieveStmt); ok {
-		r, err := s.Query(text)
+		var r *sim.Result
+		var spans string
+		if timing {
+			r, spans, err = timedQuery(s, text)
+		} else {
+			r, err = s.Query(text)
+		}
 		if err != nil {
 			return err
 		}
@@ -224,6 +265,9 @@ func run(s session, text string) error {
 			fmt.Print(r.Format())
 		}
 		fmt.Printf("(%d rows)\n", r.NumRows())
+		if spans != "" {
+			fmt.Println(spans)
+		}
 		return nil
 	}
 	n, err := s.Exec(text)
@@ -232,6 +276,34 @@ func run(s session, text string) error {
 	}
 	fmt.Printf("%d entity(ies) affected\n", n)
 	return nil
+}
+
+// timedQuery runs one Retrieve with span collection: locally through
+// Database.QueryTrace, remotely through the QueryTrace frame (spans are
+// measured on the server).
+func timedQuery(s session, text string) (*sim.Result, string, error) {
+	switch v := s.(type) {
+	case *sim.Database:
+		r, tr, err := v.QueryTrace(text)
+		if err != nil {
+			return nil, "", err
+		}
+		plan := tr.Plan.String()
+		if tr.PlanCached {
+			plan += " (cached)"
+		}
+		return r, fmt.Sprintf("time: parse %v  plan %s  exec %v  total %v",
+			tr.Parse, plan, tr.Exec, tr.Total), nil
+	case *client.Conn:
+		r, ti, err := v.QueryTrace(text)
+		if err != nil {
+			return nil, "", err
+		}
+		return r, "server " + ti.String(), nil
+	default:
+		r, err := s.Query(text)
+		return r, "", err
+	}
 }
 
 // runScript executes the -e argument: a DDL batch, or a script of one or

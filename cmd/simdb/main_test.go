@@ -210,9 +210,10 @@ func TestRunScriptParseErrorRunsNothing(t *testing.T) {
 // remote-mode restrictions without standing up a server.
 type remoteStub struct{}
 
-func (remoteStub) Query(string) (*sim.Result, error) { return nil, nil }
-func (remoteStub) Exec(string) (int, error)          { return 0, nil }
-func (remoteStub) Explain(string) (string, error)    { return "", nil }
+func (remoteStub) Query(string) (*sim.Result, error)     { return nil, nil }
+func (remoteStub) Exec(string) (int, error)              { return 0, nil }
+func (remoteStub) Explain(string) (string, error)        { return "", nil }
+func (remoteStub) ExplainAnalyze(string) (string, error) { return "", nil }
 
 func TestRemoteModeRejectsDDL(t *testing.T) {
 	err := run(remoteStub{}, `Class Widget ( wname: string[10] );`)

@@ -7,24 +7,34 @@
 //	simserve [-addr :1988] [-db file] [-schema ddl-file] [-university]
 //	         [-max-conns n] [-workers n] [-request-timeout d]
 //	         [-read-timeout d] [-write-timeout d] [-drain d]
+//	         [-log-level info] [-metrics addr] [-slow-query d] [-slow-request d]
 //
 // The database is opened (in-memory when -db is empty), the optional
 // schema is defined, and the server runs until SIGINT/SIGTERM, then
 // drains in-flight requests for the -drain grace period.
+//
+// With -metrics, a second HTTP listener serves the observability
+// surface: /metrics (Prometheus text exposition of every engine and
+// server metric), /debug/vars (expvar), and /debug/pprof.
 package main
 
 import (
 	"context"
 	"errors"
+	"expvar"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"sim"
+	"sim/internal/obs"
 	"sim/internal/server"
 	"sim/internal/university"
 )
@@ -41,31 +51,43 @@ func main() {
 	readTimeout := flag.Duration("read-timeout", 5*time.Minute, "idle session deadline (0: none)")
 	writeTimeout := flag.Duration("write-timeout", time.Minute, "response write deadline (0: none)")
 	drain := flag.Duration("drain", 10*time.Second, "graceful shutdown grace period")
+	logLevel := flag.String("log-level", "info", "log verbosity: debug, info, warn or error")
+	metricsAddr := flag.String("metrics", "", "HTTP listen address for /metrics, /debug/vars and /debug/pprof (empty: disabled)")
+	slowQuery := flag.Duration("slow-query", 0, "retain queries slower than this in the slow-query log (0: disabled)")
+	slowRequest := flag.Duration("slow-request", 0, "log requests slower than this at warn level (0: disabled)")
 	flag.Parse()
 
-	logger := log.New(os.Stderr, "simserve: ", log.LstdFlags)
-
-	db, err := sim.Open(*dbPath, sim.Config{PoolPages: *poolPages, Workers: *workers})
+	logger, err := newLogger(*logLevel)
 	if err != nil {
-		logger.Fatal(err)
+		fmt.Fprintf(os.Stderr, "simserve: %v\n", err)
+		os.Exit(2)
+	}
+
+	db, err := sim.Open(*dbPath, sim.Config{
+		PoolPages: *poolPages,
+		Workers:   *workers,
+		SlowQuery: *slowQuery,
+	})
+	if err != nil {
+		fatal(logger, "open database", err)
 	}
 	defer db.Close()
 
 	if *univ {
 		if err := db.DefineSchema(university.DDL); err != nil {
-			logger.Fatalf("university schema: %v", err)
+			fatal(logger, "define university schema", err)
 		}
-		logger.Print("UNIVERSITY schema defined")
+		logger.Info("UNIVERSITY schema defined")
 	}
 	if *schemaFile != "" {
 		ddl, err := os.ReadFile(*schemaFile)
 		if err != nil {
-			logger.Fatal(err)
+			fatal(logger, "read schema file", err)
 		}
 		if err := db.DefineSchema(string(ddl)); err != nil {
-			logger.Fatalf("schema %s: %v", *schemaFile, err)
+			fatal(logger, "define schema", err, "file", *schemaFile)
 		}
-		logger.Printf("schema %s defined", *schemaFile)
+		logger.Info("schema defined", "file", *schemaFile)
 	}
 
 	srv := server.New(db, server.Config{
@@ -73,29 +95,87 @@ func main() {
 		ReadTimeout:    *readTimeout,
 		WriteTimeout:   *writeTimeout,
 		RequestTimeout: *reqTimeout,
-		Logf:           logger.Printf,
+		Logger:         logger,
+		SlowRequest:    *slowRequest,
+		Registry:       db.Metrics(),
 	})
+
+	var metricsSrv *http.Server
+	if *metricsAddr != "" {
+		metricsSrv = &http.Server{Addr: *metricsAddr, Handler: metricsMux(db.Metrics())}
+		go func() {
+			logger.Info("metrics endpoint listening", "addr", *metricsAddr)
+			if err := metricsSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+				logger.Error("metrics endpoint failed", "err", err)
+			}
+		}()
+	}
 
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
 	done := make(chan error, 1)
 	go func() {
 		sig := <-sigc
-		logger.Printf("%v: draining (grace %v)", sig, *drain)
+		logger.Info("draining", "signal", sig.String(), "grace", *drain)
 		ctx, cancel := context.WithTimeout(context.Background(), *drain)
 		defer cancel()
+		if metricsSrv != nil {
+			metricsSrv.Shutdown(ctx)
+		}
 		done <- srv.Shutdown(ctx)
 	}()
 
-	logger.Printf("listening on %s", *addr)
+	logger.Info("listening", "addr", *addr)
 	if err := srv.ListenAndServe(*addr); !errors.Is(err, server.ErrServerClosed) {
-		logger.Fatal(err)
+		fatal(logger, "serve", err)
 	}
 	if err := <-done; err != nil {
-		logger.Printf("shutdown: %v", err)
+		logger.Error("shutdown incomplete", "err", err)
 		os.Exit(1)
 	}
 	st := srv.Stats()
-	fmt.Fprintf(os.Stderr, "simserve: served %d requests over %d connections (%s)\n",
-		st.Requests, st.Connections, st)
+	logger.Info("stopped", "requests", st.Requests, "connections", st.Connections,
+		"bytes_in", st.BytesIn, "bytes_out", st.BytesOut, "errors", st.Errors)
+}
+
+// newLogger builds the process logger at the requested level.
+func newLogger(level string) (*slog.Logger, error) {
+	var lv slog.Level
+	switch strings.ToLower(level) {
+	case "debug":
+		lv = slog.LevelDebug
+	case "info":
+		lv = slog.LevelInfo
+	case "warn":
+		lv = slog.LevelWarn
+	case "error":
+		lv = slog.LevelError
+	default:
+		return nil, fmt.Errorf("unknown -log-level %q (want debug, info, warn or error)", level)
+	}
+	return slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: lv})), nil
+}
+
+func fatal(logger *slog.Logger, msg string, err error, args ...any) {
+	logger.Error(msg, append([]any{"err", err}, args...)...)
+	os.Exit(1)
+}
+
+// metricsMux builds the observability HTTP surface over the database's
+// registry: Prometheus text on /metrics, the same snapshot through expvar
+// on /debug/vars, and the standard pprof handlers.
+func metricsMux(reg *obs.Registry) *http.ServeMux {
+	expvar.Publish("sim", expvar.Func(func() any { return reg.Snapshot() }))
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		reg.WritePrometheus(w)
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
 }

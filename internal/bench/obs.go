@@ -1,0 +1,87 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"sim"
+)
+
+// Obs — tracing overhead (this repo's observability extension): the §4.5
+// query tree instrumented with per-node spans and cache deltas, measured
+// against the untraced path on the T9 workload and query. The target is
+// that full span collection costs under ~3% per query, so EXPLAIN
+// ANALYZE and \timing are cheap enough to leave on in development.
+func Obs(w Workload, reps int) (*Table, error) {
+	t := &Table{
+		ID:     "OBS",
+		Title:  "Tracing overhead: untraced Query vs QueryTrace vs ExplainAnalyze",
+		Header: []string{"path", "time/query", "rows", "overhead"},
+		Notes:  "QueryTrace collects parse/plan/exec spans, per-node rows and walls, and\npager/LUC-cache deltas; ExplainAnalyze additionally renders the annotated\ntree. The untraced path pays only nil checks for the same machinery.",
+	}
+	db, err := BuildUniversity(sim.Config{}, w)
+	if err != nil {
+		return nil, err
+	}
+	defer db.Close()
+
+	const q = `From student Retrieve name, name of advisor.`
+	iters := 20 * reps
+
+	// Warm the plan cache and page pool on both paths before timing.
+	if _, err := db.Query(q); err != nil {
+		return nil, err
+	}
+	if _, _, err := db.QueryTrace(q); err != nil {
+		return nil, err
+	}
+
+	paths := []struct {
+		name string
+		run  func() (int, error)
+	}{
+		{"untraced", func() (int, error) {
+			r, err := db.Query(q)
+			if err != nil {
+				return 0, err
+			}
+			return r.NumRows(), nil
+		}},
+		{"traced", func() (int, error) {
+			r, _, err := db.QueryTrace(q)
+			if err != nil {
+				return 0, err
+			}
+			return r.NumRows(), nil
+		}},
+		{"traced+rendered", func() (int, error) {
+			r, tr, err := db.QueryTrace(q)
+			if err != nil {
+				return 0, err
+			}
+			_ = tr.Render()
+			return r.NumRows(), nil
+		}},
+	}
+	var base time.Duration
+	for _, p := range paths {
+		rows := 0
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			n, err := p.run()
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", p.name, err)
+			}
+			if i == 0 {
+				rows = n
+			}
+		}
+		el := time.Since(start) / time.Duration(iters)
+		if p.name == "untraced" {
+			base = el
+		}
+		over := fmt.Sprintf("%+.1f%%", 100*(float64(el)/float64(base)-1))
+		t.Rows = append(t.Rows, []string{p.name, dur(el), fmt.Sprint(rows), over})
+	}
+	return t, nil
+}

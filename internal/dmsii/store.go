@@ -16,6 +16,7 @@ import (
 	"sync"
 
 	"sim/internal/btree"
+	"sim/internal/obs"
 	"sim/internal/pager"
 	"sim/internal/wal"
 )
@@ -191,8 +192,25 @@ func (s *Store) Checkpoint() error {
 // Stats exposes buffer pool counters for the optimizer and benchmarks.
 func (s *Store) Stats() pager.Stats { return s.pool.Stats() }
 
+// WALStats exposes commit-journal counters (zero for in-memory stores).
+func (s *Store) WALStats() wal.Stats {
+	if s.log == nil {
+		return wal.Stats{}
+	}
+	return s.log.Stats()
+}
+
 // ResetStats zeroes the pool counters.
 func (s *Store) ResetStats() { s.pool.ResetStats() }
+
+// RegisterMetrics publishes the substrate's counters — buffer pool and,
+// for durable stores, the WAL — on an obs registry.
+func (s *Store) RegisterMetrics(r *obs.Registry) {
+	s.pool.RegisterMetrics(r)
+	if s.log != nil {
+		s.log.RegisterMetrics(r)
+	}
+}
 
 // ---------------------------------------------------------------------------
 // Transactions

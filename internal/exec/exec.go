@@ -9,11 +9,14 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"strings"
 	"sync"
+	"time"
 
 	"sim/internal/ast"
 	"sim/internal/catalog"
 	"sim/internal/luc"
+	"sim/internal/obs"
 	"sim/internal/plan"
 	"sim/internal/query"
 	"sim/internal/value"
@@ -24,7 +27,20 @@ type Executor struct {
 	m           *luc.Mapper
 	cat         *catalog.Catalog
 	constraints []*Constraint
-	workers     int // per-query parallelism cap (<=1 disables)
+	workers     int      // per-query parallelism cap (<=1 disables)
+	met         *Metrics // nil until SetMetrics
+}
+
+// Metrics are the executor's registry-owned counters. The registry hands
+// back the same counters across schema rebuilds, so totals accumulate for
+// the life of the database.
+type Metrics struct {
+	Queries   *obs.Counter // Retrieve executions
+	Parallel  *obs.Counter // Retrieves that used the partitioned path
+	Instances *obs.Counter // range-variable bindings tried
+	Rows      *obs.Counter // rows emitted
+	Updates   *obs.Counter // update statements executed
+	Entities  *obs.Counter // entities inserted/modified/deleted
 }
 
 // New returns an executor. Constraints (bound VERIFY assertions) may be
@@ -36,6 +52,20 @@ func New(m *luc.Mapper) *Executor {
 // SetConstraints installs the bound integrity assertions enforced on
 // updates.
 func (e *Executor) SetConstraints(cs []*Constraint) { e.constraints = cs }
+
+// SetMetrics registers (or re-binds, after a schema rebuild) the
+// executor's counters on r. Counting is a handful of atomic adds per
+// statement, not per binding, so the untraced hot path is unaffected.
+func (e *Executor) SetMetrics(r *obs.Registry) {
+	e.met = &Metrics{
+		Queries:   r.Counter("sim_exec_queries_total", "Retrieve statements executed."),
+		Parallel:  r.Counter("sim_exec_parallel_queries_total", "Retrieves that ran the partitioned parallel path."),
+		Instances: r.Counter("sim_exec_instances_total", "Range-variable bindings tried (query-tree loop iterations)."),
+		Rows:      r.Counter("sim_exec_rows_total", "Rows emitted by Retrieve statements."),
+		Updates:   r.Counter("sim_exec_updates_total", "Update statements (Insert/Modify/Delete) executed."),
+		Entities:  r.Counter("sim_exec_entities_updated_total", "Entities inserted, modified or deleted."),
+	}
+}
 
 // SetWorkers caps the number of goroutines one Retrieve may use to
 // partition its outermost root domain. Values <= 1 force serial execution.
@@ -95,6 +125,29 @@ type Stats struct {
 	Rows      int // rows emitted
 }
 
+// nestTrace accumulates one goroutine's per-main-node profile for EXPLAIN
+// ANALYZE, indexed by position in the main-node list. Walls are inclusive:
+// a node's bucket covers its own domain enumeration plus everything nested
+// below it, so bucket 0 approximates the whole execution. A nil *nestTrace
+// disables collection; the untraced hot path pays one nil check per
+// binding.
+type nestTrace struct {
+	nanos []int64 // inclusive wall per node
+	insts []int64 // bindings tried per node
+	ents  []int64 // entity-valued (non-dummy) bindings per node
+}
+
+func newNestTrace(n int) *nestTrace {
+	return &nestTrace{nanos: make([]int64, n), insts: make([]int64, n), ents: make([]int64, n)}
+}
+
+func (tm *nestTrace) observe(i int, it inst) {
+	tm.insts[i]++
+	if it.surr != 0 && !it.null {
+		tm.ents[i]++
+	}
+}
+
 // parallelRootThreshold is the minimum outermost-root domain size worth
 // partitioning across workers; smaller domains run serially.
 const parallelRootThreshold = 32
@@ -105,13 +158,25 @@ const parallelRootThreshold = 32
 // are merged back in domain order so parallel output is byte-identical to
 // serial execution.
 func (e *Executor) Retrieve(p *plan.Plan) (*Result, error) {
-	return e.RetrieveCtx(context.Background(), p)
+	return e.retrieve(context.Background(), p, nil)
 }
 
 // RetrieveCtx is Retrieve under a context: cancellation is checked
 // between bindings of the outermost range, so a query over a large
 // perspective stops within one outer row of the deadline.
 func (e *Executor) RetrieveCtx(ctx context.Context, p *plan.Plan) (*Result, error) {
+	return e.retrieve(ctx, p, nil)
+}
+
+// RetrieveTraced is RetrieveCtx with profiling: tr (non-nil) is filled
+// with the per-node breakdown — bindings tried, entities bound, inclusive
+// wall per node, per-worker spans on the parallel path. Tracing adds one
+// time.Now pair per node visit; the untraced paths are unaffected.
+func (e *Executor) RetrieveTraced(ctx context.Context, p *plan.Plan, tr *obs.QueryTrace) (*Result, error) {
+	return e.retrieve(ctx, p, tr)
+}
+
+func (e *Executor) retrieve(ctx context.Context, p *plan.Plan, tr *obs.QueryTrace) (*Result, error) {
 	t := p.Tree
 	if t.Mode == ast.OutputStructure && len(t.OrderBy) > 0 {
 		return nil, fmt.Errorf("ORDER BY applies to tabular output only")
@@ -124,7 +189,15 @@ func (e *Executor) RetrieveCtx(ctx context.Context, p *plan.Plan) (*Result, erro
 	if len(main) == 0 {
 		res.finish(t)
 		res.Stats = stats
+		e.countRetrieve(stats, false)
 		return res, nil
+	}
+
+	var tm *nestTrace
+	var execStart time.Time
+	if tr != nil {
+		tm = newNestTrace(len(main))
+		execStart = time.Now()
 	}
 
 	// The outermost main node is a perspective root (MainNodes is
@@ -141,8 +214,9 @@ func (e *Executor) RetrieveCtx(ctx context.Context, p *plan.Plan) (*Result, erro
 		dom0 = []inst{{null: true}}
 	}
 
-	if e.parallelOK(t, dom0) {
-		parts, err := e.retrieveParallel(ctx, p, t, main, exist, dom0)
+	parallel := e.parallelOK(t, dom0)
+	if parallel {
+		parts, err := e.retrieveParallel(ctx, p, t, main, exist, dom0, tm != nil)
 		if err != nil {
 			return nil, err
 		}
@@ -151,6 +225,23 @@ func (e *Executor) RetrieveCtx(ctx context.Context, p *plan.Plan) (*Result, erro
 			stats.Rows += part.stats.Rows
 			for ri := range part.rows {
 				res.addTabular(part.rows[ri], part.order[ri])
+			}
+			if tm != nil {
+				// Chunks run concurrently, so per-node walls merge as the
+				// maximum across workers while bindings sum.
+				for i := range tm.nanos {
+					if part.tm.nanos[i] > tm.nanos[i] {
+						tm.nanos[i] = part.tm.nanos[i]
+					}
+					tm.insts[i] += part.tm.insts[i]
+					tm.ents[i] += part.tm.ents[i]
+				}
+				tr.WorkerSpans = append(tr.WorkerSpans, obs.WorkerTrace{
+					Chunk:     int(part.tm.insts[0]),
+					Instances: int64(part.stats.Instances),
+					Rows:      part.stats.Rows,
+					Wall:      part.wall,
+				})
 			}
 		}
 	} else {
@@ -165,15 +256,110 @@ func (e *Executor) RetrieveCtx(ctx context.Context, p *plan.Plan) (*Result, erro
 				}
 			}
 			stats.Instances++
+			if tm != nil {
+				tm.observe(0, it)
+			}
 			en.bind(main[0], it)
-			if err := e.runNest(p, t, main, exist, en, 1, &stats, emit); err != nil {
+			if err := e.runNest(p, t, main, exist, en, 1, &stats, emit, tm); err != nil {
 				return nil, err
 			}
 		}
 	}
+	if tm != nil {
+		// The outermost node's inclusive wall covers its domain computation
+		// and the whole nest under it (the slowest worker, on the parallel
+		// path), so it approximates the execution span.
+		tm.nanos[0] = time.Since(execStart).Nanoseconds()
+	}
 	res.finish(t)
 	res.Stats = stats
+	e.countRetrieve(stats, parallel)
+	if tr != nil {
+		e.fillTrace(tr, p, t, main, tm, stats, parallel)
+	}
 	return res, nil
+}
+
+// countRetrieve feeds the registry counters after one Retrieve; a few
+// atomic adds per statement.
+func (e *Executor) countRetrieve(stats Stats, parallel bool) {
+	if e.met == nil {
+		return
+	}
+	e.met.Queries.Inc()
+	e.met.Instances.Add(uint64(stats.Instances))
+	e.met.Rows.Add(uint64(stats.Rows))
+	if parallel {
+		e.met.Parallel.Inc()
+	}
+}
+
+// countUpdate feeds the update counters after one successful statement
+// touching n entities.
+func (e *Executor) countUpdate(n int) {
+	if e.met == nil {
+		return
+	}
+	e.met.Updates.Inc()
+	e.met.Entities.Add(uint64(n))
+}
+
+// fillTrace converts the collected nest profile into the trace's node
+// list. Only main nodes appear: TYPE 2 (selection-only) subtrees are
+// enumerated inside the existential check per candidate row and are
+// accounted to the enclosing node's wall.
+func (e *Executor) fillTrace(tr *obs.QueryTrace, p *plan.Plan, t *query.Tree, main []*query.Node, tm *nestTrace, stats Stats, parallel bool) {
+	tr.Rows = stats.Rows
+	tr.Instances = int64(stats.Instances)
+	tr.Workers = 1
+	if parallel {
+		tr.Workers = len(tr.WorkerSpans)
+	}
+	tr.Nodes = make([]obs.NodeTrace, len(main))
+	for i, n := range main {
+		tr.Nodes[i] = obs.NodeTrace{
+			Depth:     nodeDepth(n),
+			Label:     n.Label(),
+			Type:      n.Type.String(),
+			Access:    accessDesc(p, t, n),
+			Instances: tm.insts[i],
+			Entities:  tm.ents[i],
+			Wall:      time.Duration(tm.nanos[i]),
+		}
+	}
+}
+
+func nodeDepth(n *query.Node) int {
+	d := 0
+	for p := n.Parent; p != nil; p = p.Parent {
+		d++
+	}
+	return d
+}
+
+// accessDesc names the access path a node's domain enumeration uses: the
+// planned root access for perspective roots, the edge kind otherwise.
+func accessDesc(p *plan.Plan, t *query.Tree, n *query.Node) string {
+	if n.IsRoot() || (n.Sub && n.Parent == nil) {
+		if p != nil {
+			for i, r := range t.Roots {
+				if r == n && i < len(p.Access) && p.Access[i] != nil {
+					return p.Access[i].Describe()
+				}
+			}
+		}
+		return "scan " + strings.ToLower(n.Class.Name)
+	}
+	switch {
+	case n.Edge.Kind == catalog.EVA && n.Transitive:
+		return "closure over " + strings.ToLower(n.Edge.Name)
+	case n.Edge.Kind == catalog.EVA:
+		return "eva " + strings.ToLower(n.Edge.Name)
+	case n.Edge.Kind == catalog.Subrole:
+		return "subrole " + strings.ToLower(n.Edge.Name)
+	default:
+		return "mv-dva " + strings.ToLower(n.Edge.Name)
+	}
 }
 
 // emitter builds the row materializer for one environment: it evaluates
@@ -202,8 +388,9 @@ func (e *Executor) emitter(t *query.Tree, en *env, main []*query.Node, res *Resu
 }
 
 // runNest runs the DAPLEX iteration of §4.5 from main-variable depth i
-// down, calling emit for every combination that passes the selection.
-func (e *Executor) runNest(p *plan.Plan, t *query.Tree, main, exist []*query.Node, en *env, i int, stats *Stats, emit func() error) error {
+// down, calling emit for every combination that passes the selection. A
+// non-nil tm collects the per-node profile (inclusive walls).
+func (e *Executor) runNest(p *plan.Plan, t *query.Tree, main, exist []*query.Node, en *env, i int, stats *Stats, emit func() error, tm *nestTrace) error {
 	if i == len(main) {
 		ok, err := e.selectionHolds(t, en, exist)
 		if err != nil {
@@ -215,6 +402,10 @@ func (e *Executor) runNest(p *plan.Plan, t *query.Tree, main, exist []*query.Nod
 		return nil
 	}
 	n := main[i]
+	var start time.Time
+	if tm != nil {
+		start = time.Now()
+	}
 	dom, err := e.domain(p, t, n, en)
 	if err != nil {
 		return err
@@ -224,12 +415,18 @@ func (e *Executor) runNest(p *plan.Plan, t *query.Tree, main, exist []*query.Nod
 	}
 	for _, it := range dom {
 		stats.Instances++
+		if tm != nil {
+			tm.observe(i, it)
+		}
 		en.bind(n, it)
-		if err := e.runNest(p, t, main, exist, en, i+1, stats, emit); err != nil {
+		if err := e.runNest(p, t, main, exist, en, i+1, stats, emit, tm); err != nil {
 			return err
 		}
 	}
 	en.unbind(n)
+	if tm != nil {
+		tm.nanos[i] += time.Since(start).Nanoseconds()
+	}
 	return nil
 }
 
@@ -247,12 +444,14 @@ type partial struct {
 	rows  [][]value.Value
 	order [][]value.Value
 	stats Stats
+	tm    *nestTrace    // nil unless traced
+	wall  time.Duration // chunk wall time (traced runs only)
 }
 
 // retrieveParallel splits the outermost domain into one contiguous chunk
 // per worker and runs the remaining loop nest in each worker with a
 // private environment. Chunks are returned in domain order.
-func (e *Executor) retrieveParallel(ctx context.Context, p *plan.Plan, t *query.Tree, main, exist []*query.Node, dom0 []inst) ([]*partial, error) {
+func (e *Executor) retrieveParallel(ctx context.Context, p *plan.Plan, t *query.Tree, main, exist []*query.Node, dom0 []inst, traced bool) ([]*partial, error) {
 	nw := e.workers
 	if nw > len(dom0) {
 		nw = len(dom0)
@@ -273,7 +472,7 @@ func (e *Executor) retrieveParallel(ctx context.Context, p *plan.Plan, t *query.
 		wg.Add(1)
 		go func(ci int) {
 			defer wg.Done()
-			parts[ci], errs[ci] = e.runChunk(ctx, p, t, main, exist, chunks[ci])
+			parts[ci], errs[ci] = e.runChunk(ctx, p, t, main, exist, chunks[ci], traced)
 		}(ci)
 	}
 	wg.Wait()
@@ -287,9 +486,14 @@ func (e *Executor) retrieveParallel(ctx context.Context, p *plan.Plan, t *query.
 
 // runChunk executes the loop nest for one slice of the outermost domain,
 // checking cancellation between outer-range rows.
-func (e *Executor) runChunk(ctx context.Context, p *plan.Plan, t *query.Tree, main, exist []*query.Node, chunk []inst) (*partial, error) {
+func (e *Executor) runChunk(ctx context.Context, p *plan.Plan, t *query.Tree, main, exist []*query.Node, chunk []inst, traced bool) (*partial, error) {
 	en := newEnv(len(t.Nodes))
 	part := &partial{}
+	var chunkStart time.Time
+	if traced {
+		part.tm = newNestTrace(len(main))
+		chunkStart = time.Now()
+	}
 	emit := func() error {
 		row := make([]value.Value, len(t.Targets))
 		for i, tg := range t.Targets {
@@ -322,10 +526,17 @@ func (e *Executor) runChunk(ctx context.Context, p *plan.Plan, t *query.Tree, ma
 			}
 		}
 		part.stats.Instances++
+		if part.tm != nil {
+			part.tm.observe(0, it)
+		}
 		en.bind(main[0], it)
-		if err := e.runNest(p, t, main, exist, en, 1, &part.stats, emit); err != nil {
+		if err := e.runNest(p, t, main, exist, en, 1, &part.stats, emit, part.tm); err != nil {
 			return nil, err
 		}
+	}
+	if traced {
+		part.wall = time.Since(chunkStart)
+		part.tm.nanos[0] = part.wall.Nanoseconds()
 	}
 	return part, nil
 }

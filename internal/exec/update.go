@@ -95,7 +95,11 @@ func (e *Executor) Insert(ctx context.Context, stmt *ast.InsertStmt) (int, error
 			affected = append(affected, s)
 		}
 	}
-	return len(affected), e.checkConstraints(ev)
+	if err := e.checkConstraints(ev); err != nil {
+		return 0, err
+	}
+	e.countUpdate(len(affected))
+	return len(affected), nil
 }
 
 // Modify executes §4.8's MODIFY against every entity of the class
@@ -118,7 +122,11 @@ func (e *Executor) Modify(ctx context.Context, stmt *ast.ModifyStmt) (int, error
 			return 0, err
 		}
 	}
-	return len(matches), e.checkConstraints(ev)
+	if err := e.checkConstraints(ev); err != nil {
+		return 0, err
+	}
+	e.countUpdate(len(matches))
+	return len(matches), nil
 }
 
 // Delete executes §4.8's DELETE: the entities lose their role in the class
@@ -167,7 +175,11 @@ func (e *Executor) Delete(ctx context.Context, stmt *ast.DeleteStmt) (int, error
 			return 0, err
 		}
 	}
-	return len(matches), e.checkConstraints(ev)
+	if err := e.checkConstraints(ev); err != nil {
+		return 0, err
+	}
+	e.countUpdate(len(matches))
+	return len(matches), nil
 }
 
 // SelectEntities returns the entities of cl satisfying where (all of them

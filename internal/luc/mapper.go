@@ -27,9 +27,11 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"sim/internal/catalog"
 	"sim/internal/dmsii"
+	"sim/internal/obs"
 	"sim/internal/value"
 )
 
@@ -132,6 +134,17 @@ type Mapper struct {
 	// immutable once published: readers never mutate them and mutators work
 	// on fresh loadRecord copies.
 	rcache [rcShards]rcShard
+
+	// rcHits/rcMisses count record-cache traffic for CacheStats and the
+	// obs registry; atomics so stats never take the shard locks.
+	rcHits   atomic.Uint64
+	rcMisses atomic.Uint64
+}
+
+// CacheStats reports the decoded-record read cache's traffic.
+type CacheStats struct {
+	Hits   uint64 // records served from the cache
+	Misses uint64 // records decoded from storage
 }
 
 // rcKey identifies a cached record by hierarchy and surrogate.
@@ -487,6 +500,26 @@ func (m *Mapper) statAdd(key string, delta int64) error {
 	m.stats[key] = cur
 	m.statMu.Unlock()
 	return nil
+}
+
+// CacheStats returns record-cache counters; safe while queries run.
+func (m *Mapper) CacheStats() CacheStats {
+	return CacheStats{Hits: m.rcHits.Load(), Misses: m.rcMisses.Load()}
+}
+
+// ResetCacheStats zeroes the record-cache counters (benchmark phases).
+func (m *Mapper) ResetCacheStats() {
+	m.rcHits.Store(0)
+	m.rcMisses.Store(0)
+}
+
+// RegisterMetrics publishes the mapper's cache counters on an obs
+// registry.
+func (m *Mapper) RegisterMetrics(r *obs.Registry) {
+	r.CounterFunc("sim_luc_cache_hits_total", "LUC decoded-record cache hits.",
+		func() float64 { return float64(m.rcHits.Load()) })
+	r.CounterFunc("sim_luc_cache_misses_total", "LUC decoded-record cache misses.",
+		func() float64 { return float64(m.rcMisses.Load()) })
 }
 
 // Count returns the number of entities holding a role in cl.

@@ -167,8 +167,10 @@ func (m *Mapper) readRecord(base *catalog.Class, s value.Surrogate) (*record, er
 	r, ok := sh.m[key]
 	sh.mu.RUnlock()
 	if ok {
+		m.rcHits.Add(1)
 		return r, nil
 	}
+	m.rcMisses.Add(1)
 	r, err := m.loadRecord(base, s)
 	if err != nil {
 		return nil, err

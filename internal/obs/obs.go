@@ -1,0 +1,279 @@
+// Package obs is the observability layer of the reproduction: a
+// zero-dependency metrics registry (atomic counters, gauges and lock-cheap
+// latency histograms), per-query trace spans with a per-query-tree-node
+// breakdown, and a slow-query log. The paper's §5 makes unmeasured
+// performance claims about physical mapping, LUC caching and query-tree
+// evaluation; every engine component (pager, LUC caches, plan cache,
+// executor, WAL, server) registers its counters here so those claims can
+// be measured instead of guessed — through sim.Stats, Prometheus text
+// exposition (/metrics on simserve), expvar, and EXPLAIN ANALYZE.
+//
+// Metric naming convention: sim_<component>_<what>[_total|_seconds|_bytes].
+// Monotonic counts end in _total, latency histograms in _seconds, sizes in
+// _bytes; everything else is a gauge.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing atomic counter. The zero value is
+// ready to use; Reset is for benchmark phase boundaries only.
+type Counter struct{ v atomic.Uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Load returns the current count.
+func (c *Counter) Load() uint64 { return c.v.Load() }
+
+// Reset zeroes the counter.
+func (c *Counter) Reset() { c.v.Store(0) }
+
+// numBuckets is the number of finite histogram bounds.
+const numBuckets = 13
+
+// histBuckets are the upper bounds (seconds) of the latency histogram:
+// powers of 4 from 1µs to ~17s, plus an implicit +Inf. One query tree node
+// visit lands near the bottom, a cold scan over a large perspective near
+// the top.
+var histBuckets = func() []float64 {
+	b := make([]float64, numBuckets)
+	v := 1e-6
+	for i := range b {
+		b[i] = v
+		v *= 4
+	}
+	return b
+}()
+
+// Histogram is a lock-free latency histogram with fixed exponential
+// buckets. Observe is a few atomic adds; snapshots never block writers.
+type Histogram struct {
+	buckets [numBuckets + 1]atomic.Uint64 // one per bound + overflow
+	count   atomic.Uint64
+	sumNS   atomic.Uint64
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	s := d.Seconds()
+	i := 0
+	for i < len(histBuckets) && s > histBuckets[i] {
+		i++
+	}
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	h.sumNS.Add(uint64(d.Nanoseconds()))
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the total observed time.
+func (h *Histogram) Sum() time.Duration { return time.Duration(h.sumNS.Load()) }
+
+// Reset zeroes the histogram.
+func (h *Histogram) Reset() {
+	for i := range h.buckets {
+		h.buckets[i].Store(0)
+	}
+	h.count.Store(0)
+	h.sumNS.Store(0)
+}
+
+// metricKind distinguishes exposition types.
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindCounterFunc
+	kindGaugeFunc
+	kindHistogram
+)
+
+// metric is one registered metric.
+type metric struct {
+	name string
+	help string
+	kind metricKind
+	c    *Counter
+	h    *Histogram
+	fn   func() float64
+}
+
+// Registry is a named collection of metrics. Registration is idempotent
+// by name (the schema-rebuild path re-registers executor counters), and
+// collection never blocks the hot-path atomics.
+type Registry struct {
+	mu      sync.RWMutex
+	byName  map[string]*metric
+	ordered []*metric
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]*metric)}
+}
+
+// register installs m. Owned metrics (Counter, Histogram) are idempotent
+// by name — the first registration wins, so the schema-rebuild path keeps
+// accumulating into one counter. Func-backed metrics are replaced — a
+// rebuilt component re-registers readers over its fresh state.
+func (r *Registry) register(m *metric) *metric {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if prev, ok := r.byName[m.name]; ok {
+		if m.fn != nil && prev.kind == m.kind {
+			prev.fn = m.fn
+		}
+		return prev
+	}
+	r.byName[m.name] = m
+	r.ordered = append(r.ordered, m)
+	return m
+}
+
+// Counter returns the counter registered under name, creating it when
+// absent. Repeated calls with one name share one counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	m := r.register(&metric{name: name, help: help, kind: kindCounter, c: &Counter{}})
+	return m.c
+}
+
+// CounterFunc registers a monotonic counter whose value is read from fn at
+// collection time — for components that already keep their own atomics.
+func (r *Registry) CounterFunc(name, help string, fn func() float64) {
+	r.register(&metric{name: name, help: help, kind: kindCounterFunc, fn: fn})
+}
+
+// GaugeFunc registers a gauge read from fn at collection time.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	r.register(&metric{name: name, help: help, kind: kindGaugeFunc, fn: fn})
+}
+
+// Histogram returns the latency histogram registered under name, creating
+// it when absent.
+func (r *Registry) Histogram(name, help string) *Histogram {
+	m := r.register(&metric{name: name, help: help, kind: kindHistogram, h: &Histogram{}})
+	return m.h
+}
+
+// ResetCounters zeroes every registry-owned Counter and Histogram.
+// Func-backed metrics read external state and are reset by their owning
+// component (see Database.ResetStats for the composed reset).
+func (r *Registry) ResetCounters() {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for _, m := range r.ordered {
+		switch m.kind {
+		case kindCounter:
+			m.c.Reset()
+		case kindHistogram:
+			m.h.Reset()
+		}
+	}
+}
+
+// Snapshot returns every metric's current value, flattened: histograms
+// contribute <name>_count and <name>_sum entries. The expvar endpoint and
+// sim.Stats both read this.
+func (r *Registry) Snapshot() map[string]float64 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make(map[string]float64, len(r.ordered)+4)
+	for _, m := range r.ordered {
+		switch m.kind {
+		case kindCounter:
+			out[m.name] = float64(m.c.Load())
+		case kindCounterFunc, kindGaugeFunc:
+			out[m.name] = m.fn()
+		case kindHistogram:
+			out[m.name+"_count"] = float64(m.h.Count())
+			out[m.name+"_sum"] = m.h.Sum().Seconds()
+		}
+	}
+	return out
+}
+
+// Get returns the snapshot value of one metric (0 when absent).
+func (r *Registry) Get(name string) float64 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	m, ok := r.byName[name]
+	if !ok {
+		return 0
+	}
+	switch m.kind {
+	case kindCounter:
+		return float64(m.c.Load())
+	case kindCounterFunc, kindGaugeFunc:
+		return m.fn()
+	case kindHistogram:
+		return float64(m.h.Count())
+	}
+	return 0
+}
+
+// WritePrometheus writes every metric in the Prometheus text exposition
+// format (version 0.0.4), sorted by name.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	// The read lock is held while formatting: hot-path Observe/Add touch
+	// only atomics, never this lock, and fn pointers may be replaced by a
+	// concurrent re-registration.
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	ms := make([]*metric, len(r.ordered))
+	copy(ms, r.ordered)
+	sort.Slice(ms, func(i, j int) bool { return ms[i].name < ms[j].name })
+	var b strings.Builder
+	for _, m := range ms {
+		if m.help != "" {
+			fmt.Fprintf(&b, "# HELP %s %s\n", m.name, strings.ReplaceAll(m.help, "\n", " "))
+		}
+		switch m.kind {
+		case kindCounter:
+			fmt.Fprintf(&b, "# TYPE %s counter\n%s %s\n", m.name, m.name, fmtFloat(float64(m.c.Load())))
+		case kindCounterFunc:
+			fmt.Fprintf(&b, "# TYPE %s counter\n%s %s\n", m.name, m.name, fmtFloat(m.fn()))
+		case kindGaugeFunc:
+			fmt.Fprintf(&b, "# TYPE %s gauge\n%s %s\n", m.name, m.name, fmtFloat(m.fn()))
+		case kindHistogram:
+			fmt.Fprintf(&b, "# TYPE %s histogram\n", m.name)
+			// Read buckets once; cumulative counts must be non-decreasing,
+			// and +Inf must equal _count, so derive all from one pass.
+			cum := uint64(0)
+			for i, bound := range histBuckets {
+				cum += m.h.buckets[i].Load()
+				fmt.Fprintf(&b, "%s_bucket{le=%q} %d\n", m.name, fmtFloat(bound), cum)
+			}
+			cum += m.h.buckets[len(histBuckets)].Load()
+			fmt.Fprintf(&b, "%s_bucket{le=\"+Inf\"} %d\n", m.name, cum)
+			fmt.Fprintf(&b, "%s_sum %s\n", m.name, fmtFloat(m.h.Sum().Seconds()))
+			fmt.Fprintf(&b, "%s_count %d\n", m.name, cum)
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func fmtFloat(v float64) string {
+	if math.IsInf(v, +1) {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

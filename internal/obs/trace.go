@@ -1,0 +1,110 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// NodeTrace is the measured execution profile of one query-tree range
+// variable (one loop of the §4.5 DAPLEX nest). Wall is inclusive: the time
+// spent enumerating this node's domain and running everything nested under
+// it, so the outermost node's wall approximates the whole execution and
+// nested nodes attribute their share. On the parallel path walls are the
+// maximum across workers (the wall-clock of the slowest worker) while
+// Instances sum.
+type NodeTrace struct {
+	Depth     int    // nesting depth in the main-variable list
+	Label     string // printable qualification, e.g. "advisor of student"
+	Type      string // "TYPE 1" / "TYPE 2" / "TYPE 3"
+	Access    string // access-path description for perspective roots
+	Instances int64  // range-variable bindings tried ("rows scanned")
+	Entities  int64  // bindings that materialized an entity record
+	Wall      time.Duration
+}
+
+// WorkerTrace is one worker's share of a parallel Retrieve.
+type WorkerTrace struct {
+	Chunk     int // outermost-domain rows assigned
+	Instances int64
+	Rows      int
+	Wall      time.Duration
+}
+
+// QueryTrace is the span breakdown of one traced query: the parse → plan →
+// execute phases, the per-node profile, per-worker spans on the parallel
+// path, and the storage-cache deltas observed across the execution. Cache
+// deltas are process-wide counters sampled before and after, so under
+// concurrent load they include neighbors' traffic; on a quiet database
+// they are exact.
+type QueryTrace struct {
+	Statement  string
+	PlanCached bool // plan came from the plan cache (parse/plan ≈ 0)
+	Parse      time.Duration
+	Plan       time.Duration
+	Exec       time.Duration
+	Total      time.Duration
+	Rows       int   // rows returned
+	Instances  int64 // total bindings tried across all nodes
+	Workers    int   // workers used (1 = serial)
+
+	Nodes       []NodeTrace
+	WorkerSpans []WorkerTrace
+
+	PagerHits, PagerMisses uint64 // buffer pool delta over the query
+	CacheHits, CacheMisses uint64 // LUC record cache delta over the query
+	PlanDesc               string // optimizer strategy summary
+}
+
+// fmtDur renders a duration at µs precision, the scale of one node visit.
+func fmtDur(d time.Duration) string {
+	switch {
+	case d >= time.Second:
+		return fmt.Sprintf("%.3fs", d.Seconds())
+	case d >= time.Millisecond:
+		return fmt.Sprintf("%.3fms", float64(d.Microseconds())/1000)
+	default:
+		return fmt.Sprintf("%dµs", d.Microseconds())
+	}
+}
+
+// Render formats the trace as an annotated query tree followed by the
+// phase and cache summary — the body of EXPLAIN ANALYZE.
+func (t *QueryTrace) Render() string {
+	var b strings.Builder
+	if t.Statement != "" {
+		fmt.Fprintf(&b, "%s\n", strings.TrimSpace(t.Statement))
+	}
+	for _, n := range t.Nodes {
+		b.WriteString(strings.Repeat("  ", n.Depth))
+		b.WriteString(n.Label)
+		if n.Type != "" {
+			fmt.Fprintf(&b, " (%s)", n.Type)
+		}
+		if n.Access != "" {
+			fmt.Fprintf(&b, " via %s", n.Access)
+		}
+		fmt.Fprintf(&b, "  rows=%d", n.Instances)
+		if n.Entities != n.Instances {
+			fmt.Fprintf(&b, " entities=%d", n.Entities)
+		}
+		fmt.Fprintf(&b, " wall=%s\n", fmtDur(n.Wall))
+	}
+	if t.Workers > 1 {
+		fmt.Fprintf(&b, "parallel: %d workers (node walls are per-worker maxima)\n", t.Workers)
+		for i, w := range t.WorkerSpans {
+			fmt.Fprintf(&b, "  worker %d: chunk=%d instances=%d rows=%d wall=%s\n",
+				i, w.Chunk, w.Instances, w.Rows, fmtDur(w.Wall))
+		}
+	}
+	plan := fmtDur(t.Plan)
+	if t.PlanCached {
+		plan += " (cached)"
+	}
+	fmt.Fprintf(&b, "parse %s  plan %s  exec %s  total %s\n",
+		fmtDur(t.Parse), plan, fmtDur(t.Exec), fmtDur(t.Total))
+	fmt.Fprintf(&b, "pager hits=%d misses=%d  luc-cache hits=%d misses=%d\n",
+		t.PagerHits, t.PagerMisses, t.CacheHits, t.CacheMisses)
+	fmt.Fprintf(&b, "rows: %d  instances: %d\n", t.Rows, t.Instances)
+	return b.String()
+}

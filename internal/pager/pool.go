@@ -6,6 +6,8 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+
+	"sim/internal/obs"
 )
 
 // Stats counts buffer pool activity; the query optimizer's cost model and
@@ -94,6 +96,20 @@ func (p *Pool) ResetStats() {
 	p.hits.Store(0)
 	p.misses.Store(0)
 	p.pageWrites.Store(0)
+}
+
+// RegisterMetrics publishes the pool's counters on an obs registry. The
+// metrics read the same atomics Stats snapshots, so registration adds no
+// hot-path cost.
+func (p *Pool) RegisterMetrics(r *obs.Registry) {
+	r.CounterFunc("sim_pager_hits_total", "Buffer pool page hits.",
+		func() float64 { return float64(p.hits.Load()) })
+	r.CounterFunc("sim_pager_misses_total", "Buffer pool misses (pages read from the file).",
+		func() float64 { return float64(p.misses.Load()) })
+	r.CounterFunc("sim_pager_page_writes_total", "Pages written back to the database file.",
+		func() float64 { return float64(p.pageWrites.Load()) })
+	r.GaugeFunc("sim_pager_pages", "Allocated pages, including not-yet-flushed allocations.",
+		func() float64 { return float64(p.next.Load()) })
 }
 
 // NumPages returns the page count including not-yet-flushed allocations.

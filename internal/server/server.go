@@ -14,6 +14,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net"
 	"strings"
 	"sync"
@@ -21,6 +22,7 @@ import (
 	"time"
 
 	"sim"
+	"sim/internal/obs"
 	"sim/internal/wire"
 )
 
@@ -40,8 +42,17 @@ type Config struct {
 	RequestTimeout time.Duration
 	// MaxFrame bounds accepted request frames (default wire.DefaultMaxFrame).
 	MaxFrame int
-	// Logf, when set, receives connection-level diagnostics.
-	Logf func(format string, args ...any)
+	// Logger receives structured connection-level diagnostics: session
+	// open/close, handshake and request errors, contained panics, slow
+	// requests. Nil discards them.
+	Logger *slog.Logger
+	// SlowRequest is the duration above which a served request is logged
+	// at Warn level. Zero disables slow-request logging.
+	SlowRequest time.Duration
+	// Registry, when set, receives the server's metrics: lifetime counters
+	// (connections, requests, bytes, errors) and the per-request latency
+	// histogram sim_server_request_seconds.
+	Registry *obs.Registry
 }
 
 // ErrServerClosed is returned by Serve after Shutdown or Close.
@@ -52,8 +63,10 @@ const handshakeTimeout = 10 * time.Second
 
 // Server serves one database over TCP.
 type Server struct {
-	db  *sim.Database
-	cfg Config
+	db   *sim.Database
+	cfg  Config
+	log  *slog.Logger
+	hist *obs.Histogram // sim_server_request_seconds (nil without a registry)
 
 	mu       sync.Mutex
 	lis      net.Listener
@@ -80,18 +93,33 @@ func New(db *sim.Database, cfg Config) *Server {
 	if cfg.MaxFrame <= 0 {
 		cfg.MaxFrame = wire.DefaultMaxFrame
 	}
-	return &Server{
+	log := cfg.Logger
+	if log == nil {
+		log = slog.New(slog.DiscardHandler)
+	}
+	s := &Server{
 		db:    db,
 		cfg:   cfg,
+		log:   log,
 		conns: make(map[net.Conn]struct{}),
 		quit:  make(chan struct{}),
 	}
-}
-
-func (s *Server) logf(format string, args ...any) {
-	if s.cfg.Logf != nil {
-		s.cfg.Logf(format, args...)
+	if r := cfg.Registry; r != nil {
+		s.hist = r.Histogram("sim_server_request_seconds", "Per-request service latency (dispatch through execution).")
+		r.CounterFunc("sim_server_connections_total", "Connections accepted.",
+			func() float64 { return float64(s.connections.Load()) })
+		r.GaugeFunc("sim_server_active_connections", "Connections currently open.",
+			func() float64 { return float64(max(s.active.Load(), 0)) })
+		r.CounterFunc("sim_server_requests_total", "Request frames served.",
+			func() float64 { return float64(s.requests.Load()) })
+		r.CounterFunc("sim_server_bytes_in_total", "Frame bytes read from clients.",
+			func() float64 { return float64(s.bytesIn.Load()) })
+		r.CounterFunc("sim_server_bytes_out_total", "Frame bytes written to clients.",
+			func() float64 { return float64(s.bytesOut.Load()) })
+		r.CounterFunc("sim_server_errors_total", "Error frames sent plus aborted connections.",
+			func() float64 { return float64(s.errors.Load()) })
 	}
+	return s
 }
 
 // ListenAndServe listens on addr ("host:port") and serves until Shutdown.
@@ -173,21 +201,25 @@ func (s *Server) untrack(conn net.Conn) {
 // server does not.
 func (s *Server) handle(conn net.Conn) {
 	defer s.handlers.Done()
+	start := time.Now()
 	defer func() {
 		if p := recover(); p != nil {
 			s.errors.Add(1)
-			s.logf("server: panic on %s: %v", conn.RemoteAddr(), p)
+			s.log.Error("panic in session", "remote", conn.RemoteAddr().String(), "panic", p)
 		}
 		s.untrack(conn)
 		conn.Close()
 		s.active.Add(-1)
+		s.log.Debug("session closed", "remote", conn.RemoteAddr().String(),
+			"duration", time.Since(start))
 	}()
 
 	if err := s.handshake(conn); err != nil {
 		s.errors.Add(1)
-		s.logf("server: handshake with %s: %v", conn.RemoteAddr(), err)
+		s.log.Warn("handshake failed", "remote", conn.RemoteAddr().String(), "err", err)
 		return
 	}
+	s.log.Debug("session open", "remote", conn.RemoteAddr().String())
 
 	for {
 		select {
@@ -245,15 +277,26 @@ func (s *Server) handshake(conn net.Conn) error {
 func (s *Server) serveRequest(conn net.Conn, t wire.Type, payload []byte) bool {
 	s.requests.Add(1)
 	s.inflight.Add(1)
+	start := time.Now()
 	rt, resp := func() (wire.Type, []byte) {
 		defer s.inflight.Done()
 		return s.dispatch(t, payload)
 	}()
+	d := time.Since(start)
+	if s.hist != nil {
+		s.hist.Observe(d)
+	}
 	if rt == wire.TError {
 		s.errors.Add(1)
+		s.log.Info("request failed", "remote", conn.RemoteAddr().String(),
+			"type", t.String(), "duration", d)
+	}
+	if s.cfg.SlowRequest > 0 && d >= s.cfg.SlowRequest {
+		s.log.Warn("slow request", "remote", conn.RemoteAddr().String(),
+			"type", t.String(), "duration", d)
 	}
 	if err := s.writeFrame(conn, rt, resp); err != nil {
-		s.logf("server: write to %s: %v", conn.RemoteAddr(), err)
+		s.log.Warn("response write failed", "remote", conn.RemoteAddr().String(), "err", err)
 		return false
 	}
 	return true
@@ -276,6 +319,12 @@ func (s *Server) dispatch(t wire.Type, payload []byte) (wire.Type, []byte) {
 			return wire.TError, encodeErr(ctx, err)
 		}
 		return wire.TResult, wire.EncodeResult(r)
+	case wire.TQueryTrace:
+		r, tr, err := s.db.QueryTraceCtx(ctx, string(payload))
+		if err != nil {
+			return wire.TError, encodeErr(ctx, err)
+		}
+		return wire.TResultTrace, wire.EncodeResultTrace(r, wire.FromQueryTrace(tr))
 	case wire.TExec:
 		n, err := s.db.ExecCtx(ctx, string(payload))
 		if err != nil {

@@ -16,7 +16,9 @@ import (
 	"hash/crc32"
 	"io"
 	"os"
+	"sync/atomic"
 
+	"sim/internal/obs"
 	"sim/internal/pager"
 )
 
@@ -29,11 +31,24 @@ const (
 // header: kind(1) pageID(4) payloadLen(4) crc(4) = 13 bytes, then payload.
 const headerSize = 13
 
-// Log is an append-only commit journal.
+// Stats reports WAL activity since the log was opened.
+type Stats struct {
+	Commits   uint64 // committed batches journaled
+	Pages     uint64 // page images appended
+	Bytes     uint64 // bytes appended
+	SizeBytes int64  // current log length
+}
+
+// Log is an append-only commit journal. The counters are atomics so
+// Stats and metric collection are safe while the single writer commits.
 type Log struct {
 	f    *os.File
-	size int64
+	size atomic.Int64
 	seq  uint64 // commit sequence number
+
+	commits atomic.Uint64
+	pages   atomic.Uint64
+	bytes   atomic.Uint64
 }
 
 // Open opens (creating if necessary) the log at path.
@@ -47,14 +62,38 @@ func Open(path string) (*Log, error) {
 		f.Close()
 		return nil, err
 	}
-	return &Log{f: f, size: st.Size()}, nil
+	l := &Log{f: f}
+	l.size.Store(st.Size())
+	return l, nil
 }
 
 // Close closes the log file.
 func (l *Log) Close() error { return l.f.Close() }
 
 // Size returns the current log length in bytes.
-func (l *Log) Size() int64 { return l.size }
+func (l *Log) Size() int64 { return l.size.Load() }
+
+// Stats returns the log's counters; safe to call while commits run.
+func (l *Log) Stats() Stats {
+	return Stats{
+		Commits:   l.commits.Load(),
+		Pages:     l.pages.Load(),
+		Bytes:     l.bytes.Load(),
+		SizeBytes: l.size.Load(),
+	}
+}
+
+// RegisterMetrics publishes the log's counters on an obs registry.
+func (l *Log) RegisterMetrics(r *obs.Registry) {
+	r.CounterFunc("sim_wal_commits_total", "Committed batches journaled to the WAL.",
+		func() float64 { return float64(l.commits.Load()) })
+	r.CounterFunc("sim_wal_pages_total", "Page images appended to the WAL.",
+		func() float64 { return float64(l.pages.Load()) })
+	r.CounterFunc("sim_wal_bytes_total", "Bytes appended to the WAL.",
+		func() float64 { return float64(l.bytes.Load()) })
+	r.GaugeFunc("sim_wal_size_bytes", "Current WAL length (truncated at checkpoints).",
+		func() float64 { return float64(l.size.Load()) })
+}
 
 func record(kind byte, pageID pager.PageID, payload []byte) []byte {
 	buf := make([]byte, headerSize+len(payload))
@@ -78,13 +117,16 @@ func (l *Log) Commit(frames []*pager.Frame) error {
 	var seqb [8]byte
 	binary.BigEndian.PutUint64(seqb[:], l.seq)
 	buf = append(buf, record(recCommit, 0, seqb[:])...)
-	if _, err := l.f.WriteAt(buf, l.size); err != nil {
+	if _, err := l.f.WriteAt(buf, l.size.Load()); err != nil {
 		return fmt.Errorf("wal: append: %w", err)
 	}
 	if err := l.f.Sync(); err != nil {
 		return fmt.Errorf("wal: sync: %w", err)
 	}
-	l.size += int64(len(buf))
+	l.size.Add(int64(len(buf)))
+	l.commits.Add(1)
+	l.pages.Add(uint64(len(frames)))
+	l.bytes.Add(uint64(len(buf)))
 	return nil
 }
 
@@ -97,7 +139,7 @@ func (l *Log) Truncate() error {
 	if err := l.f.Sync(); err != nil {
 		return err
 	}
-	l.size = 0
+	l.size.Store(0)
 	l.seq = 0
 	return nil
 }
@@ -106,13 +148,13 @@ func (l *Log) Truncate() error {
 // and truncates the log. A torn tail (incomplete batch or corrupt record)
 // is ignored, implementing atomic commit.
 func (l *Log) Recover(file pager.File) (replayed int, err error) {
-	if l.size == 0 {
+	if l.size.Load() == 0 {
 		return 0, nil
 	}
 	if _, err := l.f.Seek(0, io.SeekStart); err != nil {
 		return 0, err
 	}
-	r := io.LimitReader(l.f, l.size)
+	r := io.LimitReader(l.f, l.size.Load())
 
 	type img struct {
 		id   pager.PageID

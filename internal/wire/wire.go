@@ -40,27 +40,31 @@ type Type byte
 
 // Frame types.
 const (
-	THello      Type = 0x01 // both directions: magic + version
-	TQuery      Type = 0x10 // payload: DML text of one Retrieve
-	TExec       Type = 0x11 // payload: DML text of one update statement
-	TExplain    Type = 0x12 // payload: DML text of one Retrieve
-	TCheckpoint Type = 0x13 // no payload
-	TStats      Type = 0x14 // no payload
-	TPing       Type = 0x15 // no payload
-	TResult     Type = 0x20 // payload: result set (EncodeResult)
-	TExecOK     Type = 0x21 // payload: uvarint affected-entity count
-	TExplainOK  Type = 0x22 // payload: strategy text
-	TOK         Type = 0x23 // no payload (Checkpoint ack)
-	TStatsOK    Type = 0x24 // payload: ServerStats
-	TPong       Type = 0x25 // no payload
-	TError      Type = 0x2F // payload: uvarint code + message text
+	THello       Type = 0x01 // both directions: magic + version
+	TQuery       Type = 0x10 // payload: DML text of one Retrieve
+	TExec        Type = 0x11 // payload: DML text of one update statement
+	TExplain     Type = 0x12 // payload: DML text of one Retrieve
+	TCheckpoint  Type = 0x13 // no payload
+	TStats       Type = 0x14 // no payload
+	TPing        Type = 0x15 // no payload
+	TQueryTrace  Type = 0x16 // payload: DML text; answered with TResultTrace
+	TResult      Type = 0x20 // payload: result set (EncodeResult)
+	TExecOK      Type = 0x21 // payload: uvarint affected-entity count
+	TExplainOK   Type = 0x22 // payload: strategy text
+	TOK          Type = 0x23 // no payload (Checkpoint ack)
+	TStatsOK     Type = 0x24 // payload: ServerStats
+	TPong        Type = 0x25 // no payload
+	TResultTrace Type = 0x26 // payload: result set + TraceInfo
+	TError       Type = 0x2F // payload: uvarint code + message text
 )
 
 var typeNames = map[Type]string{
 	THello: "Hello", TQuery: "Query", TExec: "Exec", TExplain: "Explain",
 	TCheckpoint: "Checkpoint", TStats: "Stats", TPing: "Ping",
-	TResult: "Result", TExecOK: "ExecOK", TExplainOK: "ExplainOK",
-	TOK: "OK", TStatsOK: "StatsOK", TPong: "Pong", TError: "Error",
+	TQueryTrace: "QueryTrace",
+	TResult:     "Result", TExecOK: "ExecOK", TExplainOK: "ExplainOK",
+	TOK: "OK", TStatsOK: "StatsOK", TPong: "Pong",
+	TResultTrace: "ResultTrace", TError: "Error",
 }
 
 func (t Type) String() string {

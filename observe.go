@@ -1,0 +1,107 @@
+package sim
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"sim/internal/ast"
+	"sim/internal/obs"
+	"sim/internal/parser"
+)
+
+// Metrics returns the database's metric registry. Every engine component
+// (buffer pool, WAL, LUC caches, plan cache, executor, query latency)
+// registers here; servers expose it over /metrics and expvar.
+func (db *Database) Metrics() *obs.Registry { return db.reg }
+
+// SlowQueries returns the retained slow-query log, oldest first. Empty
+// unless Config.SlowQuery is set.
+func (db *Database) SlowQueries() []obs.SlowEntry { return db.slow.Entries() }
+
+// QueryTrace executes one Retrieve statement like Query while collecting
+// the full span breakdown: parse/plan/execute phases, per-query-tree-node
+// rows and walls, per-worker spans on the parallel path, and the
+// pager/LUC-cache deltas across the execution.
+func (db *Database) QueryTrace(dml string) (*Result, *obs.QueryTrace, error) {
+	return db.QueryTraceCtx(context.Background(), dml)
+}
+
+// QueryTraceCtx is QueryTrace under a context. Tracing costs one
+// time.Now pair per node visit; concurrent untraced queries are
+// unaffected. The cache deltas are process-wide counters sampled before
+// and after, so under concurrent load they include neighbors' traffic.
+func (db *Database) QueryTraceCtx(ctx context.Context, dml string) (*Result, *obs.QueryTrace, error) {
+	tr := &obs.QueryTrace{Statement: dml}
+	start := time.Now()
+	res, err := db.queryTraceCtx(ctx, dml, tr)
+	tr.Total = time.Since(start)
+	db.queryHist.Observe(tr.Total)
+	if err != nil {
+		db.queryErrs.Inc()
+		return nil, nil, err
+	}
+	if db.slow.Observe(dml, tr.Total, res.Stats.Rows) {
+		db.slowCount.Inc()
+	}
+	return res, tr, nil
+}
+
+func (db *Database) queryTraceCtx(ctx context.Context, dml string, tr *obs.QueryTrace) (*Result, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	poolBefore := db.store.Stats()
+	cacheBefore := db.mapper.CacheStats()
+	p, ok := db.plans.get(dml)
+	if ok {
+		tr.PlanCached = true
+	} else {
+		parseStart := time.Now()
+		stmt, err := parser.ParseStmt(dml)
+		if err != nil {
+			return nil, err
+		}
+		ret, isRet := stmt.(*ast.RetrieveStmt)
+		if !isRet {
+			return nil, fmt.Errorf("sim: QueryTrace wants a Retrieve statement; use Exec for updates")
+		}
+		tr.Parse = time.Since(parseStart)
+		planStart := time.Now()
+		p, err = db.planRetrieve(ret)
+		if err != nil {
+			return nil, err
+		}
+		tr.Plan = time.Since(planStart)
+		db.plans.put(dml, p)
+	}
+	tr.PlanDesc = p.Explain()
+	execStart := time.Now()
+	res, err := db.exe.RetrieveTraced(ctx, p, tr)
+	tr.Exec = time.Since(execStart)
+	if err != nil {
+		return nil, err
+	}
+	poolAfter := db.store.Stats()
+	cacheAfter := db.mapper.CacheStats()
+	tr.PagerHits = poolAfter.Hits - poolBefore.Hits
+	tr.PagerMisses = poolAfter.Misses - poolBefore.Misses
+	tr.CacheHits = cacheAfter.Hits - cacheBefore.Hits
+	tr.CacheMisses = cacheAfter.Misses - cacheBefore.Misses
+	return res, nil
+}
+
+// ExplainAnalyze executes the statement and renders the optimizer's
+// strategy annotated with measured row counts and per-node timings — the
+// query tree of §4.5 with its actual cost.
+func (db *Database) ExplainAnalyze(dml string) (string, error) {
+	return db.ExplainAnalyzeCtx(context.Background(), dml)
+}
+
+// ExplainAnalyzeCtx is ExplainAnalyze under a context.
+func (db *Database) ExplainAnalyzeCtx(ctx context.Context, dml string) (string, error) {
+	_, tr, err := db.QueryTraceCtx(ctx, dml)
+	if err != nil {
+		return "", err
+	}
+	return tr.Render(), nil
+}

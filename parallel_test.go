@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fmt"
+	"os"
 	"runtime"
 	"sync"
 	"testing"
@@ -102,10 +103,21 @@ func TestParallelMatchesSerial(t *testing.T) {
 
 // TestConcurrentSoak mixes Query, Exec and Checkpoint from concurrent
 // goroutines and verifies the database still satisfies every VERIFY
-// assertion afterwards.
+// assertion afterwards. With SIM_SOAK_TRACE set the readers run through
+// QueryTrace instead, soaking the span-collection path (CI runs both).
 func TestConcurrentSoak(t *testing.T) {
 	db := universityDB(t, Config{})
 	bulkStudents(t, db, 40)
+
+	traced := os.Getenv("SIM_SOAK_TRACE") != ""
+	query := func(q string) error {
+		if traced {
+			_, _, err := db.QueryTrace(q)
+			return err
+		}
+		_, err := db.Query(q)
+		return err
+	}
 
 	const readers = 4
 	const rounds = 20
@@ -117,7 +129,7 @@ func TestConcurrentSoak(t *testing.T) {
 		go func(g int) {
 			defer wg.Done()
 			for i := 0; i < rounds; i++ {
-				if _, err := db.Query(`From Student Retrieve Name, Name of Major-Department.`); err != nil {
+				if err := query(`From Student Retrieve Name, Name of Major-Department.`); err != nil {
 					errs <- fmt.Errorf("reader %d: %w", g, err)
 					return
 				}

@@ -5,6 +5,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"sim/internal/obs"
 	"sim/internal/plan"
 )
 
@@ -97,6 +98,44 @@ func (c *planCache) clear() {
 	defer c.mu.Unlock()
 	c.m = make(map[string]*list.Element, c.cap)
 	c.lru.Init()
+}
+
+// resetStats zeroes the hit/miss counters without touching cached plans.
+func (c *planCache) resetStats() {
+	if c == nil {
+		return
+	}
+	c.hits.Store(0)
+	c.misses.Store(0)
+}
+
+// registerMetrics publishes the cache counters; safe on a nil (disabled)
+// cache, where the readers report zero.
+func (c *planCache) registerMetrics(r *obs.Registry) {
+	r.CounterFunc("sim_plan_cache_hits_total", "Queries served from a cached plan.",
+		func() float64 {
+			if c == nil {
+				return 0
+			}
+			return float64(c.hits.Load())
+		})
+	r.CounterFunc("sim_plan_cache_misses_total", "Queries that paid parse+bind+optimize.",
+		func() float64 {
+			if c == nil {
+				return 0
+			}
+			return float64(c.misses.Load())
+		})
+	r.GaugeFunc("sim_plan_cache_entries", "Plans currently cached.",
+		func() float64 {
+			if c == nil {
+				return 0
+			}
+			c.mu.Lock()
+			n := c.lru.Len()
+			c.mu.Unlock()
+			return float64(n)
+		})
 }
 
 func (c *planCache) stats() PlanCacheStats {

@@ -26,6 +26,7 @@ import (
 	"runtime"
 	"strings"
 	"sync"
+	"time"
 
 	"sim/internal/ast"
 	"sim/internal/catalog"
@@ -33,20 +34,37 @@ import (
 	"sim/internal/exec"
 	"sim/internal/integrity"
 	"sim/internal/luc"
+	"sim/internal/obs"
 	"sim/internal/pager"
 	"sim/internal/parser"
 	"sim/internal/plan"
 	"sim/internal/query"
+	"sim/internal/wal"
 )
 
 // Result is a query result: column names, tabular rows, and — for
 // STRUCTURE-mode queries — the fully structured group tree.
 type Result = exec.Result
 
-// Stats aggregates storage-level counters for benchmarking and EXPLAIN.
+// ExecStats reports executor activity totals, read from the metric
+// registry.
+type ExecStats struct {
+	Queries   uint64 // Retrieve statements executed
+	Parallel  uint64 // Retrieves that ran the partitioned parallel path
+	Instances uint64 // range-variable bindings tried
+	Rows      uint64 // rows emitted
+	Updates   uint64 // update statements executed
+	Entities  uint64 // entities inserted/modified/deleted
+}
+
+// Stats aggregates engine counters for benchmarking and EXPLAIN: buffer
+// pool, plan cache, LUC record cache, executor totals and WAL activity.
 type Stats struct {
 	Pool  pager.Stats
 	Plans PlanCacheStats
+	Cache luc.CacheStats
+	Exec  ExecStats
+	WAL   wal.Stats
 }
 
 // Config tunes a database instance.
@@ -63,6 +81,10 @@ type Config struct {
 	// Mapping overrides the default physical mapping of §5.2; see
 	// luc.Config. It must be identical across openings of one database.
 	Mapping luc.Config
+	// SlowQuery is the threshold above which finished queries are retained
+	// in the slow-query log (see Database.SlowQueries). Zero disables the
+	// log.
+	SlowQuery time.Duration
 }
 
 // queryWorkers resolves Config.Workers to an effective worker count.
@@ -89,6 +111,13 @@ type Database struct {
 	mapper *luc.Mapper
 	exe    *exec.Executor
 	plans  *planCache
+
+	reg       *obs.Registry  // unified metric registry (see Metrics)
+	slow      *obs.SlowLog   // queries over Config.SlowQuery
+	queryHist *obs.Histogram // sim_query_seconds
+	execHist  *obs.Histogram // sim_update_seconds
+	queryErrs *obs.Counter   // sim_query_errors_total
+	slowCount *obs.Counter   // sim_slow_queries_total
 }
 
 // Open opens (creating if necessary) the database at path; an empty path
@@ -106,7 +135,19 @@ func Open(path string, cfg Config) (*Database, error) {
 	if err != nil {
 		return nil, err
 	}
-	db := &Database{store: store, cfg: cfg, plans: newPlanCache(cfg.PlanCacheSize)}
+	db := &Database{
+		store: store,
+		cfg:   cfg,
+		plans: newPlanCache(cfg.PlanCacheSize),
+		reg:   obs.NewRegistry(),
+		slow:  obs.NewSlowLog(cfg.SlowQuery),
+	}
+	db.queryHist = db.reg.Histogram("sim_query_seconds", "End-to-end Retrieve latency (parse+plan+execute).")
+	db.execHist = db.reg.Histogram("sim_update_seconds", "End-to-end update-statement latency, including commit.")
+	db.queryErrs = db.reg.Counter("sim_query_errors_total", "Retrieve statements that returned an error.")
+	db.slowCount = db.reg.Counter("sim_slow_queries_total", "Queries slower than the configured slow-query threshold.")
+	store.RegisterMetrics(db.reg)
+	db.plans.registerMetrics(db.reg)
 	if err := db.loadSchema(); err != nil {
 		store.Close()
 		return nil, err
@@ -178,6 +219,11 @@ func (db *Database) rebuild(batches []string) error {
 	exe := exec.New(mapper)
 	exe.SetConstraints(constraints)
 	exe.SetWorkers(db.cfg.queryWorkers())
+	// Owned counters come back identical across rebuilds (totals keep
+	// accumulating); the mapper's func-backed readers are re-pointed at the
+	// fresh instance.
+	exe.SetMetrics(db.reg)
+	mapper.RegisterMetrics(db.reg)
 	db.ddl = batches
 	db.cat = cat
 	db.mapper = mapper
@@ -229,13 +275,42 @@ func (db *Database) Catalog() *catalog.Catalog { return db.cat }
 // Mapper exposes the LUC Mapper (advanced use: statistics, direct scans).
 func (db *Database) Mapper() *luc.Mapper { return db.mapper }
 
-// Stats returns storage counters. It is safe to call while queries run.
+// Stats returns engine counters. It is safe to call while queries run.
 func (db *Database) Stats() Stats {
-	return Stats{Pool: db.store.Stats(), Plans: db.plans.stats()}
+	db.mu.RLock()
+	mapper, reg := db.mapper, db.reg
+	db.mu.RUnlock()
+	return Stats{
+		Pool:  db.store.Stats(),
+		Plans: db.plans.stats(),
+		Cache: mapper.CacheStats(),
+		WAL:   db.store.WALStats(),
+		Exec: ExecStats{
+			Queries:   uint64(reg.Get("sim_exec_queries_total")),
+			Parallel:  uint64(reg.Get("sim_exec_parallel_queries_total")),
+			Instances: uint64(reg.Get("sim_exec_instances_total")),
+			Rows:      uint64(reg.Get("sim_exec_rows_total")),
+			Updates:   uint64(reg.Get("sim_exec_updates_total")),
+			Entities:  uint64(reg.Get("sim_exec_entities_updated_total")),
+		},
+	}
 }
 
-// ResetStats zeroes storage counters (between benchmark phases).
-func (db *Database) ResetStats() { db.store.ResetStats() }
+// ResetStats zeroes the activity counters, for benchmark phase
+// boundaries: buffer pool hits/misses/writes, plan cache hits/misses
+// (cached plans stay), the LUC record-cache hit/miss counters, and every
+// registry-owned counter and histogram (executor totals, query/update
+// latency). WAL totals, the page-count gauge and the slow-query log are
+// cumulative and survive a reset.
+func (db *Database) ResetStats() {
+	db.mu.RLock()
+	mapper := db.mapper
+	db.mu.RUnlock()
+	db.store.ResetStats()
+	db.plans.resetStats()
+	mapper.ResetCacheStats()
+	db.reg.ResetCounters()
+}
 
 // Query executes one Retrieve statement and returns its result. Repeated
 // statements hit the plan cache and skip parse/bind/optimize; the cache is
@@ -248,6 +323,21 @@ func (db *Database) Query(dml string) (*Result, error) {
 // observed between rows of the outermost range, so long scans stop
 // promptly. The network server uses this for per-request deadlines.
 func (db *Database) QueryCtx(ctx context.Context, dml string) (*Result, error) {
+	start := time.Now()
+	res, err := db.queryCtx(ctx, dml)
+	d := time.Since(start)
+	db.queryHist.Observe(d)
+	if err != nil {
+		db.queryErrs.Inc()
+		return nil, err
+	}
+	if db.slow.Observe(dml, d, res.Stats.Rows) {
+		db.slowCount.Inc()
+	}
+	return res, nil
+}
+
+func (db *Database) queryCtx(ctx context.Context, dml string) (*Result, error) {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
 	if p, ok := db.plans.get(dml); ok {
@@ -321,13 +411,16 @@ func (db *Database) Exec(dml string) (int, error) {
 // entities an update selects; a cancelled statement rolls back like any
 // other failed statement, leaving the database unchanged.
 func (db *Database) ExecCtx(ctx context.Context, dml string) (int, error) {
+	start := time.Now()
 	stmt, err := parser.ParseStmt(dml)
 	if err != nil {
 		return 0, err
 	}
 	db.mu.Lock()
-	defer db.mu.Unlock()
-	return db.execStmt(ctx, stmt)
+	n, err := db.execStmt(ctx, stmt)
+	db.mu.Unlock()
+	db.execHist.Observe(time.Since(start))
+	return n, err
 }
 
 func (db *Database) execStmt(ctx context.Context, stmt ast.Stmt) (int, error) {
