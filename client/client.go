@@ -17,23 +17,66 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/rand"
 	"net"
+	"strings"
 	"time"
 
 	"sim"
+	"sim/internal/obs"
 	"sim/internal/wire"
 )
 
 // Config tunes a connection.
 type Config struct {
-	// DialTimeout bounds connection establishment (default 10s).
+	// DialTimeout bounds connection establishment (default 10s). A
+	// context passed to DialCtx/DialConfigCtx can end it sooner.
 	DialTimeout time.Duration
 	// MaxFrame bounds accepted response frames (default wire.DefaultMaxFrame).
 	MaxFrame int
 	// NoReconnect disables the transparent re-dial after the server
-	// closes an idle connection.
+	// closes an idle connection, and with it all request retries.
 	NoReconnect bool
+	// MaxRetries bounds the transparent retries of one request after a
+	// retryable failure — a broken connection, a dial timeout, or a
+	// CodeOverloaded/CodeBusy fast-fail (idempotent requests only).
+	// Default 2; negative disables retries.
+	MaxRetries int
+	// RetryBackoff is the base delay between retries; each retry doubles
+	// it and adds jitter. Default 20ms.
+	RetryBackoff time.Duration
+	// Sleep, when set, replaces the real backoff sleep — tests and
+	// benchmarks inject it for deterministic, clock-free retry runs. It
+	// must return ctx.Err() if the context ends first.
+	Sleep func(ctx context.Context, d time.Duration) error
+	// Registry, when set, receives the connection's robustness counters:
+	// sim_client_retries_total and sim_client_redials_total.
+	Registry *obs.Registry
 }
+
+// NetError is a transport-layer client failure: dialing, handshaking,
+// or a broken connection mid-request. Retryable distinguishes failures
+// worth another attempt (connection refused, timeouts, a server that
+// vanished mid-frame) from fatal ones (protocol mismatch: the peer is
+// not a compatible SIM server). Server-side statement errors are NOT
+// NetErrors; they arrive as *wire.Error.
+type NetError struct {
+	Op        string // "dial", "handshake", "send", "receive"
+	Addr      string
+	Retryable bool
+	Err       error
+}
+
+func (e *NetError) Error() string {
+	kind := "fatal"
+	if e.Retryable {
+		kind = "retryable"
+	}
+	return fmt.Sprintf("client: %s %s (%s): %v", e.Op, e.Addr, kind, e.Err)
+}
+
+// Unwrap exposes the cause to errors.Is/As.
+func (e *NetError) Unwrap() error { return e.Err }
 
 // Conn is a client session with a SIM server. Methods are safe for
 // concurrent use but execute one request at a time.
@@ -44,22 +87,46 @@ type Conn struct {
 	reqMu  chan struct{} // capacity-1 semaphore serializing requests
 	nc     net.Conn
 	reused bool // current nc has completed at least one request
+
+	retries *obs.Counter // nil without a registry
+	redials *obs.Counter
 }
 
 // Dial connects to a SIM server at addr ("host:port") and performs the
 // protocol handshake.
 func Dial(addr string) (*Conn, error) { return DialConfig(addr, Config{}) }
 
+// DialCtx is Dial honoring a context: cancellation or deadline expiry
+// aborts both the TCP dial and the handshake.
+func DialCtx(ctx context.Context, addr string) (*Conn, error) {
+	return DialConfigCtx(ctx, addr, Config{})
+}
+
 // DialConfig is Dial with explicit configuration.
 func DialConfig(addr string, cfg Config) (*Conn, error) {
+	return DialConfigCtx(context.Background(), addr, cfg)
+}
+
+// DialConfigCtx is DialCtx with explicit configuration.
+func DialConfigCtx(ctx context.Context, addr string, cfg Config) (*Conn, error) {
 	if cfg.DialTimeout <= 0 {
 		cfg.DialTimeout = 10 * time.Second
 	}
 	if cfg.MaxFrame <= 0 {
 		cfg.MaxFrame = wire.DefaultMaxFrame
 	}
+	if cfg.MaxRetries == 0 {
+		cfg.MaxRetries = 2
+	}
+	if cfg.RetryBackoff <= 0 {
+		cfg.RetryBackoff = 20 * time.Millisecond
+	}
 	c := &Conn{addr: addr, cfg: cfg, reqMu: make(chan struct{}, 1)}
-	nc, err := c.connect()
+	if r := cfg.Registry; r != nil {
+		c.retries = r.Counter("sim_client_retries_total", "Requests transparently retried after a retryable failure.")
+		c.redials = r.Counter("sim_client_redials_total", "Connections re-established after a broken or refused one.")
+	}
+	nc, err := c.connect(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -67,40 +134,76 @@ func DialConfig(addr string, cfg Config) (*Conn, error) {
 	return c, nil
 }
 
-// connect dials and completes the Hello exchange.
-func (c *Conn) connect() (net.Conn, error) {
-	nc, err := net.DialTimeout("tcp", c.addr, c.cfg.DialTimeout)
-	if err != nil {
-		return nil, err
+// connect dials and completes the Hello exchange under ctx.
+func (c *Conn) connect(ctx context.Context) (net.Conn, error) {
+	dialErr := func(op string, retryable bool, err error) error {
+		return &NetError{Op: op, Addr: c.addr, Retryable: retryable, Err: err}
 	}
-	nc.SetDeadline(time.Now().Add(c.cfg.DialTimeout))
+	dctx, cancel := context.WithTimeout(ctx, c.cfg.DialTimeout)
+	defer cancel()
+	var d net.Dialer
+	nc, err := d.DialContext(dctx, "tcp", c.addr)
+	if err != nil {
+		// Refused, unreachable, timed out: all worth another attempt —
+		// unless the caller's context ended, which is final for them.
+		return nil, dialErr("dial", ctx.Err() == nil, err)
+	}
+	deadline := time.Now().Add(c.cfg.DialTimeout)
+	if d, ok := ctx.Deadline(); ok && d.Before(deadline) {
+		deadline = d
+	}
+	nc.SetDeadline(deadline)
 	if err := wire.WriteFrame(nc, wire.THello, wire.EncodeHello()); err != nil {
 		nc.Close()
-		return nil, fmt.Errorf("client: handshake: %w", err)
+		return nil, dialErr("handshake", true, err)
 	}
 	t, payload, err := wire.ReadFrame(nc, c.cfg.MaxFrame)
 	if err != nil {
 		nc.Close()
-		return nil, fmt.Errorf("client: handshake: %w", err)
+		// A frame-level violation means the peer speaks some other
+		// protocol — fatal. I/O failures (timeouts, resets) may pass.
+		protocolGarbage := errors.Is(err, wire.ErrFrameTooLarge) || strings.HasPrefix(err.Error(), "wire:")
+		return nil, dialErr("handshake", !protocolGarbage, err)
 	}
 	switch t {
 	case wire.THello:
 		if _, err := wire.DecodeHello(payload); err != nil {
 			nc.Close()
-			return nil, fmt.Errorf("client: handshake: %w", err)
+			// The peer is not a SIM server: retrying cannot help.
+			return nil, dialErr("handshake", false, err)
 		}
 	case wire.TError:
 		nc.Close()
 		if e, derr := wire.DecodeError(payload); derr == nil {
-			return nil, e
+			// Protocol/version refusals are fatal; a server at its
+			// connection limit is worth retrying.
+			return nil, dialErr("handshake", e.Code == wire.CodeBusy || e.Code == wire.CodeShutdown, e)
 		}
-		return nil, fmt.Errorf("client: handshake refused")
+		return nil, dialErr("handshake", false, errors.New("handshake refused"))
 	default:
 		nc.Close()
-		return nil, fmt.Errorf("client: handshake: unexpected %v frame", t)
+		return nil, dialErr("handshake", false, fmt.Errorf("unexpected %v frame", t))
 	}
 	nc.SetDeadline(time.Time{})
 	return nc, nil
+}
+
+// backoff sleeps before retry attempt (0-based), with exponential
+// growth and jitter, honoring ctx.
+func (c *Conn) backoff(ctx context.Context, attempt int) error {
+	d := c.cfg.RetryBackoff << attempt
+	d = d/2 + time.Duration(rand.Int63n(int64(d/2)+1)) // jitter in [d/2, d]
+	if c.cfg.Sleep != nil {
+		return c.cfg.Sleep(ctx, d)
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
 }
 
 // Close closes the connection. The Conn is unusable afterwards.
@@ -119,11 +222,13 @@ func (c *Conn) Close() error {
 // errClosed reports use of an explicitly closed Conn.
 var errClosed = errors.New("client: connection closed")
 
-// roundTrip sends one request and reads its one response, reconnecting
-// once if a previously used connection turns out to have been closed
-// underneath us. Exec requests are retried only when the request never
-// left this process (the send itself failed); idempotent requests are
-// also retried when the connection broke before a response arrived.
+// roundTrip sends one request and reads its one response, transparently
+// retrying retryable failures with exponential backoff: broken or
+// refused connections, and CodeOverloaded/CodeBusy fast-fails from the
+// server. Exec requests are retried only when the request never left
+// this process (the send itself failed) — a broken connection after a
+// successful send means the update may have applied, and retrying would
+// double-apply it. Idempotent requests retry in every retryable case.
 func (c *Conn) roundTrip(ctx context.Context, t wire.Type, payload []byte, idempotent bool) (wire.Type, []byte, error) {
 	select {
 	case c.reqMu <- struct{}{}:
@@ -134,30 +239,64 @@ func (c *Conn) roundTrip(ctx context.Context, t wire.Type, payload []byte, idemp
 	if c.nc == nil && c.addr == "" {
 		return 0, nil, errClosed
 	}
-	for attempt := 0; ; attempt++ {
+	budget := c.cfg.MaxRetries
+	if budget < 0 || c.cfg.NoReconnect {
+		budget = 0
+	}
+	used := 0
+	// retry spends one retry from the budget, backing off first.
+	retry := func() bool {
+		if used >= budget || ctx.Err() != nil {
+			return false
+		}
+		if err := c.backoff(ctx, used); err != nil {
+			return false
+		}
+		used++
+		if c.retries != nil {
+			c.retries.Inc()
+		}
+		return true
+	}
+	for {
 		if c.nc == nil {
-			nc, err := c.connect()
+			nc, err := c.connect(ctx)
 			if err != nil {
+				var ne *NetError
+				if errors.As(err, &ne) && ne.Retryable && retry() {
+					continue
+				}
 				return 0, nil, err
 			}
 			c.nc, c.reused = nc, false
+			if c.redials != nil {
+				c.redials.Inc()
+			}
 		}
 		rt, resp, sendFailed, err := c.attempt(ctx, t, payload)
 		if err == nil {
 			c.reused = true
+			// A fast-fail from a saturated server: the connection is
+			// healthy, the request was simply refused. Back off and
+			// retry idempotent requests.
+			if rt == wire.TError && idempotent {
+				if e, derr := wire.DecodeError(resp); derr == nil &&
+					(e.Code == wire.CodeOverloaded || e.Code == wire.CodeBusy) && retry() {
+					continue
+				}
+			}
 			return rt, resp, nil
 		}
 		// The connection is in an unknown state mid-frame: drop it.
-		wasReused := c.reused
 		c.nc.Close()
 		c.nc, c.reused = nil, false
 		if ctx.Err() != nil {
 			return 0, nil, ctx.Err()
 		}
-		retriable := wasReused && attempt == 0 && (sendFailed || idempotent)
-		if c.cfg.NoReconnect || !retriable {
-			return 0, nil, err
+		if (sendFailed || idempotent) && retry() {
+			continue
 		}
+		return 0, nil, err
 	}
 }
 
@@ -182,11 +321,11 @@ func (c *Conn) attempt(ctx context.Context, t wire.Type, payload []byte) (rt wir
 		}()
 	}
 	if err := wire.WriteFrame(nc, t, payload); err != nil {
-		return 0, nil, true, fmt.Errorf("client: send: %w", err)
+		return 0, nil, true, &NetError{Op: "send", Addr: c.addr, Retryable: true, Err: err}
 	}
 	rt, resp, err = wire.ReadFrame(nc, c.cfg.MaxFrame)
 	if err != nil {
-		return 0, nil, false, fmt.Errorf("client: receive: %w", err)
+		return 0, nil, false, &NetError{Op: "receive", Addr: c.addr, Retryable: true, Err: err}
 	}
 	return rt, resp, false, nil
 }

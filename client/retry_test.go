@@ -1,0 +1,270 @@
+package client_test
+
+import (
+	"context"
+	"errors"
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"sim/client"
+	"sim/internal/obs"
+	"sim/internal/wire"
+)
+
+// fakeServer accepts wire connections, completes the handshake, and
+// answers each request via script, which may also close the connection
+// by returning ok=false.
+type fakeServer struct {
+	lis      net.Listener
+	requests atomic.Uint64
+	script   func(n uint64, t wire.Type) (wire.Type, []byte, bool)
+}
+
+func newFakeServer(t *testing.T, script func(n uint64, t wire.Type) (wire.Type, []byte, bool)) *fakeServer {
+	t.Helper()
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := &fakeServer{lis: lis, script: script}
+	go fs.serve()
+	t.Cleanup(func() { lis.Close() })
+	return fs
+}
+
+func (fs *fakeServer) addr() string { return fs.lis.Addr().String() }
+
+func (fs *fakeServer) serve() {
+	for {
+		nc, err := fs.lis.Accept()
+		if err != nil {
+			return
+		}
+		go func() {
+			defer nc.Close()
+			t, payload, err := wire.ReadFrame(nc, 0)
+			if err != nil || t != wire.THello {
+				return
+			}
+			if _, err := wire.DecodeHello(payload); err != nil {
+				return
+			}
+			if err := wire.WriteFrame(nc, wire.THello, wire.EncodeHello()); err != nil {
+				return
+			}
+			for {
+				t, _, err := wire.ReadFrame(nc, 0)
+				if err != nil {
+					return
+				}
+				n := fs.requests.Add(1)
+				rt, resp, ok := fs.script(n, t)
+				if !ok {
+					return
+				}
+				if err := wire.WriteFrame(nc, rt, resp); err != nil {
+					return
+				}
+			}
+		}()
+	}
+}
+
+// noSleep is an injected backoff that only counts.
+func noSleep(calls *atomic.Uint64) func(context.Context, time.Duration) error {
+	return func(ctx context.Context, d time.Duration) error {
+		calls.Add(1)
+		return ctx.Err()
+	}
+}
+
+func TestDialRefusedIsRetryableNetError(t *testing.T) {
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := lis.Addr().String()
+	lis.Close() // nothing listens here now
+
+	_, err = client.DialConfig(addr, client.Config{DialTimeout: 2 * time.Second})
+	var ne *client.NetError
+	if !errors.As(err, &ne) {
+		t.Fatalf("dial to dead port = %v, want *NetError", err)
+	}
+	if ne.Op != "dial" || !ne.Retryable {
+		t.Errorf("NetError = %+v, want retryable dial", ne)
+	}
+}
+
+func TestDialCtxHonorsDeadlineDuringHandshake(t *testing.T) {
+	// A listener that accepts but never answers the handshake.
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lis.Close()
+	go func() {
+		for {
+			nc, err := lis.Accept()
+			if err != nil {
+				return
+			}
+			defer nc.Close()
+			_ = nc // read nothing, answer nothing
+		}
+	}()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err = client.DialCtx(ctx, lis.Addr().String()) // default DialTimeout is 10s
+	if err == nil {
+		t.Fatal("handshake against a mute server succeeded")
+	}
+	if d := time.Since(start); d > 5*time.Second {
+		t.Fatalf("DialCtx ignored the context deadline (took %v)", d)
+	}
+	var ne *client.NetError
+	if !errors.As(err, &ne) || ne.Op != "handshake" {
+		t.Errorf("err = %v, want handshake NetError", err)
+	}
+}
+
+func TestProtocolMismatchIsFatal(t *testing.T) {
+	// A listener speaking something else entirely.
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lis.Close()
+	go func() {
+		for {
+			nc, err := lis.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				defer nc.Close()
+				buf := make([]byte, 64)
+				nc.Read(buf)
+				nc.Write([]byte("HTTP/1.1 400 Bad Request\r\n\r\n"))
+			}()
+		}
+	}()
+
+	_, err = client.DialConfig(lis.Addr().String(), client.Config{DialTimeout: 2 * time.Second})
+	var ne *client.NetError
+	if !errors.As(err, &ne) {
+		t.Fatalf("err = %v, want *NetError", err)
+	}
+	if ne.Retryable {
+		t.Errorf("protocol mismatch marked retryable: %+v", ne)
+	}
+}
+
+// An overloaded fast-fail on an idempotent request is retried with
+// backoff and succeeds; the retry is counted.
+func TestOverloadedFastFailRetried(t *testing.T) {
+	fs := newFakeServer(t, func(n uint64, _ wire.Type) (wire.Type, []byte, bool) {
+		if n == 1 {
+			return wire.TError, wire.EncodeError(wire.CodeOverloaded, "full"), true
+		}
+		return wire.TPong, nil, true
+	})
+	var sleeps atomic.Uint64
+	reg := obs.NewRegistry()
+	c, err := client.DialConfig(fs.addr(), client.Config{
+		MaxRetries: 3, Sleep: noSleep(&sleeps), Registry: reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Ping(context.Background()); err != nil {
+		t.Fatalf("ping through one overload = %v", err)
+	}
+	if sleeps.Load() != 1 {
+		t.Errorf("backoff slept %d times, want 1", sleeps.Load())
+	}
+	if got := reg.Get("sim_client_retries_total"); got != 1 {
+		t.Errorf("sim_client_retries_total = %v, want 1", got)
+	}
+}
+
+// A persistently overloaded server exhausts the retry budget and the
+// client surfaces the overload error.
+func TestOverloadRetryBudgetExhausted(t *testing.T) {
+	fs := newFakeServer(t, func(n uint64, _ wire.Type) (wire.Type, []byte, bool) {
+		return wire.TError, wire.EncodeError(wire.CodeOverloaded, "full"), true
+	})
+	var sleeps atomic.Uint64
+	c, err := client.DialConfig(fs.addr(), client.Config{MaxRetries: 2, Sleep: noSleep(&sleeps)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	err = c.Ping(context.Background())
+	var we *wire.Error
+	if !errors.As(err, &we) || we.Code != wire.CodeOverloaded {
+		t.Fatalf("ping = %v, want CodeOverloaded after budget", err)
+	}
+	if sleeps.Load() != 2 {
+		t.Errorf("backoff slept %d times, want 2", sleeps.Load())
+	}
+}
+
+// A broken connection after a successful send must NOT retry a
+// non-idempotent Exec (the update may have applied server-side).
+func TestExecNotRetriedAfterBrokenResponse(t *testing.T) {
+	fs := newFakeServer(t, func(n uint64, _ wire.Type) (wire.Type, []byte, bool) {
+		return 0, nil, false // drop the connection instead of answering
+	})
+	var sleeps atomic.Uint64
+	c, err := client.DialConfig(fs.addr(), client.Config{MaxRetries: 3, Sleep: noSleep(&sleeps)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	_, err = c.Exec(`Insert item (num := 1).`)
+	var ne *client.NetError
+	if !errors.As(err, &ne) || ne.Op != "receive" {
+		t.Fatalf("exec over dying server = %v, want receive NetError", err)
+	}
+	if got := fs.requests.Load(); got != 1 {
+		t.Errorf("server saw %d exec requests, want exactly 1 (no blind retry)", got)
+	}
+	if sleeps.Load() != 0 {
+		t.Errorf("non-idempotent request backed off %d times", sleeps.Load())
+	}
+}
+
+// The same broken connection IS retried for idempotent requests, via a
+// redial that is counted.
+func TestIdempotentRetriedAcrossRedial(t *testing.T) {
+	fs := newFakeServer(t, func(n uint64, _ wire.Type) (wire.Type, []byte, bool) {
+		if n == 1 {
+			return 0, nil, false // kill the first connection mid-request
+		}
+		return wire.TPong, nil, true
+	})
+	var sleeps atomic.Uint64
+	reg := obs.NewRegistry()
+	c, err := client.DialConfig(fs.addr(), client.Config{
+		MaxRetries: 3, Sleep: noSleep(&sleeps), Registry: reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Ping(context.Background()); err != nil {
+		t.Fatalf("ping across redial = %v", err)
+	}
+	if got := reg.Get("sim_client_redials_total"); got != 1 {
+		t.Errorf("sim_client_redials_total = %v, want 1", got)
+	}
+	if got := fs.requests.Load(); got != 2 {
+		t.Errorf("server saw %d requests, want 2", got)
+	}
+}

@@ -5,10 +5,12 @@
 //
 //	simbench [-run id[,id...]] [-scale n] [-reps n] [-parallel n] [-net]
 //
-// Experiment ids: fig2, adds, dml, t1..t10, obs, all (default). The t9
-// run writes its table to BENCH_parallel.json, the t10 run (network mode,
-// also selectable as -net) writes BENCH_net.json, and the obs run
-// (tracing overhead) writes BENCH_obs.json for machine consumption.
+// Experiment ids: fig2, adds, dml, t1..t10, obs, fault, all (default).
+// The t9 run writes its table to BENCH_parallel.json, the t10 run
+// (network mode, also selectable as -net) writes BENCH_net.json, the obs
+// run (tracing overhead) writes BENCH_obs.json, and the fault run
+// (checksum/recovery/retry overhead) writes BENCH_fault.json for machine
+// consumption.
 package main
 
 import (
@@ -22,7 +24,7 @@ import (
 )
 
 func main() {
-	run := flag.String("run", "all", "comma-separated experiment ids (fig2,adds,dml,t1..t10,obs)")
+	run := flag.String("run", "all", "comma-separated experiment ids (fig2,adds,dml,t1..t10,obs,fault)")
 	scale := flag.Int("scale", 1, "workload scale factor")
 	reps := flag.Int("reps", 5, "repetitions per measurement")
 	parallel := flag.Int("parallel", 8, "maximum concurrent clients for t9/t10")
@@ -63,11 +65,13 @@ func main() {
 		{"t9", func() (*bench.Table, error) { return bench.T9(w, *reps, *parallel) }},
 		{"t10", func() (*bench.Table, error) { return bench.T10(w, *reps, *parallel) }},
 		{"obs", func() (*bench.Table, error) { return bench.Obs(w, *reps) }},
+		{"fault", func() (*bench.Table, error) { return bench.Fault(*reps) }},
 	}
 	artifacts := map[string]string{
-		"t9":  "BENCH_parallel.json",
-		"t10": "BENCH_net.json",
-		"obs": "BENCH_obs.json",
+		"t9":    "BENCH_parallel.json",
+		"t10":   "BENCH_net.json",
+		"obs":   "BENCH_obs.json",
+		"fault": "BENCH_fault.json",
 	}
 	ran := 0
 	for _, ex := range experiments {

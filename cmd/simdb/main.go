@@ -21,6 +21,7 @@
 //	\analyze <query>  execute the query and show the measured per-node profile
 //	\timing [on|off]  print span timings (parse/plan/exec) after each query
 //	\check            run every VERIFY assertion (local only)
+//	\verify           audit storage: page checksums + full structure scan (local only)
 //	\stats            print server counters (remote) or engine stats (local)
 //	\quit             exit
 //
@@ -192,6 +193,17 @@ func command(s session, line string) bool {
 		} else {
 			fmt.Println("all assertions hold")
 		}
+	case `\verify`:
+		if !local {
+			fmt.Fprintln(os.Stderr, `\verify needs a local database`)
+			break
+		}
+		rep, err := db.Scrub()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			break
+		}
+		fmt.Println(rep)
 	case `\stats`:
 		if conn, ok := s.(*client.Conn); ok {
 			st, err := conn.ServerStats(context.Background())
@@ -211,7 +223,7 @@ func command(s session, line string) bool {
 		fmt.Println(`statements end with '.' or ';'
 DDL:  Type/Class/Subclass/Verify declarations (via -schema or pasted; local only)
 DML:  Retrieve / Insert / Modify / Delete
-commands: \schema \classes \explain <q> \analyze <q> \timing [on|off] \check \stats \quit`)
+commands: \schema \classes \explain <q> \analyze <q> \timing [on|off] \check \verify \stats \quit`)
 	default:
 		fmt.Fprintf(os.Stderr, "unknown command %s (try \\help)\n", cmd)
 	}

@@ -45,6 +45,7 @@ func main() {
 	schemaFile := flag.String("schema", "", "DDL file to define at startup")
 	univ := flag.Bool("university", false, "define the paper's UNIVERSITY schema at startup")
 	maxConns := flag.Int("max-conns", 256, "concurrent connection limit")
+	maxInflight := flag.Int("max-inflight", 0, "concurrent request limit; excess requests fast-fail with 'overloaded' (0: unbounded)")
 	workers := flag.Int("workers", 0, "per-query parallelism (0: GOMAXPROCS)")
 	poolPages := flag.Int("pool-pages", 0, "buffer pool pages (0: default)")
 	reqTimeout := flag.Duration("request-timeout", time.Minute, "per-request execution deadline (0: none)")
@@ -92,6 +93,7 @@ func main() {
 
 	srv := server.New(db, server.Config{
 		MaxConns:       *maxConns,
+		MaxInflight:    *maxInflight,
 		ReadTimeout:    *readTimeout,
 		WriteTimeout:   *writeTimeout,
 		RequestTimeout: *reqTimeout,

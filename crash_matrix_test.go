@@ -1,0 +1,294 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"testing"
+
+	"sim/internal/dmsii"
+	"sim/internal/fault"
+	"sim/internal/pager"
+	"sim/internal/wal"
+)
+
+// openFaultDB assembles a full Database over fault-wrapped in-memory
+// storage: ChecksumFile(fault(dbImg)) for pages, WAL over fault(walImg).
+// The images outlive the wrappers, so a crashed database can be
+// "rebooted" by calling openFaultDB again with a fresh injector.
+func openFaultDB(inj *fault.Injector, dbImg, walImg *pager.MemByteFile) (*Database, error) {
+	file := pager.NewChecksumFile(fault.Wrap("db", dbImg, inj))
+	log, err := wal.OpenBacking(fault.Wrap("wal", walImg, inj))
+	if err != nil {
+		return nil, err
+	}
+	store, err := dmsii.OpenFiles(file, log, dmsii.Options{})
+	if err != nil {
+		return nil, err
+	}
+	return openStore(store, Config{})
+}
+
+const crashMatrixSchema = `Class Item ( num: integer unique required; tag: string[16] );`
+
+// crashStep is one transaction of the crash-matrix workload plus a model
+// of its effect on a num->tag map, so any committed prefix's expected
+// state can be computed without the database.
+type crashStep struct {
+	dml   string
+	apply func(m map[string]string)
+}
+
+func crashMatrixSteps() []crashStep {
+	set := func(m map[string]string, num int, tag string) { m[fmt.Sprint(num)] = tag }
+	retagBelow := func(m map[string]string, n int, tag string) {
+		for k := range m {
+			var num int
+			fmt.Sscan(k, &num)
+			if num < n {
+				m[k] = tag
+			}
+		}
+	}
+	return []crashStep{
+		{`Insert item (num := 1, tag := "t1").`, func(m map[string]string) { set(m, 1, "t1") }},
+		{`Insert item (num := 2, tag := "t2").`, func(m map[string]string) { set(m, 2, "t2") }},
+		{`Modify item (tag := "m4") Where num < 3.`, func(m map[string]string) { retagBelow(m, 3, "m4") }},
+		{`Insert item (num := 5, tag := "t5").`, func(m map[string]string) { set(m, 5, "t5") }},
+		{`Modify item (tag := "m6") Where num < 6.`, func(m map[string]string) { retagBelow(m, 6, "m6") }},
+		{`Insert item (num := 7, tag := "t7").`, func(m map[string]string) { set(m, 7, "t7") }},
+	}
+}
+
+// prefixState returns the expected num->tag map after the first k steps
+// of the workload, where step 1 is DefineSchema and steps 2..n+1 are the
+// transactions.
+func prefixState(k int, steps []crashStep) map[string]string {
+	m := make(map[string]string)
+	for i := 0; i < k-1 && i < len(steps); i++ {
+		steps[i].apply(m)
+	}
+	return m
+}
+
+// runCrashWorkload runs the workload until the first failure, returning
+// the number of steps (schema batch = step 1) that reported success.
+func runCrashWorkload(inj *fault.Injector, dbImg, walImg *pager.MemByteFile) int {
+	db, err := openFaultDB(inj, dbImg, walImg)
+	if err != nil {
+		return 0
+	}
+	if err := db.DefineSchema(crashMatrixSchema); err != nil {
+		return 0
+	}
+	done := 1
+	for _, st := range crashMatrixSteps() {
+		if _, err := db.Exec(st.dml); err != nil {
+			break
+		}
+		done++
+	}
+	return done
+}
+
+// readItems returns the database's num->tag map, or nil if the schema
+// never committed.
+func readItems(t *testing.T, db *Database) map[string]string {
+	t.Helper()
+	if db.Catalog().Class("item") == nil {
+		return nil
+	}
+	r, err := db.Query(`From item Retrieve num, tag.`)
+	if err != nil {
+		t.Fatalf("reading items: %v", err)
+	}
+	m := make(map[string]string)
+	for _, row := range r.Rows() {
+		m[row[0].String()] = row[1].String()
+	}
+	return m
+}
+
+func equalState(a, b map[string]string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// TestCrashMatrix crashes the full stack at EVERY mutating-operation
+// boundary of a multi-transaction workload — including torn-write
+// variants that persist only a prefix of the crashing write — reopens
+// the frozen image, and asserts the recovered database equals a
+// consistent prefix of the committed transactions: exactly the steps
+// that reported success, plus at most the one in flight (which is
+// allowed to have become durable if the crash landed after its WAL
+// sync). Scrub and CheckIntegrity must pass on every recovered image.
+//
+// By default the matrix samples every third boundary; SIM_CRASH_MATRIX=full
+// (the CI crash-matrix job) covers every boundary.
+func TestCrashMatrix(t *testing.T) {
+	steps := crashMatrixSteps()
+
+	// Count run: no faults, record the total mutating operations and
+	// validate the workload model against the real engine.
+	countInj := fault.NewInjector()
+	dbImg, walImg := pager.NewMemByteFile(), pager.NewMemByteFile()
+	if got := runCrashWorkload(countInj, dbImg, walImg); got != len(steps)+1 {
+		t.Fatalf("fault-free workload completed %d/%d steps", got, len(steps)+1)
+	}
+	totalOps := countInj.Ops()
+	if totalOps < 20 {
+		t.Fatalf("workload issued only %d mutating ops; matrix would be trivial", totalOps)
+	}
+	check, err := openFaultDB(fault.NewInjector(), dbImg, walImg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := readItems(t, check); !equalState(got, prefixState(len(steps)+1, steps)) {
+		t.Fatalf("workload model mismatch: engine %v, model %v", got, prefixState(len(steps)+1, steps))
+	}
+
+	stride := uint64(3)
+	if os.Getenv("SIM_CRASH_MATRIX") == "full" {
+		stride = 1
+	}
+	// Torn sizes: 0 = clean cut at the op boundary, 13 = inside a WAL
+	// record header, PageSize+1 = inside a page slot's data.
+	tornSizes := []int{0, 13, pager.PageSize + 1}
+
+	runs := 0
+	for c := uint64(1); c <= totalOps; c += stride {
+		for _, torn := range tornSizes {
+			runs++
+			name := fmt.Sprintf("crash at op %d torn %d", c, torn)
+			inj := fault.NewInjector()
+			if torn == 0 {
+				inj.CrashAt(c)
+			} else {
+				inj.CrashAtTorn(c, torn)
+			}
+			img, wimg := pager.NewMemByteFile(), pager.NewMemByteFile()
+			succeeded := runCrashWorkload(inj, img, wimg)
+			if !inj.Crashed() {
+				t.Fatalf("%s: crash never fired (%d ops this run)", name, inj.Ops())
+			}
+
+			// Reboot from the frozen image and identify the recovered state.
+			db2, err := openFaultDB(fault.NewInjector(), img, wimg)
+			if err != nil {
+				t.Fatalf("%s: reopen after crash: %v", name, err)
+			}
+			got := readItems(t, db2)
+			matched := -1
+			for _, k := range []int{succeeded, succeeded + 1} {
+				want := prefixState(k, steps)
+				if got == nil && k == 0 {
+					matched = k
+					break
+				}
+				if got != nil && k >= 1 && equalState(got, want) {
+					matched = k
+					break
+				}
+			}
+			if matched < 0 {
+				t.Fatalf("%s: recovered state %v is not a consistent prefix (%d steps succeeded)",
+					name, got, succeeded)
+			}
+			if got != nil {
+				if err := db2.CheckIntegrity(); err != nil {
+					t.Fatalf("%s: integrity after recovery: %v", name, err)
+				}
+			}
+			rep, err := db2.Scrub()
+			if err != nil {
+				t.Fatalf("%s: scrub: %v", name, err)
+			}
+			if !rep.OK() {
+				t.Fatalf("%s: scrub after recovery: %s", name, rep)
+			}
+			if err := db2.Close(); err != nil {
+				t.Fatalf("%s: close after recovery: %v", name, err)
+			}
+		}
+	}
+	t.Logf("crash matrix: %d boundaries, %d runs (stride %d)", totalOps, runs, stride)
+}
+
+// A bit flipped at rest in the database file must never be silently
+// served: reads fail with ErrCorruptPage and Scrub names the page.
+func TestCorruptPageDetectedNotServed(t *testing.T) {
+	dbImg, walImg := pager.NewMemByteFile(), pager.NewMemByteFile()
+	db, err := openFaultDB(fault.NewInjector(), dbImg, walImg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.DefineSchema(crashMatrixSchema); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 300; i++ {
+		mustExec(t, db, fmt.Sprintf(`Insert item (num := %d, tag := "tag%04d").`, i+10, i))
+	}
+	if err := db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Flip one bit in a page the record scan actually reads. Which page
+	// holds item records depends on the physical mapping, so probe from
+	// the tail: damage a page, reopen, and keep the damage once the full
+	// scan trips over it (restoring pages that turn out to be index or
+	// directory pages the scan does not touch, or pages needed at open).
+	const slot = int64(pager.PageSize) + 4
+	size, _ := dbImg.Size()
+	hit := int64(-1)
+	for p := size/slot - 1; p >= 1 && hit < 0; p-- {
+		off := p*slot + 2048
+		var orig [1]byte
+		dbImg.ReadAt(orig[:], off)
+		dbImg.WriteAt([]byte{orig[0] ^ 0x40}, off)
+		db2, err := openFaultDB(fault.NewInjector(), dbImg, walImg)
+		if err == nil {
+			if _, qerr := db2.Query(`From item Retrieve num, tag.`); qerr != nil {
+				if !errors.Is(qerr, pager.ErrCorruptPage) {
+					t.Fatalf("scan over damaged page %d = %v, want ErrCorruptPage in the chain", p, qerr)
+				}
+				hit = p
+				break
+			}
+		} else if !errors.Is(err, pager.ErrCorruptPage) {
+			t.Fatalf("reopen with damaged page %d = %v", p, err)
+		}
+		dbImg.WriteAt(orig[:], off) // page not on the scan path; restore
+	}
+	if hit < 0 {
+		t.Fatal("no page damage ever surfaced in the record scan")
+	}
+
+	// Scrub over the damaged image names the page.
+	db3, err := openFaultDB(fault.NewInjector(), dbImg, walImg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := db3.Scrub()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK() {
+		t.Fatal("scrub missed the flipped bit")
+	}
+	found := false
+	for _, id := range rep.Corrupt {
+		if int64(id) == hit {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("scrub reported pages %v, want %d", rep.Corrupt, hit)
+	}
+}

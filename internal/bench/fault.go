@@ -1,0 +1,329 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"time"
+
+	"sim/client"
+	"sim/internal/dmsii"
+	"sim/internal/pager"
+	"sim/internal/wal"
+	"sim/internal/wire"
+)
+
+// Fault — robustness costs (this repo's fault-tolerance extension):
+// what the hardening layers charge on the happy path. Three rows:
+// per-page CRC32 trailers on the read path (A/B: checksummed vs raw
+// page file under the same cursor scans), crash-recovery time as a
+// function of WAL size, and the client's retry-path latency when a
+// request eats one overloaded fast-fail before succeeding.
+func Fault(reps int) (*Table, error) {
+	t := &Table{
+		ID:     "FAULT",
+		Title:  "Robustness overhead: page checksums, recovery time, retry path",
+		Header: []string{"aspect", "config", "result"},
+		Notes: "checksum rows compare identical cursor-scan workloads over a raw page file\n" +
+			"and the production CRC32-trailer file. 'default pool' is the production read\n" +
+			"path (the acceptance number); 'all-miss' is an adversarial 16-page pool where\n" +
+			"every scan re-reads and re-verifies each page from the OS. recovery reopens a\n" +
+			"crashed store and replays the WAL. retry measures a Ping eating a\n" +
+			"CodeOverloaded fast-fail (the 1ms backoff base dominates that row).",
+	}
+	dir, err := os.MkdirTemp("", "simbench-fault")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+
+	if err := checksumOverhead(t, dir, reps); err != nil {
+		return nil, fmt.Errorf("checksum: %w", err)
+	}
+	if err := recoveryTime(t, dir); err != nil {
+		return nil, fmt.Errorf("recovery: %w", err)
+	}
+	if err := retryLatency(t, reps); err != nil {
+		return nil, fmt.Errorf("retry: %w", err)
+	}
+	return t, nil
+}
+
+// populateStore fills a store with rows of the scan workload.
+func populateStore(s *dmsii.Store, rows int) error {
+	st, err := s.Structure("bench")
+	if err != nil {
+		return err
+	}
+	val := make([]byte, 64)
+	for i := range val {
+		val[i] = byte(i)
+	}
+	const perTxn = 200
+	for base := 0; base < rows; base += perTxn {
+		tx, err := s.Begin()
+		if err != nil {
+			return err
+		}
+		for i := base; i < base+perTxn && i < rows; i++ {
+			if err := st.Put([]byte(fmt.Sprintf("key%06d", i)), val); err != nil {
+				return err
+			}
+		}
+		if err := tx.Commit(); err != nil {
+			return err
+		}
+	}
+	return s.Checkpoint()
+}
+
+// scanAll cursor-scans the bench structure end to end.
+func scanAll(s *dmsii.Store) (int, error) {
+	st, err := s.Structure("bench")
+	if err != nil {
+		return 0, err
+	}
+	cur, err := st.First()
+	if err != nil {
+		return 0, err
+	}
+	n := 0
+	for cur.Valid() {
+		n++
+		cur.Next()
+	}
+	return n, cur.Err()
+}
+
+// checksumOverhead measures identical dmsii cursor scans over the
+// production checksummed page file and the raw (trailer-free) one.
+func checksumOverhead(t *Table, dir string, reps int) error {
+	const rows = 20000
+	openRaw := func(path string, pool int) (*dmsii.Store, error) {
+		bf, err := pager.OpenOSByteFile(path)
+		if err != nil {
+			return nil, err
+		}
+		log, err := wal.Open(path + ".wal")
+		if err != nil {
+			return nil, err
+		}
+		return dmsii.OpenFiles(pager.NewRawPageFile(bf), log, dmsii.Options{PoolPages: pool})
+	}
+	openSum := func(path string, pool int) (*dmsii.Store, error) {
+		file, err := pager.OpenOSFile(path)
+		if err != nil {
+			return nil, err
+		}
+		log, err := wal.Open(path + ".wal")
+		if err != nil {
+			return nil, err
+		}
+		return dmsii.OpenFiles(file, log, dmsii.Options{PoolPages: pool})
+	}
+	kinds := []struct {
+		name string
+		open func(path string, pool int) (*dmsii.Store, error)
+	}{
+		{"raw", openRaw},
+		{"crc32", openSum},
+	}
+	trials := 3 * reps
+	if trials < 6 {
+		trials = 6
+	}
+	for _, pool := range []int{0, 16} {
+		mode := "default pool"
+		if pool == 16 {
+			mode = "all-miss"
+		}
+		// Open both stores up front, then interleave the timed trials and
+		// keep the per-kind minimum: background writeback from the populate
+		// phase would otherwise bias whichever kind is measured first.
+		stores := make([]*dmsii.Store, len(kinds))
+		best := make([]time.Duration, len(kinds))
+		for i, k := range kinds {
+			path := filepath.Join(dir, fmt.Sprintf("scan-%s-%d.db", k.name, pool))
+			s, err := k.open(path, 1024)
+			if err != nil {
+				return err
+			}
+			if err := populateStore(s, rows); err != nil {
+				return err
+			}
+			if err := s.Close(); err != nil {
+				return err
+			}
+			if stores[i], err = k.open(path, pool); err != nil {
+				return err
+			}
+			if _, err := scanAll(stores[i]); err != nil { // warm-up / page-in
+				return err
+			}
+			best[i] = time.Duration(1<<63 - 1)
+		}
+		for trial := 0; trial < trials; trial++ {
+			for i := range kinds {
+				start := time.Now()
+				n, err := scanAll(stores[i])
+				if err != nil {
+					return err
+				}
+				if n != rows {
+					return fmt.Errorf("scan saw %d rows, want %d", n, rows)
+				}
+				if el := time.Since(start); el < best[i] {
+					best[i] = el
+				}
+			}
+		}
+		for i, k := range kinds {
+			stores[i].Close()
+			if k.name == "raw" {
+				t.Rows = append(t.Rows, []string{"checksum-read", fmt.Sprintf("%s scan, %d rows, raw", mode, rows),
+					fmt.Sprintf("%.2f ms/scan", float64(best[i].Microseconds())/1000)})
+			} else {
+				over := 100 * (float64(best[i])/float64(best[0]) - 1)
+				t.Rows = append(t.Rows, []string{"checksum-read", fmt.Sprintf("%s scan, %d rows, crc32", mode, rows),
+					fmt.Sprintf("%.2f ms/scan (%+.1f%% vs raw)", float64(best[i].Microseconds())/1000, over)})
+			}
+		}
+	}
+	return nil
+}
+
+// recoveryTime crashes stores with increasingly large WALs and measures
+// the reopen (replay) time.
+func recoveryTime(t *Table, dir string) error {
+	for _, commits := range []int{50, 200, 800} {
+		path := filepath.Join(dir, fmt.Sprintf("recover-%d.db", commits))
+		s, err := dmsii.OpenFile(path, dmsii.Options{})
+		if err != nil {
+			return err
+		}
+		if err := populateStore(s, 10); err != nil { // also checkpoints
+			return err
+		}
+		st, err := s.Structure("bench")
+		if err != nil {
+			return err
+		}
+		val := make([]byte, 64)
+		for i := 0; i < commits; i++ {
+			tx, err := s.Begin()
+			if err != nil {
+				return err
+			}
+			if err := st.Put([]byte(fmt.Sprintf("crash%06d", i)), val); err != nil {
+				return err
+			}
+			if err := tx.Commit(); err != nil {
+				return err
+			}
+		}
+		walBytes := s.WALStats().SizeBytes
+		// Crash: abandon without Close, then reopen and replay.
+		start := time.Now()
+		s2, err := dmsii.OpenFile(path, dmsii.Options{})
+		if err != nil {
+			return err
+		}
+		el := time.Since(start)
+		info := s2.RecoverInfo()
+		s2.Close()
+		t.Rows = append(t.Rows, []string{"recovery",
+			fmt.Sprintf("wal %.1f KiB, %d commits", float64(walBytes)/1024, commits),
+			fmt.Sprintf("%.2f ms (%d pages, %d commits replayed)",
+				float64(el.Microseconds())/1000, info.Replayed, info.Commits)})
+	}
+	return nil
+}
+
+// retryLatency measures a Ping round trip against a scripted wire
+// responder: the direct path, and the path that eats one CodeOverloaded
+// fast-fail and retries with a 1ms backoff base.
+func retryLatency(t *Table, reps int) error {
+	var requests atomic.Uint64
+	var overloadEvery atomic.Uint64 // 0 = never
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	defer lis.Close()
+	go func() {
+		for {
+			nc, err := lis.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				defer nc.Close()
+				tp, payload, err := wire.ReadFrame(nc, 0)
+				if err != nil || tp != wire.THello {
+					return
+				}
+				if _, err := wire.DecodeHello(payload); err != nil {
+					return
+				}
+				if wire.WriteFrame(nc, wire.THello, wire.EncodeHello()) != nil {
+					return
+				}
+				for {
+					if _, _, err := wire.ReadFrame(nc, 0); err != nil {
+						return
+					}
+					n := requests.Add(1)
+					if k := overloadEvery.Load(); k != 0 && n%k == 1 {
+						if wire.WriteFrame(nc, wire.TError, wire.EncodeError(wire.CodeOverloaded, "bench")) != nil {
+							return
+						}
+						continue
+					}
+					if wire.WriteFrame(nc, wire.TPong, nil) != nil {
+						return
+					}
+				}
+			}()
+		}
+	}()
+
+	c, err := client.DialConfig(lis.Addr().String(), client.Config{
+		MaxRetries: 3, RetryBackoff: time.Millisecond,
+	})
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	ctx := context.Background()
+	iters := 50 * reps
+
+	measure := func() (time.Duration, error) {
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			if err := c.Ping(ctx); err != nil {
+				return 0, err
+			}
+		}
+		return time.Since(start) / time.Duration(iters), nil
+	}
+	if err := c.Ping(ctx); err != nil { // warm up
+		return err
+	}
+	direct, err := measure()
+	if err != nil {
+		return err
+	}
+	overloadEvery.Store(2) // every other request fast-fails once
+	retried, err := measure()
+	if err != nil {
+		return err
+	}
+	t.Rows = append(t.Rows,
+		[]string{"retry", "direct ping", fmt.Sprintf("%.1f µs/req", float64(direct.Nanoseconds())/1000)},
+		[]string{"retry", "1 overloaded fast-fail per 2 reqs, 1ms backoff base",
+			fmt.Sprintf("%.1f µs/req", float64(retried.Nanoseconds())/1000)})
+	return nil
+}

@@ -41,14 +41,15 @@ const checkpointThreshold = 8 << 20
 // structure directory so concurrent readers can open structures, and the
 // database layer serializes writers against readers.
 type Store struct {
-	file   pager.File
-	pool   *pager.Pool
-	log    *wal.Log // nil for purely in-memory stores
-	dir    *btree.Tree
-	dirMu  sync.Mutex // guards dir traffic and the open map
-	open   map[string]*Structure
-	inTx   bool
-	closed bool
+	file      pager.File
+	pool      *pager.Pool
+	log       *wal.Log // nil for purely in-memory stores
+	dir       *btree.Tree
+	dirMu     sync.Mutex // guards dir traffic and the open map
+	open      map[string]*Structure
+	inTx      bool
+	closed    bool
+	recovered wal.RecoverInfo // what recovery did when the store opened
 }
 
 // Options configures Open.
@@ -69,19 +70,38 @@ func OpenFile(path string, opts Options) (*Store, error) {
 		file.Close()
 		return nil, err
 	}
-	if _, err := log.Recover(file); err != nil {
-		log.Close()
-		file.Close()
-		return nil, fmt.Errorf("dmsii: recover: %w", err)
+	return OpenFiles(file, log, opts)
+}
+
+// OpenFiles opens a store over an explicit page file and commit journal,
+// running crash recovery first. It is how the fault-injection harness
+// assembles a store over scripted storage; OpenFile is the production
+// path. The log may be nil for a non-durable store.
+func OpenFiles(file pager.File, log *wal.Log, opts Options) (*Store, error) {
+	var info wal.RecoverInfo
+	if log != nil {
+		var err error
+		if info, err = log.Recover(file); err != nil {
+			log.Close()
+			file.Close()
+			return nil, fmt.Errorf("dmsii: recover: %w", err)
+		}
 	}
 	s, err := open(file, log, opts)
 	if err != nil {
-		log.Close()
+		if log != nil {
+			log.Close()
+		}
 		file.Close()
 		return nil, err
 	}
+	s.recovered = info
 	return s, nil
 }
+
+// RecoverInfo reports what crash recovery did when this store opened:
+// batches replayed and whether a torn WAL tail was salvaged.
+func (s *Store) RecoverInfo() wal.RecoverInfo { return s.recovered }
 
 // OpenMemory opens a transient in-memory store (no durability; rollback
 // still works).
@@ -210,6 +230,9 @@ func (s *Store) RegisterMetrics(r *obs.Registry) {
 	if s.log != nil {
 		s.log.RegisterMetrics(r)
 	}
+	if cf, ok := s.file.(*pager.ChecksumFile); ok {
+		cf.RegisterMetrics(r)
+	}
 }
 
 // ---------------------------------------------------------------------------
@@ -251,10 +274,39 @@ func (tx *Txn) Commit() error {
 func (s *Store) commitPages() error {
 	if s.log != nil {
 		if err := s.log.Commit(s.pool.DirtyPages()); err != nil {
+			// The batch never became durable: the transaction did not
+			// commit. Discard its in-memory effects so the cached state
+			// matches the last durable commit; otherwise a later
+			// transaction would journal this one's half-applied pages.
+			if derr := s.discardUncommitted(); derr != nil {
+				return fmt.Errorf("%w (and discarding the failed transaction: %v)", err, derr)
+			}
 			return err
 		}
 	}
+	// Past this point the transaction is durable (journaled + synced).
+	// A writeback failure here is not a commit failure: the dirty pages
+	// stay cached and will be retried by a later writeback/checkpoint or
+	// replayed from the WAL after a crash.
 	return s.pool.WriteBackDirty()
+}
+
+// discardUncommitted drops all dirty pool state and reattaches the
+// directory from the durable meta page — the shared abort path for
+// Rollback and for commits whose journaling failed.
+func (s *Store) discardUncommitted() error {
+	s.open = make(map[string]*Structure)
+	if err := s.pool.DiscardDirty(); err != nil {
+		return err
+	}
+	meta, err := s.pool.Get(0)
+	if err != nil {
+		return err
+	}
+	dirRoot := pager.PageID(binary.BigEndian.Uint32(meta.Data[dirRootOff:]))
+	s.pool.Release(meta)
+	s.dir = btree.Open(s, dirRoot, s.setDirRoot)
+	return nil
 }
 
 // Rollback discards the transaction's changes.
@@ -267,18 +319,7 @@ func (tx *Txn) Rollback() error {
 	// Structures (and the directory itself) whose roots changed during the
 	// transaction hold stale root ids; drop the cache and reattach the
 	// directory from the durable meta page.
-	tx.s.open = make(map[string]*Structure)
-	if err := tx.s.pool.DiscardDirty(); err != nil {
-		return err
-	}
-	meta, err := tx.s.pool.Get(0)
-	if err != nil {
-		return err
-	}
-	dirRoot := pager.PageID(binary.BigEndian.Uint32(meta.Data[dirRootOff:]))
-	tx.s.pool.Release(meta)
-	tx.s.dir = btree.Open(tx.s, dirRoot, tx.s.setDirRoot)
-	return nil
+	return tx.s.discardUncommitted()
 }
 
 // ---------------------------------------------------------------------------

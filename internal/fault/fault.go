@@ -1,0 +1,280 @@
+// Package fault provides deterministic fault injection for the storage
+// stack. It wraps pager.ByteFile — the byte-level abstraction both the
+// pager and the WAL sit on — so a single wrapper layer can script
+// failures against the database file and the commit journal alike:
+//
+//   - fail the Nth write or sync with a chosen error (fsyncgate drills),
+//   - tear a write, persisting only a prefix of its bytes,
+//   - flip bits in the stored image (byzantine disk damage),
+//   - crash: freeze the file image at an arbitrary operation boundary,
+//     after which every subsequent operation fails until "reboot"
+//     (fresh wrappers over the same backing image).
+//
+// All injection decisions key off a monotonically increasing operation
+// counter shared by every file attached to one Injector, which makes
+// crash points reproducible across runs and safe under -race: the
+// counter orders mutations exactly as the storage layer issued them.
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"sim/internal/pager"
+)
+
+// ErrCrashed is returned by every operation on a crashed file. The
+// backing image is frozen as of the crash point; reopening it with
+// fresh wrappers models the post-reboot recovery path.
+var ErrCrashed = errors.New("fault: simulated crash")
+
+// ErrInjected is the default error for scripted write/sync failures.
+var ErrInjected = errors.New("fault: injected I/O error")
+
+// Injector scripts faults across one or more wrapped files. The
+// zero-configured Injector injects nothing and only counts operations.
+type Injector struct {
+	mu  sync.Mutex
+	ops uint64 // mutating operations observed (writes, syncs, truncates)
+
+	crashAt   uint64 // crash when ops reaches this count (0 = never)
+	tornBytes int    // if crashing on a write, persist only this prefix
+	crashed   bool
+
+	failWrites map[uint64]error // op index -> error for writes
+	failSyncs  map[uint64]error // op index -> error for syncs
+
+	// Step, if set, is invoked (outside the lock) with each operation
+	// index and a short description, e.g. "db:write[8192:12292]". Tests
+	// use it to trace schedules; it must be race-free.
+	Step func(op uint64, what string)
+}
+
+// NewInjector returns an Injector that initially injects nothing.
+func NewInjector() *Injector { return &Injector{} }
+
+// CrashAt schedules a crash at the opth mutating operation (1-based):
+// that operation and all later ones fail with ErrCrashed, and no bytes
+// of it are persisted. Use CrashAtTorn for partial persistence.
+func (in *Injector) CrashAt(op uint64) {
+	in.mu.Lock()
+	in.crashAt = op
+	in.tornBytes = 0
+	in.mu.Unlock()
+}
+
+// CrashAtTorn schedules a crash at the opth mutating operation; if that
+// operation is a write, the first n bytes of it are persisted before
+// the crash — a torn write straddling the failure.
+func (in *Injector) CrashAtTorn(op uint64, n int) {
+	in.mu.Lock()
+	in.crashAt = op
+	in.tornBytes = n
+	in.mu.Unlock()
+}
+
+// FailWrite schedules the write at operation index op (1-based) to fail
+// with err (ErrInjected if nil) without persisting anything. Counting
+// is shared across all files attached to this Injector.
+func (in *Injector) FailWrite(op uint64, err error) {
+	if err == nil {
+		err = ErrInjected
+	}
+	in.mu.Lock()
+	if in.failWrites == nil {
+		in.failWrites = make(map[uint64]error)
+	}
+	in.failWrites[op] = err
+	in.mu.Unlock()
+}
+
+// FailSync schedules the sync at operation index op (1-based) to fail
+// with err (ErrInjected if nil). The bytes previously written remain in
+// the image — their durability is exactly what's in question.
+func (in *Injector) FailSync(op uint64, err error) {
+	if err == nil {
+		err = ErrInjected
+	}
+	in.mu.Lock()
+	if in.failSyncs == nil {
+		in.failSyncs = make(map[uint64]error)
+	}
+	in.failSyncs[op] = err
+	in.mu.Unlock()
+}
+
+// Ops returns the number of mutating operations observed so far.
+func (in *Injector) Ops() uint64 {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.ops
+}
+
+// Crashed reports whether the simulated crash has fired.
+func (in *Injector) Crashed() bool {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.crashed
+}
+
+// decision is what the injector rules for one mutating operation.
+type decision struct {
+	op    uint64
+	fail  error // non-nil: fail the operation with this error
+	crash bool  // operation crashes the image
+	dead  bool  // file already crashed earlier; don't count or trace
+	torn  int   // bytes to persist before a crashing write tears
+}
+
+// next advances the operation counter and rules on faults. kind is
+// "write", "sync", or "truncate".
+func (in *Injector) next(kind string) decision {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.crashed {
+		return decision{fail: ErrCrashed, dead: true}
+	}
+	in.ops++
+	d := decision{op: in.ops}
+	if in.crashAt != 0 && in.ops >= in.crashAt {
+		in.crashed = true
+		d.crash = true
+		d.torn = in.tornBytes
+		d.fail = ErrCrashed
+		return d
+	}
+	switch kind {
+	case "write":
+		if err, ok := in.failWrites[in.ops]; ok {
+			d.fail = err
+		}
+	case "sync":
+		if err, ok := in.failSyncs[in.ops]; ok {
+			d.fail = err
+		}
+	}
+	return d
+}
+
+// File wraps a pager.ByteFile with the injector's script. Reads are
+// never injected (the fault model is about durability, not read I/O);
+// corruption of reads is modelled by damaging the image with FlipBit.
+type File struct {
+	name  string
+	inner pager.ByteFile
+	inj   *Injector
+}
+
+// Wrap returns a fault-injected view of inner. name tags the file in
+// Step traces ("db", "wal", ...).
+func Wrap(name string, inner pager.ByteFile, inj *Injector) *File {
+	return &File{name: name, inner: inner, inj: inj}
+}
+
+func (f *File) step(op uint64, what string) {
+	if f.inj.Step != nil {
+		f.inj.Step(op, f.name+":"+what)
+	}
+}
+
+// ReadAt implements pager.ByteFile. Reads fail only after a crash.
+func (f *File) ReadAt(p []byte, off int64) (int, error) {
+	if f.inj.Crashed() {
+		return 0, ErrCrashed
+	}
+	return f.inner.ReadAt(p, off)
+}
+
+// WriteAt implements pager.ByteFile, honouring scripted failures, torn
+// writes, and crashes.
+func (f *File) WriteAt(p []byte, off int64) (int, error) {
+	d := f.inj.next("write")
+	if d.crash {
+		f.step(d.op, fmt.Sprintf("crash-write[%d:%d]", off, off+int64(len(p))))
+		if d.torn > 0 {
+			n := d.torn
+			if n > len(p) {
+				n = len(p)
+			}
+			f.inner.WriteAt(p[:n], off) // best-effort torn prefix
+		}
+		return 0, ErrCrashed
+	}
+	if d.fail != nil {
+		if !d.dead {
+			f.step(d.op, fmt.Sprintf("fail-write[%d:%d]", off, off+int64(len(p))))
+		}
+		return 0, d.fail
+	}
+	f.step(d.op, fmt.Sprintf("write[%d:%d]", off, off+int64(len(p))))
+	return f.inner.WriteAt(p, off)
+}
+
+// Sync implements pager.ByteFile, honouring scripted sync failures and
+// crashes.
+func (f *File) Sync() error {
+	d := f.inj.next("sync")
+	if d.crash {
+		f.step(d.op, "crash-sync")
+		return ErrCrashed
+	}
+	if d.fail != nil {
+		if !d.dead {
+			f.step(d.op, "fail-sync")
+		}
+		return d.fail
+	}
+	f.step(d.op, "sync")
+	return f.inner.Sync()
+}
+
+// Truncate implements pager.ByteFile. It counts as a mutating
+// operation: a crash can land on it, freezing the pre-truncate image.
+func (f *File) Truncate(size int64) error {
+	d := f.inj.next("truncate")
+	if d.crash {
+		f.step(d.op, "crash-truncate")
+		return ErrCrashed
+	}
+	if d.fail != nil {
+		if !d.dead {
+			f.step(d.op, "fail-truncate")
+		}
+		return d.fail
+	}
+	f.step(d.op, fmt.Sprintf("truncate[%d]", size))
+	return f.inner.Truncate(size)
+}
+
+// Size implements pager.ByteFile.
+func (f *File) Size() (int64, error) {
+	if f.inj.Crashed() {
+		return 0, ErrCrashed
+	}
+	return f.inner.Size()
+}
+
+// Close implements pager.ByteFile. Closing a crashed file is a no-op:
+// the process is "dead" and the frozen image belongs to the reopener.
+func (f *File) Close() error {
+	if f.inj.Crashed() {
+		return nil
+	}
+	return f.inner.Close()
+}
+
+// FlipBit damages the stored image directly — bit (0-7) of the byte at
+// off — bypassing the injector entirely. It models at-rest disk
+// corruption for checksum drills.
+func (f *File) FlipBit(off int64, bit uint) error {
+	var b [1]byte
+	if _, err := f.inner.ReadAt(b[:], off); err != nil {
+		return err
+	}
+	b[0] ^= 1 << (bit & 7)
+	_, err := f.inner.WriteAt(b[:], off)
+	return err
+}
+
+var _ pager.ByteFile = (*File)(nil)

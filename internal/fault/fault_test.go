@@ -1,0 +1,156 @@
+package fault
+
+import (
+	"errors"
+	"io"
+	"testing"
+
+	"sim/internal/pager"
+)
+
+func TestFailNthWrite(t *testing.T) {
+	inj := NewInjector()
+	boom := errors.New("boom")
+	inj.FailWrite(2, boom)
+	f := Wrap("db", pager.NewMemByteFile(), inj)
+
+	if _, err := f.WriteAt([]byte("one"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte("two"), 3); !errors.Is(err, boom) {
+		t.Fatalf("second write = %v, want boom", err)
+	}
+	if _, err := f.WriteAt([]byte("three"), 3); err != nil {
+		t.Fatalf("third write = %v, want success (one-shot script)", err)
+	}
+	buf := make([]byte, 8)
+	if _, err := f.ReadAt(buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "onethree" {
+		t.Errorf("image = %q, failed write must persist nothing", buf)
+	}
+}
+
+func TestFailNthSync(t *testing.T) {
+	inj := NewInjector()
+	inj.FailSync(2, nil)
+	f := Wrap("wal", pager.NewMemByteFile(), inj)
+
+	f.WriteAt([]byte("data"), 0) // op 1
+	if err := f.Sync(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("sync = %v, want ErrInjected", err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatalf("later sync = %v", err)
+	}
+}
+
+func TestCrashFreezesImage(t *testing.T) {
+	mem := pager.NewMemByteFile()
+	inj := NewInjector()
+	inj.CrashAt(3)
+	f := Wrap("db", mem, inj)
+
+	f.WriteAt([]byte("aa"), 0) // op 1
+	f.WriteAt([]byte("bb"), 2) // op 2
+	if _, err := f.WriteAt([]byte("cc"), 4); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("crashing write = %v, want ErrCrashed", err)
+	}
+	if !inj.Crashed() {
+		t.Fatal("injector not crashed")
+	}
+	// Everything fails post-crash.
+	if _, err := f.ReadAt(make([]byte, 1), 0); !errors.Is(err, ErrCrashed) {
+		t.Errorf("post-crash read = %v", err)
+	}
+	if err := f.Sync(); !errors.Is(err, ErrCrashed) {
+		t.Errorf("post-crash sync = %v", err)
+	}
+	if err := f.Truncate(0); !errors.Is(err, ErrCrashed) {
+		t.Errorf("post-crash truncate = %v", err)
+	}
+	if _, err := f.Size(); !errors.Is(err, ErrCrashed) {
+		t.Errorf("post-crash size = %v", err)
+	}
+
+	// "Reboot": the backing image holds exactly the pre-crash bytes.
+	buf := make([]byte, 4)
+	if _, err := mem.ReadAt(buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "aabb" {
+		t.Errorf("frozen image = %q, want aabb", buf)
+	}
+	if size, _ := mem.Size(); size != 4 {
+		t.Errorf("frozen size = %d, want 4", size)
+	}
+}
+
+func TestCrashTornWrite(t *testing.T) {
+	mem := pager.NewMemByteFile()
+	inj := NewInjector()
+	inj.CrashAtTorn(1, 3)
+	f := Wrap("db", mem, inj)
+
+	if _, err := f.WriteAt([]byte("abcdef"), 0); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("torn write = %v, want ErrCrashed", err)
+	}
+	buf := make([]byte, 6)
+	n, err := mem.ReadAt(buf, 0)
+	if err != io.EOF || n != 3 {
+		t.Fatalf("image read = %d, %v; want 3 torn bytes then EOF", n, err)
+	}
+	if string(buf[:3]) != "abc" {
+		t.Errorf("torn prefix = %q", buf[:3])
+	}
+}
+
+// Two files on one injector share the operation counter, so a crash
+// point indexes the interleaved schedule of db and wal operations.
+func TestSharedCounterAcrossFiles(t *testing.T) {
+	inj := NewInjector()
+	var trace []string
+	inj.Step = func(op uint64, what string) { trace = append(trace, what) }
+	inj.CrashAt(3)
+	db := Wrap("db", pager.NewMemByteFile(), inj)
+	lg := Wrap("wal", pager.NewMemByteFile(), inj)
+
+	lg.WriteAt([]byte("w"), 0) // op 1
+	lg.Sync()                  // op 2
+	if _, err := db.WriteAt([]byte("d"), 0); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("third op = %v, want ErrCrashed", err)
+	}
+	// The wal file is dead too: one process, one crash.
+	if _, err := lg.WriteAt([]byte("x"), 1); !errors.Is(err, ErrCrashed) {
+		t.Errorf("wal write after crash = %v", err)
+	}
+	want := []string{"wal:write[0:1]", "wal:sync", "db:crash-write[0:1]"}
+	if len(trace) != len(want) {
+		t.Fatalf("trace = %v, want %v", trace, want)
+	}
+	for i := range want {
+		if trace[i] != want[i] {
+			t.Errorf("trace[%d] = %q, want %q", i, trace[i], want[i])
+		}
+	}
+}
+
+func TestFlipBit(t *testing.T) {
+	mem := pager.NewMemByteFile()
+	inj := NewInjector()
+	f := Wrap("db", mem, inj)
+	f.WriteAt([]byte{0x00}, 5)
+	ops := inj.Ops()
+	if err := f.FlipBit(5, 4); err != nil {
+		t.Fatal(err)
+	}
+	if inj.Ops() != ops {
+		t.Error("FlipBit consumed an operation slot; it must bypass the injector")
+	}
+	var b [1]byte
+	mem.ReadAt(b[:], 5)
+	if b[0] != 0x10 {
+		t.Errorf("byte = %#x, want 0x10", b[0])
+	}
+}

@@ -5,7 +5,6 @@ package pager
 
 import (
 	"fmt"
-	"os"
 	"sync"
 )
 
@@ -33,51 +32,6 @@ type File interface {
 	// Close releases the file.
 	Close() error
 }
-
-// OSFile is a File backed by an operating system file.
-type OSFile struct {
-	f *os.File
-}
-
-// OpenOSFile opens (creating if necessary) the page file at path.
-func OpenOSFile(path string) (*OSFile, error) {
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
-	if err != nil {
-		return nil, fmt.Errorf("pager: open %s: %w", path, err)
-	}
-	return &OSFile{f: f}, nil
-}
-
-// ReadPage implements File.
-func (o *OSFile) ReadPage(id PageID, buf []byte) error {
-	if _, err := o.f.ReadAt(buf[:PageSize], int64(id)*PageSize); err != nil {
-		return fmt.Errorf("pager: read page %d: %w", id, err)
-	}
-	return nil
-}
-
-// WritePage implements File.
-func (o *OSFile) WritePage(id PageID, buf []byte) error {
-	if _, err := o.f.WriteAt(buf[:PageSize], int64(id)*PageSize); err != nil {
-		return fmt.Errorf("pager: write page %d: %w", id, err)
-	}
-	return nil
-}
-
-// NumPages implements File.
-func (o *OSFile) NumPages() (uint32, error) {
-	st, err := o.f.Stat()
-	if err != nil {
-		return 0, err
-	}
-	return uint32(st.Size() / PageSize), nil
-}
-
-// Sync implements File.
-func (o *OSFile) Sync() error { return o.f.Sync() }
-
-// Close implements File.
-func (o *OSFile) Close() error { return o.f.Close() }
 
 // MemFile is an in-memory File, used for tests and purely transient
 // databases.

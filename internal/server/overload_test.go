@@ -1,0 +1,127 @@
+package server_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"sim/internal/obs"
+	"sim/internal/server"
+	"sim/internal/wire"
+)
+
+// With MaxInflight=1 and eight clients firing queries at the same
+// instant, the server must fast-fail the overflow with CodeOverloaded
+// instead of queueing it, leave those sessions usable, and count the
+// refusals. The flood query cross-products students × instructors so
+// each request spans several preemption quanta — overlap then happens
+// even on a single-core scheduler — but it is still probabilistic per
+// round, so the test fires rounds until it observes a fast-fail
+// (bounded; one round virtually always suffices).
+func TestMaxInflightFastFail(t *testing.T) {
+	db := testDB(t)
+	// Bulk up the cross product (testDB seeds 20 students, 1 instructor).
+	for i := 0; i < 120; i++ {
+		if _, err := db.Exec(fmt.Sprintf(`Insert instructor (name := "Prof %03d",
+		  soc-sec-no := %d, employee-nbr := %d, salary := 50000).`,
+			i, 300000000+i, 2001+i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 150; i++ {
+		if _, err := db.Exec(fmt.Sprintf(`Insert student (name := "Crowd %03d",
+		  soc-sec-no := %d, student-nbr := %d).`,
+			i, 400000000+i, 5001+i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	reg := obs.NewRegistry()
+	srv, addr := startServer(t, db, server.Config{MaxInflight: 1, Registry: reg})
+
+	const clients = 8
+	conns := make([]*rawSession, clients)
+	for i := range conns {
+		conns[i] = newRawSession(t, addr)
+	}
+
+	overloads := 0
+	for round := 0; round < 20 && overloads == 0; round++ {
+		start := make(chan struct{})
+		results := make(chan wire.Type, clients)
+		var wg sync.WaitGroup
+		for _, rs := range conns {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				<-start
+				rt, _ := rs.roundTrip(t, wire.TQuery, []byte(`From student, instructor
+				  Retrieve name of student, name of instructor
+				  Where name of student NEQ name of instructor.`))
+				results <- rt
+			}()
+		}
+		close(start)
+		wg.Wait()
+		close(results)
+		for rt := range results {
+			if rt == wire.TError {
+				overloads++
+			}
+		}
+	}
+	if overloads == 0 {
+		t.Fatal("no request was ever fast-failed under MaxInflight=1")
+	}
+	if got := srv.Stats().Errors; got == 0 {
+		t.Error("fast-fails not counted in server errors")
+	}
+	if got := reg.Get("sim_server_fastfail_total"); got < 1 {
+		t.Errorf("sim_server_fastfail_total = %v, want >= 1", got)
+	}
+
+	// A fast-failed session stays open: the same connections still serve.
+	for _, rs := range conns {
+		if rt, _ := rs.roundTrip(t, wire.TPing, nil); rt != wire.TPong {
+			t.Fatalf("session dead after overload: %v", rt)
+		}
+	}
+}
+
+// rawSession is a handshaken wire connection with sequential round trips.
+type rawSession struct {
+	nc interface {
+		Read([]byte) (int, error)
+		Write([]byte) (int, error)
+	}
+	mu sync.Mutex
+}
+
+func newRawSession(t *testing.T, addr string) *rawSession {
+	t.Helper()
+	return &rawSession{nc: dialRaw(t, addr)}
+}
+
+func (rs *rawSession) roundTrip(t *testing.T, rt wire.Type, payload []byte) (wire.Type, []byte) {
+	t.Helper()
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	if err := wire.WriteFrame(rs.nc, rt, payload); err != nil {
+		t.Fatalf("send: %v", err)
+	}
+	typ, resp, err := wire.ReadFrame(rs.nc, 0)
+	if err != nil {
+		t.Fatalf("receive: %v", err)
+	}
+	return typ, resp
+}
+
+// Decoded overload errors carry the new code, and the code renders.
+func TestOverloadedCodeDecodes(t *testing.T) {
+	e, err := wire.DecodeError(wire.EncodeError(wire.CodeOverloaded, "full"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Code != wire.CodeOverloaded || e.Code.String() != "overloaded" {
+		t.Errorf("decoded %v (%s)", e.Code, e.Code)
+	}
+}

@@ -32,6 +32,11 @@ type Config struct {
 	// MaxConns bounds concurrently open connections (default 64).
 	// Connections beyond it receive a CodeBusy error frame and are closed.
 	MaxConns int
+	// MaxInflight bounds requests executing at once across all sessions.
+	// A request arriving while the bound is saturated is answered
+	// immediately with a CodeOverloaded error frame — fast-fail, bounding
+	// queueing latency — and the session stays open. Zero means no bound.
+	MaxInflight int
 	// ReadTimeout is the per-frame read deadline. A session idle past it
 	// is closed; clients reconnect transparently (see package client).
 	ReadTimeout time.Duration
@@ -76,6 +81,7 @@ type Server struct {
 
 	inflight sync.WaitGroup // requests being executed
 	handlers sync.WaitGroup // connection goroutines
+	slots    chan struct{}  // in-flight bound (nil when MaxInflight == 0)
 
 	connections atomic.Uint64
 	active      atomic.Int64
@@ -83,6 +89,7 @@ type Server struct {
 	bytesIn     atomic.Uint64
 	bytesOut    atomic.Uint64
 	errors      atomic.Uint64
+	fastFails   atomic.Uint64
 }
 
 // New returns an unstarted server over db.
@@ -104,6 +111,9 @@ func New(db *sim.Database, cfg Config) *Server {
 		conns: make(map[net.Conn]struct{}),
 		quit:  make(chan struct{}),
 	}
+	if cfg.MaxInflight > 0 {
+		s.slots = make(chan struct{}, cfg.MaxInflight)
+	}
 	if r := cfg.Registry; r != nil {
 		s.hist = r.Histogram("sim_server_request_seconds", "Per-request service latency (dispatch through execution).")
 		r.CounterFunc("sim_server_connections_total", "Connections accepted.",
@@ -118,6 +128,8 @@ func New(db *sim.Database, cfg Config) *Server {
 			func() float64 { return float64(s.bytesOut.Load()) })
 		r.CounterFunc("sim_server_errors_total", "Error frames sent plus aborted connections.",
 			func() float64 { return float64(s.errors.Load()) })
+		r.CounterFunc("sim_server_fastfail_total", "Requests refused with CodeOverloaded because MaxInflight was saturated.",
+			func() float64 { return float64(s.fastFails.Load()) })
 	}
 	return s
 }
@@ -276,6 +288,20 @@ func (s *Server) handshake(conn net.Conn) error {
 // whether the session should continue.
 func (s *Server) serveRequest(conn net.Conn, t wire.Type, payload []byte) bool {
 	s.requests.Add(1)
+	if s.slots != nil {
+		select {
+		case s.slots <- struct{}{}:
+			defer func() { <-s.slots }()
+		default:
+			// Saturated: fail fast instead of queueing unboundedly. The
+			// client sees a retryable CodeOverloaded and backs off.
+			s.fastFails.Add(1)
+			s.errors.Add(1)
+			err := s.writeFrame(conn, wire.TError, wire.EncodeError(wire.CodeOverloaded,
+				fmt.Sprintf("server at its %d-request in-flight limit", s.cfg.MaxInflight)))
+			return err == nil
+		}
+	}
 	s.inflight.Add(1)
 	start := time.Now()
 	rt, resp := func() (wire.Type, []byte) {

@@ -1,0 +1,125 @@
+package wal
+
+import (
+	"errors"
+	"testing"
+
+	"sim/internal/pager"
+)
+
+// flakyFile injects one-shot failures into an in-memory ByteFile.
+type flakyFile struct {
+	*pager.MemByteFile
+	failNextSync  error
+	failNextWrite error
+}
+
+func (f *flakyFile) Sync() error {
+	if err := f.failNextSync; err != nil {
+		f.failNextSync = nil
+		return err
+	}
+	return f.MemByteFile.Sync()
+}
+
+func (f *flakyFile) WriteAt(p []byte, off int64) (int, error) {
+	if err := f.failNextWrite; err != nil {
+		f.failNextWrite = nil
+		return 0, err
+	}
+	return f.MemByteFile.WriteAt(p, off)
+}
+
+// A failed fsync must poison the log: the next commit is refused with
+// ErrPoisoned even though the underlying file has recovered (fsyncgate).
+func TestFailedSyncPoisonsLog(t *testing.T) {
+	ff := &flakyFile{MemByteFile: pager.NewMemByteFile()}
+	l, err := OpenBacking(ff)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Commit([]*pager.Frame{frame(1, 0x01)}); err != nil {
+		t.Fatal(err)
+	}
+
+	cause := errors.New("disk on fire")
+	ff.failNextSync = cause
+	if err := l.Commit([]*pager.Frame{frame(2, 0x02)}); !errors.Is(err, cause) {
+		t.Fatalf("failing commit error = %v, want the sync cause", err)
+	}
+	if l.Poisoned() == nil {
+		t.Fatal("log not poisoned after failed sync")
+	}
+	// The file is healthy again, but the log must refuse to continue.
+	if err := l.Commit([]*pager.Frame{frame(3, 0x03)}); !errors.Is(err, ErrPoisoned) {
+		t.Fatalf("commit after poison = %v, want ErrPoisoned", err)
+	}
+	if got := l.Stats().Commits; got != 1 {
+		t.Errorf("commits counted = %d, want 1", got)
+	}
+
+	// Truncate discards the tail of unknown durability and clears the
+	// poison; commits may resume.
+	if err := l.Truncate(); err != nil {
+		t.Fatal(err)
+	}
+	if l.Poisoned() != nil {
+		t.Error("poison survived Truncate")
+	}
+	if err := l.Commit([]*pager.Frame{frame(4, 0x04)}); err != nil {
+		t.Fatalf("commit after truncate: %v", err)
+	}
+}
+
+func TestFailedAppendPoisonsLog(t *testing.T) {
+	ff := &flakyFile{MemByteFile: pager.NewMemByteFile()}
+	l, err := OpenBacking(ff)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ff.failNextWrite = errors.New("short write")
+	if err := l.Commit([]*pager.Frame{frame(1, 0x01)}); err == nil {
+		t.Fatal("commit with failing write succeeded")
+	}
+	if err := l.Commit([]*pager.Frame{frame(2, 0x02)}); !errors.Is(err, ErrPoisoned) {
+		t.Fatalf("commit after failed append = %v, want ErrPoisoned", err)
+	}
+}
+
+// Reopening the backing file yields a fresh, unpoisoned log whose recovery
+// replays exactly the batches that were durably committed.
+func TestReopenAfterPoisonRecovers(t *testing.T) {
+	ff := &flakyFile{MemByteFile: pager.NewMemByteFile()}
+	l, err := OpenBacking(ff)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Commit([]*pager.Frame{frame(1, 0x11)}); err != nil {
+		t.Fatal(err)
+	}
+	ff.failNextSync = errors.New("transient")
+	l.Commit([]*pager.Frame{frame(2, 0x22)}) // poisons; durability unknown
+
+	l2, err := OpenBacking(ff.MemByteFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l2.Poisoned() != nil {
+		t.Fatal("fresh log born poisoned")
+	}
+	file := pager.NewMemFile()
+	info, err := l2.Recover(file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// In this model the append reached the image, so both batches replay;
+	// the guarantee under test is only that recovery yields a consistent
+	// prefix without error.
+	if info.Replayed < 1 {
+		t.Errorf("recovery lost the first committed batch: %+v", info)
+	}
+	buf := make([]byte, pager.PageSize)
+	if err := file.ReadPage(1, buf); err != nil || buf[0] != 0x11 {
+		t.Errorf("page 1 = %x, %v", buf[0], err)
+	}
+}

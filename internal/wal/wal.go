@@ -8,14 +8,23 @@
 // lazily write the pages to the database file. Recovery replays every
 // complete committed batch in order and truncates the log. A checkpoint
 // (flush all pages + sync + truncate) bounds log growth.
+//
+// Failure semantics: a failed append or fsync poisons the log — every
+// subsequent Commit fails with an error wrapping ErrPoisoned instead of
+// silently journaling past a hole of unknown durability (the "fsyncgate"
+// lesson: after one failed fsync the page cache may have dropped the dirty
+// data, so retrying the sync can falsely succeed). Truncate clears the
+// poison, because it discards the bytes of unknown state; the store layer
+// only truncates after making the database file durable by other means.
 package wal
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"io"
-	"os"
+	"sync"
 	"sync/atomic"
 
 	"sim/internal/obs"
@@ -31,39 +40,70 @@ const (
 // header: kind(1) pageID(4) payloadLen(4) crc(4) = 13 bytes, then payload.
 const headerSize = 13
 
+// ErrPoisoned is wrapped by every Commit rejected because an earlier
+// append or fsync failed, leaving the log tail in an unknown durable
+// state. Reopening the log (which re-runs recovery) or truncating it
+// clears the condition.
+var ErrPoisoned = errors.New("wal: log poisoned by an earlier append/sync failure")
+
 // Stats reports WAL activity since the log was opened.
 type Stats struct {
 	Commits   uint64 // committed batches journaled
 	Pages     uint64 // page images appended
 	Bytes     uint64 // bytes appended
 	SizeBytes int64  // current log length
+	Salvages  uint64 // torn tails truncated during recovery
+}
+
+// RecoverInfo describes one recovery pass.
+type RecoverInfo struct {
+	Replayed  int   // page images written back to the database file
+	Commits   int   // committed batches replayed
+	Salvaged  bool  // a torn/corrupt tail was detected and discarded
+	ValidTo   int64 // byte offset of the last complete committed batch
+	Discarded int64 // torn-tail bytes discarded past ValidTo
 }
 
 // Log is an append-only commit journal. The counters are atomics so
 // Stats and metric collection are safe while the single writer commits.
 type Log struct {
-	f    *os.File
+	f    pager.ByteFile
 	size atomic.Int64
 	seq  uint64 // commit sequence number
 
-	commits atomic.Uint64
-	pages   atomic.Uint64
-	bytes   atomic.Uint64
+	mu     sync.Mutex // guards poison state
+	poison error      // non-nil after a failed append/sync
+
+	commits  atomic.Uint64
+	pages    atomic.Uint64
+	bytes    atomic.Uint64
+	salvages atomic.Uint64
 }
 
 // Open opens (creating if necessary) the log at path.
 func Open(path string) (*Log, error) {
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	f, err := pager.OpenOSByteFile(path)
 	if err != nil {
-		return nil, fmt.Errorf("wal: open %s: %w", path, err)
+		return nil, fmt.Errorf("wal: %w", err)
 	}
-	st, err := f.Stat()
+	l, err := OpenBacking(f)
 	if err != nil {
 		f.Close()
 		return nil, err
 	}
+	return l, nil
+}
+
+// OpenBacking opens a log over arbitrary byte storage: the path every
+// durable database takes via Open, and the hook the fault-injection
+// harness uses to script append/sync failures and crashes.
+func OpenBacking(f pager.ByteFile) (*Log, error) {
+	size, err := f.Size()
+	if err != nil {
+		return nil, fmt.Errorf("wal: size: %w", err)
+	}
 	l := &Log{f: f}
-	l.size.Store(st.Size())
+	l.size.Store(size)
 	return l, nil
 }
 
@@ -73,6 +113,23 @@ func (l *Log) Close() error { return l.f.Close() }
 // Size returns the current log length in bytes.
 func (l *Log) Size() int64 { return l.size.Load() }
 
+// Poisoned returns the poisoning cause, or nil while the log is healthy.
+func (l *Log) Poisoned() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.poison
+}
+
+// setPoison records the first failure; later failures keep the original
+// cause.
+func (l *Log) setPoison(err error) {
+	l.mu.Lock()
+	if l.poison == nil {
+		l.poison = err
+	}
+	l.mu.Unlock()
+}
+
 // Stats returns the log's counters; safe to call while commits run.
 func (l *Log) Stats() Stats {
 	return Stats{
@@ -80,6 +137,7 @@ func (l *Log) Stats() Stats {
 		Pages:     l.pages.Load(),
 		Bytes:     l.bytes.Load(),
 		SizeBytes: l.size.Load(),
+		Salvages:  l.salvages.Load(),
 	}
 }
 
@@ -93,6 +151,15 @@ func (l *Log) RegisterMetrics(r *obs.Registry) {
 		func() float64 { return float64(l.bytes.Load()) })
 	r.GaugeFunc("sim_wal_size_bytes", "Current WAL length (truncated at checkpoints).",
 		func() float64 { return float64(l.size.Load()) })
+	r.CounterFunc("sim_wal_salvage_truncations_total", "Torn or corrupt WAL tails discarded during recovery.",
+		func() float64 { return float64(l.salvages.Load()) })
+	r.GaugeFunc("sim_wal_poisoned", "1 after a failed append/fsync has poisoned the log, else 0.",
+		func() float64 {
+			if l.Poisoned() != nil {
+				return 1
+			}
+			return 0
+		})
 }
 
 func record(kind byte, pageID pager.PageID, payload []byte) []byte {
@@ -107,8 +174,15 @@ func record(kind byte, pageID pager.PageID, payload []byte) []byte {
 	return buf
 }
 
-// Commit durably journals the given page frames as one atomic batch.
+// Commit durably journals the given page frames as one atomic batch. After
+// any append or sync failure the log is poisoned: the failed batch is not
+// acknowledged (it may or may not survive a crash, depending on how many
+// of its bytes reached the disk), and every later Commit fails with
+// ErrPoisoned until the log is truncated or reopened.
 func (l *Log) Commit(frames []*pager.Frame) error {
+	if err := l.Poisoned(); err != nil {
+		return fmt.Errorf("%w (cause: %v)", ErrPoisoned, err)
+	}
 	var buf []byte
 	for _, fr := range frames {
 		buf = append(buf, record(recPage, fr.ID, fr.Data)...)
@@ -118,9 +192,11 @@ func (l *Log) Commit(frames []*pager.Frame) error {
 	binary.BigEndian.PutUint64(seqb[:], l.seq)
 	buf = append(buf, record(recCommit, 0, seqb[:])...)
 	if _, err := l.f.WriteAt(buf, l.size.Load()); err != nil {
+		l.setPoison(err)
 		return fmt.Errorf("wal: append: %w", err)
 	}
 	if err := l.f.Sync(); err != nil {
+		l.setPoison(err)
 		return fmt.Errorf("wal: sync: %w", err)
 	}
 	l.size.Add(int64(len(buf)))
@@ -131,7 +207,8 @@ func (l *Log) Commit(frames []*pager.Frame) error {
 }
 
 // Truncate discards the log contents; call only after a checkpoint has made
-// the database file current.
+// the database file current. Discarding the bytes of unknown durability is
+// what makes it safe to clear the poison here.
 func (l *Log) Truncate() error {
 	if err := l.f.Truncate(0); err != nil {
 		return err
@@ -141,26 +218,31 @@ func (l *Log) Truncate() error {
 	}
 	l.size.Store(0)
 	l.seq = 0
+	l.mu.Lock()
+	l.poison = nil
+	l.mu.Unlock()
 	return nil
 }
 
 // Recover replays every complete committed batch into file, then syncs it
-// and truncates the log. A torn tail (incomplete batch or corrupt record)
-// is ignored, implementing atomic commit.
-func (l *Log) Recover(file pager.File) (replayed int, err error) {
+// and truncates the log. A torn tail — an incomplete batch, a half-written
+// record, or a corrupt one — is salvaged: replay stops at the last
+// complete committed batch (the reported ValidTo offset), the tail past it
+// is discarded, and the salvage is counted. This implements atomic commit
+// across crashes at arbitrary write boundaries.
+func (l *Log) Recover(file pager.File) (RecoverInfo, error) {
+	var info RecoverInfo
 	if l.size.Load() == 0 {
-		return 0, nil
+		return info, nil
 	}
-	if _, err := l.f.Seek(0, io.SeekStart); err != nil {
-		return 0, err
-	}
-	r := io.LimitReader(l.f, l.size.Load())
+	r := io.NewSectionReader(l.f, 0, l.size.Load())
 
 	type img struct {
 		id   pager.PageID
 		data []byte
 	}
 	var pending []img
+	var offset int64 // bytes consumed including the current record
 	hdr := make([]byte, headerSize)
 	for {
 		if _, err := io.ReadFull(r, hdr); err != nil {
@@ -182,29 +264,40 @@ func (l *Log) Recover(file pager.File) (replayed int, err error) {
 		if crc != want {
 			break
 		}
+		offset += int64(headerSize) + int64(plen)
 		switch kind {
 		case recPage:
 			if len(payload) != pager.PageSize {
-				return replayed, fmt.Errorf("wal: page record with %d bytes", len(payload))
+				return info, fmt.Errorf("wal: page record with %d bytes", len(payload))
 			}
 			pending = append(pending, img{pageID, payload})
 		case recCommit:
+			if len(payload) != 8 {
+				return info, fmt.Errorf("wal: commit record with %d-byte sequence", len(payload))
+			}
 			for _, im := range pending {
 				if err := file.WritePage(im.id, im.data); err != nil {
-					return replayed, fmt.Errorf("wal: replay page %d: %w", im.id, err)
+					return info, fmt.Errorf("wal: replay page %d: %w", im.id, err)
 				}
-				replayed++
+				info.Replayed++
 			}
+			info.Commits++
 			pending = pending[:0]
+			info.ValidTo = offset
 			l.seq = binary.BigEndian.Uint64(payload)
 		default:
-			return replayed, fmt.Errorf("wal: unknown record kind %d", kind)
+			return info, fmt.Errorf("wal: unknown record kind %d", kind)
 		}
 	}
-	if replayed > 0 {
+	if info.ValidTo < l.size.Load() {
+		info.Salvaged = true
+		info.Discarded = l.size.Load() - info.ValidTo
+		l.salvages.Add(1)
+	}
+	if info.Replayed > 0 {
 		if err := file.Sync(); err != nil {
-			return replayed, err
+			return info, err
 		}
 	}
-	return replayed, l.Truncate()
+	return info, l.Truncate()
 }

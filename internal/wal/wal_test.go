@@ -37,12 +37,15 @@ func TestCommitAndRecover(t *testing.T) {
 		t.Fatal(err)
 	}
 	file := pager.NewMemFile()
-	n, err := l.Recover(file)
+	info, err := l.Recover(file)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if n != 3 {
-		t.Errorf("replayed %d pages, want 3", n)
+	if info.Replayed != 3 {
+		t.Errorf("replayed %d pages, want 3", info.Replayed)
+	}
+	if info.Commits != 2 || info.Salvaged {
+		t.Errorf("info = %+v, want 2 clean commits", info)
 	}
 	buf := make([]byte, pager.PageSize)
 	file.ReadPage(1, buf)
@@ -60,9 +63,9 @@ func TestCommitAndRecover(t *testing.T) {
 
 func TestRecoverEmptyLog(t *testing.T) {
 	l, _ := openLog(t)
-	n, err := l.Recover(pager.NewMemFile())
-	if err != nil || n != 0 {
-		t.Errorf("empty recover = %d, %v", n, err)
+	info, err := l.Recover(pager.NewMemFile())
+	if err != nil || info.Replayed != 0 {
+		t.Errorf("empty recover = %+v, %v", info, err)
 	}
 }
 
@@ -82,9 +85,15 @@ func TestTornTailIgnored(t *testing.T) {
 	}
 	defer l2.Close()
 	file := pager.NewMemFile()
-	n, err := l2.Recover(file)
-	if err != nil || n != 1 {
-		t.Fatalf("recover = %d, %v; want 1 page", n, err)
+	info, err := l2.Recover(file)
+	if err != nil || info.Replayed != 1 {
+		t.Fatalf("recover = %+v, %v; want 1 page", info, err)
+	}
+	if !info.Salvaged || info.Discarded != 5 {
+		t.Errorf("salvage not reported: %+v", info)
+	}
+	if l2.Stats().Salvages != 1 {
+		t.Errorf("salvage counter = %d", l2.Stats().Salvages)
 	}
 	buf := make([]byte, pager.PageSize)
 	file.ReadPage(5, buf)
@@ -108,9 +117,9 @@ func TestUncommittedBatchDiscarded(t *testing.T) {
 	}
 	defer l2.Close()
 	file := pager.NewMemFile()
-	n, err := l2.Recover(file)
-	if err != nil || n != 1 {
-		t.Fatalf("recover = %d, %v; want only the committed page", n, err)
+	info, err := l2.Recover(file)
+	if err != nil || info.Replayed != 1 {
+		t.Fatalf("recover = %+v, %v; want only the committed page", info, err)
 	}
 	if np, _ := file.NumPages(); np > 2 {
 		t.Errorf("uncommitted page written: file has %d pages", np)
@@ -132,12 +141,15 @@ func TestCorruptCRCStopsReplay(t *testing.T) {
 	}
 	defer l2.Close()
 	file := pager.NewMemFile()
-	n, err := l2.Recover(file)
+	info, err := l2.Recover(file)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if n != 1 {
-		t.Errorf("replayed %d pages past corruption, want 1", n)
+	if info.Replayed != 1 {
+		t.Errorf("replayed %d pages past corruption, want 1", info.Replayed)
+	}
+	if !info.Salvaged {
+		t.Error("corrupt tail not reported as salvaged")
 	}
 }
 
@@ -161,8 +173,8 @@ func TestCommitEmptyBatch(t *testing.T) {
 	if err := l.Commit(nil); err != nil {
 		t.Fatal(err)
 	}
-	n, err := l.Recover(pager.NewMemFile())
-	if err != nil || n != 0 {
-		t.Errorf("empty batch recover = %d, %v", n, err)
+	info, err := l.Recover(pager.NewMemFile())
+	if err != nil || info.Replayed != 0 {
+		t.Errorf("empty batch recover = %+v, %v", info, err)
 	}
 }

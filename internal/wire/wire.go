@@ -88,9 +88,10 @@ const (
 	CodeBusy          // connection limit reached
 	CodeShutdown      // server is draining
 	CodeInternal      // server-side panic or invariant failure
+	CodeOverloaded    // request queue full: fast-fail instead of queueing
 )
 
-var codeNames = [...]string{"unknown", "parse", "semantic", "exec", "protocol", "timeout", "busy", "shutdown", "internal"}
+var codeNames = [...]string{"unknown", "parse", "semantic", "exec", "protocol", "timeout", "busy", "shutdown", "internal", "overloaded"}
 
 func (c Code) String() string {
 	if int(c) < len(codeNames) {

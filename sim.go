@@ -135,6 +135,13 @@ func Open(path string, cfg Config) (*Database, error) {
 	if err != nil {
 		return nil, err
 	}
+	return openStore(store, cfg)
+}
+
+// openStore assembles a Database over an already-open substrate store.
+// The fault-injection harness uses it (via internal tests) to open
+// databases over scripted storage; Open is the production path.
+func openStore(store *dmsii.Store, cfg Config) (*Database, error) {
 	db := &Database{
 		store: store,
 		cfg:   cfg,
@@ -247,8 +254,7 @@ func (db *Database) DefineSchema(ddl string) error {
 		e   *exec.Executor
 	}{db.cat, db.mapper, db.exe}
 	if err := db.rebuild(batches); err != nil {
-		db.cat, db.mapper, db.exe = prev.cat, prev.m, prev.e
-		db.ddl = batches[:len(batches)-1]
+		db.revertSchema(prev.cat, prev.m, prev.e, batches)
 		return err
 	}
 	// Persist the batch.
@@ -264,9 +270,25 @@ func (db *Database) DefineSchema(ddl string) error {
 	key := fmt.Sprintf("%08d", len(db.ddl)-1)
 	if err := st.Put([]byte(key), []byte(ddl)); err != nil {
 		tx.Rollback()
+		db.revertSchema(prev.cat, prev.m, prev.e, batches)
 		return err
 	}
-	return tx.Commit()
+	if err := tx.Commit(); err != nil {
+		// The batch never became durable (e.g. a poisoned WAL). Revert the
+		// in-memory schema too, or this database would answer queries
+		// against classes that vanish on reopen.
+		db.revertSchema(prev.cat, prev.m, prev.e, batches)
+		return err
+	}
+	return nil
+}
+
+// revertSchema restores the pre-DefineSchema engine state after a failed
+// validation or persist.
+func (db *Database) revertSchema(cat *catalog.Catalog, m *luc.Mapper, e *exec.Executor, batches []string) {
+	db.cat, db.mapper, db.exe = cat, m, e
+	db.ddl = batches[:len(batches)-1]
+	db.plans.clear()
 }
 
 // Catalog exposes the schema catalog for introspection.
@@ -505,6 +527,21 @@ func (db *Database) Checkpoint() error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	return db.store.Checkpoint()
+}
+
+// ScrubReport is the result of a physical + logical storage audit; see
+// Database.Scrub.
+type ScrubReport = dmsii.ScrubReport
+
+// Scrub audits the database's storage: it checkpoints, re-reads every
+// page of the database file verifying its CRC32 trailer, and
+// cursor-scans every structure end to end. Corruption is reported with
+// the damaged page ids, never silently served or repaired. Scrub takes
+// the writer lock; queries wait while it runs.
+func (db *Database) Scrub() (ScrubReport, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.store.Scrub()
 }
 
 // SchemaSummary renders a one-line-per-class summary of the schema, with
