@@ -86,7 +86,8 @@ type Conn struct {
 
 	reqMu  chan struct{} // capacity-1 semaphore serializing requests
 	nc     net.Conn
-	reused bool // current nc has completed at least one request
+	reused bool   // current nc has completed at least one request
+	gen    uint64 // bumped when nc is replaced; transactions pin to it
 
 	retries *obs.Counter // nil without a registry
 	redials *obs.Counter
@@ -131,6 +132,7 @@ func DialConfigCtx(ctx context.Context, addr string, cfg Config) (*Conn, error) 
 		return nil, err
 	}
 	c.nc = nc
+	c.gen = 1
 	return c, nil
 }
 
@@ -269,6 +271,7 @@ func (c *Conn) roundTrip(ctx context.Context, t wire.Type, payload []byte, idemp
 				return 0, nil, err
 			}
 			c.nc, c.reused = nc, false
+			c.gen++
 			if c.redials != nil {
 				c.redials.Inc()
 			}

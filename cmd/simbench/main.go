@@ -5,12 +5,13 @@
 //
 //	simbench [-run id[,id...]] [-scale n] [-reps n] [-parallel n] [-net]
 //
-// Experiment ids: fig2, adds, dml, t1..t10, obs, fault, all (default).
-// The t9 run writes its table to BENCH_parallel.json, the t10 run
-// (network mode, also selectable as -net) writes BENCH_net.json, the obs
-// run (tracing overhead) writes BENCH_obs.json, and the fault run
-// (checksum/recovery/retry overhead) writes BENCH_fault.json for machine
-// consumption.
+// Experiment ids: fig2, adds, dml, t1..t10, t12 (alias: txn), obs,
+// fault, all (default). The t9 run writes its table to
+// BENCH_parallel.json, the t10 run (network mode, also selectable as
+// -net) writes BENCH_net.json, the t12/txn run (group commit) writes
+// BENCH_txn.json, the obs run (tracing overhead) writes BENCH_obs.json,
+// and the fault run (checksum/recovery/retry overhead) writes
+// BENCH_fault.json for machine consumption.
 package main
 
 import (
@@ -24,10 +25,11 @@ import (
 )
 
 func main() {
-	run := flag.String("run", "all", "comma-separated experiment ids (fig2,adds,dml,t1..t10,obs,fault)")
+	run := flag.String("run", "all", "comma-separated experiment ids (fig2,adds,dml,t1..t10,t12/txn,obs,fault)")
 	scale := flag.Int("scale", 1, "workload scale factor")
 	reps := flag.Int("reps", 5, "repetitions per measurement")
 	parallel := flag.Int("parallel", 8, "maximum concurrent clients for t9/t10")
+	writers := flag.Int("writers", 16, "maximum concurrent committers for t12")
 	netMode := flag.Bool("net", false, "network mode: run the t10 client/server experiment")
 	flag.Parse()
 	if *netMode {
@@ -42,6 +44,9 @@ func main() {
 	want := map[string]bool{}
 	for _, id := range strings.Split(strings.ToLower(*run), ",") {
 		want[strings.TrimSpace(id)] = true
+	}
+	if want["txn"] { // alias for the transaction experiment
+		want["t12"] = true
 	}
 	all := want["all"]
 	sel := func(id string) bool { return all || want[strings.ToLower(id)] }
@@ -64,12 +69,14 @@ func main() {
 		{"t8", func() (*bench.Table, error) { return bench.T8(w, *reps) }},
 		{"t9", func() (*bench.Table, error) { return bench.T9(w, *reps, *parallel) }},
 		{"t10", func() (*bench.Table, error) { return bench.T10(w, *reps, *parallel) }},
+		{"t12", func() (*bench.Table, error) { return bench.T12(*reps, *writers) }},
 		{"obs", func() (*bench.Table, error) { return bench.Obs(w, *reps) }},
 		{"fault", func() (*bench.Table, error) { return bench.Fault(*reps) }},
 	}
 	artifacts := map[string]string{
 		"t9":    "BENCH_parallel.json",
 		"t10":   "BENCH_net.json",
+		"t12":   "BENCH_txn.json",
 		"obs":   "BENCH_obs.json",
 		"fault": "BENCH_fault.json",
 	}

@@ -53,6 +53,65 @@ type session interface {
 	ExplainAnalyze(dml string) (string, error)
 }
 
+// shellTx is the transaction slice the shell needs. *client.Tx satisfies
+// it directly; localTx adapts *sim.Tx (whose Commit/Rollback take no
+// context — the local engine finishes them without network I/O).
+type shellTx interface {
+	Query(ctx context.Context, dml string) (*sim.Result, error)
+	Exec(ctx context.Context, dml string) (int, error)
+	Commit(ctx context.Context) error
+	Rollback(ctx context.Context) error
+}
+
+type localTx struct{ *sim.Tx }
+
+func (l localTx) Commit(context.Context) error   { return l.Tx.Commit() }
+func (l localTx) Rollback(context.Context) error { return l.Tx.Rollback() }
+
+// shell is the interactive state: the session plus its open transaction,
+// if any (BEGIN ... COMMIT/ROLLBACK).
+type shell struct {
+	sess session
+	tx   shellTx
+}
+
+// begin opens an explicit transaction on the session.
+func (sh *shell) begin(ctx context.Context) error {
+	if sh.tx != nil {
+		return fmt.Errorf("a transaction is already open (COMMIT or ROLLBACK it first)")
+	}
+	switch v := sh.sess.(type) {
+	case *sim.Database:
+		tx, err := v.Begin(ctx)
+		if err != nil {
+			return err
+		}
+		sh.tx = localTx{tx}
+	case *client.Conn:
+		tx, err := v.Begin(ctx)
+		if err != nil {
+			return err
+		}
+		sh.tx = tx
+	default:
+		return fmt.Errorf("this session does not support transactions")
+	}
+	return nil
+}
+
+// finish commits (commit=true) or rolls back the open transaction.
+func (sh *shell) finish(ctx context.Context, commit bool) error {
+	if sh.tx == nil {
+		return fmt.Errorf("no transaction is open (BEGIN first)")
+	}
+	tx := sh.tx
+	sh.tx = nil
+	if commit {
+		return tx.Commit(ctx)
+	}
+	return tx.Rollback(ctx)
+}
+
 // timing controls the per-query span line (\timing on|off).
 var timing bool
 
@@ -93,8 +152,21 @@ func main() {
 		sess = db
 	}
 
+	sh := &shell{sess: sess}
+	defer func() {
+		// An open transaction at exit (EOF, \quit) is rolled back, like a
+		// dropped server connection.
+		if sh.tx != nil {
+			if err := sh.finish(context.Background(), false); err != nil {
+				fmt.Fprintln(os.Stderr, "rollback at exit:", err)
+			} else {
+				fmt.Fprintln(os.Stderr, "open transaction rolled back at exit")
+			}
+		}
+	}()
+
 	if *stmt != "" {
-		if err := runScript(sess, *stmt); err != nil {
+		if err := runScript(sh, *stmt); err != nil {
 			fatal(err)
 		}
 		return
@@ -104,10 +176,13 @@ func main() {
 	in.Buffer(make([]byte, 1<<20), 1<<20)
 	var buf strings.Builder
 	prompt := func() {
-		if buf.Len() == 0 {
-			fmt.Print("sim> ")
-		} else {
+		switch {
+		case buf.Len() > 0:
 			fmt.Print("...> ")
+		case sh.tx != nil:
+			fmt.Print("txn> ")
+		default:
+			fmt.Print("sim> ")
 		}
 	}
 	prompt()
@@ -115,7 +190,7 @@ func main() {
 		line := in.Text()
 		trimmed := strings.TrimSpace(line)
 		if buf.Len() == 0 && strings.HasPrefix(trimmed, `\`) {
-			if !command(sess, trimmed) {
+			if !command(sh, trimmed) {
 				return
 			}
 			prompt()
@@ -124,7 +199,7 @@ func main() {
 		buf.WriteString(line)
 		buf.WriteString("\n")
 		if strings.HasSuffix(trimmed, ".") || strings.HasSuffix(trimmed, ";") {
-			if err := run(sess, buf.String()); err != nil {
+			if err := run(sh, buf.String()); err != nil {
 				fmt.Fprintln(os.Stderr, "error:", err)
 			}
 			buf.Reset()
@@ -134,7 +209,8 @@ func main() {
 }
 
 // command handles a backslash command; it returns false to exit.
-func command(s session, line string) bool {
+func command(sh *shell, line string) bool {
+	s := sh.sess
 	db, local := s.(*sim.Database)
 	cmd, rest, _ := strings.Cut(line, " ")
 	switch cmd {
@@ -223,6 +299,7 @@ func command(s session, line string) bool {
 		fmt.Println(`statements end with '.' or ';'
 DDL:  Type/Class/Subclass/Verify declarations (via -schema or pasted; local only)
 DML:  Retrieve / Insert / Modify / Delete
+TXN:  Begin [Transaction] / Commit / Rollback (prompt shows txn> while open)
 commands: \schema \classes \explain <q> \analyze <q> \timing [on|off] \check \verify \stats \quit`)
 	default:
 		fmt.Fprintf(os.Stderr, "unknown command %s (try \\help)\n", cmd)
@@ -243,12 +320,16 @@ func isDDL(text string) bool {
 }
 
 // run executes one input chunk: DDL if it looks like a schema, otherwise
-// a single DML statement.
-func run(s session, text string) error {
+// a single statement (DML or transaction control).
+func run(sh *shell, text string) error {
+	ctx := context.Background()
 	if isDDL(text) {
-		db, local := s.(*sim.Database)
+		db, local := sh.sess.(*sim.Database)
 		if !local {
 			return fmt.Errorf("schema changes are not supported over -connect; define the schema on the server (simserve -schema)")
+		}
+		if sh.tx != nil {
+			return fmt.Errorf("schema changes inside a transaction are not supported; COMMIT or ROLLBACK first")
 		}
 		if err := db.DefineSchema(text); err != nil {
 			return err
@@ -260,13 +341,35 @@ func run(s session, text string) error {
 	if err != nil {
 		return err
 	}
-	if ret, ok := stmt.(*ast.RetrieveStmt); ok {
+	switch ret := stmt.(type) {
+	case *ast.BeginStmt:
+		if err := sh.begin(ctx); err != nil {
+			return err
+		}
+		fmt.Println("transaction open")
+		return nil
+	case *ast.CommitStmt:
+		if err := sh.finish(ctx, true); err != nil {
+			return err
+		}
+		fmt.Println("committed")
+		return nil
+	case *ast.RollbackStmt:
+		if err := sh.finish(ctx, false); err != nil {
+			return err
+		}
+		fmt.Println("rolled back")
+		return nil
+	case *ast.RetrieveStmt:
 		var r *sim.Result
 		var spans string
-		if timing {
-			r, spans, err = timedQuery(s, text)
-		} else {
-			r, err = s.Query(text)
+		switch {
+		case sh.tx != nil:
+			r, err = sh.tx.Query(ctx, text)
+		case timing:
+			r, spans, err = timedQuery(sh.sess, text)
+		default:
+			r, err = sh.sess.Query(text)
 		}
 		if err != nil {
 			return err
@@ -282,7 +385,12 @@ func run(s session, text string) error {
 		}
 		return nil
 	}
-	n, err := s.Exec(text)
+	var n int
+	if sh.tx != nil {
+		n, err = sh.tx.Exec(ctx, text)
+	} else {
+		n, err = sh.sess.Exec(text)
+	}
 	if err != nil {
 		return err
 	}
@@ -319,19 +427,31 @@ func timedQuery(s session, text string) (*sim.Result, string, error) {
 }
 
 // runScript executes the -e argument: a DDL batch, or a script of one or
-// more DML statements executed in order. Results go to stdout; the first
-// failing statement's error is returned (the caller routes it to stderr
-// and exits nonzero) without executing the rest.
-func runScript(s session, text string) error {
+// more statements executed in order (BEGIN/COMMIT/ROLLBACK group the
+// statements between them into one transaction). Results go to stdout;
+// the first failing statement's error is returned (the caller routes it
+// to stderr and exits nonzero) without executing the rest, and any
+// transaction still open — after a failure or at the end of the script —
+// is rolled back.
+func runScript(sh *shell, text string) error {
 	if isDDL(text) {
-		return run(s, text)
+		return run(sh, text)
 	}
 	stmts, err := parser.SplitStmts(text)
 	if err != nil {
 		return err
 	}
+	defer func() {
+		if sh.tx != nil {
+			if rerr := sh.finish(context.Background(), false); rerr != nil {
+				fmt.Fprintln(os.Stderr, "rollback at script end:", rerr)
+			} else {
+				fmt.Fprintln(os.Stderr, "open transaction rolled back at script end")
+			}
+		}
+	}()
 	for i, one := range stmts {
-		if err := run(s, one); err != nil {
+		if err := run(sh, one); err != nil {
 			if len(stmts) > 1 {
 				return fmt.Errorf("statement %d: %w", i+1, err)
 			}

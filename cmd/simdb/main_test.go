@@ -31,6 +31,9 @@ func captureStdout(t *testing.T, f func()) string {
 	return <-done
 }
 
+// sh wraps a session in fresh shell state for one call.
+func sh(s session) *shell { return &shell{sess: s} }
+
 func testDB(t *testing.T) *sim.Database {
 	t.Helper()
 	db, err := sim.Open("", sim.Config{})
@@ -51,7 +54,7 @@ func TestRunDDLAndDML(t *testing.T) {
 	}
 	defer db.Close()
 	out := captureStdout(t, func() {
-		if err := run(db, `Class Widget ( wname: string[10] required );`); err != nil {
+		if err := run(sh(db), `Class Widget ( wname: string[10] required );`); err != nil {
 			t.Error(err)
 		}
 	})
@@ -59,7 +62,7 @@ func TestRunDDLAndDML(t *testing.T) {
 		t.Errorf("DDL output = %q", out)
 	}
 	out = captureStdout(t, func() {
-		if err := run(db, `Insert widget (wname := "gear").`); err != nil {
+		if err := run(sh(db), `Insert widget (wname := "gear").`); err != nil {
 			t.Error(err)
 		}
 	})
@@ -67,7 +70,7 @@ func TestRunDDLAndDML(t *testing.T) {
 		t.Errorf("insert output = %q", out)
 	}
 	out = captureStdout(t, func() {
-		if err := run(db, `From widget Retrieve wname.`); err != nil {
+		if err := run(sh(db), `From widget Retrieve wname.`); err != nil {
 			t.Error(err)
 		}
 	})
@@ -78,9 +81,9 @@ func TestRunDDLAndDML(t *testing.T) {
 
 func TestRunStructuredOutput(t *testing.T) {
 	db := testDB(t)
-	captureStdout(t, func() { run(db, `Insert department (dept-nbr := 100, name := "Physics").`) })
+	captureStdout(t, func() { run(sh(db), `Insert department (dept-nbr := 100, name := "Physics").`) })
 	out := captureStdout(t, func() {
-		if err := run(db, `From department Retrieve Structure name.`); err != nil {
+		if err := run(sh(db), `From department Retrieve Structure name.`); err != nil {
 			t.Error(err)
 		}
 	})
@@ -91,21 +94,21 @@ func TestRunStructuredOutput(t *testing.T) {
 
 func TestRunReportsErrors(t *testing.T) {
 	db := testDB(t)
-	if err := run(db, `From nowhere Retrieve x.`); err == nil {
+	if err := run(sh(db), `From nowhere Retrieve x.`); err == nil {
 		t.Error("bad query did not error")
 	}
-	if err := run(db, `not a statement at all.`); err == nil {
+	if err := run(sh(db), `not a statement at all.`); err == nil {
 		t.Error("garbage did not error")
 	}
 }
 
 func TestCommands(t *testing.T) {
 	db := testDB(t)
-	out := captureStdout(t, func() { command(db, `\schema`) })
+	out := captureStdout(t, func() { command(sh(db), `\schema`) })
 	if !strings.Contains(out, "base classes: 3") {
 		t.Errorf("\\schema output = %q", out)
 	}
-	out = captureStdout(t, func() { command(db, `\classes`) })
+	out = captureStdout(t, func() { command(sh(db), `\classes`) })
 	for _, want := range []string{"Person (class)", "Student (subclass of Person)", "advisor: Instructor inverse is advisees", "profession: subrole"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("\\classes output missing %q:\n%s", want, out)
@@ -113,20 +116,20 @@ func TestCommands(t *testing.T) {
 	}
 	for i := 1; i <= 6; i++ {
 		stmt := `Insert person (name := "P", soc-sec-no := ` + string(rune('0'+i)) + `).`
-		captureStdout(t, func() { run(db, stmt) })
+		captureStdout(t, func() { run(sh(db), stmt) })
 	}
-	out = captureStdout(t, func() { command(db, `\explain From person Retrieve name Where soc-sec-no = 1.`) })
+	out = captureStdout(t, func() { command(sh(db), `\explain From person Retrieve name Where soc-sec-no = 1.`) })
 	if !strings.Contains(out, "unique lookup") {
 		t.Errorf("\\explain output = %q", out)
 	}
-	out = captureStdout(t, func() { command(db, `\check`) })
+	out = captureStdout(t, func() { command(sh(db), `\check`) })
 	if !strings.Contains(out, "hold") {
 		t.Errorf("\\check output = %q", out)
 	}
-	if command(db, `\quit`) {
+	if command(sh(db), `\quit`) {
 		t.Error("\\quit did not signal exit")
 	}
-	out = captureStdout(t, func() { command(db, `\help`) })
+	out = captureStdout(t, func() { command(sh(db), `\help`) })
 	if !strings.Contains(out, "Retrieve") {
 		t.Errorf("\\help output = %q", out)
 	}
@@ -144,7 +147,7 @@ func scriptDB(t *testing.T) *sim.Database {
 func TestRunScriptMultiStatement(t *testing.T) {
 	db := scriptDB(t)
 	out := captureStdout(t, func() {
-		err := runScript(db, `
+		err := runScript(sh(db), `
 			Insert department (dept-nbr := 200, name := "Physics").
 			From department Retrieve name Order By name.
 		`)
@@ -163,7 +166,7 @@ func TestRunScriptStopsAtFirstError(t *testing.T) {
 	db := scriptDB(t)
 	var err error
 	captureStdout(t, func() {
-		err = runScript(db, `
+		err = runScript(sh(db), `
 			Insert department (dept-nbr := 300, name := "Chem").
 			Insert department (dept-nbr := 300, name := "Dup").
 			Insert department (dept-nbr := 400, name := "Never").
@@ -189,7 +192,7 @@ func TestRunScriptParseErrorRunsNothing(t *testing.T) {
 	db := scriptDB(t)
 	var err error
 	captureStdout(t, func() {
-		err = runScript(db, `
+		err = runScript(sh(db), `
 			Insert department (dept-nbr := 500, name := "Ghost").
 			this is not SIM at all.
 		`)
@@ -206,6 +209,70 @@ func TestRunScriptParseErrorRunsNothing(t *testing.T) {
 	}
 }
 
+func TestRunScriptTransaction(t *testing.T) {
+	db := scriptDB(t)
+	// A committed group persists.
+	out := captureStdout(t, func() {
+		err := runScript(sh(db), `
+			Begin Transaction.
+			Insert department (dept-nbr := 600, name := "Geo").
+			Insert department (dept-nbr := 601, name := "Bio").
+			Commit.
+		`)
+		if err != nil {
+			t.Error(err)
+		}
+	})
+	for _, want := range []string{"transaction open", "committed"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("txn script output missing %q:\n%s", want, out)
+		}
+	}
+	r, err := db.Query(`From department Retrieve name Order By name.`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Format(); !strings.Contains(got, "Geo") || !strings.Contains(got, "Bio") {
+		t.Errorf("committed departments missing:\n%s", got)
+	}
+
+	// An explicit ROLLBACK discards the group.
+	captureStdout(t, func() {
+		if err := runScript(sh(db), `
+			Begin.
+			Insert department (dept-nbr := 700, name := "Alchemy").
+			Rollback.
+		`); err != nil {
+			t.Error(err)
+		}
+	})
+	// A script ending with an open transaction is rolled back too.
+	captureStdout(t, func() {
+		if err := runScript(sh(db), `
+			Begin.
+			Insert department (dept-nbr := 701, name := "Phrenology").
+		`); err != nil {
+			t.Error(err)
+		}
+	})
+	r, err = db.Query(`From department Retrieve name Order By name.`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, gone := range []string{"Alchemy", "Phrenology"} {
+		if strings.Contains(r.Format(), gone) {
+			t.Errorf("rolled-back department %s persisted", gone)
+		}
+	}
+
+	// COMMIT without BEGIN is an error.
+	var cerr error
+	captureStdout(t, func() { cerr = runScript(sh(db), `Commit.`) })
+	if cerr == nil || !strings.Contains(cerr.Error(), "no transaction") {
+		t.Errorf("bare COMMIT error = %v", cerr)
+	}
+}
+
 // remoteStub satisfies session without a database, for testing
 // remote-mode restrictions without standing up a server.
 type remoteStub struct{}
@@ -216,7 +283,7 @@ func (remoteStub) Explain(string) (string, error)        { return "", nil }
 func (remoteStub) ExplainAnalyze(string) (string, error) { return "", nil }
 
 func TestRemoteModeRejectsDDL(t *testing.T) {
-	err := run(remoteStub{}, `Class Widget ( wname: string[10] );`)
+	err := run(sh(remoteStub{}), `Class Widget ( wname: string[10] );`)
 	if err == nil || !strings.Contains(err.Error(), "simserve -schema") {
 		t.Errorf("remote DDL error = %v", err)
 	}
@@ -225,7 +292,7 @@ func TestRemoteModeRejectsDDL(t *testing.T) {
 func TestRemoteModeLocalOnlyCommands(t *testing.T) {
 	for _, cmd := range []string{`\schema`, `\classes`, `\check`} {
 		out := captureStdout(t, func() {
-			if !command(remoteStub{}, cmd) {
+			if !command(sh(remoteStub{}), cmd) {
 				t.Errorf("%s signalled exit", cmd)
 			}
 		})

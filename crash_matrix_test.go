@@ -1,9 +1,11 @@
 package sim
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"os"
+	"sync"
 	"testing"
 
 	"sim/internal/dmsii"
@@ -219,6 +221,213 @@ func TestCrashMatrix(t *testing.T) {
 		}
 	}
 	t.Logf("crash matrix: %d boundaries, %d runs (stride %d)", totalOps, runs, stride)
+}
+
+// TestCrashMatrixConcurrent is the concurrent-writer crash schedule:
+// several autocommit writers and one explicit-transaction writer commit
+// into the same class while the matrix freezes the image at sampled
+// operation boundaries. Group commit makes the op schedule
+// nondeterministic — committers share a leader's fsync, so which
+// operation a given counter value lands on varies run to run — so the
+// invariant is acknowledgment-based rather than step-based:
+//
+//   - every insert whose Exec (or Commit) returned success before the
+//     crash must be present after recovery,
+//   - every recovered row must be one the workload actually issued, and
+//   - each explicit transaction's two rows recover both-or-neither.
+//
+// CheckIntegrity and Scrub must pass on every recovered image.
+func TestCrashMatrixConcurrent(t *testing.T) {
+	const (
+		autoWriters = 3
+		perWriter   = 8
+		pairs       = 4
+		fillerBase  = 900
+	)
+	autoNum := func(g, i int) int { return 100 + g*perWriter + i }
+	pairNums := func(p int) (int, int) { return 500 + 2*p, 500 + 2*p + 1 }
+
+	// attempted is every row the workload could ever insert, with its tag:
+	// anything recovered outside this set is corruption, not a lost ack.
+	// Filler rows are added once their range is known (after the count run).
+	attempted := make(map[string]string)
+	for g := 0; g < autoWriters; g++ {
+		for i := 0; i < perWriter; i++ {
+			attempted[fmt.Sprint(autoNum(g, i))] = fmt.Sprintf("w%d-%d", g, i)
+		}
+	}
+	for p := 0; p < pairs; p++ {
+		a, b := pairNums(p)
+		attempted[fmt.Sprint(a)] = fmt.Sprintf("p%d-a", p)
+		attempted[fmt.Sprint(b)] = fmt.Sprintf("p%d-b", p)
+	}
+
+	// run drives the concurrent workload until it finishes or the crash
+	// fires, returning the num->tag map of acknowledged-durable inserts.
+	// Because group scheduling shifts where operations land, a crash point
+	// past this run's natural op count might never fire; up to fillerMax
+	// serial filler inserts push the counter until it does.
+	run := func(inj *fault.Injector, dbImg, walImg *pager.MemByteFile, fillerMax int) map[string]string {
+		acked := make(map[string]string)
+		db, err := openFaultDB(inj, dbImg, walImg)
+		if err != nil {
+			return acked
+		}
+		if err := db.DefineSchema(crashMatrixSchema); err != nil {
+			return acked
+		}
+		var mu sync.Mutex
+		ack := func(num int, tag string) {
+			mu.Lock()
+			acked[fmt.Sprint(num)] = tag
+			mu.Unlock()
+		}
+		insert := func(num int, tag string) error {
+			_, err := db.Exec(fmt.Sprintf(`Insert item (num := %d, tag := %q).`, num, tag))
+			return err
+		}
+		var wg sync.WaitGroup
+		for g := 0; g < autoWriters; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				for i := 0; i < perWriter; i++ {
+					num, tag := autoNum(g, i), fmt.Sprintf("w%d-%d", g, i)
+					if insert(num, tag) != nil {
+						return
+					}
+					ack(num, tag)
+				}
+			}(g)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ctx := context.Background()
+			for p := 0; p < pairs; p++ {
+				a, b := pairNums(p)
+				atag, btag := fmt.Sprintf("p%d-a", p), fmt.Sprintf("p%d-b", p)
+				tx, err := db.Begin(ctx)
+				if err != nil {
+					return
+				}
+				if _, err := tx.Exec(ctx, fmt.Sprintf(`Insert item (num := %d, tag := %q).`, a, atag)); err != nil {
+					tx.Rollback()
+					return
+				}
+				if _, err := tx.Exec(ctx, fmt.Sprintf(`Insert item (num := %d, tag := %q).`, b, btag)); err != nil {
+					tx.Rollback()
+					return
+				}
+				if tx.Commit() != nil {
+					return
+				}
+				ack(a, atag)
+				ack(b, btag)
+			}
+		}()
+		wg.Wait()
+		for num := fillerBase; !inj.Crashed() && num < fillerBase+fillerMax; num++ {
+			tag := fmt.Sprintf("f%d", num)
+			if insert(num, tag) == nil {
+				ack(num, tag)
+			}
+		}
+		return acked
+	}
+
+	// Count run: no faults. Validates the workload (everything acks, the
+	// recovered image matches exactly) and sizes the crash-point range.
+	countInj := fault.NewInjector()
+	dbImg, walImg := pager.NewMemByteFile(), pager.NewMemByteFile()
+	if acked := run(countInj, dbImg, walImg, 0); len(acked) != len(attempted) {
+		t.Fatalf("fault-free run acked %d/%d inserts", len(acked), len(attempted))
+	}
+	totalOps := countInj.Ops()
+	if totalOps < 20 {
+		t.Fatalf("workload issued only %d mutating ops; matrix would be trivial", totalOps)
+	}
+	check, err := openFaultDB(fault.NewInjector(), dbImg, walImg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := readItems(t, check); !equalState(got, attempted) {
+		t.Fatalf("fault-free recovered state %v != attempted %v", got, attempted)
+	}
+	if err := check.Close(); err != nil {
+		t.Fatal(err)
+	}
+	fillerMax := int(totalOps)
+	for num := fillerBase; num < fillerBase+fillerMax; num++ {
+		attempted[fmt.Sprint(num)] = fmt.Sprintf("f%d", num)
+	}
+
+	stride := uint64(5)
+	if os.Getenv("SIM_CRASH_MATRIX") == "full" {
+		stride = 1
+	}
+	runs := 0
+	for c := uint64(2); c <= totalOps; c += stride {
+		for _, torn := range []int{0, 13} {
+			runs++
+			name := fmt.Sprintf("crash at op %d torn %d", c, torn)
+			inj := fault.NewInjector()
+			if torn == 0 {
+				inj.CrashAt(c)
+			} else {
+				inj.CrashAtTorn(c, torn)
+			}
+			img, wimg := pager.NewMemByteFile(), pager.NewMemByteFile()
+			acked := run(inj, img, wimg, fillerMax)
+			if !inj.Crashed() {
+				t.Fatalf("%s: crash never fired (%d ops this run)", name, inj.Ops())
+			}
+
+			db2, err := openFaultDB(fault.NewInjector(), img, wimg)
+			if err != nil {
+				t.Fatalf("%s: reopen after crash: %v", name, err)
+			}
+			got := readItems(t, db2)
+			if got == nil {
+				if len(acked) != 0 {
+					t.Fatalf("%s: schema lost in recovery but %d inserts had been acknowledged", name, len(acked))
+				}
+			} else {
+				for num, tag := range acked {
+					if got[num] != tag {
+						t.Fatalf("%s: acknowledged insert num=%s tag=%q lost in recovery (found %q)", name, num, tag, got[num])
+					}
+				}
+				for num, tag := range got {
+					if attempted[num] != tag {
+						t.Fatalf("%s: recovered row num=%s tag=%q was never written", name, num, tag)
+					}
+				}
+				for p := 0; p < pairs; p++ {
+					a, b := pairNums(p)
+					_, hasA := got[fmt.Sprint(a)]
+					_, hasB := got[fmt.Sprint(b)]
+					if hasA != hasB {
+						t.Fatalf("%s: explicit transaction %d recovered torn: first=%v second=%v", name, p, hasA, hasB)
+					}
+				}
+				if err := db2.CheckIntegrity(); err != nil {
+					t.Fatalf("%s: integrity after recovery: %v", name, err)
+				}
+			}
+			rep, err := db2.Scrub()
+			if err != nil {
+				t.Fatalf("%s: scrub: %v", name, err)
+			}
+			if !rep.OK() {
+				t.Fatalf("%s: scrub after recovery: %s", name, rep)
+			}
+			if err := db2.Close(); err != nil {
+				t.Fatalf("%s: close after recovery: %v", name, err)
+			}
+		}
+	}
+	t.Logf("concurrent crash matrix: %d boundaries, %d runs (stride %d)", totalOps, runs, stride)
 }
 
 // A bit flipped at rest in the database file must never be silently

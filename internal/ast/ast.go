@@ -274,15 +274,37 @@ type DeleteStmt struct {
 	Where Expr
 }
 
+// BeginStmt is BEGIN [TRANSACTION]: open an explicit transaction. Later
+// statements join it until COMMIT or ROLLBACK.
+type BeginStmt struct {
+	P token.Pos
+}
+
+// CommitStmt is COMMIT [TRANSACTION]: durably apply the open transaction.
+type CommitStmt struct {
+	P token.Pos
+}
+
+// RollbackStmt is ROLLBACK [TRANSACTION]: discard the open transaction.
+type RollbackStmt struct {
+	P token.Pos
+}
+
 func (s *RetrieveStmt) Pos() token.Pos { return s.P }
 func (s *InsertStmt) Pos() token.Pos   { return s.P }
 func (s *ModifyStmt) Pos() token.Pos   { return s.P }
 func (s *DeleteStmt) Pos() token.Pos   { return s.P }
+func (s *BeginStmt) Pos() token.Pos    { return s.P }
+func (s *CommitStmt) Pos() token.Pos   { return s.P }
+func (s *RollbackStmt) Pos() token.Pos { return s.P }
 
 func (*RetrieveStmt) stmtNode() {}
 func (*InsertStmt) stmtNode()   {}
 func (*ModifyStmt) stmtNode()   {}
 func (*DeleteStmt) stmtNode()   {}
+func (*BeginStmt) stmtNode()    {}
+func (*CommitStmt) stmtNode()   {}
+func (*RollbackStmt) stmtNode() {}
 
 // ---------------------------------------------------------------------------
 // Expressions

@@ -45,15 +45,21 @@ func (r ScrubReport) String() string {
 // reported, never repaired: a corrupt page is detected on read instead
 // of being silently served, and Scrub tells the operator which page.
 //
-// Scrub must not run concurrently with writers; the database layer
-// holds its writer lock around it.
+// Scrub holds the store's write latch for the checkpoint and refuses to
+// run while transactions are open; concurrent readers are tolerated.
 func (s *Store) Scrub() (ScrubReport, error) {
 	var rep ScrubReport
-	if s.inTx {
+	if s.active.Load() > 0 {
 		return rep, fmt.Errorf("dmsii: Scrub with an open transaction")
 	}
-	if err := s.Checkpoint(); err != nil {
-		return rep, fmt.Errorf("dmsii: scrub checkpoint: %w", err)
+	unlock, err := s.lockWrites()
+	if err != nil {
+		return rep, err
+	}
+	cperr := s.checkpointLocked()
+	unlock()
+	if cperr != nil {
+		return rep, fmt.Errorf("dmsii: scrub checkpoint: %w", cperr)
 	}
 
 	// Physical pass: every page in the file, checksums verified.

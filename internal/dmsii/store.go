@@ -2,18 +2,24 @@
 // paper built SIM over DMSII, Unisys's network-model DBMS, relying on it
 // for "transaction, cursor and I/O management" (§1); this package is the
 // equivalent substrate built from scratch: named structures (clustered
-// B+trees), a page allocator with a persistent freelist, single-writer
-// transactions with WAL-backed atomic commit, and crash recovery.
+// B+trees), a page allocator with a persistent freelist, concurrent
+// transactions with WAL-backed atomic group commit, and crash recovery.
 //
-// The package is not internally synchronized; sim.Database serializes
-// access (single writer, multiple readers), as DMSII did on the paper's
-// behalf.
+// Concurrency model: any number of transactions may be open (BeginSession),
+// their write phases serialized on a store-wide latch while commit fsync and
+// write-back are pipelined — see Store and Txn. Reads on open structures are
+// safe from concurrent goroutines; sim.Database layers statement-level
+// reader/writer exclusion on top, as DMSII did on the paper's behalf.
 package dmsii
 
 import (
+	"context"
 	"encoding/binary"
+	"errors"
 	"fmt"
+	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"sim/internal/btree"
 	"sim/internal/obs"
@@ -40,6 +46,14 @@ const checkpointThreshold = 8 << 20
 // structures) are safe from concurrent goroutines; dirMu serializes the
 // structure directory so concurrent readers can open structures, and the
 // database layer serializes writers against readers.
+//
+// Multiple transactions may be open concurrently (BeginSession), but their
+// write phases are serialized on the store-wide write latch: a transaction
+// holds the latch from its first write until its commit snapshot, at which
+// point the next writer may proceed while the first one's fsync is still
+// in flight. That pipeline is what feeds WAL group commit. Per-structure
+// latches (Txn.Latch) give fail-fast first-writer-wins conflicts between
+// open transactions targeting the same class.
 type Store struct {
 	file      pager.File
 	pool      *pager.Pool
@@ -47,9 +61,22 @@ type Store struct {
 	dir       *btree.Tree
 	dirMu     sync.Mutex // guards dir traffic and the open map
 	open      map[string]*Structure
-	inTx      bool
-	closed    bool
+	closed    atomic.Bool
 	recovered wal.RecoverInfo // what recovery did when the store opened
+
+	writeSem  chan struct{} // capacity-1 store-wide write latch
+	writeHeld atomic.Bool   // the write latch is currently held
+
+	latchMu sync.Mutex
+	latches map[string]*Txn // structure-name write latches, first writer wins
+
+	pendMu   sync.Mutex
+	pendCond *sync.Cond
+	pending  []*pager.Snapshot // committed snapshots awaiting write-back, FIFO
+
+	active     atomic.Int64 // open transactions
+	conflicts  atomic.Uint64
+	needsReset atomic.Bool // a commit group failed; discard before next write
 }
 
 // Options configures Open.
@@ -117,7 +144,15 @@ func open(file pager.File, log *wal.Log, opts Options) (*Store, error) {
 	if err != nil {
 		return nil, err
 	}
-	s := &Store{file: file, pool: pool, log: log, open: make(map[string]*Structure)}
+	s := &Store{
+		file:     file,
+		pool:     pool,
+		log:      log,
+		open:     make(map[string]*Structure),
+		writeSem: make(chan struct{}, 1),
+		latches:  make(map[string]*Txn),
+	}
+	s.pendCond = sync.NewCond(&s.pendMu)
 	n, err := file.NumPages()
 	if err != nil {
 		return nil, err
@@ -180,14 +215,19 @@ func (s *Store) setDirRoot(id pager.PageID) error {
 
 // Close checkpoints and releases the store.
 func (s *Store) Close() error {
-	if s.closed {
+	if s.closed.Load() {
 		return nil
 	}
-	s.closed = true
-	if s.inTx {
+	if s.active.Load() > 0 {
 		return fmt.Errorf("dmsii: Close with an open transaction")
 	}
-	if err := s.Checkpoint(); err != nil {
+	unlock, err := s.lockWrites()
+	if err != nil {
+		return err
+	}
+	defer unlock()
+	s.closed.Store(true)
+	if err := s.checkpointLocked(); err != nil {
 		return err
 	}
 	if s.log != nil {
@@ -198,8 +238,21 @@ func (s *Store) Close() error {
 	return s.file.Close()
 }
 
-// Checkpoint makes the database file current and truncates the WAL.
+// Checkpoint makes the database file current and truncates the WAL. It
+// takes the store write latch itself, so callers must not hold it; open
+// transactions block it until they finish.
 func (s *Store) Checkpoint() error {
+	unlock, err := s.lockWrites()
+	if err != nil {
+		return err
+	}
+	defer unlock()
+	return s.checkpointLocked()
+}
+
+// checkpointLocked flushes the pool and truncates the WAL; the caller
+// holds the write latch with the commit pipeline drained.
+func (s *Store) checkpointLocked() error {
 	if err := s.pool.FlushAll(); err != nil {
 		return err
 	}
@@ -207,6 +260,24 @@ func (s *Store) Checkpoint() error {
 		return s.log.Truncate()
 	}
 	return nil
+}
+
+// lockWrites acquires the store write latch outside any transaction,
+// drains the commit pipeline (so the database file reflects every durable
+// commit) and repairs state after a failed commit group. The returned
+// func releases the latch.
+func (s *Store) lockWrites() (func(), error) {
+	s.writeSem <- struct{}{}
+	s.writeHeld.Store(true)
+	release := func() { s.writeHeld.Store(false); <-s.writeSem }
+	s.drainPending()
+	if s.needsReset.Load() {
+		if err := s.resetUncommitted(); err != nil {
+			release()
+			return nil, err
+		}
+	}
+	return release, nil
 }
 
 // Stats exposes buffer pool counters for the optimizer and benchmarks.
@@ -233,79 +304,191 @@ func (s *Store) RegisterMetrics(r *obs.Registry) {
 	if cf, ok := s.file.(*pager.ChecksumFile); ok {
 		cf.RegisterMetrics(r)
 	}
+	r.CounterFunc("sim_txn_conflicts_total", "First-writer-wins write-latch conflicts.",
+		func() float64 { return float64(s.conflicts.Load()) })
+	r.GaugeFunc("sim_txn_active", "Open transactions.",
+		func() float64 { return float64(s.active.Load()) })
 }
 
 // ---------------------------------------------------------------------------
 // Transactions
 // ---------------------------------------------------------------------------
 
-// Txn is a write transaction. Reads outside transactions observe the last
-// committed state.
+// ErrConflict is wrapped by Latch when a structure is already write-latched
+// by another open transaction: first writer wins, the later one fails fast
+// instead of queueing behind an open transaction known to conflict.
+var ErrConflict = errors.New("dmsii: write-write conflict")
+
+// Txn is a write transaction. Reads outside transactions observe the
+// store's current cached state — read-uncommitted with respect to open
+// transactions, last-committed otherwise.
 type Txn struct {
-	s    *Store
-	done bool
+	s       *Store
+	done    bool
+	wrote   bool     // holds the store-wide write latch
+	latched []string // structure latches held until commit/rollback
 }
 
-// Begin starts the store's single write transaction.
-func (s *Store) Begin() (*Txn, error) {
-	if s.inTx {
-		return nil, fmt.Errorf("dmsii: a transaction is already active")
+// BeginSession registers a transaction without acquiring any latch; the
+// store-wide write latch is taken at the first AcquireWrite, so read-only
+// and still-idle transactions do not block writers.
+func (s *Store) BeginSession() (*Txn, error) {
+	if s.closed.Load() {
+		return nil, fmt.Errorf("dmsii: store is closed")
 	}
-	s.inTx = true
+	s.active.Add(1)
 	return &Txn{s: s}, nil
 }
 
-// Commit durably applies the transaction.
+// Begin starts a write transaction holding the store's write latch from
+// the start — the shape single-threaded callers (schema persistence, the
+// benchmark harness) use. It blocks while another transaction is in its
+// write phase.
+func (s *Store) Begin() (*Txn, error) {
+	tx, err := s.BeginSession()
+	if err != nil {
+		return nil, err
+	}
+	if err := tx.AcquireWrite(context.Background()); err != nil {
+		tx.Rollback()
+		return nil, err
+	}
+	return tx, nil
+}
+
+// AcquireWrite takes the store-wide write latch for this transaction,
+// blocking (under ctx) while another transaction is in its write phase.
+// It is idempotent. If an earlier commit group failed, the uncommitted
+// state it left behind is discarded before this transaction may write.
+func (tx *Txn) AcquireWrite(ctx context.Context) error {
+	if tx.done {
+		return fmt.Errorf("dmsii: transaction already finished")
+	}
+	if tx.wrote {
+		return nil
+	}
+	select {
+	case tx.s.writeSem <- struct{}{}:
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	tx.s.writeHeld.Store(true)
+	tx.wrote = true
+	if tx.s.needsReset.Load() {
+		if err := tx.s.resetUncommitted(); err != nil {
+			tx.releaseWrite()
+			return err
+		}
+	}
+	return nil
+}
+
+// Latch takes the named structure's write latch for this transaction,
+// failing fast with ErrConflict when another open transaction holds it
+// (first writer wins). Latches are held until commit or rollback.
+func (tx *Txn) Latch(name string) error {
+	if tx.done {
+		return fmt.Errorf("dmsii: transaction already finished")
+	}
+	s := tx.s
+	s.latchMu.Lock()
+	defer s.latchMu.Unlock()
+	if holder, ok := s.latches[name]; ok {
+		if holder == tx {
+			return nil
+		}
+		s.conflicts.Add(1)
+		return fmt.Errorf("%w: %q is write-latched by another open transaction (first writer wins)", ErrConflict, name)
+	}
+	s.latches[name] = tx
+	tx.latched = append(tx.latched, name)
+	return nil
+}
+
+func (tx *Txn) releaseLatches() {
+	if len(tx.latched) == 0 {
+		return
+	}
+	s := tx.s
+	s.latchMu.Lock()
+	for _, name := range tx.latched {
+		if s.latches[name] == tx {
+			delete(s.latches, name)
+		}
+	}
+	s.latchMu.Unlock()
+	tx.latched = nil
+}
+
+func (tx *Txn) releaseWrite() {
+	if !tx.wrote {
+		return
+	}
+	tx.wrote = false
+	tx.s.writeHeld.Store(false)
+	<-tx.s.writeSem
+}
+
+// Commit durably applies the transaction. The write phase ends at the
+// commit snapshot: the dirty page images are copied and their WAL batch
+// enqueued while the write latch is still held (so batches hit the log in
+// write-phase order), then the latch is released and the committer waits
+// for its group's fsync — the next writer executes while this fsync is in
+// flight, which is what lets the WAL group commits. After the batch is
+// durable the snapshot images are written back to the database file in
+// commit order.
 func (tx *Txn) Commit() error {
 	if tx.done {
 		return fmt.Errorf("dmsii: transaction already finished")
 	}
 	tx.done = true
-	tx.s.inTx = false
-	if err := tx.s.commitPages(); err != nil {
-		return err
+	defer tx.s.active.Add(-1)
+	s := tx.s
+	if !tx.wrote {
+		tx.releaseLatches()
+		return nil
 	}
-	if tx.s.log != nil && tx.s.log.Size() > checkpointThreshold {
-		return tx.s.Checkpoint()
+	snap := s.pool.Snapshot()
+	if snap.Len() == 0 {
+		tx.releaseLatches()
+		tx.releaseWrite()
+		return nil
 	}
-	return nil
-}
-
-func (s *Store) commitPages() error {
+	s.pendMu.Lock()
+	s.pending = append(s.pending, snap)
+	s.pendMu.Unlock()
+	var p *wal.Pending
 	if s.log != nil {
-		if err := s.log.Commit(s.pool.DirtyPages()); err != nil {
+		p = s.log.Enqueue(snap.Frames())
+	}
+	tx.releaseLatches()
+	tx.releaseWrite()
+	if p != nil {
+		if err := p.Wait(); err != nil {
 			// The batch never became durable: the transaction did not
-			// commit. Discard its in-memory effects so the cached state
-			// matches the last durable commit; otherwise a later
-			// transaction would journal this one's half-applied pages.
-			if derr := s.discardUncommitted(); derr != nil {
-				return fmt.Errorf("%w (and discarding the failed transaction: %v)", err, derr)
-			}
+			// commit. The pool still holds its half-applied pages (and a
+			// later writer may already be stacking more on top — its
+			// commit will fail on the poisoned log too); discard them
+			// before the next write phase.
+			s.removePending(snap)
+			s.needsReset.Store(true)
+			s.tryReset()
 			return err
 		}
 	}
 	// Past this point the transaction is durable (journaled + synced).
-	// A writeback failure here is not a commit failure: the dirty pages
-	// stay cached and will be retried by a later writeback/checkpoint or
+	// A writeback failure here is not a commit failure: the pages stay
+	// dirty/cached and will be retried by a later writeback/checkpoint or
 	// replayed from the WAL after a crash.
-	return s.pool.WriteBackDirty()
-}
-
-// discardUncommitted drops all dirty pool state and reattaches the
-// directory from the durable meta page — the shared abort path for
-// Rollback and for commits whose journaling failed.
-func (s *Store) discardUncommitted() error {
-	s.open = make(map[string]*Structure)
-	if err := s.pool.DiscardDirty(); err != nil {
-		return err
+	s.awaitHead(snap)
+	werr := s.pool.WriteBack(snap)
+	s.removePending(snap)
+	if werr != nil {
+		return werr
 	}
-	meta, err := s.pool.Get(0)
-	if err != nil {
-		return err
+	if s.log != nil && s.log.Size() > checkpointThreshold {
+		return s.tryCheckpoint()
 	}
-	dirRoot := pager.PageID(binary.BigEndian.Uint32(meta.Data[dirRootOff:]))
-	s.pool.Release(meta)
-	s.dir = btree.Open(s, dirRoot, s.setDirRoot)
 	return nil
 }
 
@@ -315,12 +498,151 @@ func (tx *Txn) Rollback() error {
 		return nil
 	}
 	tx.done = true
-	tx.s.inTx = false
+	defer tx.s.active.Add(-1)
+	s := tx.s
+	if !tx.wrote {
+		tx.releaseLatches()
+		return nil
+	}
+	defer tx.releaseWrite()
+	defer tx.releaseLatches()
+	// Committed predecessors must reach the database file before state is
+	// reloaded from it.
+	s.drainPending()
 	// Structures (and the directory itself) whose roots changed during the
 	// transaction hold stale root ids; drop the cache and reattach the
 	// directory from the durable meta page.
-	return tx.s.discardUncommitted()
+	if err := s.discardUncommitted(); err != nil {
+		return err
+	}
+	s.needsReset.Store(false)
+	return nil
 }
+
+// awaitHead blocks until snap is at the head of the commit pipeline, so
+// snapshots reach the database file in commit order.
+func (s *Store) awaitHead(snap *pager.Snapshot) {
+	s.pendMu.Lock()
+	for len(s.pending) > 0 && s.pending[0] != snap {
+		s.pendCond.Wait()
+	}
+	s.pendMu.Unlock()
+}
+
+func (s *Store) removePending(snap *pager.Snapshot) {
+	s.pendMu.Lock()
+	for i, p := range s.pending {
+		if p == snap {
+			s.pending = append(s.pending[:i], s.pending[i+1:]...)
+			break
+		}
+	}
+	s.pendCond.Broadcast()
+	s.pendMu.Unlock()
+}
+
+// drainPending waits until every in-flight commit has written its
+// snapshot back (or failed and been removed). New snapshots only enter
+// the pipeline under the write latch, so holding it guarantees progress.
+func (s *Store) drainPending() {
+	s.pendMu.Lock()
+	for len(s.pending) > 0 {
+		s.pendCond.Wait()
+	}
+	s.pendMu.Unlock()
+}
+
+// resetUncommitted repairs the store after a failed commit group: drains
+// the pipeline and discards every dirty frame so the cache matches the
+// last durable state. The caller holds the write latch. Concurrent
+// readers may briefly pin dirty frames, so the discard retries.
+func (s *Store) resetUncommitted() error {
+	s.drainPending()
+	var err error
+	for i := 0; i < 1000; i++ {
+		if err = s.discardUncommitted(); err == nil {
+			s.needsReset.Store(false)
+			return nil
+		}
+		runtime.Gosched()
+	}
+	return err
+}
+
+// tryReset repairs post-commit-failure state immediately when the write
+// latch is free — the common case, preserving the pre-session behavior
+// where a failed commit left the cache already clean. With an open writer
+// the flag stays set and the next AcquireWrite/lockWrites repairs.
+func (s *Store) tryReset() {
+	select {
+	case s.writeSem <- struct{}{}:
+	default:
+		return
+	}
+	s.writeHeld.Store(true)
+	s.resetUncommitted() // best effort; the flag stays set on failure
+	s.writeHeld.Store(false)
+	<-s.writeSem
+}
+
+// tryCheckpoint checkpoints if the write latch is free; with an active
+// writer the next threshold crossing retries.
+func (s *Store) tryCheckpoint() error {
+	select {
+	case s.writeSem <- struct{}{}:
+	default:
+		return nil
+	}
+	s.writeHeld.Store(true)
+	defer func() { s.writeHeld.Store(false); <-s.writeSem }()
+	s.drainPending()
+	if s.needsReset.Load() {
+		if err := s.resetUncommitted(); err != nil {
+			return err
+		}
+	}
+	return s.checkpointLocked()
+}
+
+// commitPages is the serial commit used when formatting a new database:
+// journal all dirty pages, then write them back.
+func (s *Store) commitPages() error {
+	if s.log != nil {
+		if err := s.log.Commit(s.pool.DirtyPages()); err != nil {
+			if derr := s.discardUncommitted(); derr != nil {
+				return fmt.Errorf("%w (and discarding the failed transaction: %v)", err, derr)
+			}
+			return err
+		}
+	}
+	return s.pool.WriteBackDirty()
+}
+
+// discardUncommitted drops all dirty pool state and reattaches the
+// directory from the durable meta page — the shared abort path for
+// Rollback and for commits whose journaling failed.
+func (s *Store) discardUncommitted() error {
+	if err := s.pool.DiscardDirty(); err != nil {
+		return err
+	}
+	meta, err := s.pool.Get(0)
+	if err != nil {
+		return err
+	}
+	dirRoot := pager.PageID(binary.BigEndian.Uint32(meta.Data[dirRootOff:]))
+	s.pool.Release(meta)
+	s.dirMu.Lock()
+	s.open = make(map[string]*Structure)
+	s.dir = btree.Open(s, dirRoot, s.setDirRoot)
+	s.dirMu.Unlock()
+	return nil
+}
+
+// Conflicts reports first-writer-wins latch conflicts since open.
+func (s *Store) Conflicts() uint64 { return s.conflicts.Load() }
+
+// ActiveTxns reports the number of open transactions.
+func (s *Store) ActiveTxns() int64 { return s.active.Load() }
 
 // ---------------------------------------------------------------------------
 // Page allocator (btree.Alloc)

@@ -1,10 +1,13 @@
 package dmsii
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
+	"sync"
 	"testing"
+	"time"
 )
 
 func memStore(t *testing.T) *Store {
@@ -63,15 +66,138 @@ func TestMutationOutsideTxnFails(t *testing.T) {
 	}
 }
 
-func TestSingleWriter(t *testing.T) {
+func TestWritePhaseSerialized(t *testing.T) {
 	s := memStore(t)
 	tx, _ := s.Begin()
-	if _, err := s.Begin(); err == nil {
-		t.Error("second Begin succeeded")
+	// A second writer queues on the write latch rather than failing; it
+	// proceeds once the first transaction finishes.
+	done := make(chan error, 1)
+	go func() {
+		tx2, err := s.Begin()
+		if err == nil {
+			err = tx2.Rollback()
+		}
+		done <- err
+	}()
+	select {
+	case <-done:
+		t.Fatal("second Begin proceeded while the first held the write latch")
+	case <-time.After(20 * time.Millisecond):
 	}
 	tx.Rollback()
-	if _, err := s.Begin(); err != nil {
-		t.Errorf("Begin after rollback: %v", err)
+	if err := <-done; err != nil {
+		t.Errorf("queued Begin after rollback: %v", err)
+	}
+}
+
+func TestLatchConflict(t *testing.T) {
+	s := memStore(t)
+	tx1, err := s.BeginSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tx1.Latch("persons"); err != nil {
+		t.Fatal(err)
+	}
+	// Re-latching by the holder is a no-op.
+	if err := tx1.Latch("persons"); err != nil {
+		t.Fatal(err)
+	}
+	tx2, err := s.BeginSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tx2.Latch("persons"); !errors.Is(err, ErrConflict) {
+		t.Fatalf("Latch on held structure = %v, want ErrConflict", err)
+	}
+	if err := tx2.Latch("orders"); err != nil {
+		t.Errorf("Latch on free structure: %v", err)
+	}
+	if got := s.Conflicts(); got != 1 {
+		t.Errorf("Conflicts() = %d, want 1", got)
+	}
+	// Rollback releases latches; the other session may now take it.
+	if err := tx1.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx2.Latch("persons"); err != nil {
+		t.Errorf("Latch after holder rollback: %v", err)
+	}
+	if err := tx2.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentCommitters(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "db.sim")
+	s, err := OpenFile(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const writers, each = 8, 25
+	var wg sync.WaitGroup
+	errs := make(chan error, writers)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				tx, err := s.Begin()
+				if err != nil {
+					errs <- err
+					return
+				}
+				st, err := s.Structure("d")
+				if err != nil {
+					tx.Rollback()
+					errs <- err
+					return
+				}
+				if err := st.Put([]byte(fmt.Sprintf("w%02d-%04d", w, i)), []byte("v")); err != nil {
+					tx.Rollback()
+					errs <- err
+					return
+				}
+				if err := tx.Commit(); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	st, err := s.Structure("d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for w := 0; w < writers; w++ {
+		for i := 0; i < each; i++ {
+			k := fmt.Sprintf("w%02d-%04d", w, i)
+			if _, ok, err := st.Get([]byte(k)); err != nil || !ok {
+				t.Fatalf("missing committed key %s (ok=%v err=%v)", k, ok, err)
+			}
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Every commit survives reopen.
+	s2, err := OpenFile(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	st2, err := s2.Structure("d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := st2.Get([]byte("w00-0000")); err != nil || !ok {
+		t.Fatalf("committed key lost after reopen (ok=%v err=%v)", ok, err)
 	}
 }
 

@@ -106,7 +106,7 @@ func (s *Store) putDirEntry(name string, root pager.PageID) error {
 func (st *Structure) Name() string { return st.name }
 
 func (st *Structure) mutable() error {
-	if !st.s.inTx {
+	if !st.s.writeHeld.Load() {
 		return fmt.Errorf("dmsii: mutation of %q outside a transaction", st.name)
 	}
 	return nil

@@ -19,14 +19,16 @@ type Stats struct {
 }
 
 // Frame is a pinned page in the pool. Callers must Release every frame
-// they Get, and MarkDirty frames they mutate. The pins/dirty/elem fields
-// are guarded by the owning shard's mutex.
+// they Get, and MarkDirty frames they mutate. The pins/dirty/gen/elem
+// fields are guarded by the owning shard's mutex.
 type Frame struct {
 	ID    PageID
 	Data  []byte // PageSize bytes
-	pins  int
-	dirty bool
-	elem  *list.Element // position in the shard LRU list when unpinned
+	pins   int
+	dirty  bool
+	gen    uint64        // bumped on every MarkDirty/Allocate; see Snapshot
+	capGen uint64        // gen when last captured by a Snapshot
+	elem   *list.Element // position in the shard LRU list when unpinned
 }
 
 // poolShards is the number of independently locked shards. Pages hash to
@@ -137,6 +139,7 @@ func (p *Pool) Allocate() (*Frame, error) {
 		return nil, err
 	}
 	f.dirty = true
+	f.gen++
 	return f, nil
 }
 
@@ -153,6 +156,7 @@ func (p *Pool) AllocateAt(id PageID) (*Frame, error) {
 		f.Data[i] = 0
 	}
 	f.dirty = true
+	f.gen++
 	return f, nil
 }
 
@@ -215,12 +219,15 @@ func (p *Pool) Release(f *Frame) {
 	}
 }
 
-// MarkDirty records that the frame's contents changed.
+// MarkDirty records that the frame's contents changed. Every call bumps
+// the frame's dirty generation, so a commit snapshot taken between two
+// mutations can tell whether the frame changed again after it was copied.
 func (p *Pool) MarkDirty(f *Frame) {
 	sh := p.shardOf(f.ID)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	f.dirty = true
+	f.gen++
 }
 
 // DirtyPages returns the ids and contents of all dirty frames, sorted by
@@ -280,6 +287,87 @@ func (p *Pool) DiscardDirty() error {
 // repaired by WAL replay.
 func (p *Pool) WriteBackDirty() error {
 	return p.writeDirty()
+}
+
+// snapPage is one dirty frame captured by Snapshot: the frame, the dirty
+// generation at capture time, and a private copy of its bytes.
+type snapPage struct {
+	f    *Frame
+	gen  uint64
+	data []byte
+}
+
+// Snapshot is a point-in-time copy of the pool's dirty frames, taken at
+// commit. The copies are what the WAL journals and what WriteBack later
+// writes to the database file, so the committing transaction's images
+// stay stable even while later transactions re-dirty the same frames.
+type Snapshot struct {
+	pages []snapPage
+}
+
+// Len returns the number of captured pages.
+func (s *Snapshot) Len() int { return len(s.pages) }
+
+// Frames returns the snapshot as detached frames (copied data), sorted by
+// page id — the shape the WAL journals.
+func (s *Snapshot) Frames() []*Frame {
+	out := make([]*Frame, len(s.pages))
+	for i, sp := range s.pages {
+		out[i] = &Frame{ID: sp.f.ID, Data: sp.data}
+	}
+	return out
+}
+
+// Snapshot captures the dirty frames the committing transaction changed:
+// a copy of each frame's bytes plus its dirty generation, sorted by page
+// id. A dirty frame whose generation is unchanged since an earlier
+// snapshot captured it is skipped — that predecessor's commit already
+// journaled the identical image (and its queued WriteBack will write it),
+// so re-capturing would only grow WAL batches with the depth of the
+// commit pipeline. Replay stays correct because WAL batches are appended
+// in commit order: a durable batch implies every predecessor batch is
+// durable too. The caller must hold the store's write latch so no writer
+// mutates frames mid-copy; concurrent readers are fine.
+func (p *Pool) Snapshot() *Snapshot {
+	snap := &Snapshot{}
+	for i := range p.shards {
+		sh := &p.shards[i]
+		sh.mu.Lock()
+		for _, f := range sh.frames {
+			if f.dirty && f.gen != f.capGen {
+				f.capGen = f.gen
+				data := make([]byte, len(f.Data))
+				copy(data, f.Data)
+				snap.pages = append(snap.pages, snapPage{f: f, gen: f.gen, data: data})
+			}
+		}
+		sh.mu.Unlock()
+	}
+	sort.Slice(snap.pages, func(i, j int) bool { return snap.pages[i].f.ID < snap.pages[j].f.ID })
+	return snap
+}
+
+// WriteBack writes a snapshot's page images to the file (without syncing)
+// and clears the dirty bit of every frame whose generation is unchanged
+// since the snapshot — a frame re-dirtied by a later transaction stays
+// dirty so that transaction's commit journals and writes it again. The
+// snapshot image is always written even on a generation mismatch: it is
+// the committed content, and the file must not be left behind the WAL
+// when the later transaction rolls back.
+func (p *Pool) WriteBack(s *Snapshot) error {
+	for _, sp := range s.pages {
+		p.pageWrites.Add(1)
+		if err := p.file.WritePage(sp.f.ID, sp.data); err != nil {
+			return err
+		}
+		sh := p.shardOf(sp.f.ID)
+		sh.mu.Lock()
+		if sp.f.gen == sp.gen {
+			sp.f.dirty = false
+		}
+		sh.mu.Unlock()
+	}
+	return nil
 }
 
 // FlushAll writes every dirty frame to the file and syncs it. Used at

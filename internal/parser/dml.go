@@ -109,8 +109,29 @@ func (p *Parser) parseStmt() (ast.Stmt, error) {
 		return p.parseModify()
 	case token.DELETE:
 		return p.parseDelete()
+	case token.IDENT:
+		// Transaction control words are contextual keywords, not reserved
+		// tokens, so BEGIN/COMMIT/ROLLBACK stay legal as attribute names.
+		switch strings.ToLower(t.Text) {
+		case "begin":
+			return p.parseTxnStmt(&ast.BeginStmt{P: t.Pos})
+		case "commit":
+			return p.parseTxnStmt(&ast.CommitStmt{P: t.Pos})
+		case "rollback":
+			return p.parseTxnStmt(&ast.RollbackStmt{P: t.Pos})
+		}
 	}
-	return nil, p.errf(t.Pos, "expected FROM, RETRIEVE, INSERT, MODIFY or DELETE, found %q", t.Text)
+	return nil, p.errf(t.Pos, "expected FROM, RETRIEVE, INSERT, MODIFY, DELETE, BEGIN, COMMIT or ROLLBACK, found %q", t.Text)
+}
+
+// parseTxnStmt finishes BEGIN/COMMIT/ROLLBACK [TRANSACTION] [.|;].
+func (p *Parser) parseTxnStmt(s ast.Stmt) (ast.Stmt, error) {
+	p.next() // the control word itself
+	if t := p.cur(); t.Kind == token.IDENT && strings.EqualFold(t.Text, "transaction") {
+		p.next()
+	}
+	p.endStmt()
+	return s, nil
 }
 
 // endStmt consumes an optional statement terminator ('.' or ';').

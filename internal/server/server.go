@@ -208,16 +208,36 @@ func (s *Server) untrack(conn net.Conn) {
 	s.mu.Unlock()
 }
 
+// session is the per-connection state: at most one open transaction,
+// owned by the connection and rolled back when the session ends for any
+// reason (client close, idle timeout, server drain, panic).
+type session struct {
+	tx *sim.Tx
+}
+
 // handle runs one session. A panic anywhere in the session — including
 // inside the executor — is contained here: the connection dies, the
 // server does not.
 func (s *Server) handle(conn net.Conn) {
 	defer s.handlers.Done()
 	start := time.Now()
+	sess := &session{}
 	defer func() {
 		if p := recover(); p != nil {
 			s.errors.Add(1)
 			s.log.Error("panic in session", "remote", conn.RemoteAddr().String(), "panic", p)
+		}
+		if sess.tx != nil {
+			// The session died with a transaction open; its effects must
+			// not survive the connection.
+			if err := sess.tx.Rollback(); err != nil {
+				s.log.Warn("rollback of orphaned transaction failed",
+					"remote", conn.RemoteAddr().String(), "err", err)
+			} else {
+				s.log.Debug("rolled back orphaned transaction",
+					"remote", conn.RemoteAddr().String())
+			}
+			sess.tx = nil
 		}
 		s.untrack(conn)
 		conn.Close()
@@ -253,7 +273,7 @@ func (s *Server) handle(conn net.Conn) {
 			}
 			return
 		}
-		if !s.serveRequest(conn, t, payload) {
+		if !s.serveRequest(conn, sess, t, payload) {
 			return
 		}
 	}
@@ -286,7 +306,7 @@ func (s *Server) handshake(conn net.Conn) error {
 
 // serveRequest executes one request and writes its response, reporting
 // whether the session should continue.
-func (s *Server) serveRequest(conn net.Conn, t wire.Type, payload []byte) bool {
+func (s *Server) serveRequest(conn net.Conn, sess *session, t wire.Type, payload []byte) bool {
 	s.requests.Add(1)
 	if s.slots != nil {
 		select {
@@ -306,7 +326,7 @@ func (s *Server) serveRequest(conn net.Conn, t wire.Type, payload []byte) bool {
 	start := time.Now()
 	rt, resp := func() (wire.Type, []byte) {
 		defer s.inflight.Done()
-		return s.dispatch(t, payload)
+		return s.dispatch(sess, t, payload)
 	}()
 	d := time.Since(start)
 	if s.hist != nil {
@@ -328,8 +348,11 @@ func (s *Server) serveRequest(conn net.Conn, t wire.Type, payload []byte) bool {
 	return true
 }
 
-// dispatch executes one request frame against the database.
-func (s *Server) dispatch(t wire.Type, payload []byte) (wire.Type, []byte) {
+// dispatch executes one request frame against the database. Query and
+// Exec route through the session's transaction when one is open, so a
+// connection's statements between TBegin and TCommit commit or roll back
+// as a unit.
+func (s *Server) dispatch(sess *session, t wire.Type, payload []byte) (wire.Type, []byte) {
 	ctx := context.Background()
 	if s.cfg.RequestTimeout > 0 {
 		var cancel context.CancelFunc
@@ -339,8 +362,44 @@ func (s *Server) dispatch(t wire.Type, payload []byte) (wire.Type, []byte) {
 	switch t {
 	case wire.TPing:
 		return wire.TPong, nil
+	case wire.TBegin:
+		if sess.tx != nil {
+			return wire.TError, wire.EncodeError(wire.CodeTxState, "a transaction is already open on this connection")
+		}
+		tx, err := s.db.Begin(ctx)
+		if err != nil {
+			return wire.TError, encodeErr(ctx, err)
+		}
+		sess.tx = tx
+		return wire.TOK, nil
+	case wire.TCommit:
+		if sess.tx == nil {
+			return wire.TError, wire.EncodeError(wire.CodeTxState, "no transaction is open on this connection")
+		}
+		err := sess.tx.Commit()
+		sess.tx = nil
+		if err != nil {
+			return wire.TError, encodeErr(ctx, err)
+		}
+		return wire.TOK, nil
+	case wire.TRollback:
+		if sess.tx == nil {
+			return wire.TError, wire.EncodeError(wire.CodeTxState, "no transaction is open on this connection")
+		}
+		err := sess.tx.Rollback()
+		sess.tx = nil
+		if err != nil {
+			return wire.TError, encodeErr(ctx, err)
+		}
+		return wire.TOK, nil
 	case wire.TQuery:
-		r, err := s.db.QueryCtx(ctx, string(payload))
+		var r *sim.Result
+		var err error
+		if sess.tx != nil {
+			r, err = sess.tx.Query(ctx, string(payload))
+		} else {
+			r, err = s.db.QueryCtx(ctx, string(payload))
+		}
 		if err != nil {
 			return wire.TError, encodeErr(ctx, err)
 		}
@@ -352,18 +411,29 @@ func (s *Server) dispatch(t wire.Type, payload []byte) (wire.Type, []byte) {
 		}
 		return wire.TResultTrace, wire.EncodeResultTrace(r, wire.FromQueryTrace(tr))
 	case wire.TExec:
-		n, err := s.db.ExecCtx(ctx, string(payload))
+		var n int
+		var err error
+		if sess.tx != nil {
+			n, err = sess.tx.Exec(ctx, string(payload))
+		} else {
+			n, err = s.db.ExecCtx(ctx, string(payload))
+		}
 		if err != nil {
 			return wire.TError, encodeErr(ctx, err)
 		}
 		return wire.TExecOK, wire.EncodeCount(n)
 	case wire.TExplain:
-		text, err := s.db.Explain(string(payload))
+		text, err := s.db.ExplainCtx(ctx, string(payload))
 		if err != nil {
 			return wire.TError, encodeErr(ctx, err)
 		}
 		return wire.TExplainOK, []byte(text)
 	case wire.TCheckpoint:
+		if sess.tx != nil {
+			// The checkpoint would wait on the write latch this session's
+			// own transaction may hold — refuse instead of deadlocking.
+			return wire.TError, wire.EncodeError(wire.CodeTxState, "Checkpoint inside a transaction")
+		}
 		if err := s.db.Checkpoint(); err != nil {
 			return wire.TError, encodeErr(ctx, err)
 		}
@@ -381,6 +451,8 @@ func encodeErr(ctx context.Context, err error) []byte {
 	switch {
 	case errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) || ctx.Err() != nil:
 		code = wire.CodeTimeout
+	case errors.Is(err, sim.ErrConflict):
+		code = wire.CodeConflict
 	case strings.HasPrefix(err.Error(), "parse error") || strings.HasPrefix(err.Error(), "lex error"):
 		code = wire.CodeParse
 	case strings.Contains(err.Error(), "unknown class") ||

@@ -1,0 +1,249 @@
+package server_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"sim"
+	"sim/client"
+	"sim/internal/server"
+	"sim/internal/wire"
+)
+
+// deptCount polls db for a department with dept-nbr nbr, returning
+// whether it exists. Used after server-side rollbacks, which complete
+// asynchronously with the session teardown.
+func deptExists(t *testing.T, db *sim.Database, nbr int) bool {
+	t.Helper()
+	r, err := db.Query(`From department Retrieve name Where dept-nbr = ` + itoa(nbr) + `.`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r.NumRows() > 0
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [8]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}
+
+// waitGone polls until the department disappears (a server-side rollback
+// finished) or the deadline passes.
+func waitGone(t *testing.T, db *sim.Database, nbr int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if !deptExists(t, db, nbr) {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("department %d still present: rollback never happened", nbr)
+}
+
+// TestTxInterleavedConnections runs explicit transactions on two
+// connections at once: same-class writes conflict fast (CodeConflict
+// over the wire, non-fatal), different-class writes queue behind the
+// winner's write phase and proceed once it commits, and each
+// transaction sees its own uncommitted writes.
+func TestTxInterleavedConnections(t *testing.T) {
+	db := testDB(t)
+	_, addr := startServer(t, db, server.Config{})
+	ctx := context.Background()
+
+	a, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	txA, err := a.Begin(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	txB, err := b.Begin(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := txA.Exec(ctx, `Insert department (dept-nbr := 400, name := "Chem").`); err != nil {
+		t.Fatal(err)
+	}
+	// txA write-latched department: txB's write to the same class is
+	// refused with a structured conflict, and txB stays usable.
+	_, err = txB.Exec(ctx, `Insert department (dept-nbr := 401, name := "Bio").`)
+	var we *wire.Error
+	if !errors.As(err, &we) || we.Code != wire.CodeConflict {
+		t.Fatalf("same-class write on second connection: %v, want wire.CodeConflict", err)
+	}
+	// txA sees its own uncommitted insert through its session.
+	r, err := txA.Query(ctx, `From department Retrieve name Where dept-nbr = 400.`)
+	if err != nil || r.NumRows() != 1 {
+		t.Fatalf("tx read-your-writes over the wire: rows=%v err=%v", r, err)
+	}
+
+	// A different class does not conflict — txB queues behind txA's write
+	// phase and completes once txA commits.
+	done := make(chan error, 1)
+	go func() {
+		_, err := txB.Exec(ctx, `Insert course (course-no := 900, title := "Wire Protocols", credits := 3).`)
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		t.Fatalf("second writer finished before the first committed: %v", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	if err := txA.Commit(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("queued write after winner committed: %v", err)
+	}
+	if err := txB.Commit(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	// Both transactions' effects are durable and visible everywhere.
+	if !deptExists(t, db, 400) {
+		t.Fatal("txA's committed insert missing")
+	}
+	r, err = a.Query(`From course Retrieve title Where course-no = 900.`)
+	if err != nil || r.NumRows() != 1 {
+		t.Fatalf("txB's committed insert missing: rows=%v err=%v", r, err)
+	}
+}
+
+// TestShutdownRollsBackOpenTx: draining the server with a transaction
+// open on an idle connection must not stall, and must roll the
+// transaction back.
+func TestShutdownRollsBackOpenTx(t *testing.T) {
+	db := testDB(t)
+	srv, addr := startServer(t, db, server.Config{})
+	ctx := context.Background()
+
+	c, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	tx, err := c.Begin(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx.Exec(ctx, `Insert department (dept-nbr := 500, name := "Doomed").`); err != nil {
+		t.Fatal(err)
+	}
+	if !deptExists(t, db, 500) {
+		t.Fatal("uncommitted insert not visible before shutdown (test premise broken)")
+	}
+
+	sctx, cancel := context.WithTimeout(ctx, 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(sctx); err != nil {
+		t.Fatalf("Shutdown with an open transaction: %v", err)
+	}
+	waitGone(t, db, 500)
+}
+
+// TestTxLostOnRedial: when the connection carrying an open transaction
+// dies, transaction operations must surface the fatal ErrTxLost instead
+// of transparently redialing (which could double-apply), while plain
+// requests on the same Conn recover via redial as usual.
+func TestTxLostOnRedial(t *testing.T) {
+	db := testDB(t)
+	_, addr := startServer(t, db, server.Config{ReadTimeout: 30 * time.Millisecond})
+	ctx := context.Background()
+
+	c, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	tx, err := c.Begin(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx.Exec(ctx, `Insert department (dept-nbr := 600, name := "Lost").`); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(150 * time.Millisecond) // server reaps the idle session and rolls back
+
+	if _, err := tx.Exec(ctx, `Insert department (dept-nbr := 601, name := "More").`); !errors.Is(err, client.ErrTxLost) {
+		t.Fatalf("exec on lost transaction: %v, want ErrTxLost", err)
+	}
+	// The Conn itself recovers: an ordinary request redials transparently.
+	if _, err := c.Query(`From department Retrieve name.`); err != nil {
+		t.Fatalf("plain query after transaction loss: %v", err)
+	}
+	// The transaction stays dead even though the Conn is healthy again.
+	if err := tx.Commit(ctx); !errors.Is(err, client.ErrTxLost) {
+		t.Fatalf("commit on lost transaction: %v, want ErrTxLost", err)
+	}
+	// The server rolled back: nothing the transaction wrote survives.
+	waitGone(t, db, 600)
+}
+
+// TestTxStateErrors drives the transaction-control frames at the wire
+// level through every wrong-state path.
+func TestTxStateErrors(t *testing.T) {
+	db := testDB(t)
+	_, addr := startServer(t, db, server.Config{})
+	nc := dialRaw(t, addr)
+
+	call := func(req wire.Type) (wire.Type, []byte) {
+		t.Helper()
+		if err := wire.WriteFrame(nc, req, nil); err != nil {
+			t.Fatal(err)
+		}
+		typ, payload, err := wire.ReadFrame(nc, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return typ, payload
+	}
+	wantTxState := func(req wire.Type) {
+		t.Helper()
+		typ, payload := call(req)
+		if typ != wire.TError {
+			t.Fatalf("%v in wrong state: got %v, want TError", req, typ)
+		}
+		e, err := wire.DecodeError(payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e.Code != wire.CodeTxState {
+			t.Fatalf("%v in wrong state: code %v, want CodeTxState", req, e.Code)
+		}
+	}
+
+	wantTxState(wire.TCommit)   // no transaction open
+	wantTxState(wire.TRollback) // no transaction open
+	if typ, _ := call(wire.TBegin); typ != wire.TOK {
+		t.Fatalf("Begin: got %v, want TOK", typ)
+	}
+	wantTxState(wire.TBegin)      // already open
+	wantTxState(wire.TCheckpoint) // would deadlock on the tx's own latch
+	if typ, _ := call(wire.TRollback); typ != wire.TOK {
+		t.Fatalf("Rollback: got %v, want TOK", typ)
+	}
+	// Back to idle: checkpoint works again.
+	if typ, _ := call(wire.TCheckpoint); typ != wire.TOK {
+		t.Fatalf("Checkpoint after rollback: got %v, want TOK", typ)
+	}
+}

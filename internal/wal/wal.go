@@ -9,6 +9,13 @@
 // complete committed batch in order and truncates the log. A checkpoint
 // (flush all pages + sync + truncate) bounds log growth.
 //
+// Commits are grouped (DeWitt et al., "Implementation Techniques for Main
+// Memory Database Systems"): committers Enqueue their encoded batches and
+// Wait; the first waiter through the flush lock becomes the leader and
+// makes every queued batch durable with a single WriteAt + Sync. A lone
+// committer pays exactly the old cost (one write, one sync); concurrent
+// committers share a sync, which Stats reports as FsyncsSaved.
+//
 // Failure semantics: a failed append or fsync poisons the log — every
 // subsequent Commit fails with an error wrapping ErrPoisoned instead of
 // silently journaling past a hole of unknown durability (the "fsyncgate"
@@ -53,31 +60,71 @@ type Stats struct {
 	Bytes     uint64 // bytes appended
 	SizeBytes int64  // current log length
 	Salvages  uint64 // torn tails truncated during recovery
+	Syncs     uint64 // fsyncs performed (one per commit group)
+	GroupMax  uint64 // largest commit group synced so far
+}
+
+// FsyncsSaved reports how many fsyncs group commit avoided: the commits
+// that rode a group leader's sync instead of paying their own.
+func (s Stats) FsyncsSaved() uint64 {
+	if s.Commits < s.Syncs {
+		return 0
+	}
+	return s.Commits - s.Syncs
 }
 
 // RecoverInfo describes one recovery pass.
 type RecoverInfo struct {
 	Replayed  int   // page images written back to the database file
-	Commits   int   // committed batches replayed
+	Commits   int   // committed groups replayed (a group is ≥1 batch)
 	Salvaged  bool  // a torn/corrupt tail was detected and discarded
 	ValidTo   int64 // byte offset of the last complete committed batch
 	Discarded int64 // torn-tail bytes discarded past ValidTo
 }
 
-// Log is an append-only commit journal. The counters are atomics so
-// Stats and metric collection are safe while the single writer commits.
+// Log is an append-only commit journal with group commit: concurrent
+// committers enqueue their page batches and the first of them to reach
+// the flush lock becomes the leader, merging the whole queue into one
+// WAL transaction (deduplicated page images + a single commit record)
+// made durable with a single WriteAt + Sync. The counters are atomics so
+// Stats and metric collection are safe while commits run.
 type Log struct {
 	f    pager.ByteFile
 	size atomic.Int64
-	seq  uint64 // commit sequence number
 
 	mu     sync.Mutex // guards poison state
 	poison error      // non-nil after a failed append/sync
+
+	qmu   sync.Mutex // guards the queue
+	queue []*pendingCommit
+
+	flushMu sync.Mutex // held by the group leader during write+sync
+	seq     uint64     // group sequence number; guarded by flushMu
 
 	commits  atomic.Uint64
 	pages    atomic.Uint64
 	bytes    atomic.Uint64
 	salvages atomic.Uint64
+	syncs    atomic.Uint64
+	groupMax atomic.Uint64
+}
+
+// pendingCommit is one enqueued batch awaiting its group's fsync. The
+// frames are encoded by the group leader at flush time, which lets the
+// leader merge the whole group into one WAL transaction (see flush). done
+// and err are written by the leader under flushMu and read by the owner
+// under flushMu, so no further synchronization is needed.
+type pendingCommit struct {
+	frames []*pager.Frame
+	done   bool
+	err    error
+}
+
+// Pending is a committer's handle on its enqueued batch; Wait blocks until
+// the batch is durable (or its group's flush failed).
+type Pending struct {
+	l  *Log
+	pc *pendingCommit
 }
 
 // Open opens (creating if necessary) the log at path.
@@ -138,6 +185,8 @@ func (l *Log) Stats() Stats {
 		Bytes:     l.bytes.Load(),
 		SizeBytes: l.size.Load(),
 		Salvages:  l.salvages.Load(),
+		Syncs:     l.syncs.Load(),
+		GroupMax:  l.groupMax.Load(),
 	}
 }
 
@@ -153,6 +202,12 @@ func (l *Log) RegisterMetrics(r *obs.Registry) {
 		func() float64 { return float64(l.size.Load()) })
 	r.CounterFunc("sim_wal_salvage_truncations_total", "Torn or corrupt WAL tails discarded during recovery.",
 		func() float64 { return float64(l.salvages.Load()) })
+	r.CounterFunc("sim_wal_syncs_total", "Fsyncs performed; one per commit group, not per commit.",
+		func() float64 { return float64(l.syncs.Load()) })
+	r.CounterFunc("sim_wal_fsyncs_saved_total", "Commits that rode a group leader's fsync instead of paying their own.",
+		func() float64 { return float64(l.Stats().FsyncsSaved()) })
+	r.GaugeFunc("sim_wal_group_max_commits", "Largest commit group fsynced so far.",
+		func() float64 { return float64(l.groupMax.Load()) })
 	r.GaugeFunc("sim_wal_poisoned", "1 after a failed append/fsync has poisoned the log, else 0.",
 		func() float64 {
 			if l.Poisoned() != nil {
@@ -174,18 +229,90 @@ func record(kind byte, pageID pager.PageID, payload []byte) []byte {
 	return buf
 }
 
-// Commit durably journals the given page frames as one atomic batch. After
-// any append or sync failure the log is poisoned: the failed batch is not
-// acknowledged (it may or may not survive a crash, depending on how many
-// of its bytes reached the disk), and every later Commit fails with
-// ErrPoisoned until the log is truncated or reopened.
+// Commit durably journals the given page frames as one atomic batch:
+// Enqueue followed by Wait. A single committer behaves exactly as before
+// group commit — one WriteAt and one Sync per batch. After any append or
+// sync failure the log is poisoned: the failed batch is not acknowledged
+// (it may or may not survive a crash, depending on how many of its bytes
+// reached the disk), and every later Commit fails with ErrPoisoned until
+// the log is truncated or reopened.
 func (l *Log) Commit(frames []*pager.Frame) error {
+	return l.Enqueue(frames).Wait()
+}
+
+// Enqueue appends the batch to the commit queue. It never blocks on I/O;
+// the batch becomes durable when some committer's Wait flushes the group
+// containing it. Batches are flushed in enqueue order, so callers that
+// must preserve commit order (the store's commit pipeline) serialize
+// their Enqueue calls. The frame images must stay unchanged until Wait
+// returns (the store passes detached snapshot copies).
+func (l *Log) Enqueue(frames []*pager.Frame) *Pending {
+	pc := &pendingCommit{frames: frames}
+	l.qmu.Lock()
+	l.queue = append(l.queue, pc)
+	l.qmu.Unlock()
+	return &Pending{l: l, pc: pc}
+}
+
+// Wait blocks until the enqueued batch is durable. The first waiter to
+// take the flush lock becomes the leader: it drains the whole queue and
+// makes it durable with one WriteAt and one Sync, then reports the result
+// to every member. Waiters arriving while a flush is in flight form the
+// next group — that overlap is where fsyncs are saved.
+func (p *Pending) Wait() error {
+	l := p.l
+	l.flushMu.Lock()
+	defer l.flushMu.Unlock()
+	if !p.pc.done {
+		l.qmu.Lock()
+		batch := l.queue
+		l.queue = nil
+		l.qmu.Unlock()
+		l.flush(batch)
+	}
+	return p.pc.err
+}
+
+// flush makes one group of batches durable; called with flushMu held.
+// The group is written as a single WAL transaction: one image per
+// distinct page — the group's last image of it wins — followed by one
+// commit record. Deduplication keeps the bytes fsynced proportional to
+// the pages the group touched rather than to the number of committers
+// (concurrent committers re-dirty the same hot pages), which matters
+// because fsync cost grows with the bytes written. It is sound because
+// acknowledgment is all-or-nothing: every member's Wait returns only
+// after the shared Sync, so a crash that tears the group loses only
+// unacknowledged commits, and replay applies the group atomically at its
+// commit record. A poisoned log, a failed append or a failed sync fails
+// every member of the group: none of them were acknowledged, so none are
+// lost.
+func (l *Log) flush(batch []*pendingCommit) {
+	fail := func(err error) {
+		for _, pc := range batch {
+			pc.done = true
+			pc.err = err
+		}
+	}
 	if err := l.Poisoned(); err != nil {
-		return fmt.Errorf("%w (cause: %v)", ErrPoisoned, err)
+		fail(fmt.Errorf("%w (cause: %v)", ErrPoisoned, err))
+		return
+	}
+	// Last image of each page wins; emit in first-touched order.
+	var order []pager.PageID
+	last := make(map[pager.PageID][]byte)
+	npages := 0
+	for _, pc := range batch {
+		npages += len(pc.frames)
+		for _, fr := range pc.frames {
+			if _, seen := last[fr.ID]; !seen {
+				order = append(order, fr.ID)
+			}
+			last[fr.ID] = fr.Data
+		}
 	}
 	var buf []byte
-	for _, fr := range frames {
-		buf = append(buf, record(recPage, fr.ID, fr.Data)...)
+	for _, id := range order {
+		buf = append(buf, record(recPage, id, last[id])...)
 	}
 	l.seq++
 	var seqb [8]byte
@@ -193,23 +320,34 @@ func (l *Log) Commit(frames []*pager.Frame) error {
 	buf = append(buf, record(recCommit, 0, seqb[:])...)
 	if _, err := l.f.WriteAt(buf, l.size.Load()); err != nil {
 		l.setPoison(err)
-		return fmt.Errorf("wal: append: %w", err)
+		fail(fmt.Errorf("wal: append: %w", err))
+		return
 	}
 	if err := l.f.Sync(); err != nil {
 		l.setPoison(err)
-		return fmt.Errorf("wal: sync: %w", err)
+		fail(fmt.Errorf("wal: sync: %w", err))
+		return
 	}
 	l.size.Add(int64(len(buf)))
-	l.commits.Add(1)
-	l.pages.Add(uint64(len(frames)))
+	l.commits.Add(uint64(len(batch)))
 	l.bytes.Add(uint64(len(buf)))
-	return nil
+	l.pages.Add(uint64(npages))
+	l.syncs.Add(1)
+	if n := uint64(len(batch)); n > l.groupMax.Load() {
+		l.groupMax.Store(n)
+	}
+	for _, pc := range batch {
+		pc.done = true
+	}
 }
 
 // Truncate discards the log contents; call only after a checkpoint has made
-// the database file current. Discarding the bytes of unknown durability is
+// the database file current and no commits are in flight (the store drains
+// its commit pipeline first). Discarding the bytes of unknown durability is
 // what makes it safe to clear the poison here.
 func (l *Log) Truncate() error {
+	l.flushMu.Lock()
+	defer l.flushMu.Unlock()
 	if err := l.f.Truncate(0); err != nil {
 		return err
 	}

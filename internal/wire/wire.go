@@ -48,6 +48,9 @@ const (
 	TStats       Type = 0x14 // no payload
 	TPing        Type = 0x15 // no payload
 	TQueryTrace  Type = 0x16 // payload: DML text; answered with TResultTrace
+	TBegin       Type = 0x17 // no payload: open this connection's transaction
+	TCommit      Type = 0x18 // no payload: commit this connection's transaction
+	TRollback    Type = 0x19 // no payload: roll back this connection's transaction
 	TResult      Type = 0x20 // payload: result set (EncodeResult)
 	TExecOK      Type = 0x21 // payload: uvarint affected-entity count
 	TExplainOK   Type = 0x22 // payload: strategy text
@@ -62,6 +65,7 @@ var typeNames = map[Type]string{
 	THello: "Hello", TQuery: "Query", TExec: "Exec", TExplain: "Explain",
 	TCheckpoint: "Checkpoint", TStats: "Stats", TPing: "Ping",
 	TQueryTrace: "QueryTrace",
+	TBegin:      "Begin", TCommit: "Commit", TRollback: "Rollback",
 	TResult:     "Result", TExecOK: "ExecOK", TExplainOK: "ExplainOK",
 	TOK: "OK", TStatsOK: "StatsOK", TPong: "Pong",
 	TResultTrace: "ResultTrace", TError: "Error",
@@ -89,9 +93,11 @@ const (
 	CodeShutdown      // server is draining
 	CodeInternal      // server-side panic or invariant failure
 	CodeOverloaded    // request queue full: fast-fail instead of queueing
+	CodeConflict      // write-write conflict with another open transaction
+	CodeTxState       // transaction-control request in the wrong state
 )
 
-var codeNames = [...]string{"unknown", "parse", "semantic", "exec", "protocol", "timeout", "busy", "shutdown", "internal", "overloaded"}
+var codeNames = [...]string{"unknown", "parse", "semantic", "exec", "protocol", "timeout", "busy", "shutdown", "internal", "overloaded", "conflict", "txstate"}
 
 func (c Code) String() string {
 	if int(c) < len(codeNames) {

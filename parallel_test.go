@@ -232,13 +232,14 @@ func TestPlanCache(t *testing.T) {
 
 // TestWorkersConfig sanity-checks Config.Workers resolution.
 func TestWorkersConfig(t *testing.T) {
-	if got := (Config{}).queryWorkers(); got != runtime.GOMAXPROCS(0) {
+	if got := (Config{}).normalize().queryWorkers(); got != runtime.GOMAXPROCS(0) {
 		t.Errorf("default workers = %d, want GOMAXPROCS = %d", got, runtime.GOMAXPROCS(0))
 	}
-	if got := (Config{Workers: 3}).queryWorkers(); got != 3 {
+	if got := (Config{Workers: 3}).normalize().queryWorkers(); got != 3 {
 		t.Errorf("Workers:3 resolved to %d", got)
 	}
-	if got := (Config{Workers: -1}).queryWorkers(); got != 1 {
-		t.Errorf("Workers:-1 resolved to %d, want 1", got)
+	// Negative worker counts are rejected at Open, not silently clamped.
+	if err := (Config{Workers: -1}).Validate(); err == nil {
+		t.Error("Validate accepted Workers:-1")
 	}
 }

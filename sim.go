@@ -67,16 +67,20 @@ type Stats struct {
 	WAL   wal.Stats
 }
 
-// Config tunes a database instance.
+// Config tunes a database instance. The zero value is a valid default
+// configuration; Open validates the rest (see Validate).
 type Config struct {
 	// PoolPages is the buffer pool capacity in 4 KiB pages (default 1024).
+	// Negative values are rejected by Validate.
 	PoolPages int
 	// Workers bounds the goroutines one Retrieve may use to scan its
 	// outermost range in parallel. 0 means GOMAXPROCS; 1 forces serial
-	// execution. Parallel and serial execution produce identical results.
+	// execution; negative values are rejected by Validate. Parallel and
+	// serial execution produce identical results.
 	Workers int
 	// PlanCacheSize is the capacity of the LRU plan cache keyed by DML
-	// text (0 means a default of 256; negative disables caching).
+	// text (0 means a default of 256; -1 disables caching; other negative
+	// values are rejected by Validate).
 	PlanCacheSize int
 	// Mapping overrides the default physical mapping of §5.2; see
 	// luc.Config. It must be identical across openings of one database.
@@ -87,21 +91,65 @@ type Config struct {
 	SlowQuery time.Duration
 }
 
-// queryWorkers resolves Config.Workers to an effective worker count.
-func (c Config) queryWorkers() int {
-	if c.Workers > 0 {
-		return c.Workers
-	}
-	if c.Workers < 0 {
-		return 1
-	}
-	return runtime.GOMAXPROCS(0)
+// ConfigError reports an invalid Config field, by name.
+type ConfigError struct {
+	Field  string
+	Value  int
+	Reason string
 }
 
+func (e *ConfigError) Error() string {
+	return fmt.Sprintf("sim: invalid Config.%s %d: %s", e.Field, e.Value, e.Reason)
+}
+
+// Validate checks the configuration. Open calls it, so invalid
+// configurations fail loudly at open time (a *ConfigError naming the
+// field) instead of being silently clamped. Sentinel values (zero for a
+// default, PlanCacheSize -1 to disable caching) are valid and resolved in
+// one place by normalize.
+func (c Config) Validate() error {
+	if c.PoolPages < 0 {
+		return &ConfigError{Field: "PoolPages", Value: c.PoolPages, Reason: "must be >= 0 (0 means the default of 1024)"}
+	}
+	if c.Workers < 0 {
+		return &ConfigError{Field: "Workers", Value: c.Workers, Reason: "must be >= 0 (0 means GOMAXPROCS, 1 forces serial)"}
+	}
+	if c.PlanCacheSize < -1 {
+		return &ConfigError{Field: "PlanCacheSize", Value: c.PlanCacheSize, Reason: "must be >= -1 (0 means the default of 256, -1 disables)"}
+	}
+	return nil
+}
+
+// normalize resolves the documented sentinels to effective values. Every
+// component below this point sees concrete settings; no other layer
+// interprets zero or negative configuration values.
+func (c Config) normalize() Config {
+	if c.PoolPages == 0 {
+		c.PoolPages = 1024
+	}
+	if c.Workers == 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.PlanCacheSize == 0 {
+		c.PlanCacheSize = 256
+	}
+	return c
+}
+
+// queryWorkers returns the effective worker count (cfg is normalized).
+func (c Config) queryWorkers() int { return c.Workers }
+
 // Database is an open SIM database. Methods are safe for concurrent use:
-// queries run under a shared lock, updates and schema changes under an
-// exclusive lock (the substrate is single-writer, as DMSII was for the
-// paper's implementation).
+// queries run under a shared lock and statement execution under an
+// exclusive lock, while commit durability (WAL fsync + write-back) happens
+// outside both, so concurrent committers share fsyncs (group commit; see
+// Begin and internal/dmsii).
+//
+// Context convention: every operation has a context-first form suffixed
+// Ctx (QueryCtx, ExecCtx, ExplainCtx, RunCtx, QueryTraceCtx,
+// ExplainAnalyzeCtx). The unsuffixed form is always exactly
+// Xxx(args) = XxxCtx(context.Background(), args) — a documented one-line
+// wrapper with no behavioral drift between the pair.
 type Database struct {
 	mu     sync.RWMutex
 	store  *dmsii.Store
@@ -122,8 +170,13 @@ type Database struct {
 
 // Open opens (creating if necessary) the database at path; an empty path
 // opens a transient in-memory database. Any schema previously defined in
-// the file is loaded.
+// the file is loaded. The configuration is validated first (see
+// Config.Validate).
 func Open(path string, cfg Config) (*Database, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.normalize()
 	var store *dmsii.Store
 	var err error
 	opts := dmsii.Options{PoolPages: cfg.PoolPages}
@@ -142,6 +195,11 @@ func Open(path string, cfg Config) (*Database, error) {
 // The fault-injection harness uses it (via internal tests) to open
 // databases over scripted storage; Open is the production path.
 func openStore(store *dmsii.Store, cfg Config) (*Database, error) {
+	if err := cfg.Validate(); err != nil {
+		store.Close()
+		return nil, err
+	}
+	cfg = cfg.normalize()
 	db := &Database{
 		store: store,
 		cfg:   cfg,
@@ -162,10 +220,9 @@ func openStore(store *dmsii.Store, cfg Config) (*Database, error) {
 	return db, nil
 }
 
-// Close checkpoints and closes the database.
+// Close checkpoints and closes the database. It fails if a transaction
+// is still open; callers must finish queries and transactions first.
 func (db *Database) Close() error {
-	db.mu.Lock()
-	defer db.mu.Unlock()
 	return db.store.Close()
 }
 
@@ -245,6 +302,12 @@ func (db *Database) rebuild(batches []string) error {
 // each batch is validated against everything defined before it and
 // persisted with the database.
 func (db *Database) DefineSchema(ddl string) error {
+	// Take the substrate write latch before db.mu (the store-wide lock
+	// order), waiting out any transaction in its write phase.
+	tx, err := db.store.Begin()
+	if err != nil {
+		return err
+	}
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	batches := append(append([]string(nil), db.ddl...), ddl)
@@ -255,13 +318,10 @@ func (db *Database) DefineSchema(ddl string) error {
 	}{db.cat, db.mapper, db.exe}
 	if err := db.rebuild(batches); err != nil {
 		db.revertSchema(prev.cat, prev.m, prev.e, batches)
+		tx.Rollback()
 		return err
 	}
 	// Persist the batch.
-	tx, err := db.store.Begin()
-	if err != nil {
-		return err
-	}
 	st, err := db.store.Structure("~schema")
 	if err != nil {
 		tx.Rollback()
@@ -334,16 +394,17 @@ func (db *Database) ResetStats() {
 	db.reg.ResetCounters()
 }
 
-// Query executes one Retrieve statement and returns its result. Repeated
-// statements hit the plan cache and skip parse/bind/optimize; the cache is
-// invalidated whenever the schema changes.
+// Query is QueryCtx(context.Background(), dml).
 func (db *Database) Query(dml string) (*Result, error) {
 	return db.QueryCtx(context.Background(), dml)
 }
 
-// QueryCtx is Query under a context: cancellation or deadline expiry is
-// observed between rows of the outermost range, so long scans stop
-// promptly. The network server uses this for per-request deadlines.
+// QueryCtx executes one Retrieve statement and returns its result.
+// Repeated statements hit the plan cache and skip parse/bind/optimize;
+// the cache is invalidated whenever the schema changes. Cancellation or
+// deadline expiry is observed between rows of the outermost range, so
+// long scans stop promptly. The network server uses this for per-request
+// deadlines.
 func (db *Database) QueryCtx(ctx context.Context, dml string) (*Result, error) {
 	start := time.Now()
 	res, err := db.queryCtx(ctx, dml)
@@ -390,17 +451,25 @@ func (db *Database) planRetrieve(ret *ast.RetrieveStmt) (*plan.Plan, error) {
 	return plan.Optimize(tree, db.mapper)
 }
 
-func (db *Database) runRetrieve(ret *ast.RetrieveStmt) (*Result, error) {
+func (db *Database) runRetrieve(ctx context.Context, ret *ast.RetrieveStmt) (*Result, error) {
 	p, err := db.planRetrieve(ret)
 	if err != nil {
 		return nil, err
 	}
-	return db.exe.Retrieve(p)
+	return db.exe.RetrieveCtx(ctx, p)
 }
 
-// Explain returns the optimizer's chosen strategy for a Retrieve statement
-// without executing it.
+// Explain is ExplainCtx(context.Background(), dml).
 func (db *Database) Explain(dml string) (string, error) {
+	return db.ExplainCtx(context.Background(), dml)
+}
+
+// ExplainCtx returns the optimizer's chosen strategy for a Retrieve
+// statement without executing it.
+func (db *Database) ExplainCtx(ctx context.Context, dml string) (string, error) {
+	if err := ctx.Err(); err != nil {
+		return "", err
+	}
 	stmt, err := parser.ParseStmt(dml)
 	if err != nil {
 		return "", err
@@ -422,84 +491,128 @@ func (db *Database) Explain(dml string) (string, error) {
 	return p.Explain(), nil
 }
 
-// Exec executes one update statement (Insert, Modify or Delete) in its own
-// transaction and returns the number of affected entities. On any error
-// the statement's effects are rolled back.
+// Exec is ExecCtx(context.Background(), dml).
 func (db *Database) Exec(dml string) (int, error) {
 	return db.ExecCtx(context.Background(), dml)
 }
 
-// ExecCtx is Exec under a context. Cancellation is observed between the
-// entities an update selects; a cancelled statement rolls back like any
-// other failed statement, leaving the database unchanged.
+// ExecCtx executes one update statement (Insert, Modify or Delete) as its
+// own transaction and returns the number of affected entities. It is a
+// one-statement transaction over the same machinery as Database.Begin —
+// on any error the statement's effects are rolled back, and concurrent
+// callers' commits share WAL fsyncs (group commit). Cancellation is
+// observed between the entities an update selects; a cancelled statement
+// rolls back like any other failed statement.
 func (db *Database) ExecCtx(ctx context.Context, dml string) (int, error) {
 	start := time.Now()
 	stmt, err := parser.ParseStmt(dml)
 	if err != nil {
 		return 0, err
 	}
-	db.mu.Lock()
-	n, err := db.execStmt(ctx, stmt)
-	db.mu.Unlock()
+	n, err := db.execOne(ctx, stmt)
 	db.execHist.Observe(time.Since(start))
 	return n, err
 }
 
-func (db *Database) execStmt(ctx context.Context, stmt ast.Stmt) (int, error) {
-	tx, err := db.store.Begin()
+// execOne runs one parsed update statement as its own transaction. The
+// autocommit flag skips the per-class latch: the statement executes and
+// commits without ever being open-idle, so it queues behind other writers
+// instead of raising first-writer-wins conflicts.
+func (db *Database) execOne(ctx context.Context, stmt ast.Stmt) (int, error) {
+	tx, err := db.Begin(ctx)
 	if err != nil {
 		return 0, err
 	}
-	var n int
-	switch s := stmt.(type) {
-	case *ast.InsertStmt:
-		n, err = db.exe.Insert(ctx, s)
-	case *ast.ModifyStmt:
-		n, err = db.exe.Modify(ctx, s)
-	case *ast.DeleteStmt:
-		n, err = db.exe.Delete(ctx, s)
-	case *ast.RetrieveStmt:
-		tx.Rollback()
-		return 0, fmt.Errorf("sim: Exec wants an update statement; use Query for Retrieve")
-	default:
-		err = fmt.Errorf("sim: unsupported statement %T", stmt)
-	}
+	tx.auto = true
+	n, err := tx.execStmt(ctx, stmt)
 	if err != nil {
-		if rbErr := tx.Rollback(); rbErr != nil {
-			return 0, fmt.Errorf("%w (rollback also failed: %v)", err, rbErr)
-		}
-		db.mapper.ResetCaches()
+		tx.Rollback()
 		return 0, err
 	}
 	return n, tx.Commit()
 }
 
-// Run executes a script of statements separated by '.' or ';'. Retrieve
-// results are returned in order; updates contribute nil entries.
+// Run is RunCtx(context.Background(), script).
 func (db *Database) Run(script string) ([]*Result, error) {
+	return db.RunCtx(context.Background(), script)
+}
+
+// RunCtx executes a script of statements separated by '.' or ';'.
+// Retrieve results are returned in order; updates and transaction-control
+// statements contribute nil entries.
+//
+// By default each update statement is its own transaction, so when a
+// statement fails the effects of the earlier statements persist — the
+// error names the failed statement by its 1-based index, and everything
+// before it has already committed. A script may instead group statements
+// with BEGIN ... COMMIT (or ROLLBACK): inside such a block nothing
+// persists unless the COMMIT executes, and a transaction still open when
+// the script ends (normally or on error) is rolled back.
+func (db *Database) RunCtx(ctx context.Context, script string) ([]*Result, error) {
 	stmts, err := parser.ParseStmts(script)
 	if err != nil {
 		return nil, err
 	}
 	var out []*Result
-	for i, s := range stmts {
-		if ret, ok := s.(*ast.RetrieveStmt); ok {
-			db.mu.RLock()
-			r, err := db.runRetrieve(ret)
-			db.mu.RUnlock()
-			if err != nil {
-				return out, fmt.Errorf("statement %d: %w", i+1, err)
-			}
-			out = append(out, r)
-			continue
+	var tx *Tx
+	defer func() {
+		if tx != nil {
+			tx.Rollback() // transaction left open at script end
 		}
-		db.mu.Lock()
-		_, err := db.execStmt(context.Background(), s)
-		db.mu.Unlock()
-		if err != nil {
+	}()
+	for i, s := range stmts {
+		fail := func(err error) ([]*Result, error) {
 			return out, fmt.Errorf("statement %d: %w", i+1, err)
 		}
-		out = append(out, nil)
+		switch s := s.(type) {
+		case *ast.BeginStmt:
+			if tx != nil {
+				return fail(fmt.Errorf("sim: BEGIN inside an open transaction"))
+			}
+			t, err := db.Begin(ctx)
+			if err != nil {
+				return fail(err)
+			}
+			tx = t
+			out = append(out, nil)
+		case *ast.CommitStmt:
+			if tx == nil {
+				return fail(fmt.Errorf("sim: COMMIT outside a transaction"))
+			}
+			err := tx.Commit()
+			tx = nil
+			if err != nil {
+				return fail(err)
+			}
+			out = append(out, nil)
+		case *ast.RollbackStmt:
+			if tx == nil {
+				return fail(fmt.Errorf("sim: ROLLBACK outside a transaction"))
+			}
+			err := tx.Rollback()
+			tx = nil
+			if err != nil {
+				return fail(err)
+			}
+			out = append(out, nil)
+		case *ast.RetrieveStmt:
+			db.mu.RLock()
+			r, err := db.runRetrieve(ctx, s)
+			db.mu.RUnlock()
+			if err != nil {
+				return fail(err)
+			}
+			out = append(out, r)
+		default:
+			if tx != nil {
+				if _, err := tx.execStmt(ctx, s); err != nil {
+					return fail(err)
+				}
+			} else if _, err := db.execOne(ctx, s); err != nil {
+				return fail(err)
+			}
+			out = append(out, nil)
+		}
 	}
 	return out, nil
 }
@@ -522,10 +635,9 @@ func (db *Database) CheckIntegrity() error {
 }
 
 // Checkpoint flushes committed data to the database file and truncates the
-// write-ahead log.
+// write-ahead log. It takes the substrate's write latch itself (waiting
+// out any transaction in its write phase); queries keep running.
 func (db *Database) Checkpoint() error {
-	db.mu.Lock()
-	defer db.mu.Unlock()
 	return db.store.Checkpoint()
 }
 
@@ -536,11 +648,10 @@ type ScrubReport = dmsii.ScrubReport
 // Scrub audits the database's storage: it checkpoints, re-reads every
 // page of the database file verifying its CRC32 trailer, and
 // cursor-scans every structure end to end. Corruption is reported with
-// the damaged page ids, never silently served or repaired. Scrub takes
-// the writer lock; queries wait while it runs.
+// the damaged page ids, never silently served or repaired. Scrub
+// requires a write-quiescent database: it fails if a transaction is open,
+// and callers must not run updates concurrently with the audit.
 func (db *Database) Scrub() (ScrubReport, error) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
 	return db.store.Scrub()
 }
 

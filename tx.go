@@ -1,0 +1,224 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"time"
+
+	"sim/internal/ast"
+	"sim/internal/dmsii"
+	"sim/internal/parser"
+)
+
+// Transaction errors.
+var (
+	// ErrTxDone is returned by operations on a transaction that has
+	// already been committed or rolled back.
+	ErrTxDone = errors.New("sim: transaction already finished")
+
+	// ErrTxAborted wraps the statement error that aborted a transaction.
+	// After a statement inside a Tx fails, the transaction's effects are
+	// already rolled back and every later operation fails with this error;
+	// the caller should Rollback (a no-op) and retry the whole transaction.
+	ErrTxAborted = errors.New("sim: transaction aborted")
+
+	// ErrConflict is wrapped by Tx.Exec when the statement's target class
+	// is write-latched by another open transaction: first writer wins, the
+	// loser fails fast instead of waiting. A conflict does not abort the
+	// transaction — the caller may commit what it has, retry the statement
+	// later, or roll back.
+	ErrConflict = dmsii.ErrConflict
+)
+
+// Tx is an explicit transaction: a sequence of statements that commits or
+// rolls back as a unit. Obtain one from Database.Begin, and always finish
+// it with Commit or Rollback.
+//
+// Statements inside a transaction see its own uncommitted writes.
+// Isolation is first-writer-wins: Exec write-latches the statement's
+// target class for the life of the transaction, and a second transaction
+// writing the same class fails with ErrConflict. A failed statement
+// (constraint violation, type error, cancellation mid-update) aborts the
+// whole transaction — there are no savepoints — after which every method
+// reports ErrTxAborted wrapping the cause.
+//
+// A Tx is not safe for concurrent use by multiple goroutines.
+type Tx struct {
+	db    *Database
+	txn   *dmsii.Txn
+	done  bool
+	auto  bool  // one-statement autocommit: skip the class latch (see execStmt)
+	wrote bool  // the substrate write latch has been acquired
+	err   error // sticky abort cause; effects already rolled back
+}
+
+// Begin starts an explicit transaction. The transaction holds no locks
+// until its first update statement, so an idle or read-only Tx never
+// blocks other writers. The context covers Begin itself only; pass a
+// context to each statement and use Commit/Rollback to finish.
+func (db *Database) Begin(ctx context.Context) (*Tx, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	txn, err := db.store.BeginSession()
+	if err != nil {
+		return nil, err
+	}
+	return &Tx{db: db, txn: txn}, nil
+}
+
+// Query executes one Retrieve statement inside the transaction. It sees
+// the transaction's own uncommitted writes.
+func (tx *Tx) Query(ctx context.Context, dml string) (*Result, error) {
+	if err := tx.usable(); err != nil {
+		return nil, err
+	}
+	return tx.db.QueryCtx(ctx, dml)
+}
+
+// Exec executes one update statement (Insert, Modify or Delete) inside
+// the transaction and returns the number of affected entities. The first
+// Exec acquires the store's write latch (blocking, under ctx, while
+// another transaction is in its write phase) and each statement
+// write-latches its target class; see ErrConflict. On a statement error
+// the transaction aborts: its earlier effects are rolled back and the Tx
+// is dead (ErrTxAborted). Parse errors and conflicts do not abort.
+func (tx *Tx) Exec(ctx context.Context, dml string) (int, error) {
+	if err := tx.usable(); err != nil {
+		return 0, err
+	}
+	start := time.Now()
+	stmt, err := parser.ParseStmt(dml)
+	if err != nil {
+		return 0, err
+	}
+	n, err := tx.execStmt(ctx, stmt)
+	tx.db.execHist.Observe(time.Since(start))
+	return n, err
+}
+
+// Commit durably applies the transaction. For a transaction that wrote,
+// Commit enqueues the changes on the WAL and waits for the fsync of its
+// commit group — concurrent committers share one fsync (group commit).
+// After an abort, Commit returns the sticky ErrTxAborted cause.
+func (tx *Tx) Commit() error {
+	if tx.done {
+		return ErrTxDone
+	}
+	tx.done = true
+	if tx.err != nil {
+		return tx.err // effects already rolled back at abort time
+	}
+	if err := tx.txn.Commit(); err != nil {
+		// The commit group never became durable (e.g. a poisoned WAL) and
+		// the substrate discarded — or will discard — the uncommitted
+		// pages. The record caches may still hold this transaction's
+		// entities; drop them — under db.mu, excluding concurrent
+		// executors — so reads go back to the durable pages.
+		tx.db.mu.Lock()
+		tx.db.mapper.ResetCaches()
+		tx.db.mu.Unlock()
+		return err
+	}
+	return nil
+}
+
+// Rollback discards the transaction's effects. Rolling back a finished
+// transaction is a no-op, so `defer tx.Rollback()` is always safe.
+func (tx *Tx) Rollback() error {
+	if tx.done {
+		return nil
+	}
+	tx.done = true
+	if !tx.wrote {
+		return tx.txn.Rollback()
+	}
+	return tx.discard()
+}
+
+// usable reports why the transaction cannot accept another statement.
+func (tx *Tx) usable() error {
+	if tx.done {
+		return ErrTxDone
+	}
+	if tx.err != nil {
+		return tx.err
+	}
+	return nil
+}
+
+// execStmt runs one parsed update statement inside the transaction. The
+// caller has checked usable().
+func (tx *Tx) execStmt(ctx context.Context, stmt ast.Stmt) (int, error) {
+	var class string
+	switch s := stmt.(type) {
+	case *ast.InsertStmt:
+		class = s.Class
+	case *ast.ModifyStmt:
+		class = s.Class
+	case *ast.DeleteStmt:
+		class = s.Class
+	case *ast.RetrieveStmt:
+		return 0, fmt.Errorf("sim: Exec wants an update statement; use Query for Retrieve")
+	case *ast.BeginStmt, *ast.CommitStmt, *ast.RollbackStmt:
+		return 0, fmt.Errorf("sim: use Begin/Commit/Rollback methods (or Run) for transaction control")
+	default:
+		return 0, fmt.Errorf("sim: unsupported statement %T", stmt)
+	}
+	// First writer wins: fail fast before blocking on the write latch when
+	// an open transaction already claimed the class. A conflict does not
+	// abort this transaction — nothing has been written yet. Autocommit
+	// transactions skip the class latch: they execute and commit entirely
+	// under the store's write latch, so they cannot interleave with anyone;
+	// against an open transaction they queue on the write latch (bounded by
+	// ctx) instead of conflicting.
+	if !tx.auto {
+		if err := tx.txn.Latch(strings.ToLower(class)); err != nil {
+			return 0, fmt.Errorf("sim: %s: %w", class, err)
+		}
+	}
+	if err := tx.txn.AcquireWrite(ctx); err != nil {
+		return 0, err
+	}
+	tx.wrote = true
+	db := tx.db
+	db.mu.Lock()
+	var n int
+	var err error
+	switch s := stmt.(type) {
+	case *ast.InsertStmt:
+		n, err = db.exe.Insert(ctx, s)
+	case *ast.ModifyStmt:
+		n, err = db.exe.Modify(ctx, s)
+	case *ast.DeleteStmt:
+		n, err = db.exe.Delete(ctx, s)
+	}
+	db.mu.Unlock()
+	if err != nil {
+		return 0, tx.abort(err)
+	}
+	return n, nil
+}
+
+// abort rolls back the whole transaction after a failed statement and
+// makes the Tx sticky-fail with the cause.
+func (tx *Tx) abort(cause error) error {
+	tx.err = fmt.Errorf("%w: %w", ErrTxAborted, cause)
+	if derr := tx.discard(); derr != nil {
+		return fmt.Errorf("%w (rollback also failed: %v)", cause, derr)
+	}
+	return cause
+}
+
+// discard rolls back the substrate transaction and resets the record
+// caches, excluding readers (db.mu) so no page is pinned mid-discard.
+// The caller holds the write latch (tx.wrote), which orders before db.mu.
+func (tx *Tx) discard() error {
+	tx.db.mu.Lock()
+	defer tx.db.mu.Unlock()
+	err := tx.txn.Rollback()
+	tx.db.mapper.ResetCaches()
+	return err
+}
