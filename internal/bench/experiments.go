@@ -5,6 +5,7 @@ import (
 	"runtime"
 	"strings"
 	"sync"
+	"testing"
 	"time"
 
 	"sim"
@@ -19,6 +20,40 @@ type Table struct {
 	Header []string
 	Rows   [][]string
 	Notes  string
+	// Mem carries per-operation allocation measurements; every BENCH_*.json
+	// artifact records them so regressions in allocs/op are machine-checkable.
+	Mem []MemRow `json:",omitempty"`
+}
+
+// MemRow is one allocation measurement, taken with testing.Benchmark: the
+// steady-state per-operation cost of the named operation.
+type MemRow struct {
+	Op          string
+	NsPerOp     int64
+	AllocsPerOp int64
+	BytesPerOp  int64
+}
+
+// measureMem benchmarks one operation and records its per-op time and
+// allocation footprint. The operation runs b.N times under the standard
+// benchmark driver, so the numbers match `go test -bench` output.
+func measureMem(op string, f func() error) (MemRow, error) {
+	var err error
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if e := f(); e != nil {
+				if err == nil {
+					err = e
+				}
+				return
+			}
+		}
+	})
+	if err != nil {
+		return MemRow{}, err
+	}
+	return MemRow{Op: op, NsPerOp: r.NsPerOp(), AllocsPerOp: r.AllocsPerOp(), BytesPerOp: r.AllocedBytesPerOp()}, nil
 }
 
 // Format renders the table as aligned text.
@@ -53,6 +88,13 @@ func (t *Table) Format() string {
 	line(sep)
 	for _, row := range t.Rows {
 		line(row)
+	}
+	if len(t.Mem) > 0 {
+		b.WriteString("allocations:\n")
+		for _, m := range t.Mem {
+			fmt.Fprintf(&b, "  %-40s %12d ns/op  %8d allocs/op  %10d B/op\n",
+				m.Op, m.NsPerOp, m.AllocsPerOp, m.BytesPerOp)
+		}
 	}
 	if t.Notes != "" {
 		b.WriteString(t.Notes)
@@ -507,5 +549,16 @@ func T9(w Workload, reps, maxClients int) (*Table, error) {
 	t.Rows = append(t.Rows, []string{"plan cache", "cold (cache disabled)", dur(coldPer), "", "1.00x"})
 	t.Rows = append(t.Rows, []string{"plan cache", "warm (cached plan)", dur(warmPer), "",
 		fmt.Sprintf("%.2fx", float64(coldPer)/float64(warmPer))})
+	for _, m := range []struct{ op, query string }{
+		{"Query scan+eva (warm plan)", q},
+		{"Query point lookup (warm plan)", pq},
+	} {
+		mq := m.query
+		row, err := measureMem(m.op, func() error { _, err := db.Query(mq); return err })
+		if err != nil {
+			return nil, err
+		}
+		t.Mem = append(t.Mem, row)
+	}
 	return t, nil
 }

@@ -181,6 +181,15 @@ func checksumOverhead(t *Table, dir string, reps int) error {
 			}
 		}
 		for i, k := range kinds {
+			if pool == 0 {
+				s := stores[i]
+				mrow, err := measureMem(fmt.Sprintf("cursor scan %d rows, %s", rows, k.name),
+					func() error { _, err := scanAll(s); return err })
+				if err != nil {
+					return err
+				}
+				t.Mem = append(t.Mem, mrow)
+			}
 			stores[i].Close()
 			if k.name == "raw" {
 				t.Rows = append(t.Rows, []string{"checksum-read", fmt.Sprintf("%s scan, %d rows, raw", mode, rows),

@@ -96,6 +96,23 @@ func T10(w Workload, reps, maxClients int) (*Table, error) {
 			perQuery(c, iters, qps), fmt.Sprintf("%.0f", qps),
 			fmt.Sprintf("%.2fx", qps/inproc[c])})
 	}
+
+	// Per-request allocation footprint of both paths, one connection.
+	mrow, err := measureMem("in-process Query", func() error { _, err := db.Query(q); return err })
+	if err != nil {
+		return nil, err
+	}
+	t.Mem = append(t.Mem, mrow)
+	mc, err := client.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	mrow, err = measureMem("remote Query (framing+decode)", func() error { _, err := mc.Query(q); return err })
+	mc.Close()
+	if err != nil {
+		return nil, err
+	}
+	t.Mem = append(t.Mem, mrow)
 	return t, nil
 }
 

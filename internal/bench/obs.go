@@ -83,5 +83,13 @@ func Obs(w Workload, reps int) (*Table, error) {
 		over := fmt.Sprintf("%+.1f%%", 100*(float64(el)/float64(base)-1))
 		t.Rows = append(t.Rows, []string{p.name, dur(el), fmt.Sprint(rows), over})
 	}
+	for _, p := range paths {
+		run := p.run
+		row, err := measureMem(p.name, func() error { _, err := run(); return err })
+		if err != nil {
+			return nil, err
+		}
+		t.Mem = append(t.Mem, row)
+	}
 	return t, nil
 }

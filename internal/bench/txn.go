@@ -57,6 +57,27 @@ func T12(reps, maxWriters int) (*Table, error) {
 			fmt.Sprintf("%.2fx", qps/baseQPS),
 		})
 	}
+
+	// Allocation footprint of one autocommit insert (parse + plan + WAL
+	// append + group commit), single writer.
+	mdb, err := sim.Open(filepath.Join(dir, "txn-mem.db"), sim.Config{})
+	if err != nil {
+		return nil, err
+	}
+	defer mdb.Close()
+	if err := mdb.DefineSchema(`Class Ledger ( entry-no: integer unique required; amount: integer );`); err != nil {
+		return nil, err
+	}
+	next := 0
+	mrow, err := measureMem("autocommit Insert", func() error {
+		next++
+		_, err := mdb.Exec(fmt.Sprintf(`Insert ledger (entry-no := %d, amount := 1).`, next))
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	t.Mem = append(t.Mem, mrow)
 	return t, nil
 }
 

@@ -10,14 +10,17 @@ import (
 // leaf at a time, so the tree may be read (but not mutated) concurrently;
 // the executor materializes update target lists before mutating.
 type Cursor struct {
-	t      *Tree
-	keys   [][]byte
-	vals   [][]byte
-	i      int
-	next   pager.PageID
-	valid  bool
-	err    error
-	prefix []byte // non-nil: iteration stops when keys leave this prefix
+	t         *Tree
+	keys      [][]byte
+	vals      [][]byte
+	buf       []byte // single backing store for the snapshotted cells
+	offs      []int  // staging: key-end/value-end offset pairs into buf
+	i         int
+	next      pager.PageID
+	valid     bool
+	err       error
+	prefix    []byte // non-nil: iteration stops when keys leave this prefix
+	prefixBuf []byte // reused backing for prefix across SeekPrefixInto calls
 }
 
 // First returns a cursor positioned at the smallest key.
@@ -25,17 +28,31 @@ func (t *Tree) First() (*Cursor, error) { return t.Seek(nil) }
 
 // Seek returns a cursor positioned at the first key >= key.
 func (t *Tree) Seek(key []byte) (*Cursor, error) {
-	c := &Cursor{t: t}
+	c := &Cursor{}
+	if err := t.SeekInto(c, key); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// SeekInto positions c at the first key >= key, reusing c's internal
+// buffers. A zero Cursor is ready for use; reusing one across seeks makes
+// repeated point probes allocation-free in the steady state.
+func (t *Tree) SeekInto(c *Cursor, key []byte) error {
+	c.t = t
+	c.err = nil
+	c.valid = false
+	c.prefix = nil
 	id := t.root
 	for {
 		f, err := t.a.Get(id)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		n := node{f}
 		if err := n.check(); err != nil {
 			t.a.Release(f)
-			return nil, err
+			return err
 		}
 		if !n.isLeaf() {
 			_, child := route(n, key)
@@ -46,7 +63,7 @@ func (t *Tree) Seek(key []byte) (*Cursor, error) {
 		i, _ := leafSearch(n, key)
 		if err := c.loadLeaf(n, i); err != nil {
 			t.a.Release(f)
-			return nil, err
+			return err
 		}
 		t.a.Release(f)
 		break
@@ -54,39 +71,63 @@ func (t *Tree) Seek(key []byte) (*Cursor, error) {
 	if !c.valid {
 		c.advanceLeaf()
 	}
-	return c, c.err
+	return c.err
 }
 
 // SeekPrefix returns a cursor over exactly the keys beginning with prefix.
 func (t *Tree) SeekPrefix(prefix []byte) (*Cursor, error) {
-	c, err := t.Seek(prefix)
-	if err != nil {
+	c := &Cursor{}
+	if err := t.SeekPrefixInto(c, prefix); err != nil {
 		return nil, err
 	}
-	c.prefix = append([]byte(nil), prefix...)
-	c.checkPrefix()
 	return c, nil
 }
 
-// loadLeaf snapshots leaf n's cells from position i on.
+// SeekPrefixInto is SeekPrefix into a caller-reused cursor.
+func (t *Tree) SeekPrefixInto(c *Cursor, prefix []byte) error {
+	if err := t.SeekInto(c, prefix); err != nil {
+		return err
+	}
+	c.prefixBuf = append(c.prefixBuf[:0], prefix...)
+	c.prefix = c.prefixBuf
+	c.checkPrefix()
+	return nil
+}
+
+// loadLeaf snapshots leaf n's cells from position i on. All cells share
+// the cursor's single backing buffer: extents are recorded first (growth
+// reallocates the buffer), then the key/value sub-slices are carved once
+// the buffer is final, capacity-capped so appending to one cannot reach
+// its neighbor.
 func (c *Cursor) loadLeaf(n node, i int) error {
 	c.keys = c.keys[:0]
 	c.vals = c.vals[:0]
+	c.buf = c.buf[:0]
+	c.offs = c.offs[:0]
 	c.i = 0
 	c.next = n.next()
 	nc := n.nCells()
 	for j := i; j < nc; j++ {
-		c.keys = append(c.keys, append([]byte(nil), n.leafKey(j)...))
+		c.buf = append(c.buf, n.leafKey(j)...)
+		c.offs = append(c.offs, len(c.buf))
 		inline, ovf, total := n.leafValueInfo(j)
 		if ovf == pager.Invalid {
-			c.vals = append(c.vals, append([]byte(nil), inline...))
+			c.buf = append(c.buf, inline...)
 		} else {
 			v, err := c.t.readOverflow(ovf, total)
 			if err != nil {
 				return err
 			}
-			c.vals = append(c.vals, v)
+			c.buf = append(c.buf, v...)
 		}
+		c.offs = append(c.offs, len(c.buf))
+	}
+	off := 0
+	for k := 0; k+1 < len(c.offs); k += 2 {
+		ke, ve := c.offs[k], c.offs[k+1]
+		c.keys = append(c.keys, c.buf[off:ke:ke])
+		c.vals = append(c.vals, c.buf[ke:ve:ve])
+		off = ve
 	}
 	c.valid = len(c.keys) > 0
 	return nil

@@ -141,3 +141,14 @@ func (st *Structure) Seek(key []byte) (*btree.Cursor, error) { return st.tree.Se
 func (st *Structure) SeekPrefix(prefix []byte) (*btree.Cursor, error) {
 	return st.tree.SeekPrefix(prefix)
 }
+
+// SeekInto is Seek into a caller-reused cursor, so repeated probes reuse
+// the cursor's snapshot buffers instead of allocating per seek.
+func (st *Structure) SeekInto(cur *btree.Cursor, key []byte) error {
+	return st.tree.SeekInto(cur, key)
+}
+
+// SeekPrefixInto is SeekPrefix into a caller-reused cursor.
+func (st *Structure) SeekPrefixInto(cur *btree.Cursor, prefix []byte) error {
+	return st.tree.SeekPrefixInto(cur, prefix)
+}

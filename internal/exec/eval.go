@@ -367,6 +367,13 @@ func (e *Executor) evalAgg(a *query.Agg, en *env) (value.Value, error) {
 	if err != nil {
 		return value.Null, err
 	}
+	return aggregate(a, vals)
+}
+
+// aggregate folds one aggregate function over a collected multiset. It is
+// the single implementation behind both the reference walker and the
+// compiled path, so the two cannot drift. DISTINCT compacts vals in place.
+func aggregate(a *query.Agg, vals []value.Value) (value.Value, error) {
 	if a.Distinct {
 		seen := make(map[string]bool, len(vals))
 		kept := vals[:0]

@@ -29,6 +29,9 @@ type Executor struct {
 	constraints []*Constraint
 	workers     int      // per-query parallelism cap (<=1 disables)
 	met         *Metrics // nil until SetMetrics
+	treeWalk    bool     // force the reference tree-walking evaluator
+
+	scratchPool sync.Pool // *scratch, reused across compiled executions
 }
 
 // Metrics are the executor's registry-owned counters. The registry hands
@@ -73,6 +76,13 @@ func (e *Executor) SetMetrics(r *obs.Registry) {
 // with them.
 func (e *Executor) SetWorkers(n int) { e.workers = n }
 
+// SetTreeWalk forces the reference tree-walking evaluator (eval.go)
+// instead of compiled programs. The compiled path must produce
+// byte-identical results; this switch exists for that comparison (the
+// equality suite, the T13 baseline) and as an escape hatch. Must be set
+// before queries run.
+func (e *Executor) SetTreeWalk(b bool) { e.treeWalk = b }
+
 // ctxErr reports the context's error without blocking; nil contexts and
 // context.Background() cost one nil-channel check per call.
 func ctxErr(ctx context.Context) error {
@@ -91,8 +101,9 @@ func ctxErr(ctx context.Context) error {
 type inst struct {
 	surr  value.Surrogate
 	val   value.Value
-	null  bool // outer-join dummy
-	level int  // transitive-closure depth (1-based; 0 otherwise)
+	rec   luc.Rec // batched-read decoded record (compiled path; may be zero)
+	null  bool    // outer-join dummy
+	level int     // transitive-closure depth (1-based; 0 otherwise)
 }
 
 // env holds the current instance of every node, indexed by node id.
@@ -177,9 +188,28 @@ func (e *Executor) RetrieveTraced(ctx context.Context, p *plan.Plan, tr *obs.Que
 }
 
 func (e *Executor) retrieve(ctx context.Context, p *plan.Plan, tr *obs.QueryTrace) (*Result, error) {
+	if !e.treeWalk {
+		if prog, err := e.Compile(p); err == nil {
+			return e.runProgram(ctx, p, prog, tr)
+		}
+		// A construct the compiler doesn't understand falls back to the
+		// reference walker, which reproduces the behavior at run time.
+	}
+	return e.retrieveTree(ctx, p, tr)
+}
+
+func errOrderByStructure() error {
+	return fmt.Errorf("ORDER BY applies to tabular output only")
+}
+
+// retrieveTree is the reference §4.5 implementation: a recursive
+// tree-walk evaluating the query tree per binding. It is retained as the
+// semantic oracle for the compiled path (run.go/compile.go) and as the
+// fallback for anything the compiler rejects.
+func (e *Executor) retrieveTree(ctx context.Context, p *plan.Plan, tr *obs.QueryTrace) (*Result, error) {
 	t := p.Tree
 	if t.Mode == ast.OutputStructure && len(t.OrderBy) > 0 {
-		return nil, fmt.Errorf("ORDER BY applies to tabular output only")
+		return nil, errOrderByStructure()
 	}
 	res := newResult(t)
 	main := t.MainNodes()

@@ -16,9 +16,10 @@ type Result struct {
 	Names []string
 	Stats Stats
 
-	rows  [][]value.Value
-	order [][]value.Value
-	seen  map[string]bool // TABLE DISTINCT dedup
+	rows   [][]value.Value
+	order  [][]value.Value
+	seen   map[string]bool // TABLE DISTINCT dedup
+	keyBuf []byte          // reused dedup key scratch
 
 	Structured *Group // non-nil in STRUCTURE mode
 
@@ -43,7 +44,13 @@ type Group struct {
 	key string
 }
 
-// Rows returns the tabular rows.
+// Rows returns the tabular rows. The rows are owned by the Result and
+// stay valid for its lifetime: the compiled executor carves them out of a
+// result-owned arena (never a recycled scratch buffer), and each row is a
+// full slice expression, so appending to a returned row reallocates
+// instead of growing into its arena neighbor. Callers may read rows
+// freely and append to them safely; mutating elements in place edits the
+// Result itself.
 func (r *Result) Rows() [][]value.Value { return r.rows }
 
 // RemoteResult reconstructs a Result from data decoded off the wire
@@ -68,23 +75,26 @@ func newResult(t *query.Tree) *Result {
 	return r
 }
 
-func rowKey(row []value.Value) string {
-	var b strings.Builder
+// isDup dedups one row against the seen set, building the key in a reused
+// buffer: the map probe converts without allocating, and only the first
+// occurrence pays for a key string.
+func (r *Result) isDup(row []value.Value) bool {
+	r.keyBuf = r.keyBuf[:0]
 	for _, v := range row {
-		b.WriteString(v.Key())
-		b.WriteByte(0)
+		r.keyBuf = v.AppendKey(r.keyBuf)
+		r.keyBuf = append(r.keyBuf, 0)
 	}
-	return b.String()
+	if r.seen[string(r.keyBuf)] {
+		return true
+	}
+	r.seen[string(r.keyBuf)] = true
+	return false
 }
 
 // add records one accepted combination.
 func (r *Result) add(e *Executor, t *query.Tree, en *env, main []*query.Node, row, order []value.Value) error {
-	if r.seen != nil {
-		k := rowKey(row)
-		if r.seen[k] {
-			return nil
-		}
-		r.seen[k] = true
+	if r.seen != nil && r.isDup(row) {
+		return nil
 	}
 	r.rows = append(r.rows, row)
 	r.order = append(r.order, order)
@@ -98,12 +108,8 @@ func (r *Result) add(e *Executor, t *query.Tree, en *env, main []*query.Node, ro
 // rows back in serial emission order, so applying the TABLE DISTINCT dedup
 // here reproduces exactly the rows (and row order) of serial execution.
 func (r *Result) addTabular(row, order []value.Value) {
-	if r.seen != nil {
-		k := rowKey(row)
-		if r.seen[k] {
-			return
-		}
-		r.seen[k] = true
+	if r.seen != nil && r.isDup(row) {
+		return
 	}
 	r.rows = append(r.rows, row)
 	r.order = append(r.order, order)

@@ -1,0 +1,148 @@
+package luc
+
+import (
+	"sim/internal/catalog"
+	"sim/internal/value"
+)
+
+// Rec is a read-only handle on one entity's decoded record, handed to the
+// executor so a binding's attribute references resolve against one cached
+// decode instead of paying a cache probe (and its shard lock) per
+// reference. The underlying record is shared with the Mapper's read cache
+// and with concurrent queries; it is immutable once published, and holders
+// must never mutate what the accessors return.
+//
+// The zero Rec is invalid and reports no roles and only NULL values;
+// callers fall back to the Mapper's per-entity read path when Valid is
+// false (split-strategy hierarchies, vanished entities).
+type Rec struct {
+	r *record
+}
+
+// Valid reports whether the handle carries a decoded record.
+func (rec Rec) Valid() bool { return rec.r != nil }
+
+// HasRole reports whether the entity holds the role with the given class
+// id. Meaningful only for classes of the hierarchy the record came from:
+// surrogates (and so records) are per-hierarchy.
+func (rec Rec) HasRole(id int) bool { return rec.r != nil && rec.r.hasRole(id) }
+
+// Single reads a single-valued DVA (or FK EVA slot) with GetSingle's
+// uniform null treatment: NULL when unset, when the entity lacks the
+// owning role, and on an invalid handle.
+func (rec Rec) Single(a *catalog.Attribute) value.Value {
+	if rec.r == nil || !rec.r.hasRole(a.Owner.ID) {
+		return value.Null
+	}
+	return rec.r.single[a.ID]
+}
+
+// FirstSubrole returns the first subrole name (in SubroleOf declaration
+// order) the entity currently holds, or NULL — the value an attribute
+// reference to a subrole attribute reads.
+func (rec Rec) FirstSubrole(a *catalog.Attribute) value.Value {
+	if rec.r == nil {
+		return value.Null
+	}
+	for ord, sub := range a.SubroleOf {
+		if rec.r.hasRole(sub.ID) {
+			return value.NewSymbolic(sub.Name, ord)
+		}
+	}
+	return value.Null
+}
+
+// AppendSubroles appends every subrole name the entity holds, in
+// declaration order — Subrole without the per-call allocation.
+func (rec Rec) AppendSubroles(dst []value.Value, a *catalog.Attribute) []value.Value {
+	if rec.r == nil {
+		return dst
+	}
+	for ord, sub := range a.SubroleOf {
+		if rec.r.hasRole(sub.ID) {
+			dst = append(dst, value.NewSymbolic(sub.Name, ord))
+		}
+	}
+	return dst
+}
+
+// MultiRaw returns the embedded multiset of an MV DVA without copying.
+// The slice aliases the shared record: READ ONLY. Only meaningful for
+// embedded (non-separate) MV DVAs; separate-unit attributes live outside
+// the record and read through Mapper.GetMV.
+func (rec Rec) MultiRaw(a *catalog.Attribute) []value.Value {
+	if rec.r == nil || !rec.r.hasRole(a.Owner.ID) {
+		return nil
+	}
+	return rec.r.multi[a.ID]
+}
+
+// Batchable reports whether cl's hierarchy supports batched record reads:
+// the single-record strategy, where one decode covers every role section.
+func (m *Mapper) Batchable(cl *catalog.Class) bool {
+	return m.hier[cl.Base] == HierarchySingleRecord
+}
+
+// recBatch is the fixed batch size executors use when prefetching records
+// for a domain; exported so the bench harness can size workloads around it.
+const recBatch = 256
+
+// RecBatch is the batch size ReadBatch callers should chunk domains by.
+func RecBatch() int { return recBatch }
+
+// ReadBatch fills recs[i] with the decoded record of surrs[i], touching
+// each cache shard once per batch instead of once per surrogate. Cache
+// misses are loaded from storage and published for later readers. Entities
+// with no record leave the zero (invalid) Rec in place. The hierarchy must
+// be Batchable; recs must be at least as long as surrs.
+func (m *Mapper) ReadBatch(cl *catalog.Class, surrs []value.Surrogate, recs []Rec) error {
+	base := cl.Base
+	var hits, misses uint64
+	// Pass 1: one read-locked sweep per shard resolves every cached entry.
+	for shard := uint64(0); shard < rcShards; shard++ {
+		sh := &m.rcache[shard]
+		locked := false
+		for i, s := range surrs {
+			if uint64(s)%rcShards != shard {
+				continue
+			}
+			if !locked {
+				sh.mu.RLock()
+				locked = true
+			}
+			if r, ok := sh.m[rcKey{base.ID, s}]; ok && r != nil {
+				recs[i] = Rec{r}
+				hits++
+			}
+		}
+		if locked {
+			sh.mu.RUnlock()
+		}
+	}
+	// Pass 2: load the misses (these pay storage reads regardless) and
+	// publish them for the next batch.
+	for i, s := range surrs {
+		if recs[i].r != nil {
+			continue
+		}
+		r, err := m.loadRecord(base, s)
+		if err != nil {
+			return err
+		}
+		misses++
+		if r == nil {
+			continue
+		}
+		sh := m.rcShardOf(s)
+		sh.mu.Lock()
+		if len(sh.m) >= rcacheCap/rcShards {
+			sh.m = make(map[rcKey]*record, rcacheCap/rcShards)
+		}
+		sh.m[rcKey{base.ID, s}] = r
+		sh.mu.Unlock()
+		recs[i] = Rec{r}
+	}
+	m.rcHits.Add(hits)
+	m.rcMisses.Add(misses)
+	return nil
+}

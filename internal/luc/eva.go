@@ -44,12 +44,16 @@ func cesKey(shared bool, can *catalog.Attribute, dir byte, from, to value.Surrog
 
 // cesPrefix builds the scan prefix for all partners of from in direction dir.
 func cesPrefix(shared bool, can *catalog.Attribute, dir byte, from value.Surrogate) []byte {
-	var key []byte
+	return appendCESPrefix(nil, shared, can, dir, from)
+}
+
+// appendCESPrefix is cesPrefix appending into dst.
+func appendCESPrefix(dst []byte, shared bool, can *catalog.Attribute, dir byte, from value.Surrogate) []byte {
 	if shared {
-		key = binary.BigEndian.AppendUint32(nil, uint32(can.ID))
+		dst = binary.BigEndian.AppendUint32(dst, uint32(can.ID))
 	}
-	key = append(key, dir)
-	return value.AppendSurrogateKey(key, from)
+	dst = append(dst, dir)
+	return value.AppendSurrogateKey(dst, from)
 }
 
 func (m *Mapper) evaRows(a *catalog.Attribute) (*dmsii.Structure, bool, error) {
@@ -68,51 +72,65 @@ func (m *Mapper) evaRows(a *catalog.Attribute) (*dmsii.Structure, bool, error) {
 // GetEVA returns the surrogates related to s through attribute a, in
 // ascending surrogate order (the DML's implicit perspective ordering).
 func (m *Mapper) GetEVA(s value.Surrogate, a *catalog.Attribute) ([]value.Surrogate, error) {
+	return m.GetEVAInto(nil, s, a)
+}
+
+// GetEVAInto is GetEVA appending into dst, so hot query loops can reuse
+// one partner buffer across bindings instead of allocating per call.
+func (m *Mapper) GetEVAInto(dst []value.Surrogate, s value.Surrogate, a *catalog.Attribute) ([]value.Surrogate, error) {
 	can := canonical(a)
 	switch m.evas[can] {
 	case evaFK:
 		if m.isFKHolder(a) {
 			v, err := m.getFKSlot(s, a)
 			if err != nil {
-				return nil, err
+				return dst, err
 			}
 			if v.IsNull() {
-				return nil, nil
+				return dst, nil
 			}
-			return []value.Surrogate{v.Surrogate()}, nil
+			return append(dst, v.Surrogate()), nil
 		}
 		// Multi-valued side of an FK-mapped pair: use the target→holder
 		// index (§5.2's "additional index structure").
 		st, err := m.fkIndexStructure(can)
 		if err != nil {
-			return nil, err
+			return dst, err
 		}
-		prefix := value.AppendSurrogateKey(nil, s)
-		c, err := st.SeekPrefix(prefix)
-		if err != nil {
-			return nil, err
+		p := m.getProbe()
+		defer m.putProbe(p)
+		p.key = value.AppendSurrogateKey(p.key[:0], s)
+		if err := st.SeekPrefixInto(&p.cur, p.key); err != nil {
+			return dst, err
 		}
-		var out []value.Surrogate
-		for ; c.Valid(); c.Next() {
-			out = append(out, value.SurrogateFromKey(c.Key()[8:]))
+		for c := &p.cur; c.Valid(); c.Next() {
+			dst = append(dst, value.SurrogateFromKey(c.Key()[8:]))
 		}
-		return out, c.Err()
+		return dst, p.cur.Err()
 	default:
 		st, shared, err := m.evaRows(a)
 		if err != nil {
-			return nil, err
+			return dst, err
 		}
-		c, err := st.SeekPrefix(cesPrefix(shared, can, dirOf(a), s))
-		if err != nil {
-			return nil, err
+		p := m.getProbe()
+		defer m.putProbe(p)
+		p.key = appendCESPrefix(p.key[:0], shared, can, dirOf(a), s)
+		if err := st.SeekPrefixInto(&p.cur, p.key); err != nil {
+			return dst, err
 		}
-		var out []value.Surrogate
-		for ; c.Valid(); c.Next() {
+		for c := &p.cur; c.Valid(); c.Next() {
 			key := c.Key()
-			out = append(out, value.SurrogateFromKey(key[len(key)-8:]))
+			dst = append(dst, value.SurrogateFromKey(key[len(key)-8:]))
 		}
-		return out, c.Err()
+		return dst, p.cur.Err()
 	}
+}
+
+// FKHolder reports whether a reads as a foreign-key slot in s's own record
+// (the single-valued side of an FK-mapped pair), letting the executor
+// resolve the partner from an already-decoded record with no extra probe.
+func (m *Mapper) FKHolder(a *catalog.Attribute) bool {
+	return m.evas[canonical(a)] == evaFK && m.isFKHolder(a)
 }
 
 // HasEVAInstance reports whether the instance (s, t) of a's pair exists.

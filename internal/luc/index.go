@@ -40,14 +40,16 @@ func (m *Mapper) LookupUnique(a *catalog.Attribute, v value.Value) (value.Surrog
 	if err != nil {
 		return 0, false, err
 	}
-	c, err := st.SeekPrefix(value.AppendKey(nil, v))
-	if err != nil {
+	p := m.getProbe()
+	defer m.putProbe(p)
+	p.key = value.AppendKey(p.key[:0], v)
+	if err := st.SeekPrefixInto(&p.cur, p.key); err != nil {
 		return 0, false, err
 	}
-	if !c.Valid() {
-		return 0, false, c.Err()
+	if !p.cur.Valid() {
+		return 0, false, p.cur.Err()
 	}
-	key := c.Key()
+	key := p.cur.Key()
 	return value.SurrogateFromKey(key[len(key)-8:]), true, nil
 }
 

@@ -29,6 +29,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"sim/internal/btree"
 	"sim/internal/catalog"
 	"sim/internal/dmsii"
 	"sim/internal/obs"
@@ -139,7 +140,28 @@ type Mapper struct {
 	// obs registry; atomics so stats never take the shard locks.
 	rcHits   atomic.Uint64
 	rcMisses atomic.Uint64
+
+	// probes recycles seek cursors (and their key scratch) for the hot
+	// read probes — EVA partner lookups in particular fire once per
+	// binding, so a fresh cursor per call would dominate allocations.
+	probes sync.Pool // *probe
 }
+
+// probe is one recyclable point-lookup kit: a cursor whose leaf-snapshot
+// buffers survive across seeks, plus a key-building scratch buffer.
+type probe struct {
+	cur btree.Cursor
+	key []byte
+}
+
+func (m *Mapper) getProbe() *probe {
+	if p, ok := m.probes.Get().(*probe); ok {
+		return p
+	}
+	return new(probe)
+}
+
+func (m *Mapper) putProbe(p *probe) { m.probes.Put(p) }
 
 // CacheStats reports the decoded-record read cache's traffic.
 type CacheStats struct {

@@ -253,6 +253,7 @@ func (s *Server) handle(conn net.Conn) {
 	}
 	s.log.Debug("session open", "remote", conn.RemoteAddr().String())
 
+	var rbuf []byte
 	for {
 		select {
 		case <-s.quit:
@@ -262,7 +263,7 @@ func (s *Server) handle(conn net.Conn) {
 		if s.cfg.ReadTimeout > 0 {
 			conn.SetReadDeadline(time.Now().Add(s.cfg.ReadTimeout))
 		}
-		t, payload, err := s.readFrame(conn)
+		t, payload, err := s.readFrame(conn, &rbuf)
 		if err != nil {
 			// EOF and idle timeouts are the normal end of a session;
 			// anything decodable as a protocol violation gets a last
@@ -283,7 +284,7 @@ func (s *Server) handle(conn net.Conn) {
 func (s *Server) handshake(conn net.Conn) error {
 	conn.SetDeadline(time.Now().Add(handshakeTimeout))
 	defer conn.SetDeadline(time.Time{})
-	t, payload, err := s.readFrame(conn)
+	t, payload, err := s.readFrame(conn, nil)
 	if err != nil {
 		return err
 	}
@@ -463,10 +464,22 @@ func encodeErr(ctx context.Context, err error) []byte {
 	return wire.EncodeError(code, err.Error())
 }
 
-func (s *Server) readFrame(conn net.Conn) (wire.Type, []byte, error) {
-	t, payload, err := wire.ReadFrame(conn, s.cfg.MaxFrame)
+// readFrame reads one request frame. buf, when non-nil, is the
+// connection's recycled payload buffer: requests are handled to
+// completion before the next read (and every dispatch arm copies what it
+// keeps), so one buffer per connection serves every frame without
+// allocating.
+func (s *Server) readFrame(conn net.Conn, buf *[]byte) (wire.Type, []byte, error) {
+	var b []byte
+	if buf != nil {
+		b = *buf
+	}
+	t, payload, err := wire.ReadFrameBuf(conn, s.cfg.MaxFrame, b)
 	if err == nil {
 		s.bytesIn.Add(uint64(5 + len(payload)))
+		if buf != nil && cap(payload) > cap(b) {
+			*buf = payload[:cap(payload)]
+		}
 	}
 	return t, payload, err
 }

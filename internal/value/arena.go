@@ -1,0 +1,48 @@
+package value
+
+// Arena chunk-allocates Value slices for result rows: one make per chunk
+// instead of one per row. Returned slices are full (three-index) slices,
+// so appending to one reallocates instead of growing into its neighbor —
+// rows handed to callers can never corrupt each other even though they
+// share backing arrays. An Arena is owned by whoever owns the rows (the
+// Result, not the executor's reusable scratch) and must not be recycled
+// while any row it handed out is still referenced.
+//
+// The zero Arena is ready to use. Not safe for concurrent use.
+type Arena struct {
+	chunk []Value
+	size  int // next chunk size; doubles up to arenaChunkMax
+}
+
+// Chunk sizes: the first chunk is small so point queries (one or two
+// rows) don't pay for a scan-sized block, then each subsequent chunk
+// doubles so large results still amortize to one make per ~chunk.
+const (
+	arenaChunkMin = 16
+	arenaChunkMax = 1024
+)
+
+// Alloc returns a zeroed row of n values carved from the current chunk.
+func (a *Arena) Alloc(n int) []Value {
+	if n == 0 {
+		return nil
+	}
+	if n > arenaChunkMax {
+		return make([]Value, n)
+	}
+	if len(a.chunk) < n {
+		if a.size < arenaChunkMin {
+			a.size = arenaChunkMin
+		}
+		for a.size < n {
+			a.size *= 2
+		}
+		a.chunk = make([]Value, a.size)
+		if a.size < arenaChunkMax {
+			a.size *= 2
+		}
+	}
+	row := a.chunk[:n:n]
+	a.chunk = a.chunk[n:]
+	return row
+}

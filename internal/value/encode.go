@@ -100,7 +100,14 @@ func DecodeRow(b []byte) ([]Value, []byte, error) {
 		return nil, nil, fmt.Errorf("value: decode row: bad length")
 	}
 	b = b[ln:]
-	row := make([]Value, 0, n)
+	// Cap the preallocation by what the input could possibly hold (every
+	// encoded value is at least one byte): a corrupt or hostile length
+	// prefix must not make the decoder allocate gigabytes up front.
+	capHint := n
+	if capHint > uint64(len(b)) {
+		capHint = uint64(len(b))
+	}
+	row := make([]Value, 0, capHint)
 	for i := uint64(0); i < n; i++ {
 		var v Value
 		var err error

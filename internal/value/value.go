@@ -304,23 +304,29 @@ func SortLess(a, b Value) bool {
 // Key returns a string that is equal exactly for values that are Equal; it
 // is used for DISTINCT and grouping. Numeric kinds normalise together.
 func (v Value) Key() string {
+	return string(v.AppendKey(nil))
+}
+
+// AppendKey appends v's comparison key (see Key) to dst. Hot dedup loops
+// reuse one buffer across rows instead of building a string per value.
+func (v Value) AppendKey(dst []byte) []byte {
 	switch v.kind {
 	case KindNull:
-		return "n"
+		return append(dst, 'n')
 	case KindInt:
-		return "f" + strconv.FormatFloat(float64(v.i), 'g', -1, 64)
+		return strconv.AppendFloat(append(dst, 'f'), float64(v.i), 'g', -1, 64)
 	case KindNumber:
-		return "f" + strconv.FormatFloat(v.f, 'g', -1, 64)
+		return strconv.AppendFloat(append(dst, 'f'), v.f, 'g', -1, 64)
 	case KindString:
-		return "s" + v.s
+		return append(append(dst, 's'), v.s...)
 	case KindBool:
-		return "b" + strconv.FormatInt(v.i, 10)
+		return strconv.AppendInt(append(dst, 'b'), v.i, 10)
 	case KindDate:
-		return "d" + strconv.FormatInt(v.i, 10)
+		return strconv.AppendInt(append(dst, 'd'), v.i, 10)
 	case KindSymbolic:
-		return "y" + v.s
+		return append(append(dst, 'y'), v.s...)
 	case KindSurrogate:
-		return "g" + strconv.FormatInt(v.i, 10)
+		return strconv.AppendInt(append(dst, 'g'), v.i, 10)
 	}
-	return "?"
+	return append(dst, '?')
 }

@@ -21,6 +21,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sync"
 )
 
 // Magic opens every Hello payload.
@@ -115,13 +116,33 @@ type Error struct {
 
 func (e *Error) Error() string { return fmt.Sprintf("sim: remote %s error: %s", e.Code, e.Msg) }
 
-// WriteFrame writes one frame. Payload may be nil.
+// writeBufs recycles the header+payload staging buffers WriteFrame uses
+// so steady-state framing stops allocating per message. Buffers that grew
+// past writeBufMax are dropped instead of pooled, keeping one huge result
+// frame from pinning its buffer for the life of the process.
+var writeBufs = sync.Pool{New: func() any { return new(frameBuf) }}
+
+type frameBuf struct{ b []byte }
+
+const writeBufMax = 1 << 20
+
+// WriteFrame writes one frame. Payload may be nil. The frame is staged in
+// a pooled buffer and handed to w in a single Write call, so the payload
+// is not retained past the call.
 func WriteFrame(w io.Writer, t Type, payload []byte) error {
-	buf := make([]byte, 5+len(payload))
+	fb := writeBufs.Get().(*frameBuf)
+	need := 5 + len(payload)
+	if cap(fb.b) < need {
+		fb.b = make([]byte, need)
+	}
+	buf := fb.b[:need]
 	binary.BigEndian.PutUint32(buf, uint32(1+len(payload)))
 	buf[4] = byte(t)
 	copy(buf[5:], payload)
 	_, err := w.Write(buf)
+	if cap(fb.b) <= writeBufMax {
+		writeBufs.Put(fb)
+	}
 	return err
 }
 
@@ -130,8 +151,19 @@ func WriteFrame(w io.Writer, t Type, payload []byte) error {
 var ErrFrameTooLarge = errors.New("wire: frame exceeds size limit")
 
 // ReadFrame reads one frame, rejecting declared lengths of zero or beyond
-// max (0 means DefaultMaxFrame).
+// max (0 means DefaultMaxFrame). The payload is freshly allocated and
+// owned by the caller.
 func ReadFrame(r io.Reader, max int) (Type, []byte, error) {
+	return ReadFrameBuf(r, max, nil)
+}
+
+// ReadFrameBuf is ReadFrame with a caller-recycled payload buffer: the
+// returned payload slice reuses buf's capacity when it fits, growing it
+// otherwise. Pass the returned payload back (resliced to capacity) on the
+// next call to amortize the allocation to zero. The payload is only valid
+// until buf's next use; callers that retain payload bytes must copy them
+// (decoding to strings, as every payload decoder here does, copies).
+func ReadFrameBuf(r io.Reader, max int, buf []byte) (Type, []byte, error) {
 	if max <= 0 {
 		max = DefaultMaxFrame
 	}
@@ -146,7 +178,12 @@ func ReadFrame(r io.Reader, max int) (Type, []byte, error) {
 	if n > uint32(max) {
 		return 0, nil, fmt.Errorf("%w: %d > %d", ErrFrameTooLarge, n, max)
 	}
-	payload := make([]byte, n-1)
+	var payload []byte
+	if int(n-1) <= cap(buf) {
+		payload = buf[:n-1]
+	} else {
+		payload = make([]byte, n-1)
+	}
 	if _, err := io.ReadFull(r, payload); err != nil {
 		return 0, nil, err
 	}

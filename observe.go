@@ -52,7 +52,7 @@ func (db *Database) queryTraceCtx(ctx context.Context, dml string, tr *obs.Query
 	defer db.mu.RUnlock()
 	poolBefore := db.store.Stats()
 	cacheBefore := db.mapper.CacheStats()
-	p, ok := db.plans.get(dml)
+	p, prog, ok := db.plans.get(dml)
 	if ok {
 		tr.PlanCached = true
 	} else {
@@ -72,11 +72,12 @@ func (db *Database) queryTraceCtx(ctx context.Context, dml string, tr *obs.Query
 			return nil, err
 		}
 		tr.Plan = time.Since(planStart)
-		db.plans.put(dml, p)
+		prog = db.compilePlan(p)
+		db.plans.put(dml, p, prog)
 	}
 	tr.PlanDesc = p.Explain()
 	execStart := time.Now()
-	res, err := db.exe.RetrieveTraced(ctx, p, tr)
+	res, err := db.exe.RetrieveProgram(ctx, p, prog, tr)
 	tr.Exec = time.Since(execStart)
 	if err != nil {
 		return nil, err

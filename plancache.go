@@ -5,6 +5,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"sim/internal/exec"
 	"sim/internal/obs"
 	"sim/internal/plan"
 )
@@ -36,8 +37,9 @@ type planCache struct {
 }
 
 type planEntry struct {
-	key string
-	p   *plan.Plan
+	key  string
+	p    *plan.Plan
+	prog *exec.Program // compiled form; nil when the plan fell back to the tree walker
 }
 
 func newPlanCache(capacity int) *planCache {
@@ -54,30 +56,32 @@ func newPlanCache(capacity int) *planCache {
 	}
 }
 
-func (c *planCache) get(key string) (*plan.Plan, bool) {
+func (c *planCache) get(key string) (*plan.Plan, *exec.Program, bool) {
 	if c == nil {
-		return nil, false
+		return nil, nil, false
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	el, ok := c.m[key]
 	if !ok {
 		c.misses.Add(1)
-		return nil, false
+		return nil, nil, false
 	}
 	c.lru.MoveToFront(el)
 	c.hits.Add(1)
-	return el.Value.(*planEntry).p, true
+	en := el.Value.(*planEntry)
+	return en.p, en.prog, true
 }
 
-func (c *planCache) put(key string, p *plan.Plan) {
+func (c *planCache) put(key string, p *plan.Plan, prog *exec.Program) {
 	if c == nil {
 		return
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.m[key]; ok {
-		el.Value.(*planEntry).p = p
+		en := el.Value.(*planEntry)
+		en.p, en.prog = p, prog
 		c.lru.MoveToFront(el)
 		return
 	}
@@ -86,7 +90,7 @@ func (c *planCache) put(key string, p *plan.Plan) {
 		c.lru.Remove(oldest)
 		delete(c.m, oldest.Value.(*planEntry).key)
 	}
-	c.m[key] = c.lru.PushFront(&planEntry{key: key, p: p})
+	c.m[key] = c.lru.PushFront(&planEntry{key: key, p: p, prog: prog})
 }
 
 // clear drops every cached plan (schema change invalidation).

@@ -89,6 +89,12 @@ type Config struct {
 	// in the slow-query log (see Database.SlowQueries). Zero disables the
 	// log.
 	SlowQuery time.Duration
+	// TreeWalkEval forces queries onto the reference tree-walking
+	// evaluator instead of the compiled closure programs. The two produce
+	// identical results; the walker exists as the semantic oracle and for
+	// debugging, and this switch makes it reachable from benchmarks and
+	// differential tests.
+	TreeWalkEval bool
 }
 
 // ConfigError reports an invalid Config field, by name.
@@ -283,6 +289,7 @@ func (db *Database) rebuild(batches []string) error {
 	exe := exec.New(mapper)
 	exe.SetConstraints(constraints)
 	exe.SetWorkers(db.cfg.queryWorkers())
+	exe.SetTreeWalk(db.cfg.TreeWalkEval)
 	// Owned counters come back identical across rebuilds (totals keep
 	// accumulating); the mapper's func-backed readers are re-pointed at the
 	// fresh instance.
@@ -423,8 +430,8 @@ func (db *Database) QueryCtx(ctx context.Context, dml string) (*Result, error) {
 func (db *Database) queryCtx(ctx context.Context, dml string) (*Result, error) {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
-	if p, ok := db.plans.get(dml); ok {
-		return db.exe.RetrieveCtx(ctx, p)
+	if p, prog, ok := db.plans.get(dml); ok {
+		return db.exe.RetrieveProgram(ctx, p, prog, nil)
 	}
 	stmt, err := parser.ParseStmt(dml)
 	if err != nil {
@@ -438,8 +445,23 @@ func (db *Database) queryCtx(ctx context.Context, dml string) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	db.plans.put(dml, p)
-	return db.exe.RetrieveCtx(ctx, p)
+	prog := db.compilePlan(p)
+	db.plans.put(dml, p, prog)
+	return db.exe.RetrieveProgram(ctx, p, prog, nil)
+}
+
+// compilePlan lowers an optimized plan to a closure program for caching
+// next to it. A nil result (tree walker forced, or a construct the
+// compiler declines) routes execution through the reference walker.
+func (db *Database) compilePlan(p *plan.Plan) *exec.Program {
+	if db.cfg.TreeWalkEval {
+		return nil
+	}
+	prog, err := db.exe.Compile(p)
+	if err != nil {
+		return nil
+	}
+	return prog
 }
 
 // planRetrieve binds and optimizes a parsed Retrieve under the read lock.
