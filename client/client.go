@@ -440,6 +440,18 @@ func (c *Conn) Checkpoint(ctx context.Context) error {
 	return err
 }
 
+// ReplStatus returns the server's replication role and progress: the
+// publisher's epoch, newest position, and per-follower lag on a primary;
+// the follower's own applied position on a replica; role "none" on a
+// server without replication.
+func (c *Conn) ReplStatus(ctx context.Context) (wire.ReplStatus, error) {
+	resp, err := c.call(ctx, wire.TReplStatus, nil, wire.TReplStatusOK, true)
+	if err != nil {
+		return wire.ReplStatus{}, err
+	}
+	return wire.DecodeReplStatus(resp)
+}
+
 // ServerStats returns the server's lifetime counters.
 func (c *Conn) ServerStats(ctx context.Context) (wire.ServerStats, error) {
 	resp, err := c.call(ctx, wire.TStats, nil, wire.TStatsOK, true)

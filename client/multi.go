@@ -1,0 +1,167 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+
+	"sim"
+	"sim/internal/wire"
+)
+
+// Multi is a topology-aware client over one primary and any number of
+// read replicas. Reads (Query, QueryTrace, Explain) are sprayed
+// round-robin across the replicas and fail over to the next replica —
+// and finally the primary — on retryable errors; everything with side
+// effects or transactional state (Exec, Begin, Checkpoint) is pinned to
+// the primary. Replicas serve a bounded-stale view: a read immediately
+// after a write may not observe it; read-your-writes callers should use
+// Primary() directly.
+type Multi struct {
+	primary  *Conn
+	replicas []*Conn
+	next     atomic.Uint64
+}
+
+// DialMulti connects to addrs[0] as the primary and the rest as read
+// replicas. At least one address is required.
+func DialMulti(addrs []string) (*Multi, error) {
+	return DialMultiConfig(addrs, Config{})
+}
+
+// DialMultiConfig is DialMulti with explicit per-connection configuration.
+func DialMultiConfig(addrs []string, cfg Config) (*Multi, error) {
+	if len(addrs) == 0 {
+		return nil, fmt.Errorf("client: DialMulti needs at least a primary address")
+	}
+	primary, err := DialConfig(addrs[0], cfg)
+	if err != nil {
+		return nil, err
+	}
+	m := &Multi{primary: primary}
+	for _, addr := range addrs[1:] {
+		rc, err := DialConfig(addr, cfg)
+		if err != nil {
+			m.Close()
+			return nil, err
+		}
+		m.replicas = append(m.replicas, rc)
+	}
+	return m, nil
+}
+
+// Primary returns the primary connection, for callers that need
+// read-your-writes or transactional reads.
+func (m *Multi) Primary() *Conn { return m.primary }
+
+// Replicas returns the replica connections in dial order.
+func (m *Multi) Replicas() []*Conn { return m.replicas }
+
+// Close closes every connection, returning the first error.
+func (m *Multi) Close() error {
+	err := m.primary.Close()
+	for _, rc := range m.replicas {
+		if cerr := rc.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
+
+// failover reports whether a read that failed on one server is worth
+// sending to another: transport failures the connection's own retries
+// could not fix, and load-shedding or draining responses. Statement
+// errors (parse, semantic, exec) would fail identically everywhere.
+func failover(err error) bool {
+	var ne *NetError
+	if errors.As(err, &ne) {
+		return ne.Retryable
+	}
+	var we *wire.Error
+	if errors.As(err, &we) {
+		switch we.Code {
+		case wire.CodeOverloaded, wire.CodeBusy, wire.CodeShutdown:
+			return true
+		}
+	}
+	return false
+}
+
+// read runs fn against replicas round-robin with failover, ending at the
+// primary. With no replicas it goes straight to the primary.
+func (m *Multi) read(ctx context.Context, fn func(*Conn) error) error {
+	if len(m.replicas) > 0 {
+		start := int(m.next.Add(1) - 1)
+		for i := range m.replicas {
+			rc := m.replicas[(start+i)%len(m.replicas)]
+			err := fn(rc)
+			if err == nil || !failover(err) || ctx.Err() != nil {
+				return err
+			}
+		}
+	}
+	return fn(m.primary)
+}
+
+// Query executes one Retrieve on a replica (or the primary as a last
+// resort).
+func (m *Multi) Query(dml string) (*sim.Result, error) {
+	return m.QueryCtx(context.Background(), dml)
+}
+
+// QueryCtx is Query under a context.
+func (m *Multi) QueryCtx(ctx context.Context, dml string) (*sim.Result, error) {
+	var r *sim.Result
+	err := m.read(ctx, func(c *Conn) error {
+		var e error
+		r, e = c.QueryCtx(ctx, dml)
+		return e
+	})
+	if err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// ExplainCtx returns a replica optimizer's strategy for a Retrieve.
+func (m *Multi) ExplainCtx(ctx context.Context, dml string) (string, error) {
+	var text string
+	err := m.read(ctx, func(c *Conn) error {
+		var e error
+		text, e = c.ExplainCtx(ctx, dml)
+		return e
+	})
+	return text, err
+}
+
+// Exec executes one update statement on the primary.
+func (m *Multi) Exec(dml string) (int, error) {
+	return m.ExecCtx(context.Background(), dml)
+}
+
+// ExecCtx is Exec under a context; always the primary.
+func (m *Multi) ExecCtx(ctx context.Context, dml string) (int, error) {
+	return m.primary.ExecCtx(ctx, dml)
+}
+
+// Begin opens a transaction on the primary; transactions never move.
+func (m *Multi) Begin(ctx context.Context) (*Tx, error) {
+	return m.primary.Begin(ctx)
+}
+
+// Checkpoint checkpoints the primary.
+func (m *Multi) Checkpoint(ctx context.Context) error {
+	return m.primary.Checkpoint(ctx)
+}
+
+// Ping checks the primary end to end.
+func (m *Multi) Ping(ctx context.Context) error {
+	return m.primary.Ping(ctx)
+}
+
+// ReplStatus returns the primary's replication status (its view of every
+// follower's acked position and lag).
+func (m *Multi) ReplStatus(ctx context.Context) (wire.ReplStatus, error) {
+	return m.primary.ReplStatus(ctx)
+}

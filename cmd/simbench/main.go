@@ -6,13 +6,14 @@
 //	simbench [-run id[,id...]] [-scale n] [-reps n] [-parallel n] [-net] [-check-allocs]
 //
 // Experiment ids: fig2, adds, dml, t1..t10, t12 (alias: txn), t13
-// (alias: vm), obs, fault, all (default). The t9 run writes its table to
-// BENCH_parallel.json, the t10 run (network mode, also selectable as
-// -net) writes BENCH_net.json, the t12/txn run (group commit) writes
-// BENCH_txn.json, the t13/vm run (compiled evaluator) writes
-// BENCH_vm.json, the obs run (tracing overhead) writes BENCH_obs.json,
-// and the fault run (checksum/recovery/retry overhead) writes
-// BENCH_fault.json for machine consumption. Every artifact records
+// (alias: vm), obs, fault, repl (alias: t14), all (default). The t9 run
+// writes its table to BENCH_parallel.json, the t10 run (network mode,
+// also selectable as -net) writes BENCH_net.json, the t12/txn run (group
+// commit) writes BENCH_txn.json, the t13/vm run (compiled evaluator)
+// writes BENCH_vm.json, the obs run (tracing overhead) writes
+// BENCH_obs.json, the fault run (checksum/recovery/retry overhead)
+// writes BENCH_fault.json, and the repl/t14 run (read replicas, sized by
+// -followers) writes BENCH_repl.json for machine consumption. Every artifact records
 // allocs/op and bytes/op for its hot operations; -check-allocs compares
 // a fresh t13 run against the committed BENCH_vm.json and fails if any
 // compiled-path operation allocates more than 20% over the recorded
@@ -30,11 +31,12 @@ import (
 )
 
 func main() {
-	run := flag.String("run", "all", "comma-separated experiment ids (fig2,adds,dml,t1..t10,t12/txn,t13/vm,obs,fault)")
+	run := flag.String("run", "all", "comma-separated experiment ids (fig2,adds,dml,t1..t10,t12/txn,t13/vm,obs,fault,repl/t14)")
 	scale := flag.Int("scale", 1, "workload scale factor")
 	reps := flag.Int("reps", 5, "repetitions per measurement")
 	parallel := flag.Int("parallel", 8, "maximum concurrent clients for t9/t10")
 	writers := flag.Int("writers", 16, "maximum concurrent committers for t12")
+	followers := flag.Int("followers", 4, "read replicas for the repl experiment")
 	netMode := flag.Bool("net", false, "network mode: run the t10 client/server experiment")
 	checkAllocs := flag.Bool("check-allocs", false, "fail if t13 compiled-path allocs/op regress >20% vs committed BENCH_vm.json")
 	flag.Parse()
@@ -64,6 +66,9 @@ func main() {
 	if want["vm"] { // alias for the compiled-evaluator experiment
 		want["t13"] = true
 	}
+	if want["t14"] { // alias for the replication experiment
+		want["repl"] = true
+	}
 	all := want["all"]
 	sel := func(id string) bool { return all || want[strings.ToLower(id)] }
 
@@ -89,6 +94,7 @@ func main() {
 		{"t13", func() (*bench.Table, error) { return bench.T13(w, *reps) }},
 		{"obs", func() (*bench.Table, error) { return bench.Obs(w, *reps) }},
 		{"fault", func() (*bench.Table, error) { return bench.Fault(*reps) }},
+		{"repl", func() (*bench.Table, error) { return bench.Repl(w, *reps, *followers) }},
 	}
 	artifacts := map[string]string{
 		"t9":    "BENCH_parallel.json",
@@ -97,6 +103,7 @@ func main() {
 		"t13":   "BENCH_vm.json",
 		"obs":   "BENCH_obs.json",
 		"fault": "BENCH_fault.json",
+		"repl":  "BENCH_repl.json",
 	}
 	ran := 0
 	for _, ex := range experiments {

@@ -23,6 +23,7 @@
 //	\check            run every VERIFY assertion (local only)
 //	\verify           audit storage: page checksums + full structure scan (local only)
 //	\stats            print server counters (remote) or engine stats (local)
+//	\replicas         print replication role, positions and per-follower lag (remote)
 //	\quit             exit
 //
 // \analyze and \timing work both locally and over -connect; remotely the
@@ -295,12 +296,23 @@ func command(sh *shell, line string) bool {
 			st.Pool.Hits, st.Pool.Misses, st.Plans.Hits, st.Plans.Misses)
 		fmt.Printf("luc-cache: hits=%d misses=%d  exec: queries=%d rows=%d instances=%d\n",
 			st.Cache.Hits, st.Cache.Misses, st.Exec.Queries, st.Exec.Rows, st.Exec.Instances)
+	case `\replicas`:
+		if conn, ok := s.(*client.Conn); ok {
+			st, err := conn.ReplStatus(context.Background())
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "error:", err)
+			} else {
+				fmt.Println(st)
+			}
+			break
+		}
+		fmt.Println("role=local (replication runs under simserve; use -connect)")
 	case `\help`:
 		fmt.Println(`statements end with '.' or ';'
 DDL:  Type/Class/Subclass/Verify declarations (via -schema or pasted; local only)
 DML:  Retrieve / Insert / Modify / Delete
 TXN:  Begin [Transaction] / Commit / Rollback (prompt shows txn> while open)
-commands: \schema \classes \explain <q> \analyze <q> \timing [on|off] \check \verify \stats \quit`)
+commands: \schema \classes \explain <q> \analyze <q> \timing [on|off] \check \verify \stats \replicas \quit`)
 	default:
 		fmt.Fprintf(os.Stderr, "unknown command %s (try \\help)\n", cmd)
 	}

@@ -5,13 +5,21 @@
 // Usage:
 //
 //	simserve [-addr :1988] [-db file] [-schema ddl-file] [-university]
-//	         [-max-conns n] [-workers n] [-request-timeout d]
-//	         [-read-timeout d] [-write-timeout d] [-drain d]
-//	         [-log-level info] [-metrics addr] [-slow-query d] [-slow-request d]
+//	         [-replica-of addr] [-max-conns n] [-workers n]
+//	         [-request-timeout d] [-read-timeout d] [-write-timeout d]
+//	         [-drain d] [-log-level info] [-metrics addr]
+//	         [-slow-query d] [-slow-request d]
 //
 // The database is opened (in-memory when -db is empty), the optional
 // schema is defined, and the server runs until SIGINT/SIGTERM, then
 // drains in-flight requests for the -drain grace period.
+//
+// A file-backed server publishes a replication stream that any number of
+// followers can subscribe to. With -replica-of, the server instead runs
+// as a read replica: it replicates the primary at addr into -db (which is
+// required), rejects every write with a "readonly" error, and serves
+// bounded-stale reads; \replicas in simdb and the ReplStatus client call
+// report its applied position and lag.
 //
 // With -metrics, a second HTTP listener serves the observability
 // surface: /metrics (Prometheus text exposition of every engine and
@@ -35,6 +43,7 @@ import (
 
 	"sim"
 	"sim/internal/obs"
+	"sim/internal/repl"
 	"sim/internal/server"
 	"sim/internal/university"
 )
@@ -44,6 +53,7 @@ func main() {
 	dbPath := flag.String("db", "", "database file (empty: in-memory)")
 	schemaFile := flag.String("schema", "", "DDL file to define at startup")
 	univ := flag.Bool("university", false, "define the paper's UNIVERSITY schema at startup")
+	replicaOf := flag.String("replica-of", "", "run as a read replica of the primary at this address (requires -db)")
 	maxConns := flag.Int("max-conns", 256, "concurrent connection limit")
 	maxInflight := flag.Int("max-inflight", 0, "concurrent request limit; excess requests fast-fail with 'overloaded' (0: unbounded)")
 	workers := flag.Int("workers", 0, "per-query parallelism (0: GOMAXPROCS)")
@@ -62,6 +72,17 @@ func main() {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "simserve: %v\n", err)
 		os.Exit(2)
+	}
+
+	if *replicaOf != "" {
+		if *dbPath == "" {
+			fmt.Fprintln(os.Stderr, "simserve: -replica-of requires -db (the replica's local database file)")
+			os.Exit(2)
+		}
+		if *univ || *schemaFile != "" {
+			fmt.Fprintln(os.Stderr, "simserve: a replica's schema comes from the primary; drop -schema/-university")
+			os.Exit(2)
+		}
 	}
 
 	db, err := sim.Open(*dbPath, sim.Config{
@@ -91,7 +112,7 @@ func main() {
 		logger.Info("schema defined", "file", *schemaFile)
 	}
 
-	srv := server.New(db, server.Config{
+	scfg := server.Config{
 		MaxConns:       *maxConns,
 		MaxInflight:    *maxInflight,
 		ReadTimeout:    *readTimeout,
@@ -100,7 +121,32 @@ func main() {
 		Logger:         logger,
 		SlowRequest:    *slowRequest,
 		Registry:       db.Metrics(),
-	})
+	}
+	switch {
+	case *replicaOf != "":
+		follower, err := repl.StartFollower(db, *dbPath+".repl", repl.FollowerConfig{
+			Primary: *replicaOf,
+			Logger:  logger,
+		})
+		if err != nil {
+			fatal(logger, "start replication", err)
+		}
+		defer follower.Close()
+		follower.RegisterMetrics(db.Metrics())
+		scfg.ReadOnly = true
+		scfg.ReplStatus = follower.Status
+		logger.Info("replicating", "primary", *replicaOf)
+	case *dbPath != "":
+		pub, err := repl.NewPublisher(db, repl.Config{})
+		if err != nil {
+			fatal(logger, "start replication publisher", err)
+		}
+		pub.RegisterMetrics(db.Metrics())
+		scfg.Publisher = pub
+		scfg.ReplStatus = pub.Status
+		logger.Info("publishing replication stream", "epoch", pub.Epoch())
+	}
+	srv := server.New(db, scfg)
 
 	var metricsSrv *http.Server
 	if *metricsAddr != "" {

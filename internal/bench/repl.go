@@ -1,0 +1,355 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"time"
+
+	"sim"
+	"sim/client"
+	"sim/internal/repl"
+	"sim/internal/server"
+	"sim/internal/university"
+)
+
+// replNode is one server in the T14 topology: a database, its TCP
+// server, and (on replicas) the replication follower.
+type replNode struct {
+	db       *sim.Database
+	srv      *server.Server
+	follower *repl.Follower
+	addr     string
+}
+
+func (n *replNode) close() {
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	n.srv.Shutdown(ctx)
+	if n.follower != nil {
+		n.follower.Close()
+	}
+	n.db.Close()
+}
+
+// Repl — T14, WAL-shipped read replicas: aggregate remote read
+// throughput at 0, 1, 2, ... maxFollowers read replicas versus the
+// single-node ceiling, the staleness distribution a replica serves under
+// sustained primary write load, and the time a cold follower needs to
+// snapshot-catchup into a populated database.
+func Repl(w Workload, reps, maxFollowers int) (*Table, error) {
+	if maxFollowers < 1 {
+		maxFollowers = 1
+	}
+	t := &Table{
+		ID:     "T14",
+		Title:  "Read replicas: follower read scaling, staleness, catch-up",
+		Header: []string{"topology", "clients", "time/query", "agg qps", "vs primary-only", "reads on primary"},
+		Notes: fmt.Sprintf("GOMAXPROCS=%d; loopback TCP; primary file-backed with WAL shipping;\nreads sprayed round-robin across replicas via client.DialMulti.\nAll nodes share this host's cores, so 'agg qps' is bounded by the host,\nnot the topology; 'reads on primary' is the offload that becomes extra\naggregate capacity when each replica has its own cores.",
+			runtime.GOMAXPROCS(0)),
+	}
+	dir, err := os.MkdirTemp("", "sim-repl-bench-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+
+	// File-backed primary: replication ships the WAL, so the publisher
+	// requires a durable database.
+	pdb, err := sim.Open(filepath.Join(dir, "primary.db"), sim.Config{})
+	if err != nil {
+		return nil, err
+	}
+	if err := pdb.DefineSchema(university.DDL); err != nil {
+		pdb.Close()
+		return nil, err
+	}
+	if err := Populate(pdb, w); err != nil {
+		pdb.Close()
+		return nil, err
+	}
+	pub, err := repl.NewPublisher(pdb, repl.Config{})
+	if err != nil {
+		pdb.Close()
+		return nil, err
+	}
+	primary, err := startReplNode(pdb, server.Config{
+		MaxConns:  256,
+		Publisher: pub,
+	})
+	if err != nil {
+		pdb.Close()
+		return nil, err
+	}
+	defer primary.close()
+
+	// Cold followers join a populated primary: each catch-up is one base
+	// snapshot plus the live tail.
+	var replicas []*replNode
+	defer func() {
+		for _, r := range replicas {
+			r.close()
+		}
+	}()
+	var catchup []time.Duration
+	for i := 0; i < maxFollowers; i++ {
+		rdb, err := sim.Open(filepath.Join(dir, fmt.Sprintf("replica-%d.db", i)), sim.Config{})
+		if err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		f, err := repl.StartFollower(rdb, filepath.Join(dir, fmt.Sprintf("replica-%d.db.repl", i)), repl.FollowerConfig{
+			Primary: primary.addr,
+		})
+		if err != nil {
+			rdb.Close()
+			return nil, err
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		err = f.WaitReady(ctx)
+		cancel()
+		if err != nil {
+			f.Close()
+			rdb.Close()
+			return nil, err
+		}
+		catchup = append(catchup, time.Since(start))
+		node, err := startReplNode(rdb, server.Config{
+			MaxConns: 256,
+			ReadOnly: true,
+		})
+		if err != nil {
+			f.Close()
+			rdb.Close()
+			return nil, err
+		}
+		node.follower = f
+		replicas = append(replicas, node)
+	}
+
+	// Correctness gate: a replica must serve byte-identical results.
+	const q = `From student Retrieve name, name of advisor.`
+	local, err := pdb.Query(q)
+	if err != nil {
+		return nil, err
+	}
+	probe, err := client.Dial(replicas[0].addr)
+	if err != nil {
+		return nil, err
+	}
+	remote, err := probe.Query(q)
+	probe.Close()
+	if err != nil {
+		return nil, err
+	}
+	if local.Format() != remote.Format() {
+		return nil, fmt.Errorf("T14: replica result diverged from the primary")
+	}
+
+	// Read throughput: primary only, then primary + n replicas with reads
+	// sprayed across the replicas — first against an idle primary, then
+	// against a primary under sustained write load, where replica reads
+	// dodge the commit path entirely.
+	clients := 8
+	iters := 20 * reps
+	for _, loaded := range []bool{false, true} {
+		var stopWriter func() error
+		if loaded {
+			var err error
+			stopWriter, err = replWriteLoad(primary.addr)
+			if err != nil {
+				return nil, err
+			}
+		}
+		var baseline float64
+		for nf := 0; nf <= len(replicas); nf++ {
+			addrs := []string{primary.addr}
+			for _, r := range replicas[:nf] {
+				addrs = append(addrs, r.addr)
+			}
+			// Warm every node's plan cache and connection path before timing.
+			warm, err := client.DialMulti(addrs)
+			if err != nil {
+				return nil, err
+			}
+			for i := 0; i <= nf; i++ {
+				if _, err := warm.Query(q); err != nil {
+					warm.Close()
+					return nil, err
+				}
+			}
+			warm.Close()
+			before := primary.srv.Stats().Requests
+			qps, err := measure(clients, iters, func(int) (func() error, func(), error) {
+				m, err := client.DialMulti(addrs)
+				if err != nil {
+					return nil, nil, err
+				}
+				return func() error { _, err := m.Query(q); return err },
+					func() { m.Close() }, nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			if nf == 0 {
+				baseline = qps
+			}
+			// Handshakes and the background writer also count as primary
+			// requests; the share is still dominated by the read spray.
+			onPrimary := primary.srv.Stats().Requests - before
+			total := uint64(clients * iters)
+			share := fmt.Sprintf("%d%%", min(100*onPrimary/total, 100))
+			label := "primary only"
+			if nf > 0 {
+				label = fmt.Sprintf("primary+%d replicas", nf)
+			}
+			if loaded {
+				label += ", write load"
+			}
+			t.Rows = append(t.Rows, []string{label, fmt.Sprint(clients),
+				perQuery(clients, iters, qps), fmt.Sprintf("%.0f", qps),
+				fmt.Sprintf("%.2fx", qps/baseline), share})
+		}
+		if stopWriter != nil {
+			if err := stopWriter(); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// Staleness under write load: write a visible marker on the primary,
+	// poll one replica until it appears; the elapsed time is one sample of
+	// the staleness a follower read can observe.
+	samples, err := replStaleness(primary.addr, replicas[0].addr, 10*reps)
+	if err != nil {
+		return nil, err
+	}
+	t.Notes += fmt.Sprintf("\nstaleness under write load (%d marker writes): p50=%s p95=%s max=%s",
+		len(samples), dur(pct(samples, 50)), dur(pct(samples, 95)), dur(samples[len(samples)-1]))
+	t.Notes += fmt.Sprintf("\ncold-follower snapshot catch-up into the populated database: first=%s",
+		dur(catchup[0]))
+
+	// Allocation footprint of the replica read path next to the primary's.
+	mc, err := client.Dial(primary.addr)
+	if err != nil {
+		return nil, err
+	}
+	mrow, err := measureMem("remote Query (primary)", func() error { _, err := mc.Query(q); return err })
+	mc.Close()
+	if err != nil {
+		return nil, err
+	}
+	t.Mem = append(t.Mem, mrow)
+	mm, err := client.DialMulti(append([]string{primary.addr}, replicas[0].addr))
+	if err != nil {
+		return nil, err
+	}
+	mrow, err = measureMem("remote Query (replica via DialMulti)", func() error { _, err := mm.Query(q); return err })
+	mm.Close()
+	if err != nil {
+		return nil, err
+	}
+	t.Mem = append(t.Mem, mrow)
+	return t, nil
+}
+
+// startReplNode serves db on a loopback listener.
+func startReplNode(db *sim.Database, cfg server.Config) (*replNode, error) {
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	srv := server.New(db, cfg)
+	go srv.Serve(lis)
+	return &replNode{db: db, srv: srv, addr: lis.Addr().String()}, nil
+}
+
+// replWriteLoad hammers the primary with single-row updates from a
+// background goroutine until the returned stop function is called.
+func replWriteLoad(addr string) (stop func() error, err error) {
+	c, err := client.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	quit := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		i := 0
+		for {
+			select {
+			case <-quit:
+				done <- nil
+				return
+			default:
+			}
+			stmt := fmt.Sprintf(`Modify course (title := "Load %06d") Where course-no = 1.`, i)
+			if _, err := c.Exec(stmt); err != nil {
+				done <- err
+				return
+			}
+			i++
+		}
+	}()
+	return func() error {
+		close(quit)
+		err := <-done
+		c.Close()
+		return err
+	}, nil
+}
+
+// replStaleness writes n markers on the primary and measures how long
+// each takes to become visible on the replica. Returned samples are
+// sorted ascending.
+func replStaleness(primaryAddr, replicaAddr string, n int) ([]time.Duration, error) {
+	pc, err := client.Dial(primaryAddr)
+	if err != nil {
+		return nil, err
+	}
+	defer pc.Close()
+	rc, err := client.Dial(replicaAddr)
+	if err != nil {
+		return nil, err
+	}
+	defer rc.Close()
+	samples := make([]time.Duration, 0, n)
+	for i := 0; i < n; i++ {
+		no := 9000 + i // course-no is integer(1..9999); Populate stays far below
+		stmt := fmt.Sprintf(`Insert course (course-no := %d, title := "Marker %04d", credits := 15).`, no, i)
+		if _, err := pc.Exec(stmt); err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		probe := fmt.Sprintf(`From course Retrieve title Where course-no = %d.`, no)
+		deadline := start.Add(10 * time.Second)
+		for {
+			r, err := rc.Query(probe)
+			if err != nil {
+				return nil, err
+			}
+			if r.NumRows() > 0 {
+				samples = append(samples, time.Since(start))
+				break
+			}
+			if time.Now().After(deadline) {
+				return nil, fmt.Errorf("T14: marker %d never became visible on the replica", i)
+			}
+			time.Sleep(200 * time.Microsecond)
+		}
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	return samples, nil
+}
+
+// pct returns the p-th percentile of sorted samples.
+func pct(sorted []time.Duration, p int) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := (len(sorted) - 1) * p / 100
+	return sorted[i]
+}

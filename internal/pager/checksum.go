@@ -110,6 +110,12 @@ func (c *ChecksumFile) NumPages() (uint32, error) {
 	return uint32(size / slotSize), nil
 }
 
+// TruncatePages implements PageTruncator: the file is resized to exactly
+// n checksummed slots.
+func (c *ChecksumFile) TruncatePages(n uint32) error {
+	return c.bf.Truncate(int64(n) * slotSize)
+}
+
 // Sync implements File.
 func (c *ChecksumFile) Sync() error { return c.bf.Sync() }
 
@@ -163,6 +169,11 @@ func (r *RawPageFile) NumPages() (uint32, error) {
 	return uint32(size / PageSize), nil
 }
 
+// TruncatePages implements PageTruncator.
+func (r *RawPageFile) TruncatePages(n uint32) error {
+	return r.bf.Truncate(int64(n) * PageSize)
+}
+
 // Sync implements File.
 func (r *RawPageFile) Sync() error { return r.bf.Sync() }
 
@@ -174,6 +185,10 @@ var (
 	_ File = (*ChecksumFile)(nil)
 	_ File = (*RawPageFile)(nil)
 	_ File = (*MemFile)(nil)
+
+	_ PageTruncator = (*ChecksumFile)(nil)
+	_ PageTruncator = (*RawPageFile)(nil)
+	_ PageTruncator = (*MemFile)(nil)
 
 	_ ByteFile = (*OSByteFile)(nil)
 	_ ByteFile = (*MemByteFile)(nil)

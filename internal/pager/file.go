@@ -18,6 +18,22 @@ type PageID uint32
 // Invalid is the nil page id.
 const Invalid PageID = 0xFFFFFFFF
 
+// PageImage is one page's committed contents, as shipped between nodes
+// by the replication subsystem: the page id plus its full PageSize image.
+type PageImage struct {
+	ID   PageID
+	Data []byte
+}
+
+// PageTruncator is implemented by Files whose backing storage can shrink.
+// Replica snapshot installation truncates the follower's file to exactly
+// the primary's page count before overwriting, so stale tail pages from a
+// previous, longer image cannot survive.
+type PageTruncator interface {
+	// TruncatePages resizes the file to exactly n pages.
+	TruncatePages(n uint32) error
+}
+
 // File is random access storage in page units.
 type File interface {
 	// ReadPage fills buf (PageSize bytes) with the page's contents.
@@ -73,6 +89,19 @@ func (m *MemFile) NumPages() (uint32, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	return uint32(len(m.pages)), nil
+}
+
+// TruncatePages implements PageTruncator.
+func (m *MemFile) TruncatePages(n uint32) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if int(n) < len(m.pages) {
+		m.pages = m.pages[:n]
+	}
+	for int(n) > len(m.pages) {
+		m.pages = append(m.pages, make([]byte, PageSize))
+	}
+	return nil
 }
 
 // Sync implements File.

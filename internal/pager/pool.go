@@ -22,8 +22,8 @@ type Stats struct {
 // they Get, and MarkDirty frames they mutate. The pins/dirty/gen/elem
 // fields are guarded by the owning shard's mutex.
 type Frame struct {
-	ID    PageID
-	Data  []byte // PageSize bytes
+	ID     PageID
+	Data   []byte // PageSize bytes
 	pins   int
 	dirty  bool
 	gen    uint64        // bumped on every MarkDirty/Allocate; see Snapshot
@@ -264,6 +264,37 @@ func (p *Pool) DiscardDirty() error {
 			if f.pins > 0 {
 				sh.mu.Unlock()
 				return fmt.Errorf("pager: DiscardDirty: page %d still pinned", id)
+			}
+			if f.elem != nil {
+				sh.lru.Remove(f.elem)
+				f.elem = nil
+			}
+			delete(sh.frames, id)
+		}
+		sh.mu.Unlock()
+	}
+	n, err := p.file.NumPages()
+	if err != nil {
+		return err
+	}
+	p.next.Store(uint32(n))
+	return nil
+}
+
+// DropAll empties the pool: every frame — clean or dirty — is discarded,
+// so subsequent reads observe the file's current contents, and the
+// next-allocation cursor is reset from the file size. Replica apply uses
+// this after overwriting pages underneath the pool. Frames must be
+// unpinned (the caller holds the store's write latch and has drained
+// readers).
+func (p *Pool) DropAll() error {
+	for i := range p.shards {
+		sh := &p.shards[i]
+		sh.mu.Lock()
+		for id, f := range sh.frames {
+			if f.pins > 0 {
+				sh.mu.Unlock()
+				return fmt.Errorf("pager: DropAll: page %d still pinned", id)
 			}
 			if f.elem != nil {
 				sh.lru.Remove(f.elem)

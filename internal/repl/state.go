@@ -1,0 +1,63 @@
+package repl
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+	"os"
+)
+
+// State is a follower's durable replication position: the primary epoch
+// it follows and the last position it has fully applied. It lives in a
+// small sidecar file next to the replica's database file and is written
+// only after the applied group is durable in the replica's own WAL — so
+// the recorded position never runs ahead of the data, and a crash between
+// apply and save merely re-applies one idempotent group on resume.
+type State struct {
+	Epoch uint64
+	Pos   uint64
+}
+
+// stateMagic opens the sidecar file.
+const stateMagic = "SIMR"
+
+// stateSize is the sidecar length: magic(4) epoch(8) pos(8) crc32(4).
+const stateSize = 24
+
+// SaveState durably writes the sidecar at path.
+func SaveState(path string, st State) error {
+	var buf [stateSize]byte
+	copy(buf[:4], stateMagic)
+	binary.BigEndian.PutUint64(buf[4:12], st.Epoch)
+	binary.BigEndian.PutUint64(buf[12:20], st.Pos)
+	binary.BigEndian.PutUint32(buf[20:24], crc32.ChecksumIEEE(buf[:20]))
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(buf[:]); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadState reads the sidecar at path. A missing, short, or corrupt file
+// yields the zero State — the follower then requests a snapshot, which is
+// always safe.
+func LoadState(path string) State {
+	b, err := os.ReadFile(path)
+	if err != nil || len(b) != stateSize || string(b[:4]) != stateMagic {
+		return State{}
+	}
+	if crc32.ChecksumIEEE(b[:20]) != binary.BigEndian.Uint32(b[20:24]) {
+		return State{}
+	}
+	return State{
+		Epoch: binary.BigEndian.Uint64(b[4:12]),
+		Pos:   binary.BigEndian.Uint64(b[12:20]),
+	}
+}

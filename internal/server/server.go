@@ -23,6 +23,7 @@ import (
 
 	"sim"
 	"sim/internal/obs"
+	"sim/internal/repl"
 	"sim/internal/wire"
 )
 
@@ -58,6 +59,16 @@ type Config struct {
 	// (connections, requests, bytes, errors) and the per-request latency
 	// histogram sim_server_request_seconds.
 	Registry *obs.Registry
+	// ReadOnly refuses every mutating request (Exec, Begin/Commit/Rollback,
+	// Checkpoint) with CodeReadOnly. Set on replicas, whose database is
+	// owned by the replication applier.
+	ReadOnly bool
+	// Publisher, when set, serves replication streams: a ReplHello frame
+	// turns the connection into a log-shipping subscription fed from it.
+	Publisher *repl.Publisher
+	// ReplStatus, when set, answers the ReplStatus request (primary and
+	// replica alike). Nil answers with role "none".
+	ReplStatus func() wire.ReplStatus
 }
 
 // ErrServerClosed is returned by Serve after Shutdown or Close.
@@ -274,6 +285,12 @@ func (s *Server) handle(conn net.Conn) {
 			}
 			return
 		}
+		if t == wire.TReplHello {
+			// The connection becomes a replication stream and never
+			// returns to request/response.
+			s.serveReplication(conn, payload)
+			return
+		}
 		if !s.serveRequest(conn, sess, t, payload) {
 			return
 		}
@@ -360,6 +377,13 @@ func (s *Server) dispatch(sess *session, t wire.Type, payload []byte) (wire.Type
 		ctx, cancel = context.WithTimeout(ctx, s.cfg.RequestTimeout)
 		defer cancel()
 	}
+	if s.cfg.ReadOnly {
+		switch t {
+		case wire.TExec, wire.TBegin, wire.TCommit, wire.TRollback, wire.TCheckpoint:
+			return wire.TError, wire.EncodeError(wire.CodeReadOnly,
+				"replica is read-only; send writes to the primary")
+		}
+	}
 	switch t {
 	case wire.TPing:
 		return wire.TPong, nil
@@ -441,6 +465,12 @@ func (s *Server) dispatch(sess *session, t wire.Type, payload []byte) (wire.Type
 		return wire.TOK, nil
 	case wire.TStats:
 		return wire.TStatsOK, wire.EncodeServerStats(s.Stats())
+	case wire.TReplStatus:
+		st := wire.ReplStatus{Role: "none"}
+		if s.cfg.ReplStatus != nil {
+			st = s.cfg.ReplStatus()
+		}
+		return wire.TReplStatusOK, wire.EncodeReplStatus(st)
 	default:
 		return wire.TError, wire.EncodeError(wire.CodeProtocol, fmt.Sprintf("unexpected frame %v", t))
 	}

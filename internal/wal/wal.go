@@ -98,8 +98,9 @@ type Log struct {
 	qmu   sync.Mutex // guards the queue
 	queue []*pendingCommit
 
-	flushMu sync.Mutex // held by the group leader during write+sync
-	seq     uint64     // group sequence number; guarded by flushMu
+	flushMu  sync.Mutex              // held by the group leader during write+sync
+	seq      uint64                  // group sequence number; guarded by flushMu
+	onCommit func([]pager.PageImage) // replication hook; guarded by flushMu
 
 	commits  atomic.Uint64
 	pages    atomic.Uint64
@@ -339,6 +340,26 @@ func (l *Log) flush(batch []*pendingCommit) {
 	for _, pc := range batch {
 		pc.done = true
 	}
+	if l.onCommit != nil {
+		images := make([]pager.PageImage, len(order))
+		for i, id := range order {
+			images[i] = pager.PageImage{ID: id, Data: last[id]}
+		}
+		l.onCommit(images)
+	}
+}
+
+// SetOnCommit installs a hook invoked after every commit group becomes
+// durable, with the group's deduplicated page images in first-touched
+// order. Hooks run under the flush lock, so they observe groups in commit
+// order; they must be fast (they extend the commit path) and must copy
+// the image bytes before returning — the Data slices alias the
+// committers' snapshot buffers. The replication publisher is the only
+// intended client.
+func (l *Log) SetOnCommit(fn func([]pager.PageImage)) {
+	l.flushMu.Lock()
+	l.onCommit = fn
+	l.flushMu.Unlock()
 }
 
 // Truncate discards the log contents; call only after a checkpoint has made

@@ -29,6 +29,17 @@ func FuzzDecodeFrame(f *testing.F) {
 		&exec.Group{Label: "result", Children: []*exec.Group{{Label: "s", Values: []value.Value{value.NewString("x")}, Indexes: []int{0}}}},
 		exec.Stats{Instances: 4, Rows: 2})
 	f.Add(frame(TResult, EncodeResult(res)))
+	f.Add(frame(TReplHello, EncodeReplHello(ReplHello{Epoch: 7, Pos: 42})))
+	f.Add(frame(TReplAck, EncodeReplAck(42)))
+	f.Add(frame(TReplSnapshot, EncodeReplSnapshot(ReplSnapshot{Epoch: 7, Pos: 3, Gen: 1, Total: 12, Offset: 4, Chunk: []byte("chunkdata")})))
+	f.Add(frame(TReplFrames, EncodeReplFrames(ReplFrames{Epoch: 7, Pos: 9, Latest: 11, Gen: 1,
+		Pages: []ReplPage{{ID: 3, Data: []byte("page image bytes")}}})))
+	f.Add(frame(TReplStatusOK, EncodeReplStatus(ReplStatus{Role: "primary", Epoch: 7, Latest: 11,
+		Replicas: []ReplicaInfo{{Addr: "10.0.0.2:1988", State: "streaming", Pos: 9, Latest: 11, AgeMs: 40}}})))
+	// Hostile repl shapes: truncated payloads and absurd declared lengths.
+	f.Add(frame(TReplFrames, EncodeReplFrames(ReplFrames{Epoch: 7, Pos: 9, Pages: []ReplPage{{ID: 1, Data: []byte("abc")}}})[:9]))
+	f.Add(frame(TReplSnapshot, []byte{0x07, 0x03, 0x01, 0xFF, 0xFF, 0xFF, 0xFF, 0x0F, 0x00, 0x03, 'a', 'b'}))
+	f.Add(frame(TReplStatusOK, []byte{0x80, 0x80, 0x80, 0x80, 0x80, 0x20}))
 	f.Add([]byte{})                             // nothing
 	f.Add([]byte{0, 0, 0, 0, 0})                // zero-length frame
 	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0x20}) // absurd length
@@ -62,6 +73,29 @@ func FuzzDecodeFrame(f *testing.F) {
 			DecodeCount(payload)
 		case TStatsOK:
 			DecodeServerStats(payload)
+		case TReplHello:
+			DecodeReplHello(payload)
+		case TReplAck:
+			DecodeReplAck(payload)
+		case TReplSnapshot:
+			if s, err := DecodeReplSnapshot(payload); err == nil {
+				if _, err := DecodeReplSnapshot(EncodeReplSnapshot(s)); err != nil {
+					t.Fatalf("re-encode of decoded snapshot failed: %v", err)
+				}
+			}
+		case TReplFrames:
+			if fr, err := DecodeReplFrames(payload); err == nil {
+				if _, err := DecodeReplFrames(EncodeReplFrames(fr)); err != nil {
+					t.Fatalf("re-encode of decoded frames failed: %v", err)
+				}
+			}
+		case TReplStatusOK:
+			if st, err := DecodeReplStatus(payload); err == nil {
+				_ = st.String()
+				if _, err := DecodeReplStatus(EncodeReplStatus(st)); err != nil {
+					t.Fatalf("re-encode of decoded status failed: %v", err)
+				}
+			}
 		}
 	})
 }

@@ -52,6 +52,23 @@ func main() {
 		"stats":          frame(wire.TStatsOK, wire.EncodeServerStats(wire.ServerStats{Connections: 8, Active: 2, Requests: 640, BytesIn: 1 << 20, BytesOut: 9, Errors: 1})),
 		"truncated":      frame(wire.TResult, wire.EncodeResult(res))[:20],
 		"hostile-length": {0xFF, 0xFF, 0xFF, 0xFE, byte(wire.TResult), 1, 2, 3},
+		"repl-hello":     frame(wire.TReplHello, wire.EncodeReplHello(wire.ReplHello{Epoch: 1<<63 | 9, Pos: 1 << 33})),
+		"repl-ack":       frame(wire.TReplAck, wire.EncodeReplAck(1<<40)),
+		"repl-snapshot": frame(wire.TReplSnapshot, wire.EncodeReplSnapshot(wire.ReplSnapshot{
+			Epoch: 9, Pos: 17, Gen: 2, Total: 1 << 16, Offset: 4096, Chunk: bytes.Repeat([]byte{0xA5}, 512)})),
+		"repl-frames": frame(wire.TReplFrames, wire.EncodeReplFrames(wire.ReplFrames{
+			Epoch: 9, Pos: 18, Latest: 20, Gen: 2,
+			Pages: []wire.ReplPage{{ID: 0, Data: bytes.Repeat([]byte{0x5A}, 128)}, {ID: 31, Data: []byte("tail page")}}})),
+		"repl-heartbeat": frame(wire.TReplFrames, wire.EncodeReplFrames(wire.ReplFrames{Epoch: 9, Latest: 20})),
+		"repl-status": frame(wire.TReplStatusOK, wire.EncodeReplStatus(wire.ReplStatus{
+			Role: "primary", Epoch: 9, Latest: 20,
+			Replicas: []wire.ReplicaInfo{{Addr: "198.51.100.7:1988", State: "snapshot", Pos: 0, Latest: 20, AgeMs: 3}}})),
+		// Hostile variants: a frames payload cut mid-page, and a snapshot
+		// whose declared total dwarfs the bytes actually present.
+		"repl-frames-truncated": frame(wire.TReplFrames, wire.EncodeReplFrames(wire.ReplFrames{
+			Epoch: 9, Pos: 19, Pages: []wire.ReplPage{{ID: 1, Data: bytes.Repeat([]byte{0xEE}, 64)}}})[:12]),
+		"repl-snapshot-hostile-total": frame(wire.TReplSnapshot, []byte{
+			0x09, 0x11, 0x02, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x03, 0x00, 0x04, 'd', 'a', 't', 'a'}),
 	}
 	for name, data := range seeds {
 		body := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", data)

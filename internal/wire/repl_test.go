@@ -1,0 +1,136 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestReplHelloRoundTrip(t *testing.T) {
+	for _, h := range []ReplHello{{}, {Epoch: 1, Pos: 0}, {Epoch: 1<<63 | 5, Pos: 1 << 40}} {
+		got, err := DecodeReplHello(EncodeReplHello(h))
+		if err != nil {
+			t.Fatalf("decode %+v: %v", h, err)
+		}
+		if got != h {
+			t.Fatalf("round trip %+v -> %+v", h, got)
+		}
+	}
+	if _, err := DecodeReplHello(nil); err == nil {
+		t.Fatal("empty hello decoded")
+	}
+	if _, err := DecodeReplHello(append(EncodeReplHello(ReplHello{Epoch: 1}), 0)); err == nil {
+		t.Fatal("trailing bytes accepted")
+	}
+}
+
+func TestReplAckRoundTrip(t *testing.T) {
+	for _, pos := range []uint64{0, 1, 1 << 50} {
+		got, err := DecodeReplAck(EncodeReplAck(pos))
+		if err != nil || got != pos {
+			t.Fatalf("round trip %d -> %d, %v", pos, got, err)
+		}
+	}
+	if _, err := DecodeReplAck(nil); err == nil {
+		t.Fatal("empty ack decoded")
+	}
+	if _, err := DecodeReplAck([]byte{0x80}); err == nil {
+		t.Fatal("truncated uvarint accepted")
+	}
+}
+
+func TestReplSnapshotRoundTrip(t *testing.T) {
+	s := ReplSnapshot{Epoch: 7, Pos: 42, Gen: 3, Total: 10, Offset: 4, Chunk: []byte("abcdef")}
+	got, err := DecodeReplSnapshot(EncodeReplSnapshot(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Epoch != s.Epoch || got.Pos != s.Pos || got.Gen != s.Gen ||
+		got.Total != s.Total || got.Offset != s.Offset || !bytes.Equal(got.Chunk, s.Chunk) {
+		t.Fatalf("round trip %+v -> %+v", s, got)
+	}
+	// A chunk that overruns its declared total must be rejected.
+	bad := EncodeReplSnapshot(ReplSnapshot{Total: 2, Offset: 0, Chunk: []byte("abc")})
+	if _, err := DecodeReplSnapshot(bad); err == nil {
+		t.Fatal("overrunning chunk accepted")
+	}
+	bad = EncodeReplSnapshot(ReplSnapshot{Total: 2, Offset: 3})
+	if _, err := DecodeReplSnapshot(bad); err == nil {
+		t.Fatal("offset past total accepted")
+	}
+}
+
+func TestReplFramesRoundTrip(t *testing.T) {
+	f := ReplFrames{
+		Epoch:  9,
+		Pos:    100,
+		Latest: 104,
+		Gen:    2,
+		Pages: []ReplPage{
+			{ID: 0, Data: []byte("meta")},
+			{ID: 7, Data: bytes.Repeat([]byte{0xAB}, 4096)},
+		},
+	}
+	got, err := DecodeReplFrames(EncodeReplFrames(f))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Epoch != f.Epoch || got.Pos != f.Pos || got.Latest != f.Latest || got.Gen != f.Gen {
+		t.Fatalf("header round trip %+v -> %+v", f, got)
+	}
+	if len(got.Pages) != len(f.Pages) {
+		t.Fatalf("pages: got %d, want %d", len(got.Pages), len(f.Pages))
+	}
+	for i := range f.Pages {
+		if got.Pages[i].ID != f.Pages[i].ID || !bytes.Equal(got.Pages[i].Data, f.Pages[i].Data) {
+			t.Fatalf("page %d mismatch", i)
+		}
+	}
+
+	// Heartbeat: empty page list survives the trip.
+	hb := ReplFrames{Epoch: 9, Latest: 104}
+	got, err = DecodeReplFrames(EncodeReplFrames(hb))
+	if err != nil || got.Pos != 0 || len(got.Pages) != 0 || got.Latest != 104 {
+		t.Fatalf("heartbeat round trip: %+v, %v", got, err)
+	}
+
+	// Truncated page payloads must be rejected, not sliced past the end.
+	enc := EncodeReplFrames(f)
+	for _, cut := range []int{1, len(enc) / 2, len(enc) - 1} {
+		if _, err := DecodeReplFrames(enc[:cut]); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func TestReplStatusRoundTrip(t *testing.T) {
+	s := ReplStatus{
+		Role:   "primary",
+		Epoch:  11,
+		Latest: 500,
+		Replicas: []ReplicaInfo{
+			{Addr: "10.0.0.2:1988", State: "streaming", Pos: 498, Latest: 500, AgeMs: 12},
+			{Addr: "10.0.0.3:1988", State: "snapshot", Pos: 0, Latest: 500, AgeMs: 7},
+		},
+	}
+	got, err := DecodeReplStatus(EncodeReplStatus(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Role != s.Role || got.Epoch != s.Epoch || got.Latest != s.Latest || len(got.Replicas) != 2 {
+		t.Fatalf("round trip %+v -> %+v", s, got)
+	}
+	for i := range s.Replicas {
+		if got.Replicas[i] != s.Replicas[i] {
+			t.Fatalf("replica %d: %+v != %+v", i, got.Replicas[i], s.Replicas[i])
+		}
+	}
+	if lag := s.Replicas[0].Lag(); lag != 2 {
+		t.Fatalf("lag = %d, want 2", lag)
+	}
+	enc := EncodeReplStatus(s)
+	for _, cut := range []int{0, 1, len(enc) / 2, len(enc) - 1} {
+		if _, err := DecodeReplStatus(enc[:cut]); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+}

@@ -41,25 +41,31 @@ type Type byte
 
 // Frame types.
 const (
-	THello       Type = 0x01 // both directions: magic + version
-	TQuery       Type = 0x10 // payload: DML text of one Retrieve
-	TExec        Type = 0x11 // payload: DML text of one update statement
-	TExplain     Type = 0x12 // payload: DML text of one Retrieve
-	TCheckpoint  Type = 0x13 // no payload
-	TStats       Type = 0x14 // no payload
-	TPing        Type = 0x15 // no payload
-	TQueryTrace  Type = 0x16 // payload: DML text; answered with TResultTrace
-	TBegin       Type = 0x17 // no payload: open this connection's transaction
-	TCommit      Type = 0x18 // no payload: commit this connection's transaction
-	TRollback    Type = 0x19 // no payload: roll back this connection's transaction
-	TResult      Type = 0x20 // payload: result set (EncodeResult)
-	TExecOK      Type = 0x21 // payload: uvarint affected-entity count
-	TExplainOK   Type = 0x22 // payload: strategy text
-	TOK          Type = 0x23 // no payload (Checkpoint ack)
-	TStatsOK     Type = 0x24 // payload: ServerStats
-	TPong        Type = 0x25 // no payload
-	TResultTrace Type = 0x26 // payload: result set + TraceInfo
-	TError       Type = 0x2F // payload: uvarint code + message text
+	THello        Type = 0x01 // both directions: magic + version
+	TQuery        Type = 0x10 // payload: DML text of one Retrieve
+	TExec         Type = 0x11 // payload: DML text of one update statement
+	TExplain      Type = 0x12 // payload: DML text of one Retrieve
+	TCheckpoint   Type = 0x13 // no payload
+	TStats        Type = 0x14 // no payload
+	TPing         Type = 0x15 // no payload
+	TQueryTrace   Type = 0x16 // payload: DML text; answered with TResultTrace
+	TBegin        Type = 0x17 // no payload: open this connection's transaction
+	TCommit       Type = 0x18 // no payload: commit this connection's transaction
+	TRollback     Type = 0x19 // no payload: roll back this connection's transaction
+	TReplHello    Type = 0x1A // follower → primary: subscribe (epoch + applied position)
+	TReplStatus   Type = 0x1B // no payload: replication status request
+	TReplAck      Type = 0x1C // follower → primary: applied position
+	TResult       Type = 0x20 // payload: result set (EncodeResult)
+	TExecOK       Type = 0x21 // payload: uvarint affected-entity count
+	TExplainOK    Type = 0x22 // payload: strategy text
+	TOK           Type = 0x23 // no payload (Checkpoint ack)
+	TStatsOK      Type = 0x24 // payload: ServerStats
+	TPong         Type = 0x25 // no payload
+	TResultTrace  Type = 0x26 // payload: result set + TraceInfo
+	TReplSnapshot Type = 0x27 // primary → follower: one chunk of a base image
+	TReplFrames   Type = 0x28 // primary → follower: one committed page group (or heartbeat)
+	TReplStatusOK Type = 0x29 // payload: ReplStatus
+	TError        Type = 0x2F // payload: uvarint code + message text
 )
 
 var typeNames = map[Type]string{
@@ -67,9 +73,11 @@ var typeNames = map[Type]string{
 	TCheckpoint: "Checkpoint", TStats: "Stats", TPing: "Ping",
 	TQueryTrace: "QueryTrace",
 	TBegin:      "Begin", TCommit: "Commit", TRollback: "Rollback",
-	TResult:     "Result", TExecOK: "ExecOK", TExplainOK: "ExplainOK",
+	TReplHello: "ReplHello", TReplStatus: "ReplStatus", TReplAck: "ReplAck",
+	TResult: "Result", TExecOK: "ExecOK", TExplainOK: "ExplainOK",
 	TOK: "OK", TStatsOK: "StatsOK", TPong: "Pong",
-	TResultTrace: "ResultTrace", TError: "Error",
+	TResultTrace: "ResultTrace", TReplSnapshot: "ReplSnapshot",
+	TReplFrames: "ReplFrames", TReplStatusOK: "ReplStatusOK", TError: "Error",
 }
 
 func (t Type) String() string {
@@ -84,21 +92,22 @@ type Code uint32
 
 // Error codes.
 const (
-	CodeUnknown  Code = iota
-	CodeParse         // the statement text failed to parse
-	CodeSemantic      // bind/plan error (unknown class, attribute, type mix)
-	CodeExec          // runtime failure (integrity violation, I/O, ...)
-	CodeProtocol      // malformed frame, bad handshake, unknown type
-	CodeTimeout       // the per-request deadline expired
-	CodeBusy          // connection limit reached
-	CodeShutdown      // server is draining
-	CodeInternal      // server-side panic or invariant failure
-	CodeOverloaded    // request queue full: fast-fail instead of queueing
-	CodeConflict      // write-write conflict with another open transaction
-	CodeTxState       // transaction-control request in the wrong state
+	CodeUnknown    Code = iota
+	CodeParse           // the statement text failed to parse
+	CodeSemantic        // bind/plan error (unknown class, attribute, type mix)
+	CodeExec            // runtime failure (integrity violation, I/O, ...)
+	CodeProtocol        // malformed frame, bad handshake, unknown type
+	CodeTimeout         // the per-request deadline expired
+	CodeBusy            // connection limit reached
+	CodeShutdown        // server is draining
+	CodeInternal        // server-side panic or invariant failure
+	CodeOverloaded      // request queue full: fast-fail instead of queueing
+	CodeConflict        // write-write conflict with another open transaction
+	CodeTxState         // transaction-control request in the wrong state
+	CodeReadOnly        // write sent to a read-only replica
 )
 
-var codeNames = [...]string{"unknown", "parse", "semantic", "exec", "protocol", "timeout", "busy", "shutdown", "internal", "overloaded", "conflict", "txstate"}
+var codeNames = [...]string{"unknown", "parse", "semantic", "exec", "protocol", "timeout", "busy", "shutdown", "internal", "overloaded", "conflict", "txstate", "readonly"}
 
 func (c Code) String() string {
 	if int(c) < len(codeNames) {

@@ -166,6 +166,8 @@ type Database struct {
 	exe    *exec.Executor
 	plans  *planCache
 
+	schemaHook func(gen uint64) // replication: notified after DefineSchema commits
+
 	reg       *obs.Registry  // unified metric registry (see Metrics)
 	slow      *obs.SlowLog   // queries over Config.SlowQuery
 	queryHist *obs.Histogram // sim_query_seconds
@@ -346,6 +348,11 @@ func (db *Database) DefineSchema(ddl string) error {
 		// against classes that vanish on reopen.
 		db.revertSchema(prev.cat, prev.m, prev.e, batches)
 		return err
+	}
+	if db.schemaHook != nil {
+		// The batch's page images are already published (the commit hook ran
+		// inside tx.Commit), so followers see the marker after the pages.
+		db.schemaHook(uint64(len(db.ddl)))
 	}
 	return nil
 }
