@@ -333,6 +333,15 @@ func (c *Conn) attempt(ctx context.Context, t wire.Type, payload []byte) (rt wir
 	return rt, resp, false, nil
 }
 
+// req wraps a statement body with a freshly minted request ID — the
+// trace ID that names this request in the server's slow-query ring, the
+// flight recorder (primary and followers) and EXPLAIN ANALYZE output.
+// Transparent retries reuse the payload, so a retried request keeps the
+// ID of the logical request it re-sends.
+func req(body []byte) []byte {
+	return wire.EncodeRequest(obs.NewRequestID(), body)
+}
+
 // call runs a request expecting response type want; a TError response
 // decodes into *wire.Error.
 func (c *Conn) call(ctx context.Context, t wire.Type, payload []byte, want wire.Type, idempotent bool) ([]byte, error) {
@@ -362,7 +371,7 @@ func (c *Conn) Query(dml string) (*sim.Result, error) {
 // QueryCtx is Query under a context; the deadline also bounds server-side
 // execution when the server is configured with request timeouts.
 func (c *Conn) QueryCtx(ctx context.Context, dml string) (*sim.Result, error) {
-	resp, err := c.call(ctx, wire.TQuery, []byte(dml), wire.TResult, true)
+	resp, err := c.call(ctx, wire.TQuery, req([]byte(dml)), wire.TResult, true)
 	if err != nil {
 		return nil, err
 	}
@@ -378,7 +387,7 @@ func (c *Conn) QueryTrace(dml string) (*sim.Result, wire.TraceInfo, error) {
 
 // QueryTraceCtx is QueryTrace under a context.
 func (c *Conn) QueryTraceCtx(ctx context.Context, dml string) (*sim.Result, wire.TraceInfo, error) {
-	resp, err := c.call(ctx, wire.TQueryTrace, []byte(dml), wire.TResultTrace, true)
+	resp, err := c.call(ctx, wire.TQueryTrace, req([]byte(dml)), wire.TResultTrace, true)
 	if err != nil {
 		return nil, wire.TraceInfo{}, err
 	}
@@ -410,7 +419,7 @@ func (c *Conn) Exec(dml string) (int, error) {
 // NOT retried (the update may have applied); only requests that never
 // left this process are.
 func (c *Conn) ExecCtx(ctx context.Context, dml string) (int, error) {
-	resp, err := c.call(ctx, wire.TExec, []byte(dml), wire.TExecOK, false)
+	resp, err := c.call(ctx, wire.TExec, req([]byte(dml)), wire.TExecOK, false)
 	if err != nil {
 		return 0, err
 	}
@@ -459,4 +468,16 @@ func (c *Conn) ServerStats(ctx context.Context) (wire.ServerStats, error) {
 		return wire.ServerStats{}, err
 	}
 	return wire.DecodeServerStats(resp)
+}
+
+// Introspect returns a rendered server-side introspection report:
+// wire.IntrospectFlight dumps the flight recorder (the ring of recent
+// structured events — commits, flushes, conflicts, replication traffic),
+// wire.IntrospectHot the latch contention profile.
+func (c *Conn) Introspect(ctx context.Context, kind byte) (string, error) {
+	resp, err := c.call(ctx, wire.TIntrospect, []byte{kind}, wire.TIntrospectOK, true)
+	if err != nil {
+		return "", err
+	}
+	return string(resp), nil
 }

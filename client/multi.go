@@ -124,6 +124,48 @@ func (m *Multi) QueryCtx(ctx context.Context, dml string) (*sim.Result, error) {
 	return r, nil
 }
 
+// QueryTrace executes one Retrieve with a server-side span breakdown on
+// a replica (or the primary as a last resort).
+func (m *Multi) QueryTrace(dml string) (*sim.Result, wire.TraceInfo, error) {
+	return m.QueryTraceCtx(context.Background(), dml)
+}
+
+// QueryTraceCtx is QueryTrace under a context.
+func (m *Multi) QueryTraceCtx(ctx context.Context, dml string) (*sim.Result, wire.TraceInfo, error) {
+	var r *sim.Result
+	var ti wire.TraceInfo
+	err := m.read(ctx, func(c *Conn) error {
+		var e error
+		r, ti, e = c.QueryTraceCtx(ctx, dml)
+		return e
+	})
+	if err != nil {
+		return nil, wire.TraceInfo{}, err
+	}
+	return r, ti, nil
+}
+
+// ExplainAnalyze executes the statement on a replica (or the primary as
+// a last resort) and returns the annotated query tree with measured rows
+// and timings.
+func (m *Multi) ExplainAnalyze(dml string) (string, error) {
+	return m.ExplainAnalyzeCtx(context.Background(), dml)
+}
+
+// ExplainAnalyzeCtx is ExplainAnalyze under a context.
+func (m *Multi) ExplainAnalyzeCtx(ctx context.Context, dml string) (string, error) {
+	_, ti, err := m.QueryTraceCtx(ctx, dml)
+	if err != nil {
+		return "", err
+	}
+	return ti.Rendered, nil
+}
+
+// Explain returns a replica optimizer's strategy for a Retrieve.
+func (m *Multi) Explain(dml string) (string, error) {
+	return m.ExplainCtx(context.Background(), dml)
+}
+
 // ExplainCtx returns a replica optimizer's strategy for a Retrieve.
 func (m *Multi) ExplainCtx(ctx context.Context, dml string) (string, error) {
 	var text string

@@ -1,0 +1,89 @@
+package client_test
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"testing"
+
+	"sim/client"
+	"sim/internal/server"
+	"sim/internal/wire"
+)
+
+// TestTraceCommitOverWire commits through the TTraceCommit frame and
+// checks the span breakdown the server ships back.
+func TestTraceCommitOverWire(t *testing.T) {
+	_, addr := startServer(t, server.Config{})
+	c, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ctx := context.Background()
+	tx, err := c.Begin(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx.Exec(ctx, `Insert student (name := "Traced, One", soc-sec-no := 100000777).`); err != nil {
+		t.Fatal(err)
+	}
+	ci, err := tx.TraceCommit(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ci.ID == 0 {
+		t.Fatal("TraceCommit returned a zero request ID")
+	}
+	if ci.Pages == 0 || ci.TotalNS == 0 {
+		t.Fatalf("commit spans not filled: %+v", ci)
+	}
+	if !strings.Contains(ci.Rendered, fmt.Sprintf("%016x", ci.ID)) {
+		t.Fatalf("rendered commit trace does not name the request:\n%s", ci.Rendered)
+	}
+	// The transaction is finished: reuse fails fast client-side.
+	if _, err := tx.TraceCommit(ctx); err != client.ErrTxFinished {
+		t.Fatalf("second TraceCommit: %v, want ErrTxFinished", err)
+	}
+	// And the insert is visible.
+	r, err := c.Query(`From student Retrieve name Where soc-sec-no = 100000777.`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.NumRows() != 1 {
+		t.Fatalf("traced commit not visible: %d rows", r.NumRows())
+	}
+}
+
+// TestIntrospectOverWire pulls the flight-recorder dump and the latch
+// contention profile through the TIntrospect frame.
+func TestIntrospectOverWire(t *testing.T) {
+	_, addr := startServer(t, server.Config{})
+	c, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ctx := context.Background()
+	if _, err := c.Exec(`Insert student (name := "Flight, One", soc-sec-no := 100000778).`); err != nil {
+		t.Fatal(err)
+	}
+	dump, err := c.Introspect(ctx, wire.IntrospectFlight)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(dump, "flight recorder") || !strings.Contains(dump, "commit") {
+		t.Fatalf("flight dump missing commit events:\n%s", dump)
+	}
+	hot, err := c.Introspect(ctx, wire.IntrospectHot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(hot, "latch") || !strings.Contains(hot, "pool_shard") {
+		t.Fatalf("hot view missing latch profiles:\n%s", hot)
+	}
+	// Unknown kinds are protocol errors, not hangs.
+	if _, err := c.Introspect(ctx, 99); err == nil {
+		t.Fatal("unknown introspection kind succeeded")
+	}
+}

@@ -43,7 +43,7 @@ type Tx struct {
 // idempotent); once Begin returns, the transaction is pinned to the
 // connection that carried it.
 func (c *Conn) Begin(ctx context.Context) (*Tx, error) {
-	if _, err := c.call(ctx, wire.TBegin, nil, wire.TOK, true); err != nil {
+	if _, err := c.call(ctx, wire.TBegin, req(nil), wire.TOK, true); err != nil {
 		return nil, err
 	}
 	return &Tx{c: c, gen: c.currentGen()}, nil
@@ -51,7 +51,7 @@ func (c *Conn) Begin(ctx context.Context) (*Tx, error) {
 
 // Query executes one Retrieve statement inside the transaction.
 func (tx *Tx) Query(ctx context.Context, dml string) (*sim.Result, error) {
-	resp, err := tx.op(ctx, wire.TQuery, []byte(dml), wire.TResult)
+	resp, err := tx.op(ctx, wire.TQuery, req([]byte(dml)), wire.TResult)
 	if err != nil {
 		return nil, err
 	}
@@ -62,7 +62,7 @@ func (tx *Tx) Query(ctx context.Context, dml string) (*sim.Result, error) {
 // the affected-entity count. A server-side statement failure aborts the
 // transaction (see sim.Tx); a conflict (wire.CodeConflict) does not.
 func (tx *Tx) Exec(ctx context.Context, dml string) (int, error) {
-	resp, err := tx.op(ctx, wire.TExec, []byte(dml), wire.TExecOK)
+	resp, err := tx.op(ctx, wire.TExec, req([]byte(dml)), wire.TExecOK)
 	if err != nil {
 		return 0, err
 	}
@@ -78,8 +78,26 @@ func (tx *Tx) Commit(ctx context.Context) error {
 		return ErrTxFinished
 	}
 	tx.done = true
-	_, err := tx.c.txCall(ctx, tx.gen, wire.TCommit, nil, wire.TOK)
+	_, err := tx.c.txCall(ctx, tx.gen, wire.TCommit, req(nil), wire.TOK)
 	return err
+}
+
+// TraceCommit is Commit with a server-side span breakdown: it returns
+// where the commit spent its time (latch waits, the wait for the
+// group-commit leader, the shared fsync) plus the commit group's size and
+// replication position. The request ID in the returned CommitInfo names
+// this commit in the flight recorder of the primary and of every follower
+// that applied the group.
+func (tx *Tx) TraceCommit(ctx context.Context) (wire.CommitInfo, error) {
+	if tx.done {
+		return wire.CommitInfo{}, ErrTxFinished
+	}
+	tx.done = true
+	resp, err := tx.c.txCall(ctx, tx.gen, wire.TTraceCommit, req(nil), wire.TCommitTraced)
+	if err != nil {
+		return wire.CommitInfo{}, err
+	}
+	return wire.DecodeCommitInfo(resp)
 }
 
 // Rollback discards the transaction. A lost connection still reports
@@ -90,7 +108,7 @@ func (tx *Tx) Rollback(ctx context.Context) error {
 		return nil
 	}
 	tx.done = true
-	_, err := tx.c.txCall(ctx, tx.gen, wire.TRollback, nil, wire.TOK)
+	_, err := tx.c.txCall(ctx, tx.gen, wire.TRollback, req(nil), wire.TOK)
 	return err
 }
 

@@ -6,12 +6,13 @@
 //	simbench [-run id[,id...]] [-scale n] [-reps n] [-parallel n] [-net] [-check-allocs]
 //
 // Experiment ids: fig2, adds, dml, t1..t10, t12 (alias: txn), t13
-// (alias: vm), obs, fault, repl (alias: t14), all (default). The t9 run
+// (alias: vm), obs, obs2, fault, repl (alias: t14), all (default). The t9 run
 // writes its table to BENCH_parallel.json, the t10 run (network mode,
 // also selectable as -net) writes BENCH_net.json, the t12/txn run (group
 // commit) writes BENCH_txn.json, the t13/vm run (compiled evaluator)
 // writes BENCH_vm.json, the obs run (tracing overhead) writes
-// BENCH_obs.json, the fault run (checksum/recovery/retry overhead)
+// BENCH_obs.json, the obs2 run (always-on flight recorder overhead)
+// writes BENCH_obs2.json, the fault run (checksum/recovery/retry overhead)
 // writes BENCH_fault.json, and the repl/t14 run (read replicas, sized by
 // -followers) writes BENCH_repl.json for machine consumption. Every artifact records
 // allocs/op and bytes/op for its hot operations; -check-allocs compares
@@ -31,7 +32,7 @@ import (
 )
 
 func main() {
-	run := flag.String("run", "all", "comma-separated experiment ids (fig2,adds,dml,t1..t10,t12/txn,t13/vm,obs,fault,repl/t14)")
+	run := flag.String("run", "all", "comma-separated experiment ids (fig2,adds,dml,t1..t10,t12/txn,t13/vm,obs,obs2,fault,repl/t14)")
 	scale := flag.Int("scale", 1, "workload scale factor")
 	reps := flag.Int("reps", 5, "repetitions per measurement")
 	parallel := flag.Int("parallel", 8, "maximum concurrent clients for t9/t10")
@@ -93,6 +94,7 @@ func main() {
 		{"t12", func() (*bench.Table, error) { return bench.T12(*reps, *writers) }},
 		{"t13", func() (*bench.Table, error) { return bench.T13(w, *reps) }},
 		{"obs", func() (*bench.Table, error) { return bench.Obs(w, *reps) }},
+		{"obs2", func() (*bench.Table, error) { return bench.Obs2(w, *reps) }},
 		{"fault", func() (*bench.Table, error) { return bench.Fault(*reps) }},
 		{"repl", func() (*bench.Table, error) { return bench.Repl(w, *reps, *followers) }},
 	}
@@ -102,6 +104,7 @@ func main() {
 		"t12":   "BENCH_txn.json",
 		"t13":   "BENCH_vm.json",
 		"obs":   "BENCH_obs.json",
+		"obs2":  "BENCH_obs2.json",
 		"fault": "BENCH_fault.json",
 		"repl":  "BENCH_repl.json",
 	}

@@ -3,12 +3,15 @@
 //
 // Usage:
 //
-//	simdb [-db file] [-schema ddl-file] [-connect host:port] [-e script]
+//	simdb [-db file] [-schema ddl-file] [-connect host:port[,host:port...]] [-e script]
 //
 // With -connect the shell becomes a remote front end to a simserve
 // process — the paper's Figure 1 boundary between interface products and
 // the shared SIM kernel — and the -db/-schema flags do not apply (the
-// server owns the database and its schema).
+// server owns the database and its schema). A comma-separated -connect
+// treats the first address as the primary and the rest as read replicas:
+// reads (including \explain and \analyze) are sprayed across the
+// replicas, writes and transactions go to the primary.
 //
 // Without -e it reads statements from standard input; a statement ends
 // with '.' or ';' at the end of a line. With -e it runs the given script
@@ -24,6 +27,8 @@
 //	\verify           audit storage: page checksums + full structure scan (local only)
 //	\stats            print server counters (remote) or engine stats (local)
 //	\replicas         print replication role, positions and per-follower lag (remote)
+//	\flight           dump the flight recorder (recent structured engine events)
+//	\hot              show the latch contention profile (waits and conflicts)
 //	\quit             exit
 //
 // \analyze and \timing work both locally and over -connect; remotely the
@@ -43,6 +48,7 @@ import (
 	"sim/internal/ast"
 	"sim/internal/catalog"
 	"sim/internal/parser"
+	"sim/internal/wire"
 )
 
 // session is the slice of the database API the shell needs; *sim.Database
@@ -94,6 +100,12 @@ func (sh *shell) begin(ctx context.Context) error {
 			return err
 		}
 		sh.tx = tx
+	case *client.Multi:
+		tx, err := v.Begin(ctx)
+		if err != nil {
+			return err
+		}
+		sh.tx = tx
 	default:
 		return fmt.Errorf("this session does not support transactions")
 	}
@@ -119,7 +131,7 @@ var timing bool
 func main() {
 	dbPath := flag.String("db", "", "database file (empty: in-memory)")
 	schemaFile := flag.String("schema", "", "DDL file to define at startup")
-	connect := flag.String("connect", "", "host:port of a simserve to use instead of a local database")
+	connect := flag.String("connect", "", "simserve address(es) to use instead of a local database; comma-separated = primary,replica,...")
 	stmt := flag.String("e", "", "execute a script of statements and exit")
 	flag.Parse()
 
@@ -128,12 +140,21 @@ func main() {
 		if *dbPath != "" || *schemaFile != "" {
 			fatal(fmt.Errorf("-connect is exclusive with -db/-schema (the server owns the database)"))
 		}
-		conn, err := client.Dial(*connect)
-		if err != nil {
-			fatal(err)
+		if addrs := strings.Split(*connect, ","); len(addrs) > 1 {
+			m, err := client.DialMulti(addrs)
+			if err != nil {
+				fatal(err)
+			}
+			defer m.Close()
+			sess = m
+		} else {
+			conn, err := client.Dial(*connect)
+			if err != nil {
+				fatal(err)
+			}
+			defer conn.Close()
+			sess = conn
 		}
-		defer conn.Close()
-		sess = conn
 	} else {
 		db, err := sim.Open(*dbPath, sim.Config{})
 		if err != nil {
@@ -276,13 +297,30 @@ func command(sh *shell, line string) bool {
 			break
 		}
 		rep, err := db.Scrub()
+		if err != nil || !rep.OK() {
+			// A failed audit is exactly when the recent-event context
+			// matters; dump the flight recorder alongside the report.
+			fmt.Fprint(os.Stderr, db.FlightRecorder().Dump())
+		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "error:", err)
 			break
 		}
 		fmt.Println(rep)
+	case `\flight`:
+		if local {
+			fmt.Print(db.FlightRecorder().Dump())
+			break
+		}
+		introspect(s, wire.IntrospectFlight)
+	case `\hot`:
+		if local {
+			fmt.Print(db.HotReport())
+			break
+		}
+		introspect(s, wire.IntrospectHot)
 	case `\stats`:
-		if conn, ok := s.(*client.Conn); ok {
+		if conn := remoteConn(s); conn != nil {
 			st, err := conn.ServerStats(context.Background())
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "error:", err)
@@ -297,7 +335,7 @@ func command(sh *shell, line string) bool {
 		fmt.Printf("luc-cache: hits=%d misses=%d  exec: queries=%d rows=%d instances=%d\n",
 			st.Cache.Hits, st.Cache.Misses, st.Exec.Queries, st.Exec.Rows, st.Exec.Instances)
 	case `\replicas`:
-		if conn, ok := s.(*client.Conn); ok {
+		if conn := remoteConn(s); conn != nil {
 			st, err := conn.ReplStatus(context.Background())
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "error:", err)
@@ -312,11 +350,39 @@ func command(sh *shell, line string) bool {
 DDL:  Type/Class/Subclass/Verify declarations (via -schema or pasted; local only)
 DML:  Retrieve / Insert / Modify / Delete
 TXN:  Begin [Transaction] / Commit / Rollback (prompt shows txn> while open)
-commands: \schema \classes \explain <q> \analyze <q> \timing [on|off] \check \verify \stats \replicas \quit`)
+commands: \schema \classes \explain <q> \analyze <q> \timing [on|off] \check \verify \stats \replicas \flight \hot \quit`)
 	default:
 		fmt.Fprintf(os.Stderr, "unknown command %s (try \\help)\n", cmd)
 	}
 	return true
+}
+
+// remoteConn returns the server connection behind a remote session — the
+// connection itself, or a Multi's primary — and nil for a local database.
+func remoteConn(s session) *client.Conn {
+	switch v := s.(type) {
+	case *client.Conn:
+		return v
+	case *client.Multi:
+		return v.Primary()
+	}
+	return nil
+}
+
+// introspect prints a server-rendered introspection report (\flight, \hot)
+// from the remote session's primary.
+func introspect(s session, kind byte) {
+	conn := remoteConn(s)
+	if conn == nil {
+		fmt.Fprintln(os.Stderr, "this session has no server to introspect")
+		return
+	}
+	out, err := conn.Introspect(context.Background(), kind)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		return
+	}
+	fmt.Print(out)
 }
 
 // isDDL reports whether an input chunk starts like schema definition
@@ -427,6 +493,12 @@ func timedQuery(s session, text string) (*sim.Result, string, error) {
 		return r, fmt.Sprintf("time: parse %v  plan %s  exec %v  total %v",
 			tr.Parse, plan, tr.Exec, tr.Total), nil
 	case *client.Conn:
+		r, ti, err := v.QueryTrace(text)
+		if err != nil {
+			return nil, "", err
+		}
+		return r, "server " + ti.String(), nil
+	case *client.Multi:
 		r, ti, err := v.QueryTrace(text)
 		if err != nil {
 			return nil, "", err

@@ -8,7 +8,7 @@
 //	         [-replica-of addr] [-max-conns n] [-workers n]
 //	         [-request-timeout d] [-read-timeout d] [-write-timeout d]
 //	         [-drain d] [-log-level info] [-metrics addr]
-//	         [-slow-query d] [-slow-request d]
+//	         [-slow-query d] [-slow-request d] [-ready-max-lag n]
 //
 // The database is opened (in-memory when -db is empty), the optional
 // schema is defined, and the server runs until SIGINT/SIGTERM, then
@@ -23,7 +23,11 @@
 //
 // With -metrics, a second HTTP listener serves the observability
 // surface: /metrics (Prometheus text exposition of every engine and
-// server metric), /debug/vars (expvar), and /debug/pprof.
+// server metric), /debug/vars (expvar), /debug/pprof, /debug/flight
+// (the flight recorder's recent-event dump), and the health endpoints
+// /healthz (process liveness) and /readyz (readiness to serve: a
+// replica is ready only once its snapshot is installed and its lag is
+// at most -ready-max-lag commit groups).
 package main
 
 import (
@@ -42,7 +46,6 @@ import (
 	"time"
 
 	"sim"
-	"sim/internal/obs"
 	"sim/internal/repl"
 	"sim/internal/server"
 	"sim/internal/university"
@@ -66,6 +69,7 @@ func main() {
 	metricsAddr := flag.String("metrics", "", "HTTP listen address for /metrics, /debug/vars and /debug/pprof (empty: disabled)")
 	slowQuery := flag.Duration("slow-query", 0, "retain queries slower than this in the slow-query log (0: disabled)")
 	slowRequest := flag.Duration("slow-request", 0, "log requests slower than this at warn level (0: disabled)")
+	readyMaxLag := flag.Uint64("ready-max-lag", 64, "replica readiness threshold: /readyz reports ready only when the replica is at most this many commit groups behind")
 	flag.Parse()
 
 	logger, err := newLogger(*logLevel)
@@ -122,9 +126,10 @@ func main() {
 		SlowRequest:    *slowRequest,
 		Registry:       db.Metrics(),
 	}
+	var follower *repl.Follower
 	switch {
 	case *replicaOf != "":
-		follower, err := repl.StartFollower(db, *dbPath+".repl", repl.FollowerConfig{
+		follower, err = repl.StartFollower(db, *dbPath+".repl", repl.FollowerConfig{
 			Primary: *replicaOf,
 			Logger:  logger,
 		})
@@ -150,7 +155,7 @@ func main() {
 
 	var metricsSrv *http.Server
 	if *metricsAddr != "" {
-		metricsSrv = &http.Server{Addr: *metricsAddr, Handler: metricsMux(db.Metrics())}
+		metricsSrv = &http.Server{Addr: *metricsAddr, Handler: metricsMux(db, follower, *readyMaxLag)}
 		go func() {
 			logger.Info("metrics endpoint listening", "addr", *metricsAddr)
 			if err := metricsSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
@@ -209,15 +214,38 @@ func fatal(logger *slog.Logger, msg string, err error, args ...any) {
 	os.Exit(1)
 }
 
-// metricsMux builds the observability HTTP surface over the database's
-// registry: Prometheus text on /metrics, the same snapshot through expvar
-// on /debug/vars, and the standard pprof handlers.
-func metricsMux(reg *obs.Registry) *http.ServeMux {
+// metricsMux builds the observability HTTP surface over the database:
+// Prometheus text on /metrics, the same snapshot through expvar on
+// /debug/vars, the standard pprof handlers, the flight recorder on
+// /debug/flight, and the health endpoints. /healthz answers 200 as long
+// as the process serves HTTP (liveness). /readyz gates traffic: a
+// primary or standalone server is ready as soon as it listens, a replica
+// (follower != nil) only after its base snapshot is installed and its
+// applied position is within readyMaxLag commit groups of the primary's
+// newest — pointing a load balancer at /readyz keeps cold or lagging
+// replicas out of the read pool.
+func metricsMux(db *sim.Database, follower *repl.Follower, readyMaxLag uint64) *http.ServeMux {
+	reg := db.Metrics()
 	expvar.Publish("sim", expvar.Func(func() any { return reg.Snapshot() }))
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+		if follower != nil && !follower.Ready(readyMaxLag) {
+			http.Error(w, "replica not ready: snapshot pending or lag over threshold",
+				http.StatusServiceUnavailable)
+			return
+		}
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/debug/flight", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprint(w, db.FlightRecorder().Dump())
 	})
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)

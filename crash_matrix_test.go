@@ -31,6 +31,29 @@ func openFaultDB(inj *fault.Injector, dbImg, walImg *pager.MemByteFile) (*Databa
 	return openStore(store, Config{})
 }
 
+// dumpFlightOnFailure logs the recovered database's flight recorder when
+// the test has failed and, if SIM_FLIGHT_DUMP names a file, appends the
+// dump there so CI can upload it as an artifact. Call via defer with a
+// pointer to the variable holding the most recently rebooted database.
+func dumpFlightOnFailure(t *testing.T, dbp **Database) {
+	if !t.Failed() || dbp == nil || *dbp == nil {
+		return
+	}
+	dump := (*dbp).FlightRecorder().Dump()
+	t.Logf("flight recorder at failure:\n%s", dump)
+	path := os.Getenv("SIM_FLIGHT_DUMP")
+	if path == "" {
+		return
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Logf("SIM_FLIGHT_DUMP: %v", err)
+		return
+	}
+	fmt.Fprintf(f, "=== %s ===\n%s\n", t.Name(), dump)
+	f.Close()
+}
+
 const crashMatrixSchema = `Class Item ( num: integer unique required; tag: string[16] );`
 
 // crashStep is one transaction of the crash-matrix workload plus a model
@@ -164,6 +187,8 @@ func TestCrashMatrix(t *testing.T) {
 	// record header, PageSize+1 = inside a page slot's data.
 	tornSizes := []int{0, 13, pager.PageSize + 1}
 
+	var cur *Database // most recently rebooted database, for the failure dump
+	defer dumpFlightOnFailure(t, &cur)
 	runs := 0
 	for c := uint64(1); c <= totalOps; c += stride {
 		for _, torn := range tornSizes {
@@ -186,6 +211,7 @@ func TestCrashMatrix(t *testing.T) {
 			if err != nil {
 				t.Fatalf("%s: reopen after crash: %v", name, err)
 			}
+			cur = db2
 			got := readItems(t, db2)
 			matched := -1
 			for _, k := range []int{succeeded, succeeded + 1} {
@@ -366,6 +392,8 @@ func TestCrashMatrixConcurrent(t *testing.T) {
 	if os.Getenv("SIM_CRASH_MATRIX") == "full" {
 		stride = 1
 	}
+	var cur *Database
+	defer dumpFlightOnFailure(t, &cur)
 	runs := 0
 	for c := uint64(2); c <= totalOps; c += stride {
 		for _, torn := range []int{0, 13} {
@@ -387,6 +415,7 @@ func TestCrashMatrixConcurrent(t *testing.T) {
 			if err != nil {
 				t.Fatalf("%s: reopen after crash: %v", name, err)
 			}
+			cur = db2
 			got := readItems(t, db2)
 			if got == nil {
 				if len(acked) != 0 {
@@ -484,6 +513,7 @@ func TestCorruptPageDetectedNotServed(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer dumpFlightOnFailure(t, &db3)
 	rep, err := db3.Scrub()
 	if err != nil {
 		t.Fatal(err)

@@ -7,6 +7,7 @@ import (
 
 	"sim/internal/btree"
 	"sim/internal/pager"
+	"sim/internal/wal"
 )
 
 // This file is the store half of the replication subsystem: the hooks a
@@ -18,9 +19,11 @@ import (
 // committed-prefix replay finishes or discards the interrupted group.
 
 // SetCommitHook installs fn on the store's WAL: it observes every commit
-// group's deduplicated page images, in commit order, after the group is
-// durable. Returns an error for in-memory stores (nothing to ship).
-func (s *Store) SetCommitHook(fn func([]pager.PageImage)) error {
+// group — deduplicated page images plus the request IDs that rode the
+// group — in commit order, after the group is durable, and returns the
+// replication position the group published at. Returns an error for
+// in-memory stores (nothing to ship).
+func (s *Store) SetCommitHook(fn func(wal.CommitGroup) uint64) error {
 	if s.log == nil {
 		return fmt.Errorf("dmsii: replication needs a durable store (no WAL)")
 	}

@@ -18,8 +18,10 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"sim/internal/btree"
 	"sim/internal/obs"
@@ -64,11 +66,17 @@ type Store struct {
 	closed    atomic.Bool
 	recovered wal.RecoverInfo // what recovery did when the store opened
 
-	writeSem  chan struct{} // capacity-1 store-wide write latch
-	writeHeld atomic.Bool   // the write latch is currently held
+	writeSem   chan struct{} // capacity-1 store-wide write latch
+	writeHeld  atomic.Bool   // the write latch is currently held
+	writeLatch *obs.Latch    // contention profile for the store write latch
 
-	latchMu sync.Mutex
-	latches map[string]*Txn // structure-name write latches, first writer wins
+	latchMu   sync.Mutex
+	latches   map[string]*Txn           // structure-name write latches, first writer wins
+	classConf map[string]*atomic.Uint64 // per-class conflict counters (latchMu)
+
+	reg         atomic.Pointer[obs.Registry]   // set by RegisterMetrics
+	flightTxn   atomic.Pointer[obs.FlightRing] // txn begin/commit/conflict events
+	flightStore atomic.Pointer[obs.FlightRing] // checkpoint/scrub incidents
 
 	pendMu   sync.Mutex
 	pendCond *sync.Cond
@@ -145,12 +153,14 @@ func open(file pager.File, log *wal.Log, opts Options) (*Store, error) {
 		return nil, err
 	}
 	s := &Store{
-		file:     file,
-		pool:     pool,
-		log:      log,
-		open:     make(map[string]*Structure),
-		writeSem: make(chan struct{}, 1),
-		latches:  make(map[string]*Txn),
+		file:       file,
+		pool:       pool,
+		log:        log,
+		open:       make(map[string]*Structure),
+		writeSem:   make(chan struct{}, 1),
+		writeLatch: obs.NewLatch("store_write"),
+		latches:    make(map[string]*Txn),
+		classConf:  make(map[string]*atomic.Uint64),
 	}
 	s.pendCond = sync.NewCond(&s.pendMu)
 	n, err := file.NumPages()
@@ -253,12 +263,16 @@ func (s *Store) Checkpoint() error {
 // checkpointLocked flushes the pool and truncates the WAL; the caller
 // holds the write latch with the commit pipeline drained.
 func (s *Store) checkpointLocked() error {
+	start := time.Now()
 	if err := s.pool.FlushAll(); err != nil {
 		return err
 	}
 	if s.log != nil {
-		return s.log.Truncate()
+		if err := s.log.Truncate(); err != nil {
+			return err
+		}
 	}
+	s.flightStore.Load().Event("store", "checkpoint", 0, time.Since(start), 0, "")
 	return nil
 }
 
@@ -267,7 +281,7 @@ func (s *Store) checkpointLocked() error {
 // commit) and repairs state after a failed commit group. The returned
 // func releases the latch.
 func (s *Store) lockWrites() (func(), error) {
-	s.writeSem <- struct{}{}
+	s.acquireSem(nil)
 	s.writeHeld.Store(true)
 	release := func() { s.writeHeld.Store(false); <-s.writeSem }
 	s.drainPending()
@@ -278,6 +292,32 @@ func (s *Store) lockWrites() (func(), error) {
 		}
 	}
 	return release, nil
+}
+
+// acquireSem takes the store write latch, recording contention on the
+// writeLatch profile. A nil ctx means uncancellable acquisition; the wait
+// duration (0 when uncontended) is returned so traced transactions can
+// attribute it.
+func (s *Store) acquireSem(ctx context.Context) (time.Duration, error) {
+	select {
+	case s.writeSem <- struct{}{}:
+		s.writeLatch.Acquired()
+		return 0, nil
+	default:
+	}
+	start := time.Now()
+	if ctx == nil {
+		s.writeSem <- struct{}{}
+	} else {
+		select {
+		case s.writeSem <- struct{}{}:
+		case <-ctx.Done():
+			return 0, ctx.Err()
+		}
+	}
+	d := time.Since(start)
+	s.writeLatch.Waited(d)
+	return d, nil
 }
 
 // Stats exposes buffer pool counters for the optimizer and benchmarks.
@@ -308,6 +348,22 @@ func (s *Store) RegisterMetrics(r *obs.Registry) {
 		func() float64 { return float64(s.conflicts.Load()) })
 	r.GaugeFunc("sim_txn_active", "Open transactions.",
 		func() float64 { return float64(s.active.Load()) })
+	s.writeLatch.Register(r, "Store-wide write latch (one writer in its write phase).")
+	s.reg.Store(r)
+	s.flightTxn.Store(r.Flight().Component("txn"))
+	s.flightStore.Store(r.Flight().Component("store"))
+	s.latchMu.Lock()
+	for name, c := range s.classConf {
+		registerClassCounter(r, name, c)
+	}
+	s.latchMu.Unlock()
+	r.OnReset(func() {
+		s.latchMu.Lock()
+		for _, c := range s.classConf {
+			c.Store(0)
+		}
+		s.latchMu.Unlock()
+	})
 }
 
 // ---------------------------------------------------------------------------
@@ -327,6 +383,23 @@ type Txn struct {
 	done    bool
 	wrote   bool     // holds the store-wide write latch
 	latched []string // structure latches held until commit/rollback
+
+	id        uint64           // request/trace ID, 0 when untraced
+	ct        *obs.CommitTrace // spans filled across the commit, nil unless tracing
+	latchWait time.Duration    // accumulated store-write-latch wait
+}
+
+// SetTrace attaches a request ID to this transaction — it rides into the
+// flight recorder, the WAL flush group and the replication stream — and,
+// when ct is non-nil, arranges for the commit spans (latch-wait,
+// enqueue-wait, fsync, group size, replication position) to be filled in
+// by the time Commit returns.
+func (tx *Txn) SetTrace(id uint64, ct *obs.CommitTrace) {
+	tx.id = id
+	tx.ct = ct
+	if ct != nil {
+		ct.ID = id
+	}
 }
 
 // BeginSession registers a transaction without acquiring any latch; the
@@ -367,13 +440,14 @@ func (tx *Txn) AcquireWrite(ctx context.Context) error {
 	if tx.wrote {
 		return nil
 	}
-	select {
-	case tx.s.writeSem <- struct{}{}:
-	case <-ctx.Done():
-		return ctx.Err()
+	wait, err := tx.s.acquireSem(ctx)
+	if err != nil {
+		return err
 	}
+	tx.latchWait += wait
 	tx.s.writeHeld.Store(true)
 	tx.wrote = true
+	tx.s.flightTxn.Load().Event("txn", "begin", tx.id, wait, 0, "")
 	if tx.s.needsReset.Load() {
 		if err := tx.s.resetUncommitted(); err != nil {
 			tx.releaseWrite()
@@ -398,11 +472,48 @@ func (tx *Txn) Latch(name string) error {
 			return nil
 		}
 		s.conflicts.Add(1)
+		s.classConflictLocked(name)
+		s.flightTxn.Load().Event("txn", "conflict", tx.id, 0, 0, name)
 		return fmt.Errorf("%w: %q is write-latched by another open transaction (first writer wins)", ErrConflict, name)
 	}
 	s.latches[name] = tx
 	tx.latched = append(tx.latched, name)
 	return nil
+}
+
+// classConflictLocked counts a first-writer-wins conflict against the
+// contended class and, when metrics are registered, exposes the per-class
+// counter as sim_latch_class_<class>_conflicts_total (the \hot view's
+// conflict line). Caller holds latchMu.
+func (s *Store) classConflictLocked(name string) {
+	c := s.classConf[name]
+	if c == nil {
+		c = new(atomic.Uint64)
+		s.classConf[name] = c
+		if r := s.reg.Load(); r != nil {
+			registerClassCounter(r, name, c)
+		}
+	}
+	c.Add(1)
+}
+
+func registerClassCounter(r *obs.Registry, name string, c *atomic.Uint64) {
+	r.CounterFunc("sim_latch_class_"+metricName(name)+"_conflicts_total",
+		"First-writer-wins conflicts on the class write latch for "+name+".",
+		func() float64 { return float64(c.Load()) })
+}
+
+// metricName maps a structure name onto the Prometheus metric-name
+// alphabet.
+func metricName(name string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_':
+			return r
+		default:
+			return '_'
+		}
+	}, name)
 }
 
 func (tx *Txn) releaseLatches() {
@@ -457,9 +568,13 @@ func (tx *Txn) Commit() error {
 	s.pendMu.Lock()
 	s.pending = append(s.pending, snap)
 	s.pendMu.Unlock()
+	if tx.ct != nil {
+		tx.ct.Pages = snap.Len()
+		tx.ct.LatchWait = tx.latchWait
+	}
 	var p *wal.Pending
 	if s.log != nil {
-		p = s.log.Enqueue(snap.Frames())
+		p = s.log.EnqueueTraced(snap.Frames(), tx.id, tx.ct)
 	}
 	tx.releaseLatches()
 	tx.releaseWrite()
@@ -480,6 +595,7 @@ func (tx *Txn) Commit() error {
 	// A writeback failure here is not a commit failure: the pages stay
 	// dirty/cached and will be retried by a later writeback/checkpoint or
 	// replayed from the WAL after a crash.
+	s.flightTxn.Load().Event("txn", "commit", tx.id, 0, int64(snap.Len()), "")
 	s.awaitHead(snap)
 	werr := s.pool.WriteBack(snap)
 	s.removePending(snap)

@@ -1,0 +1,168 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// The flight recorder keeps the last few hundred structured events per
+// component in fixed ring buffers — txn begins/commits/conflicts, group
+// commit flushes, checkpoints, replication snapshot installs and frame
+// applies, overload fast-fails, checksum and salvage incidents. It is
+// always on: recording an event is one short mutex hold and a handful of
+// field stores, cheap enough for the commit path. The rings are dumped on
+// demand (/debug/flight, simdb \flight) and automatically on server panic
+// and on crash-matrix or Scrub failure, so the events leading up to an
+// incident are available without any prior configuration.
+
+// FlightEvent is one recorded incident.
+type FlightEvent struct {
+	Seq  uint64        // global order across components
+	When time.Time     // wall clock at record time
+	Comp string        // component: "txn", "wal", "repl", "server", "pager", ...
+	Kind string        // event kind within the component
+	ID   uint64        // request/trace ID, 0 when none
+	Pos  uint64        // replication position, 0 when none
+	Dur  time.Duration // span duration, 0 when not timed
+	N    int64         // size or count payload (pages, bytes, lag, ...)
+	Note string        // short free-form detail (class name, error, ...)
+}
+
+// flightRingCap is the number of events each component ring retains.
+const flightRingCap = 256
+
+// FlightRing is one component's ring. Components hold the pointer so the
+// record path skips the component map entirely.
+type FlightRing struct {
+	f   *Flight
+	mu  sync.Mutex
+	buf [flightRingCap]FlightEvent
+	n   uint64 // total events ever recorded
+}
+
+// Flight is a set of per-component rings sharing one sequence counter.
+type Flight struct {
+	disabled atomic.Bool // zero value: enabled
+	seq      atomic.Uint64
+	mu       sync.RWMutex
+	comps    map[string]*FlightRing
+}
+
+// NewFlight returns an enabled recorder with no components yet.
+func NewFlight() *Flight {
+	return &Flight{comps: make(map[string]*FlightRing)}
+}
+
+// SetEnabled turns recording on or off. Off exists for the OBS2 overhead
+// experiment; production leaves the recorder on.
+func (f *Flight) SetEnabled(on bool) {
+	if f != nil {
+		f.disabled.Store(!on)
+	}
+}
+
+// Component returns the ring registered under name, creating it when
+// absent. Nil-safe: a nil recorder returns a nil ring whose Record is a
+// no-op.
+func (f *Flight) Component(name string) *FlightRing {
+	if f == nil {
+		return nil
+	}
+	f.mu.RLock()
+	r := f.comps[name]
+	f.mu.RUnlock()
+	if r != nil {
+		return r
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if r = f.comps[name]; r == nil {
+		r = &FlightRing{f: f}
+		f.comps[name] = r
+	}
+	return r
+}
+
+// Record stamps ev with a sequence number and wall clock and appends it
+// to the ring, overwriting the oldest entry when full.
+func (r *FlightRing) Record(ev FlightEvent) {
+	if r == nil || r.f.disabled.Load() {
+		return
+	}
+	ev.Seq = r.f.seq.Add(1)
+	ev.When = time.Now()
+	r.mu.Lock()
+	r.buf[r.n%flightRingCap] = ev
+	r.n++
+	r.mu.Unlock()
+}
+
+// Event is shorthand for Record with the common fields.
+func (r *FlightRing) Event(comp, kind string, id uint64, d time.Duration, n int64, note string) {
+	r.Record(FlightEvent{Comp: comp, Kind: kind, ID: id, Dur: d, N: n, Note: note})
+}
+
+// Events returns every retained event across all components, oldest
+// first by global sequence. Nil-safe.
+func (f *Flight) Events() []FlightEvent {
+	if f == nil {
+		return nil
+	}
+	f.mu.RLock()
+	rings := make([]*FlightRing, 0, len(f.comps))
+	for _, r := range f.comps {
+		rings = append(rings, r)
+	}
+	f.mu.RUnlock()
+	var out []FlightEvent
+	for _, r := range rings {
+		r.mu.Lock()
+		n := r.n
+		if n > flightRingCap {
+			n = flightRingCap
+		}
+		start := r.n - n
+		for i := uint64(0); i < n; i++ {
+			out = append(out, r.buf[(start+i)%flightRingCap])
+		}
+		r.mu.Unlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out
+}
+
+// Dump renders the retained events as aligned text, oldest first. The
+// format is the flight-recorder's public face: it is what /debug/flight,
+// simdb \flight, panic handlers and failing crash-matrix runs emit.
+func (f *Flight) Dump() string {
+	evs := f.Events()
+	if len(evs) == 0 {
+		return "flight recorder: no events\n"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "flight recorder: %d events (newest last)\n", len(evs))
+	for _, ev := range evs {
+		fmt.Fprintf(&b, "%8d %s %-6s %-10s", ev.Seq, ev.When.Format("15:04:05.000"), ev.Comp, ev.Kind)
+		if ev.ID != 0 {
+			fmt.Fprintf(&b, " id=%016x", ev.ID)
+		}
+		if ev.Pos != 0 {
+			fmt.Fprintf(&b, " pos=%d", ev.Pos)
+		}
+		if ev.Dur != 0 {
+			fmt.Fprintf(&b, " dur=%s", fmtDur(ev.Dur))
+		}
+		if ev.N != 0 {
+			fmt.Fprintf(&b, " n=%d", ev.N)
+		}
+		if ev.Note != "" {
+			fmt.Fprintf(&b, " %s", ev.Note)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

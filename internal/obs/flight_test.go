@@ -1,0 +1,136 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestFlightRingRecordAndDump(t *testing.T) {
+	f := NewFlight()
+	wal := f.Component("wal")
+	txn := f.Component("txn")
+	txn.Event("txn", "begin", 0xabc, 0, 0, "")
+	wal.Record(FlightEvent{Comp: "wal", Kind: "flush", ID: 0xabc, Pos: 7,
+		Dur: 3 * time.Millisecond, N: 2, Note: "pages=2"})
+	txn.Event("txn", "commit", 0xabc, 0, 2, "")
+
+	evs := f.Events()
+	if len(evs) != 3 {
+		t.Fatalf("got %d events, want 3", len(evs))
+	}
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Seq <= evs[i-1].Seq {
+			t.Fatalf("events out of sequence: %d after %d", evs[i].Seq, evs[i-1].Seq)
+		}
+	}
+	dump := f.Dump()
+	for _, want := range []string{"id=0000000000000abc", "pos=7", "flush", "begin", "commit", "pages=2"} {
+		if !strings.Contains(dump, want) {
+			t.Errorf("dump missing %q:\n%s", want, dump)
+		}
+	}
+}
+
+func TestFlightRingWraps(t *testing.T) {
+	f := NewFlight()
+	r := f.Component("txn")
+	for i := 0; i < flightRingCap+50; i++ {
+		r.Event("txn", "commit", uint64(i+1), 0, 0, "")
+	}
+	evs := f.Events()
+	if len(evs) != flightRingCap {
+		t.Fatalf("ring holds %d events, want %d", len(evs), flightRingCap)
+	}
+	// Oldest retained event is the 51st recorded.
+	if evs[0].ID != 51 {
+		t.Fatalf("oldest retained ID = %d, want 51", evs[0].ID)
+	}
+}
+
+func TestFlightDisabled(t *testing.T) {
+	f := NewFlight()
+	r := f.Component("txn")
+	f.SetEnabled(false)
+	r.Event("txn", "commit", 1, 0, 0, "")
+	if n := len(f.Events()); n != 0 {
+		t.Fatalf("disabled recorder kept %d events", n)
+	}
+	f.SetEnabled(true)
+	r.Event("txn", "commit", 2, 0, 0, "")
+	if n := len(f.Events()); n != 1 {
+		t.Fatalf("re-enabled recorder kept %d events, want 1", n)
+	}
+}
+
+func TestFlightNilSafety(t *testing.T) {
+	var f *Flight
+	r := f.Component("anything") // nil recorder: nil ring
+	r.Record(FlightEvent{Comp: "x", Kind: "y"})
+	r.Event("x", "y", 1, 0, 0, "")
+	if evs := f.Events(); evs != nil {
+		t.Fatalf("nil Flight returned events: %v", evs)
+	}
+	f.SetEnabled(false) // must not panic
+}
+
+func TestLatchProfileAndHotView(t *testing.T) {
+	r := NewRegistry()
+	l := NewLatch("test_lock")
+	l.Register(r, "A test lock.")
+	l.Acquired()
+	l.Acquired()
+	l.Waited(2 * time.Millisecond)
+	if got := r.Get("sim_latch_test_lock_acquisitions_total"); got != 3 {
+		t.Fatalf("acquisitions = %v, want 3", got)
+	}
+	if got := r.Get("sim_latch_test_lock_contended_total"); got != 1 {
+		t.Fatalf("contended = %v, want 1", got)
+	}
+	hot := RenderHot(r.Snapshot())
+	if !strings.Contains(hot, "test_lock") {
+		t.Fatalf("hot view missing latch:\n%s", hot)
+	}
+	r.ResetCounters()
+	if got := r.Get("sim_latch_test_lock_acquisitions_total"); got != 0 {
+		t.Fatalf("acquisitions after reset = %v, want 0", got)
+	}
+}
+
+func TestRequestIDs(t *testing.T) {
+	seen := map[uint64]bool{}
+	for i := 0; i < 1000; i++ {
+		id := NewRequestID()
+		if id == 0 {
+			t.Fatal("minted a zero request ID")
+		}
+		if seen[id] {
+			t.Fatalf("duplicate request ID %016x", id)
+		}
+		seen[id] = true
+	}
+	ctx := WithRequestID(context.Background(), 42)
+	if got := RequestID(ctx); got != 42 {
+		t.Fatalf("RequestID = %d, want 42", got)
+	}
+	if got := RequestID(context.Background()); got != 0 {
+		t.Fatalf("bare context RequestID = %d, want 0", got)
+	}
+	if ctx := WithRequestID(context.Background(), 0); RequestID(ctx) != 0 {
+		t.Fatal("zero ID must not be carried")
+	}
+}
+
+func TestCommitTraceRender(t *testing.T) {
+	ct := &CommitTrace{ID: 0xbeef, Pages: 3, GroupN: 2, Pos: 11,
+		LatchWait: time.Millisecond, EnqueueWait: 2 * time.Millisecond,
+		Fsync: 3 * time.Millisecond, Total: 7 * time.Millisecond}
+	out := ct.Render()
+	for _, want := range []string{fmt.Sprintf("%016x", uint64(0xbeef)), "pages", "group", "fsync"} {
+		if !strings.Contains(strings.ToLower(out), want) {
+			t.Errorf("CommitTrace render missing %q:\n%s", want, out)
+		}
+	}
+}

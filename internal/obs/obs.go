@@ -123,11 +123,33 @@ type Registry struct {
 	mu      sync.RWMutex
 	byName  map[string]*metric
 	ordered []*metric
+	resets  []func()
+	flight  *Flight
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
-	return &Registry{byName: make(map[string]*metric)}
+	return &Registry{byName: make(map[string]*metric), flight: NewFlight()}
+}
+
+// Flight returns the registry's flight recorder. Components that register
+// metrics grab it here so one plumbing path carries both. Nil-safe: a nil
+// registry returns a nil recorder, whose methods are all no-ops.
+func (r *Registry) Flight() *Flight {
+	if r == nil {
+		return nil
+	}
+	return r.flight
+}
+
+// OnReset arranges for fn to run after ResetCounters zeroes the owned
+// metrics. Components whose counters are func-backed (they keep their own
+// atomics — the replication publisher and follower, latch profiles)
+// register a zeroing hook here so Database.ResetStats covers them too.
+func (r *Registry) OnReset(fn func()) {
+	r.mu.Lock()
+	r.resets = append(r.resets, fn)
+	r.mu.Unlock()
 }
 
 // register installs m. Owned metrics (Counter, Histogram) are idempotent
@@ -173,12 +195,19 @@ func (r *Registry) Histogram(name, help string) *Histogram {
 	return m.h
 }
 
-// ResetCounters zeroes every registry-owned Counter and Histogram.
-// Func-backed metrics read external state and are reset by their owning
-// component (see Database.ResetStats for the composed reset).
+// HistogramVar registers an externally owned histogram under name — for
+// components that observe into their own Histogram on paths that must not
+// take the registry lock. First registration wins, like Histogram.
+func (r *Registry) HistogramVar(h *Histogram, name, help string) {
+	r.register(&metric{name: name, help: help, kind: kindHistogram, h: h})
+}
+
+// ResetCounters zeroes every registry-owned Counter and Histogram, then
+// runs the OnReset hooks. Other func-backed metrics read external state
+// and are reset by their owning component (see Database.ResetStats for
+// the composed reset).
 func (r *Registry) ResetCounters() {
 	r.mu.RLock()
-	defer r.mu.RUnlock()
 	for _, m := range r.ordered {
 		switch m.kind {
 		case kindCounter:
@@ -186,6 +215,13 @@ func (r *Registry) ResetCounters() {
 		case kindHistogram:
 			m.h.Reset()
 		}
+	}
+	hooks := make([]func(), len(r.resets))
+	copy(hooks, r.resets)
+	r.mu.RUnlock()
+	// Hooks run outside the lock: a hook may touch the registry.
+	for _, fn := range hooks {
+		fn()
 	}
 }
 
@@ -243,7 +279,7 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	var b strings.Builder
 	for _, m := range ms {
 		if m.help != "" {
-			fmt.Fprintf(&b, "# HELP %s %s\n", m.name, strings.ReplaceAll(m.help, "\n", " "))
+			fmt.Fprintf(&b, "# HELP %s %s\n", m.name, escapeHelp(m.help))
 		}
 		switch m.kind {
 		case kindCounter:
@@ -271,9 +307,35 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	return err
 }
 
+// escapeHelp escapes HELP text per the 0.0.4 exposition format: backslash
+// and newline become \\ and \n so the line structure survives arbitrary
+// help strings.
+func escapeHelp(s string) string {
+	if !strings.ContainsAny(s, "\\\n") {
+		return s
+	}
+	var b strings.Builder
+	for _, r := range s {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
 func fmtFloat(v float64) string {
-	if math.IsInf(v, +1) {
+	switch {
+	case math.IsNaN(v):
+		return "NaN"
+	case math.IsInf(v, +1):
 		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
 	}
 	return strconv.FormatFloat(v, 'g', -1, 64)
 }

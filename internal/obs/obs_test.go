@@ -156,11 +156,11 @@ func TestRegistryRace(t *testing.T) {
 
 func TestSlowLog(t *testing.T) {
 	l := NewSlowLog(10 * time.Millisecond)
-	if l.Observe("fast", time.Millisecond, 1) {
+	if l.Observe("fast", time.Millisecond, 1, 0) {
 		t.Fatal("fast query recorded")
 	}
 	for i := 0; i < slowLogCap+10; i++ {
-		if !l.Observe(fmt.Sprintf("q%d", i), 20*time.Millisecond, i) {
+		if !l.Observe(fmt.Sprintf("q%d", i), 20*time.Millisecond, i, 7) {
 			t.Fatal("slow query not recorded")
 		}
 	}
@@ -175,7 +175,7 @@ func TestSlowLog(t *testing.T) {
 		t.Fatalf("ring order wrong: first=%s last=%s", es[0].Statement, es[len(es)-1].Statement)
 	}
 	var disabled *SlowLog
-	if disabled.Observe("x", time.Hour, 0) || disabled.Total() != 0 || disabled.Entries() != nil {
+	if disabled.Observe("x", time.Hour, 0, 0) || disabled.Total() != 0 || disabled.Entries() != nil {
 		t.Fatal("nil SlowLog misbehaved")
 	}
 }

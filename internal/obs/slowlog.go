@@ -11,6 +11,7 @@ type SlowEntry struct {
 	Duration  time.Duration
 	Rows      int
 	When      time.Time
+	ID        uint64 // request/trace ID the statement ran under, 0 when unset
 }
 
 // slowLogCap bounds the retained slow-query history.
@@ -39,12 +40,14 @@ func NewSlowLog(threshold time.Duration) *SlowLog {
 func (l *SlowLog) Threshold() time.Duration { return l.threshold }
 
 // Observe records stmt when d reaches the threshold, reporting whether it
-// did. Nil logs and zero thresholds observe nothing.
-func (l *SlowLog) Observe(stmt string, d time.Duration, rows int) bool {
+// did. id is the request/trace ID the statement ran under (0 when none),
+// so slow entries correlate with flight-recorder events. Nil logs and
+// zero thresholds observe nothing.
+func (l *SlowLog) Observe(stmt string, d time.Duration, rows int, id uint64) bool {
 	if l == nil || l.threshold <= 0 || d < l.threshold {
 		return false
 	}
-	e := SlowEntry{Statement: stmt, Duration: d, Rows: rows, When: time.Now()}
+	e := SlowEntry{Statement: stmt, Duration: d, Rows: rows, When: time.Now(), ID: id}
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	l.total++

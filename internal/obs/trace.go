@@ -39,7 +39,8 @@ type WorkerTrace struct {
 // they are exact.
 type QueryTrace struct {
 	Statement  string
-	PlanCached bool // plan came from the plan cache (parse/plan ≈ 0)
+	ID         uint64 // request/trace ID the query ran under, 0 when unset
+	PlanCached bool   // plan came from the plan cache (parse/plan ≈ 0)
 	Parse      time.Duration
 	Plan       time.Duration
 	Exec       time.Duration
@@ -106,5 +107,43 @@ func (t *QueryTrace) Render() string {
 	fmt.Fprintf(&b, "pager hits=%d misses=%d  luc-cache hits=%d misses=%d\n",
 		t.PagerHits, t.PagerMisses, t.CacheHits, t.CacheMisses)
 	fmt.Fprintf(&b, "rows: %d  instances: %d\n", t.Rows, t.Instances)
+	if t.ID != 0 {
+		fmt.Fprintf(&b, "request: %016x\n", t.ID)
+	}
+	return b.String()
+}
+
+// CommitTrace is the span breakdown of one committed write transaction:
+// where the commit spent its time from the first latch acquisition to
+// group-commit durability, plus where replication picked it up. One
+// request ID names the same write in the slow-query ring, the flight
+// recorder on both primary and follower, and this trace.
+type CommitTrace struct {
+	ID     uint64 // request/trace ID, 0 when the client did not send one
+	Pages  int    // dirty pages this transaction contributed
+	GroupN int    // transactions merged into the same flush group
+	Pos    uint64 // replication position the group published at (0 = unreplicated)
+
+	LatchWait   time.Duration // waiting for class latches + the store write latch
+	EnqueueWait time.Duration // commit enqueue until the group leader picked it up
+	Fsync       time.Duration // the leader's WAL write + fsync for the group
+	Total       time.Duration // Commit() entry to durable return
+}
+
+// Render formats the commit trace — the body of client.TraceCommit.
+func (ct *CommitTrace) Render() string {
+	var b strings.Builder
+	if ct.ID != 0 {
+		fmt.Fprintf(&b, "commit request %016x\n", ct.ID)
+	} else {
+		b.WriteString("commit\n")
+	}
+	fmt.Fprintf(&b, "pages=%d group=%d", ct.Pages, ct.GroupN)
+	if ct.Pos != 0 {
+		fmt.Fprintf(&b, " repl-pos=%d", ct.Pos)
+	}
+	b.WriteByte('\n')
+	fmt.Fprintf(&b, "latch-wait %s  enqueue-wait %s  fsync %s  total %s\n",
+		fmtDur(ct.LatchWait), fmtDur(ct.EnqueueWait), fmtDur(ct.Fsync), fmtDur(ct.Total))
 	return b.String()
 }

@@ -45,6 +45,7 @@ const slotSize = PageSize + 4
 type ChecksumFile struct {
 	bf      ByteFile
 	badRead atomic.Uint64 // checksum verification failures observed
+	flight  atomic.Pointer[obs.FlightRing]
 }
 
 // NewChecksumFile returns a checksummed page File over bf.
@@ -70,6 +71,8 @@ func (c *ChecksumFile) ReadPage(id PageID, buf []byte) error {
 		uint32(slot[PageSize+2])<<8 | uint32(slot[PageSize+3])
 	if got := crc32.ChecksumIEEE(slot[:PageSize]); got != want {
 		c.badRead.Add(1)
+		c.flight.Load().Record(obs.FlightEvent{Comp: "pager", Kind: "checksum",
+			Pos: uint64(id), Note: fmt.Sprintf("stored %08x computed %08x", want, got)})
 		return &CorruptPageError{Page: id, Want: want, Got: got}
 	}
 	copy(buf[:PageSize], slot[:PageSize])
@@ -132,6 +135,7 @@ func (c *ChecksumFile) RegisterMetrics(r *obs.Registry) {
 	r.CounterFunc("sim_pager_checksum_failures_total",
 		"Page reads rejected because the stored CRC32 did not match the contents.",
 		func() float64 { return float64(c.badRead.Load()) })
+	c.flight.Store(r.Flight().Component("pager"))
 }
 
 // RawPageFile is a page File over byte storage with no checksum trailer

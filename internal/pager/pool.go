@@ -6,6 +6,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"sim/internal/obs"
 )
@@ -52,6 +53,7 @@ type Pool struct {
 	file   File
 	shards [poolShards]shard
 	next   atomic.Uint32 // next page id to allocate when the freelist is empty
+	latch  *obs.Latch    // contention profile over all shard locks
 
 	hits       atomic.Uint64
 	misses     atomic.Uint64
@@ -67,7 +69,7 @@ func NewPool(file File, capacity int) (*Pool, error) {
 	if err != nil {
 		return nil, err
 	}
-	p := &Pool{file: file}
+	p := &Pool{file: file, latch: obs.NewLatch("pool_shard")}
 	per := (capacity + poolShards - 1) / poolShards
 	if per < 2 {
 		per = 2
@@ -82,6 +84,19 @@ func NewPool(file File, capacity int) (*Pool, error) {
 }
 
 func (p *Pool) shardOf(id PageID) *shard { return &p.shards[uint32(id)%poolShards] }
+
+// lock acquires a shard mutex through the contention profile: an
+// uncontended TryLock adds one atomic to the hot path; a contended
+// acquisition is timed into the pool_shard wait histogram.
+func (p *Pool) lock(sh *shard) {
+	if sh.mu.TryLock() {
+		p.latch.Acquired()
+		return
+	}
+	start := time.Now()
+	sh.mu.Lock()
+	p.latch.Waited(time.Since(start))
+}
 
 // Stats returns a snapshot of the pool's counters. It never blocks on the
 // shard locks, so it is safe to call while queries run.
@@ -112,6 +127,7 @@ func (p *Pool) RegisterMetrics(r *obs.Registry) {
 		func() float64 { return float64(p.pageWrites.Load()) })
 	r.GaugeFunc("sim_pager_pages", "Allocated pages, including not-yet-flushed allocations.",
 		func() float64 { return float64(p.next.Load()) })
+	p.latch.Register(r, "Buffer pool shard locks.")
 }
 
 // NumPages returns the page count including not-yet-flushed allocations.
@@ -121,7 +137,7 @@ func (p *Pool) NumPages() uint32 { return p.next.Load() }
 // absent from the pool.
 func (p *Pool) Get(id PageID) (*Frame, error) {
 	sh := p.shardOf(id)
-	sh.mu.Lock()
+	p.lock(sh)
 	defer sh.mu.Unlock()
 	return p.getLocked(sh, id, true)
 }
@@ -132,7 +148,7 @@ func (p *Pool) Get(id PageID) (*Frame, error) {
 func (p *Pool) Allocate() (*Frame, error) {
 	id := PageID(p.next.Add(1) - 1)
 	sh := p.shardOf(id)
-	sh.mu.Lock()
+	p.lock(sh)
 	defer sh.mu.Unlock()
 	f, err := p.getLocked(sh, id, false)
 	if err != nil {
@@ -146,7 +162,7 @@ func (p *Pool) Allocate() (*Frame, error) {
 // AllocateAt pins page id (a recycled free page) with zeroed contents.
 func (p *Pool) AllocateAt(id PageID) (*Frame, error) {
 	sh := p.shardOf(id)
-	sh.mu.Lock()
+	p.lock(sh)
 	defer sh.mu.Unlock()
 	f, err := p.getLocked(sh, id, false)
 	if err != nil {
@@ -208,7 +224,7 @@ func evictLocked(sh *shard) {
 // Release unpins the frame.
 func (p *Pool) Release(f *Frame) {
 	sh := p.shardOf(f.ID)
-	sh.mu.Lock()
+	p.lock(sh)
 	defer sh.mu.Unlock()
 	if f.pins <= 0 {
 		panic("pager: Release of unpinned frame")
@@ -224,7 +240,7 @@ func (p *Pool) Release(f *Frame) {
 // mutations can tell whether the frame changed again after it was copied.
 func (p *Pool) MarkDirty(f *Frame) {
 	sh := p.shardOf(f.ID)
-	sh.mu.Lock()
+	p.lock(sh)
 	defer sh.mu.Unlock()
 	f.dirty = true
 	f.gen++

@@ -86,6 +86,9 @@ type Follower struct {
 	groupsApplied atomic.Uint64
 	snapshotsIn   atomic.Uint64
 	reconnects    atomic.Uint64
+
+	staleness obs.Histogram                  // publish-to-apply delay per group
+	flight    atomic.Pointer[obs.FlightRing] // snapshot/apply events
 }
 
 // StartFollower begins replicating db from cfg.Primary, persisting apply
@@ -131,6 +134,23 @@ func (f *Follower) WaitReady(ctx interface{ Done() <-chan struct{} }) error {
 	case <-ctx.Done():
 		return fmt.Errorf("repl: follower not caught up")
 	}
+}
+
+// Ready reports whether the follower can serve bounded-staleness reads:
+// it has caught up with the primary at least once (snapshot installed,
+// stream drained) AND its current lag is within maxLag groups. It backs
+// the /readyz endpoint on replica simserves.
+func (f *Follower) Ready(maxLag uint64) bool {
+	select {
+	case <-f.ready:
+	default:
+		return false
+	}
+	pos := f.a.Pos()
+	f.mu.Lock()
+	latest := f.latest
+	f.mu.Unlock()
+	return latest <= pos+maxLag
 }
 
 // Status reports the follower's replication state: one ReplicaInfo
@@ -190,6 +210,14 @@ func (f *Follower) RegisterMetrics(r *obs.Registry) {
 		func() float64 { return float64(f.snapshotsIn.Load()) })
 	r.CounterFunc("sim_repl_reconnects_total", "Stream reconnect attempts after a failure.",
 		func() float64 { return float64(f.reconnects.Load()) })
+	r.HistogramVar(&f.staleness, "sim_repl_staleness_seconds",
+		"Publish-to-apply delay of replicated groups (follower clock minus the primary's publish stamp).")
+	r.OnReset(func() {
+		f.groupsApplied.Store(0)
+		f.snapshotsIn.Store(0)
+		f.reconnects.Store(0)
+	})
+	f.flight.Store(r.Flight().Component("repl"))
 }
 
 // run is the reconnect loop.
@@ -310,6 +338,7 @@ func (f *Follower) stream() error {
 			snap = nil
 			f.snapshotsIn.Add(1)
 			f.setState("streaming")
+			f.flight.Load().Record(obs.FlightEvent{Comp: "repl", Kind: "snapshot", Pos: s.Pos, N: int64(s.Total)})
 			f.observe(s.Pos)
 			if err := f.ack(nc, s.Pos); err != nil {
 				return err
@@ -328,10 +357,27 @@ func (f *Follower) stream() error {
 				}
 				continue
 			}
+			applyStart := time.Now()
 			if err := f.a.ApplyGroup(fr); err != nil {
 				return err
 			}
 			f.groupsApplied.Add(1)
+			if fr.TS != 0 {
+				if d := time.Since(time.Unix(0, int64(fr.TS))); d > 0 {
+					f.staleness.Observe(d)
+				}
+			}
+			// One apply event per request ID the group carried, so a trace
+			// ID minted on the client is findable in this follower's flight
+			// recorder; ID-less groups record a single anonymous event.
+			ids := fr.IDs
+			if len(ids) == 0 {
+				ids = []uint64{0}
+			}
+			for _, id := range ids {
+				f.flight.Load().Record(obs.FlightEvent{Comp: "repl", Kind: "apply", ID: id,
+					Pos: fr.Pos, Dur: time.Since(applyStart), N: int64(len(fr.Pages))})
+			}
 			f.observe(fr.Latest)
 			if err := f.ack(nc, fr.Pos); err != nil {
 				return err

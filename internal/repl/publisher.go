@@ -11,7 +11,7 @@ import (
 
 	"sim"
 	"sim/internal/obs"
-	"sim/internal/pager"
+	"sim/internal/wal"
 	"sim/internal/wire"
 )
 
@@ -27,10 +27,15 @@ const defaultBatchBytes = 1 << 20
 // Group is one committed page group as retained by the Publisher: the
 // position it advances followers to, the schema generation it was
 // committed under, and private copies of the deduplicated page images.
-// A schema-change marker group has no pages and a bumped Gen.
+// A schema-change marker group has no pages and a bumped Gen. TS is the
+// primary's publish clock (unixnano) and IDs the request IDs that rode
+// the group; both travel to followers for staleness measurement and
+// end-to-end tracing.
 type Group struct {
 	Pos   uint64
 	Gen   uint64
+	TS    uint64
+	IDs   []uint64
 	Pages []wire.ReplPage
 	Bytes int
 }
@@ -102,20 +107,25 @@ func (p *Publisher) Latest() uint64 {
 
 // publish is the commit hook: it runs on the committing goroutine under
 // the WAL's flush lock, so groups arrive in commit order. The image
-// bytes alias commit-internal buffers and are copied here.
-func (p *Publisher) publish(images []pager.PageImage) {
-	pages := make([]wire.ReplPage, len(images))
+// bytes alias commit-internal buffers and are copied here. It returns
+// the position the group published at, which the WAL copies into the
+// committers' CommitTraces.
+func (p *Publisher) publish(g wal.CommitGroup) uint64 {
+	pages := make([]wire.ReplPage, len(g.Images))
 	bytes := 0
-	for i, im := range images {
+	for i, im := range g.Images {
 		data := make([]byte, len(im.Data))
 		copy(data, im.Data)
 		pages[i] = wire.ReplPage{ID: uint32(im.ID), Data: data}
 		bytes += len(data)
 	}
+	ids := append([]uint64(nil), g.IDs...)
 	p.mu.Lock()
 	p.latest++
-	p.append(&Group{Pos: p.latest, Gen: p.gen, Pages: pages, Bytes: bytes})
+	pos := p.latest
+	p.append(&Group{Pos: pos, Gen: p.gen, TS: uint64(time.Now().UnixNano()), IDs: ids, Pages: pages, Bytes: bytes})
 	p.mu.Unlock()
+	return pos
 }
 
 // publishSchema is the schema hook: DefineSchema's page images were
@@ -360,4 +370,9 @@ func (p *Publisher) RegisterMetrics(r *obs.Registry) {
 		func() float64 { return float64(p.snapshots.Load()) })
 	r.CounterFunc("sim_repl_ring_evictions_total", "Groups evicted from the retained tail.",
 		func() float64 { return float64(p.evicted.Load()) })
+	r.OnReset(func() {
+		p.groups.Store(0)
+		p.snapshots.Store(0)
+		p.evicted.Store(0)
+	})
 }

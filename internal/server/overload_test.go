@@ -54,9 +54,9 @@ func TestMaxInflightFastFail(t *testing.T) {
 			go func() {
 				defer wg.Done()
 				<-start
-				rt, _ := rs.roundTrip(t, wire.TQuery, []byte(`From student, instructor
+				rt, _ := rs.roundTrip(t, wire.TQuery, wire.EncodeRequest(1, []byte(`From student, instructor
 				  Retrieve name of student, name of instructor
-				  Where name of student NEQ name of instructor.`))
+				  Where name of student NEQ name of instructor.`)))
 				results <- rt
 			}()
 		}

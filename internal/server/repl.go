@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"sim/internal/obs"
 	"sim/internal/repl"
 	"sim/internal/wire"
 )
@@ -121,11 +122,19 @@ func (s *Server) serveReplication(conn net.Conn, payload []byte) {
 		}
 		latest := pub.Latest()
 		for _, g := range groups {
-			f := wire.ReplFrames{Epoch: pub.Epoch(), Pos: g.Pos, Latest: latest, Gen: g.Gen, Pages: g.Pages}
+			f := wire.ReplFrames{Epoch: pub.Epoch(), Pos: g.Pos, Latest: latest, Gen: g.Gen,
+				TS: g.TS, IDs: g.IDs, Pages: g.Pages}
+			shipStart := time.Now()
 			if err := s.writeFrame(conn, wire.TReplFrames, wire.EncodeReplFrames(f)); err != nil {
 				s.log.Warn("replication write failed", "remote", remote, "err", err)
 				return
 			}
+			var id uint64
+			if len(g.IDs) > 0 {
+				id = g.IDs[0]
+			}
+			s.flight.Record(obs.FlightEvent{Comp: "server", Kind: "ship", ID: id,
+				Pos: g.Pos, Dur: time.Since(shipStart), N: int64(len(g.Pages)), Note: remote})
 		}
 	}
 }

@@ -79,10 +79,11 @@ const handshakeTimeout = 10 * time.Second
 
 // Server serves one database over TCP.
 type Server struct {
-	db   *sim.Database
-	cfg  Config
-	log  *slog.Logger
-	hist *obs.Histogram // sim_server_request_seconds (nil without a registry)
+	db     *sim.Database
+	cfg    Config
+	log    *slog.Logger
+	hist   *obs.Histogram  // sim_server_request_seconds (nil without a registry)
+	flight *obs.FlightRing // overload/panic/ship events (nil ring is a no-op)
 
 	mu       sync.Mutex
 	lis      net.Listener
@@ -125,6 +126,7 @@ func New(db *sim.Database, cfg Config) *Server {
 	if cfg.MaxInflight > 0 {
 		s.slots = make(chan struct{}, cfg.MaxInflight)
 	}
+	s.flight = cfg.Registry.Flight().Component("server")
 	if r := cfg.Registry; r != nil {
 		s.hist = r.Histogram("sim_server_request_seconds", "Per-request service latency (dispatch through execution).")
 		r.CounterFunc("sim_server_connections_total", "Connections accepted.",
@@ -236,7 +238,12 @@ func (s *Server) handle(conn net.Conn) {
 	defer func() {
 		if p := recover(); p != nil {
 			s.errors.Add(1)
+			s.flight.Record(obs.FlightEvent{Comp: "server", Kind: "panic", Note: fmt.Sprint(p)})
 			s.log.Error("panic in session", "remote", conn.RemoteAddr().String(), "panic", p)
+			// Auto-dump: the events leading up to a panic are exactly what
+			// the flight recorder retains; surface them with the incident.
+			s.log.Error("flight recorder dump after panic",
+				"dump", s.db.FlightRecorder().Dump())
 		}
 		if sess.tx != nil {
 			// The session died with a transaction open; its effects must
@@ -326,6 +333,18 @@ func (s *Server) handshake(conn net.Conn) error {
 // whether the session should continue.
 func (s *Server) serveRequest(conn net.Conn, sess *session, t wire.Type, payload []byte) bool {
 	s.requests.Add(1)
+	// Request frames carry a client-minted request ID prefix; peel it off
+	// so the ID can ride the request's context through the engine.
+	var reqID uint64
+	switch t {
+	case wire.TQuery, wire.TExec, wire.TQueryTrace, wire.TBegin, wire.TCommit, wire.TRollback, wire.TTraceCommit:
+		var err error
+		if reqID, payload, err = wire.DecodeRequest(payload); err != nil {
+			s.errors.Add(1)
+			werr := s.writeFrame(conn, wire.TError, wire.EncodeError(wire.CodeProtocol, err.Error()))
+			return werr == nil
+		}
+	}
 	if s.slots != nil {
 		select {
 		case s.slots <- struct{}{}:
@@ -335,6 +354,8 @@ func (s *Server) serveRequest(conn net.Conn, sess *session, t wire.Type, payload
 			// client sees a retryable CodeOverloaded and backs off.
 			s.fastFails.Add(1)
 			s.errors.Add(1)
+			s.flight.Record(obs.FlightEvent{Comp: "server", Kind: "overload", ID: reqID,
+				N: int64(s.cfg.MaxInflight), Note: t.String()})
 			err := s.writeFrame(conn, wire.TError, wire.EncodeError(wire.CodeOverloaded,
 				fmt.Sprintf("server at its %d-request in-flight limit", s.cfg.MaxInflight)))
 			return err == nil
@@ -344,7 +365,7 @@ func (s *Server) serveRequest(conn net.Conn, sess *session, t wire.Type, payload
 	start := time.Now()
 	rt, resp := func() (wire.Type, []byte) {
 		defer s.inflight.Done()
-		return s.dispatch(sess, t, payload)
+		return s.dispatch(sess, t, payload, reqID)
 	}()
 	d := time.Since(start)
 	if s.hist != nil {
@@ -357,7 +378,7 @@ func (s *Server) serveRequest(conn net.Conn, sess *session, t wire.Type, payload
 	}
 	if s.cfg.SlowRequest > 0 && d >= s.cfg.SlowRequest {
 		s.log.Warn("slow request", "remote", conn.RemoteAddr().String(),
-			"type", t.String(), "duration", d)
+			"type", t.String(), "duration", d, "request", fmt.Sprintf("%016x", reqID))
 	}
 	if err := s.writeFrame(conn, rt, resp); err != nil {
 		s.log.Warn("response write failed", "remote", conn.RemoteAddr().String(), "err", err)
@@ -370,8 +391,8 @@ func (s *Server) serveRequest(conn net.Conn, sess *session, t wire.Type, payload
 // Exec route through the session's transaction when one is open, so a
 // connection's statements between TBegin and TCommit commit or roll back
 // as a unit.
-func (s *Server) dispatch(sess *session, t wire.Type, payload []byte) (wire.Type, []byte) {
-	ctx := context.Background()
+func (s *Server) dispatch(sess *session, t wire.Type, payload []byte, reqID uint64) (wire.Type, []byte) {
+	ctx := obs.WithRequestID(context.Background(), reqID)
 	if s.cfg.RequestTimeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, s.cfg.RequestTimeout)
@@ -379,7 +400,7 @@ func (s *Server) dispatch(sess *session, t wire.Type, payload []byte) (wire.Type
 	}
 	if s.cfg.ReadOnly {
 		switch t {
-		case wire.TExec, wire.TBegin, wire.TCommit, wire.TRollback, wire.TCheckpoint:
+		case wire.TExec, wire.TBegin, wire.TCommit, wire.TRollback, wire.TTraceCommit, wire.TCheckpoint:
 			return wire.TError, wire.EncodeError(wire.CodeReadOnly,
 				"replica is read-only; send writes to the primary")
 		}
@@ -463,6 +484,29 @@ func (s *Server) dispatch(sess *session, t wire.Type, payload []byte) (wire.Type
 			return wire.TError, encodeErr(ctx, err)
 		}
 		return wire.TOK, nil
+	case wire.TTraceCommit:
+		if sess.tx == nil {
+			return wire.TError, wire.EncodeError(wire.CodeTxState, "no transaction is open on this connection")
+		}
+		ct, err := sess.tx.CommitTraced(ctx)
+		sess.tx = nil
+		if err != nil {
+			return wire.TError, encodeErr(ctx, err)
+		}
+		return wire.TCommitTraced, wire.EncodeCommitInfo(wire.FromCommitTrace(ct))
+	case wire.TIntrospect:
+		if len(payload) != 1 {
+			return wire.TError, wire.EncodeError(wire.CodeProtocol, "Introspect wants a 1-byte kind")
+		}
+		switch payload[0] {
+		case wire.IntrospectFlight:
+			return wire.TIntrospectOK, []byte(s.db.FlightRecorder().Dump())
+		case wire.IntrospectHot:
+			return wire.TIntrospectOK, []byte(s.db.HotReport())
+		default:
+			return wire.TError, wire.EncodeError(wire.CodeProtocol,
+				fmt.Sprintf("unknown introspection kind %d", payload[0]))
+		}
 	case wire.TStats:
 		return wire.TStatsOK, wire.EncodeServerStats(s.Stats())
 	case wire.TReplStatus:

@@ -33,6 +33,7 @@ import (
 	"io"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"sim/internal/obs"
 	"sim/internal/pager"
@@ -98,9 +99,11 @@ type Log struct {
 	qmu   sync.Mutex // guards the queue
 	queue []*pendingCommit
 
-	flushMu  sync.Mutex              // held by the group leader during write+sync
-	seq      uint64                  // group sequence number; guarded by flushMu
-	onCommit func([]pager.PageImage) // replication hook; guarded by flushMu
+	flushMu  sync.Mutex                     // held by the group leader during write+sync
+	seq      uint64                         // group sequence number; guarded by flushMu
+	onCommit func(CommitGroup) uint64       // replication hook; guarded by flushMu
+	latch    *obs.Latch                     // leader hand-off contention (always on)
+	flight   atomic.Pointer[obs.FlightRing] // flush events; set by RegisterMetrics
 
 	commits  atomic.Uint64
 	pages    atomic.Uint64
@@ -110,13 +113,25 @@ type Log struct {
 	groupMax atomic.Uint64
 }
 
+// CommitGroup is one durable flush group as seen by the commit hook: the
+// deduplicated page images in first-touched order, and the request IDs of
+// the commits merged into the group (untraced commits contribute no ID).
+type CommitGroup struct {
+	Images []pager.PageImage
+	IDs    []uint64
+}
+
 // pendingCommit is one enqueued batch awaiting its group's fsync. The
 // frames are encoded by the group leader at flush time, which lets the
 // leader merge the whole group into one WAL transaction (see flush). done
 // and err are written by the leader under flushMu and read by the owner
-// under flushMu, so no further synchronization is needed.
+// under flushMu, so no further synchronization is needed; the same
+// ordering covers the trace fields the leader fills in.
 type pendingCommit struct {
 	frames []*pager.Frame
+	id     uint64           // request ID, 0 = untraced
+	ct     *obs.CommitTrace // commit spans to fill, nil when not requested
+	enq    time.Time        // Enqueue time, for the enqueue-wait span
 	done   bool
 	err    error
 }
@@ -150,7 +165,7 @@ func OpenBacking(f pager.ByteFile) (*Log, error) {
 	if err != nil {
 		return nil, fmt.Errorf("wal: size: %w", err)
 	}
-	l := &Log{f: f}
+	l := &Log{f: f, latch: obs.NewLatch("wal_flush")}
 	l.size.Store(size)
 	return l, nil
 }
@@ -216,6 +231,14 @@ func (l *Log) RegisterMetrics(r *obs.Registry) {
 			}
 			return 0
 		})
+	l.latch.Register(r, "WAL group-commit leader hand-off.")
+	ring := r.Flight().Component("wal")
+	l.flight.Store(ring)
+	// Recovery runs before metrics registration, so salvages that happened
+	// at open time are surfaced as a catch-up event.
+	if n := l.salvages.Load(); n > 0 {
+		ring.Event("wal", "salvage", 0, 0, int64(n), "torn tail discarded during recovery")
+	}
 }
 
 func record(kind byte, pageID pager.PageID, payload []byte) []byte {
@@ -248,7 +271,16 @@ func (l *Log) Commit(frames []*pager.Frame) error {
 // their Enqueue calls. The frame images must stay unchanged until Wait
 // returns (the store passes detached snapshot copies).
 func (l *Log) Enqueue(frames []*pager.Frame) *Pending {
-	pc := &pendingCommit{frames: frames}
+	return l.EnqueueTraced(frames, 0, nil)
+}
+
+// EnqueueTraced is Enqueue with trace context: id names the request the
+// batch commits for (it rides into the replication group and the flight
+// recorder), and ct, when non-nil, receives the group-commit spans —
+// enqueue-wait, fsync, group size, replication position — once the batch
+// is durable. ct must not be read until Wait returns.
+func (l *Log) EnqueueTraced(frames []*pager.Frame, id uint64, ct *obs.CommitTrace) *Pending {
+	pc := &pendingCommit{frames: frames, id: id, ct: ct, enq: time.Now()}
 	l.qmu.Lock()
 	l.queue = append(l.queue, pc)
 	l.qmu.Unlock()
@@ -262,7 +294,13 @@ func (l *Log) Enqueue(frames []*pager.Frame) *Pending {
 // next group — that overlap is where fsyncs are saved.
 func (p *Pending) Wait() error {
 	l := p.l
-	l.flushMu.Lock()
+	if l.flushMu.TryLock() {
+		l.latch.Acquired()
+	} else {
+		start := time.Now()
+		l.flushMu.Lock()
+		l.latch.Waited(time.Since(start))
+	}
 	defer l.flushMu.Unlock()
 	if !p.pc.done {
 		l.qmu.Lock()
@@ -288,6 +326,7 @@ func (p *Pending) Wait() error {
 // every member of the group: none of them were acknowledged, so none are
 // lost.
 func (l *Log) flush(batch []*pendingCommit) {
+	pickup := time.Now()
 	fail := func(err error) {
 		for _, pc := range batch {
 			pc.done = true
@@ -319,6 +358,7 @@ func (l *Log) flush(batch []*pendingCommit) {
 	var seqb [8]byte
 	binary.BigEndian.PutUint64(seqb[:], l.seq)
 	buf = append(buf, record(recCommit, 0, seqb[:])...)
+	ioStart := time.Now()
 	if _, err := l.f.WriteAt(buf, l.size.Load()); err != nil {
 		l.setPoison(err)
 		fail(fmt.Errorf("wal: append: %w", err))
@@ -329,6 +369,7 @@ func (l *Log) flush(batch []*pendingCommit) {
 		fail(fmt.Errorf("wal: sync: %w", err))
 		return
 	}
+	syncDur := time.Since(ioStart)
 	l.size.Add(int64(len(buf)))
 	l.commits.Add(uint64(len(batch)))
 	l.bytes.Add(uint64(len(buf)))
@@ -340,23 +381,48 @@ func (l *Log) flush(batch []*pendingCommit) {
 	for _, pc := range batch {
 		pc.done = true
 	}
+	var ids []uint64
+	for _, pc := range batch {
+		if pc.id != 0 {
+			ids = append(ids, pc.id)
+		}
+	}
+	var pos uint64
 	if l.onCommit != nil {
 		images := make([]pager.PageImage, len(order))
 		for i, id := range order {
 			images[i] = pager.PageImage{ID: id, Data: last[id]}
 		}
-		l.onCommit(images)
+		pos = l.onCommit(CommitGroup{Images: images, IDs: ids})
 	}
+	for _, pc := range batch {
+		if pc.ct != nil {
+			pc.ct.EnqueueWait = pickup.Sub(pc.enq)
+			pc.ct.Fsync = syncDur
+			pc.ct.GroupN = len(batch)
+			pc.ct.Pos = pos
+		}
+	}
+	var fid uint64
+	if len(ids) > 0 {
+		fid = ids[0]
+	}
+	l.flight.Load().Record(obs.FlightEvent{
+		Comp: "wal", Kind: "flush", ID: fid, Pos: pos, Dur: syncDur,
+		N: int64(len(batch)), Note: fmt.Sprintf("pages=%d", len(order)),
+	})
 }
 
 // SetOnCommit installs a hook invoked after every commit group becomes
 // durable, with the group's deduplicated page images in first-touched
-// order. Hooks run under the flush lock, so they observe groups in commit
-// order; they must be fast (they extend the commit path) and must copy
-// the image bytes before returning — the Data slices alias the
-// committers' snapshot buffers. The replication publisher is the only
-// intended client.
-func (l *Log) SetOnCommit(fn func([]pager.PageImage)) {
+// order plus the request IDs that rode the group. Hooks run under the
+// flush lock, so they observe groups in commit order; they must be fast
+// (they extend the commit path) and must copy the image bytes before
+// returning — the Data slices alias the committers' snapshot buffers.
+// The returned value is the replication position the group published at
+// (0 when unreplicated), copied into each member's CommitTrace. The
+// replication publisher is the only intended client.
+func (l *Log) SetOnCommit(fn func(CommitGroup) uint64) {
 	l.flushMu.Lock()
 	l.onCommit = fn
 	l.flushMu.Unlock()

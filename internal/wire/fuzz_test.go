@@ -19,7 +19,9 @@ func FuzzDecodeFrame(f *testing.F) {
 	// Seed corpus: one well-formed frame of every payload-carrying type,
 	// plus classic corruption shapes. testdata/fuzz holds more.
 	f.Add(frame(THello, EncodeHello()))
-	f.Add(frame(TQuery, []byte(`From student Retrieve name.`)))
+	f.Add(frame(TQuery, EncodeRequest(0xBEEF, []byte(`From student Retrieve name.`))))
+	f.Add(frame(TCommitTraced, EncodeCommitInfo(CommitInfo{ID: 0xBEEF, Pages: 2, GroupN: 1,
+		Pos: 4, FsyncNS: 1e6, TotalNS: 2e6, Rendered: "commit\n"})))
 	f.Add(frame(TError, EncodeError(CodeExec, "integrity violation v2")))
 	f.Add(frame(TExecOK, EncodeCount(1729)))
 	f.Add(frame(TStatsOK, EncodeServerStats(ServerStats{Connections: 3, Requests: 99})))
@@ -57,6 +59,20 @@ func FuzzDecodeFrame(f *testing.F) {
 		switch typ {
 		case THello:
 			DecodeHello(payload)
+		case TQuery, TExec, TQueryTrace, TBegin, TCommit, TRollback, TTraceCommit:
+			DecodeRequest(payload)
+		case TCommitTraced:
+			if ci, err := DecodeCommitInfo(payload); err == nil {
+				if _, err := DecodeCommitInfo(EncodeCommitInfo(ci)); err != nil {
+					t.Fatalf("re-encode of decoded commit info failed: %v", err)
+				}
+			}
+		case TResultTrace:
+			if res, ti, err := DecodeResultTrace(payload); err == nil {
+				if _, _, err := DecodeResultTrace(EncodeResultTrace(res, ti)); err != nil {
+					t.Fatalf("re-encode of decoded result trace failed: %v", err)
+				}
+			}
 		case TResult:
 			if res, err := DecodeResult(payload); err == nil {
 				// A decoded result must survive re-encoding: the frames a

@@ -44,8 +44,12 @@ func main() {
 		}},
 		exec.Stats{Instances: 12, Rows: 2})
 	seeds := map[string][]byte{
-		"hello":          frame(wire.THello, wire.EncodeHello()),
-		"query":          frame(wire.TQuery, []byte(`From student Retrieve name, name of advisor Where student-nbr = 1729.`)),
+		"hello": frame(wire.THello, wire.EncodeHello()),
+		"query": frame(wire.TQuery, wire.EncodeRequest(0xDEADBEEF, []byte(`From student Retrieve name, name of advisor Where student-nbr = 1729.`))),
+		"commit-traced": frame(wire.TCommitTraced, wire.EncodeCommitInfo(wire.CommitInfo{
+			ID: 0xDEADBEEF, Pages: 3, GroupN: 2, Pos: 17, LatchWaitNS: 1200, EnqueueWaitNS: 88000,
+			FsyncNS: 640000, TotalNS: 910000, Rendered: "commit request 00000000deadbeef\n"})),
+		"introspect":     frame(wire.TIntrospect, []byte{wire.IntrospectFlight}),
 		"result":         frame(wire.TResult, wire.EncodeResult(res)),
 		"error":          frame(wire.TError, wire.EncodeError(wire.CodeTimeout, "request deadline exceeded")),
 		"count":          frame(wire.TExecOK, wire.EncodeCount(38000)),
@@ -57,7 +61,7 @@ func main() {
 		"repl-snapshot": frame(wire.TReplSnapshot, wire.EncodeReplSnapshot(wire.ReplSnapshot{
 			Epoch: 9, Pos: 17, Gen: 2, Total: 1 << 16, Offset: 4096, Chunk: bytes.Repeat([]byte{0xA5}, 512)})),
 		"repl-frames": frame(wire.TReplFrames, wire.EncodeReplFrames(wire.ReplFrames{
-			Epoch: 9, Pos: 18, Latest: 20, Gen: 2,
+			Epoch: 9, Pos: 18, Latest: 20, Gen: 2, TS: 1 << 60, IDs: []uint64{0xDEADBEEF, 7},
 			Pages: []wire.ReplPage{{ID: 0, Data: bytes.Repeat([]byte{0x5A}, 128)}, {ID: 31, Data: []byte("tail page")}}})),
 		"repl-heartbeat": frame(wire.TReplFrames, wire.EncodeReplFrames(wire.ReplFrames{Epoch: 9, Latest: 20})),
 		"repl-status": frame(wire.TReplStatusOK, wire.EncodeReplStatus(wire.ReplStatus{

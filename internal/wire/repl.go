@@ -109,16 +109,25 @@ func DecodeReplSnapshot(b []byte) (ReplSnapshot, error) {
 
 // ReplFrames is one committed page group: the publisher position it
 // advances the follower to, the primary's latest position (for lag
-// estimation), the schema generation the group was committed under, and
-// the page images. Pos == 0 marks a heartbeat: no pages, Latest still
-// current.
+// estimation), the schema generation the group was committed under, the
+// request IDs of the commits merged into the group (trace-context
+// propagation: the follower records them on apply), the primary's
+// wall-clock at publish (unix nanoseconds, for staleness estimation; 0 =
+// unknown), and the page images. Pos == 0 marks a heartbeat: no pages,
+// Latest still current.
 type ReplFrames struct {
 	Epoch  uint64
 	Pos    uint64
 	Latest uint64
 	Gen    uint64
+	TS     uint64
+	IDs    []uint64
 	Pages  []ReplPage
 }
+
+// maxReplFrameIDs bounds the decoded request-ID list against hostile
+// lengths (a flush group merges at most a few hundred commits).
+const maxReplFrameIDs = 1 << 16
 
 // ReplPage is one page image inside a ReplFrames frame.
 type ReplPage struct {
@@ -132,6 +141,11 @@ func EncodeReplFrames(f ReplFrames) []byte {
 	b = binary.AppendUvarint(b, f.Pos)
 	b = binary.AppendUvarint(b, f.Latest)
 	b = binary.AppendUvarint(b, f.Gen)
+	b = binary.AppendUvarint(b, f.TS)
+	b = binary.AppendUvarint(b, uint64(len(f.IDs)))
+	for _, id := range f.IDs {
+		b = binary.AppendUvarint(b, id)
+	}
 	b = binary.AppendUvarint(b, uint64(len(f.Pages)))
 	for _, p := range f.Pages {
 		b = binary.AppendUvarint(b, uint64(p.ID))
@@ -145,8 +159,8 @@ func EncodeReplFrames(f ReplFrames) []byte {
 // b; callers that retain them past the frame buffer's reuse must copy.
 func DecodeReplFrames(b []byte) (ReplFrames, error) {
 	var f ReplFrames
-	var count uint64
-	for _, dst := range []*uint64{&f.Epoch, &f.Pos, &f.Latest, &f.Gen, &count} {
+	var nids uint64
+	for _, dst := range []*uint64{&f.Epoch, &f.Pos, &f.Latest, &f.Gen, &f.TS, &nids} {
 		v, n := binary.Uvarint(b)
 		if n <= 0 {
 			return ReplFrames{}, fmt.Errorf("wire: bad repl frames frame")
@@ -154,6 +168,25 @@ func DecodeReplFrames(b []byte) (ReplFrames, error) {
 		*dst = v
 		b = b[n:]
 	}
+	if nids > maxReplFrameIDs || nids > uint64(len(b)) { // every ID needs ≥1 byte
+		return ReplFrames{}, fmt.Errorf("wire: repl frames ID count overruns frame")
+	}
+	if nids > 0 {
+		f.IDs = make([]uint64, 0, nids)
+	}
+	for i := uint64(0); i < nids; i++ {
+		id, n := binary.Uvarint(b)
+		if n <= 0 {
+			return ReplFrames{}, fmt.Errorf("wire: bad repl frames request ID")
+		}
+		b = b[n:]
+		f.IDs = append(f.IDs, id)
+	}
+	count, n := binary.Uvarint(b)
+	if n <= 0 {
+		return ReplFrames{}, fmt.Errorf("wire: bad repl frames frame")
+	}
+	b = b[n:]
 	if count > uint64(len(b)) { // every page needs ≥1 byte of encoding
 		return ReplFrames{}, fmt.Errorf("wire: repl frames page count overruns frame")
 	}

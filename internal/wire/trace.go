@@ -15,6 +15,7 @@ import (
 // is shipped pre-rendered rather than re-encoded structurally — clients
 // display it, they don't compute on it).
 type TraceInfo struct {
+	ID          uint64 // request ID the query ran under (0 = untraced)
 	ParseNS     uint64
 	PlanNS      uint64
 	ExecNS      uint64
@@ -33,6 +34,7 @@ type TraceInfo struct {
 // FromQueryTrace flattens an executed trace for the wire.
 func FromQueryTrace(t *obs.QueryTrace) TraceInfo {
 	return TraceInfo{
+		ID:          t.ID,
 		ParseNS:     uint64(t.Parse.Nanoseconds()),
 		PlanNS:      uint64(t.Plan.Nanoseconds()),
 		ExecNS:      uint64(t.Exec.Nanoseconds()),
@@ -46,6 +48,21 @@ func FromQueryTrace(t *obs.QueryTrace) TraceInfo {
 		CacheMisses: t.CacheMisses,
 		PlanCached:  t.PlanCached,
 		Rendered:    t.Render(),
+	}
+}
+
+// FromCommitTrace flattens a commit-span breakdown for the wire.
+func FromCommitTrace(ct *obs.CommitTrace) CommitInfo {
+	return CommitInfo{
+		ID:            ct.ID,
+		Pages:         uint64(ct.Pages),
+		GroupN:        uint64(ct.GroupN),
+		Pos:           ct.Pos,
+		LatchWaitNS:   uint64(ct.LatchWait.Nanoseconds()),
+		EnqueueWaitNS: uint64(ct.EnqueueWait.Nanoseconds()),
+		FsyncNS:       uint64(ct.Fsync.Nanoseconds()),
+		TotalNS:       uint64(ct.Total.Nanoseconds()),
+		Rendered:      ct.Render(),
 	}
 }
 
@@ -69,7 +86,7 @@ func EncodeResultTrace(r *exec.Result, ti TraceInfo) []byte {
 	b := binary.AppendUvarint(nil, uint64(len(res)))
 	b = append(b, res...)
 	for _, v := range []uint64{
-		ti.ParseNS, ti.PlanNS, ti.ExecNS, ti.TotalNS,
+		ti.ID, ti.ParseNS, ti.PlanNS, ti.ExecNS, ti.TotalNS,
 		ti.Rows, ti.Instances, ti.Workers,
 		ti.PagerHits, ti.PagerMisses, ti.CacheHits, ti.CacheMisses,
 	} {
@@ -97,7 +114,7 @@ func DecodeResultTrace(b []byte) (*exec.Result, TraceInfo, error) {
 	}
 	b = b[rlen:]
 	for _, f := range []*uint64{
-		&ti.ParseNS, &ti.PlanNS, &ti.ExecNS, &ti.TotalNS,
+		&ti.ID, &ti.ParseNS, &ti.PlanNS, &ti.ExecNS, &ti.TotalNS,
 		&ti.Rows, &ti.Instances, &ti.Workers,
 		&ti.PagerHits, &ti.PagerMisses, &ti.CacheHits, &ti.CacheMisses,
 	} {

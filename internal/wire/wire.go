@@ -29,7 +29,13 @@ const Magic = "SIMW"
 
 // Version is the protocol version this build speaks. A server refuses a
 // Hello carrying any other version with CodeProtocol.
-const Version = 1
+//
+// Version 2 added trace-context propagation: request payloads that name a
+// statement or transaction-control action (Query, Exec, QueryTrace,
+// Begin, Commit, TraceCommit, Rollback) open with a uvarint request ID
+// (0 = untraced; see EncodeRequest), and ReplFrames carry the IDs of the
+// commits merged into each group plus the publish wall-clock.
+const Version = 2
 
 // DefaultMaxFrame bounds the frames a peer will accept (length field
 // inclusive of the type byte). Large result sets stream inside a single
@@ -42,19 +48,21 @@ type Type byte
 // Frame types.
 const (
 	THello        Type = 0x01 // both directions: magic + version
-	TQuery        Type = 0x10 // payload: DML text of one Retrieve
-	TExec         Type = 0x11 // payload: DML text of one update statement
+	TQuery        Type = 0x10 // payload: uvarint request ID + DML text of one Retrieve
+	TExec         Type = 0x11 // payload: uvarint request ID + DML text of one update statement
 	TExplain      Type = 0x12 // payload: DML text of one Retrieve
 	TCheckpoint   Type = 0x13 // no payload
 	TStats        Type = 0x14 // no payload
 	TPing         Type = 0x15 // no payload
-	TQueryTrace   Type = 0x16 // payload: DML text; answered with TResultTrace
-	TBegin        Type = 0x17 // no payload: open this connection's transaction
-	TCommit       Type = 0x18 // no payload: commit this connection's transaction
-	TRollback     Type = 0x19 // no payload: roll back this connection's transaction
+	TQueryTrace   Type = 0x16 // payload: uvarint request ID + DML text; answered with TResultTrace
+	TBegin        Type = 0x17 // payload: uvarint request ID: open this connection's transaction
+	TCommit       Type = 0x18 // payload: uvarint request ID: commit this connection's transaction
+	TRollback     Type = 0x19 // payload: uvarint request ID: roll back this connection's transaction
 	TReplHello    Type = 0x1A // follower → primary: subscribe (epoch + applied position)
 	TReplStatus   Type = 0x1B // no payload: replication status request
 	TReplAck      Type = 0x1C // follower → primary: applied position
+	TIntrospect   Type = 0x1D // payload: one kind byte (see Introspect*); answered with TIntrospectOK
+	TTraceCommit  Type = 0x1E // payload: uvarint request ID: commit + return the span breakdown
 	TResult       Type = 0x20 // payload: result set (EncodeResult)
 	TExecOK       Type = 0x21 // payload: uvarint affected-entity count
 	TExplainOK    Type = 0x22 // payload: strategy text
@@ -65,7 +73,15 @@ const (
 	TReplSnapshot Type = 0x27 // primary → follower: one chunk of a base image
 	TReplFrames   Type = 0x28 // primary → follower: one committed page group (or heartbeat)
 	TReplStatusOK Type = 0x29 // payload: ReplStatus
+	TIntrospectOK Type = 0x2A // payload: rendered introspection text
+	TCommitTraced Type = 0x2B // payload: CommitInfo (TraceCommit ack)
 	TError        Type = 0x2F // payload: uvarint code + message text
+)
+
+// Introspection kinds (the one-byte TIntrospect payload).
+const (
+	IntrospectFlight byte = 0 // flight-recorder dump
+	IntrospectHot    byte = 1 // latch contention profile
 )
 
 var typeNames = map[Type]string{
@@ -74,10 +90,12 @@ var typeNames = map[Type]string{
 	TQueryTrace: "QueryTrace",
 	TBegin:      "Begin", TCommit: "Commit", TRollback: "Rollback",
 	TReplHello: "ReplHello", TReplStatus: "ReplStatus", TReplAck: "ReplAck",
+	TIntrospect: "Introspect", TTraceCommit: "TraceCommit",
 	TResult: "Result", TExecOK: "ExecOK", TExplainOK: "ExplainOK",
 	TOK: "OK", TStatsOK: "StatsOK", TPong: "Pong",
 	TResultTrace: "ResultTrace", TReplSnapshot: "ReplSnapshot",
-	TReplFrames: "ReplFrames", TReplStatusOK: "ReplStatusOK", TError: "Error",
+	TReplFrames: "ReplFrames", TReplStatusOK: "ReplStatusOK",
+	TIntrospectOK: "IntrospectOK", TCommitTraced: "CommitTraced", TError: "Error",
 }
 
 func (t Type) String() string {
@@ -210,6 +228,73 @@ func DecodeHello(b []byte) (byte, error) {
 		return 0, fmt.Errorf("wire: bad hello (not a SIM peer)")
 	}
 	return b[len(Magic)], nil
+}
+
+// EncodeRequest builds a traced request payload: the uvarint request ID
+// followed by the statement text (empty for the transaction-control
+// frames). ID 0 marks an untraced request.
+func EncodeRequest(id uint64, body []byte) []byte {
+	b := binary.AppendUvarint(make([]byte, 0, binary.MaxVarintLen64+len(body)), id)
+	return append(b, body...)
+}
+
+// DecodeRequest splits a traced request payload into its request ID and
+// body. An empty payload decodes as an untraced empty request, so the
+// transaction-control frames may omit the payload entirely. The body
+// aliases b.
+func DecodeRequest(b []byte) (uint64, []byte, error) {
+	if len(b) == 0 {
+		return 0, nil, nil
+	}
+	id, n := binary.Uvarint(b)
+	if n <= 0 {
+		return 0, nil, fmt.Errorf("wire: bad request ID prefix")
+	}
+	return id, b[n:], nil
+}
+
+// CommitInfo is the span breakdown of one remote commit, the TraceCommit
+// ack: where the write spent its time from latch acquisition through the
+// group-commit flush, and the replication position it published at.
+type CommitInfo struct {
+	ID            uint64 // request ID the commit ran under
+	Pages         uint64 // dirty pages the transaction contributed
+	GroupN        uint64 // commits merged into the same flush group
+	Pos           uint64 // replication position (0 = unreplicated)
+	LatchWaitNS   uint64
+	EnqueueWaitNS uint64
+	FsyncNS       uint64
+	TotalNS       uint64
+	Rendered      string // server-rendered CommitTrace
+}
+
+// EncodeCommitInfo builds a CommitTraced payload.
+func EncodeCommitInfo(ci CommitInfo) []byte {
+	b := binary.AppendUvarint(nil, ci.ID)
+	b = binary.AppendUvarint(b, ci.Pages)
+	b = binary.AppendUvarint(b, ci.GroupN)
+	b = binary.AppendUvarint(b, ci.Pos)
+	b = binary.AppendUvarint(b, ci.LatchWaitNS)
+	b = binary.AppendUvarint(b, ci.EnqueueWaitNS)
+	b = binary.AppendUvarint(b, ci.FsyncNS)
+	b = binary.AppendUvarint(b, ci.TotalNS)
+	return append(b, ci.Rendered...)
+}
+
+// DecodeCommitInfo decodes a CommitTraced payload.
+func DecodeCommitInfo(b []byte) (CommitInfo, error) {
+	var ci CommitInfo
+	for _, f := range []*uint64{&ci.ID, &ci.Pages, &ci.GroupN, &ci.Pos,
+		&ci.LatchWaitNS, &ci.EnqueueWaitNS, &ci.FsyncNS, &ci.TotalNS} {
+		v, n := binary.Uvarint(b)
+		if n <= 0 {
+			return CommitInfo{}, fmt.Errorf("wire: bad commit trace frame")
+		}
+		*f = v
+		b = b[n:]
+	}
+	ci.Rendered = string(b)
+	return ci, nil
 }
 
 // EncodeError builds an Error payload.

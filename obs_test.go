@@ -1,10 +1,13 @@
 package sim
 
 import (
+	"context"
 	"strings"
 	"sync"
 	"testing"
 	"time"
+
+	"sim/internal/obs"
 )
 
 // TestQueryTraceMatchesQuery runs the same statement through Query and
@@ -247,6 +250,25 @@ func TestSlowQueryLog(t *testing.T) {
 	mustQuery(t, off, q)
 	if n := len(off.SlowQueries()); n != 0 {
 		t.Errorf("slow log has %d entries with no threshold configured", n)
+	}
+}
+
+// TestSlowQueryRequestID checks that a request ID carried by the query's
+// context is retained in the slow-query ring, so a slow statement can be
+// correlated with its wire request and flight-recorder events.
+func TestSlowQueryRequestID(t *testing.T) {
+	db := universityDB(t, Config{SlowQuery: time.Nanosecond})
+	const q = `From student Retrieve name.`
+	ctx := obs.WithRequestID(context.Background(), 0xfeed)
+	if _, err := db.QueryCtx(ctx, q); err != nil {
+		t.Fatal(err)
+	}
+	entries := db.SlowQueries()
+	if len(entries) == 0 {
+		t.Fatal("no slow-query entries with a 1ns threshold")
+	}
+	if got := entries[len(entries)-1].ID; got != 0xfeed {
+		t.Errorf("slow entry ID = %x, want feed", got)
 	}
 }
 

@@ -19,6 +19,17 @@ func (db *Database) Metrics() *obs.Registry { return db.reg }
 // unless Config.SlowQuery is set.
 func (db *Database) SlowQueries() []obs.SlowEntry { return db.slow.Entries() }
 
+// FlightRecorder returns the database's always-on flight recorder: ring
+// buffers of recent structured events (transaction begins/commits/
+// conflicts, group-commit flushes, checkpoints, replication applies,
+// incidents) that every component records into. Dump it on an incident.
+func (db *Database) FlightRecorder() *obs.Flight { return db.reg.Flight() }
+
+// HotReport renders the latch contention profile (\hot): acquisition and
+// contention counts plus wait times for the store write latch, the
+// buffer-pool shard locks and the WAL group-commit leader hand-off.
+func (db *Database) HotReport() string { return obs.RenderHot(db.reg.Snapshot()) }
+
 // QueryTrace executes one Retrieve statement like Query while collecting
 // the full span breakdown: parse/plan/execute phases, per-query-tree-node
 // rows and walls, per-worker spans on the parallel path, and the
@@ -32,7 +43,7 @@ func (db *Database) QueryTrace(dml string) (*Result, *obs.QueryTrace, error) {
 // unaffected. The cache deltas are process-wide counters sampled before
 // and after, so under concurrent load they include neighbors' traffic.
 func (db *Database) QueryTraceCtx(ctx context.Context, dml string) (*Result, *obs.QueryTrace, error) {
-	tr := &obs.QueryTrace{Statement: dml}
+	tr := &obs.QueryTrace{Statement: dml, ID: obs.RequestID(ctx)}
 	start := time.Now()
 	res, err := db.queryTraceCtx(ctx, dml, tr)
 	tr.Total = time.Since(start)
@@ -41,7 +52,7 @@ func (db *Database) QueryTraceCtx(ctx context.Context, dml string) (*Result, *ob
 		db.queryErrs.Inc()
 		return nil, nil, err
 	}
-	if db.slow.Observe(dml, tr.Total, res.Stats.Rows) {
+	if db.slow.Observe(dml, tr.Total, res.Stats.Rows, tr.ID) {
 		db.slowCount.Inc()
 	}
 	return res, tr, nil

@@ -3,6 +3,7 @@ package sim
 import (
 	"sim/internal/dmsii"
 	"sim/internal/pager"
+	"sim/internal/wal"
 )
 
 // This file is the database-level replication surface consumed by
@@ -20,10 +21,13 @@ func OpenStore(store *dmsii.Store, cfg Config) (*Database, error) {
 }
 
 // SetCommitHook installs fn to observe every committed page group —
-// deduplicated page images in commit order, delivered after the group's
-// fsync. The image bytes alias commit-internal buffers; fn must copy
-// what it keeps. Errors for in-memory databases (no WAL to ship).
-func (db *Database) SetCommitHook(fn func([]pager.PageImage)) error {
+// deduplicated page images in commit order plus the request IDs that rode
+// the group, delivered after the group's fsync. The image bytes alias
+// commit-internal buffers; fn must copy what it keeps. fn returns the
+// replication position the group published at, which flows back into the
+// committers' CommitTraces. Errors for in-memory databases (no WAL to
+// ship).
+func (db *Database) SetCommitHook(fn func(wal.CommitGroup) uint64) error {
 	return db.store.SetCommitHook(fn)
 }
 

@@ -394,10 +394,14 @@ func (db *Database) Stats() Stats {
 
 // ResetStats zeroes the activity counters, for benchmark phase
 // boundaries: buffer pool hits/misses/writes, plan cache hits/misses
-// (cached plans stay), the LUC record-cache hit/miss counters, and every
+// (cached plans stay), the LUC record-cache hit/miss counters, every
 // registry-owned counter and histogram (executor totals, query/update
-// latency). WAL totals, the page-count gauge and the slow-query log are
-// cumulative and survive a reset.
+// latency, latch wait histograms), and every component that registered an
+// OnReset hook with the registry — latch contention counters and the
+// replication publisher/follower activity totals (groups published and
+// applied, snapshots, evictions, reconnects, staleness). WAL totals, the
+// page-count gauge, replication positions/lag gauges and the slow-query
+// log are cumulative and survive a reset.
 func (db *Database) ResetStats() {
 	db.mu.RLock()
 	mapper := db.mapper
@@ -428,7 +432,7 @@ func (db *Database) QueryCtx(ctx context.Context, dml string) (*Result, error) {
 		db.queryErrs.Inc()
 		return nil, err
 	}
-	if db.slow.Observe(dml, d, res.Stats.Rows) {
+	if db.slow.Observe(dml, d, res.Stats.Rows, obs.RequestID(ctx)) {
 		db.slowCount.Inc()
 	}
 	return res, nil
@@ -681,7 +685,20 @@ type ScrubReport = dmsii.ScrubReport
 // requires a write-quiescent database: it fails if a transaction is open,
 // and callers must not run updates concurrently with the audit.
 func (db *Database) Scrub() (ScrubReport, error) {
-	return db.store.Scrub()
+	rep, err := db.store.Scrub()
+	if err != nil || !rep.OK() {
+		// A failed audit is exactly the incident the flight recorder exists
+		// for: record it so the auto-dump (simdb \verify, crash matrix)
+		// carries the recent history alongside the failure.
+		note := ""
+		if err != nil {
+			note = err.Error()
+		} else if len(rep.Errors) > 0 {
+			note = rep.Errors[0]
+		}
+		db.reg.Flight().Component("store").Event("store", "scrub-fail", 0, 0, int64(len(rep.Corrupt)), note)
+	}
+	return rep, err
 }
 
 // SchemaSummary renders a one-line-per-class summary of the schema, with

@@ -9,6 +9,7 @@ import (
 
 	"sim/internal/ast"
 	"sim/internal/dmsii"
+	"sim/internal/obs"
 	"sim/internal/parser"
 )
 
@@ -66,6 +67,10 @@ func (db *Database) Begin(ctx context.Context) (*Tx, error) {
 	if err != nil {
 		return nil, err
 	}
+	// The request ID carried by ctx (the client's TBegin frame) names the
+	// transaction in the flight recorder and the replication stream even
+	// when the commit is not explicitly traced.
+	txn.SetTrace(obs.RequestID(ctx), nil)
 	return &Tx{db: db, txn: txn}, nil
 }
 
@@ -123,6 +128,25 @@ func (tx *Tx) Commit() error {
 		return err
 	}
 	return nil
+}
+
+// CommitTraced is Commit with a span breakdown: it returns where the
+// commit spent its time — class-latch and write-latch waits, the wait for
+// the group-commit leader to pick the batch up, the shared fsync, and the
+// replication position the commit group published at. The trace ID is
+// taken from ctx (see obs.WithRequestID); the same ID is then findable in
+// the flight recorder on the primary and on every follower that applied
+// the group. The trace is valid even when the commit fails (spans up to
+// the failure are filled).
+func (tx *Tx) CommitTraced(ctx context.Context) (*obs.CommitTrace, error) {
+	ct := &obs.CommitTrace{}
+	if !tx.done && tx.err == nil {
+		tx.txn.SetTrace(obs.RequestID(ctx), ct)
+	}
+	start := time.Now()
+	err := tx.Commit()
+	ct.Total = time.Since(start)
+	return ct, err
 }
 
 // Rollback discards the transaction's effects. Rolling back a finished
