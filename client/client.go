@@ -461,6 +461,37 @@ func (c *Conn) ReplStatus(ctx context.Context) (wire.ReplStatus, error) {
 	return wire.DecodeReplStatus(resp)
 }
 
+// Addr returns the address this connection dials.
+func (c *Conn) Addr() string { return c.addr }
+
+// Promote asks a replica server to promote itself to primary: drain and
+// seal its replication stream, persist a strictly higher epoch, and start
+// accepting writes. It returns the epoch the new primary owns. Promoting
+// a server that is already primary returns its current epoch (the request
+// is idempotent); a server with no replication role refuses.
+//
+// Not retried: a promotion that half-happened should be observed, not
+// transparently repeated.
+func (c *Conn) Promote(ctx context.Context) (uint64, error) {
+	resp, err := c.call(ctx, wire.TPromote, nil, wire.TPromoteOK, false)
+	if err != nil {
+		return 0, err
+	}
+	return wire.DecodePromoteOK(resp)
+}
+
+// Retarget delivers a fencing/re-point notice: "epoch exists; its primary
+// serves at addr". A primary holding a lower epoch demotes itself to
+// read-only (further writes answer CodeFenced); a replica re-points its
+// replication stream at addr. Operators normally don't call this — the
+// promoted primary's fencer does — but it is the manual override when
+// automation is down.
+func (c *Conn) Retarget(ctx context.Context, epoch uint64, addr string) error {
+	payload := wire.EncodeRetarget(wire.Retarget{Epoch: epoch, Addr: addr})
+	_, err := c.call(ctx, wire.TRetarget, payload, wire.TOK, false)
+	return err
+}
+
 // ServerStats returns the server's lifetime counters.
 func (c *Conn) ServerStats(ctx context.Context) (wire.ServerStats, error) {
 	resp, err := c.call(ctx, wire.TStats, nil, wire.TStatsOK, true)

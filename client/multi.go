@@ -4,24 +4,61 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/rand"
+	"sync"
 	"sync/atomic"
+	"time"
 
 	"sim"
 	"sim/internal/wire"
 )
 
+// ejectAfter is how many consecutive failover-class failures eject a
+// node from the read rotation. One flake keeps serving; a dead server is
+// out after a burst, and a background probe re-admits it when it answers
+// Ping again.
+const ejectAfter = 3
+
 // Multi is a topology-aware client over one primary and any number of
 // read replicas. Reads (Query, QueryTrace, Explain) are sprayed
-// round-robin across the replicas and fail over to the next replica —
-// and finally the primary — on retryable errors; everything with side
-// effects or transactional state (Exec, Begin, Checkpoint) is pinned to
-// the primary. Replicas serve a bounded-stale view: a read immediately
-// after a write may not observe it; read-your-writes callers should use
-// Primary() directly.
+// round-robin across the healthy replicas and fail over to the next
+// replica — and finally the primary — on retryable errors; everything
+// with side effects or transactional state (Exec, Begin, Checkpoint)
+// goes to the current primary. Replicas serve a bounded-stale view: a
+// read immediately after a write may not observe it; read-your-writes
+// callers should use Primary() directly.
+//
+// The primary is runtime state, not configuration. When a write fails in
+// a way that proves it never executed — the connection could not be
+// dialed, the send itself failed, or the server answered CodeFenced,
+// CodeReadOnly, or CodeShutdown — Multi probes every node's ReplStatus,
+// adopts the node reporting role "primary" with the highest epoch, and
+// retries the write there once. After a failover-with-promotion the same
+// Multi keeps writing without reconfiguration. An open Tx never moves:
+// it is pinned to the connection it began on and fails with ErrTxLost
+// when that server dies (begin a new transaction on the new primary).
+//
+// A node ejected from the read rotation is probed in the background and
+// re-admitted when it answers again.
 type Multi struct {
-	primary  *Conn
-	replicas []*Conn
-	next     atomic.Uint64
+	cfg  Config
+	next atomic.Uint64
+	quit chan struct{}
+
+	mu      sync.Mutex
+	nodes   []*mnode
+	primary *mnode
+	closed  bool
+}
+
+// mnode is one server in the topology. Health fields are guarded by
+// Multi.mu; the Conn itself is safe for concurrent use.
+type mnode struct {
+	addr    string
+	conn    *Conn
+	fails   int  // consecutive failover-class failures
+	down    bool // ejected from the read rotation
+	probing bool // a background re-probe goroutine is running
 }
 
 // DialMulti connects to addrs[0] as the primary and the rest as read
@@ -35,34 +72,56 @@ func DialMultiConfig(addrs []string, cfg Config) (*Multi, error) {
 	if len(addrs) == 0 {
 		return nil, fmt.Errorf("client: DialMulti needs at least a primary address")
 	}
-	primary, err := DialConfig(addrs[0], cfg)
-	if err != nil {
-		return nil, err
-	}
-	m := &Multi{primary: primary}
-	for _, addr := range addrs[1:] {
-		rc, err := DialConfig(addr, cfg)
+	m := &Multi{cfg: cfg, quit: make(chan struct{})}
+	for _, addr := range addrs {
+		c, err := DialConfig(addr, cfg)
 		if err != nil {
 			m.Close()
 			return nil, err
 		}
-		m.replicas = append(m.replicas, rc)
+		m.nodes = append(m.nodes, &mnode{addr: addr, conn: c})
 	}
+	m.primary = m.nodes[0]
 	return m, nil
 }
 
-// Primary returns the primary connection, for callers that need
-// read-your-writes or transactional reads.
-func (m *Multi) Primary() *Conn { return m.primary }
+// Primary returns the current primary connection, for callers that need
+// read-your-writes or transactional reads. After a write failover this
+// is the promoted node, not necessarily addrs[0].
+func (m *Multi) Primary() *Conn {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.primary.conn
+}
 
-// Replicas returns the replica connections in dial order.
-func (m *Multi) Replicas() []*Conn { return m.replicas }
+// Replicas returns the connections currently playing replica (every node
+// except the current primary), in dial order.
+func (m *Multi) Replicas() []*Conn {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var out []*Conn
+	for _, n := range m.nodes {
+		if n != m.primary {
+			out = append(out, n.conn)
+		}
+	}
+	return out
+}
 
 // Close closes every connection, returning the first error.
 func (m *Multi) Close() error {
-	err := m.primary.Close()
-	for _, rc := range m.replicas {
-		if cerr := rc.Close(); err == nil {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil
+	}
+	m.closed = true
+	nodes := m.nodes
+	m.mu.Unlock()
+	close(m.quit)
+	var err error
+	for _, n := range nodes {
+		if cerr := n.conn.Close(); err == nil {
 			err = cerr
 		}
 	}
@@ -71,8 +130,9 @@ func (m *Multi) Close() error {
 
 // failover reports whether a read that failed on one server is worth
 // sending to another: transport failures the connection's own retries
-// could not fix, and load-shedding or draining responses. Statement
-// errors (parse, semantic, exec) would fail identically everywhere.
+// could not fix, fencing/read-only refusals, and load-shedding or
+// draining responses. Statement errors (parse, semantic, exec) would
+// fail identically everywhere.
 func failover(err error) bool {
 	var ne *NetError
 	if errors.As(err, &ne) {
@@ -81,27 +141,185 @@ func failover(err error) bool {
 	var we *wire.Error
 	if errors.As(err, &we) {
 		switch we.Code {
-		case wire.CodeOverloaded, wire.CodeBusy, wire.CodeShutdown:
+		case wire.CodeOverloaded, wire.CodeBusy, wire.CodeShutdown, wire.CodeFenced:
 			return true
 		}
 	}
 	return false
 }
 
-// read runs fn against replicas round-robin with failover, ending at the
-// primary. With no replicas it goes straight to the primary.
-func (m *Multi) read(ctx context.Context, fn func(*Conn) error) error {
-	if len(m.replicas) > 0 {
-		start := int(m.next.Add(1) - 1)
-		for i := range m.replicas {
-			rc := m.replicas[(start+i)%len(m.replicas)]
-			err := fn(rc)
-			if err == nil || !failover(err) || ctx.Err() != nil {
-				return err
-			}
+// writeFailover reports whether a failed write is safe to redirect to a
+// different primary: only errors that prove the statement never
+// executed. A dial, handshake, or send failure means the request never
+// reached dispatch; CodeFenced, CodeReadOnly, and CodeShutdown are
+// refusals issued before execution. A receive failure proves nothing —
+// the server may have applied the write and died answering — so it is
+// surfaced, never redirected (redirecting could double-apply).
+func writeFailover(err error) bool {
+	var ne *NetError
+	if errors.As(err, &ne) {
+		return ne.Op != "receive" && ne.Op != "transaction"
+	}
+	var we *wire.Error
+	if errors.As(err, &we) {
+		switch we.Code {
+		case wire.CodeFenced, wire.CodeReadOnly, wire.CodeShutdown:
+			return true
 		}
 	}
-	return fn(m.primary)
+	return false
+}
+
+// recordFailure counts one failover-class failure against a node,
+// ejecting it from the read rotation — and starting its background
+// re-probe — once ejectAfter consecutive failures accumulate.
+func (m *Multi) recordFailure(n *mnode) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if n.fails++; n.fails < ejectAfter || n.down || m.closed {
+		return
+	}
+	n.down = true
+	if !n.probing {
+		n.probing = true
+		go m.probe(n)
+	}
+}
+
+// recordSuccess resets a node's failure streak.
+func (m *Multi) recordSuccess(n *mnode) {
+	m.mu.Lock()
+	n.fails = 0
+	m.mu.Unlock()
+}
+
+// probe pings an ejected node with jittered backoff until it answers,
+// then re-admits it to the read rotation.
+func (m *Multi) probe(n *mnode) {
+	backoff := 250 * time.Millisecond
+	for {
+		select {
+		case <-m.quit:
+			return
+		case <-time.After(backoff/2 + time.Duration(rand.Int63n(int64(backoff/2)+1))):
+		}
+		if backoff *= 2; backoff > 5*time.Second {
+			backoff = 5 * time.Second
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		err := n.conn.Ping(ctx)
+		cancel()
+		m.mu.Lock()
+		if m.closed {
+			m.mu.Unlock()
+			return
+		}
+		if err == nil {
+			n.down, n.fails, n.probing = false, 0, false
+			m.mu.Unlock()
+			return
+		}
+		m.mu.Unlock()
+	}
+}
+
+// readPlan snapshots the healthy replicas (rotated by the round-robin
+// cursor) and the primary to end at.
+func (m *Multi) readPlan() (replicas []*mnode, primary *mnode) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, n := range m.nodes {
+		if n != m.primary && !n.down {
+			replicas = append(replicas, n)
+		}
+	}
+	if len(replicas) > 1 {
+		start := int(m.next.Add(1)-1) % len(replicas)
+		replicas = append(replicas[start:], replicas[:start]...)
+	}
+	return replicas, m.primary
+}
+
+// read runs fn against healthy replicas round-robin with failover,
+// ending at the primary. With no (healthy) replicas it goes straight to
+// the primary.
+func (m *Multi) read(ctx context.Context, fn func(*Conn) error) error {
+	replicas, primary := m.readPlan()
+	for _, n := range replicas {
+		err := fn(n.conn)
+		if err == nil || ctx.Err() != nil {
+			m.recordSuccess(n)
+			return err
+		}
+		if !failover(err) {
+			return err
+		}
+		m.recordFailure(n)
+	}
+	return fn(primary.conn)
+}
+
+// write runs fn against the current primary. If it fails in a way that
+// proves the statement never executed, the topology is re-probed for the
+// server actually holding the primary role (highest epoch wins) and the
+// write is retried there once.
+func (m *Multi) write(ctx context.Context, fn func(*Conn) error) error {
+	m.mu.Lock()
+	p := m.primary
+	m.mu.Unlock()
+	err := fn(p.conn)
+	if err == nil || !writeFailover(err) || ctx.Err() != nil {
+		return err
+	}
+	np := m.findPrimary(ctx)
+	if np == nil || np == p {
+		return err
+	}
+	return fn(np.conn)
+}
+
+// findPrimary asks every node for its ReplStatus and adopts the one
+// reporting role "primary" with the highest epoch — after a failover
+// that is the promoted follower; the fenced old primary reports
+// "fenced" and a lower epoch, so it can never win. Returns nil when no
+// node claims the role.
+func (m *Multi) findPrimary(ctx context.Context) *mnode {
+	m.mu.Lock()
+	nodes := make([]*mnode, len(m.nodes))
+	copy(nodes, m.nodes)
+	m.mu.Unlock()
+
+	type claim struct {
+		n     *mnode
+		epoch uint64
+	}
+	results := make(chan claim, len(nodes))
+	for _, n := range nodes {
+		go func(n *mnode) {
+			pctx, cancel := context.WithTimeout(ctx, 3*time.Second)
+			defer cancel()
+			st, err := n.conn.ReplStatus(pctx)
+			if err != nil || st.Role != "primary" {
+				results <- claim{}
+				return
+			}
+			results <- claim{n: n, epoch: st.Epoch}
+		}(n)
+	}
+	var best claim
+	for range nodes {
+		if c := <-results; c.n != nil && (best.n == nil || c.epoch > best.epoch) {
+			best = c
+		}
+	}
+	if best.n == nil {
+		return nil
+	}
+	m.mu.Lock()
+	m.primary = best.n
+	best.n.down, best.n.fails = false, 0
+	m.mu.Unlock()
+	return best.n
 }
 
 // Query executes one Retrieve on a replica (or the primary as a last
@@ -177,33 +395,52 @@ func (m *Multi) ExplainCtx(ctx context.Context, dml string) (string, error) {
 	return text, err
 }
 
-// Exec executes one update statement on the primary.
+// Exec executes one update statement on the current primary, following
+// a promotion if the old primary is gone or fenced.
 func (m *Multi) Exec(dml string) (int, error) {
 	return m.ExecCtx(context.Background(), dml)
 }
 
-// ExecCtx is Exec under a context; always the primary.
+// ExecCtx is Exec under a context.
 func (m *Multi) ExecCtx(ctx context.Context, dml string) (int, error) {
-	return m.primary.ExecCtx(ctx, dml)
+	var n int
+	err := m.write(ctx, func(c *Conn) error {
+		var e error
+		n, e = c.ExecCtx(ctx, dml)
+		return e
+	})
+	return n, err
 }
 
-// Begin opens a transaction on the primary; transactions never move.
+// Begin opens a transaction on the current primary. The transaction is
+// pinned to that server: if it dies mid-transaction the Tx fails with
+// ErrTxLost, and the caller begins a fresh transaction (which follows
+// the promotion).
 func (m *Multi) Begin(ctx context.Context) (*Tx, error) {
-	return m.primary.Begin(ctx)
+	var tx *Tx
+	err := m.write(ctx, func(c *Conn) error {
+		var e error
+		tx, e = c.Begin(ctx)
+		return e
+	})
+	if err != nil {
+		return nil, err
+	}
+	return tx, nil
 }
 
-// Checkpoint checkpoints the primary.
+// Checkpoint checkpoints the current primary.
 func (m *Multi) Checkpoint(ctx context.Context) error {
-	return m.primary.Checkpoint(ctx)
+	return m.write(ctx, func(c *Conn) error { return c.Checkpoint(ctx) })
 }
 
-// Ping checks the primary end to end.
+// Ping checks the current primary end to end.
 func (m *Multi) Ping(ctx context.Context) error {
-	return m.primary.Ping(ctx)
+	return m.Primary().Ping(ctx)
 }
 
-// ReplStatus returns the primary's replication status (its view of every
-// follower's acked position and lag).
+// ReplStatus returns the current primary's replication status (its view
+// of every follower's acked position and lag).
 func (m *Multi) ReplStatus(ctx context.Context) (wire.ReplStatus, error) {
-	return m.primary.ReplStatus(ctx)
+	return m.Primary().ReplStatus(ctx)
 }

@@ -6,15 +6,17 @@
 //	simbench [-run id[,id...]] [-scale n] [-reps n] [-parallel n] [-net] [-check-allocs]
 //
 // Experiment ids: fig2, adds, dml, t1..t10, t12 (alias: txn), t13
-// (alias: vm), obs, obs2, fault, repl (alias: t14), all (default). The t9 run
+// (alias: vm), obs, obs2, fault, repl (alias: t14), failover (alias:
+// t15), all (default). The t9 run
 // writes its table to BENCH_parallel.json, the t10 run (network mode,
 // also selectable as -net) writes BENCH_net.json, the t12/txn run (group
 // commit) writes BENCH_txn.json, the t13/vm run (compiled evaluator)
 // writes BENCH_vm.json, the obs run (tracing overhead) writes
 // BENCH_obs.json, the obs2 run (always-on flight recorder overhead)
 // writes BENCH_obs2.json, the fault run (checksum/recovery/retry overhead)
-// writes BENCH_fault.json, and the repl/t14 run (read replicas, sized by
-// -followers) writes BENCH_repl.json for machine consumption. Every artifact records
+// writes BENCH_fault.json, the repl/t14 run (read replicas, sized by
+// -followers) writes BENCH_repl.json, and the failover/t15 run
+// (follower promotion) writes BENCH_failover.json for machine consumption. Every artifact records
 // allocs/op and bytes/op for its hot operations; -check-allocs compares
 // a fresh t13 run against the committed BENCH_vm.json and fails if any
 // compiled-path operation allocates more than 20% over the recorded
@@ -32,7 +34,7 @@ import (
 )
 
 func main() {
-	run := flag.String("run", "all", "comma-separated experiment ids (fig2,adds,dml,t1..t10,t12/txn,t13/vm,obs,obs2,fault,repl/t14)")
+	run := flag.String("run", "all", "comma-separated experiment ids (fig2,adds,dml,t1..t10,t12/txn,t13/vm,obs,obs2,fault,repl/t14,failover/t15)")
 	scale := flag.Int("scale", 1, "workload scale factor")
 	reps := flag.Int("reps", 5, "repetitions per measurement")
 	parallel := flag.Int("parallel", 8, "maximum concurrent clients for t9/t10")
@@ -70,6 +72,9 @@ func main() {
 	if want["t14"] { // alias for the replication experiment
 		want["repl"] = true
 	}
+	if want["t15"] { // alias for the failover experiment
+		want["failover"] = true
+	}
 	all := want["all"]
 	sel := func(id string) bool { return all || want[strings.ToLower(id)] }
 
@@ -97,16 +102,18 @@ func main() {
 		{"obs2", func() (*bench.Table, error) { return bench.Obs2(w, *reps) }},
 		{"fault", func() (*bench.Table, error) { return bench.Fault(*reps) }},
 		{"repl", func() (*bench.Table, error) { return bench.Repl(w, *reps, *followers) }},
+		{"failover", func() (*bench.Table, error) { return bench.Failover(*reps) }},
 	}
 	artifacts := map[string]string{
-		"t9":    "BENCH_parallel.json",
-		"t10":   "BENCH_net.json",
-		"t12":   "BENCH_txn.json",
-		"t13":   "BENCH_vm.json",
-		"obs":   "BENCH_obs.json",
-		"obs2":  "BENCH_obs2.json",
-		"fault": "BENCH_fault.json",
-		"repl":  "BENCH_repl.json",
+		"t9":       "BENCH_parallel.json",
+		"t10":      "BENCH_net.json",
+		"t12":      "BENCH_txn.json",
+		"t13":      "BENCH_vm.json",
+		"obs":      "BENCH_obs.json",
+		"obs2":     "BENCH_obs2.json",
+		"fault":    "BENCH_fault.json",
+		"repl":     "BENCH_repl.json",
+		"failover": "BENCH_failover.json",
 	}
 	ran := 0
 	for _, ex := range experiments {

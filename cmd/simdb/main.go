@@ -26,7 +26,9 @@
 //	\check            run every VERIFY assertion (local only)
 //	\verify           audit storage: page checksums + full structure scan (local only)
 //	\stats            print server counters (remote) or engine stats (local)
-//	\replicas         print replication role, positions and per-follower lag (remote)
+//	\replicas         print replication role, epoch, positions and per-follower lag (remote)
+//	\promote          promote the connected replica to primary (remote)
+//	\retarget e addr  fence a stale primary / re-point a replica at addr under epoch e (remote)
 //	\flight           dump the flight recorder (recent structured engine events)
 //	\hot              show the latch contention profile (waits and conflicts)
 //	\quit             exit
@@ -41,6 +43,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 
 	"sim"
@@ -345,12 +348,41 @@ func command(sh *shell, line string) bool {
 			break
 		}
 		fmt.Println("role=local (replication runs under simserve; use -connect)")
+	case `\promote`:
+		conn := remoteConn(s)
+		if conn == nil {
+			fmt.Fprintln(os.Stderr, `\promote needs a remote session (use -connect with the replica's address)`)
+			break
+		}
+		epoch, err := conn.Promote(context.Background())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			break
+		}
+		fmt.Printf("promoted: %s is primary at epoch %d\n", conn.Addr(), epoch)
+	case `\retarget`:
+		conn := remoteConn(s)
+		if conn == nil {
+			fmt.Fprintln(os.Stderr, `\retarget needs a remote session`)
+			break
+		}
+		epochStr, addr, _ := strings.Cut(strings.TrimSpace(rest), " ")
+		epoch, perr := strconv.ParseUint(epochStr, 10, 64)
+		if perr != nil || strings.TrimSpace(addr) == "" {
+			fmt.Fprintln(os.Stderr, `usage: \retarget <epoch> <primary-addr> — fence a stale primary / re-point a replica`)
+			break
+		}
+		if err := conn.Retarget(context.Background(), epoch, strings.TrimSpace(addr)); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			break
+		}
+		fmt.Printf("retargeted %s to %s (epoch %d)\n", conn.Addr(), strings.TrimSpace(addr), epoch)
 	case `\help`:
 		fmt.Println(`statements end with '.' or ';'
 DDL:  Type/Class/Subclass/Verify declarations (via -schema or pasted; local only)
 DML:  Retrieve / Insert / Modify / Delete
 TXN:  Begin [Transaction] / Commit / Rollback (prompt shows txn> while open)
-commands: \schema \classes \explain <q> \analyze <q> \timing [on|off] \check \verify \stats \replicas \flight \hot \quit`)
+commands: \schema \classes \explain <q> \analyze <q> \timing [on|off] \check \verify \stats \replicas \promote \retarget <epoch> <addr> \flight \hot \quit`)
 	default:
 		fmt.Fprintf(os.Stderr, "unknown command %s (try \\help)\n", cmd)
 	}

@@ -5,7 +5,7 @@
 // Usage:
 //
 //	simserve [-addr :1988] [-db file] [-schema ddl-file] [-university]
-//	         [-replica-of addr] [-max-conns n] [-workers n]
+//	         [-replica-of addr] [-advertise addr] [-max-conns n] [-workers n]
 //	         [-request-timeout d] [-read-timeout d] [-write-timeout d]
 //	         [-drain d] [-log-level info] [-metrics addr]
 //	         [-slow-query d] [-slow-request d] [-ready-max-lag n]
@@ -15,11 +15,22 @@
 // drains in-flight requests for the -drain grace period.
 //
 // A file-backed server publishes a replication stream that any number of
-// followers can subscribe to. With -replica-of, the server instead runs
+// followers can subscribe to, under a fencing epoch persisted in the
+// -db file's ".epoch" sidecar. With -replica-of, the server instead runs
 // as a read replica: it replicates the primary at addr into -db (which is
 // required), rejects every write with a "readonly" error, and serves
 // bounded-stale reads; \replicas in simdb and the ReplStatus client call
 // report its applied position and lag.
+//
+// Failover: \promote in simdb (or the client Promote call) turns a
+// replica into the primary under a strictly higher epoch; the promoted
+// node then fences the old primary at its -advertise address. A primary
+// that learns of a higher epoch — from the fencer, or from a promoted
+// follower's hello — demotes itself: writes answer a "fenced" error, and
+// when the notice carries the new primary's address the node rejoins it
+// as a follower, discarding any unshipped tail via re-snapshot. A
+// restarted old primary finds the witnessed epoch in the sidecar and
+// starts fenced rather than writable.
 //
 // With -metrics, a second HTTP listener serves the observability
 // surface: /metrics (Prometheus text exposition of every engine and
@@ -70,7 +81,11 @@ func main() {
 	slowQuery := flag.Duration("slow-query", 0, "retain queries slower than this in the slow-query log (0: disabled)")
 	slowRequest := flag.Duration("slow-request", 0, "log requests slower than this at warn level (0: disabled)")
 	readyMaxLag := flag.Uint64("ready-max-lag", 64, "replica readiness threshold: /readyz reports ready only when the replica is at most this many commit groups behind")
+	advertise := flag.String("advertise", "", "address other nodes reach this server at, used when fencing an old primary after promotion (default: -addr)")
 	flag.Parse()
+	if *advertise == "" {
+		*advertise = *addr
+	}
 
 	logger, err := newLogger(*logLevel)
 	if err != nil {
@@ -126,10 +141,18 @@ func main() {
 		SlowRequest:    *slowRequest,
 		Registry:       db.Metrics(),
 	}
-	var follower *repl.Follower
+	rm := &roleMgr{
+		db:        db,
+		epochPath: *dbPath + ".epoch",
+		statePath: *dbPath + ".repl",
+		advertise: *advertise,
+		logger:    logger,
+		stop:      make(chan struct{}),
+	}
+	defer close(rm.stop)
 	switch {
 	case *replicaOf != "":
-		follower, err = repl.StartFollower(db, *dbPath+".repl", repl.FollowerConfig{
+		follower, err := repl.StartFollower(db, rm.statePath, repl.FollowerConfig{
 			Primary: *replicaOf,
 			Logger:  logger,
 		})
@@ -138,24 +161,41 @@ func main() {
 		}
 		defer follower.Close()
 		follower.RegisterMetrics(db.Metrics())
+		rm.follower = follower
 		scfg.ReadOnly = true
 		scfg.ReplStatus = follower.Status
+		scfg.Promote = rm.promote
+		scfg.Retarget = rm.retarget
 		logger.Info("replicating", "primary", *replicaOf)
 	case *dbPath != "":
-		pub, err := repl.NewPublisher(db, repl.Config{})
+		// The epoch sidecar makes the fencing term survive restarts: a
+		// primary that was demoted by a failover comes back fenced, not
+		// writable at its stale term.
+		epoch, fencedBy, err := repl.ClaimEpoch(rm.epochPath)
+		if err != nil {
+			fatal(logger, "claim replication epoch", err)
+		}
+		pub, err := repl.NewPublisher(db, repl.Config{Epoch: epoch})
 		if err != nil {
 			fatal(logger, "start replication publisher", err)
 		}
 		pub.RegisterMetrics(db.Metrics())
 		scfg.Publisher = pub
 		scfg.ReplStatus = pub.Status
-		logger.Info("publishing replication stream", "epoch", pub.Epoch())
+		scfg.OnFence = rm.onFence
+		if fencedBy > 0 {
+			scfg.FencedBy = fencedBy
+			logger.Warn("starting fenced: a higher epoch was witnessed before the last shutdown",
+				"epoch", epoch, "fenced_by", fencedBy)
+		} else {
+			logger.Info("publishing replication stream", "epoch", pub.Epoch())
+		}
 	}
 	srv := server.New(db, scfg)
 
 	var metricsSrv *http.Server
 	if *metricsAddr != "" {
-		metricsSrv = &http.Server{Addr: *metricsAddr, Handler: metricsMux(db, follower, *readyMaxLag)}
+		metricsSrv = &http.Server{Addr: *metricsAddr, Handler: metricsMux(db, rm, *readyMaxLag)}
 		go func() {
 			logger.Info("metrics endpoint listening", "addr", *metricsAddr)
 			if err := metricsSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
@@ -218,13 +258,14 @@ func fatal(logger *slog.Logger, msg string, err error, args ...any) {
 // Prometheus text on /metrics, the same snapshot through expvar on
 // /debug/vars, the standard pprof handlers, the flight recorder on
 // /debug/flight, and the health endpoints. /healthz answers 200 as long
-// as the process serves HTTP (liveness). /readyz gates traffic: a
-// primary or standalone server is ready as soon as it listens, a replica
-// (follower != nil) only after its base snapshot is installed and its
-// applied position is within readyMaxLag commit groups of the primary's
-// newest — pointing a load balancer at /readyz keeps cold or lagging
-// replicas out of the read pool.
-func metricsMux(db *sim.Database, follower *repl.Follower, readyMaxLag uint64) *http.ServeMux {
+// as the process serves HTTP (liveness). /readyz gates traffic through
+// the node's CURRENT role: a primary or standalone server is ready as
+// soon as it listens, a replica only after its base snapshot is
+// installed and its applied position is within readyMaxLag commit groups
+// of the primary's newest, and a promoted replica is ready immediately —
+// pointing a load balancer at /readyz keeps cold or lagging replicas out
+// of the read pool and follows the topology across a failover.
+func metricsMux(db *sim.Database, rm *roleMgr, readyMaxLag uint64) *http.ServeMux {
 	reg := db.Metrics()
 	expvar.Publish("sim", expvar.Func(func() any { return reg.Snapshot() }))
 	mux := http.NewServeMux()
@@ -236,7 +277,7 @@ func metricsMux(db *sim.Database, follower *repl.Follower, readyMaxLag uint64) *
 		fmt.Fprintln(w, "ok")
 	})
 	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
-		if follower != nil && !follower.Ready(readyMaxLag) {
+		if !rm.ready(readyMaxLag) {
 			http.Error(w, "replica not ready: snapshot pending or lag over threshold",
 				http.StatusServiceUnavailable)
 			return

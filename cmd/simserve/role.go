@@ -1,0 +1,121 @@
+package main
+
+import (
+	"errors"
+	"log/slog"
+	"sync"
+
+	"sim"
+	"sim/internal/repl"
+)
+
+// errNotReplica reports a promote/retarget request on a node that is not
+// currently applying a replication stream.
+var errNotReplica = errors.New("this node is not following a primary")
+
+// roleMgr owns this process's replication role transitions: a replica
+// promoted by a TPromote frame, a primary fenced by a higher epoch and
+// rejoined as a follower of the new one. The server package flips its own
+// dispatch state; roleMgr does the process-level work around it — the
+// epoch sidecar, the follower/publisher lifecycles, the fencer toward the
+// old primary, and the /readyz answer.
+type roleMgr struct {
+	db        *sim.Database
+	epochPath string // dbPath + ".epoch": the durable fencing term
+	statePath string // dbPath + ".repl": the follower apply sidecar
+	advertise string // the address other nodes reach this server at
+	logger    *slog.Logger
+	stop      chan struct{} // closed on shutdown; ends fencer retries
+
+	mu       sync.Mutex
+	follower *repl.Follower // non-nil while this node applies a stream
+	promoted *repl.Promotion
+}
+
+// promote is the server.Config.Promote callback on a replica: drain and
+// seal the follower, claim a strictly higher epoch, open the publisher,
+// and start fencing the old primary in the background. Idempotent —
+// Follower.Promote returns the same Promotion on a retry.
+func (rm *roleMgr) promote() (*repl.Publisher, error) {
+	rm.mu.Lock()
+	f := rm.follower
+	rm.mu.Unlock()
+	if f == nil {
+		return nil, errNotReplica
+	}
+	pr, err := f.Promote(repl.PromoteConfig{EpochPath: rm.epochPath})
+	if err != nil {
+		return nil, err
+	}
+	rm.mu.Lock()
+	first := rm.promoted == nil
+	rm.promoted = pr
+	rm.mu.Unlock()
+	if first {
+		pr.Pub.RegisterMetrics(rm.db.Metrics())
+		if pr.OldPrimary != "" {
+			go repl.RunFencer(rm.stop, pr.OldPrimary, pr.Epoch, rm.advertise, rm.logger)
+		}
+	}
+	return pr.Pub, nil
+}
+
+// retarget is the server.Config.Retarget callback on a replica: re-point
+// the stream at the new primary.
+func (rm *roleMgr) retarget(addr string) error {
+	rm.mu.Lock()
+	f := rm.follower
+	rm.mu.Unlock()
+	if f == nil {
+		return errNotReplica
+	}
+	return f.Retarget(addr)
+}
+
+// onFence is the server.Config.OnFence callback on a primary: a strictly
+// higher epoch demoted this node. The witnessed epoch is persisted first
+// — a restart must come back fenced, not resurrect as a writable primary
+// at the stale term — then, when the notice named the new primary, this
+// node rejoins it as a follower: its diverged tail (commits it
+// acknowledged but never shipped) is discarded by the re-snapshot the
+// fresh follower requests.
+func (rm *roleMgr) onFence(epoch uint64, newPrimary string) {
+	if err := repl.WitnessEpoch(rm.epochPath, epoch); err != nil {
+		rm.logger.Error("persisting witnessed epoch failed", "epoch", epoch, "err", err)
+	}
+	if newPrimary == "" {
+		return
+	}
+	rm.mu.Lock()
+	defer rm.mu.Unlock()
+	if rm.follower != nil {
+		// Already rejoined after an earlier fence; chase the newest primary.
+		if err := rm.follower.Retarget(newPrimary); err != nil {
+			rm.logger.Error("retarget after fence failed", "primary", newPrimary, "err", err)
+		}
+		return
+	}
+	f, err := repl.StartFollower(rm.db, rm.statePath, repl.FollowerConfig{
+		Primary: newPrimary,
+		Logger:  rm.logger,
+	})
+	if err != nil {
+		rm.logger.Error("rejoin after fence failed", "primary", newPrimary, "err", err)
+		return
+	}
+	rm.follower = f
+	rm.logger.Info("rejoined new primary as follower", "primary", newPrimary, "epoch", epoch)
+}
+
+// ready answers /readyz for whatever role the node currently plays: a
+// promoted (or born-primary) node is ready, a replica once its snapshot
+// is installed and its lag is within maxLag.
+func (rm *roleMgr) ready(maxLag uint64) bool {
+	rm.mu.Lock()
+	f, pr := rm.follower, rm.promoted
+	rm.mu.Unlock()
+	if pr != nil || f == nil {
+		return true
+	}
+	return f.Ready(maxLag)
+}

@@ -1,0 +1,259 @@
+package bench
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"sim"
+	"sim/client"
+	"sim/internal/repl"
+	"sim/internal/server"
+	"sim/internal/wire"
+)
+
+// failoverDDL is a deliberately small schema: T15 measures the control
+// plane (promotion, fencing, client redirect), not query throughput.
+const failoverDDL = `
+Class ledger (
+  entry-no: integer unique required;
+  note: string[40] );
+`
+
+// Failover — T15, follower promotion with epoch fencing: per-trial
+// latency of promoting a caught-up follower to primary, the time the
+// same client.DialMulti handle needs to resume writes on the promoted
+// node after the old primary is killed, and the headline robustness
+// claim — across every trial, acknowledged commits at risk after the
+// failover, which must be zero, while the restarted old primary refuses
+// writes with CodeFenced.
+func Failover(reps int) (*Table, error) {
+	trials := 3 * reps
+	if trials < 5 {
+		trials = 5
+	}
+	const commits = 20
+
+	t := &Table{
+		ID:     "T15",
+		Title:  "Failover: promotion latency, client write resume, commits at risk",
+		Header: []string{"phase", "trials", "p50", "p95", "max"},
+	}
+
+	var promote, resume []time.Duration
+	acked, survived, fenced := 0, 0, 0
+	for trial := 0; trial < trials; trial++ {
+		p, s, f, err := failoverTrial(commits)
+		if err != nil {
+			return nil, fmt.Errorf("T15 trial %d: %w", trial, err)
+		}
+		promote = append(promote, p)
+		resume = append(resume, s)
+		acked += commits
+		survived += f.survived
+		if f.fenced {
+			fenced++
+		}
+	}
+	sort.Slice(promote, func(i, j int) bool { return promote[i] < promote[j] })
+	sort.Slice(resume, func(i, j int) bool { return resume[i] < resume[j] })
+	t.Rows = append(t.Rows,
+		[]string{"promote (drain, seal, claim epoch, open publisher)", fmt.Sprint(trials),
+			dur(pct(promote, 50)), dur(pct(promote, 95)), dur(promote[len(promote)-1])},
+		[]string{"DialMulti write resume after primary kill", fmt.Sprint(trials),
+			dur(pct(resume, 50)), dur(pct(resume, 95)), dur(resume[len(resume)-1])},
+	)
+	atRisk := acked - survived
+	t.Notes = fmt.Sprintf("commit loop of %d acknowledged commits per trial, primary killed at a caught-up\nboundary; acknowledged=%d survived-on-promoted=%d commits-at-risk=%d\nrestarted old primary refused writes with CodeFenced in %d/%d trials",
+		commits, acked, survived, atRisk, fenced, trials)
+	if atRisk != 0 {
+		return nil, fmt.Errorf("T15: %d acknowledged commits lost across %d trials", atRisk, trials)
+	}
+	if fenced != trials {
+		return nil, fmt.Errorf("T15: restarted old primary accepted writes in %d/%d trials", trials-fenced, trials)
+	}
+	return t, nil
+}
+
+type failoverOutcome struct {
+	survived int
+	fenced   bool
+}
+
+// failoverTrial runs one kill/promote/redirect/fence cycle and returns
+// the promotion latency and the client's write-resume latency.
+func failoverTrial(commits int) (promote, resume time.Duration, out failoverOutcome, err error) {
+	dir, err := os.MkdirTemp("", "sim-failover-bench-")
+	if err != nil {
+		return 0, 0, out, err
+	}
+	defer os.RemoveAll(dir)
+
+	// Primary with a durable epoch, wired the way simserve wires one.
+	epochPath := filepath.Join(dir, "primary.db.epoch")
+	pdb, err := sim.Open(filepath.Join(dir, "primary.db"), sim.Config{})
+	if err != nil {
+		return 0, 0, out, err
+	}
+	defer pdb.Close()
+	epoch, _, err := repl.ClaimEpoch(epochPath)
+	if err != nil {
+		return 0, 0, out, err
+	}
+	pub, err := repl.NewPublisher(pdb, repl.Config{Epoch: epoch})
+	if err != nil {
+		return 0, 0, out, err
+	}
+	if err := pdb.DefineSchema(failoverDDL); err != nil {
+		return 0, 0, out, err
+	}
+	primary, err := startReplNode(pdb, server.Config{Publisher: pub, ReplStatus: pub.Status})
+	if err != nil {
+		return 0, 0, out, err
+	}
+	defer primary.close()
+
+	// Caught-up follower with a promotable server in front of it.
+	rdb, err := sim.Open(filepath.Join(dir, "replica.db"), sim.Config{})
+	if err != nil {
+		return 0, 0, out, err
+	}
+	defer rdb.Close()
+	fol, err := repl.StartFollower(rdb, filepath.Join(dir, "replica.db.repl"), repl.FollowerConfig{
+		Primary:      primary.addr,
+		Heartbeat:    20 * time.Millisecond,
+		ReconnectMin: 5 * time.Millisecond,
+		ReconnectMax: 100 * time.Millisecond,
+	})
+	if err != nil {
+		return 0, 0, out, err
+	}
+	defer fol.Close()
+	replica, err := startReplNode(rdb, server.Config{
+		ReadOnly:   true,
+		ReplStatus: fol.Status,
+		Promote: func() (*repl.Publisher, error) {
+			pr, err := fol.Promote(repl.PromoteConfig{EpochPath: filepath.Join(dir, "replica.db.epoch")})
+			if err != nil {
+				return nil, err
+			}
+			return pr.Pub, nil
+		},
+	})
+	if err != nil {
+		return 0, 0, out, err
+	}
+	defer replica.close()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	err = fol.WaitReady(ctx)
+	cancel()
+	if err != nil {
+		return 0, 0, out, err
+	}
+
+	// The acknowledged-commit loop: every Exec that returns nil is a
+	// commit the failover must not lose.
+	m, err := client.DialMulti([]string{primary.addr, replica.addr})
+	if err != nil {
+		return 0, 0, out, err
+	}
+	defer m.Close()
+	for i := 1; i <= commits; i++ {
+		if _, err := m.Exec(fmt.Sprintf(`Insert ledger (entry-no := %d, note := "acked %d").`, i, i)); err != nil {
+			return 0, 0, out, err
+		}
+	}
+	// Kill at a caught-up boundary (the sync bound of the guarantee):
+	// wait until the follower has applied everything acknowledged.
+	const q = `From ledger Retrieve entry-no.`
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		r, err := rdb.Query(q)
+		if err != nil {
+			return 0, 0, out, err
+		}
+		if r.NumRows() == commits {
+			break
+		}
+		if time.Now().After(deadline) {
+			return 0, 0, out, fmt.Errorf("follower never caught up (%d/%d)", r.NumRows(), commits)
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+
+	primary.srv.Close() // kill -9: no drain
+
+	rc, err := client.Dial(replica.addr)
+	if err != nil {
+		return 0, 0, out, err
+	}
+	defer rc.Close()
+	start := time.Now()
+	newEpoch, err := rc.Promote(context.Background())
+	if err != nil {
+		return 0, 0, out, err
+	}
+	promote = time.Since(start)
+
+	// Same Multi handle, no reconfiguration: the next write probes the
+	// topology and lands on the promoted node. The first attempt can die
+	// on receive (the socket to the killed primary), which the client
+	// refuses to redirect — it cannot prove the statement never executed.
+	// The harness killed the server before the attempt, so non-application
+	// is certain here and a retry is safe; the resume latency includes it.
+	start = time.Now()
+	for attempt := 0; ; attempt++ {
+		_, werr := m.Exec(`Insert ledger (entry-no := 10000, note := "after failover").`)
+		if werr == nil {
+			break
+		}
+		var ne *client.NetError
+		if attempt >= 3 || !errors.As(werr, &ne) || !ne.Retryable {
+			return 0, 0, out, fmt.Errorf("write resume: %w", werr)
+		}
+	}
+	resume = time.Since(start)
+
+	r, err := rdb.Query(q)
+	if err != nil {
+		return 0, 0, out, err
+	}
+	out.survived = r.NumRows() - 1 // minus the post-failover write
+
+	// Restart the old primary on its files, fence it, and prove a write
+	// is refused with CodeFenced.
+	pdb2, err := sim.Open(filepath.Join(dir, "primary.db"), sim.Config{})
+	if err != nil {
+		return 0, 0, out, err
+	}
+	defer pdb2.Close()
+	epoch2, fencedBy, err := repl.ClaimEpoch(epochPath)
+	if err != nil {
+		return 0, 0, out, err
+	}
+	pub2, err := repl.NewPublisher(pdb2, repl.Config{Epoch: epoch2})
+	if err != nil {
+		return 0, 0, out, err
+	}
+	old, err := startReplNode(pdb2, server.Config{Publisher: pub2, ReplStatus: pub2.Status, FencedBy: fencedBy})
+	if err != nil {
+		return 0, 0, out, err
+	}
+	defer old.close()
+	if err := repl.Fence(old.addr, newEpoch, replica.addr, 5*time.Second); err != nil {
+		return 0, 0, out, err
+	}
+	oc, err := client.Dial(old.addr)
+	if err != nil {
+		return 0, 0, out, err
+	}
+	defer oc.Close()
+	_, werr := oc.Exec(`Insert ledger (entry-no := 20000, note := "rogue").`)
+	var we *wire.Error
+	out.fenced = errors.As(werr, &we) && we.Code == wire.CodeFenced
+	return promote, resume, out, nil
+}

@@ -54,8 +54,8 @@ func (a *Applier) State() State {
 func (a *Applier) Pos() uint64 { return a.State().Pos }
 
 // ApplySnapshot atomically replaces the database with a base image that
-// is current as of pos within epoch.
-func (a *Applier) ApplySnapshot(epoch, pos uint64, img []byte) error {
+// is current as of pos within (epoch, run).
+func (a *Applier) ApplySnapshot(epoch, run, pos uint64, img []byte) error {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	// Invalidate the sidecar first: once the install starts, the old
@@ -67,20 +67,22 @@ func (a *Applier) ApplySnapshot(epoch, pos uint64, img []byte) error {
 	if err := a.db.ApplySnapshot(img); err != nil {
 		return err
 	}
-	a.st = State{Epoch: epoch, Pos: pos}
+	a.st = State{Epoch: epoch, Run: run, Pos: pos}
 	a.gen = a.db.SchemaGen()
 	return SaveState(a.statePath, a.st)
 }
 
 // ApplyGroup applies one replicated commit group. Groups at or before
 // the applied position are skipped (idempotent redelivery after a
-// resume); a gap or an epoch change is an error — the follower
-// reconnects and lets the primary decide between tail and snapshot.
+// resume); a gap, an epoch change, or a publisher-run change is an
+// error — the follower reconnects and lets the primary decide between
+// tail and snapshot.
 func (a *Applier) ApplyGroup(f wire.ReplFrames) error {
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	if f.Epoch != a.st.Epoch {
-		return fmt.Errorf("repl: group from epoch %d, following %d", f.Epoch, a.st.Epoch)
+	if f.Epoch != a.st.Epoch || f.Run != a.st.Run {
+		return fmt.Errorf("repl: group from epoch %d run %d, following epoch %d run %d",
+			f.Epoch, f.Run, a.st.Epoch, a.st.Run)
 	}
 	if f.Pos <= a.st.Pos {
 		return nil

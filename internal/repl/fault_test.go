@@ -38,7 +38,7 @@ func openFaultReplica(inj *fault.Injector, dbImg, walImg *pager.MemByteFile) (*s
 // captureStream builds a primary and records the replication inputs a
 // follower would receive: the base snapshot of the empty database and
 // every committed group of the workload, as wire frames.
-func captureStream(t *testing.T) (pdb *sim.Database, epoch uint64, img []byte, frames []wire.ReplFrames, want string) {
+func captureStream(t *testing.T) (pdb *sim.Database, epoch, run uint64, img []byte, frames []wire.ReplFrames, want string) {
 	t.Helper()
 	var err error
 	pdb, err = sim.Open(filepath.Join(t.TempDir(), "primary.db"), sim.Config{})
@@ -51,6 +51,7 @@ func captureStream(t *testing.T) (pdb *sim.Database, epoch uint64, img []byte, f
 		t.Fatal(err)
 	}
 	epoch = pub.Epoch()
+	run = pub.Run()
 
 	// Snapshot the empty database, keeping the subscription that
 	// continues exactly after it.
@@ -83,7 +84,7 @@ func captureStream(t *testing.T) (pdb *sim.Database, epoch uint64, img []byte, f
 		}
 		for _, g := range groups {
 			frames = append(frames, wire.ReplFrames{
-				Epoch: epoch, Pos: g.Pos, Latest: pub.Latest(), Gen: g.Gen, Pages: g.Pages,
+				Epoch: epoch, Run: run, Pos: g.Pos, Latest: pub.Latest(), Gen: g.Gen, Pages: g.Pages,
 			})
 		}
 	}
@@ -94,7 +95,7 @@ func captureStream(t *testing.T) (pdb *sim.Database, epoch uint64, img []byte, f
 	if err != nil {
 		t.Fatal(err)
 	}
-	return pdb, epoch, img, frames, r.Format()
+	return pdb, epoch, run, img, frames, r.Format()
 }
 
 // TestFollowerCrashMatrix crashes the follower's storage stack at EVERY
@@ -103,7 +104,7 @@ func captureStream(t *testing.T) (pdb *sim.Database, epoch uint64, img []byte, f
 // sidecar position, redelivers the stream, and asserts the replica
 // converges to the primary's committed state with clean storage.
 func TestFollowerCrashMatrix(t *testing.T) {
-	_, epoch, img, frames, want := captureStream(t)
+	_, epoch, run, img, frames, want := captureStream(t)
 	dir := t.TempDir()
 
 	// Dry run: apply everything fault-free to learn the op schedule and
@@ -122,7 +123,7 @@ func TestFollowerCrashMatrix(t *testing.T) {
 		}()
 		a := repl.NewApplier(db, statePath)
 		if a.State() == (repl.State{}) {
-			if err := a.ApplySnapshot(epoch, 0, img); err != nil {
+			if err := a.ApplySnapshot(epoch, run, 0, img); err != nil {
 				return err
 			}
 		}

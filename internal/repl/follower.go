@@ -3,6 +3,7 @@ package repl
 import (
 	"fmt"
 	"log/slog"
+	"math/rand"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -72,6 +73,7 @@ type Follower struct {
 	cfg FollowerConfig
 
 	mu      sync.Mutex
+	primary string // current upstream address; changes via Retarget
 	nc      net.Conn
 	state   string // connecting | snapshot | streaming
 	latest  uint64 // primary's newest position, from frames/heartbeats
@@ -82,6 +84,9 @@ type Follower struct {
 	wg        sync.WaitGroup
 	ready     chan struct{}
 	readyOnce sync.Once
+
+	promoteMu sync.Mutex
+	promoted  *Promotion
 
 	groupsApplied atomic.Uint64
 	snapshotsIn   atomic.Uint64
@@ -101,6 +106,7 @@ func StartFollower(db *sim.Database, statePath string, cfg FollowerConfig) (*Fol
 		db:      db,
 		a:       NewApplier(db, statePath),
 		cfg:     cfg.withDefaults(),
+		primary: cfg.Primary,
 		state:   "connecting",
 		lastAct: time.Now(),
 		quit:    make(chan struct{}),
@@ -120,6 +126,33 @@ func (f *Follower) Close() error {
 	}
 	f.mu.Unlock()
 	f.wg.Wait()
+	return nil
+}
+
+// Primary returns the address the follower currently replicates from.
+func (f *Follower) Primary() string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.primary
+}
+
+// Retarget re-points the follower at a new primary address at runtime —
+// the rejoin path after a failover. The current stream is cut; the
+// reconnect loop dials the new address, and the normal subscribe rules
+// decide between tail resume and re-snapshot.
+func (f *Follower) Retarget(addr string) error {
+	if addr == "" {
+		return fmt.Errorf("repl: retarget needs a primary address")
+	}
+	f.mu.Lock()
+	old := f.primary
+	f.primary = addr
+	nc := f.nc
+	f.mu.Unlock()
+	if nc != nil {
+		nc.Close()
+	}
+	f.cfg.Logger.Info("replication retargeted", "old", old, "new", addr)
 	return nil
 }
 
@@ -158,14 +191,14 @@ func (f *Follower) Ready(maxLag uint64) bool {
 func (f *Follower) Status() wire.ReplStatus {
 	st := f.a.State()
 	f.mu.Lock()
-	state, latest, last := f.state, f.latest, f.lastAct
+	primary, state, latest, last := f.primary, f.state, f.latest, f.lastAct
 	f.mu.Unlock()
 	return wire.ReplStatus{
 		Role:   "replica",
 		Epoch:  st.Epoch,
 		Latest: latest,
 		Replicas: []wire.ReplicaInfo{{
-			Addr:   f.cfg.Primary,
+			Addr:   primary,
 			State:  state,
 			Pos:    st.Pos,
 			Latest: latest,
@@ -176,6 +209,8 @@ func (f *Follower) Status() wire.ReplStatus {
 
 // RegisterMetrics publishes the follower-side replication counters.
 func (f *Follower) RegisterMetrics(r *obs.Registry) {
+	r.GaugeFunc("sim_repl_epoch", "Replication epoch this node follows (advances on promotion).",
+		func() float64 { return float64(f.a.State().Epoch) })
 	r.GaugeFunc("sim_repl_applied_pos", "Last replication position durably applied.",
 		func() float64 { return float64(f.a.Pos()) })
 	r.GaugeFunc("sim_repl_primary_pos", "Primary's newest position as last reported on the stream.",
@@ -238,15 +273,20 @@ func (f *Follower) run() {
 		default:
 		}
 		f.setState("connecting")
-		f.cfg.Logger.Warn("replication stream ended", "primary", f.cfg.Primary, "err", err)
+		f.cfg.Logger.Warn("replication stream ended", "primary", f.Primary(), "err", err)
 		f.reconnects.Add(1)
 		if time.Since(start) > f.cfg.ReconnectMax {
 			backoff = f.cfg.ReconnectMin // the stream was healthy for a while
 		}
+		// Full jitter over [backoff/2, backoff]: after a failover every
+		// follower of the dead primary redials at once, and without jitter
+		// their exponential schedules stay synchronized — each retry slams
+		// the promoted primary as one thundering herd.
+		sleep := backoff/2 + time.Duration(rand.Int63n(int64(backoff/2)+1))
 		select {
 		case <-f.quit:
 			return
-		case <-time.After(backoff):
+		case <-time.After(sleep):
 		}
 		if backoff *= 2; backoff > f.cfg.ReconnectMax {
 			backoff = f.cfg.ReconnectMax
@@ -256,7 +296,8 @@ func (f *Follower) run() {
 
 // stream runs one connection: handshake, subscribe, apply until error.
 func (f *Follower) stream() error {
-	nc, err := net.DialTimeout("tcp", f.cfg.Primary, f.cfg.DialTimeout)
+	primary := f.Primary()
+	nc, err := net.DialTimeout("tcp", primary, f.cfg.DialTimeout)
 	if err != nil {
 		return err
 	}
@@ -293,10 +334,10 @@ func (f *Follower) stream() error {
 	}
 	nc.SetDeadline(time.Time{})
 	st := f.a.State()
-	if err := wire.WriteFrame(nc, wire.TReplHello, wire.EncodeReplHello(wire.ReplHello{Epoch: st.Epoch, Pos: st.Pos})); err != nil {
+	if err := wire.WriteFrame(nc, wire.TReplHello, wire.EncodeReplHello(wire.ReplHello{Epoch: st.Epoch, Run: st.Run, Pos: st.Pos})); err != nil {
 		return err
 	}
-	f.cfg.Logger.Info("replication stream open", "primary", f.cfg.Primary,
+	f.cfg.Logger.Info("replication stream open", "primary", primary,
 		"epoch", st.Epoch, "pos", st.Pos)
 
 	var rbuf []byte
@@ -332,7 +373,7 @@ func (f *Follower) stream() error {
 			if uint64(len(snap)) < s.Total {
 				continue
 			}
-			if err := f.a.ApplySnapshot(s.Epoch, s.Pos, snap); err != nil {
+			if err := f.a.ApplySnapshot(s.Epoch, s.Run, s.Pos, snap); err != nil {
 				return err
 			}
 			snap = nil
@@ -343,7 +384,7 @@ func (f *Follower) stream() error {
 			if err := f.ack(nc, s.Pos); err != nil {
 				return err
 			}
-			f.cfg.Logger.Info("snapshot installed", "primary", f.cfg.Primary, "pos", s.Pos, "bytes", s.Total)
+			f.cfg.Logger.Info("snapshot installed", "primary", primary, "pos", s.Pos, "bytes", s.Total)
 		case wire.TReplFrames:
 			fr, err := wire.DecodeReplFrames(payload)
 			if err != nil {

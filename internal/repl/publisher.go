@@ -40,11 +40,16 @@ type Group struct {
 	Bytes int
 }
 
-// Config tunes a Publisher. The zero value uses DefaultRingBytes.
+// Config tunes a Publisher. The zero value uses DefaultRingBytes and
+// epoch 1.
 type Config struct {
 	// RingBytes bounds the retained tail of committed groups (default
 	// DefaultRingBytes). At least one group is always retained.
 	RingBytes int
+	// Epoch is the persisted fencing term the publisher publishes under
+	// (see ClaimEpoch/AdvanceEpoch). 0 defaults to 1, the first term of a
+	// fresh cluster.
+	Epoch uint64
 }
 
 // Publisher is the primary side of replication: it observes every commit
@@ -54,7 +59,8 @@ type Config struct {
 // from the tail, and tracks connected followers for status reporting.
 type Publisher struct {
 	db    *sim.Database
-	epoch uint64
+	epoch uint64 // persisted fencing term; advances only on promotion
+	run   uint64 // random per-open nonce; positions are scoped to one run
 
 	mu        sync.Mutex
 	latest    uint64   // newest published position; positions start at 1
@@ -73,13 +79,18 @@ type Publisher struct {
 // NewPublisher hooks a Publisher into db's commit and schema paths. The
 // database must be durable (file-backed): replication ships the WAL.
 func NewPublisher(db *sim.Database, cfg Config) (*Publisher, error) {
-	var eb [8]byte
-	if _, err := rand.Read(eb[:]); err != nil {
-		return nil, fmt.Errorf("repl: epoch: %w", err)
+	var rb [8]byte
+	if _, err := rand.Read(rb[:]); err != nil {
+		return nil, fmt.Errorf("repl: run nonce: %w", err)
+	}
+	epoch := cfg.Epoch
+	if epoch == 0 {
+		epoch = 1
 	}
 	p := &Publisher{
 		db:       db,
-		epoch:    binary.BigEndian.Uint64(eb[:]) | 1, // never 0 ("no epoch")
+		epoch:    epoch,
+		run:      binary.BigEndian.Uint64(rb[:]) | 1, // never 0 ("no run")
 		gen:      db.SchemaGen(),
 		maxBytes: cfg.RingBytes,
 		subs:     make(map[*Subscription]struct{}),
@@ -95,8 +106,24 @@ func NewPublisher(db *sim.Database, cfg Config) (*Publisher, error) {
 	return p, nil
 }
 
-// Epoch returns the publisher's epoch, drawn at random per primary open.
+// Epoch returns the persisted fencing term the publisher publishes under.
 func (p *Publisher) Epoch() uint64 { return p.epoch }
+
+// Run returns the publisher's run nonce, drawn at random per open.
+// Positions are only comparable within one (epoch, run) pair; a follower
+// whose run does not match is re-seeded with a snapshot, which is what
+// keeps a restarted primary's fresh position counter from colliding with
+// history a follower applied before the restart.
+func (p *Publisher) Run() uint64 { return p.run }
+
+// Seal detaches the publisher from the database's commit and schema
+// hooks. A primary being demoted after a fencing event seals its
+// publisher before replicated groups from the new primary are applied, so
+// the stale stream can never observe (and re-publish) them.
+func (p *Publisher) Seal() {
+	p.db.SetCommitHook(nil)
+	p.db.SetSchemaHook(nil)
+}
 
 // Latest returns the newest published position.
 func (p *Publisher) Latest() uint64 {
@@ -168,14 +195,14 @@ type Subscription struct {
 	notify chan struct{}
 }
 
-// Subscribe opens a subscription resuming after pos within epoch. It
-// fails with ErrSnapshotNeeded when the follower's history cannot be
-// continued: a different (or rebuilt) primary epoch, a position from the
+// Subscribe opens a subscription resuming after pos within (epoch, run).
+// It fails with ErrSnapshotNeeded when the follower's history cannot be
+// continued: a different epoch or publisher run, a position from the
 // future, or a position already evicted from the retained tail.
-func (p *Publisher) Subscribe(epoch, pos uint64) (*Subscription, error) {
+func (p *Publisher) Subscribe(epoch, run, pos uint64) (*Subscription, error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	if epoch != p.epoch || pos > p.latest {
+	if epoch != p.epoch || run != p.run || pos > p.latest {
 		return nil, ErrSnapshotNeeded
 	}
 	if pos < p.latest && (len(p.ring) == 0 || p.ring[0].Pos > pos+1) {
@@ -336,6 +363,8 @@ func (p *Publisher) Status() wire.ReplStatus {
 
 // RegisterMetrics publishes the primary-side replication counters.
 func (p *Publisher) RegisterMetrics(r *obs.Registry) {
+	r.GaugeFunc("sim_repl_epoch", "Replication epoch this node publishes under (advances on promotion).",
+		func() float64 { return float64(p.epoch) })
 	r.GaugeFunc("sim_repl_latest_pos", "Newest published replication position.",
 		func() float64 { return float64(p.Latest()) })
 	r.GaugeFunc("sim_repl_followers", "Connected follower streams.",

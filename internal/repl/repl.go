@@ -6,19 +6,25 @@
 //
 // Protocol (over the wire package's framing, after the normal Hello):
 //
-//	follower → primary   ReplHello{epoch, pos}   subscribe from a position
-//	primary → follower   ReplSnapshot chunks     when the position is gone
-//	primary → follower   ReplFrames              committed groups + heartbeats
-//	follower → primary   ReplAck{pos}            applied position (staleness)
+//	follower → primary   ReplHello{epoch, run, pos}   subscribe from a position
+//	primary → follower   ReplSnapshot chunks          when the position is gone
+//	primary → follower   ReplFrames                   committed groups + heartbeats
+//	follower → primary   ReplAck{pos}                 applied position (staleness)
 //
-// Positions are assigned by the Publisher, monotonically from 1, per
-// epoch; an epoch is drawn at random each time a primary opens, so a
-// follower resuming against a rebuilt primary cannot silently apply
-// frames from a different history. The WAL's own sequence numbers reset
-// at every checkpoint truncation, which is exactly why the Publisher
-// keeps its own counter: a position survives checkpoints, and "position
-// no longer available" (evicted from the in-memory ring, or from another
-// epoch) is answered with a fresh snapshot rather than an error.
+// Two identifiers scope a position. The epoch is the persisted fencing
+// term (ClaimEpoch/AdvanceEpoch): it advances only when a follower is
+// promoted (Follower.Promote), never on a plain restart, so epoch order
+// is ownership order — a primary that learns of a higher epoch (via a
+// follower's ReplHello or a Retarget frame) fences itself read-only. The
+// run is a random nonce drawn each time a Publisher opens: positions are
+// assigned monotonically from 1 per run, so a follower may resume a
+// stream only when both epoch and run match, and a restarted primary's
+// fresh counter can never be confused with history a follower applied
+// before the restart. The WAL's own sequence numbers reset at every
+// checkpoint truncation, which is exactly why the Publisher keeps its own
+// counter: a position survives checkpoints, and "position no longer
+// available" (evicted from the in-memory ring, or from another epoch or
+// run) is answered with a fresh snapshot rather than an error.
 //
 // Consistency: replication is asynchronous and the replica is read-only,
 // so a follower serves a bounded-stale but always transaction-consistent

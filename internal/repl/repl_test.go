@@ -144,7 +144,7 @@ func TestPublisherPositionsAndEviction(t *testing.T) {
 		t.Fatal(err)
 	}
 	base := pub.Latest()
-	sub, err := pub.Subscribe(pub.Epoch(), base)
+	sub, err := pub.Subscribe(pub.Epoch(), pub.Run(), base)
 	if err != nil {
 		t.Fatalf("subscribe at latest: %v", err)
 	}
@@ -173,11 +173,14 @@ func TestPublisherPositionsAndEviction(t *testing.T) {
 		}
 	}
 
-	// Wrong epoch and future positions need snapshots.
-	if _, err := pub.Subscribe(pub.Epoch()+1, 0); !errors.Is(err, repl.ErrSnapshotNeeded) {
+	// Wrong epoch, wrong run, and future positions need snapshots.
+	if _, err := pub.Subscribe(pub.Epoch(), pub.Run()+2, base); !errors.Is(err, repl.ErrSnapshotNeeded) {
+		t.Fatalf("wrong run: %v", err)
+	}
+	if _, err := pub.Subscribe(pub.Epoch()+1, pub.Run(), 0); !errors.Is(err, repl.ErrSnapshotNeeded) {
 		t.Fatalf("wrong epoch: %v", err)
 	}
-	if _, err := pub.Subscribe(pub.Epoch(), pub.Latest()+10); !errors.Is(err, repl.ErrSnapshotNeeded) {
+	if _, err := pub.Subscribe(pub.Epoch(), pub.Run(), pub.Latest()+10); !errors.Is(err, repl.ErrSnapshotNeeded) {
 		t.Fatalf("future position: %v", err)
 	}
 
@@ -188,7 +191,7 @@ func TestPublisherPositionsAndEviction(t *testing.T) {
 	}
 	mustExec(t, db2, `Insert item (item-no := 1, name := "a").`)
 	mustExec(t, db2, `Insert item (item-no := 2, name := "b").`)
-	if _, err := pub2.Subscribe(pub2.Epoch(), 0); !errors.Is(err, repl.ErrSnapshotNeeded) {
+	if _, err := pub2.Subscribe(pub2.Epoch(), pub2.Run(), 0); !errors.Is(err, repl.ErrSnapshotNeeded) {
 		t.Fatalf("evicted position: %v", err)
 	}
 }

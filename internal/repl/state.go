@@ -7,29 +7,34 @@ import (
 )
 
 // State is a follower's durable replication position: the primary epoch
-// it follows and the last position it has fully applied. It lives in a
-// small sidecar file next to the replica's database file and is written
-// only after the applied group is durable in the replica's own WAL — so
-// the recorded position never runs ahead of the data, and a crash between
-// apply and save merely re-applies one idempotent group on resume.
+// and publisher run it follows and the last position it has fully
+// applied. It lives in a small sidecar file next to the replica's
+// database file and is written only after the applied group is durable in
+// the replica's own WAL — so the recorded position never runs ahead of
+// the data, and a crash between apply and save merely re-applies one
+// idempotent group on resume.
 type State struct {
 	Epoch uint64
+	Run   uint64
 	Pos   uint64
 }
 
 // stateMagic opens the sidecar file.
 const stateMagic = "SIMR"
 
-// stateSize is the sidecar length: magic(4) epoch(8) pos(8) crc32(4).
-const stateSize = 24
+// stateSize is the sidecar length: magic(4) epoch(8) run(8) pos(8)
+// crc32(4). A sidecar from before the run field was added fails the
+// length check and loads as the zero State, costing one re-snapshot.
+const stateSize = 32
 
 // SaveState durably writes the sidecar at path.
 func SaveState(path string, st State) error {
 	var buf [stateSize]byte
 	copy(buf[:4], stateMagic)
 	binary.BigEndian.PutUint64(buf[4:12], st.Epoch)
-	binary.BigEndian.PutUint64(buf[12:20], st.Pos)
-	binary.BigEndian.PutUint32(buf[20:24], crc32.ChecksumIEEE(buf[:20]))
+	binary.BigEndian.PutUint64(buf[12:20], st.Run)
+	binary.BigEndian.PutUint64(buf[20:28], st.Pos)
+	binary.BigEndian.PutUint32(buf[28:32], crc32.ChecksumIEEE(buf[:28]))
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
 	if err != nil {
 		return err
@@ -53,11 +58,12 @@ func LoadState(path string) State {
 	if err != nil || len(b) != stateSize || string(b[:4]) != stateMagic {
 		return State{}
 	}
-	if crc32.ChecksumIEEE(b[:20]) != binary.BigEndian.Uint32(b[20:24]) {
+	if crc32.ChecksumIEEE(b[:28]) != binary.BigEndian.Uint32(b[28:32]) {
 		return State{}
 	}
 	return State{
 		Epoch: binary.BigEndian.Uint64(b[4:12]),
-		Pos:   binary.BigEndian.Uint64(b[12:20]),
+		Run:   binary.BigEndian.Uint64(b[12:20]),
+		Pos:   binary.BigEndian.Uint64(b[20:28]),
 	}
 }

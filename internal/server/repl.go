@@ -2,6 +2,7 @@ package server
 
 import (
 	"errors"
+	"fmt"
 	"net"
 	"sync"
 	"time"
@@ -29,7 +30,7 @@ const replSnapshotChunk = 256 << 10
 // consumes the follower's acks for lag accounting; acks never gate
 // commits.
 func (s *Server) serveReplication(conn net.Conn, payload []byte) {
-	pub := s.cfg.Publisher
+	pub := s.publisher()
 	if pub == nil {
 		s.errors.Add(1)
 		s.writeFrame(conn, wire.TError, wire.EncodeError(wire.CodeProtocol,
@@ -40,6 +41,21 @@ func (s *Server) serveReplication(conn net.Conn, payload []byte) {
 	if err != nil {
 		s.errors.Add(1)
 		s.writeFrame(conn, wire.TError, wire.EncodeError(wire.CodeProtocol, err.Error()))
+		return
+	}
+	if _, fencedBy := s.role(); fencedBy != 0 {
+		s.writeFrame(conn, wire.TError, wire.EncodeError(wire.CodeFenced,
+			fmt.Sprintf("fenced by epoch %d; this node no longer publishes", fencedBy)))
+		return
+	}
+	if hello.Epoch > pub.Epoch() {
+		// Passive fencing: the follower has applied history from a newer
+		// epoch than ours, so a newer primary exists somewhere — this node
+		// must stop accepting writes even before the new primary's fencer
+		// reaches it. We don't learn the new primary's address here.
+		s.fence(hello.Epoch, "")
+		s.writeFrame(conn, wire.TError, wire.EncodeError(wire.CodeFenced,
+			fmt.Sprintf("follower holds epoch %d > %d; fencing myself", hello.Epoch, pub.Epoch())))
 		return
 	}
 	remote := conn.RemoteAddr().String()
@@ -80,7 +96,7 @@ func (s *Server) serveReplication(conn net.Conn, payload []byte) {
 		}
 	}()
 
-	sub, err := pub.Subscribe(hello.Epoch, hello.Pos)
+	sub, err := pub.Subscribe(hello.Epoch, hello.Run, hello.Pos)
 	if errors.Is(err, repl.ErrSnapshotNeeded) {
 		sub, err = s.sendSnapshot(conn, pub, peer)
 	}
@@ -122,8 +138,8 @@ func (s *Server) serveReplication(conn net.Conn, payload []byte) {
 		}
 		latest := pub.Latest()
 		for _, g := range groups {
-			f := wire.ReplFrames{Epoch: pub.Epoch(), Pos: g.Pos, Latest: latest, Gen: g.Gen,
-				TS: g.TS, IDs: g.IDs, Pages: g.Pages}
+			f := wire.ReplFrames{Epoch: pub.Epoch(), Run: pub.Run(), Pos: g.Pos, Latest: latest,
+				Gen: g.Gen, TS: g.TS, IDs: g.IDs, Pages: g.Pages}
 			shipStart := time.Now()
 			if err := s.writeFrame(conn, wire.TReplFrames, wire.EncodeReplFrames(f)); err != nil {
 				s.log.Warn("replication write failed", "remote", remote, "err", err)
@@ -142,7 +158,7 @@ func (s *Server) serveReplication(conn net.Conn, payload []byte) {
 // sendHeartbeat writes an empty frame at position 0 carrying the
 // primary's newest position.
 func (s *Server) sendHeartbeat(conn net.Conn, pub *repl.Publisher) error {
-	f := wire.ReplFrames{Epoch: pub.Epoch(), Latest: pub.Latest()}
+	f := wire.ReplFrames{Epoch: pub.Epoch(), Run: pub.Run(), Latest: pub.Latest()}
 	return s.writeFrame(conn, wire.TReplFrames, wire.EncodeReplFrames(f))
 }
 
@@ -164,6 +180,7 @@ func (s *Server) sendSnapshot(conn net.Conn, pub *repl.Publisher, peer *repl.Pee
 		}
 		f := wire.ReplSnapshot{
 			Epoch:  pub.Epoch(),
+			Run:    pub.Run(),
 			Pos:    pos,
 			Gen:    gen,
 			Total:  uint64(len(img)),

@@ -1,0 +1,148 @@
+package server
+
+import (
+	"fmt"
+
+	"sim/internal/repl"
+	"sim/internal/wire"
+)
+
+// Replication role transitions. The server starts in whatever role Config
+// describes (primary with a Publisher, replica with ReadOnly, or neither)
+// and may change it at runtime: a TPromote frame turns a replica into the
+// primary, and a fencing event — a follower's ReplHello or a TRetarget
+// frame carrying a higher epoch — turns a primary read-only. All of it is
+// guarded by roleMu so a write racing a promotion sees either the old
+// role's answer (CodeReadOnly/CodeFenced) or the new one, never a torn
+// mixture.
+
+// publisher returns the publisher currently serving replication streams.
+func (s *Server) publisher() *repl.Publisher {
+	s.roleMu.Lock()
+	defer s.roleMu.Unlock()
+	return s.pub
+}
+
+// role returns the current write-dispatch gates.
+func (s *Server) role() (readOnly bool, fencedBy uint64) {
+	s.roleMu.Lock()
+	defer s.roleMu.Unlock()
+	return s.readOnly, s.fencedBy
+}
+
+// replStatus answers TReplStatus from the current role: the configured
+// (or promoted) status source, with the role overridden to "fenced" when
+// a higher epoch has demoted this node.
+func (s *Server) replStatus() wire.ReplStatus {
+	s.roleMu.Lock()
+	fn := s.statusFn
+	fencedBy := s.fencedBy
+	s.roleMu.Unlock()
+	st := wire.ReplStatus{Role: "none"}
+	if fn != nil {
+		st = fn()
+	}
+	if fencedBy != 0 {
+		st.Role = "fenced"
+		if fencedBy > st.Epoch {
+			st.Epoch = fencedBy
+		}
+	}
+	return st
+}
+
+// fence demotes this node under epoch: writes answer CodeFenced, the
+// sealed publisher stops shipping new groups, and ReplStatus reports
+// "fenced". Idempotent per epoch; each strictly higher epoch re-fires
+// OnFence so a rejoined follower can chase a second failover.
+func (s *Server) fence(epoch uint64, newPrimary string) {
+	s.roleMu.Lock()
+	if epoch <= s.fencedBy {
+		s.roleMu.Unlock()
+		return
+	}
+	s.fencedBy = epoch
+	pub := s.pub
+	hook := s.cfg.OnFence
+	s.roleMu.Unlock()
+	s.log.Warn("fenced by higher epoch; demoting to read-only",
+		"epoch", epoch, "new_primary", newPrimary)
+	if pub != nil {
+		// The demoted primary's database is about to be owned by a
+		// replication applier; the WAL hooks must stop feeding the old
+		// publisher before that happens.
+		pub.Seal()
+	}
+	if hook != nil {
+		hook(epoch, newPrimary)
+	}
+}
+
+// setPrimary installs a freshly promoted publisher as this node's role:
+// writes open up, fencing state clears (the promoted epoch is by
+// construction above anything witnessed), and ReplStatus reports from the
+// new publisher.
+func (s *Server) setPrimary(pub *repl.Publisher) {
+	s.roleMu.Lock()
+	s.pub = pub
+	s.statusFn = pub.Status
+	s.readOnly = false
+	s.fencedBy = 0
+	s.roleMu.Unlock()
+}
+
+// handlePromote serves a TPromote frame: run the configured promotion
+// (follower drain + epoch advance + publisher open) and flip the
+// dispatch role. Idempotent — the Promote callback returns the same
+// publisher on a retry, and a node that is already primary answers with
+// its own epoch.
+func (s *Server) handlePromote() (wire.Type, []byte) {
+	if s.cfg.Promote == nil {
+		if pub := s.publisher(); pub != nil {
+			// Already primary: answer with the epoch we own so a retried
+			// promotion converges instead of erroring.
+			return wire.TPromoteOK, wire.EncodePromoteOK(pub.Epoch())
+		}
+		return wire.TError, wire.EncodeError(wire.CodeProtocol,
+			"this server is not a replica; nothing to promote")
+	}
+	pub, err := s.cfg.Promote()
+	if err != nil {
+		return wire.TError, wire.EncodeError(wire.CodeExec, fmt.Sprintf("promote: %v", err))
+	}
+	s.setPrimary(pub)
+	s.log.Info("promoted to primary", "epoch", pub.Epoch())
+	return wire.TPromoteOK, wire.EncodePromoteOK(pub.Epoch())
+}
+
+// handleRetarget serves a TRetarget frame, the active fencing vector. On
+// a primary it is a fencing notice: a strictly higher epoch demotes this
+// node (TOK acknowledges the demotion), anything else is refused with
+// CodeFenced — the sender holds a stale term. On a replica it re-points
+// the replication stream at the new primary's address.
+func (s *Server) handleRetarget(payload []byte) (wire.Type, []byte) {
+	rt, err := wire.DecodeRetarget(payload)
+	if err != nil {
+		return wire.TError, wire.EncodeError(wire.CodeProtocol, err.Error())
+	}
+	if pub := s.publisher(); pub != nil {
+		if rt.Epoch > pub.Epoch() {
+			s.fence(rt.Epoch, rt.Addr)
+			return wire.TOK, nil
+		}
+		return wire.TError, wire.EncodeError(wire.CodeFenced,
+			fmt.Sprintf("refusing retarget: this primary holds epoch %d >= %d", pub.Epoch(), rt.Epoch))
+	}
+	if s.cfg.Retarget == nil {
+		return wire.TError, wire.EncodeError(wire.CodeProtocol,
+			"this server is not replicating; nothing to retarget")
+	}
+	if rt.Addr == "" {
+		return wire.TError, wire.EncodeError(wire.CodeProtocol, "retarget wants a primary address")
+	}
+	if err := s.cfg.Retarget(rt.Addr); err != nil {
+		return wire.TError, wire.EncodeError(wire.CodeExec, fmt.Sprintf("retarget: %v", err))
+	}
+	s.log.Info("replication retargeted", "primary", rt.Addr, "epoch", rt.Epoch)
+	return wire.TOK, nil
+}

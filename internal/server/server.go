@@ -61,14 +61,36 @@ type Config struct {
 	Registry *obs.Registry
 	// ReadOnly refuses every mutating request (Exec, Begin/Commit/Rollback,
 	// Checkpoint) with CodeReadOnly. Set on replicas, whose database is
-	// owned by the replication applier.
+	// owned by the replication applier. The role is runtime state: a
+	// Promote clears it, a fencing event re-imposes it (as CodeFenced).
 	ReadOnly bool
 	// Publisher, when set, serves replication streams: a ReplHello frame
 	// turns the connection into a log-shipping subscription fed from it.
 	Publisher *repl.Publisher
 	// ReplStatus, when set, answers the ReplStatus request (primary and
-	// replica alike). Nil answers with role "none".
+	// replica alike). Nil answers with role "none". A fencing event
+	// overrides the reported role with "fenced"; a Promote replaces the
+	// source with the new publisher's status.
 	ReplStatus func() wire.ReplStatus
+	// FencedBy starts the server fenced by the given epoch: a higher term
+	// was witnessed durably (ClaimEpoch found MaxSeen > Epoch), so writes
+	// are refused with CodeFenced from the first request.
+	FencedBy uint64
+	// Promote, when set, turns this replica into a primary when a TPromote
+	// frame arrives: it must drain and seal the follower, persist the
+	// advanced epoch, and return the publisher the node now serves
+	// replication from. It must be idempotent (a retried TPromote returns
+	// the same publisher). The server flips its own dispatch state.
+	Promote func() (*repl.Publisher, error)
+	// Retarget, when set, re-points this replica's replication stream at a
+	// new primary address when a TRetarget frame arrives.
+	Retarget func(addr string) error
+	// OnFence is called (outside the server's locks) whenever the server
+	// is fenced by a strictly higher epoch than before: a follower claimed
+	// it on hello, or a Retarget frame delivered it. newPrimary may be
+	// empty. Implementations persist the witnessed epoch and, when given
+	// an address, rejoin the new primary as a follower.
+	OnFence func(epoch uint64, newPrimary string)
 }
 
 // ErrServerClosed is returned by Serve after Shutdown or Close.
@@ -90,6 +112,14 @@ type Server struct {
 	conns    map[net.Conn]struct{}
 	quit     chan struct{}
 	quitOnce sync.Once
+
+	// Replication role, mutable at runtime: promotion turns a read-only
+	// replica into a writable primary, fencing turns a primary read-only.
+	roleMu   sync.Mutex
+	pub      *repl.Publisher
+	statusFn func() wire.ReplStatus
+	readOnly bool
+	fencedBy uint64 // higher epoch this node was fenced by; 0 = not fenced
 
 	inflight sync.WaitGroup // requests being executed
 	handlers sync.WaitGroup // connection goroutines
@@ -117,11 +147,15 @@ func New(db *sim.Database, cfg Config) *Server {
 		log = slog.New(slog.DiscardHandler)
 	}
 	s := &Server{
-		db:    db,
-		cfg:   cfg,
-		log:   log,
-		conns: make(map[net.Conn]struct{}),
-		quit:  make(chan struct{}),
+		db:       db,
+		cfg:      cfg,
+		log:      log,
+		conns:    make(map[net.Conn]struct{}),
+		quit:     make(chan struct{}),
+		pub:      cfg.Publisher,
+		statusFn: cfg.ReplStatus,
+		readOnly: cfg.ReadOnly,
+		fencedBy: cfg.FencedBy,
 	}
 	if cfg.MaxInflight > 0 {
 		s.slots = make(chan struct{}, cfg.MaxInflight)
@@ -398,9 +432,14 @@ func (s *Server) dispatch(sess *session, t wire.Type, payload []byte, reqID uint
 		ctx, cancel = context.WithTimeout(ctx, s.cfg.RequestTimeout)
 		defer cancel()
 	}
-	if s.cfg.ReadOnly {
-		switch t {
-		case wire.TExec, wire.TBegin, wire.TCommit, wire.TRollback, wire.TTraceCommit, wire.TCheckpoint:
+	switch t {
+	case wire.TExec, wire.TBegin, wire.TCommit, wire.TRollback, wire.TTraceCommit, wire.TCheckpoint:
+		readOnly, fencedBy := s.role()
+		if fencedBy != 0 {
+			return wire.TError, wire.EncodeError(wire.CodeFenced,
+				fmt.Sprintf("fenced by epoch %d; a newer primary owns this database", fencedBy))
+		}
+		if readOnly {
 			return wire.TError, wire.EncodeError(wire.CodeReadOnly,
 				"replica is read-only; send writes to the primary")
 		}
@@ -510,11 +549,11 @@ func (s *Server) dispatch(sess *session, t wire.Type, payload []byte, reqID uint
 	case wire.TStats:
 		return wire.TStatsOK, wire.EncodeServerStats(s.Stats())
 	case wire.TReplStatus:
-		st := wire.ReplStatus{Role: "none"}
-		if s.cfg.ReplStatus != nil {
-			st = s.cfg.ReplStatus()
-		}
-		return wire.TReplStatusOK, wire.EncodeReplStatus(st)
+		return wire.TReplStatusOK, wire.EncodeReplStatus(s.replStatus())
+	case wire.TPromote:
+		return s.handlePromote()
+	case wire.TRetarget:
+		return s.handleRetarget(payload)
 	default:
 		return wire.TError, wire.EncodeError(wire.CodeProtocol, fmt.Sprintf("unexpected frame %v", t))
 	}

@@ -31,11 +31,13 @@ func FuzzDecodeFrame(f *testing.F) {
 		&exec.Group{Label: "result", Children: []*exec.Group{{Label: "s", Values: []value.Value{value.NewString("x")}, Indexes: []int{0}}}},
 		exec.Stats{Instances: 4, Rows: 2})
 	f.Add(frame(TResult, EncodeResult(res)))
-	f.Add(frame(TReplHello, EncodeReplHello(ReplHello{Epoch: 7, Pos: 42})))
+	f.Add(frame(TReplHello, EncodeReplHello(ReplHello{Epoch: 7, Run: 0xC0FFEE, Pos: 42})))
 	f.Add(frame(TReplAck, EncodeReplAck(42)))
-	f.Add(frame(TReplSnapshot, EncodeReplSnapshot(ReplSnapshot{Epoch: 7, Pos: 3, Gen: 1, Total: 12, Offset: 4, Chunk: []byte("chunkdata")})))
-	f.Add(frame(TReplFrames, EncodeReplFrames(ReplFrames{Epoch: 7, Pos: 9, Latest: 11, Gen: 1,
+	f.Add(frame(TReplSnapshot, EncodeReplSnapshot(ReplSnapshot{Epoch: 7, Run: 0xC0FFEE, Pos: 3, Gen: 1, Total: 12, Offset: 4, Chunk: []byte("chunkdata")})))
+	f.Add(frame(TReplFrames, EncodeReplFrames(ReplFrames{Epoch: 7, Run: 0xC0FFEE, Pos: 9, Latest: 11, Gen: 1,
 		Pages: []ReplPage{{ID: 3, Data: []byte("page image bytes")}}})))
+	f.Add(frame(TPromoteOK, EncodePromoteOK(8)))
+	f.Add(frame(TRetarget, EncodeRetarget(Retarget{Epoch: 8, Addr: "10.0.0.3:1988"})))
 	f.Add(frame(TReplStatusOK, EncodeReplStatus(ReplStatus{Role: "primary", Epoch: 7, Latest: 11,
 		Replicas: []ReplicaInfo{{Addr: "10.0.0.2:1988", State: "streaming", Pos: 9, Latest: 11, AgeMs: 40}}})))
 	// Hostile repl shapes: truncated payloads and absurd declared lengths.
@@ -93,6 +95,14 @@ func FuzzDecodeFrame(f *testing.F) {
 			DecodeReplHello(payload)
 		case TReplAck:
 			DecodeReplAck(payload)
+		case TPromoteOK:
+			DecodePromoteOK(payload)
+		case TRetarget:
+			if rt, err := DecodeRetarget(payload); err == nil {
+				if _, err := DecodeRetarget(EncodeRetarget(rt)); err != nil {
+					t.Fatalf("re-encode of decoded retarget failed: %v", err)
+				}
+			}
 		case TReplSnapshot:
 			if s, err := DecodeReplSnapshot(payload); err == nil {
 				if _, err := DecodeReplSnapshot(EncodeReplSnapshot(s)); err != nil {

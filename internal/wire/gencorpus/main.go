@@ -56,14 +56,16 @@ func main() {
 		"stats":          frame(wire.TStatsOK, wire.EncodeServerStats(wire.ServerStats{Connections: 8, Active: 2, Requests: 640, BytesIn: 1 << 20, BytesOut: 9, Errors: 1})),
 		"truncated":      frame(wire.TResult, wire.EncodeResult(res))[:20],
 		"hostile-length": {0xFF, 0xFF, 0xFF, 0xFE, byte(wire.TResult), 1, 2, 3},
-		"repl-hello":     frame(wire.TReplHello, wire.EncodeReplHello(wire.ReplHello{Epoch: 1<<63 | 9, Pos: 1 << 33})),
+		"repl-hello":     frame(wire.TReplHello, wire.EncodeReplHello(wire.ReplHello{Epoch: 1<<63 | 9, Run: 1 << 62, Pos: 1 << 33})),
 		"repl-ack":       frame(wire.TReplAck, wire.EncodeReplAck(1<<40)),
 		"repl-snapshot": frame(wire.TReplSnapshot, wire.EncodeReplSnapshot(wire.ReplSnapshot{
-			Epoch: 9, Pos: 17, Gen: 2, Total: 1 << 16, Offset: 4096, Chunk: bytes.Repeat([]byte{0xA5}, 512)})),
+			Epoch: 9, Run: 0xF00D, Pos: 17, Gen: 2, Total: 1 << 16, Offset: 4096, Chunk: bytes.Repeat([]byte{0xA5}, 512)})),
 		"repl-frames": frame(wire.TReplFrames, wire.EncodeReplFrames(wire.ReplFrames{
-			Epoch: 9, Pos: 18, Latest: 20, Gen: 2, TS: 1 << 60, IDs: []uint64{0xDEADBEEF, 7},
+			Epoch: 9, Run: 0xF00D, Pos: 18, Latest: 20, Gen: 2, TS: 1 << 60, IDs: []uint64{0xDEADBEEF, 7},
 			Pages: []wire.ReplPage{{ID: 0, Data: bytes.Repeat([]byte{0x5A}, 128)}, {ID: 31, Data: []byte("tail page")}}})),
-		"repl-heartbeat": frame(wire.TReplFrames, wire.EncodeReplFrames(wire.ReplFrames{Epoch: 9, Latest: 20})),
+		"repl-heartbeat": frame(wire.TReplFrames, wire.EncodeReplFrames(wire.ReplFrames{Epoch: 9, Run: 0xF00D, Latest: 20})),
+		"promote-ok":     frame(wire.TPromoteOK, wire.EncodePromoteOK(10)),
+		"retarget":       frame(wire.TRetarget, wire.EncodeRetarget(wire.Retarget{Epoch: 10, Addr: "198.51.100.7:1988"})),
 		"repl-status": frame(wire.TReplStatusOK, wire.EncodeReplStatus(wire.ReplStatus{
 			Role: "primary", Epoch: 9, Latest: 20,
 			Replicas: []wire.ReplicaInfo{{Addr: "198.51.100.7:1988", State: "snapshot", Pos: 0, Latest: 20, AgeMs: 3}}})),

@@ -7,35 +7,45 @@ import (
 )
 
 // Replication frames. A follower opens a normal Hello session, then sends
-// one ReplHello carrying the primary epoch it last followed and the last
-// position it durably applied. The server answers with a stream: either
-// ReplFrames continuing from that position, or — when the epoch is stale
-// or the position has been evicted from the primary's in-memory tail — a
-// base snapshot (ReplSnapshot chunks) followed by ReplFrames from the
-// snapshot position. The follower sends ReplAck frames back on the same
-// connection as it applies; the primary uses them only for staleness
-// reporting, never for commit acknowledgment (replication is async).
+// one ReplHello carrying the primary epoch and publisher run it last
+// followed and the last position it durably applied. The server answers
+// with a stream: either ReplFrames continuing from that position, or —
+// when the epoch/run is stale or the position has been evicted from the
+// primary's in-memory tail — a base snapshot (ReplSnapshot chunks)
+// followed by ReplFrames from the snapshot position. The follower sends
+// ReplAck frames back on the same connection as it applies; the primary
+// uses them only for staleness reporting, never for commit acknowledgment
+// (replication is async).
 //
-// Positions are assigned by the publisher, monotonically per epoch,
+// Epoch is the persisted fencing term: it advances only on promotion, and
+// a primary that learns of a higher epoch (via ReplHello or Retarget)
+// fences itself. Run is a random nonce drawn each time a publisher opens;
+// positions are only comparable within one (epoch, run) pair, so a
+// follower may resume a stream only when both match — anything else
+// forces a re-snapshot.
+//
+// Positions are assigned by the publisher, monotonically per run,
 // starting at 1; position 0 in a ReplFrames frame marks a heartbeat
 // (no pages, just the primary's latest position for lag estimation).
 
 // ReplHello is the follower's subscribe request.
 type ReplHello struct {
 	Epoch uint64 // primary epoch last followed; 0 = none
+	Run   uint64 // publisher run the position belongs to; 0 = none
 	Pos   uint64 // last position durably applied; 0 = none
 }
 
 // EncodeReplHello builds a ReplHello payload.
 func EncodeReplHello(h ReplHello) []byte {
 	b := binary.AppendUvarint(nil, h.Epoch)
+	b = binary.AppendUvarint(b, h.Run)
 	return binary.AppendUvarint(b, h.Pos)
 }
 
 // DecodeReplHello decodes a ReplHello payload.
 func DecodeReplHello(b []byte) (ReplHello, error) {
 	var h ReplHello
-	for _, f := range []*uint64{&h.Epoch, &h.Pos} {
+	for _, f := range []*uint64{&h.Epoch, &h.Run, &h.Pos} {
 		v, n := binary.Uvarint(b)
 		if n <= 0 {
 			return ReplHello{}, fmt.Errorf("wire: bad repl hello frame")
@@ -70,6 +80,7 @@ func DecodeReplAck(b []byte) (uint64, error) {
 // as of; Gen is the primary's schema generation at that point.
 type ReplSnapshot struct {
 	Epoch  uint64
+	Run    uint64
 	Pos    uint64
 	Gen    uint64
 	Total  uint64
@@ -80,6 +91,7 @@ type ReplSnapshot struct {
 // EncodeReplSnapshot builds a ReplSnapshot payload.
 func EncodeReplSnapshot(s ReplSnapshot) []byte {
 	b := binary.AppendUvarint(nil, s.Epoch)
+	b = binary.AppendUvarint(b, s.Run)
 	b = binary.AppendUvarint(b, s.Pos)
 	b = binary.AppendUvarint(b, s.Gen)
 	b = binary.AppendUvarint(b, s.Total)
@@ -92,7 +104,7 @@ func EncodeReplSnapshot(s ReplSnapshot) []byte {
 // copy.
 func DecodeReplSnapshot(b []byte) (ReplSnapshot, error) {
 	var s ReplSnapshot
-	for _, f := range []*uint64{&s.Epoch, &s.Pos, &s.Gen, &s.Total, &s.Offset} {
+	for _, f := range []*uint64{&s.Epoch, &s.Run, &s.Pos, &s.Gen, &s.Total, &s.Offset} {
 		v, n := binary.Uvarint(b)
 		if n <= 0 {
 			return ReplSnapshot{}, fmt.Errorf("wire: bad repl snapshot frame")
@@ -117,6 +129,7 @@ func DecodeReplSnapshot(b []byte) (ReplSnapshot, error) {
 // Latest still current.
 type ReplFrames struct {
 	Epoch  uint64
+	Run    uint64
 	Pos    uint64
 	Latest uint64
 	Gen    uint64
@@ -138,6 +151,7 @@ type ReplPage struct {
 // EncodeReplFrames builds a ReplFrames payload.
 func EncodeReplFrames(f ReplFrames) []byte {
 	b := binary.AppendUvarint(nil, f.Epoch)
+	b = binary.AppendUvarint(b, f.Run)
 	b = binary.AppendUvarint(b, f.Pos)
 	b = binary.AppendUvarint(b, f.Latest)
 	b = binary.AppendUvarint(b, f.Gen)
@@ -160,7 +174,7 @@ func EncodeReplFrames(f ReplFrames) []byte {
 func DecodeReplFrames(b []byte) (ReplFrames, error) {
 	var f ReplFrames
 	var nids uint64
-	for _, dst := range []*uint64{&f.Epoch, &f.Pos, &f.Latest, &f.Gen, &f.TS, &nids} {
+	for _, dst := range []*uint64{&f.Epoch, &f.Run, &f.Pos, &f.Latest, &f.Gen, &f.TS, &nids} {
 		v, n := binary.Uvarint(b)
 		if n <= 0 {
 			return ReplFrames{}, fmt.Errorf("wire: bad repl frames frame")
@@ -283,6 +297,46 @@ func EncodeReplStatus(s ReplStatus) []byte {
 		b = binary.AppendUvarint(b, r.AgeMs)
 	}
 	return b
+}
+
+// EncodePromoteOK builds a PromoteOK payload: the epoch the promoted node
+// now publishes under.
+func EncodePromoteOK(epoch uint64) []byte {
+	return binary.AppendUvarint(nil, epoch)
+}
+
+// DecodePromoteOK decodes a PromoteOK payload.
+func DecodePromoteOK(b []byte) (uint64, error) {
+	epoch, n := binary.Uvarint(b)
+	if n <= 0 || n != len(b) {
+		return 0, fmt.Errorf("wire: bad promote ok frame")
+	}
+	return epoch, nil
+}
+
+// Retarget is the failover admin frame. Sent to a replica it re-points
+// the follower at Addr (Epoch is advisory). Sent to a primary it is the
+// active fencing vector: a node that receives a Retarget carrying an
+// epoch higher than its own demotes to read-only and, when Addr is
+// non-empty, rejoins the cluster as a follower of Addr.
+type Retarget struct {
+	Epoch uint64 // the sender's epoch; 0 = no fencing claim
+	Addr  string // address of the (new) primary; "" = fence only
+}
+
+// EncodeRetarget builds a Retarget payload.
+func EncodeRetarget(r Retarget) []byte {
+	b := binary.AppendUvarint(nil, r.Epoch)
+	return append(b, r.Addr...)
+}
+
+// DecodeRetarget decodes a Retarget payload.
+func DecodeRetarget(b []byte) (Retarget, error) {
+	epoch, n := binary.Uvarint(b)
+	if n <= 0 || len(b)-n > maxReplStatusStr {
+		return Retarget{}, fmt.Errorf("wire: bad retarget frame")
+	}
+	return Retarget{Epoch: epoch, Addr: string(b[n:])}, nil
 }
 
 // DecodeReplStatus decodes a ReplStatusOK payload.

@@ -6,7 +6,7 @@ import (
 )
 
 func TestReplHelloRoundTrip(t *testing.T) {
-	for _, h := range []ReplHello{{}, {Epoch: 1, Pos: 0}, {Epoch: 1<<63 | 5, Pos: 1 << 40}} {
+	for _, h := range []ReplHello{{}, {Epoch: 1, Pos: 0}, {Epoch: 1<<63 | 5, Run: 1 << 62, Pos: 1 << 40}} {
 		got, err := DecodeReplHello(EncodeReplHello(h))
 		if err != nil {
 			t.Fatalf("decode %+v: %v", h, err)
@@ -39,12 +39,12 @@ func TestReplAckRoundTrip(t *testing.T) {
 }
 
 func TestReplSnapshotRoundTrip(t *testing.T) {
-	s := ReplSnapshot{Epoch: 7, Pos: 42, Gen: 3, Total: 10, Offset: 4, Chunk: []byte("abcdef")}
+	s := ReplSnapshot{Epoch: 7, Run: 99, Pos: 42, Gen: 3, Total: 10, Offset: 4, Chunk: []byte("abcdef")}
 	got, err := DecodeReplSnapshot(EncodeReplSnapshot(s))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got.Epoch != s.Epoch || got.Pos != s.Pos || got.Gen != s.Gen ||
+	if got.Epoch != s.Epoch || got.Run != s.Run || got.Pos != s.Pos || got.Gen != s.Gen ||
 		got.Total != s.Total || got.Offset != s.Offset || !bytes.Equal(got.Chunk, s.Chunk) {
 		t.Fatalf("round trip %+v -> %+v", s, got)
 	}
@@ -62,6 +62,7 @@ func TestReplSnapshotRoundTrip(t *testing.T) {
 func TestReplFramesRoundTrip(t *testing.T) {
 	f := ReplFrames{
 		Epoch:  9,
+		Run:    77,
 		Pos:    100,
 		Latest: 104,
 		Gen:    2,
@@ -74,7 +75,7 @@ func TestReplFramesRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got.Epoch != f.Epoch || got.Pos != f.Pos || got.Latest != f.Latest || got.Gen != f.Gen {
+	if got.Epoch != f.Epoch || got.Run != f.Run || got.Pos != f.Pos || got.Latest != f.Latest || got.Gen != f.Gen {
 		t.Fatalf("header round trip %+v -> %+v", f, got)
 	}
 	if len(got.Pages) != len(f.Pages) {
@@ -99,6 +100,37 @@ func TestReplFramesRoundTrip(t *testing.T) {
 		if _, err := DecodeReplFrames(enc[:cut]); err == nil {
 			t.Fatalf("truncation at %d accepted", cut)
 		}
+	}
+}
+
+func TestPromoteOKRoundTrip(t *testing.T) {
+	for _, epoch := range []uint64{0, 1, 1 << 60} {
+		got, err := DecodePromoteOK(EncodePromoteOK(epoch))
+		if err != nil || got != epoch {
+			t.Fatalf("round trip %d -> %d, %v", epoch, got, err)
+		}
+	}
+	if _, err := DecodePromoteOK(nil); err == nil {
+		t.Fatal("empty promote ok decoded")
+	}
+	if _, err := DecodePromoteOK(append(EncodePromoteOK(3), 0)); err == nil {
+		t.Fatal("trailing bytes accepted")
+	}
+}
+
+func TestRetargetRoundTrip(t *testing.T) {
+	for _, r := range []Retarget{{}, {Epoch: 7}, {Epoch: 1 << 50, Addr: "10.0.0.3:1988"}} {
+		got, err := DecodeRetarget(EncodeRetarget(r))
+		if err != nil || got != r {
+			t.Fatalf("round trip %+v -> %+v, %v", r, got, err)
+		}
+	}
+	if _, err := DecodeRetarget(nil); err == nil {
+		t.Fatal("empty retarget decoded")
+	}
+	longAddr := make([]byte, maxReplStatusStr+1)
+	if _, err := DecodeRetarget(append(EncodeRetarget(Retarget{Epoch: 1}), longAddr...)); err == nil {
+		t.Fatal("oversized address accepted")
 	}
 }
 

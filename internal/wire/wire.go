@@ -35,7 +35,12 @@ const Magic = "SIMW"
 // Begin, Commit, TraceCommit, Rollback) open with a uvarint request ID
 // (0 = untraced; see EncodeRequest), and ReplFrames carry the IDs of the
 // commits merged into each group plus the publish wall-clock.
-const Version = 2
+//
+// Version 3 added failover: the replication frames (ReplHello,
+// ReplSnapshot, ReplFrames) carry a per-publisher-lifetime Run nonce next
+// to the persisted Epoch, and the Promote/Retarget admin frames plus
+// CodeFenced implement follower promotion with epoch fencing.
+const Version = 3
 
 // DefaultMaxFrame bounds the frames a peer will accept (length field
 // inclusive of the type byte). Large result sets stream inside a single
@@ -48,6 +53,7 @@ type Type byte
 // Frame types.
 const (
 	THello        Type = 0x01 // both directions: magic + version
+	TRetarget     Type = 0x02 // admin: epoch + address — re-point a follower, or fence a primary
 	TQuery        Type = 0x10 // payload: uvarint request ID + DML text of one Retrieve
 	TExec         Type = 0x11 // payload: uvarint request ID + DML text of one update statement
 	TExplain      Type = 0x12 // payload: DML text of one Retrieve
@@ -63,6 +69,7 @@ const (
 	TReplAck      Type = 0x1C // follower → primary: applied position
 	TIntrospect   Type = 0x1D // payload: one kind byte (see Introspect*); answered with TIntrospectOK
 	TTraceCommit  Type = 0x1E // payload: uvarint request ID: commit + return the span breakdown
+	TPromote      Type = 0x1F // admin: promote this replica to primary; answered with TPromoteOK
 	TResult       Type = 0x20 // payload: result set (EncodeResult)
 	TExecOK       Type = 0x21 // payload: uvarint affected-entity count
 	TExplainOK    Type = 0x22 // payload: strategy text
@@ -75,6 +82,7 @@ const (
 	TReplStatusOK Type = 0x29 // payload: ReplStatus
 	TIntrospectOK Type = 0x2A // payload: rendered introspection text
 	TCommitTraced Type = 0x2B // payload: CommitInfo (TraceCommit ack)
+	TPromoteOK    Type = 0x2C // payload: uvarint epoch the node now publishes under
 	TError        Type = 0x2F // payload: uvarint code + message text
 )
 
@@ -91,6 +99,7 @@ var typeNames = map[Type]string{
 	TBegin:      "Begin", TCommit: "Commit", TRollback: "Rollback",
 	TReplHello: "ReplHello", TReplStatus: "ReplStatus", TReplAck: "ReplAck",
 	TIntrospect: "Introspect", TTraceCommit: "TraceCommit",
+	TPromote: "Promote", TPromoteOK: "PromoteOK", TRetarget: "Retarget",
 	TResult: "Result", TExecOK: "ExecOK", TExplainOK: "ExplainOK",
 	TOK: "OK", TStatsOK: "StatsOK", TPong: "Pong",
 	TResultTrace: "ResultTrace", TReplSnapshot: "ReplSnapshot",
@@ -123,9 +132,10 @@ const (
 	CodeConflict        // write-write conflict with another open transaction
 	CodeTxState         // transaction-control request in the wrong state
 	CodeReadOnly        // write sent to a read-only replica
+	CodeFenced          // write or subscribe sent to a primary fenced by a higher epoch
 )
 
-var codeNames = [...]string{"unknown", "parse", "semantic", "exec", "protocol", "timeout", "busy", "shutdown", "internal", "overloaded", "conflict", "txstate", "readonly"}
+var codeNames = [...]string{"unknown", "parse", "semantic", "exec", "protocol", "timeout", "busy", "shutdown", "internal", "overloaded", "conflict", "txstate", "readonly", "fenced"}
 
 func (c Code) String() string {
 	if int(c) < len(codeNames) {
