@@ -24,7 +24,11 @@
 //
 // Failover: \promote in simdb (or the client Promote call) turns a
 // replica into the primary under a strictly higher epoch; the promoted
-// node then fences the old primary at its -advertise address. A primary
+// node then fences the old primary, handing it this node's -advertise
+// address as the rejoin target. -advertise is therefore effectively
+// required for automatic failover recovery: with the default host-less
+// -addr (":1988") the fence notice carries no rejoin address, and the
+// demoted primary waits for an operator \retarget instead. A primary
 // that learns of a higher epoch — from the fencer, or from a promoted
 // follower's hello — demotes itself: writes answer a "fenced" error, and
 // when the notice carries the new primary's address the node rejoins it
@@ -48,6 +52,7 @@ import (
 	"flag"
 	"fmt"
 	"log/slog"
+	"net"
 	"net/http"
 	"net/http/pprof"
 	"os"
@@ -81,7 +86,7 @@ func main() {
 	slowQuery := flag.Duration("slow-query", 0, "retain queries slower than this in the slow-query log (0: disabled)")
 	slowRequest := flag.Duration("slow-request", 0, "log requests slower than this at warn level (0: disabled)")
 	readyMaxLag := flag.Uint64("ready-max-lag", 64, "replica readiness threshold: /readyz reports ready only when the replica is at most this many commit groups behind")
-	advertise := flag.String("advertise", "", "address other nodes reach this server at, used when fencing an old primary after promotion (default: -addr)")
+	advertise := flag.String("advertise", "", "address other nodes reach this server at, delivered to a fenced old primary as its rejoin target after promotion (default: -addr; effectively required for failover — a host-less listen address like ':1988' cannot be rejoined)")
 	flag.Parse()
 	if *advertise == "" {
 		*advertise = *addr
@@ -91,6 +96,10 @@ func main() {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "simserve: %v\n", err)
 		os.Exit(2)
+	}
+	if host, _, err := net.SplitHostPort(*advertise); err != nil || host == "" {
+		logger.Warn("advertise address has no reachable host; after a promotion the old primary will be fenced but cannot rejoin this node — set -advertise for automatic failover recovery",
+			"advertise", *advertise)
 	}
 
 	if *replicaOf != "" {
@@ -166,6 +175,10 @@ func main() {
 		scfg.ReplStatus = follower.Status
 		scfg.Promote = rm.promote
 		scfg.Retarget = rm.retarget
+		// A replica can become a primary (TPromote) and then be fenced by
+		// an even higher epoch; it needs the same demote/rejoin hook a
+		// born primary gets, or its witnessed epoch would never persist.
+		scfg.OnFence = rm.onFence
 		logger.Info("replicating", "primary", *replicaOf)
 	case *dbPath != "":
 		// The epoch sidecar makes the fencing term survive restarts: a

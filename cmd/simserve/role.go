@@ -3,6 +3,7 @@ package main
 import (
 	"errors"
 	"log/slog"
+	"net"
 	"sync"
 
 	"sim"
@@ -48,16 +49,33 @@ func (rm *roleMgr) promote() (*repl.Publisher, error) {
 		return nil, err
 	}
 	rm.mu.Lock()
-	first := rm.promoted == nil
+	isNew := rm.promoted != pr // a retry returns the cached Promotion
 	rm.promoted = pr
 	rm.mu.Unlock()
-	if first {
+	if isNew {
 		pr.Pub.RegisterMetrics(rm.db.Metrics())
 		if pr.OldPrimary != "" {
-			go repl.RunFencer(rm.stop, pr.OldPrimary, pr.Epoch, rm.advertise, rm.logger)
+			rejoin := rm.rejoinAddr()
+			if rejoin == "" {
+				rm.logger.Warn("-advertise has no host; fencing the old primary without a rejoin target",
+					"advertise", rm.advertise, "old_primary", pr.OldPrimary)
+			}
+			go repl.RunFencer(rm.stop, pr.OldPrimary, pr.Epoch, rejoin, rm.logger)
 		}
 	}
 	return pr.Pub, nil
+}
+
+// rejoinAddr is the address the fencer delivers to the old primary as its
+// rejoin target. A host-less advertise address (the ":1988" -addr default)
+// would be resolved by the old primary as localhost — it would "rejoin"
+// itself and loop on CodeFenced — so in that case the fence notice carries
+// no address: the old primary demotes but waits for an operator \retarget.
+func (rm *roleMgr) rejoinAddr() string {
+	if host, _, err := net.SplitHostPort(rm.advertise); err != nil || host == "" {
+		return ""
+	}
+	return rm.advertise
 }
 
 // retarget is the server.Config.Retarget callback on a replica: re-point
@@ -72,13 +90,15 @@ func (rm *roleMgr) retarget(addr string) error {
 	return f.Retarget(addr)
 }
 
-// onFence is the server.Config.OnFence callback on a primary: a strictly
-// higher epoch demoted this node. The witnessed epoch is persisted first
-// — a restart must come back fenced, not resurrect as a writable primary
-// at the stale term — then, when the notice named the new primary, this
-// node rejoins it as a follower: its diverged tail (commits it
-// acknowledged but never shipped) is discarded by the re-snapshot the
-// fresh follower requests.
+// onFence is the server.Config.OnFence callback on any node that owns a
+// publisher — born primary or promoted replica: a strictly higher epoch
+// demoted it. The witnessed epoch is persisted first — a restart must
+// come back fenced, not resurrect as a writable primary at the stale
+// term — then, when the notice named the new primary, this node rejoins
+// it as a follower: its diverged tail (commits it acknowledged but never
+// shipped) is discarded by the re-snapshot the fresh follower requests.
+// On a promoted replica rm.follower is the old, closed follower (Promote
+// closed it); its Retarget errors and a fresh follower takes its place.
 func (rm *roleMgr) onFence(epoch uint64, newPrimary string) {
 	if err := repl.WitnessEpoch(rm.epochPath, epoch); err != nil {
 		rm.logger.Error("persisting witnessed epoch failed", "epoch", epoch, "err", err)
@@ -90,10 +110,12 @@ func (rm *roleMgr) onFence(epoch uint64, newPrimary string) {
 	defer rm.mu.Unlock()
 	if rm.follower != nil {
 		// Already rejoined after an earlier fence; chase the newest primary.
-		if err := rm.follower.Retarget(newPrimary); err != nil {
-			rm.logger.Error("retarget after fence failed", "primary", newPrimary, "err", err)
+		if err := rm.follower.Retarget(newPrimary); err == nil {
+			return
 		}
-		return
+		// The follower was closed (this node had been promoted); it cannot
+		// reconnect anywhere — replace it.
+		rm.follower = nil
 	}
 	f, err := repl.StartFollower(rm.db, rm.statePath, repl.FollowerConfig{
 		Primary: newPrimary,
@@ -103,7 +125,9 @@ func (rm *roleMgr) onFence(epoch uint64, newPrimary string) {
 		rm.logger.Error("rejoin after fence failed", "primary", newPrimary, "err", err)
 		return
 	}
+	f.RegisterMetrics(rm.db.Metrics())
 	rm.follower = f
+	rm.promoted = nil // demoted: /readyz gates on the new follower's lag again
 	rm.logger.Info("rejoined new primary as follower", "primary", newPrimary, "epoch", epoch)
 }
 

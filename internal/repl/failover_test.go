@@ -80,8 +80,10 @@ func startPrimaryNode(t *testing.T, dir, addr string) *primaryNode {
 			p.mu.Lock()
 			defer p.mu.Unlock()
 			if p.follower != nil {
-				p.follower.Retarget(newPrimary)
-				return
+				if err := p.follower.Retarget(newPrimary); err == nil {
+					return
+				}
+				p.follower = nil // closed; needs a fresh one
 			}
 			f, err := repl.StartFollower(p.db, filepath.Join(p.dir, "primary.db.repl"), repl.FollowerConfig{
 				Primary:      newPrimary,
@@ -113,14 +115,22 @@ func (p *primaryNode) kill() {
 	p.db.Close()
 }
 
-// replicaNode is a follower with a promotable server in front of it.
+// replicaNode is a follower with a promotable server in front of it,
+// wired the way simserve wires one: promotion through the follower, and
+// an OnFence hook that persists the witnessed epoch and rejoins the newer
+// primary — replacing the follower when Promote already closed it.
 type replicaNode struct {
 	dir  string
 	db   *sim.Database
 	f    *repl.Follower
 	srv  *server.Server
 	addr string
+
+	mu  sync.Mutex
+	cur *repl.Follower // follower OnFence retargets or replaces; starts as f
 }
+
+func (r *replicaNode) epochPath() string { return filepath.Join(r.dir, "replica.db.epoch") }
 
 func startReplicaNode(t *testing.T, primaryAddr string) *replicaNode {
 	t.Helper()
@@ -132,7 +142,15 @@ func startReplicaNode(t *testing.T, primaryAddr string) *replicaNode {
 	t.Cleanup(func() { db.Close() })
 	f := startFollower(t, db, dir, primaryAddr)
 	t.Cleanup(func() { f.Close() })
-	r := &replicaNode{dir: dir, db: db, f: f}
+	r := &replicaNode{dir: dir, db: db, f: f, cur: f}
+	t.Cleanup(func() {
+		r.mu.Lock()
+		cur := r.cur
+		r.mu.Unlock()
+		if cur != nil && cur != f {
+			cur.Close()
+		}
+	})
 	lis, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
@@ -142,13 +160,40 @@ func startReplicaNode(t *testing.T, primaryAddr string) *replicaNode {
 		ReadOnly:   true,
 		ReplStatus: f.Status,
 		Promote: func() (*repl.Publisher, error) {
-			pr, err := f.Promote(repl.PromoteConfig{EpochPath: filepath.Join(dir, "replica.db.epoch")})
+			pr, err := f.Promote(repl.PromoteConfig{EpochPath: r.epochPath()})
 			if err != nil {
 				return nil, err
 			}
 			return pr.Pub, nil
 		},
 		Retarget: f.Retarget,
+		OnFence: func(epoch uint64, newPrimary string) {
+			if err := repl.WitnessEpoch(r.epochPath(), epoch); err != nil {
+				t.Errorf("witness epoch: %v", err)
+			}
+			if newPrimary == "" {
+				return
+			}
+			r.mu.Lock()
+			defer r.mu.Unlock()
+			if r.cur != nil {
+				if err := r.cur.Retarget(newPrimary); err == nil {
+					return
+				}
+				r.cur = nil // closed by Promote; needs a fresh one
+			}
+			f2, err := repl.StartFollower(r.db, filepath.Join(dir, "replica.db.repl"), repl.FollowerConfig{
+				Primary:      newPrimary,
+				Heartbeat:    50 * time.Millisecond,
+				ReconnectMin: 10 * time.Millisecond,
+				ReconnectMax: 200 * time.Millisecond,
+			})
+			if err != nil {
+				t.Errorf("rejoin after fence: %v", err)
+				return
+			}
+			r.cur = f2
+		},
 	})
 	go r.srv.Serve(lis)
 	t.Cleanup(func() { r.srv.Close() })
@@ -519,6 +564,128 @@ func TestMultiHealthEjection(t *testing.T) {
 			t.Fatal("revived replica never re-admitted to the read rotation")
 		}
 		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// TestRepromoteAfterFenceRefused pins the resurrection hazard: a node
+// promoted to epoch E and then fenced by E' > E must not re-open writes
+// at E when the (idempotent) promotion is retried — the cached publisher
+// is sealed, its epoch is stale, and anything it accepted would
+// replicate nowhere.
+func TestRepromoteAfterFenceRefused(t *testing.T) {
+	p := startPrimaryNode(t, t.TempDir(), "")
+	if err := p.db.DefineSchema(testSchema); err != nil {
+		t.Fatal(err)
+	}
+	r := startReplicaNode(t, p.addr)
+	waitReady(t, r.f)
+	mustExec(t, p.db, `Insert item (item-no := 1, name := "before").`)
+	waitConverged(t, p.db, r.db, itemsQ)
+	p.kill()
+
+	rc := dialClient(t, r.addr)
+	newEpoch, err := rc.Promote(context.Background())
+	if err != nil {
+		t.Fatalf("promote: %v", err)
+	}
+	// A second failover elsewhere fences the promoted node at a higher
+	// epoch; the notice carries no rejoin address.
+	if err := repl.Fence(r.addr, newEpoch+1, "", 5*time.Second); err != nil {
+		t.Fatalf("fence promoted node: %v", err)
+	}
+	wantFenced(t, r.addr)
+	// The retried promotion answers CodeFenced instead of resurrecting the
+	// stale epoch, and the node stays fenced.
+	_, err = rc.Promote(context.Background())
+	var we *wire.Error
+	if !errors.As(err, &we) || we.Code != wire.CodeFenced {
+		t.Fatalf("re-promote on fenced node: err = %v, want CodeFenced", err)
+	}
+	wantFenced(t, r.addr)
+}
+
+// TestPromotedReplicaFencedRejoins drives the second failover end to end:
+// a replica promoted to primary is itself fenced by an even higher epoch.
+// It must persist the witnessed epoch in its own sidecar, and — because
+// its original follower was closed by Promote — rejoin the newer primary
+// with a fresh follower, discarding its post-promotion history via
+// re-snapshot.
+func TestPromotedReplicaFencedRejoins(t *testing.T) {
+	p := startPrimaryNode(t, t.TempDir(), "")
+	if err := p.db.DefineSchema(testSchema); err != nil {
+		t.Fatal(err)
+	}
+	r := startReplicaNode(t, p.addr)
+	waitReady(t, r.f)
+	mustExec(t, p.db, `Insert item (item-no := 1, name := "shared").`)
+	waitConverged(t, p.db, r.db, itemsQ)
+	p.kill()
+
+	rc := dialClient(t, r.addr)
+	newEpoch, err := rc.Promote(context.Background())
+	if err != nil {
+		t.Fatalf("promote: %v", err)
+	}
+	// History only the short-lived second primary ever sees.
+	if _, err := rc.Exec(`Insert item (item-no := 2, name := "doomed").`); err != nil {
+		t.Fatalf("write on promoted node: %v", err)
+	}
+
+	// A newer primary appears at a strictly higher epoch and fences the
+	// promoted node, naming itself as the rejoin target.
+	p2dir := t.TempDir()
+	if err := repl.AdvanceEpoch(filepath.Join(p2dir, "primary.db.epoch"), newEpoch+1); err != nil {
+		t.Fatal(err)
+	}
+	p2 := startPrimaryNode(t, p2dir, "")
+	if err := p2.db.DefineSchema(testSchema); err != nil {
+		t.Fatal(err)
+	}
+	mustExec(t, p2.db, `Insert item (item-no := 1, name := "shared").`)
+	mustExec(t, p2.db, `Insert item (item-no := 3, name := "newest history").`)
+	if err := repl.Fence(r.addr, newEpoch+1, p2.addr, 5*time.Second); err != nil {
+		t.Fatalf("fence promoted node: %v", err)
+	}
+	wantFenced(t, r.addr)
+	// Durable witness: the replica's own sidecar records the higher epoch.
+	if ne := repl.LoadNodeEpoch(r.epochPath()); ne.MaxSeen < newEpoch+1 {
+		t.Fatalf("sidecar MaxSeen = %d after fence, want >= %d", ne.MaxSeen, newEpoch+1)
+	}
+	// The fenced ex-primary converges on the newer primary's history; its
+	// own "doomed" tail is discarded by the re-snapshot.
+	waitConverged(t, p2.db, r.db, itemsQ)
+	got, err := r.db.Query(itemsQ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := got.Format(); strings.Contains(s, "doomed") {
+		t.Fatalf("post-promotion commit survived the second failover:\n%s", s)
+	}
+}
+
+// TestRetargetClosedFollower pins the contract the rejoin path relies on:
+// a closed follower has no reconnect loop left, so Retarget must error —
+// callers start a fresh follower instead of logging a no-op.
+func TestRetargetClosedFollower(t *testing.T) {
+	dir := t.TempDir()
+	db, err := sim.Open(filepath.Join(dir, "replica.db"), sim.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	f, err := repl.StartFollower(db, filepath.Join(dir, "replica.db.repl"), repl.FollowerConfig{
+		Primary:      "127.0.0.1:1",
+		ReconnectMin: 10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Retarget("127.0.0.1:2"); err != nil {
+		t.Fatalf("retarget live follower: %v", err)
+	}
+	f.Close()
+	if err := f.Retarget("127.0.0.1:3"); err == nil {
+		t.Fatal("retarget on a closed follower succeeded; want an error")
 	}
 }
 

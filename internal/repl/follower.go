@@ -139,10 +139,18 @@ func (f *Follower) Primary() string {
 // Retarget re-points the follower at a new primary address at runtime —
 // the rejoin path after a failover. The current stream is cut; the
 // reconnect loop dials the new address, and the normal subscribe rules
-// decide between tail resume and re-snapshot.
+// decide between tail resume and re-snapshot. A closed follower (Close
+// or Promote) has no reconnect loop left to dial anything: Retarget
+// errors so the caller knows to start a fresh follower instead of
+// logging a retarget that never happens.
 func (f *Follower) Retarget(addr string) error {
 	if addr == "" {
 		return fmt.Errorf("repl: retarget needs a primary address")
+	}
+	select {
+	case <-f.quit:
+		return fmt.Errorf("repl: follower is closed; start a new one instead of retargeting")
+	default:
 	}
 	f.mu.Lock()
 	old := f.primary

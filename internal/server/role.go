@@ -79,26 +79,44 @@ func (s *Server) fence(epoch uint64, newPrimary string) {
 }
 
 // setPrimary installs a freshly promoted publisher as this node's role:
-// writes open up, fencing state clears (the promoted epoch is by
-// construction above anything witnessed), and ReplStatus reports from the
-// new publisher.
-func (s *Server) setPrimary(pub *repl.Publisher) {
+// writes open up, fencing state clears, and ReplStatus reports from the
+// new publisher. It refuses a publisher whose epoch does not exceed the
+// highest epoch this node was fenced by: the Promote callback is
+// idempotent and returns the cached promotion on a retry, so a node
+// promoted to epoch E and later fenced by E' > E would otherwise
+// resurrect its stale, sealed publisher — accepting writes at epoch E
+// that replicate nowhere while a newer primary owns the cluster.
+func (s *Server) setPrimary(pub *repl.Publisher) error {
 	s.roleMu.Lock()
+	defer s.roleMu.Unlock()
+	if pub.Epoch() <= s.fencedBy {
+		return fmt.Errorf("epoch %d was fenced by %d; a newer primary owns this database",
+			pub.Epoch(), s.fencedBy)
+	}
 	s.pub = pub
 	s.statusFn = pub.Status
 	s.readOnly = false
 	s.fencedBy = 0
-	s.roleMu.Unlock()
+	return nil
 }
 
 // handlePromote serves a TPromote frame: run the configured promotion
 // (follower drain + epoch advance + publisher open) and flip the
 // dispatch role. Idempotent — the Promote callback returns the same
 // publisher on a retry, and a node that is already primary answers with
-// its own epoch.
+// its own epoch — but never resurrecting: once a higher epoch has fenced
+// this node, a retried promotion answers CodeFenced instead of re-opening
+// writes at the stale term.
 func (s *Server) handlePromote() (wire.Type, []byte) {
 	if s.cfg.Promote == nil {
-		if pub := s.publisher(); pub != nil {
+		s.roleMu.Lock()
+		pub, fencedBy := s.pub, s.fencedBy
+		s.roleMu.Unlock()
+		if pub != nil {
+			if fencedBy != 0 {
+				return wire.TError, wire.EncodeError(wire.CodeFenced,
+					fmt.Sprintf("fenced by epoch %d; a newer primary owns this database", fencedBy))
+			}
 			// Already primary: answer with the epoch we own so a retried
 			// promotion converges instead of erroring.
 			return wire.TPromoteOK, wire.EncodePromoteOK(pub.Epoch())
@@ -110,7 +128,9 @@ func (s *Server) handlePromote() (wire.Type, []byte) {
 	if err != nil {
 		return wire.TError, wire.EncodeError(wire.CodeExec, fmt.Sprintf("promote: %v", err))
 	}
-	s.setPrimary(pub)
+	if err := s.setPrimary(pub); err != nil {
+		return wire.TError, wire.EncodeError(wire.CodeFenced, fmt.Sprintf("promote: %v", err))
+	}
 	s.log.Info("promoted to primary", "epoch", pub.Epoch())
 	return wire.TPromoteOK, wire.EncodePromoteOK(pub.Epoch())
 }
