@@ -20,10 +20,11 @@ import (
 const ejectAfter = 3
 
 // Multi is a topology-aware client over one primary and any number of
-// read replicas. Reads (Query, QueryTrace, Explain) are sprayed
-// round-robin across the healthy replicas and fail over to the next
-// replica — and finally the primary — on retryable errors; everything
-// with side effects or transactional state (Exec, Begin, Checkpoint)
+// read replicas. Reads (Query, QueryTrace, Explain, and Begin with the
+// ReadOnly option) are sprayed round-robin across the healthy replicas
+// and fail over to the next replica — and finally the primary — on
+// retryable errors; everything with side effects or read-write
+// transactional state (Exec, Begin, Checkpoint)
 // goes to the current primary. Replicas serve a bounded-stale view: a
 // read immediately after a write may not observe it; read-your-writes
 // callers should use Primary() directly.
@@ -412,15 +413,26 @@ func (m *Multi) ExecCtx(ctx context.Context, dml string) (int, error) {
 	return n, err
 }
 
-// Begin opens a transaction on the current primary. The transaction is
-// pinned to that server: if it dies mid-transaction the Tx fails with
-// ErrTxLost, and the caller begins a fresh transaction (which follows
-// the promotion).
-func (m *Multi) Begin(ctx context.Context) (*Tx, error) {
+// Begin opens a transaction. A read-write transaction goes to the
+// current primary, following a promotion if the old primary is gone or
+// fenced; a ReadOnly transaction is routed to a healthy replica (the
+// primary only as a last resort), since replicas can pin and serve
+// snapshots. Either way the transaction is pinned to that server: if it
+// dies mid-transaction the Tx fails with ErrTxLost, and the caller
+// begins a fresh transaction (which follows the promotion).
+func (m *Multi) Begin(ctx context.Context, opts ...TxOption) (*Tx, error) {
+	var o txOptions
+	for _, opt := range opts {
+		opt(&o)
+	}
+	route := m.write
+	if o.readOnly {
+		route = m.read
+	}
 	var tx *Tx
-	err := m.write(ctx, func(c *Conn) error {
+	err := route(ctx, func(c *Conn) error {
 		var e error
-		tx, e = c.Begin(ctx)
+		tx, e = c.Begin(ctx, opts...)
 		return e
 	})
 	if err != nil {

@@ -6,6 +6,7 @@ import (
 	"fmt"
 
 	"sim"
+	"sim/internal/obs"
 	"sim/internal/wire"
 )
 
@@ -35,19 +36,46 @@ var (
 type Tx struct {
 	c    *Conn
 	gen  uint64 // connection generation the transaction is pinned to
+	ro   bool
 	done bool
+}
+
+// TxOption configures a transaction opened with Begin.
+type TxOption func(*txOptions)
+
+type txOptions struct{ readOnly bool }
+
+// ReadOnly marks the transaction read-only: the server pins a snapshot
+// at Begin and every Query sees that frozen state; Exec is refused with
+// wire.CodeReadOnly. Read-only transactions never conflict and never
+// block writers, and — unlike read-write transactions — a replica or a
+// fenced primary can serve them (see Multi.Begin).
+func ReadOnly() TxOption {
+	return func(o *txOptions) { o.readOnly = true }
 }
 
 // Begin opens a transaction on this connection. The request itself may
 // transparently redial (no transaction exists yet, so the retry is
 // idempotent); once Begin returns, the transaction is pinned to the
 // connection that carried it.
-func (c *Conn) Begin(ctx context.Context) (*Tx, error) {
-	if _, err := c.call(ctx, wire.TBegin, req(nil), wire.TOK, true); err != nil {
+func (c *Conn) Begin(ctx context.Context, opts ...TxOption) (*Tx, error) {
+	var o txOptions
+	for _, opt := range opts {
+		opt(&o)
+	}
+	payload := req(nil)
+	if o.readOnly {
+		payload = wire.EncodeBegin(obs.NewRequestID(), wire.BeginReadOnly)
+	}
+	if _, err := c.call(ctx, wire.TBegin, payload, wire.TOK, true); err != nil {
 		return nil, err
 	}
-	return &Tx{c: c, gen: c.currentGen()}, nil
+	return &Tx{c: c, gen: c.currentGen(), ro: o.readOnly}, nil
 }
+
+// ReadOnly reports whether the transaction was opened with the ReadOnly
+// option.
+func (tx *Tx) ReadOnly() bool { return tx.ro }
 
 // Query executes one Retrieve statement inside the transaction.
 func (tx *Tx) Query(ctx context.Context, dml string) (*sim.Result, error) {

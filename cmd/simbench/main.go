@@ -15,8 +15,10 @@
 // BENCH_obs.json, the obs2 run (always-on flight recorder overhead)
 // writes BENCH_obs2.json, the fault run (checksum/recovery/retry overhead)
 // writes BENCH_fault.json, the repl/t14 run (read replicas, sized by
-// -followers) writes BENCH_repl.json, and the failover/t15 run
-// (follower promotion) writes BENCH_failover.json for machine consumption. Every artifact records
+// -followers) writes BENCH_repl.json, the failover/t15 run
+// (follower promotion) writes BENCH_failover.json, and the mvcc/t16 run
+// (snapshot read scaling, entity-granularity write conflicts, version GC)
+// writes BENCH_mvcc.json for machine consumption. Every artifact records
 // allocs/op and bytes/op for its hot operations; -check-allocs compares
 // a fresh t13 run against the committed BENCH_vm.json and fails if any
 // compiled-path operation allocates more than 20% over the recorded
@@ -34,7 +36,7 @@ import (
 )
 
 func main() {
-	run := flag.String("run", "all", "comma-separated experiment ids (fig2,adds,dml,t1..t10,t12/txn,t13/vm,obs,obs2,fault,repl/t14,failover/t15)")
+	run := flag.String("run", "all", "comma-separated experiment ids (fig2,adds,dml,t1..t10,t12/txn,t13/vm,obs,obs2,fault,repl/t14,failover/t15,mvcc/t16)")
 	scale := flag.Int("scale", 1, "workload scale factor")
 	reps := flag.Int("reps", 5, "repetitions per measurement")
 	parallel := flag.Int("parallel", 8, "maximum concurrent clients for t9/t10")
@@ -75,6 +77,9 @@ func main() {
 	if want["t15"] { // alias for the failover experiment
 		want["failover"] = true
 	}
+	if want["t16"] { // alias for the MVCC experiment
+		want["mvcc"] = true
+	}
 	all := want["all"]
 	sel := func(id string) bool { return all || want[strings.ToLower(id)] }
 
@@ -103,6 +108,7 @@ func main() {
 		{"fault", func() (*bench.Table, error) { return bench.Fault(*reps) }},
 		{"repl", func() (*bench.Table, error) { return bench.Repl(w, *reps, *followers) }},
 		{"failover", func() (*bench.Table, error) { return bench.Failover(*reps) }},
+		{"mvcc", func() (*bench.Table, error) { return bench.MVCC(*reps, *parallel) }},
 	}
 	artifacts := map[string]string{
 		"t9":       "BENCH_parallel.json",
@@ -114,6 +120,7 @@ func main() {
 		"fault":    "BENCH_fault.json",
 		"repl":     "BENCH_repl.json",
 		"failover": "BENCH_failover.json",
+		"mvcc":     "BENCH_mvcc.json",
 	}
 	ran := 0
 	for _, ex := range experiments {

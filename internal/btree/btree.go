@@ -122,6 +122,7 @@ func (t *Tree) put(id pager.PageID, key, cell []byte) (*split, error) {
 
 	if n.isLeaf() {
 		i, found := leafSearch(n, key)
+		t.a.Prepare(f)
 		if found {
 			// Replace: drop the old cell (freeing its overflow chain).
 			if _, ovf, _ := n.leafValueInfo(i); ovf != pager.Invalid {
@@ -152,6 +153,7 @@ func (t *Tree) insertSeparator(n node, idx int, child pager.PageID, sp *split) (
 	// The new cell (child, sep) routes keys below sep to the old child;
 	// the existing cell at idx (or the rightmost pointer) must now point
 	// at the new right sibling.
+	t.a.Prepare(n.f)
 	if idx == n.nCells() {
 		n.setNext(sp.right)
 	} else {
@@ -183,6 +185,7 @@ func (t *Tree) splitLeaf(n node, i int, cell []byte) (*split, error) {
 			return nil, fmt.Errorf("btree: split leaf overflow")
 		}
 	}
+	t.a.Prepare(n.f)
 	rebuild(n, flagLeaf, cells[:mid])
 	n.setNext(rf.ID)
 	t.a.MarkDirty(n.f)
@@ -221,6 +224,7 @@ func (t *Tree) splitInterior(n node, i int, cell []byte) (*split, error) {
 			return nil, fmt.Errorf("btree: split interior overflow")
 		}
 	}
+	t.a.Prepare(n.f)
 	rebuild(n, flagInterior, cells[:mid])
 	n.setNext(promChild)
 	t.a.MarkDirty(n.f)
@@ -352,6 +356,7 @@ func (t *Tree) Delete(key []byte) (bool, error) {
 				return false, err
 			}
 		}
+		t.a.Prepare(f)
 		n.deleteCell(i)
 		t.a.MarkDirty(f)
 		t.a.Release(f)
@@ -426,6 +431,7 @@ func (t *Tree) writeOverflow(val []byte) (pager.PageID, error) {
 		if prev == nil {
 			head = f.ID
 		} else {
+			t.a.Prepare(prev)
 			binary.BigEndian.PutUint32(prev.Data[1:5], uint32(f.ID))
 			t.a.MarkDirty(prev)
 			t.a.Release(prev)

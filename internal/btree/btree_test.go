@@ -49,6 +49,7 @@ func (a *testAlloc) FreePage(id pager.PageID) error {
 
 func (a *testAlloc) Get(id pager.PageID) (*pager.Frame, error) { return a.pool.Get(id) }
 func (a *testAlloc) Release(f *pager.Frame)                    { a.pool.Release(f) }
+func (a *testAlloc) Prepare(f *pager.Frame)                    { a.pool.Prepare(f) }
 func (a *testAlloc) MarkDirty(f *pager.Frame)                  { a.pool.MarkDirty(f) }
 
 func newTree(t testing.TB) (*Tree, *testAlloc) {

@@ -22,6 +22,10 @@ type Alloc interface {
 	Get(id pager.PageID) (*pager.Frame, error)
 	// Release unpins a page.
 	Release(f *pager.Frame)
+	// Prepare declares an imminent in-place mutation of a pinned page,
+	// before the first byte changes. Versioned allocators use it to push
+	// a copy-on-write pre-image; others may make it a no-op.
+	Prepare(f *pager.Frame)
 	// MarkDirty records mutation of a pinned page.
 	MarkDirty(f *pager.Frame)
 }

@@ -53,9 +53,15 @@ const checkpointThreshold = 8 << 20
 // write phases are serialized on the store-wide write latch: a transaction
 // holds the latch from its first write until its commit snapshot, at which
 // point the next writer may proceed while the first one's fsync is still
-// in flight. That pipeline is what feeds WAL group commit. Per-structure
-// latches (Txn.Latch) give fail-fast first-writer-wins conflicts between
-// open transactions targeting the same class.
+// in flight. That pipeline is what feeds WAL group commit. Per-entity
+// latches (Txn.LatchEntity) give fail-fast first-writer-wins conflicts
+// between open transactions targeting the same entity; transactions
+// writing distinct entities of the same class do not conflict.
+//
+// Reads are versioned: PinSnapshot returns a Snap pinned at the newest
+// published commit stamp, whose structures resolve pages through
+// copy-on-write version chains (pager.Pool.ViewPage) — snapshot readers
+// never block writers and never see uncommitted bytes.
 type Store struct {
 	file      pager.File
 	pool      *pager.Pool
@@ -70,9 +76,10 @@ type Store struct {
 	writeHeld  atomic.Bool   // the write latch is currently held
 	writeLatch *obs.Latch    // contention profile for the store write latch
 
-	latchMu   sync.Mutex
-	latches   map[string]*Txn           // structure-name write latches, first writer wins
-	classConf map[string]*atomic.Uint64 // per-class conflict counters (latchMu)
+	latchMu     sync.Mutex
+	latches     map[EntityKey]*Txn        // per-entity write latches, first writer wins
+	classConf   map[string]*atomic.Uint64 // per-class conflict counters (latchMu)
+	conflictEnt atomic.Uint64             // entity-granularity conflicts (sim_conflict_entities)
 
 	reg         atomic.Pointer[obs.Registry]   // set by RegisterMetrics
 	flightTxn   atomic.Pointer[obs.FlightRing] // txn begin/commit/conflict events
@@ -159,7 +166,7 @@ func open(file pager.File, log *wal.Log, opts Options) (*Store, error) {
 		open:       make(map[string]*Structure),
 		writeSem:   make(chan struct{}, 1),
 		writeLatch: obs.NewLatch("store_write"),
-		latches:    make(map[string]*Txn),
+		latches:    make(map[EntityKey]*Txn),
 		classConf:  make(map[string]*atomic.Uint64),
 	}
 	s.pendCond = sync.NewCond(&s.pendMu)
@@ -217,6 +224,7 @@ func (s *Store) setDirRoot(id pager.PageID) error {
 	if err != nil {
 		return err
 	}
+	s.pool.Prepare(meta)
 	binary.BigEndian.PutUint32(meta.Data[dirRootOff:], uint32(id))
 	s.pool.MarkDirty(meta)
 	s.pool.Release(meta)
@@ -267,6 +275,9 @@ func (s *Store) checkpointLocked() error {
 	if err := s.pool.FlushAll(); err != nil {
 		return err
 	}
+	// With the file current, prune every page-version chain no pinned
+	// snapshot can still see.
+	s.pool.SweepVersions()
 	if s.log != nil {
 		if err := s.log.Truncate(); err != nil {
 			return err
@@ -346,6 +357,8 @@ func (s *Store) RegisterMetrics(r *obs.Registry) {
 	}
 	r.CounterFunc("sim_txn_conflicts_total", "First-writer-wins write-latch conflicts.",
 		func() float64 { return float64(s.conflicts.Load()) })
+	r.CounterFunc("sim_conflict_entities", "First-writer-wins conflicts at entity (surrogate) granularity.",
+		func() float64 { return float64(s.conflictEnt.Load()) })
 	r.GaugeFunc("sim_txn_active", "Open transactions.",
 		func() float64 { return float64(s.active.Load()) })
 	s.writeLatch.Register(r, "Store-wide write latch (one writer in its write phase).")
@@ -381,8 +394,8 @@ var ErrConflict = errors.New("dmsii: write-write conflict")
 type Txn struct {
 	s       *Store
 	done    bool
-	wrote   bool     // holds the store-wide write latch
-	latched []string // structure latches held until commit/rollback
+	wrote   bool        // holds the store-wide write latch
+	latched []EntityKey // entity latches held until commit/rollback
 
 	id        uint64           // request/trace ID, 0 when untraced
 	ct        *obs.CommitTrace // spans filled across the commit, nil unless tracing
@@ -457,29 +470,45 @@ func (tx *Txn) AcquireWrite(ctx context.Context) error {
 	return nil
 }
 
-// Latch takes the named structure's write latch for this transaction,
-// failing fast with ErrConflict when another open transaction holds it
-// (first writer wins). Latches are held until commit or rollback.
-func (tx *Txn) Latch(name string) error {
+// EntityKey identifies one entity for write-latching purposes: its base
+// class name (latching granularity is the entity, shared across the
+// subclass hierarchy it threads through) and its surrogate.
+type EntityKey struct {
+	Base string
+	Surr uint64
+}
+
+// LatchEntity takes the write latch for one entity of the named base
+// class, failing fast with ErrConflict when another open transaction
+// holds it (first writer wins). Two transactions writing distinct
+// entities of the same class do not conflict. Latches are held until
+// commit or rollback.
+func (tx *Txn) LatchEntity(base string, surr uint64) error {
 	if tx.done {
 		return fmt.Errorf("dmsii: transaction already finished")
 	}
+	key := EntityKey{Base: base, Surr: surr}
 	s := tx.s
 	s.latchMu.Lock()
 	defer s.latchMu.Unlock()
-	if holder, ok := s.latches[name]; ok {
+	if holder, ok := s.latches[key]; ok {
 		if holder == tx {
 			return nil
 		}
 		s.conflicts.Add(1)
-		s.classConflictLocked(name)
-		s.flightTxn.Load().Event("txn", "conflict", tx.id, 0, 0, name)
-		return fmt.Errorf("%w: %q is write-latched by another open transaction (first writer wins)", ErrConflict, name)
+		s.conflictEnt.Add(1)
+		s.classConflictLocked(base)
+		s.flightTxn.Load().Event("txn", "conflict", tx.id, 0, int64(surr), base)
+		return fmt.Errorf("%w: entity %d of %q is write-latched by another open transaction (first writer wins)", ErrConflict, surr, base)
 	}
-	s.latches[name] = tx
-	tx.latched = append(tx.latched, name)
+	s.latches[key] = tx
+	tx.latched = append(tx.latched, key)
 	return nil
 }
+
+// EntityConflicts reports entity-granularity first-writer-wins conflicts
+// since open.
+func (s *Store) EntityConflicts() uint64 { return s.conflictEnt.Load() }
 
 // classConflictLocked counts a first-writer-wins conflict against the
 // contended class and, when metrics are registered, exposes the per-class
@@ -522,9 +551,9 @@ func (tx *Txn) releaseLatches() {
 	}
 	s := tx.s
 	s.latchMu.Lock()
-	for _, name := range tx.latched {
-		if s.latches[name] == tx {
-			delete(s.latches, name)
+	for _, key := range tx.latched {
+		if s.latches[key] == tx {
+			delete(s.latches, key)
 		}
 	}
 	s.latchMu.Unlock()
@@ -595,6 +624,13 @@ func (tx *Txn) Commit() error {
 	// A writeback failure here is not a commit failure: the pages stay
 	// dirty/cached and will be retried by a later writeback/checkpoint or
 	// replayed from the WAL after a crash.
+	//
+	// Publish the commit's version stamp: snapshot readers pinning after
+	// this point see these changes. Group commit makes every batch in the
+	// same fsync durable together and stamps are assigned in write-phase
+	// order, so max-publishing this stamp never exposes a non-durable
+	// predecessor.
+	s.pool.Publish(snap.Stamp())
 	s.flightTxn.Load().Event("txn", "commit", tx.id, 0, int64(snap.Len()), "")
 	s.awaitHead(snap)
 	werr := s.pool.WriteBack(snap)
@@ -782,14 +818,14 @@ func (s *Store) AllocPage() (*pager.Frame, error) {
 		return nil, err
 	}
 	next := binary.BigEndian.Uint32(f.Data[0:4])
+	s.pool.Prepare(meta)
 	binary.BigEndian.PutUint32(meta.Data[freelistOff:], next)
 	s.pool.MarkDirty(meta)
 	s.pool.Release(meta)
-	for i := range f.Data {
-		f.Data[i] = 0
-	}
-	s.pool.MarkDirty(f)
-	return f, nil
+	// Re-acquire the page as a fresh allocation: AllocateAt zeroes it
+	// without disturbing any buffer snapshot readers may hold.
+	s.pool.Release(f)
+	return s.pool.AllocateAt(head)
 }
 
 // FreePage pushes a page onto the persistent freelist.
@@ -804,12 +840,16 @@ func (s *Store) FreePage(id pager.PageID) error {
 		s.pool.Release(meta)
 		return err
 	}
+	// Push the page's committed image for snapshot readers pinned before
+	// this free, then turn it into a freelist node.
+	s.pool.Prepare(f)
 	for i := range f.Data {
 		f.Data[i] = 0
 	}
 	binary.BigEndian.PutUint32(f.Data[0:4], head)
 	s.pool.MarkDirty(f)
 	s.pool.Release(f)
+	s.pool.Prepare(meta)
 	binary.BigEndian.PutUint32(meta.Data[freelistOff:], uint32(id))
 	s.pool.MarkDirty(meta)
 	s.pool.Release(meta)
@@ -821,6 +861,10 @@ func (s *Store) Get(id pager.PageID) (*pager.Frame, error) { return s.pool.Get(i
 
 // Release implements btree.Alloc.
 func (s *Store) Release(f *pager.Frame) { s.pool.Release(f) }
+
+// Prepare implements btree.Alloc: it opens a copy-on-write cycle on the
+// frame so snapshot readers keep the committed image.
+func (s *Store) Prepare(f *pager.Frame) { s.pool.Prepare(f) }
 
 // MarkDirty implements btree.Alloc.
 func (s *Store) MarkDirty(f *pager.Frame) { s.pool.MarkDirty(f) }

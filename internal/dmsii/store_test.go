@@ -96,32 +96,40 @@ func TestLatchConflict(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := tx1.Latch("persons"); err != nil {
+	if err := tx1.LatchEntity("persons", 1); err != nil {
 		t.Fatal(err)
 	}
 	// Re-latching by the holder is a no-op.
-	if err := tx1.Latch("persons"); err != nil {
+	if err := tx1.LatchEntity("persons", 1); err != nil {
 		t.Fatal(err)
 	}
 	tx2, err := s.BeginSession()
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := tx2.Latch("persons"); !errors.Is(err, ErrConflict) {
-		t.Fatalf("Latch on held structure = %v, want ErrConflict", err)
+	if err := tx2.LatchEntity("persons", 1); !errors.Is(err, ErrConflict) {
+		t.Fatalf("LatchEntity on held entity = %v, want ErrConflict", err)
 	}
-	if err := tx2.Latch("orders"); err != nil {
-		t.Errorf("Latch on free structure: %v", err)
+	// A different entity of the SAME class is free: conflicts are
+	// entity-granular, not class-granular.
+	if err := tx2.LatchEntity("persons", 2); err != nil {
+		t.Errorf("LatchEntity on free entity of held class: %v", err)
+	}
+	if err := tx2.LatchEntity("orders", 1); err != nil {
+		t.Errorf("LatchEntity on free class: %v", err)
 	}
 	if got := s.Conflicts(); got != 1 {
 		t.Errorf("Conflicts() = %d, want 1", got)
 	}
-	// Rollback releases latches; the other session may now take it.
+	if got := s.EntityConflicts(); got != 1 {
+		t.Errorf("EntityConflicts() = %d, want 1", got)
+	}
+	// Rollback releases latches; the other session may now take them.
 	if err := tx1.Rollback(); err != nil {
 		t.Fatal(err)
 	}
-	if err := tx2.Latch("persons"); err != nil {
-		t.Errorf("Latch after holder rollback: %v", err)
+	if err := tx2.LatchEntity("persons", 1); err != nil {
+		t.Errorf("LatchEntity after holder rollback: %v", err)
 	}
 	if err := tx2.Rollback(); err != nil {
 		t.Fatal(err)

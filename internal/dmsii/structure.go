@@ -15,6 +15,7 @@ type Structure struct {
 	s    *Store
 	name string
 	tree *btree.Tree
+	ro   bool // snapshot view: reads only, pages resolved as of a pinned stamp
 }
 
 // Structure opens the named structure, creating it when absent. It is
@@ -106,6 +107,9 @@ func (s *Store) putDirEntry(name string, root pager.PageID) error {
 func (st *Structure) Name() string { return st.name }
 
 func (st *Structure) mutable() error {
+	if st.ro {
+		return fmt.Errorf("dmsii: mutation of %q through a read snapshot", st.name)
+	}
 	if !st.s.writeHeld.Load() {
 		return fmt.Errorf("dmsii: mutation of %q outside a transaction", st.name)
 	}

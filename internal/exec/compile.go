@@ -122,7 +122,7 @@ func (e *Executor) compileDomain(p *plan.Plan, t *query.Tree, n *query.Node) dom
 			}
 			// Closure queries are rare; reuse the reference implementation
 			// and just batch the record prefetch for what it found.
-			out, err := e.closure(pit.surr, edge)
+			out, err := closureOver(sc.m, pit.surr, edge)
 			if err != nil {
 				return buf, err
 			}
@@ -146,7 +146,7 @@ func (e *Executor) compileDomain(p *plan.Plan, t *query.Tree, n *query.Node) dom
 					buf = append(buf, inst{surr: v.Surrogate()})
 				}
 			} else {
-				ss, err := e.m.GetEVAInto(sc.surrs[:0], pit.surr, edge)
+				ss, err := sc.m.GetEVAInto(sc.surrs[:0], pit.surr, edge)
 				if err != nil {
 					return buf, err
 				}
@@ -172,7 +172,7 @@ func (e *Executor) compileDomain(p *plan.Plan, t *query.Tree, n *query.Node) dom
 				}
 				return buf, nil
 			}
-			vals, err := e.m.Subrole(pit.surr, edge)
+			vals, err := sc.m.Subrole(pit.surr, edge)
 			if err != nil {
 				return buf, err
 			}
@@ -196,7 +196,7 @@ func (e *Executor) compileDomain(p *plan.Plan, t *query.Tree, n *query.Node) dom
 				}
 				return buf, nil
 			}
-			vals, err := e.m.GetMV(pit.surr, edge)
+			vals, err := sc.m.GetMV(pit.surr, edge)
 			if err != nil {
 				return buf, err
 			}
@@ -237,7 +237,7 @@ func (e *Executor) compileRootDomain(p *plan.Plan, t *query.Tree, n *query.Node)
 	switch a := access.(type) {
 	case *plan.UniqueAccess:
 		return func(sc *scratch, buf []inst) ([]inst, error) {
-			s, found, err := e.m.LookupUnique(a.Attr, a.Key)
+			s, found, err := sc.m.LookupUnique(a.Attr, a.Key)
 			if err != nil || !found {
 				return buf, err
 			}
@@ -245,7 +245,7 @@ func (e *Executor) compileRootDomain(p *plan.Plan, t *query.Tree, n *query.Node)
 		}
 	case *plan.RangeAccess:
 		return func(sc *scratch, buf []inst) ([]inst, error) {
-			ss, err := e.m.IndexScan(a.Attr, lucBound(a.Lo), lucBound(a.Hi))
+			ss, err := sc.m.IndexScan(a.Attr, lucBound(a.Lo), lucBound(a.Hi))
 			if err != nil {
 				return buf, err
 			}
@@ -253,7 +253,7 @@ func (e *Executor) compileRootDomain(p *plan.Plan, t *query.Tree, n *query.Node)
 		}
 	case *plan.PivotAccess:
 		return func(sc *scratch, buf []inst) ([]inst, error) {
-			ss, err := e.pivotRoots(a)
+			ss, err := pivotRootsOver(sc.m, a)
 			if err != nil {
 				return buf, err
 			}
@@ -261,7 +261,7 @@ func (e *Executor) compileRootDomain(p *plan.Plan, t *query.Tree, n *query.Node)
 		}
 	default:
 		return func(sc *scratch, buf []inst) ([]inst, error) {
-			c, err := e.m.Scan(cl)
+			c, err := sc.m.Scan(cl)
 			if err != nil {
 				return buf, err
 			}
@@ -282,7 +282,7 @@ func (e *Executor) compileRootDomain(p *plan.Plan, t *query.Tree, n *query.Node)
 // the role test reads the prefetched record instead of probing per entity.
 func (e *Executor) appendWithRole(sc *scratch, buf []inst, ss []value.Surrogate, cl *catalog.Class) ([]inst, error) {
 	base := len(buf)
-	if e.m.Batchable(cl) {
+	if sc.m.Batchable(cl) {
 		for _, s := range ss {
 			buf = append(buf, inst{surr: s})
 		}
@@ -302,7 +302,7 @@ func (e *Executor) appendWithRole(sc *scratch, buf []inst, ss []value.Surrogate,
 		return kept, nil
 	}
 	for _, s := range ss {
-		ok, err := e.m.HasRole(s, cl)
+		ok, err := sc.m.HasRole(s, cl)
 		if err != nil {
 			return buf, err
 		}
@@ -437,7 +437,7 @@ func (e *Executor) compileAttrRef(x *query.AttrRef) (evalFn, error) {
 			if fast && it.rec.Valid() {
 				return it.rec.FirstSubrole(a), nil
 			}
-			vals, err := e.m.Subrole(it.surr, a)
+			vals, err := sc.m.Subrole(it.surr, a)
 			if err != nil {
 				return value.Null, err
 			}
@@ -458,7 +458,7 @@ func (e *Executor) compileAttrRef(x *query.AttrRef) (evalFn, error) {
 		if fast && it.rec.Valid() {
 			return it.rec.Single(a), nil
 		}
-		return e.m.GetSingle(it.surr, a)
+		return sc.m.GetSingle(it.surr, a)
 	}, nil
 }
 
@@ -570,7 +570,7 @@ func (e *Executor) compileTri(t *query.Tree, x query.Expr) (triFn, error) {
 			if sameBase && it.rec.Valid() {
 				return value.TriOf(it.rec.HasRole(cl.ID)), nil
 			}
-			ok, err := e.m.HasRole(it.surr, cl)
+			ok, err := sc.m.HasRole(it.surr, cl)
 			if err != nil {
 				return value.Unknown, err
 			}

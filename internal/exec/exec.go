@@ -31,7 +31,15 @@ type Executor struct {
 	met         *Metrics // nil until SetMetrics
 	treeWalk    bool     // force the reference tree-walking evaluator
 
-	scratchPool sync.Pool // *scratch, reused across compiled executions
+	// claim, when set, is invoked by the update statements after their
+	// target entities are materialized and before anything is mutated, so
+	// a transaction can take per-entity write latches while a conflict is
+	// still side-effect-free (see WithClaim).
+	claim func(cl *catalog.Class, surrs []value.Surrogate) error
+
+	// scratchPool is shared by pointer across View clones so snapshot
+	// executors reuse the same warmed scratches as the live one.
+	scratchPool *sync.Pool // *scratch, reused across compiled executions
 }
 
 // Metrics are the executor's registry-owned counters. The registry hands
@@ -49,7 +57,34 @@ type Metrics struct {
 // New returns an executor. Constraints (bound VERIFY assertions) may be
 // attached later with SetConstraints.
 func New(m *luc.Mapper) *Executor {
-	return &Executor{m: m, cat: m.Catalog()}
+	return &Executor{m: m, cat: m.Catalog(), scratchPool: new(sync.Pool)}
+}
+
+// View returns a shallow clone of the executor bound to m — typically a
+// snapshot view of the live mapper (luc.Mapper.View). The clone shares
+// the scratch pool, constraints, metrics and worker settings; only the
+// mapper differs, so queries run against the view's stamp. Compiled
+// Programs cached from the live executor remain valid: their closures
+// read data through the per-execution scratch's mapper, which getScratch
+// binds to the executor that runs the program, not the one that compiled
+// it.
+func (e *Executor) View(m *luc.Mapper) *Executor {
+	v := *e
+	v.m = m
+	return &v
+}
+
+// Mapper returns the mapper this executor reads and writes through.
+func (e *Executor) Mapper() *luc.Mapper { return e.m }
+
+// WithClaim returns a shallow clone whose update statements call fn with
+// their materialized target entities before mutating any of them. An
+// error from fn (typically a write-latch conflict) fails the statement
+// before it has side effects.
+func (e *Executor) WithClaim(fn func(cl *catalog.Class, surrs []value.Surrogate) error) *Executor {
+	v := *e
+	v.claim = fn
+	return &v
 }
 
 // SetConstraints installs the bound integrity assertions enforced on
@@ -626,7 +661,7 @@ func (e *Executor) domain(p *plan.Plan, t *query.Tree, n *query.Node, en *env) (
 	}
 	switch {
 	case n.Edge.Kind == catalog.EVA && n.Transitive:
-		return e.closure(parent.surr, n.Edge)
+		return closureOver(e.m, parent.surr, n.Edge)
 	case n.Edge.Kind == catalog.EVA:
 		ss, err := e.m.GetEVA(parent.surr, n.Edge)
 		if err != nil {
@@ -685,7 +720,7 @@ func (e *Executor) rootDomain(p *plan.Plan, t *query.Tree, n *query.Node) ([]ins
 		ss = sortSurrs(ss)
 		return e.withRole(ss, n.Class)
 	case *plan.PivotAccess:
-		ss, err := e.pivotRoots(a)
+		ss, err := pivotRootsOver(e.m, a)
 		if err != nil {
 			return nil, err
 		}
@@ -722,18 +757,20 @@ func (e *Executor) withRole(ss []value.Surrogate, cl *catalog.Class) ([]inst, er
 	return out, nil
 }
 
-// pivotRoots evaluates a pivot strategy: index scan on the start
+// pivotRootsOver evaluates a pivot strategy: index scan on the start
 // predicate, inverse-EVA walk up to the perspective, then a surrogate sort
-// restoring perspective order (the charged reordering cost of §5.1).
-func (e *Executor) pivotRoots(a *plan.PivotAccess) ([]value.Surrogate, error) {
-	cur, err := e.m.IndexScan(a.Attr, lucBound(a.Lo), lucBound(a.Hi))
+// restoring perspective order (the charged reordering cost of §5.1). The
+// mapper is a parameter because cached compiled programs pass the
+// per-execution view's mapper, not the compiling executor's.
+func pivotRootsOver(m *luc.Mapper, a *plan.PivotAccess) ([]value.Surrogate, error) {
+	cur, err := m.IndexScan(a.Attr, lucBound(a.Lo), lucBound(a.Hi))
 	if err != nil {
 		return nil, err
 	}
 	for _, edge := range a.Up {
 		next := make(map[value.Surrogate]bool)
 		for _, s := range cur {
-			partners, err := e.m.GetEVA(s, edge.Inverse)
+			partners, err := m.GetEVA(s, edge.Inverse)
 			if err != nil {
 				return nil, err
 			}
@@ -766,14 +803,15 @@ func sortSurrs(ss []value.Surrogate) []value.Surrogate {
 	return ss
 }
 
-// closure computes the transitive closure of edge from start (§4.7) in
-// depth-first preorder with level numbers, cycle-safe.
-func (e *Executor) closure(start value.Surrogate, edge *catalog.Attribute) ([]inst, error) {
+// closureOver computes the transitive closure of edge from start (§4.7)
+// in depth-first preorder with level numbers, cycle-safe. The mapper is a
+// parameter for the same reason as pivotRootsOver.
+func closureOver(m *luc.Mapper, start value.Surrogate, edge *catalog.Attribute) ([]inst, error) {
 	seen := map[value.Surrogate]bool{start: true}
 	var out []inst
 	var visit func(s value.Surrogate, level int) error
 	visit = func(s value.Surrogate, level int) error {
-		targets, err := e.m.GetEVA(s, edge)
+		targets, err := m.GetEVA(s, edge)
 		if err != nil {
 			return err
 		}

@@ -48,10 +48,52 @@ type Group struct {
 // stay valid for its lifetime: the compiled executor carves them out of a
 // result-owned arena (never a recycled scratch buffer), and each row is a
 // full slice expression, so appending to a returned row reallocates
-// instead of growing into its arena neighbor. Callers may read rows
-// freely and append to them safely; mutating elements in place edits the
-// Result itself.
+// instead of growing into its arena neighbor.
+//
+// Ownership rule: read freely and append safely, but do not mutate row
+// elements in place (that edits the Result every other holder sees), and
+// do not retain rows past the Result itself — a single retained row pins
+// the whole arena chunk it was carved from. To keep rows longer than the
+// Result, or to hand them to code that may write elements, take a
+// Clone().
 func (r *Result) Rows() [][]value.Value { return r.rows }
+
+// Clone returns a deep copy whose rows (and structured tree, if any) own
+// their backing storage: safe to retain indefinitely and to mutate
+// without aliasing the original or pinning its arena.
+func (r *Result) Clone() *Result {
+	c := &Result{
+		Names: append([]string(nil), r.Names...),
+		Stats: r.Stats,
+	}
+	if r.rows != nil {
+		c.rows = make([][]value.Value, len(r.rows))
+		for i, row := range r.rows {
+			c.rows[i] = append([]value.Value(nil), row...)
+		}
+	}
+	if r.Structured != nil {
+		c.Structured = cloneGroup(r.Structured)
+	}
+	return c
+}
+
+func cloneGroup(g *Group) *Group {
+	c := &Group{
+		Label:   g.Label,
+		Level:   g.Level,
+		Values:  append([]value.Value(nil), g.Values...),
+		Indexes: append([]int(nil), g.Indexes...),
+		key:     g.key,
+	}
+	if g.Children != nil {
+		c.Children = make([]*Group, len(g.Children))
+		for i, ch := range g.Children {
+			c.Children[i] = cloneGroup(ch)
+		}
+	}
+	return c
+}
 
 // RemoteResult reconstructs a Result from data decoded off the wire
 // protocol (internal/wire). The result is fully finished — ORDER BY and

@@ -23,6 +23,15 @@ import (
 // corrupt rows a caller still holds.
 type scratch struct {
 	env
+	// m is the mapper this execution reads data through. Compiled closures
+	// capture the executor that compiled them, but programs are cached and
+	// later run by snapshot-view executors with a different mapper; every
+	// data access inside a closure therefore goes through sc.m, which
+	// getScratch binds to the running executor's mapper. Compile-time
+	// mapping decisions (hierarchy strategy, FK slots, MV layout) are
+	// schema-derived and identical across views, so they may stay on the
+	// compiling executor.
+	m       *luc.Mapper
 	sub     []value.Value     // subquery value stack (mark/truncate discipline)
 	domFree [][]inst          // free domain buffers, stack-ordered
 	surrs   []value.Surrogate // batched-read key buffer
@@ -50,10 +59,14 @@ func (e *Executor) getScratch(n int) *scratch {
 		}
 	}
 	sc.sub = sc.sub[:0]
+	sc.m = e.m
 	return sc
 }
 
-func (e *Executor) putScratch(sc *scratch) { e.scratchPool.Put(sc) }
+func (e *Executor) putScratch(sc *scratch) {
+	sc.m = nil
+	e.scratchPool.Put(sc)
+}
 
 // getDomBuf hands out a reused []inst for one domain enumeration. Buffers
 // follow stack discipline down the loop nest, so a handful cover any
@@ -82,7 +95,7 @@ func (sc *scratch) putDomBuf(b []inst) {
 // probe per attribute reference. Split-strategy hierarchies are skipped;
 // their bindings fall back to the Mapper's per-entity reads.
 func (e *Executor) fillRecs(sc *scratch, cl *catalog.Class, insts []inst) error {
-	if len(insts) == 0 || !e.m.Batchable(cl) {
+	if len(insts) == 0 || !sc.m.Batchable(cl) {
 		return nil
 	}
 	bs := luc.RecBatch()
@@ -100,7 +113,7 @@ func (e *Executor) fillRecs(sc *scratch, cl *catalog.Class, insts []inst) error 
 		for i := range recs {
 			recs[i] = luc.Rec{}
 		}
-		if err := e.m.ReadBatch(cl, sc.surrs, recs); err != nil {
+		if err := sc.m.ReadBatch(cl, sc.surrs, recs); err != nil {
 			return err
 		}
 		for i := range chunk {

@@ -75,6 +75,9 @@ func (e *Executor) Insert(ctx context.Context, stmt *ast.InsertStmt) (int, error
 		if len(matches) == 0 {
 			return 0, fmt.Errorf("INSERT %s FROM %s selected no entities", cl.Name, from.Name)
 		}
+		if err := e.claimTargets(cl, matches); err != nil {
+			return 0, err
+		}
 		for _, s := range matches {
 			if err := ctxErr(ctx); err != nil {
 				return 0, err
@@ -113,6 +116,9 @@ func (e *Executor) Modify(ctx context.Context, stmt *ast.ModifyStmt) (int, error
 	if err != nil {
 		return 0, err
 	}
+	if err := e.claimTargets(cl, matches); err != nil {
+		return 0, err
+	}
 	ev := &events{}
 	for _, s := range matches {
 		if err := ctxErr(ctx); err != nil {
@@ -139,6 +145,9 @@ func (e *Executor) Delete(ctx context.Context, stmt *ast.DeleteStmt) (int, error
 	}
 	matches, err := e.SelectEntitiesCtx(ctx, cl, stmt.Where)
 	if err != nil {
+		return 0, err
+	}
+	if err := e.claimTargets(cl, matches); err != nil {
 		return 0, err
 	}
 	ev := &events{}
@@ -180,6 +189,56 @@ func (e *Executor) Delete(ctx context.Context, stmt *ast.DeleteStmt) (int, error
 	}
 	e.countUpdate(len(matches))
 	return len(matches), nil
+}
+
+// claimTargets hands an update statement's materialized targets to the
+// claim hook (WithClaim) before any mutation. A nil hook (autocommit,
+// direct executor use) claims nothing.
+func (e *Executor) claimTargets(cl *catalog.Class, ss []value.Surrogate) error {
+	if e.claim == nil || len(ss) == 0 {
+		return nil
+	}
+	return e.claim(cl, ss)
+}
+
+// UpdateTargets resolves the entities an update statement would write —
+// its target selection, materialized without mutating anything. Insert
+// without FROM creates a fresh entity and so has no pre-existing targets
+// (a nil slice). Transactions use this on a read snapshot to claim
+// per-entity write latches before blocking on the store write latch; the
+// result is advisory, since the statement re-selects when it executes.
+func (e *Executor) UpdateTargets(ctx context.Context, stmt ast.Stmt) (*catalog.Class, []value.Surrogate, error) {
+	switch s := stmt.(type) {
+	case *ast.InsertStmt:
+		cl, err := e.cat.MustClass(s.Class)
+		if err != nil {
+			return nil, nil, err
+		}
+		if s.FromClass == "" {
+			return cl, nil, nil
+		}
+		from, err := e.cat.MustClass(s.FromClass)
+		if err != nil {
+			return nil, nil, err
+		}
+		ss, err := e.SelectEntitiesCtx(ctx, from, s.FromWhere)
+		return from, ss, err
+	case *ast.ModifyStmt:
+		cl, err := e.cat.MustClass(s.Class)
+		if err != nil {
+			return nil, nil, err
+		}
+		ss, err := e.SelectEntitiesCtx(ctx, cl, s.Where)
+		return cl, ss, err
+	case *ast.DeleteStmt:
+		cl, err := e.cat.MustClass(s.Class)
+		if err != nil {
+			return nil, nil, err
+		}
+		ss, err := e.SelectEntitiesCtx(ctx, cl, s.Where)
+		return cl, ss, err
+	}
+	return nil, nil, fmt.Errorf("exec: not an update statement: %T", stmt)
 }
 
 // SelectEntities returns the entities of cl satisfying where (all of them

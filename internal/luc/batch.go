@@ -97,10 +97,12 @@ func RecBatch() int { return recBatch }
 // be Batchable; recs must be at least as long as surrs.
 func (m *Mapper) ReadBatch(cl *catalog.Class, surrs []value.Surrogate, recs []Rec) error {
 	base := cl.Base
+	stamp := m.readStamp()
 	var hits, misses uint64
-	// Pass 1: one read-locked sweep per shard resolves every cached entry.
+	// Pass 1: one read-locked sweep per shard resolves every cached entry
+	// decoded at this reader's stamp.
 	for shard := uint64(0); shard < rcShards; shard++ {
-		sh := &m.rcache[shard]
+		sh := &m.rc.shards[shard]
 		locked := false
 		for i, s := range surrs {
 			if uint64(s)%rcShards != shard {
@@ -110,8 +112,8 @@ func (m *Mapper) ReadBatch(cl *catalog.Class, surrs []value.Surrogate, recs []Re
 				sh.mu.RLock()
 				locked = true
 			}
-			if r, ok := sh.m[rcKey{base.ID, s}]; ok && r != nil {
-				recs[i] = Rec{r}
+			if e, ok := sh.m[rcKey{base.ID, s}]; ok && e.stamp == stamp && e.rec != nil {
+				recs[i] = Rec{e.rec}
 				hits++
 			}
 		}
@@ -119,8 +121,8 @@ func (m *Mapper) ReadBatch(cl *catalog.Class, surrs []value.Surrogate, recs []Re
 			sh.mu.RUnlock()
 		}
 	}
-	// Pass 2: load the misses (these pay storage reads regardless) and
-	// publish them for the next batch.
+	// Pass 2: load the misses (these pay storage reads regardless) and —
+	// for snapshot views only — publish them for the next batch.
 	for i, s := range surrs {
 		if recs[i].r != nil {
 			continue
@@ -133,16 +135,19 @@ func (m *Mapper) ReadBatch(cl *catalog.Class, surrs []value.Surrogate, recs []Re
 		if r == nil {
 			continue
 		}
-		sh := m.rcShardOf(s)
+		recs[i] = Rec{r}
+		if m.snap == nil {
+			continue
+		}
+		sh := m.rc.shardOf(s)
 		sh.mu.Lock()
 		if len(sh.m) >= rcacheCap/rcShards {
-			sh.m = make(map[rcKey]*record, rcacheCap/rcShards)
+			sh.m = make(map[rcKey]rcEntry, rcacheCap/rcShards)
 		}
-		sh.m[rcKey{base.ID, s}] = r
+		sh.m[rcKey{base.ID, s}] = rcEntry{rec: r, stamp: stamp}
 		sh.mu.Unlock()
-		recs[i] = Rec{r}
 	}
-	m.rcHits.Add(hits)
-	m.rcMisses.Add(misses)
+	m.rc.hits.Add(hits)
+	m.rc.misses.Add(misses)
 	return nil
 }

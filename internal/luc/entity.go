@@ -38,6 +38,9 @@ func (m *Mapper) NewEntity(cl *catalog.Class) (value.Surrogate, error) {
 	if err != nil {
 		return 0, err
 	}
+	if err := m.touch(cl.Base, s); err != nil {
+		return 0, err
+	}
 	r := newRecord()
 	r.addRole(cl.ID)
 	for _, anc := range catalog.Ancestors(cl) {
@@ -58,6 +61,9 @@ func (m *Mapper) NewEntity(cl *catalog.Class) (value.Surrogate, error) {
 // entity — the INSERT ... FROM operation of §4.8. It returns the set of
 // classes actually added.
 func (m *Mapper) ExtendRole(s value.Surrogate, cl *catalog.Class) ([]*catalog.Class, error) {
+	if err := m.touch(cl.Base, s); err != nil {
+		return nil, err
+	}
 	r, err := m.loadRecord(cl.Base, s)
 	if err != nil {
 		return nil, err
@@ -121,6 +127,9 @@ func (m *Mapper) Roles(base *catalog.Class, s value.Surrogate) ([]*catalog.Class
 // Mapper's structural-integrity duty (§5.1).
 func (m *Mapper) DeleteRoles(s value.Surrogate, cl *catalog.Class) error {
 	base := cl.Base
+	if err := m.touch(base, s); err != nil {
+		return err
+	}
 	r, err := m.loadRecord(base, s)
 	if err != nil {
 		return err
@@ -229,6 +238,9 @@ func (m *Mapper) SetSingle(s value.Surrogate, a *catalog.Attribute, v value.Valu
 		return fmt.Errorf("luc: SetSingle on %s (%v, mv=%v)", a, a.Kind, a.Options.MV)
 	}
 	base := a.Owner.Base
+	if err := m.touch(base, s); err != nil {
+		return err
+	}
 	r, err := m.loadRecord(base, s)
 	if err != nil {
 		return err
@@ -294,6 +306,9 @@ func (m *Mapper) SetMV(s value.Surrogate, a *catalog.Attribute, vals []value.Val
 	if err := m.checkMVConstraints(a, vals); err != nil {
 		return err
 	}
+	if err := m.touch(a.Owner.Base, s); err != nil {
+		return err
+	}
 	if m.mvSep[a] {
 		if err := m.clearSeparateMV(s, a); err != nil {
 			return err
@@ -323,6 +338,9 @@ func (m *Mapper) SetMV(s value.Surrogate, a *catalog.Attribute, vals []value.Val
 
 // IncludeMV adds one value to an MV DVA, enforcing DISTINCT and MAX.
 func (m *Mapper) IncludeMV(s value.Surrogate, a *catalog.Attribute, v value.Value) error {
+	if err := m.touch(a.Owner.Base, s); err != nil {
+		return err
+	}
 	cur, err := m.GetMV(s, a)
 	if err != nil {
 		return err

@@ -299,6 +299,9 @@ func (m *Mapper) SetEVA(s value.Surrogate, a *catalog.Attribute, t *value.Surrog
 
 // addEVAInstance stores (s, t) for attribute a without integrity checks.
 func (m *Mapper) addEVAInstance(a *catalog.Attribute, s, t value.Surrogate) error {
+	if err := m.touchEVA(a, s, t); err != nil {
+		return err
+	}
 	can := canonical(a)
 	inv := a.Inverse
 	switch m.evas[can] {
@@ -359,6 +362,9 @@ func (m *Mapper) addEVAInstance(a *catalog.Attribute, s, t value.Surrogate) erro
 
 // removeEVAInstance deletes the stored instance (s, t) of attribute a.
 func (m *Mapper) removeEVAInstance(a *catalog.Attribute, s, t value.Surrogate) error {
+	if err := m.touchEVA(a, s, t); err != nil {
+		return err
+	}
 	can := canonical(a)
 	inv := a.Inverse
 	switch m.evas[can] {

@@ -107,10 +107,26 @@ const (
 	evaOwn
 )
 
-// Mapper is the LUC Mapper instance for one store + catalog.
+// Mapper is the LUC Mapper instance for one store + catalog. A Mapper is
+// either the live instance created by New — reading the store's current
+// state — or a view derived from it by View/WithOnWrite: a shallow clone
+// sharing the mapping decisions (schema-stable) and the record cache, but
+// pinned to one commit-stamp snapshot (View) or carrying a write hook
+// (WithOnWrite). Views are how concurrent queries each read a consistent
+// state while writers commit.
 type Mapper struct {
 	store *dmsii.Store
 	cat   *catalog.Catalog
+
+	// snap, when non-nil, pins every read this mapper performs to one
+	// commit stamp: structure access resolves through the snapshot's
+	// version chains and the record cache matches on the snapshot stamp.
+	snap *dmsii.Snap
+
+	// onWrite, when non-nil, runs before any mutation touching an entity
+	// (base class + surrogate), once per mutator entry — the database
+	// layer's per-entity conflict-latch backstop.
+	onWrite func(base *catalog.Class, s value.Surrogate) error
 
 	hier  map[*catalog.Class]HierarchyStrategy // by base class
 	evas  map[*catalog.Attribute]evaMapping    // by canonical attribute
@@ -122,29 +138,46 @@ type Mapper struct {
 	slots map[*catalog.Class][]slot
 
 	// surrNext is touched only on the write path (the database layer holds
-	// an exclusive lock there), so it needs no internal locking.
+	// an exclusive lock there), so it needs no internal locking. Shared by
+	// reference across views.
 	surrNext map[int]value.Surrogate // per base class id
 
-	// statMu guards stats: the optimizer populates it lazily on the read
-	// path, so concurrent queries contend here.
-	statMu sync.RWMutex
-	stats  map[string]int64 // cached entity/instance counts
+	// stat caches entity/instance counts. The live mapper and its write
+	// views share one cache (kept current by statAdd); snapshot views get
+	// a private cache so their counts stay snapshot-consistent and never
+	// leak uncommitted or future values into the live cache.
+	stat *statCache
 
-	// rcache is the decoded-record read cache, sharded by surrogate so
-	// concurrent readers rarely contend on one lock. Cached *records are
-	// immutable once published: readers never mutate them and mutators work
-	// on fresh loadRecord copies.
-	rcache [rcShards]rcShard
-
-	// rcHits/rcMisses count record-cache traffic for CacheStats and the
-	// obs registry; atomics so stats never take the shard locks.
-	rcHits   atomic.Uint64
-	rcMisses atomic.Uint64
+	// rc is the decoded-record read cache, shared across all views and
+	// stamped: an entry is valid only for readers at exactly its stamp.
+	// Cached *records are immutable once published: readers never mutate
+	// them and mutators work on fresh loadRecord copies.
+	rc *recCache
 
 	// probes recycles seek cursors (and their key scratch) for the hot
 	// read probes — EVA partner lookups in particular fire once per
 	// binding, so a fresh cursor per call would dominate allocations.
-	probes sync.Pool // *probe
+	// Behind a pointer so views share one pool.
+	probes *sync.Pool // *probe
+}
+
+// statCache holds lazily populated entity/instance counts. statMu guards
+// the map: the optimizer populates it on the read path, so concurrent
+// queries contend here.
+type statCache struct {
+	mu sync.RWMutex
+	m  map[string]int64
+}
+
+// recCache is the decoded-record cache plus its traffic counters,
+// sharded by surrogate so concurrent readers rarely contend on one lock.
+type recCache struct {
+	shards [rcShards]rcShard
+
+	// hits/misses count record-cache traffic for CacheStats and the obs
+	// registry; atomics so stats never take the shard locks.
+	hits   atomic.Uint64
+	misses atomic.Uint64
 }
 
 // probe is one recyclable point-lookup kit: a cursor whose leaf-snapshot
@@ -163,6 +196,75 @@ func (m *Mapper) getProbe() *probe {
 
 func (m *Mapper) putProbe(p *probe) { m.probes.Put(p) }
 
+// View returns a mapper whose reads are pinned to snap: structures
+// resolve through the snapshot's version chains, the shared record cache
+// matches on the snapshot's stamp, and statistics are privately cached so
+// snapshot-consistent counts never leak into the live mapper. A nil snap
+// returns a clone reading the live state. Mutations through a snapshot
+// view fail in the store layer.
+func (m *Mapper) View(snap *dmsii.Snap) *Mapper {
+	v := *m
+	v.snap = snap
+	v.onWrite = nil
+	if snap != nil {
+		v.stat = &statCache{m: make(map[string]int64)}
+	}
+	return &v
+}
+
+// WithOnWrite returns a live clone whose mutators call fn with the target
+// entity (base class, surrogate) before touching it — the database
+// layer's per-entity write-latch backstop. The clone shares every cache
+// with m.
+func (m *Mapper) WithOnWrite(fn func(base *catalog.Class, s value.Surrogate) error) *Mapper {
+	v := *m
+	v.snap = nil
+	v.onWrite = fn
+	return &v
+}
+
+// Snap returns the snapshot this mapper reads through, nil for the live
+// mapper.
+func (m *Mapper) Snap() *dmsii.Snap { return m.snap }
+
+// structure resolves a named structure: through the pinned snapshot for
+// views, else live.
+func (m *Mapper) structure(name string) (*dmsii.Structure, error) {
+	if m.snap != nil {
+		return m.snap.Structure(name)
+	}
+	return m.store.Structure(name)
+}
+
+// readStamp is the commit stamp this mapper's reads observe — the pinned
+// snapshot's stamp for views, the newest published stamp for the live
+// mapper. Record-cache entries are valid only at exactly their stamp.
+func (m *Mapper) readStamp() uint64 {
+	if m.snap != nil {
+		return m.snap.Stamp()
+	}
+	return m.store.Published()
+}
+
+// touch runs the onWrite hook for one entity about to be mutated.
+func (m *Mapper) touch(base *catalog.Class, s value.Surrogate) error {
+	if m.onWrite == nil {
+		return nil
+	}
+	return m.onWrite(base, s)
+}
+
+// touchEVA runs the onWrite hook for both partners of an EVA instance.
+func (m *Mapper) touchEVA(a *catalog.Attribute, s, t value.Surrogate) error {
+	if m.onWrite == nil {
+		return nil
+	}
+	if err := m.onWrite(a.Owner.Base, s); err != nil {
+		return err
+	}
+	return m.onWrite(a.Range.Base, t)
+}
+
 // CacheStats reports the decoded-record read cache's traffic.
 type CacheStats struct {
 	Hits   uint64 // records served from the cache
@@ -178,18 +280,27 @@ type rcKey struct {
 // rcShards is the number of record-cache shards.
 const rcShards = 8
 
+// rcEntry is one cached decode: the record (nil caches a miss) plus the
+// commit stamp whose state it decodes. An entry serves only readers at
+// exactly that stamp — commits advance the published stamp, implicitly
+// invalidating the whole cache without touching it.
+type rcEntry struct {
+	rec   *record
+	stamp uint64
+}
+
 // rcShard is one independently locked slice of the record cache.
 type rcShard struct {
 	mu sync.RWMutex
-	m  map[rcKey]*record
+	m  map[rcKey]rcEntry
 }
 
 // rcacheCap bounds the read cache across all shards; a full shard is
 // cleared wholesale, as the unsharded cache was.
 const rcacheCap = 1024
 
-func (m *Mapper) rcShardOf(s value.Surrogate) *rcShard {
-	return &m.rcache[uint64(s)%rcShards]
+func (rc *recCache) shardOf(s value.Surrogate) *rcShard {
+	return &rc.shards[uint64(s)%rcShards]
 }
 
 type slotKind int
@@ -216,10 +327,12 @@ func New(store *dmsii.Store, cat *catalog.Catalog, cfg Config) (*Mapper, error) 
 		idx:      make(map[*catalog.Attribute]bool),
 		slots:    make(map[*catalog.Class][]slot),
 		surrNext: make(map[int]value.Surrogate),
-		stats:    make(map[string]int64),
+		stat:     &statCache{m: make(map[string]int64)},
+		rc:       &recCache{},
+		probes:   new(sync.Pool),
 	}
-	for i := range m.rcache {
-		m.rcache[i].m = make(map[rcKey]*record)
+	for i := range m.rc.shards {
+		m.rc.shards[i].m = make(map[rcKey]rcEntry)
 	}
 	if err := m.Reconfigure(cfg); err != nil {
 		return nil, err
@@ -403,31 +516,31 @@ func (m *Mapper) computeSlots(cl *catalog.Class) []slot {
 // ---------------------------------------------------------------------------
 
 func (m *Mapper) hierStructure(base *catalog.Class) (*dmsii.Structure, error) {
-	return m.store.Structure(fmt.Sprintf("h:%d", base.ID))
+	return m.structure(fmt.Sprintf("h:%d", base.ID))
 }
 
 func (m *Mapper) classStructure(cl *catalog.Class) (*dmsii.Structure, error) {
-	return m.store.Structure(fmt.Sprintf("c:%d", cl.ID))
+	return m.structure(fmt.Sprintf("c:%d", cl.ID))
 }
 
 func (m *Mapper) cesStructure() (*dmsii.Structure, error) {
-	return m.store.Structure("ces")
+	return m.structure("ces")
 }
 
 func (m *Mapper) ownEVAStructure(can *catalog.Attribute) (*dmsii.Structure, error) {
-	return m.store.Structure(fmt.Sprintf("eva:%d", can.ID))
+	return m.structure(fmt.Sprintf("eva:%d", can.ID))
 }
 
 func (m *Mapper) fkIndexStructure(can *catalog.Attribute) (*dmsii.Structure, error) {
-	return m.store.Structure(fmt.Sprintf("fki:%d", can.ID))
+	return m.structure(fmt.Sprintf("fki:%d", can.ID))
 }
 
 func (m *Mapper) mvStructure(a *catalog.Attribute) (*dmsii.Structure, error) {
-	return m.store.Structure(fmt.Sprintf("mv:%d", a.ID))
+	return m.structure(fmt.Sprintf("mv:%d", a.ID))
 }
 
 func (m *Mapper) indexStructure(a *catalog.Attribute) (*dmsii.Structure, error) {
-	return m.store.Structure(fmt.Sprintf("ix:%d", a.ID))
+	return m.structure(fmt.Sprintf("ix:%d", a.ID))
 }
 
 // ---------------------------------------------------------------------------
@@ -438,20 +551,20 @@ func (m *Mapper) indexStructure(a *catalog.Attribute) (*dmsii.Structure, error) 
 // layer calls this after a rollback.
 func (m *Mapper) ResetCaches() {
 	m.surrNext = make(map[int]value.Surrogate)
-	m.statMu.Lock()
-	m.stats = make(map[string]int64)
-	m.statMu.Unlock()
-	for i := range m.rcache {
-		sh := &m.rcache[i]
+	m.stat.mu.Lock()
+	m.stat.m = make(map[string]int64)
+	m.stat.mu.Unlock()
+	for i := range m.rc.shards {
+		sh := &m.rc.shards[i]
 		sh.mu.Lock()
-		sh.m = make(map[rcKey]*record)
+		sh.m = make(map[rcKey]rcEntry)
 		sh.mu.Unlock()
 	}
 }
 
 // nextSurrogate allocates the next surrogate for a hierarchy.
 func (m *Mapper) nextSurrogate(base *catalog.Class) (value.Surrogate, error) {
-	st, err := m.store.Structure("~surr")
+	st, err := m.structure("~surr")
 	if err != nil {
 		return 0, err
 	}
@@ -478,13 +591,13 @@ func (m *Mapper) nextSurrogate(base *catalog.Class) (value.Surrogate, error) {
 }
 
 func (m *Mapper) statGet(key string) (int64, error) {
-	m.statMu.RLock()
-	v, ok := m.stats[key]
-	m.statMu.RUnlock()
+	m.stat.mu.RLock()
+	v, ok := m.stat.m[key]
+	m.stat.mu.RUnlock()
 	if ok {
 		return v, nil
 	}
-	st, err := m.store.Structure("~stats")
+	st, err := m.structure("~stats")
 	if err != nil {
 		return 0, err
 	}
@@ -496,10 +609,11 @@ func (m *Mapper) statGet(key string) (int64, error) {
 		v = int64(binary.BigEndian.Uint64(raw))
 	}
 	// Two readers may race to fill the same key; both store the same
-	// durable value, so last-write-wins is harmless.
-	m.statMu.Lock()
-	m.stats[key] = v
-	m.statMu.Unlock()
+	// durable value (the cache is per-view for snapshot readers), so
+	// last-write-wins is harmless.
+	m.stat.mu.Lock()
+	m.stat.m[key] = v
+	m.stat.mu.Unlock()
 	return v, nil
 }
 
@@ -509,7 +623,7 @@ func (m *Mapper) statAdd(key string, delta int64) error {
 		return err
 	}
 	cur += delta
-	st, err := m.store.Structure("~stats")
+	st, err := m.structure("~stats")
 	if err != nil {
 		return err
 	}
@@ -518,30 +632,30 @@ func (m *Mapper) statAdd(key string, delta int64) error {
 	if err := st.Put([]byte(key), buf[:]); err != nil {
 		return err
 	}
-	m.statMu.Lock()
-	m.stats[key] = cur
-	m.statMu.Unlock()
+	m.stat.mu.Lock()
+	m.stat.m[key] = cur
+	m.stat.mu.Unlock()
 	return nil
 }
 
 // CacheStats returns record-cache counters; safe while queries run.
 func (m *Mapper) CacheStats() CacheStats {
-	return CacheStats{Hits: m.rcHits.Load(), Misses: m.rcMisses.Load()}
+	return CacheStats{Hits: m.rc.hits.Load(), Misses: m.rc.misses.Load()}
 }
 
 // ResetCacheStats zeroes the record-cache counters (benchmark phases).
 func (m *Mapper) ResetCacheStats() {
-	m.rcHits.Store(0)
-	m.rcMisses.Store(0)
+	m.rc.hits.Store(0)
+	m.rc.misses.Store(0)
 }
 
 // RegisterMetrics publishes the mapper's cache counters on an obs
 // registry.
 func (m *Mapper) RegisterMetrics(r *obs.Registry) {
 	r.CounterFunc("sim_luc_cache_hits_total", "LUC decoded-record cache hits.",
-		func() float64 { return float64(m.rcHits.Load()) })
+		func() float64 { return float64(m.rc.hits.Load()) })
 	r.CounterFunc("sim_luc_cache_misses_total", "LUC decoded-record cache misses.",
-		func() float64 { return float64(m.rcMisses.Load()) })
+		func() float64 { return float64(m.rc.misses.Load()) })
 }
 
 // Count returns the number of entities holding a role in cl.

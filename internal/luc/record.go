@@ -160,28 +160,38 @@ func (m *Mapper) classByID(id int) *catalog.Class {
 // record in place before storeRecord (which invalidates the cache entry).
 // Cached records are shared across concurrent queries and must never be
 // mutated by readers.
+//
+// The cache is stamp-exact: an entry serves only readers observing the
+// same commit stamp it was decoded at, so every commit implicitly
+// invalidates it. Only snapshot views fill the cache — the live mapper
+// runs inside write transactions, where a fill could capture uncommitted
+// state under a published stamp.
 func (m *Mapper) readRecord(base *catalog.Class, s value.Surrogate) (*record, error) {
 	key := rcKey{base.ID, s}
-	sh := m.rcShardOf(s)
+	stamp := m.readStamp()
+	sh := m.rc.shardOf(s)
 	sh.mu.RLock()
-	r, ok := sh.m[key]
+	e, ok := sh.m[key]
 	sh.mu.RUnlock()
-	if ok {
-		m.rcHits.Add(1)
-		return r, nil
+	if ok && e.stamp == stamp {
+		m.rc.hits.Add(1)
+		return e.rec, nil
 	}
-	m.rcMisses.Add(1)
+	m.rc.misses.Add(1)
 	r, err := m.loadRecord(base, s)
 	if err != nil {
 		return nil, err
+	}
+	if m.snap == nil {
+		return r, nil
 	}
 	// Concurrent readers may race to fill the same key with equal decoded
 	// contents; last write wins.
 	sh.mu.Lock()
 	if len(sh.m) >= rcacheCap/rcShards {
-		sh.m = make(map[rcKey]*record, rcacheCap/rcShards)
+		sh.m = make(map[rcKey]rcEntry, rcacheCap/rcShards)
 	}
-	sh.m[key] = r
+	sh.m[key] = rcEntry{rec: r, stamp: stamp}
 	sh.mu.Unlock()
 	return r, nil
 }
@@ -260,7 +270,7 @@ func (m *Mapper) loadRecord(base *catalog.Class, s value.Surrogate) (*record, er
 // storeRecord writes an entity's record. prevRoles lists the roles present
 // before the update so the split strategy can delete abandoned sections.
 func (m *Mapper) storeRecord(base *catalog.Class, s value.Surrogate, r *record, prevRoles []int) error {
-	sh := m.rcShardOf(s)
+	sh := m.rc.shardOf(s)
 	sh.mu.Lock()
 	delete(sh.m, rcKey{base.ID, s})
 	sh.mu.Unlock()

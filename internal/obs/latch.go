@@ -118,6 +118,15 @@ func RenderHot(snap map[string]float64) string {
 		sort.Strings(conflicts)
 		fmt.Fprintf(&b, "class-latch conflicts: %s\n", strings.Join(conflicts, " "))
 	}
+	if _, ok := snap["sim_mvcc_published_stamp"]; ok {
+		fmt.Fprintf(&b, "mvcc: published=%d oldest-pinned=%d pinned-views=%d live-versions=%d entity-conflicts=%d version-errors=%d\n",
+			int64(snap["sim_mvcc_published_stamp"]),
+			int64(snap["sim_mvcc_oldest_pinned_stamp"]),
+			int64(snap["sim_mvcc_pinned_views"]),
+			int64(snap["sim_mvcc_live_versions"]),
+			int64(snap["sim_conflict_entities"]),
+			int64(snap["sim_mvcc_version_errors_total"]))
+	}
 	return b.String()
 }
 

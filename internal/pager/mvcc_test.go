@@ -1,0 +1,126 @@
+package pager
+
+import (
+	"bytes"
+	"testing"
+)
+
+// commitPage runs one page through the writer's commit cycle: CoW
+// prepare, mutate, stamp, write back, publish. Returns the commit stamp.
+func commitPage(t *testing.T, p *Pool, id PageID, content string) uint64 {
+	t.Helper()
+	f, err := p.Get(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Prepare(f)
+	copy(f.Data, content)
+	p.MarkDirty(f)
+	p.Release(f)
+	snap := p.Snapshot()
+	if err := p.WriteBack(snap); err != nil {
+		t.Fatal(err)
+	}
+	p.Publish(snap.Stamp())
+	return snap.Stamp()
+}
+
+// TestViewPageResolvesPinnedVersion: a reader pinned before a commit
+// keeps seeing the pre-image out of the version chain, while a reader
+// pinned after sees the new bytes.
+func TestViewPageResolvesPinnedVersion(t *testing.T) {
+	p, err := NewPool(NewMemFile(), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := p.Allocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := f.ID
+	copy(f.Data, "v1")
+	p.MarkDirty(f)
+	p.Release(f)
+	snap := p.Snapshot()
+	if err := p.WriteBack(snap); err != nil {
+		t.Fatal(err)
+	}
+	p.Publish(snap.Stamp())
+
+	old := p.PinView()
+	defer p.UnpinView(old)
+	commitPage(t, p, id, "v2")
+
+	got, err := p.ViewPage(id, old)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got[:2], []byte("v1")) {
+		t.Fatalf("pinned view read %q, want the pre-image v1", got[:2])
+	}
+	cur := p.PinView()
+	defer p.UnpinView(cur)
+	got, err = p.ViewPage(id, cur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got[:2], []byte("v2")) {
+		t.Fatalf("fresh view read %q, want v2", got[:2])
+	}
+}
+
+// TestDropAllDiscardsVersionState pins the fenced-rejoin regression: a
+// node that committed locally (populating version chains and capture
+// stamps) and then has its file replaced underneath the pool — replica
+// snapshot install — must not serve pre-replacement bytes out of a
+// surviving chain entry. DropAll discards the version state along with
+// the frames, so readers fall through to the file.
+func TestDropAllDiscardsVersionState(t *testing.T) {
+	file := NewMemFile()
+	p, err := NewPool(file, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := p.Allocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := f.ID
+	copy(f.Data, "v1")
+	p.MarkDirty(f)
+	p.Release(f)
+	snap := p.Snapshot()
+	if err := p.WriteBack(snap); err != nil {
+		t.Fatal(err)
+	}
+	p.Publish(snap.Stamp())
+	// A second commit leaves "v1" in the version chain.
+	commitPage(t, p, id, "v2")
+	if p.LiveVersions() == 0 {
+		t.Fatal("no retained version; the test lost its preconditions")
+	}
+
+	// Replica install: new bytes written straight to the file, then the
+	// pool is dropped.
+	remote := make([]byte, PageSize)
+	copy(remote, "remote")
+	if err := file.WritePage(id, remote); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.DropAll(); err != nil {
+		t.Fatal(err)
+	}
+	if n := p.LiveVersions(); n != 0 {
+		t.Fatalf("LiveVersions = %d after DropAll, want 0", n)
+	}
+
+	view := p.PinView()
+	defer p.UnpinView(view)
+	got, err := p.ViewPage(id, view)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got[:6], []byte("remote")) {
+		t.Fatalf("post-DropAll view read %q, want the file's replaced bytes", got[:6])
+	}
+}

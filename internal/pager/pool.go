@@ -20,16 +20,28 @@ type Stats struct {
 }
 
 // Frame is a pinned page in the pool. Callers must Release every frame
-// they Get, and MarkDirty frames they mutate. The pins/dirty/gen/elem
-// fields are guarded by the owning shard's mutex.
+// they Get, Prepare frames before mutating them in place, and MarkDirty
+// frames they mutated. The pins/dirty/gen/unc/elem fields are guarded by
+// the owning shard's mutex.
 type Frame struct {
 	ID     PageID
 	Data   []byte // PageSize bytes
 	pins   int
 	dirty  bool
+	unc    bool          // holds uncommitted bytes: Data was re-buffered by Prepare/Allocate and not yet captured
 	gen    uint64        // bumped on every MarkDirty/Allocate; see Snapshot
 	capGen uint64        // gen when last captured by a Snapshot
 	elem   *list.Element // position in the shard LRU list when unpinned
+}
+
+// pageVersion is one committed pre-image on a page's version chain: the
+// page bytes as of commit stamp. Chains are kept in ascending stamp order
+// and entries are immutable once pushed — ViewPage hands the data slice to
+// readers zero-copy, relying on the swap-don't-overwrite discipline of
+// Prepare (a frame buffer pushed onto the chain is never written again).
+type pageVersion struct {
+	stamp uint64
+	data  []byte
 }
 
 // poolShards is the number of independently locked shards. Pages hash to
@@ -38,11 +50,15 @@ type Frame struct {
 const poolShards = 8
 
 // shard is one independently locked slice of the pool with its own LRU.
+// versions and stamps outlive the frames: a page's version chain and its
+// latest commit stamp stay valid while the frame itself is evicted.
 type shard struct {
 	mu       sync.Mutex
 	capacity int
 	frames   map[PageID]*Frame
-	lru      *list.List // unpinned frames, least recently used at front
+	lru      *list.List                // unpinned frames, least recently used at front
+	versions map[PageID][]pageVersion  // committed pre-images, ascending stamp
+	stamps   map[PageID]uint64         // latest commit stamp that captured the page (absent = 0, "as old as the file")
 }
 
 // Pool is a pinning buffer pool over a page File, sharded by page number
@@ -58,6 +74,21 @@ type Pool struct {
 	hits       atomic.Uint64
 	misses     atomic.Uint64
 	pageWrites atomic.Uint64
+
+	// MVCC state. stampSeq is the monotonic commit-stamp counter, bumped
+	// by Snapshot under the store's write latch; published is the newest
+	// stamp whose commit is durable (what new readers pin); pins counts
+	// the live read views per stamp; minPinned caches the GC floor —
+	// min(published, oldest pinned stamp) — so Prepare can prune without
+	// taking pinMu.
+	stampSeq  atomic.Uint64
+	published atomic.Uint64
+	pinMu     sync.Mutex
+	pins      map[uint64]int
+	minPinned atomic.Uint64
+
+	liveVersions atomic.Int64
+	versionErrs  atomic.Uint64
 }
 
 // NewPool returns a pool of the given capacity (in pages) over file.
@@ -78,8 +109,11 @@ func NewPool(file File, capacity int) (*Pool, error) {
 		p.shards[i].capacity = per
 		p.shards[i].frames = make(map[PageID]*Frame)
 		p.shards[i].lru = list.New()
+		p.shards[i].versions = make(map[PageID][]pageVersion)
+		p.shards[i].stamps = make(map[PageID]uint64)
 	}
 	p.next.Store(uint32(n))
+	p.pins = make(map[uint64]int)
 	return p, nil
 }
 
@@ -127,6 +161,16 @@ func (p *Pool) RegisterMetrics(r *obs.Registry) {
 		func() float64 { return float64(p.pageWrites.Load()) })
 	r.GaugeFunc("sim_pager_pages", "Allocated pages, including not-yet-flushed allocations.",
 		func() float64 { return float64(p.next.Load()) })
+	r.GaugeFunc("sim_mvcc_published_stamp", "Newest commit stamp visible to new read snapshots.",
+		func() float64 { return float64(p.published.Load()) })
+	r.GaugeFunc("sim_mvcc_oldest_pinned_stamp", "Oldest stamp a live snapshot is pinned at (the version-GC floor).",
+		func() float64 { return float64(p.minPinned.Load()) })
+	r.GaugeFunc("sim_mvcc_pinned_views", "Live pinned read snapshots.",
+		func() float64 { return float64(p.PinnedViews()) })
+	r.GaugeFunc("sim_mvcc_live_versions", "Retained copy-on-write page pre-images awaiting GC.",
+		func() float64 { return float64(p.liveVersions.Load()) })
+	r.CounterFunc("sim_mvcc_version_errors_total", "Snapshot page resolutions that found no visible version (GC bug guard).",
+		func() float64 { return float64(p.versionErrs.Load()) })
 	p.latch.Register(r, "Buffer pool shard locks.")
 }
 
@@ -155,11 +199,16 @@ func (p *Pool) Allocate() (*Frame, error) {
 		return nil, err
 	}
 	f.dirty = true
+	f.unc = true
 	f.gen++
 	return f, nil
 }
 
-// AllocateAt pins page id (a recycled free page) with zeroed contents.
+// AllocateAt pins page id (a recycled free page) with zeroed contents. No
+// pre-image is pushed: a recycled page is unreachable from every committed
+// structure root, so no pinned snapshot can traverse to it — readers that
+// predate the page's FreePage commit are served by the pre-image that
+// FreePage's own Prepare pushed.
 func (p *Pool) AllocateAt(id PageID) (*Frame, error) {
 	sh := p.shardOf(id)
 	p.lock(sh)
@@ -168,12 +217,207 @@ func (p *Pool) AllocateAt(id PageID) (*Frame, error) {
 	if err != nil {
 		return nil, err
 	}
-	for i := range f.Data {
-		f.Data[i] = 0
+	if !f.unc {
+		// Re-buffer instead of zeroing in place: the old buffer may have
+		// been handed out by ViewPage and must stay immutable.
+		f.Data = make([]byte, PageSize)
+		f.unc = true
+	} else {
+		for i := range f.Data {
+			f.Data[i] = 0
+		}
 	}
 	f.dirty = true
 	f.gen++
 	return f, nil
+}
+
+// Prepare declares that the caller (which holds the store's write latch)
+// is about to mutate the frame's bytes in place. The first Prepare of a
+// frame per commit cycle pushes the current committed image onto the
+// page's version chain — tagged with the stamp of the commit that produced
+// it — and swaps in a private copy for the writer, so every buffer a
+// reader may hold stays immutable (copy-on-write by buffer swap). Later
+// Prepares in the same cycle are no-ops until Snapshot captures the frame.
+func (p *Pool) Prepare(f *Frame) {
+	sh := p.shardOf(f.ID)
+	p.lock(sh)
+	defer sh.mu.Unlock()
+	if f.unc {
+		return
+	}
+	f.unc = true
+	old := f.Data
+	nd := make([]byte, PageSize)
+	copy(nd, old)
+	f.Data = nd
+	sh.versions[f.ID] = append(sh.versions[f.ID], pageVersion{stamp: sh.stamps[f.ID], data: old})
+	p.liveVersions.Add(1)
+	p.pruneLocked(sh, f.ID)
+}
+
+// pruneLocked drops chain entries no pinned snapshot can see: an entry is
+// dead once a strictly newer committed version (the next chain entry, or
+// the frame's last captured image) is itself visible at the GC floor.
+func (p *Pool) pruneLocked(sh *shard, id PageID) {
+	ch := sh.versions[id]
+	if len(ch) == 0 {
+		return
+	}
+	mp := p.minPinned.Load()
+	i := 0
+	for i < len(ch) {
+		succ := sh.stamps[id]
+		if i+1 < len(ch) {
+			succ = ch[i+1].stamp
+		}
+		if succ > ch[i].stamp && succ <= mp {
+			i++
+			continue
+		}
+		break
+	}
+	if i == 0 {
+		return
+	}
+	p.liveVersions.Add(int64(-i))
+	if i == len(ch) {
+		delete(sh.versions, id)
+		return
+	}
+	sh.versions[id] = append(ch[:0:0], ch[i:]...)
+}
+
+// SweepVersions prunes every page's version chain against the current GC
+// floor. The store calls it at checkpoint, when the pipeline is drained
+// and old pinned snapshots have typically gone away.
+func (p *Pool) SweepVersions() {
+	for i := range p.shards {
+		sh := &p.shards[i]
+		sh.mu.Lock()
+		for id := range sh.versions {
+			p.pruneLocked(sh, id)
+		}
+		sh.mu.Unlock()
+	}
+}
+
+// PinView registers a read snapshot at the newest published stamp and
+// returns that stamp. Every PinView must be paired with UnpinView, which
+// is what lets version GC advance past the snapshot.
+func (p *Pool) PinView() uint64 {
+	p.pinMu.Lock()
+	s := p.published.Load()
+	p.pins[s]++
+	p.pinMu.Unlock()
+	return s
+}
+
+// UnpinView releases a snapshot pinned by PinView.
+func (p *Pool) UnpinView(stamp uint64) {
+	p.pinMu.Lock()
+	if n := p.pins[stamp] - 1; n > 0 {
+		p.pins[stamp] = n
+	} else {
+		delete(p.pins, stamp)
+	}
+	p.recomputeFloorLocked()
+	p.pinMu.Unlock()
+}
+
+// Publish makes stamp (and every stamp below it) visible to new readers.
+// The store calls it once the commit that produced the stamp is durable;
+// group commit makes a durable batch imply every predecessor is durable,
+// so a max-store publishes in commit order regardless of Wait ordering.
+func (p *Pool) Publish(stamp uint64) {
+	p.pinMu.Lock()
+	if stamp > p.published.Load() {
+		p.published.Store(stamp)
+	}
+	p.recomputeFloorLocked()
+	p.pinMu.Unlock()
+}
+
+// Published returns the newest stamp visible to readers.
+func (p *Pool) Published() uint64 { return p.published.Load() }
+
+// recomputeFloorLocked refreshes the GC floor; pinMu held.
+func (p *Pool) recomputeFloorLocked() {
+	mp := p.published.Load()
+	for s := range p.pins {
+		if s < mp {
+			mp = s
+		}
+	}
+	p.minPinned.Store(mp)
+}
+
+// OldestPinned returns the oldest stamp a live snapshot is pinned at, or
+// the published stamp when no snapshot is pinned (the GC floor).
+func (p *Pool) OldestPinned() uint64 { return p.minPinned.Load() }
+
+// PinnedViews returns the number of live pinned snapshots.
+func (p *Pool) PinnedViews() int {
+	p.pinMu.Lock()
+	n := 0
+	for _, c := range p.pins {
+		n += c
+	}
+	p.pinMu.Unlock()
+	return n
+}
+
+// LiveVersions returns the number of retained page pre-images.
+func (p *Pool) LiveVersions() int64 { return p.liveVersions.Load() }
+
+// ViewPage resolves the bytes of page id as of the pinned stamp, without
+// pinning: the returned slice is immutable (writers swap buffers, never
+// overwrite) and stays valid for as long as the caller references it. The
+// resolution order is: the frame itself when it holds a committed image no
+// newer than the view; else the newest chain entry at or below the view;
+// else — frame absent and the page's last capture not newer than the view
+// — the database file, which is current for evicted pages (no-steal plus
+// write-back-before-clean guarantee). Any other state is a GC bug and
+// returns a counted error rather than wrong bytes.
+func (p *Pool) ViewPage(id PageID, stamp uint64) ([]byte, error) {
+	sh := p.shardOf(id)
+	p.lock(sh)
+	defer sh.mu.Unlock()
+	f, ok := sh.frames[id]
+	if ok && !f.unc && sh.stamps[id] <= stamp {
+		p.hits.Add(1)
+		return f.Data, nil
+	}
+	if ch := sh.versions[id]; len(ch) > 0 {
+		// Newest entry with entry.stamp <= stamp.
+		lo, hi := 0, len(ch)
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if ch[mid].stamp <= stamp {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		if lo > 0 {
+			p.hits.Add(1)
+			return ch[lo-1].data, nil
+		}
+	}
+	if !ok && sh.stamps[id] <= stamp {
+		nf, err := p.getLocked(sh, id, true)
+		if err != nil {
+			return nil, err
+		}
+		// getLocked pinned the frame; release it inline (lock already held).
+		nf.pins--
+		if nf.pins == 0 {
+			nf.elem = sh.lru.PushBack(nf)
+		}
+		return nf.Data, nil
+	}
+	p.versionErrs.Add(1)
+	return nil, fmt.Errorf("pager: no version of page %d visible at stamp %d (last capture %d)", id, stamp, sh.stamps[id])
 }
 
 func (p *Pool) getLocked(sh *shard, id PageID, read bool) (*Frame, error) {
@@ -275,6 +519,7 @@ func (p *Pool) DiscardDirty() error {
 		sh.mu.Lock()
 		for id, f := range sh.frames {
 			if !f.dirty {
+				p.repairCleanLocked(sh, f)
 				continue
 			}
 			if f.pins > 0 {
@@ -297,10 +542,35 @@ func (p *Pool) DiscardDirty() error {
 	return nil
 }
 
+// repairCleanLocked undoes an open copy-on-write cycle on a frame the
+// rollback keeps (Prepared but never re-dirtied): the chain's top entry is
+// the committed image Prepare displaced, so restore it and pop the entry.
+func (p *Pool) repairCleanLocked(sh *shard, f *Frame) {
+	if !f.unc {
+		return
+	}
+	f.unc = false
+	ch := sh.versions[f.ID]
+	if len(ch) > 0 && ch[len(ch)-1].stamp == sh.stamps[f.ID] {
+		f.Data = ch[len(ch)-1].data
+		if len(ch) == 1 {
+			delete(sh.versions, f.ID)
+		} else {
+			sh.versions[f.ID] = ch[:len(ch)-1]
+		}
+		p.liveVersions.Add(-1)
+	}
+}
+
 // DropAll empties the pool: every frame — clean or dirty — is discarded,
 // so subsequent reads observe the file's current contents, and the
 // next-allocation cursor is reset from the file size. Replica apply uses
-// this after overwriting pages underneath the pool. Frames must be
+// this after overwriting pages underneath the pool. The MVCC version
+// state goes with the frames: retained pre-images and capture stamps
+// describe a history the file no longer continues (a rejoining fenced
+// primary's own commits, overwritten by the new primary's image), and a
+// surviving chain entry would satisfy ViewPage ahead of the disk
+// fallback, serving pre-replacement bytes forever. Frames must be
 // unpinned (the caller holds the store's write latch and has drained
 // readers).
 func (p *Pool) DropAll() error {
@@ -317,6 +587,13 @@ func (p *Pool) DropAll() error {
 				f.elem = nil
 			}
 			delete(sh.frames, id)
+		}
+		for id, ch := range sh.versions {
+			p.liveVersions.Add(int64(-len(ch)))
+			delete(sh.versions, id)
+		}
+		for id := range sh.stamps {
+			delete(sh.stamps, id)
 		}
 		sh.mu.Unlock()
 	}
@@ -350,7 +627,13 @@ type snapPage struct {
 // stay stable even while later transactions re-dirty the same frames.
 type Snapshot struct {
 	pages []snapPage
+	stamp uint64
 }
+
+// Stamp returns the commit stamp assigned when the snapshot was captured.
+// Publishing this stamp (after the commit is durable) makes the captured
+// state visible to new read views.
+func (s *Snapshot) Stamp() uint64 { return s.stamp }
 
 // Len returns the number of captured pages.
 func (s *Snapshot) Len() int { return len(s.pages) }
@@ -376,7 +659,7 @@ func (s *Snapshot) Frames() []*Frame {
 // durable too. The caller must hold the store's write latch so no writer
 // mutates frames mid-copy; concurrent readers are fine.
 func (p *Pool) Snapshot() *Snapshot {
-	snap := &Snapshot{}
+	snap := &Snapshot{stamp: p.stampSeq.Add(1)}
 	for i := range p.shards {
 		sh := &p.shards[i]
 		sh.mu.Lock()
@@ -386,6 +669,10 @@ func (p *Pool) Snapshot() *Snapshot {
 				data := make([]byte, len(f.Data))
 				copy(data, f.Data)
 				snap.pages = append(snap.pages, snapPage{f: f, gen: f.gen, data: data})
+				// The frame now holds this commit's image: stamp it and
+				// end the copy-on-write cycle Prepare opened.
+				sh.stamps[f.ID] = snap.stamp
+				f.unc = false
 			}
 		}
 		sh.mu.Unlock()
@@ -439,6 +726,13 @@ func (p *Pool) writeDirty() error {
 				}
 				f.dirty = false
 			}
+			// Every caller holds the store write latch with the commit
+			// pipeline drained, so frame contents are committed: end any
+			// copy-on-write cycle still open (format-time allocations are
+			// written outside a transaction and never pass through
+			// Snapshot), or the frame would stay invisible to snapshot
+			// reads forever.
+			f.unc = false
 		}
 		sh.mu.Unlock()
 	}

@@ -355,12 +355,14 @@ func (s *Server) handshake(conn net.Conn) error {
 		s.writeFrame(conn, wire.TError, wire.EncodeError(wire.CodeProtocol, err.Error()))
 		return err
 	}
-	if v != wire.Version {
-		msg := fmt.Sprintf("protocol version %d not supported (server speaks %d)", v, wire.Version)
+	if v < wire.MinVersion || v > wire.Version {
+		msg := fmt.Sprintf("protocol version %d not supported (server speaks %d-%d)",
+			v, wire.MinVersion, wire.Version)
 		s.writeFrame(conn, wire.TError, wire.EncodeError(wire.CodeProtocol, msg))
 		return errors.New(msg)
 	}
-	return s.writeFrame(conn, wire.THello, wire.EncodeHello())
+	// Echo the client's version: an older client checks for its own.
+	return s.writeFrame(conn, wire.THello, append([]byte(wire.Magic), v))
 }
 
 // serveRequest executes one request and writes its response, reporting
@@ -434,6 +436,15 @@ func (s *Server) dispatch(sess *session, t wire.Type, payload []byte, reqID uint
 	}
 	switch t {
 	case wire.TExec, wire.TBegin, wire.TCommit, wire.TRollback, wire.TTraceCommit, wire.TCheckpoint:
+		// Read-only transactions are pure snapshot readers: a replica (or
+		// a fenced ex-primary) serves their Begin/Commit/Rollback like any
+		// read, so DialMulti can route them away from the primary.
+		if t == wire.TBegin && len(payload) == 1 && payload[0]&wire.BeginReadOnly != 0 {
+			break
+		}
+		if (t == wire.TCommit || t == wire.TRollback) && sess.tx != nil && sess.tx.ReadOnly() {
+			break
+		}
 		readOnly, fencedBy := s.role()
 		if fencedBy != 0 {
 			return wire.TError, wire.EncodeError(wire.CodeFenced,
@@ -451,7 +462,19 @@ func (s *Server) dispatch(sess *session, t wire.Type, payload []byte, reqID uint
 		if sess.tx != nil {
 			return wire.TError, wire.EncodeError(wire.CodeTxState, "a transaction is already open on this connection")
 		}
-		tx, err := s.db.Begin(ctx)
+		// serveRequest peeled the request ID; what remains is the optional
+		// version-4 flag byte.
+		var opts []sim.TxOption
+		switch {
+		case len(payload) == 0:
+		case len(payload) == 1 && payload[0]&^wire.BeginReadOnly == 0:
+			if payload[0]&wire.BeginReadOnly != 0 {
+				opts = append(opts, sim.ReadOnly())
+			}
+		default:
+			return wire.TError, wire.EncodeError(wire.CodeProtocol, "bad begin flags")
+		}
+		tx, err := s.db.Begin(ctx, opts...)
 		if err != nil {
 			return wire.TError, encodeErr(ctx, err)
 		}
@@ -567,6 +590,8 @@ func encodeErr(ctx context.Context, err error) []byte {
 		code = wire.CodeTimeout
 	case errors.Is(err, sim.ErrConflict):
 		code = wire.CodeConflict
+	case errors.Is(err, sim.ErrReadOnlyTx):
+		code = wire.CodeReadOnly
 	case strings.HasPrefix(err.Error(), "parse error") || strings.HasPrefix(err.Error(), "lex error"):
 		code = wire.CodeParse
 	case strings.Contains(err.Error(), "unknown class") ||

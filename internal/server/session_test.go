@@ -38,25 +38,38 @@ func itoa(n int) string {
 	return string(b[i:])
 }
 
-// waitGone polls until the department disappears (a server-side rollback
-// finished) or the deadline passes.
-func waitGone(t *testing.T, db *sim.Database, nbr int) {
+// waitRolledBack proves a server-side rollback (asynchronous with
+// session teardown) completed. MVCC readers never saw the uncommitted
+// insert, so its absence alone proves nothing; what a rollback
+// observably releases is the store's write latch. A probe write
+// demonstrates that by completing, after which the doomed row must
+// still be absent.
+func waitRolledBack(t *testing.T, db *sim.Database, nbr, probe int) {
 	t.Helper()
-	deadline := time.Now().Add(5 * time.Second)
-	for time.Now().Before(deadline) {
-		if !deptExists(t, db, nbr) {
-			return
+	done := make(chan error, 1)
+	go func() {
+		_, err := db.Exec(`Insert department (dept-nbr := ` + itoa(probe) + `, name := "Probe").`)
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("probe write after rollback: %v", err)
 		}
-		time.Sleep(5 * time.Millisecond)
+	case <-time.After(5 * time.Second):
+		t.Fatal("probe write still blocked: rollback never released the write latch")
 	}
-	t.Fatalf("department %d still present: rollback never happened", nbr)
+	if deptExists(t, db, nbr) {
+		t.Fatalf("department %d present: rolled-back insert committed", nbr)
+	}
 }
 
 // TestTxInterleavedConnections runs explicit transactions on two
-// connections at once: same-class writes conflict fast (CodeConflict
-// over the wire, non-fatal), different-class writes queue behind the
-// winner's write phase and proceed once it commits, and each
-// transaction sees its own uncommitted writes.
+// connections at once: writes to the same entity conflict fast
+// (CodeConflict over the wire, non-fatal), writes to a distinct entity
+// — even of the same class — queue behind the winner's write phase and
+// proceed once it commits, and each transaction sees its own
+// uncommitted writes.
 func TestTxInterleavedConnections(t *testing.T) {
 	db := testDB(t)
 	_, addr := startServer(t, db, server.Config{})
@@ -81,15 +94,18 @@ func TestTxInterleavedConnections(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	if _, err := txA.Exec(ctx, `Modify department (name := "Mathematics") Where dept-nbr = 100.`); err != nil {
+		t.Fatal(err)
+	}
 	if _, err := txA.Exec(ctx, `Insert department (dept-nbr := 400, name := "Chem").`); err != nil {
 		t.Fatal(err)
 	}
-	// txA write-latched department: txB's write to the same class is
-	// refused with a structured conflict, and txB stays usable.
-	_, err = txB.Exec(ctx, `Insert department (dept-nbr := 401, name := "Bio").`)
+	// txA latched the department-100 entity: txB's write to the same
+	// entity is refused with a structured conflict, and txB stays usable.
+	_, err = txB.Exec(ctx, `Modify department (name := "Maths") Where dept-nbr = 100.`)
 	var we *wire.Error
 	if !errors.As(err, &we) || we.Code != wire.CodeConflict {
-		t.Fatalf("same-class write on second connection: %v, want wire.CodeConflict", err)
+		t.Fatalf("same-entity write on second connection: %v, want wire.CodeConflict", err)
 	}
 	// txA sees its own uncommitted insert through its session.
 	r, err := txA.Query(ctx, `From department Retrieve name Where dept-nbr = 400.`)
@@ -97,11 +113,11 @@ func TestTxInterleavedConnections(t *testing.T) {
 		t.Fatalf("tx read-your-writes over the wire: rows=%v err=%v", r, err)
 	}
 
-	// A different class does not conflict — txB queues behind txA's write
-	// phase and completes once txA commits.
+	// A distinct entity of the same class does not conflict — txB queues
+	// behind txA's write phase and completes once txA commits.
 	done := make(chan error, 1)
 	go func() {
-		_, err := txB.Exec(ctx, `Insert course (course-no := 900, title := "Wire Protocols", credits := 3).`)
+		_, err := txB.Exec(ctx, `Insert department (dept-nbr := 401, name := "Bio").`)
 		done <- err
 	}()
 	select {
@@ -123,9 +139,12 @@ func TestTxInterleavedConnections(t *testing.T) {
 	if !deptExists(t, db, 400) {
 		t.Fatal("txA's committed insert missing")
 	}
-	r, err = a.Query(`From course Retrieve title Where course-no = 900.`)
+	if !deptExists(t, db, 401) {
+		t.Fatal("txB's committed insert missing")
+	}
+	r, err = a.Query(`From department Retrieve name Where name = "Mathematics".`)
 	if err != nil || r.NumRows() != 1 {
-		t.Fatalf("txB's committed insert missing: rows=%v err=%v", r, err)
+		t.Fatalf("txA's committed modify missing: rows=%v err=%v", r, err)
 	}
 }
 
@@ -149,8 +168,14 @@ func TestShutdownRollsBackOpenTx(t *testing.T) {
 	if _, err := tx.Exec(ctx, `Insert department (dept-nbr := 500, name := "Doomed").`); err != nil {
 		t.Fatal(err)
 	}
-	if !deptExists(t, db, 500) {
-		t.Fatal("uncommitted insert not visible before shutdown (test premise broken)")
+	// The insert is visible to the transaction's own session but not to
+	// independent snapshot readers.
+	r, err := tx.Query(ctx, `From department Retrieve name Where dept-nbr = 500.`)
+	if err != nil || r.NumRows() != 1 {
+		t.Fatalf("tx read-your-writes before shutdown: rows=%v err=%v", r, err)
+	}
+	if deptExists(t, db, 500) {
+		t.Fatal("uncommitted insert leaked to an independent reader")
 	}
 
 	sctx, cancel := context.WithTimeout(ctx, 5*time.Second)
@@ -158,7 +183,7 @@ func TestShutdownRollsBackOpenTx(t *testing.T) {
 	if err := srv.Shutdown(sctx); err != nil {
 		t.Fatalf("Shutdown with an open transaction: %v", err)
 	}
-	waitGone(t, db, 500)
+	waitRolledBack(t, db, 500, 501)
 }
 
 // TestTxLostOnRedial: when the connection carrying an open transaction
@@ -196,7 +221,7 @@ func TestTxLostOnRedial(t *testing.T) {
 		t.Fatalf("commit on lost transaction: %v, want ErrTxLost", err)
 	}
 	// The server rolled back: nothing the transaction wrote survives.
-	waitGone(t, db, 600)
+	waitRolledBack(t, db, 600, 699)
 }
 
 // TestTxStateErrors drives the transaction-control frames at the wire

@@ -27,8 +27,10 @@ import (
 // Magic opens every Hello payload.
 const Magic = "SIMW"
 
-// Version is the protocol version this build speaks. A server refuses a
-// Hello carrying any other version with CodeProtocol.
+// Version is the protocol version this build speaks. A server accepts any
+// Hello from MinVersion through Version and echoes the client's own
+// version back, so an older client's strict equality check still passes;
+// anything outside that window is refused with CodeProtocol.
 //
 // Version 2 added trace-context propagation: request payloads that name a
 // statement or transaction-control action (Query, Exec, QueryTrace,
@@ -40,7 +42,18 @@ const Magic = "SIMW"
 // ReplSnapshot, ReplFrames) carry a per-publisher-lifetime Run nonce next
 // to the persisted Epoch, and the Promote/Retarget admin frames plus
 // CodeFenced implement follower promotion with epoch fencing.
-const Version = 3
+//
+// Version 4 added transaction options: a Begin payload may carry one flag
+// byte after its request ID (see EncodeBegin), bit 0 marking the
+// transaction read-only — a snapshot-pinned reader that never conflicts
+// and that a replica can serve. A flagless Begin (every version-3 client)
+// still decodes as an ordinary read-write transaction.
+const Version = 4
+
+// MinVersion is the oldest client protocol version a server still
+// accepts. Version 4 only *added* an optional Begin flag byte, so a
+// version-3 session — which never sends one — runs unchanged.
+const MinVersion = 3
 
 // DefaultMaxFrame bounds the frames a peer will accept (length field
 // inclusive of the type byte). Large result sets stream inside a single
@@ -261,6 +274,45 @@ func DecodeRequest(b []byte) (uint64, []byte, error) {
 		return 0, nil, fmt.Errorf("wire: bad request ID prefix")
 	}
 	return id, b[n:], nil
+}
+
+// Begin flag bits (the optional byte after a Begin request ID).
+const (
+	// BeginReadOnly marks the transaction a pure snapshot reader: it pins
+	// the latest committed version stamp at Begin, never takes latches,
+	// never conflicts, and rejects Exec. Replicas may serve it.
+	BeginReadOnly byte = 1 << 0
+)
+
+// EncodeBegin builds a Begin payload: the uvarint request ID followed —
+// only when some flag is set — by one flag byte. Flagless payloads keep
+// version-3 servers working unchanged.
+func EncodeBegin(id uint64, flags byte) []byte {
+	b := binary.AppendUvarint(make([]byte, 0, binary.MaxVarintLen64+1), id)
+	if flags != 0 {
+		b = append(b, flags)
+	}
+	return b
+}
+
+// DecodeBegin splits a Begin payload into its request ID and flag byte.
+// The flag byte is optional (version-3 clients never send one) and
+// defaults to zero; unknown flag bits are rejected so a future client
+// cannot silently get weaker semantics than it asked for.
+func DecodeBegin(b []byte) (uint64, byte, error) {
+	id, rest, err := DecodeRequest(b)
+	if err != nil {
+		return 0, 0, err
+	}
+	switch {
+	case len(rest) == 0:
+		return id, 0, nil
+	case len(rest) > 1:
+		return 0, 0, fmt.Errorf("wire: trailing bytes in begin frame")
+	case rest[0]&^BeginReadOnly != 0:
+		return 0, 0, fmt.Errorf("wire: unknown begin flags 0x%02x", rest[0])
+	}
+	return id, rest[0], nil
 }
 
 // CommitInfo is the span breakdown of one remote commit, the TraceCommit

@@ -1,0 +1,296 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// Isolation anomaly suite. Each test pins one guarantee of the MVCC
+// model (DESIGN.md §15): snapshot reads see only committed state, a
+// transaction's read view is stable, write conflicts are first-writer-
+// wins at entity granularity, and readers never touch the store write
+// latch. Run under -race; the mvcc-smoke CI job does.
+
+// acctBal reads acct id=1's balance through query (a Database.QueryCtx
+// or Tx.Query method value).
+func acctBal(t *testing.T, query func(ctx context.Context, dml string) (*Result, error), id int) string {
+	t.Helper()
+	r, err := query(context.Background(), fmt.Sprintf(`From acct Retrieve bal Where id = %d.`, id))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := r.Rows()
+	if len(rows) != 1 {
+		t.Fatalf("want one acct row for id=%d, got %d", id, len(rows))
+	}
+	return rows[0][0].String()
+}
+
+// TestIsolationNoDirtyReads: an uncommitted write is invisible to every
+// other reader — autocommit statements and read-only transactions alike.
+func TestIsolationNoDirtyReads(t *testing.T) {
+	db := txDB(t)
+	ctx := context.Background()
+
+	tx, err := db.Begin(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx.Exec(ctx, `Modify acct (bal := 999) Where id = 1.`); err != nil {
+		t.Fatalf("uncommitted write: %v", err)
+	}
+	// The writer itself reads its own write...
+	if got := acctBal(t, tx.Query, 1); got != "999" {
+		t.Fatalf("writer does not read its own write: bal=%s", got)
+	}
+	// ...but nobody else does.
+	if got := acctBal(t, db.QueryCtx, 1); got != "100" {
+		t.Fatalf("dirty read through autocommit: bal=%s, want 100", got)
+	}
+	ro, err := db.Begin(ctx, ReadOnly())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ro.Rollback()
+	if got := acctBal(t, ro.Query, 1); got != "100" {
+		t.Fatalf("dirty read through read-only tx: bal=%s, want 100", got)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatalf("commit: %v", err)
+	}
+	// Post-commit: new statements see the write.
+	if got := acctBal(t, db.QueryCtx, 1); got != "999" {
+		t.Fatalf("committed write invisible: bal=%s", got)
+	}
+}
+
+// TestIsolationRepeatableReads: a transaction's read view is pinned at
+// Begin; writes committed afterwards by others never leak in.
+func TestIsolationRepeatableReads(t *testing.T) {
+	db := txDB(t)
+	ctx := context.Background()
+
+	ro, err := db.Begin(ctx, ReadOnly())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ro.Rollback()
+	if got := acctBal(t, ro.Query, 1); got != "100" {
+		t.Fatalf("first read: bal=%s", got)
+	}
+	if _, err := db.ExecCtx(ctx, `Modify acct (bal := 200) Where id = 1.`); err != nil {
+		t.Fatalf("concurrent autocommit write: %v", err)
+	}
+	// The open snapshot still answers with the Begin-time state, even
+	// though a newer version is committed and published.
+	if got := acctBal(t, ro.Query, 1); got != "100" {
+		t.Fatalf("non-repeatable read: bal=%s, want 100", got)
+	}
+	// Entities committed after Begin are invisible too (no phantoms from
+	// the pinned snapshot's point of view).
+	if _, err := db.ExecCtx(ctx, `Insert acct (id := 7, bal := 7).`); err != nil {
+		t.Fatal(err)
+	}
+	if ids := acctIDs(t, ro.Query); ids["7"] {
+		t.Fatalf("phantom entity leaked into pinned snapshot: %v", ids)
+	}
+	// A fresh statement outside the transaction sees everything.
+	if got := acctBal(t, db.QueryCtx, 1); got != "200" {
+		t.Fatalf("autocommit read after commit: bal=%s", got)
+	}
+}
+
+// TestIsolationFirstWriterWinsEntity: two transactions writing the SAME
+// entity conflict immediately — fail-fast ErrConflict for the second,
+// without aborting it — and the loser can retry after the winner commits.
+func TestIsolationFirstWriterWinsEntity(t *testing.T) {
+	db := txDB(t)
+	ctx := context.Background()
+
+	tx1, err := db.Begin(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx1.Exec(ctx, `Modify acct (bal := 150) Where id = 1.`); err != nil {
+		t.Fatal(err)
+	}
+	tx2, err := db.Begin(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := db.store.EntityConflicts()
+	if _, err := tx2.Exec(ctx, `Modify acct (bal := 1) Where id = 1.`); !errors.Is(err, ErrConflict) {
+		t.Fatalf("second writer on the same entity: err=%v, want ErrConflict", err)
+	}
+	if got := db.store.EntityConflicts(); got != before+1 {
+		t.Fatalf("sim_conflict_entities: %d, want %d", got, before+1)
+	}
+	// The conflict did not abort tx2; it is still usable.
+	if got := acctBal(t, tx2.Query, 1); got != "100" {
+		t.Fatalf("tx2 read after conflict: bal=%s", got)
+	}
+	if err := tx1.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	// The entity latch died with tx1: tx2 can now take it.
+	if _, err := tx2.Exec(ctx, `Modify acct (bal := bal + 10) Where id = 1.`); err != nil {
+		t.Fatalf("retry after winner committed: %v", err)
+	}
+	if err := tx2.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if got := acctBal(t, db.QueryCtx, 1); got != "160" {
+		t.Fatalf("lost update: bal=%s, want 160", got)
+	}
+}
+
+// TestIsolationDistinctEntitiesBothCommit: two transactions writing
+// DIFFERENT entities of the same class do not conflict — the second
+// queues on the store write latch and commits after the first.
+func TestIsolationDistinctEntitiesBothCommit(t *testing.T) {
+	db := txDB(t)
+	ctx := context.Background()
+	mustExec(t, db, `Insert acct (id := 2, bal := 200).`)
+
+	tx1, err := db.Begin(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx1.Exec(ctx, `Modify acct (bal := 111) Where id = 1.`); err != nil {
+		t.Fatal(err)
+	}
+	// tx2 targets entity 2: no conflict, but it must wait for the write
+	// latch tx1 holds, so it runs on its own goroutine.
+	done := make(chan error, 1)
+	go func() {
+		tx2, err := db.Begin(ctx)
+		if err != nil {
+			done <- err
+			return
+		}
+		if _, err := tx2.Exec(ctx, `Modify acct (bal := 222) Where id = 2.`); err != nil {
+			tx2.Rollback()
+			done <- err
+			return
+		}
+		done <- tx2.Commit()
+	}()
+	select {
+	case err := <-done:
+		t.Fatalf("tx2 finished while tx1 held the write latch: %v", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	if err := tx1.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("tx2 (distinct entity): %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("tx2 never finished after tx1 committed")
+	}
+	if got := acctBal(t, db.QueryCtx, 1); got != "111" {
+		t.Fatalf("entity 1: bal=%s", got)
+	}
+	if got := acctBal(t, db.QueryCtx, 2); got != "222" {
+		t.Fatalf("entity 2: bal=%s", got)
+	}
+}
+
+// TestIsolationReadersNeverBlockWriters: snapshot readers run entirely
+// off the store write latch — a held write latch does not stall them,
+// an open reader does not stall a writer, and the reader path performs
+// zero write-latch acquisitions.
+func TestIsolationReadersNeverBlockWriters(t *testing.T) {
+	db := txDB(t)
+	ctx := context.Background()
+
+	// A long-lived reader pins the oldest snapshot for the whole test.
+	ro, err := db.Begin(ctx, ReadOnly())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ro.Rollback()
+
+	// A writer holding the write latch (open tx after its first write)
+	// must not stall concurrent readers.
+	tx, err := db.Begin(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx.Exec(ctx, `Modify acct (bal := 300) Where id = 1.`); err != nil {
+		t.Fatal(err)
+	}
+	latchAcq := func() float64 {
+		return db.Metrics().Snapshot()["sim_latch_store_write_acquisitions_total"]
+	}
+	before := latchAcq()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rctx, cancel := context.WithTimeout(ctx, 5*time.Second)
+			defer cancel()
+			if _, err := db.QueryCtx(rctx, `From acct Retrieve id, bal.`); err != nil {
+				t.Errorf("reader under held write latch: %v", err)
+			}
+		}()
+	}
+	wg.Wait()
+	if after := latchAcq(); after != before {
+		t.Fatalf("readers acquired the store write latch: %v → %v", before, after)
+	}
+	if got := acctBal(t, db.QueryCtx, 1); got != "100" {
+		t.Fatalf("reader saw uncommitted write: bal=%s", got)
+	}
+	// The open read-only transaction does not stall the writer's commit.
+	commitDone := make(chan error, 1)
+	go func() { commitDone <- tx.Commit() }()
+	select {
+	case err := <-commitDone:
+		if err != nil {
+			t.Fatalf("commit under open reader: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("open read-only tx blocked a writer's commit")
+	}
+	// The reader still answers from its pinned snapshot after the commit.
+	if got := acctBal(t, ro.Query, 1); got != "100" {
+		t.Fatalf("pinned reader after commit: bal=%s, want 100", got)
+	}
+	if got := acctBal(t, db.QueryCtx, 1); got != "300" {
+		t.Fatalf("fresh read after commit: bal=%s, want 300", got)
+	}
+}
+
+// TestIsolationReadOnlyRefusesWrites: Exec inside a ReadOnly transaction
+// fails with ErrReadOnlyTx without aborting the transaction.
+func TestIsolationReadOnlyRefusesWrites(t *testing.T) {
+	db := txDB(t)
+	ctx := context.Background()
+
+	ro, err := db.Begin(ctx, ReadOnly())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ro.ReadOnly() {
+		t.Fatal("ReadOnly() = false on a read-only tx")
+	}
+	if _, err := ro.Exec(ctx, `Modify acct (bal := 0) Where id = 1.`); !errors.Is(err, ErrReadOnlyTx) {
+		t.Fatalf("Exec in read-only tx: %v, want ErrReadOnlyTx", err)
+	}
+	// Still readable after the refusal.
+	if got := acctBal(t, ro.Query, 1); got != "100" {
+		t.Fatalf("read after refused write: bal=%s", got)
+	}
+	if err := ro.Commit(); err != nil {
+		t.Fatalf("read-only commit: %v", err)
+	}
+}

@@ -2,12 +2,9 @@ package sim
 
 import (
 	"context"
-	"fmt"
 	"time"
 
-	"sim/internal/ast"
 	"sim/internal/obs"
-	"sim/internal/parser"
 )
 
 // Metrics returns the database's metric registry. Every engine component
@@ -63,33 +60,10 @@ func (db *Database) queryTraceCtx(ctx context.Context, dml string, tr *obs.Query
 	defer db.mu.RUnlock()
 	poolBefore := db.store.Stats()
 	cacheBefore := db.mapper.CacheStats()
-	p, prog, ok := db.plans.get(dml)
-	if ok {
-		tr.PlanCached = true
-	} else {
-		parseStart := time.Now()
-		stmt, err := parser.ParseStmt(dml)
-		if err != nil {
-			return nil, err
-		}
-		ret, isRet := stmt.(*ast.RetrieveStmt)
-		if !isRet {
-			return nil, fmt.Errorf("sim: QueryTrace wants a Retrieve statement; use Exec for updates")
-		}
-		tr.Parse = time.Since(parseStart)
-		planStart := time.Now()
-		p, err = db.planRetrieve(ret)
-		if err != nil {
-			return nil, err
-		}
-		tr.Plan = time.Since(planStart)
-		prog = db.compilePlan(p)
-		db.plans.put(dml, p, prog)
-	}
-	tr.PlanDesc = p.Explain()
-	execStart := time.Now()
-	res, err := db.exe.RetrieveProgram(ctx, p, prog, tr)
-	tr.Exec = time.Since(execStart)
+	// Traced queries read the same pinned-snapshot path as Query.
+	snap := db.store.PinSnapshot()
+	defer snap.Release()
+	res, err := db.queryOn(ctx, dml, db.exe.View(db.mapper.View(snap)), tr)
 	if err != nil {
 		return nil, err
 	}

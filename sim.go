@@ -146,10 +146,13 @@ func (c Config) normalize() Config {
 func (c Config) queryWorkers() int { return c.Workers }
 
 // Database is an open SIM database. Methods are safe for concurrent use:
-// queries run under a shared lock and statement execution under an
-// exclusive lock, while commit durability (WAL fsync + write-back) happens
-// outside both, so concurrent committers share fsyncs (group commit; see
-// Begin and internal/dmsii).
+// each query pins a read snapshot — the latest committed version stamp —
+// and traverses copy-on-write page versions as of that stamp, so readers
+// never take the store-wide write latch and never block (or are torn by)
+// a writer's page mutations. Writers serialize on the store's write
+// latch; commit durability (WAL fsync + write-back) happens outside it,
+// so concurrent committers share fsyncs (group commit; see Begin and
+// internal/dmsii).
 //
 // Context convention: every operation has a context-first form suffixed
 // Ctx (QueryCtx, ExecCtx, ExplainCtx, RunCtx, QueryTraceCtx,
@@ -441,24 +444,57 @@ func (db *Database) QueryCtx(ctx context.Context, dml string) (*Result, error) {
 func (db *Database) queryCtx(ctx context.Context, dml string) (*Result, error) {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
-	if p, prog, ok := db.plans.get(dml); ok {
-		return db.exe.RetrieveProgram(ctx, p, prog, nil)
-	}
-	stmt, err := parser.ParseStmt(dml)
-	if err != nil {
-		return nil, err
-	}
-	ret, ok := stmt.(*ast.RetrieveStmt)
+	// Pin the latest committed version stamp for the statement: the query
+	// traverses page versions as of this stamp, never blocking on — or
+	// being torn by — a concurrent transaction's write phase.
+	snap := db.store.PinSnapshot()
+	defer snap.Release()
+	return db.queryOn(ctx, dml, db.exe.View(db.mapper.View(snap)), nil)
+}
+
+// queryOn parses, plans and executes one Retrieve statement on the given
+// executor — a pinned-snapshot view, a transaction's read view, or the
+// live executor. The plan cache is shared across views: compiled
+// programs read all data through the running executor's mapper, so one
+// cached program serves every snapshot. When tr is non-nil the parse,
+// plan and execute spans are recorded and execution is traced. The
+// caller holds db.mu (read suffices).
+func (db *Database) queryOn(ctx context.Context, dml string, exe *exec.Executor, tr *obs.QueryTrace) (*Result, error) {
+	p, prog, ok := db.plans.get(dml)
 	if !ok {
-		return nil, fmt.Errorf("sim: Query wants a Retrieve statement; use Exec for updates")
+		parseStart := time.Now()
+		stmt, err := parser.ParseStmt(dml)
+		if err != nil {
+			return nil, err
+		}
+		ret, isRet := stmt.(*ast.RetrieveStmt)
+		if !isRet {
+			return nil, fmt.Errorf("sim: Query wants a Retrieve statement; use Exec for updates")
+		}
+		if tr != nil {
+			tr.Parse = time.Since(parseStart)
+		}
+		planStart := time.Now()
+		p, err = db.planRetrieveOn(ret, exe.Mapper())
+		if err != nil {
+			return nil, err
+		}
+		if tr != nil {
+			tr.Plan = time.Since(planStart)
+		}
+		prog = db.compilePlan(p)
+		db.plans.put(dml, p, prog)
+	} else if tr != nil {
+		tr.PlanCached = true
 	}
-	p, err := db.planRetrieve(ret)
-	if err != nil {
-		return nil, err
+	if tr == nil {
+		return exe.RetrieveProgram(ctx, p, prog, nil)
 	}
-	prog := db.compilePlan(p)
-	db.plans.put(dml, p, prog)
-	return db.exe.RetrieveProgram(ctx, p, prog, nil)
+	tr.PlanDesc = p.Explain()
+	execStart := time.Now()
+	res, err := exe.RetrieveProgram(ctx, p, prog, tr)
+	tr.Exec = time.Since(execStart)
+	return res, err
 }
 
 // compilePlan lowers an optimized plan to a closure program for caching
@@ -475,21 +511,26 @@ func (db *Database) compilePlan(p *plan.Plan) *exec.Program {
 	return prog
 }
 
-// planRetrieve binds and optimizes a parsed Retrieve under the read lock.
-func (db *Database) planRetrieve(ret *ast.RetrieveStmt) (*plan.Plan, error) {
+// planRetrieveOn binds and optimizes a parsed Retrieve under the read
+// lock, reading optimizer statistics through the given mapper — a
+// snapshot view when the caller reads a snapshot, so planning never
+// touches live pages concurrently with a writer.
+func (db *Database) planRetrieveOn(ret *ast.RetrieveStmt, m *luc.Mapper) (*plan.Plan, error) {
 	tree, err := query.Bind(db.cat, ret)
 	if err != nil {
 		return nil, err
 	}
-	return plan.Optimize(tree, db.mapper)
+	return plan.Optimize(tree, m)
 }
 
-func (db *Database) runRetrieve(ctx context.Context, ret *ast.RetrieveStmt) (*Result, error) {
-	p, err := db.planRetrieve(ret)
+// runRetrieveOn plans and tree-walks one Retrieve on the given executor,
+// bypassing the plan cache (the script path; see RunCtx).
+func (db *Database) runRetrieveOn(ctx context.Context, ret *ast.RetrieveStmt, exe *exec.Executor) (*Result, error) {
+	p, err := db.planRetrieveOn(ret, exe.Mapper())
 	if err != nil {
 		return nil, err
 	}
-	return db.exe.RetrieveCtx(ctx, p)
+	return exe.RetrieveCtx(ctx, p)
 }
 
 // Explain is ExplainCtx(context.Background(), dml).
@@ -513,11 +554,9 @@ func (db *Database) ExplainCtx(ctx context.Context, dml string) (string, error) 
 	}
 	db.mu.RLock()
 	defer db.mu.RUnlock()
-	tree, err := query.Bind(db.cat, ret)
-	if err != nil {
-		return "", err
-	}
-	p, err := plan.Optimize(tree, db.mapper)
+	snap := db.store.PinSnapshot()
+	defer snap.Release()
+	p, err := db.planRetrieveOn(ret, db.mapper.View(snap))
 	if err != nil {
 		return "", err
 	}
@@ -548,15 +587,15 @@ func (db *Database) ExecCtx(ctx context.Context, dml string) (int, error) {
 }
 
 // execOne runs one parsed update statement as its own transaction. The
-// autocommit flag skips the per-class latch: the statement executes and
-// commits without ever being open-idle, so it queues behind other writers
-// instead of raising first-writer-wins conflicts.
+// autocommit flag skips the snapshot pin and the per-entity latches: the
+// statement executes and commits without ever being open-idle, so it
+// queues behind other writers instead of raising first-writer-wins
+// conflicts.
 func (db *Database) execOne(ctx context.Context, stmt ast.Stmt) (int, error) {
-	tx, err := db.Begin(ctx)
+	tx, err := db.begin(ctx, true)
 	if err != nil {
 		return 0, err
 	}
-	tx.auto = true
 	n, err := tx.execStmt(ctx, stmt)
 	if err != nil {
 		tx.Rollback()
@@ -630,7 +669,18 @@ func (db *Database) RunCtx(ctx context.Context, script string) ([]*Result, error
 			out = append(out, nil)
 		case *ast.RetrieveStmt:
 			db.mu.RLock()
-			r, err := db.runRetrieve(ctx, s)
+			var r *Result
+			var err error
+			if tx != nil {
+				// Inside a BEGIN block the Retrieve reads the transaction's
+				// view: the Begin-time snapshot, or — once the block wrote —
+				// its own uncommitted writes.
+				r, err = db.runRetrieveOn(ctx, s, tx.readViewLocked())
+			} else {
+				snap := db.store.PinSnapshot()
+				r, err = db.runRetrieveOn(ctx, s, db.exe.View(db.mapper.View(snap)))
+				snap.Release()
+			}
 			db.mu.RUnlock()
 			if err != nil {
 				return fail(err)
@@ -655,12 +705,15 @@ func (db *Database) RunCtx(ctx context.Context, script string) ([]*Result, error
 func (db *Database) CheckIntegrity() error {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
+	snap := db.store.PinSnapshot()
+	defer snap.Release()
+	exe := db.exe.View(db.mapper.View(snap))
 	constraints, err := integrity.Analyze(db.cat)
 	if err != nil {
 		return err
 	}
 	for _, c := range constraints {
-		if err := db.exe.CheckAll(c); err != nil {
+		if err := exe.CheckAll(c); err != nil {
 			return err
 		}
 	}

@@ -8,9 +8,13 @@ import (
 	"time"
 
 	"sim/internal/ast"
+	"sim/internal/catalog"
 	"sim/internal/dmsii"
+	"sim/internal/exec"
+	"sim/internal/luc"
 	"sim/internal/obs"
 	"sim/internal/parser"
+	"sim/internal/value"
 )
 
 // Transaction errors.
@@ -25,43 +29,96 @@ var (
 	// the caller should Rollback (a no-op) and retry the whole transaction.
 	ErrTxAborted = errors.New("sim: transaction aborted")
 
-	// ErrConflict is wrapped by Tx.Exec when the statement's target class
-	// is write-latched by another open transaction: first writer wins, the
-	// loser fails fast instead of waiting. A conflict does not abort the
-	// transaction — the caller may commit what it has, retry the statement
-	// later, or roll back.
+	// ErrConflict is wrapped by Tx.Exec when an entity the statement
+	// targets is write-latched by another open transaction: first writer
+	// wins, the loser fails fast instead of waiting. A conflict does not
+	// abort the transaction — the caller may commit what it has, retry the
+	// statement later, or roll back. Two transactions writing distinct
+	// entities never conflict, even within one class.
 	ErrConflict = dmsii.ErrConflict
+
+	// ErrReadOnlyTx is returned by Exec on a transaction opened with the
+	// ReadOnly option.
+	ErrReadOnlyTx = errors.New("sim: read-only transaction")
 )
+
+// TxOption configures a transaction at Begin time.
+type TxOption func(*txOptions)
+
+type txOptions struct {
+	readOnly bool
+}
+
+// ReadOnly opens the transaction as a pure snapshot reader: it pins the
+// latest committed version stamp at Begin and every Query sees exactly
+// that state — repeatable reads with no locks, no latches, and no
+// possibility of ErrConflict. Exec fails with ErrReadOnlyTx. Read-only
+// transactions never block writers and writers never block them.
+func ReadOnly() TxOption {
+	return func(o *txOptions) { o.readOnly = true }
+}
 
 // Tx is an explicit transaction: a sequence of statements that commits or
 // rolls back as a unit. Obtain one from Database.Begin, and always finish
 // it with Commit or Rollback.
 //
-// Statements inside a transaction see its own uncommitted writes.
-// Isolation is first-writer-wins: Exec write-latches the statement's
-// target class for the life of the transaction, and a second transaction
-// writing the same class fails with ErrConflict. A failed statement
-// (constraint violation, type error, cancellation mid-update) aborts the
-// whole transaction — there are no savepoints — after which every method
-// reports ErrTxAborted wrapping the cause.
+// Reads are snapshot-anchored: until its first update statement the
+// transaction sees exactly the committed state pinned at Begin
+// (repeatable reads), without taking any store-wide lock. After the
+// first write, reads switch to the live pages — stable under the store's
+// write latch — so statements see the transaction's own uncommitted
+// writes.
+//
+// Write isolation is first-writer-wins at entity granularity: each
+// update statement write-latches the entities it targets for the life of
+// the transaction, and a second transaction writing any of the same
+// entities fails with ErrConflict. Transactions writing distinct
+// entities — even of the same class — do not conflict. A failed
+// statement (constraint violation, type error, cancellation mid-update)
+// aborts the whole transaction — there are no savepoints — after which
+// every method reports ErrTxAborted wrapping the cause. Conflicts and
+// parse errors do not abort.
 //
 // A Tx is not safe for concurrent use by multiple goroutines.
 type Tx struct {
-	db    *Database
-	txn   *dmsii.Txn
-	done  bool
-	auto  bool  // one-statement autocommit: skip the class latch (see execStmt)
-	wrote bool  // the substrate write latch has been acquired
-	err   error // sticky abort cause; effects already rolled back
+	db     *Database
+	txn    *dmsii.Txn     // nil for read-only transactions
+	snap   *dmsii.Snap    // pinned read snapshot; nil once the tx has written
+	view   *exec.Executor // cached snapshot-view executor for snap
+	viewOf *luc.Mapper    // mapper the view was built over (schema-change invalidation)
+	ro     bool
+	done   bool
+	auto   bool  // one-statement autocommit: skip snapshot + entity latches (see execStmt)
+	wrote  bool  // the substrate write latch has been acquired
+	err    error // sticky abort cause; effects already rolled back
 }
 
-// Begin starts an explicit transaction. The transaction holds no locks
+// Begin starts an explicit transaction. Reads are pinned to the
+// committed state as of Begin (see Tx); the transaction takes no locks
 // until its first update statement, so an idle or read-only Tx never
-// blocks other writers. The context covers Begin itself only; pass a
-// context to each statement and use Commit/Rollback to finish.
-func (db *Database) Begin(ctx context.Context) (*Tx, error) {
+// blocks other writers. Options: ReadOnly yields a pure snapshot reader.
+// The context covers Begin itself only; pass a context to each statement
+// and use Commit/Rollback to finish.
+func (db *Database) Begin(ctx context.Context, opts ...TxOption) (*Tx, error) {
+	return db.begin(ctx, false, opts...)
+}
+
+// begin is Begin plus the internal autocommit flag. Autocommit
+// transactions execute one statement entirely under the store's write
+// latch and commit immediately, so they skip the snapshot pin (they never
+// read before writing) and the entity latches (they cannot interleave
+// with anyone; against an open transaction they queue on the write latch
+// instead of conflicting).
+func (db *Database) begin(ctx context.Context, auto bool, opts ...TxOption) (*Tx, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
+	}
+	var o txOptions
+	for _, fn := range opts {
+		fn(&o)
+	}
+	if o.readOnly {
+		return &Tx{db: db, ro: true, snap: db.store.PinSnapshot()}, nil
 	}
 	txn, err := db.store.BeginSession()
 	if err != nil {
@@ -71,28 +128,74 @@ func (db *Database) Begin(ctx context.Context) (*Tx, error) {
 	// transaction in the flight recorder and the replication stream even
 	// when the commit is not explicitly traced.
 	txn.SetTrace(obs.RequestID(ctx), nil)
-	return &Tx{db: db, txn: txn}, nil
+	tx := &Tx{db: db, txn: txn, auto: auto}
+	if !auto {
+		tx.snap = db.store.PinSnapshot()
+	}
+	return tx, nil
 }
 
-// Query executes one Retrieve statement inside the transaction. It sees
-// the transaction's own uncommitted writes.
+// Query executes one Retrieve statement inside the transaction. Before
+// the transaction's first write it sees the snapshot pinned at Begin;
+// after the first write it sees the transaction's own uncommitted writes.
 func (tx *Tx) Query(ctx context.Context, dml string) (*Result, error) {
 	if err := tx.usable(); err != nil {
 		return nil, err
 	}
-	return tx.db.QueryCtx(ctx, dml)
+	db := tx.db
+	start := time.Now()
+	res, err := tx.query(ctx, dml)
+	d := time.Since(start)
+	db.queryHist.Observe(d)
+	if err != nil {
+		db.queryErrs.Inc()
+		return nil, err
+	}
+	if db.slow.Observe(dml, d, res.Stats.Rows, obs.RequestID(ctx)) {
+		db.slowCount.Inc()
+	}
+	return res, nil
+}
+
+func (tx *Tx) query(ctx context.Context, dml string) (*Result, error) {
+	db := tx.db
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.queryOn(ctx, dml, tx.readViewLocked(), nil)
+}
+
+// readViewLocked returns the executor this transaction's reads run on.
+// A transaction that has written holds the store write latch until it
+// finishes, so reading the live pages is stable and sees its own writes;
+// before the first write (and for read-only transactions) reads go
+// through the snapshot pinned at Begin, via a cached view executor.
+// The caller holds db.mu (read suffices).
+func (tx *Tx) readViewLocked() *exec.Executor {
+	db := tx.db
+	if tx.snap == nil {
+		return db.exe
+	}
+	if tx.view == nil || tx.viewOf != db.mapper {
+		tx.view = db.exe.View(db.mapper.View(tx.snap))
+		tx.viewOf = db.mapper
+	}
+	return tx.view
 }
 
 // Exec executes one update statement (Insert, Modify or Delete) inside
-// the transaction and returns the number of affected entities. The first
-// Exec acquires the store's write latch (blocking, under ctx, while
-// another transaction is in its write phase) and each statement
-// write-latches its target class; see ErrConflict. On a statement error
+// the transaction and returns the number of affected entities. Exec
+// first claims per-entity write latches for the statement's targets —
+// failing fast with ErrConflict if another open transaction holds any of
+// them — then acquires the store's write latch (blocking, under ctx,
+// while another transaction is in its write phase). On a statement error
 // the transaction aborts: its earlier effects are rolled back and the Tx
 // is dead (ErrTxAborted). Parse errors and conflicts do not abort.
 func (tx *Tx) Exec(ctx context.Context, dml string) (int, error) {
 	if err := tx.usable(); err != nil {
 		return 0, err
+	}
+	if tx.ro {
+		return 0, ErrReadOnlyTx
 	}
 	start := time.Now()
 	stmt, err := parser.ParseStmt(dml)
@@ -105,16 +208,21 @@ func (tx *Tx) Exec(ctx context.Context, dml string) (int, error) {
 }
 
 // Commit durably applies the transaction. For a transaction that wrote,
-// Commit enqueues the changes on the WAL and waits for the fsync of its
-// commit group — concurrent committers share one fsync (group commit).
+// Commit enqueues the changes on the WAL, waits for the fsync of its
+// commit group — concurrent committers share one fsync (group commit) —
+// and publishes a new visible version stamp that later snapshots read.
 // After an abort, Commit returns the sticky ErrTxAborted cause.
 func (tx *Tx) Commit() error {
 	if tx.done {
 		return ErrTxDone
 	}
 	tx.done = true
+	tx.releaseSnap()
 	if tx.err != nil {
 		return tx.err // effects already rolled back at abort time
+	}
+	if tx.txn == nil {
+		return nil // read-only: nothing to apply
 	}
 	if err := tx.txn.Commit(); err != nil {
 		// The commit group never became durable (e.g. a poisoned WAL) and
@@ -131,16 +239,16 @@ func (tx *Tx) Commit() error {
 }
 
 // CommitTraced is Commit with a span breakdown: it returns where the
-// commit spent its time — class-latch and write-latch waits, the wait for
-// the group-commit leader to pick the batch up, the shared fsync, and the
-// replication position the commit group published at. The trace ID is
+// commit spent its time — entity-latch and write-latch waits, the wait
+// for the group-commit leader to pick the batch up, the shared fsync, and
+// the replication position the commit group published at. The trace ID is
 // taken from ctx (see obs.WithRequestID); the same ID is then findable in
 // the flight recorder on the primary and on every follower that applied
 // the group. The trace is valid even when the commit fails (spans up to
 // the failure are filled).
 func (tx *Tx) CommitTraced(ctx context.Context) (*obs.CommitTrace, error) {
 	ct := &obs.CommitTrace{}
-	if !tx.done && tx.err == nil {
+	if !tx.done && tx.err == nil && tx.txn != nil {
 		tx.txn.SetTrace(obs.RequestID(ctx), ct)
 	}
 	start := time.Now()
@@ -156,10 +264,28 @@ func (tx *Tx) Rollback() error {
 		return nil
 	}
 	tx.done = true
+	tx.releaseSnap()
+	if tx.txn == nil {
+		return nil
+	}
 	if !tx.wrote {
 		return tx.txn.Rollback()
 	}
 	return tx.discard()
+}
+
+// ReadOnly reports whether the transaction was opened with the ReadOnly
+// option.
+func (tx *Tx) ReadOnly() bool { return tx.ro }
+
+// releaseSnap unpins the transaction's read snapshot so checkpoint-time
+// version GC can reclaim the page versions it held visible. Idempotent.
+func (tx *Tx) releaseSnap() {
+	if tx.snap != nil {
+		tx.snap.Release()
+		tx.snap = nil
+		tx.view, tx.viewOf = nil, nil
+	}
 }
 
 // usable reports why the transaction cannot accept another statement.
@@ -173,17 +299,47 @@ func (tx *Tx) usable() error {
 	return nil
 }
 
+// latchBase is the entity-latch namespace for a class: the hierarchy's
+// base class, lower-cased. Surrogates identify entities within it, so
+// statements targeting the same entity through different subclasses
+// contend on the same latch.
+func latchBase(cl *catalog.Class) string {
+	return strings.ToLower(cl.Base.Name)
+}
+
+// prelatch resolves the statement's target entities on the transaction's
+// read view and claims their write latches before blocking on the store
+// write latch. This keeps first-writer-wins fail-fast: a conflicting
+// statement returns ErrConflict immediately — before acquiring or waiting
+// on any store-wide lock, and before mutating anything — so it does not
+// abort the transaction and cannot deadlock against the latch holder.
+// The resolution is advisory (the statement re-selects its targets when
+// it executes; the claim and write hooks below latch whatever it then
+// touches), so resolution errors are ignored here and surface from the
+// real execution.
+func (tx *Tx) prelatch(ctx context.Context, stmt ast.Stmt) error {
+	db := tx.db
+	db.mu.RLock()
+	exe := tx.readViewLocked()
+	cl, surrs, err := exe.UpdateTargets(ctx, stmt)
+	db.mu.RUnlock()
+	if err != nil || cl == nil || len(surrs) == 0 {
+		return nil
+	}
+	base := latchBase(cl)
+	for _, s := range surrs {
+		if err := tx.txn.LatchEntity(base, uint64(s)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // execStmt runs one parsed update statement inside the transaction. The
-// caller has checked usable().
+// caller has checked usable() and ro.
 func (tx *Tx) execStmt(ctx context.Context, stmt ast.Stmt) (int, error) {
-	var class string
-	switch s := stmt.(type) {
-	case *ast.InsertStmt:
-		class = s.Class
-	case *ast.ModifyStmt:
-		class = s.Class
-	case *ast.DeleteStmt:
-		class = s.Class
+	switch stmt.(type) {
+	case *ast.InsertStmt, *ast.ModifyStmt, *ast.DeleteStmt:
 	case *ast.RetrieveStmt:
 		return 0, fmt.Errorf("sim: Exec wants an update statement; use Query for Retrieve")
 	case *ast.BeginStmt, *ast.CommitStmt, *ast.RollbackStmt:
@@ -191,36 +347,75 @@ func (tx *Tx) execStmt(ctx context.Context, stmt ast.Stmt) (int, error) {
 	default:
 		return 0, fmt.Errorf("sim: unsupported statement %T", stmt)
 	}
-	// First writer wins: fail fast before blocking on the write latch when
-	// an open transaction already claimed the class. A conflict does not
-	// abort this transaction — nothing has been written yet. Autocommit
-	// transactions skip the class latch: they execute and commit entirely
-	// under the store's write latch, so they cannot interleave with anyone;
-	// against an open transaction they queue on the write latch (bounded by
-	// ctx) instead of conflicting.
+	// First writer wins, per entity: resolve the statement's targets on
+	// the transaction's read view and latch them, failing fast while the
+	// conflict is still side-effect-free. Autocommit transactions skip
+	// entity latches entirely: they execute and commit under the store's
+	// write latch, so they cannot interleave with anyone; against an open
+	// transaction they queue on the write latch (bounded by ctx) instead
+	// of conflicting.
 	if !tx.auto {
-		if err := tx.txn.Latch(strings.ToLower(class)); err != nil {
-			return 0, fmt.Errorf("sim: %s: %w", class, err)
+		if err := tx.prelatch(ctx, stmt); err != nil {
+			return 0, err
 		}
 	}
 	if err := tx.txn.AcquireWrite(ctx); err != nil {
 		return 0, err
 	}
-	tx.wrote = true
+	if !tx.wrote {
+		tx.wrote = true
+		// Reads switch from the Begin-time snapshot to the live pages:
+		// stable under the write latch just acquired, and the only view
+		// that includes this transaction's own writes.
+		tx.releaseSnap()
+	}
 	db := tx.db
-	db.mu.Lock()
+	db.mu.RLock()
+	exe := db.exe
+	// written flips once the statement mutates anything; an entity
+	// conflict raised before that (the claim hook, or the write hook on
+	// the statement's first touch) is side-effect-free and must not abort.
+	written := false
+	if !tx.auto {
+		claim := func(cl *catalog.Class, surrs []value.Surrogate) error {
+			base := latchBase(cl)
+			for _, s := range surrs {
+				if err := tx.txn.LatchEntity(base, uint64(s)); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		// The write hook is the backstop for entities the target
+		// resolution cannot see — EVA partners, entities displaced by a
+		// UNIQUE reassignment, freshly created entities. Latching is
+		// reentrant, so re-touching a claimed entity is free.
+		hook := func(base *catalog.Class, s value.Surrogate) error {
+			if err := tx.txn.LatchEntity(latchBase(base), uint64(s)); err != nil {
+				return err
+			}
+			written = true
+			return nil
+		}
+		exe = db.exe.View(db.mapper.WithOnWrite(hook)).WithClaim(claim)
+	}
 	var n int
 	var err error
 	switch s := stmt.(type) {
 	case *ast.InsertStmt:
-		n, err = db.exe.Insert(ctx, s)
+		n, err = exe.Insert(ctx, s)
 	case *ast.ModifyStmt:
-		n, err = db.exe.Modify(ctx, s)
+		n, err = exe.Modify(ctx, s)
 	case *ast.DeleteStmt:
-		n, err = db.exe.Delete(ctx, s)
+		n, err = exe.Delete(ctx, s)
 	}
-	db.mu.Unlock()
+	db.mu.RUnlock()
 	if err != nil {
+		if errors.Is(err, ErrConflict) && !written {
+			// Nothing was mutated: the transaction keeps its earlier
+			// effects and latches, and the caller may commit or retry.
+			return 0, err
+		}
 		return 0, tx.abort(err)
 	}
 	return n, nil
@@ -230,6 +425,7 @@ func (tx *Tx) execStmt(ctx context.Context, stmt ast.Stmt) (int, error) {
 // makes the Tx sticky-fail with the cause.
 func (tx *Tx) abort(cause error) error {
 	tx.err = fmt.Errorf("%w: %w", ErrTxAborted, cause)
+	tx.releaseSnap()
 	if derr := tx.discard(); derr != nil {
 		return fmt.Errorf("%w (rollback also failed: %v)", cause, derr)
 	}

@@ -147,26 +147,30 @@ func TestTxConflictFirstWriterWins(t *testing.T) {
 	}
 	defer tx2.Rollback()
 
-	if _, err := tx1.Exec(ctx, `Insert acct (id := 20, bal := 1).`); err != nil {
+	if _, err := tx1.Exec(ctx, `Modify acct (bal := 50) Where id = 1.`); err != nil {
 		t.Fatal(err)
 	}
-	// tx1 write-latched acct: tx2 fails fast with ErrConflict instead of
-	// waiting, and the conflict does not abort tx2.
-	if _, err := tx2.Exec(ctx, `Insert acct (id := 21, bal := 1).`); !errors.Is(err, ErrConflict) {
+	// tx1 write-latched the id-1 entity: tx2, targeting the same entity,
+	// fails fast with ErrConflict instead of waiting — before it ever
+	// blocks on the store write latch — and the conflict does not abort
+	// tx2.
+	if _, err := tx2.Exec(ctx, `Modify acct (bal := 60) Where id = 1.`); !errors.Is(err, ErrConflict) {
 		t.Fatalf("second writer: %v, want ErrConflict", err)
 	}
 	if err := tx1.Commit(); err != nil {
 		t.Fatal(err)
 	}
-	// The latch died with tx1; tx2 is still usable and can now write.
-	if _, err := tx2.Exec(ctx, `Insert acct (id := 21, bal := 1).`); err != nil {
+	// The latch died with tx1; tx2 is still usable and can now write, and
+	// its statement sees the committed state (no lost update).
+	if _, err := tx2.Exec(ctx, `Modify acct (bal := bal + 10) Where id = 1.`); err != nil {
 		t.Fatalf("retry after winner committed: %v", err)
 	}
 	if err := tx2.Commit(); err != nil {
 		t.Fatal(err)
 	}
-	if ids := acctIDs(t, db.QueryCtx); !ids["20"] || !ids["21"] {
-		t.Fatalf("committed rows missing: %v", ids)
+	r := mustQuery(t, db, `From acct Retrieve bal Where id = 1.`)
+	if got := r.Rows()[0][0].String(); got != "60" {
+		t.Fatalf("bal after both commits = %s, want 60 (tx1's 50 + tx2's 10)", got)
 	}
 }
 
